@@ -1,0 +1,99 @@
+"""Ablations — each design choice DESIGN.md calls out, toggled in isolation.
+
+Not a single paper table, but the study the paper promises as future work
+(§10): "Our future work will concentrate on quantifying the speedups due
+to trace scheduling vs. those achieved by more universal compiler
+optimizations."
+"""
+
+import pytest
+
+from repro.harness import measure
+from repro.machine import TRACE_28_200
+from repro.trace import SchedulingOptions
+
+from .conftest import bench_once
+
+
+def test_ablation_unrolling(show, benchmark):
+    """Unrolling is the parallelism feedstock."""
+    rows = []
+    beats = {}
+    for unroll in (0, 2, 4, 8):
+        m = measure("daxpy", 96, unroll=unroll)
+        beats[unroll] = m.vliw.beats
+        rows.append({"unroll": unroll, "vliw_beats": m.vliw.beats,
+                     "speedup": round(m.vliw_speedup, 2)})
+    show(rows, "Ablation: unroll factor (daxpy)")
+    assert beats[8] < beats[2] < beats[0]
+    bench_once(benchmark, lambda: measure("daxpy", 96, unroll=2))
+
+
+def test_ablation_speculation(show, benchmark):
+    rows = []
+    beats = {}
+    for spec in (True, False):
+        m = measure("vadd", 96, unroll=8,
+                    options=SchedulingOptions(speculation=spec))
+        beats[spec] = m.vliw.beats
+        rows.append({"speculation": spec, "vliw_beats": m.vliw.beats})
+    show(rows, "Ablation: speculation above splits (vadd)")
+    assert beats[True] <= beats[False]
+    bench_once(benchmark, lambda: None)
+
+
+def test_ablation_join_motion(show, benchmark):
+    rows = []
+    beats = {}
+    for jm in (True, False):
+        m = measure("clamp", 96, unroll=8,
+                    options=SchedulingOptions(join_motion=jm))
+        beats[jm] = m.vliw.beats
+        rows.append({"join_motion": jm, "vliw_beats": m.vliw.beats,
+                     "comp_ops": m.compile_stats.n_compensation_ops})
+    show(rows, "Ablation: motion above side entrances (clamp)")
+    assert beats[True] <= beats[False]
+    bench_once(benchmark, lambda: None)
+
+
+def test_ablation_accumulator_splitting(show, benchmark):
+    """The extension: integer reductions escape the serial chain."""
+    from repro.ir import run_module
+    from repro.machine import TRACE_28_200
+    from repro.opt import (CopyPropagation, DeadCodeElimination, LocalCSE,
+                           LoopUnroll, PassManager)
+    from repro.sim import run_compiled, run_scalar
+    from repro.trace import compile_module
+    from repro.workloads import get_kernel
+
+    kernel = get_kernel("int_sum")
+    rows = []
+    beats = {}
+    for split in (True, False):
+        module = kernel.build(96)
+        PassManager([LoopUnroll(factor=8, split_accumulators=split),
+                     CopyPropagation(), LocalCSE(),
+                     DeadCodeElimination()]).run(module)
+        program = compile_module(module, TRACE_28_200)
+        result = run_compiled(program, module, "main", (90,))
+        assert result.value == run_module(kernel.build(96), "main",
+                                          (90,)).value
+        beats[split] = result.stats.beats
+        rows.append({"split_accumulators": split,
+                     "vliw_beats": result.stats.beats})
+    show(rows, "Ablation: integer accumulator splitting (int_sum)")
+    # the integer chain is 1 beat per link, so the win is real but smaller
+    # than the FP case (see tests/test_accumulator_split.py for that one)
+    assert beats[True] < 0.75 * beats[False]
+    bench_once(benchmark, lambda: None)
+
+
+def test_ablation_profile_guidance(show, benchmark):
+    rows = []
+    for use_profile in (True, False):
+        m = measure("count_matches", 96, unroll=8, use_profile=use_profile)
+        rows.append({"profile": "measured" if use_profile else "heuristic",
+                     "vliw_beats": m.vliw.beats})
+    show(rows, "Ablation: profile-guided vs heuristic trace selection "
+               "(count_matches)")
+    bench_once(benchmark, lambda: None)

@@ -1,0 +1,75 @@
+"""E10 — Context switching in 15 microseconds (paper section 8.1).
+
+Claims: "the high available memory bandwidth in the system permits a
+complete context switch in 15 microseconds.  This figure holds in any
+machine configuration, because usable memory bandwidth increases as the
+number of registers"; ASID tagging means "no purging of the instruction
+cache or translation buffers is necessary on a context switch; caches must
+be purged only every 255 address space mapping changes."
+"""
+
+import pytest
+
+from repro.machine import TRACE_7_200, TRACE_14_200, TRACE_28_200
+from repro.sim import (ICacheModel, TlbModel, asid_purge_interval,
+                       context_switch_cost, register_file_words)
+
+from .conftest import bench_once
+
+CONFIGS = [("7/200", TRACE_7_200), ("14/200", TRACE_14_200),
+           ("28/200", TRACE_28_200)]
+
+
+def test_e10_fifteen_microseconds_every_config(show, benchmark):
+    rows = []
+    for label, config in CONFIGS:
+        report = context_switch_cost(config)
+        rows.append({
+            "config": label,
+            "register_words": report.register_words,
+            "save_restore_beats": report.save_restore_beats,
+            "total_beats": report.total_beats,
+            "total_us": round(report.total_us(config), 1),
+        })
+    show(rows, "E10: context-switch cost (paper: ~15 us, "
+               "configuration-independent)")
+    times = [context_switch_cost(c).total_us(c) for _, c in CONFIGS]
+    for t in times:
+        assert t == pytest.approx(15, abs=1.5)
+    assert max(times) - min(times) < 0.5    # config-independent
+    bench_once(benchmark, lambda: [context_switch_cost(c)
+                                   for _, c in CONFIGS])
+
+
+def test_e10_asid_vs_flush(show, benchmark):
+    tagged = context_switch_cost(TRACE_28_200, tagged=True)
+    untagged = context_switch_cost(TRACE_28_200, tagged=False)
+    show([{"scheme": "ASID-tagged (TRACE)",
+           "total_us": round(tagged.total_us(TRACE_28_200), 1),
+           "cold_start_beats": tagged.cold_start_beats},
+          {"scheme": "flush-on-switch",
+           "total_us": round(untagged.total_us(TRACE_28_200), 1),
+           "cold_start_beats": untagged.cold_start_beats}],
+         "E10b: process-tagged caches vs flushing")
+    assert untagged.total_beats > 5 * tagged.total_beats
+    assert asid_purge_interval() == 255
+    bench_once(benchmark, lambda: None)
+
+
+def test_e10_tagged_structures_survive_round_trip(show, benchmark):
+    """Functional check: a process's TLB and icache entries are intact
+    after other processes ran (until the ASID space wraps)."""
+    tlb = TlbModel(TRACE_28_200, tagged=True)
+    icache = ICacheModel(TRACE_28_200, tagged=True)
+    tlb.access(0x8000)
+    icache._lines[0] = (0, "f", 0)      # seed one line for asid 0
+    for asid in range(1, 10):
+        tlb.switch_process(asid)
+        tlb.access(0x8000)
+        icache.switch_process(asid)
+    tlb.switch_process(0)
+    icache.switch_process(0)
+    assert tlb.access(0x8000)            # still a hit
+    assert icache._lines[0] == (0, "f", 0)
+    assert tlb.stats.flushes == 0 and icache.stats.flushes == 0
+    bench_once(benchmark, lambda: None)

@@ -1,0 +1,92 @@
+"""E12 — Systems code on a VLIW (paper sections 8.4 and 9).
+
+Claims: systems code (small basic blocks, pointers, many calls) still
+speeds up — "this result surprised us somewhat" — with procedure-call
+overhead the only real issue, addressed by inlining; and compensation
+code, unrolling, and inlining together keep code growth bounded
+("tuned to avoid undue code growth").
+"""
+
+import pytest
+
+from repro.harness import measure, measure_code_size, prepare_modules
+from repro.machine import TRACE_28_200
+from repro.trace import SchedulingOptions, compile_module
+from repro.workloads import SYSTEMS_KERNELS, get_kernel
+
+from .conftest import bench_once
+
+KERNELS = sorted(SYSTEMS_KERNELS)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: measure(name, n=64, config=TRACE_28_200, unroll=8)
+            for name in KERNELS}
+
+
+def test_e12_systems_code_still_wins(results, show, benchmark):
+    rows = []
+    for name in KERNELS:
+        m = results[name]
+        stats = m.compile_stats
+        rows.append({"kernel": name,
+                     "vliw_speedup": round(m.vliw_speedup, 2),
+                     "traces": stats.n_traces,
+                     "comp_ops": stats.n_compensation_ops,
+                     "spec_loads": stats.n_speculated_loads})
+    show(rows, "E12: systems-style code on the TRACE 28/200")
+    speedups = [results[k].vliw_speedup for k in KERNELS]
+    assert all(s > 1.0 for s in speedups)          # everything improves
+    assert max(speedups) < 6.0                     # but far below numeric
+    bench_once(benchmark, lambda: measure("state_machine", 64, unroll=8))
+
+
+def test_e12_inlining_rescues_call_heavy_code(show, benchmark):
+    """The paper's answer to call overhead: 'rely on the compiler to be
+    clever with ... procedure inlining'."""
+    inlined = measure("call_heavy", 64, unroll=8, inline=48)
+    not_inlined = measure("call_heavy", 64, unroll=8, inline=0)
+    show([{"inlining": "on", "vliw_beats": inlined.vliw.beats,
+           "calls_at_runtime": inlined.vliw.calls},
+          {"inlining": "off", "vliw_beats": not_inlined.vliw.beats,
+           "calls_at_runtime": not_inlined.vliw.calls}],
+         "E12b: inlining on call-heavy code")
+    assert inlined.vliw.calls < not_inlined.vliw.calls
+    assert inlined.vliw.beats < not_inlined.vliw.beats
+    bench_once(benchmark, lambda: measure("call_heavy", 64, inline=48))
+
+
+def test_e12_compensation_growth_bounded(results, show, benchmark):
+    """Compensation code exists but stays a small fraction of the program."""
+    rows = []
+    for name in KERNELS:
+        stats = results[name].compile_stats
+        fraction = stats.n_compensation_ops / max(1, stats.n_ops)
+        rows.append({"kernel": name, "ops": stats.n_ops,
+                     "comp_ops": stats.n_compensation_ops,
+                     "fraction": round(fraction, 3)})
+    show(rows, "E12c: compensation-code volume")
+    for row in rows:
+        assert row["fraction"] < 0.30, row
+    bench_once(benchmark, lambda: None)
+
+
+def test_e12_trace_scheduling_vs_basic_block_only(show, benchmark):
+    """Paper section 8: when UNIX was first debugged, 'we restricted traces
+    to basic blocks' — the ablation that shows inter-block compaction is
+    where the win comes from."""
+    rows = []
+    for name in ("count_matches", "clamp", "daxpy"):
+        full = measure(name, 64, unroll=8)
+        restricted = measure(
+            name, 64, unroll=8,
+            options=SchedulingOptions(speculation=False, join_motion=False))
+        rows.append({"kernel": name,
+                     "full_trace_beats": full.vliw.beats,
+                     "restricted_beats": restricted.vliw.beats,
+                     "motion_gain": round(
+                         restricted.vliw.beats / full.vliw.beats, 2)})
+    show(rows, "E12d: inter-block code motion on vs off")
+    assert all(r["restricted_beats"] >= r["full_trace_beats"] for r in rows)
+    bench_once(benchmark, lambda: None)

@@ -1,0 +1,55 @@
+"""E2 — Basic-block dynamic issue saturates at 2-3x (paper section 3).
+
+Claim (citing Acosta et al. on 360/91-class machines): "even with such
+complex and costly hardware, only a factor of 2 or 3 speedup in
+performance is possible ... the hardware cannot see past basic blocks."
+
+Reproduced shape: the scoreboard simulator — same functional units and
+latencies as the TRACE, out-of-order issue *within* each basic block,
+perfect runtime memory disambiguation — averages in the 2-3x band over the
+kernel suite and never approaches trace scheduling's numbers.
+"""
+
+import pytest
+
+from repro.harness import measure
+from repro.machine import TRACE_28_200
+
+from .conftest import bench_once
+
+KERNELS = ["daxpy", "vadd", "dot", "fir4", "stencil3", "ll1_hydro",
+           "ll7_state", "ll12_diff", "count_matches", "state_machine"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: measure(name, n=96, config=TRACE_28_200, unroll=8)
+            for name in KERNELS}
+
+
+def test_e2_scoreboard_band(results, show, benchmark):
+    rows = []
+    for name in KERNELS:
+        m = results[name]
+        rows.append({"kernel": name,
+                     "scoreboard_speedup": round(m.scoreboard_speedup, 2),
+                     "vliw_speedup": round(m.vliw_speedup, 2),
+                     "vliw/scoreboard": round(
+                         m.vliw_speedup / m.scoreboard_speedup, 2)})
+    show(rows, "E2: scoreboard (basic-block window) vs trace scheduling")
+    speedups = [results[k].scoreboard_speedup for k in KERNELS]
+    geo = 1.0
+    for s in speedups:
+        geo *= s
+    geo **= 1 / len(speedups)
+    # the paper's band: a factor of 2 or 3, never more
+    assert 1.5 <= geo <= 3.5, geo
+    assert max(speedups) < 5.0
+    bench_once(benchmark, lambda: measure("fir4", 96, unroll=8))
+
+
+def test_e2_trace_scheduling_beats_scoreboard_on_numeric(results, benchmark):
+    for name in ["daxpy", "vadd", "fir4", "ll7_state"]:
+        m = results[name]
+        assert m.vliw_speedup > 2 * m.scoreboard_speedup, name
+    bench_once(benchmark, lambda: measure("daxpy", 64, unroll=8))

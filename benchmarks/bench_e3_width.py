@@ -1,0 +1,61 @@
+"""E3 — Configuration family and width scaling (paper section 6.3).
+
+Claims: the instruction word is 256/512/1024 bits for 1/2/4 I-F pairs;
+the full machine initiates 28 operations per instruction with peak rates
+of 215 "VLIW MIPS" and 60 MFLOPS, and 492 MB/s of memory bandwidth
+(section 6.4.1).  Wider configurations speed up parallel loops until the
+loop's own parallelism is exhausted.
+"""
+
+import pytest
+
+from repro.harness import measure
+from repro.machine import TRACE_7_200, TRACE_14_200, TRACE_28_200
+
+from .conftest import bench_once
+
+CONFIGS = [("7/200", TRACE_7_200), ("14/200", TRACE_14_200),
+           ("28/200", TRACE_28_200)]
+
+
+def test_e3_paper_peak_figures(show, benchmark):
+    rows = []
+    for label, cfg in CONFIGS:
+        rows.append({
+            "config": label,
+            "instr_bits": cfg.instruction_bits,
+            "ops/instr": cfg.ops_per_instruction,
+            "VLIW MIPS": round(cfg.peak_vliw_mips(), 1),
+            "MFLOPS": round(cfg.peak_mflops(), 1),
+            "mem MB/s": round(cfg.peak_memory_bandwidth_mb_s(), 1),
+        })
+    show(rows, "E3: configuration family (paper: 1024 bits, 28 ops, "
+               "215 MIPS, ~60 MFLOPS, 492 MB/s at 28/200)")
+    full = TRACE_28_200
+    assert full.instruction_bits == 1024
+    assert full.ops_per_instruction == 28
+    assert full.peak_vliw_mips() == pytest.approx(215, rel=0.01)
+    assert full.peak_mflops() == pytest.approx(60, rel=0.05)
+    assert full.peak_memory_bandwidth_mb_s() == pytest.approx(492, rel=0.01)
+    bench_once(benchmark, lambda: [c.peak_vliw_mips() for _, c in CONFIGS])
+
+
+def test_e3_width_scaling(show, benchmark):
+    rows = []
+    speedups = {}
+    for kernel in ("vadd", "ll7_state", "dot"):
+        row = {"kernel": kernel}
+        for label, cfg in CONFIGS:
+            m = measure(kernel, n=96, config=cfg, unroll=8)
+            row[label] = round(m.vliw_speedup, 2)
+            speedups[(kernel, label)] = m.vliw_speedup
+        rows.append(row)
+    show(rows, "E3b: speedup vs machine width (unroll 8, n=96)")
+    # parallel loops gain from width; the serial reduction does not
+    for kernel in ("vadd", "ll7_state"):
+        assert speedups[(kernel, "28/200")] > \
+            1.2 * speedups[(kernel, "7/200")], kernel
+    assert speedups[("dot", "28/200")] < \
+        1.5 * speedups[("dot", "7/200")]
+    bench_once(benchmark, lambda: measure("vadd", 96, config=TRACE_7_200,
+                                          unroll=8))

@@ -1,0 +1,121 @@
+"""E6 — Object-code size and the mask-word encoding (paper sections 6.5.1
+and 9).
+
+Claims: no-op fields cost no main memory; per-operation encoding is
+roughly RISC-like (30-50% over a tight CISC); compaction/unrolling add
+30-60%; large programs come out ~3x VAX object size overall; the
+variable-length format costs only a few percent of mask overhead.
+"""
+
+import pytest
+
+from repro.harness import (CISC_DENSITY, measure_code_size, prepare_modules,
+                           scalar_code_bytes)
+from repro.machine import TRACE_28_200, encode_function
+from repro.trace import compile_module
+from repro.workloads import get_kernel
+
+from .conftest import bench_once
+
+KERNELS = ["daxpy", "vadd", "fir4", "ll1_hydro", "ll7_state",
+           "count_matches", "state_machine", "clamp"]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for name in KERNELS:
+        kernel = get_kernel(name)
+        baseline, vliw_module = prepare_modules(kernel, 64, unroll=8)
+        program = compile_module(vliw_module, TRACE_28_200)
+        out[name] = measure_code_size(program.function(kernel.func),
+                                      baseline, kernel.func)
+    return out
+
+
+def test_e6_mask_format_eliminates_noops(reports, show, benchmark):
+    rows = [r.row() for r in reports.values()]
+    show(rows, "E6: code size — packed (mask-word) vs unpacked vs scalar")
+    for name, report in reports.items():
+        # the packed form must be dramatically smaller than the full-width
+        # cache image: most slots of most instructions are no-ops
+        assert report.packing_ratio < 0.55, name
+    bench_once(benchmark, lambda: None)
+
+
+def test_e6_overall_vs_cisc_about_3x(reports, show, benchmark):
+    """The paper's 3x was measured over 100-300K-line applications, where
+    hot unrolled loops are a small fraction of the text; it also notes the
+    optimizations "can increase the size of some small fragments of code by
+    a large factor".  Our corpus is 100% hot loop — the fragment case — so
+    we check both: the *rolled* ratio (conventional code) must sit near the
+    per-op 30-50% expansion, and the unrolled hot fragments within the
+    paper's large-factor bound."""
+    hot_ratios = [r.vs_cisc for r in reports.values()]
+    geo = 1.0
+    for r in hot_ratios:
+        geo *= r
+    geo **= 1 / len(hot_ratios)
+
+    # conventional (rolled) compilation of the same kernels
+    from repro.harness import measure_code_size as mcs
+    rolled = []
+    for name in KERNELS:
+        kernel = get_kernel(name)
+        baseline, vliw_module = prepare_modules(kernel, 64, unroll=0,
+                                                inline=0)
+        program = compile_module(vliw_module, TRACE_28_200)
+        rolled.append(mcs(program.function(kernel.func), baseline,
+                          kernel.func).vs_cisc)
+    rolled_geo = 1.0
+    for r in rolled:
+        rolled_geo *= r
+    rolled_geo **= 1 / len(rolled)
+
+    show([{"corpus": "rolled loops (conventional code)",
+           "geomean_vs_cisc": round(rolled_geo, 2),
+           "paper_claim": "30-50% per-op expansion + 5-10% masks"},
+          {"corpus": "unrolled hot fragments",
+           "geomean_vs_cisc": round(geo, 2),
+           "paper_claim": "fragments grow 'by a large factor'; whole "
+                          "programs ~3x"}],
+         "E6b: object-size ratio vs modeled CISC")
+    assert 1.2 <= rolled_geo <= 3.5
+    assert geo <= 10.0
+    bench_once(benchmark, lambda: None)
+
+
+def test_e6_mask_overhead_small(show, benchmark):
+    """Mask words add ~5-10% per the paper."""
+    kernel = get_kernel("ll7_state")
+    _, vliw_module = prepare_modules(kernel, 64, unroll=8)
+    program = compile_module(vliw_module, TRACE_28_200)
+    packed = encode_function(program.function("main"))
+    overhead = packed.mask_words / max(1, packed.field_words)
+    show([{"mask_words": packed.mask_words,
+           "field_words": packed.field_words,
+           "overhead": round(overhead, 3),
+           "paper_claim": "5-10% encoding overhead"}],
+         "E6c: mask-word overhead")
+    assert overhead < 0.35
+    bench_once(benchmark, lambda: encode_function(program.function("main")))
+
+
+def test_e6_unroll_growth_band(show, benchmark):
+    """Trace selection + unrolling grow code by a bounded factor."""
+    kernel = get_kernel("daxpy")
+    rows = []
+    sizes = {}
+    for unroll in (0, 4, 8):
+        _, vliw_module = prepare_modules(kernel, 64, unroll=unroll)
+        program = compile_module(vliw_module, TRACE_28_200)
+        report = measure_code_size(program.function("main"),
+                                   kernel.build(64))
+        sizes[unroll] = report.packed_bytes
+        rows.append({"unroll": unroll,
+                     "packed_bytes": report.packed_bytes,
+                     "growth_vs_rolled": round(
+                         report.packed_bytes / sizes[0], 2)})
+    show(rows, "E6d: code growth from unrolling (daxpy)")
+    assert sizes[8] < 8 * sizes[0]      # far sublinear in the unroll factor
+    bench_once(benchmark, lambda: None)

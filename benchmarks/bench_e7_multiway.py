@@ -1,0 +1,101 @@
+"""E7 — The multiway jump (paper section 6.5.2).
+
+Claim: "Conditional branches occur every five to eight operations in
+typical programs; if we try to compact many more than five operations
+together, some mechanism will be required to pack more than one jump into
+a single instruction."  The TRACE packs up to four prioritized tests per
+instruction.
+
+Reproduced: a dispatch chain compiles to instructions holding multiple
+branch tests; restricting the machine to one pair (one test/instruction)
+costs cycles on branch-dense code; priority resolves simultaneous truths
+in original program order.
+"""
+
+import pytest
+
+from repro.ir import IRBuilder, RegClass, run_module
+from repro.machine import MachineConfig, TRACE_28_200
+from repro.sim import run_compiled
+from repro.trace import compile_module
+
+from .conftest import bench_once
+
+
+def build_dispatch(n_cases: int = 4):
+    """if (a != 1) if (a != 2) ... else-return chain (branch-dense)."""
+    b = IRBuilder()
+    b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+    b.block("entry")
+    for k in range(1, n_cases + 1):
+        pred = b.cmpne(b.param("a"), k)
+        b.br(pred, f"next{k}", f"case{k}")
+        b.block(f"next{k}")
+    b.ret(0)
+    for k in range(1, n_cases + 1):
+        b.block(f"case{k}")
+        b.ret(100 * k)
+    return b.module
+
+
+def test_e7_multiway_packing(show, benchmark):
+    module = build_dispatch(4)
+    program = compile_module(module, TRACE_28_200)
+    cf = program.function("f")
+    per_instruction = [len(li.branches) for li in cf.instructions]
+    show([{"instructions": len(cf.instructions),
+           "max_tests_per_instruction": max(per_instruction),
+           "total_tests": sum(per_instruction)}],
+         "E7: branch tests per long instruction (4-way dispatch)")
+    assert max(per_instruction) >= 2
+    for a, expected in ((1, 100), (2, 200), (3, 300), (4, 400), (9, 0)):
+        assert run_compiled(program, module, "f", [a]).value == expected
+    bench_once(benchmark, lambda: compile_module(build_dispatch(4),
+                                                 TRACE_28_200))
+
+
+def test_e7_branch_slots_limit_dispatch_speed(show, benchmark):
+    """With one I board (one test/instruction) the chain serializes."""
+    rows = []
+    beats = {}
+    for pairs in (1, 4):
+        config = MachineConfig(n_pairs=pairs, n_controllers=4)
+        module = build_dispatch(4)
+        program = compile_module(module, config)
+        result = run_compiled(program, module, "f", [9])   # miss all
+        beats[pairs] = result.stats.beats
+        rows.append({"pairs": pairs, "beats_for_full_miss": result.stats.beats})
+    show(rows, "E7b: dispatch cost vs number of branch slots")
+    assert beats[1] >= beats[4]
+    bench_once(benchmark, lambda: None)
+
+
+def test_e7_priority_matches_sequential_semantics(benchmark):
+    """All tests simultaneously true -> the first (in program order) wins."""
+    b = IRBuilder()
+    b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+    b.block("entry")
+    # three overlapping range tests, written so the fallthrough chain is
+    # the likely trace and all three tests pack together
+    p1 = b.cmplt(b.param("a"), 10)
+    b.br(p1, "under10", "chain2")
+    b.block("chain2")
+    p2 = b.cmplt(b.param("a"), 100)
+    b.br(p2, "under100", "chain3")
+    b.block("chain3")
+    p3 = b.cmplt(b.param("a"), 1000)
+    b.br(p3, "under1000", "big")
+    b.block("under10")
+    b.ret(10)
+    b.block("under100")
+    b.ret(100)
+    b.block("under1000")
+    b.ret(1000)
+    b.block("big")
+    b.ret(-1)
+    module = b.module
+    program = compile_module(module, TRACE_28_200)
+    for a in (5, 50, 500, 5000):
+        expected = run_module(module, "f", [a]).value
+        assert run_compiled(program, module, "f", [a]).value == expected
+    bench_once(benchmark, lambda: None)

@@ -1,0 +1,104 @@
+"""E8 — Dismissable (speculative) loads (paper section 7).
+
+Claim: unrolled loops want LOADs hoisted above the exit test, which can
+issue addresses "beyond the end of the program's current address space";
+special LOAD opcodes suppress the fault and deliver a "funny number"
+instead, because the data will never be used.  This "enables the compiler
+to be much more aggressive in code motions involving memory references" —
+and normal loads keep their Bus Error traps for fault isolation.
+"""
+
+import pytest
+
+from repro.errors import TrapError
+from repro.harness import measure
+from repro.ir import (FUNNY_INT, IRBuilder, MemoryImage, Module, Opcode,
+                      RegClass, VReg, run_module, verify_module)
+from repro.machine import TRACE_28_200
+from repro.opt import classical_pipeline
+from repro.sim import run_compiled
+from repro.trace import SchedulingOptions, TraceCompiler, compile_module
+
+from .conftest import bench_once
+
+
+def build_guarded_walk(n_elems: int) -> Module:
+    """Sum v[i] while i < n, where v has exactly n_elems elements placed at
+    the very end of the data segment — speculation past the exit test
+    dereferences unmapped space."""
+    module = Module()
+    module.add_array("V", n_elems, 4, init=list(range(n_elems)))
+    b = IRBuilder(module)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    s = VReg("s", RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    base = b.addr("V")
+    b.mov(0, dest=s)
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    pred = b.cmplt(i, b.param("n"))
+    b.br(pred, "body", "exit")
+    b.block("body")
+    x = b.load(b.add(base, b.shl(i, 2)), 0)
+    b.add(s, x, dest=s)
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(s)
+    verify_module(module)
+    return module
+
+
+def test_e8_speculation_enables_motion_and_speed(show, benchmark):
+    rows = {}
+    for speculation in (True, False):
+        m = measure("vadd", 96, unroll=8,
+                    options=SchedulingOptions(speculation=speculation))
+        rows[speculation] = m
+    show([{"speculation": "on", "beats": rows[True].vliw.beats,
+           "speculated_loads": rows[True].compile_stats.n_speculated_loads},
+          {"speculation": "off", "beats": rows[False].vliw.beats,
+           "speculated_loads": 0}],
+         "E8: speculation on/off (vadd, unroll 8)")
+    assert rows[True].vliw.beats <= rows[False].vliw.beats
+    bench_once(benchmark,
+               lambda: measure("vadd", 64, unroll=8,
+                               options=SchedulingOptions(speculation=True)))
+
+
+def test_e8_dismissable_load_suppresses_fault(show, benchmark):
+    """A compiled unrolled loop speculates loads past the array's end; the
+    dismissable opcodes deliver funny numbers instead of trapping, and the
+    result is still exactly right."""
+    # the scratch region follows the arrays, so give the memory image no
+    # slack: speculated addresses past V fall off the edge
+    module = build_guarded_walk(16)
+    reference = run_module(module, "main", [16]).value
+    classical_pipeline(unroll_factor=8).run(module)
+    compiler = TraceCompiler(module, TRACE_28_200, SchedulingOptions())
+    program = compiler.compile_module()
+    memory = MemoryImage(module, scratch_bytes=0)
+    from repro.sim import VliwSimulator
+    sim = VliwSimulator(program, memory)
+    result = sim.run("main", [16])
+    show([{"speculated_loads_compiled":
+           compiler.stats["main"].n_speculated_loads,
+           "dismissed_at_runtime": sim.stats.dismissed_loads,
+           "result": result.value, "expected": reference}],
+         "E8b: dismissable loads past the end of the array")
+    assert result.value == reference
+    bench_once(benchmark, lambda: None)
+
+
+def test_e8_normal_load_still_traps(benchmark):
+    """Without the special opcode the same access is a Bus Error."""
+    module = build_guarded_walk(16)
+    b_addr = MemoryImage(module, scratch_bytes=0)
+    from repro.ir import Interpreter
+    interp = Interpreter(module)
+    with pytest.raises(TrapError):
+        # walking past the array in the *architectural* program traps
+        interp.run("main", [64], memory=b_addr)
+    bench_once(benchmark, lambda: None)

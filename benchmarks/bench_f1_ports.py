@@ -1,0 +1,39 @@
+"""F1 — Figure 1: the "ideal VLIW" and why register files must partition.
+
+Claim (section 5): the ideal machine gives every functional unit two read
+ports and one write port into one central register file, but "any
+reasonably large number of functional units requires an impossibly large
+number of ports", forcing the partitioned I/F register files the TRACE
+ships with.
+"""
+
+import pytest
+
+from repro.machine import TRACE_7_200, TRACE_14_200, TRACE_28_200
+
+from .conftest import bench_once
+
+CONFIGS = [("7/200", TRACE_7_200), ("14/200", TRACE_14_200),
+           ("28/200", TRACE_28_200)]
+
+
+def _functional_units(config) -> int:
+    # per pair: 2 integer ALUs + float adder + float multiplier
+    return 4 * config.n_pairs
+
+
+def test_f1_ideal_port_count_explodes(show, benchmark):
+    rows = []
+    for label, config in CONFIGS:
+        fus = _functional_units(config)
+        ideal_ports = 3 * fus              # 2 read + 1 write each
+        partitioned = 12 * config.n_pairs  # paper: 12 datapaths per board
+        rows.append({"config": label, "functional_units": fus,
+                     "ideal_central_ports": ideal_ports,
+                     "per_board_datapaths (actual)": 12,
+                     "total_partitioned": partitioned})
+    show(rows, "F1: central-file port demand vs the partitioned design")
+    full = TRACE_28_200
+    assert 3 * _functional_units(full) == 48   # impossibly many on one file
+    bench_once(benchmark, lambda: [_functional_units(c)
+                                   for _, c in CONFIGS])

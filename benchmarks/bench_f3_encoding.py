@@ -1,0 +1,100 @@
+"""F3 — Figure 3: the instruction word format for one I-F pair.
+
+Reproduces the figure's structure: eight 32-bit words per pair — I ALU0
+early, immediate (early), I ALU1 early, F adder control, I ALU0 late,
+immediate (late), I ALU1 late, F multiplier control — and checks the
+field-level encode/decode round trip plus the mask-word main-memory
+packing built on top of it.
+"""
+
+import pytest
+
+from repro.ir import Imm, Opcode, Operation, RegClass
+from repro.machine import (TRACE_7_200, LongInstruction, ScheduledOp, Unit,
+                           decode_op_word, encode_instruction, pack_program,
+                           phys_reg, unpack_program)
+
+from .conftest import bench_once
+
+WORD_ROLES = ["I ALU0 early", "immediate (early)", "I ALU1 early",
+              "F adder / ALU-A", "I ALU0 late", "immediate (late)",
+              "I ALU1 late", "F multiplier / ALU-M"]
+
+UNIT_FOR_WORD = {0: Unit.IALU0_E, 2: Unit.IALU1_E, 3: Unit.FALU,
+                 4: Unit.IALU0_L, 6: Unit.IALU1_L, 7: Unit.FMUL}
+
+
+def _op(kind="int"):
+    if kind == "int":
+        return Operation(Opcode.ADD, phys_reg(RegClass.INT, 3),
+                         [phys_reg(RegClass.INT, 4),
+                          phys_reg(RegClass.INT, 5)])
+    return Operation(Opcode.FADD, phys_reg(RegClass.FLT, 3),
+                     [phys_reg(RegClass.FLT, 4), phys_reg(RegClass.FLT, 5)])
+
+
+def test_f3_word_positions(show, benchmark):
+    """Each unit's control bits land in its Figure-3 word slot."""
+    rows = []
+    for word_index, role in enumerate(WORD_ROLES):
+        unit = UNIT_FOR_WORD.get(word_index)
+        if unit is None:
+            rows.append({"word": word_index, "role": role,
+                         "populated_by": "wide immediates"})
+            continue
+        kind = "flt" if unit in (Unit.FALU, Unit.FMUL) else "int"
+        li = LongInstruction(ops=[ScheduledOp(_op(kind), 0, unit)])
+        words = encode_instruction(li, TRACE_7_200)
+        populated = [i for i, w in enumerate(words) if w]
+        assert populated == [word_index], (role, populated)
+        rows.append({"word": word_index, "role": role,
+                     "populated_by": f"unit {unit.value}"})
+    show(rows, "F3: 8-word instruction slice for one I-F pair")
+    bench_once(benchmark, lambda: encode_instruction(
+        LongInstruction(ops=[ScheduledOp(_op(), 0, Unit.IALU0_E)]),
+        TRACE_7_200))
+
+
+def test_f3_immediate_words(show, benchmark):
+    """Wide immediates occupy word 1 (early) / word 5 (late), shared per
+    beat as in the paper ('a 32-bit immediate field is flexibly shared')."""
+    wide_early = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                           [phys_reg(RegClass.INT, 2), Imm(70000)])
+    wide_late = Operation(Opcode.ADD, phys_reg(RegClass.INT, 3),
+                          [phys_reg(RegClass.INT, 4), Imm(-90000)])
+    li = LongInstruction(ops=[
+        ScheduledOp(wide_early, 0, Unit.IALU0_E),
+        ScheduledOp(wide_late, 0, Unit.IALU0_L)])
+    words = encode_instruction(li, TRACE_7_200)
+    assert words[1] == 70000
+    assert words[5] == (-90000) & 0xFFFFFFFF
+    show([{"word": 1, "holds": words[1]}, {"word": 5,
+          "holds": words[5] - (1 << 32)}],
+         "F3b: shared immediate words")
+    bench_once(benchmark, lambda: None)
+
+
+def test_f3_field_roundtrip(benchmark):
+    so = ScheduledOp(_op(), 0, Unit.IALU1_L)
+    li = LongInstruction(ops=[so])
+    words = encode_instruction(li, TRACE_7_200)
+    decoded = decode_op_word(words[6])
+    assert decoded.opcode is Opcode.ADD
+    assert decoded.dest_index == 3
+    assert decoded.src1_index == 4
+    assert decoded.src2_index == 5
+    bench_once(benchmark, lambda: decode_op_word(words[6]))
+
+
+def test_f3_mask_packing_roundtrip(benchmark):
+    lis = []
+    for k in range(9):
+        ops = [ScheduledOp(_op(), 0, Unit.IALU0_E)]
+        if k % 2:
+            ops.append(ScheduledOp(_op("flt"), 0, Unit.FALU))
+        lis.append(LongInstruction(ops=ops))
+    words = [encode_instruction(li, TRACE_7_200) for li in lis]
+    packed = pack_program(words, TRACE_7_200)
+    assert unpack_program(packed) == words
+    assert packed.packed_bytes < packed.unpacked_bytes
+    bench_once(benchmark, lambda: unpack_program(packed))

@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` regenerates one of the paper's quantitative claims
+(see DESIGN.md's experiment index): it prints the table/series, asserts the
+claim's *shape* (who wins, by roughly what factor), and clocks one
+representative simulation through pytest-benchmark so ``--benchmark-only``
+reports host-side costs too.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def bench_once(benchmark, fn):
+    """Record one timed round of ``fn`` (simulation work dominates)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def show():
+    """Print a table so it lands in captured output and -s runs."""
+    from repro.harness import format_table
+
+    def _show(rows, title):
+        text = format_table(rows, title)
+        print("\n" + text + "\n")
+        return text
+
+    return _show

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The software-managed interleaved memory system in action.
+
+Paper section 6.4 calls the compile-time-scheduled memory "an important
+architectural breakthrough".  This example shows the three disambiguator
+verdicts driving scheduling decisions, then measures a streaming kernel
+with the bank-stall "gamble" enabled and disabled, and with the
+disambiguator degraded (annotations stripped) so every pair is a "maybe".
+"""
+
+from repro.disambig import Answer, Disambiguator
+from repro.harness import measure
+from repro.ir import MemRef, Module
+from repro.machine import TRACE_28_200
+from repro.trace import SchedulingOptions
+
+
+def show_disambiguation() -> None:
+    module = Module()
+    module.add_array("A", 1024, 8)
+    dis = Disambiguator(module)
+    banks = TRACE_28_200.total_banks
+
+    def ref(const, coeffs=None, base="A", unknown=False):
+        return MemRef.make(base, coeffs or {"i": 8}, const, 8,
+                           base_unknown_mod=unknown)
+
+    cases = [
+        ("A[i] vs A[i+1]", ref(0), ref(8)),
+        ("A[i] vs A[i+64] (same bank!)", ref(0), ref(8 * banks)),
+        ("A[i] vs A[j]", ref(0), MemRef.make("A", {"j": 8}, 0, 8)),
+        ("p[i] vs p[i+1] (unknown base)",
+         ref(0, base="&p", unknown=True), ref(8, base="&p", unknown=True)),
+    ]
+    print("=== bank_equal answers (64 banks) ===")
+    for label, a, b in cases:
+        print(f"  {label:36s} -> {dis.bank_equal(a, b, banks).value}")
+    print()
+
+
+def build_pointer_vadd(n: int) -> Module:
+    """dst[i] = p[i] + q[i] through pointer ARGUMENTS: the two source
+    loads must issue close together, their bases are unknown at compile
+    time, so their bank queries answer 'maybe' — the gamble's home turf."""
+    from repro.ir import IRBuilder, RegClass, VReg, verify_module
+    module = Module()
+    module.add_array("P", n, 8, init=[float(k) for k in range(n)])
+    module.add_array("Q", n, 8, init=[float(2 * k) for k in range(n)])
+    module.add_array("DST", n, 8)
+    b = IRBuilder(module)
+    b.function("main", [("dst", RegClass.INT), ("p", RegClass.INT),
+                        ("q", RegClass.INT), ("n", RegClass.INT)])
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    pred = b.cmplt(i, b.param("n"))
+    b.br(pred, "body", "exit")
+    b.block("body")
+    off = b.shl(i, 3)
+    left = b.fload(b.add(b.param("p"), off), 0)
+    right = b.fload(b.add(b.param("q"), off), 0)
+    b.fstore(b.fadd(left, right), b.add(b.param("dst"), off), 0)
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def measure_gamble() -> None:
+    from repro.ir import run_module
+    from repro.opt import classical_pipeline
+    from repro.sim import run_compiled, run_scalar
+    from repro.trace import compile_module
+
+    print("=== bank-stall gamble: FORTRAN-style vadd through pointer "
+          "arguments ===")
+    n = 96
+    args = ["DST", "P", "Q", n - 6]
+    for gamble in (True, False):
+        module = build_pointer_vadd(n)
+        classical_pipeline(unroll_factor=8).run(module)
+        # fortran_args: distinct pointer parameters cannot alias (language
+        # rule), but their bank residues remain unknown -> pure "maybe"s
+        options = SchedulingOptions(bank_gamble=gamble, fortran_args=True)
+        program = compile_module(module, TRACE_28_200, options)
+        result = run_compiled(program, module, "main", args)
+        ref = run_module(build_pointer_vadd(n), "main", args)
+        assert result.memory.read_array("DST", n, 8) == \
+            ref.memory.read_array("DST", n, 8)
+        print(f"  gamble={'on ' if gamble else 'off'}: "
+              f"{result.stats.beats} beats, "
+              f"{result.stats.bank_stall_beats} stall beats, "
+              f"{result.stats.gamble_refs} gambled refs")
+    print()
+    print("With unknown bases the disambiguator answers 'maybe' across the "
+          "two pointers; gambling packs\nthe references anyway and the "
+          "hardware bank-stall absorbs the (rare) true conflicts — the "
+          "paper's\n'rolling the dice can improve performance'.")
+
+
+def main() -> None:
+    show_disambiguation()
+    measure_gamble()
+
+
+if __name__ == "__main__":
+    main()

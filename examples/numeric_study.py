@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Numeric-workload study: the paper's order-of-magnitude claim, kernel by
+kernel, across machine widths.
+
+Sweeps the numeric and Livermore kernels on all three TRACE configurations
+(7/200, 14/200, 28/200) and prints speedup over the scalar baseline — the
+shape to look for: wide independent loops reach ~8-12x on the full machine,
+reductions and recurrences are bounded by their serial chains, and width
+scaling flattens once the loop's parallelism is exhausted.
+"""
+
+from repro.harness import measure, print_table
+from repro.machine import TRACE_7_200, TRACE_14_200, TRACE_28_200
+from repro.workloads import LIVERMORE_KERNELS, NUMERIC_KERNELS
+
+KERNELS = ["daxpy", "vadd", "fir4", "stencil3", "copy", "dot",
+           "ll1_hydro", "ll7_state", "ll12_diff", "ll5_tridiag"]
+CONFIGS = [("7/200", TRACE_7_200), ("14/200", TRACE_14_200),
+           ("28/200", TRACE_28_200)]
+
+
+def main() -> None:
+    rows = []
+    for name in KERNELS:
+        row = {"kernel": name}
+        for label, config in CONFIGS:
+            result = measure(name, n=96, config=config, unroll=8)
+            row[f"speedup@{label}"] = round(result.vliw_speedup, 2)
+        serial = "serial chain" if name in ("dot", "ll5_tridiag") else ""
+        row["note"] = serial
+        rows.append(row)
+    print_table(rows, "Speedup over the sequential scalar baseline "
+                      "(n=96, unroll 8)")
+    print("Expected shape: independent loops scale with width and reach "
+          "roughly an order of magnitude;\nreductions (dot) and "
+          "recurrences (ll5) are pinned near their dependence-chain bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package
+(this environment is offline; pip's PEP 517 editable path needs wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of the Multiflow TRACE VLIW and its Trace
+Scheduling compacting compiler (Colwell, Nix, O'Donnell, Papworth, Rodman,
+ASPLOS 1987).
+
+The package contains, built from scratch:
+
+* an IR with builder, textual format and reference interpreter (``repro.ir``);
+* a tiny C-like front end (``repro.frontend``);
+* classical optimizations, loop unrolling and inlining (``repro.opt``);
+* the memory-bank disambiguator (``repro.disambig``);
+* the TRACE machine model and instruction encoding (``repro.machine``);
+* the Trace Scheduling compiler itself (``repro.trace``);
+* beat-accurate TRACE, scalar, and scoreboard simulators (``repro.sim``);
+* workloads and the experiment harness (``repro.workloads``,
+  ``repro.harness``).
+
+Quickstart::
+
+    from repro.harness import compare_kernel
+    result = compare_kernel("daxpy", n=64)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"

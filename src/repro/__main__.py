@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show every named workload.
+* ``measure <kernel>`` — run one kernel on all executors and print timing.
+* ``schedule <kernel>`` — print the compiled long-instruction schedule.
+* ``compile <file>`` — compile a TinyFlow source file and print its
+  schedule (and optionally run a function from it).
+* ``sweep`` — the quick numeric-suite table (E1-style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import format_table, measure, print_table
+from .machine import (MachineConfig, TRACE_7_200, TRACE_14_200, TRACE_28_200,
+                      format_compiled)
+from .trace import SchedulingOptions
+from .workloads import ALL_KERNELS, get_kernel
+
+_CONFIGS = {1: TRACE_7_200, 2: TRACE_14_200, 4: TRACE_28_200}
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", type=int, default=96,
+                        help="problem size (default 96)")
+    parser.add_argument("--pairs", type=int, choices=(1, 2, 4), default=4,
+                        help="I-F board pairs (default 4 = TRACE 28/200)")
+    parser.add_argument("--unroll", type=int, default=8,
+                        help="unroll factor (default 8; 0 disables)")
+    parser.add_argument("--no-speculation", action="store_true")
+    parser.add_argument("--no-join-motion", action="store_true")
+    parser.add_argument("--fast-fp", action="store_true",
+                        help="fast floating-point exception mode")
+
+
+def _options(args) -> SchedulingOptions:
+    return SchedulingOptions(speculation=not args.no_speculation,
+                             join_motion=not args.no_join_motion,
+                             fast_fp=args.fast_fp)
+
+
+def cmd_list(args) -> int:
+    rows = [{"kernel": k.name, "kind": k.kind, "description": k.description}
+            for k in ALL_KERNELS.values()]
+    print_table(sorted(rows, key=lambda r: (r["kind"], r["kernel"])),
+                "available workloads")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    result = measure(args.kernel, args.n, config=_CONFIGS[args.pairs],
+                     options=_options(args), unroll=args.unroll)
+    print_table([result.row()], f"{args.kernel} on the TRACE "
+                                f"{7 * args.pairs}/200")
+    stats = result.compile_stats
+    if stats is not None:
+        print(f"traces: {stats.n_traces}, instructions: "
+              f"{stats.n_instructions}, speculated loads: "
+              f"{stats.n_speculated_loads}, compensation ops: "
+              f"{stats.n_compensation_ops}, gambles: {stats.n_gambles}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from .harness import prepare_modules
+    from .trace import compile_module
+
+    kernel = get_kernel(args.kernel)
+    _, module = prepare_modules(kernel, args.n, unroll=args.unroll)
+    program = compile_module(module, _CONFIGS[args.pairs], _options(args))
+    print(format_compiled(program.function(kernel.func)))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from .frontend import compile_source
+    from .opt import classical_pipeline
+    from .sim import run_compiled
+    from .trace import compile_module
+
+    with open(args.file) as handle:
+        source = handle.read()
+    module = compile_source(source)
+    classical_pipeline(unroll_factor=args.unroll, inline_budget=48).run(
+        module)
+    program = compile_module(module, _CONFIGS[args.pairs], _options(args))
+    for name in program.functions:
+        print(format_compiled(program.function(name)))
+        print()
+    if args.run is not None:
+        func_args = [float(a) if "." in a else int(a) for a in args.args]
+        result = run_compiled(program, module, args.run, func_args,
+                              fp_mode="fast" if args.fast_fp else "precise")
+        print(f"{args.run}({', '.join(args.args)}) = {result.value}   "
+              f"[{result.stats.beats} beats, "
+              f"{result.stats.time_us(_CONFIGS[args.pairs]):.2f} us]")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    rows = []
+    for name in ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll7_state",
+                 "count_matches", "state_machine"):
+        result = measure(name, args.n, config=_CONFIGS[args.pairs],
+                         options=_options(args), unroll=args.unroll)
+        rows.append(result.row())
+    print_table(rows, f"kernel sweep (n={args.n}, "
+                      f"TRACE {7 * args.pairs}/200, unroll {args.unroll})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Multiflow TRACE and its Trace Scheduling compiler")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("measure", help="measure one kernel on all executors")
+    p.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_measure)
+
+    p = sub.add_parser("schedule", help="print a kernel's compiled schedule")
+    p.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("compile", help="compile a TinyFlow source file")
+    p.add_argument("file")
+    p.add_argument("--run", help="function to execute after compiling")
+    p.add_argument("--args", nargs="*", default=[],
+                   help="arguments for --run")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("sweep", help="quick E1-style kernel sweep")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

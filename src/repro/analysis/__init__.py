@@ -1,0 +1,18 @@
+"""Program analyses: CFG structure, dataflow, liveness, loops, reaching defs."""
+
+from .cfg import CFG, remove_unreachable_blocks
+from .dataflow import DataflowResult, solve_backward, solve_forward
+from .liveness import (Liveness, block_use_def, compute_liveness,
+                       live_before_each_op)
+from .loops import (BasicIV, Loop, TripCount, find_basic_ivs, find_loops,
+                    loop_invariant_regs, match_counted_loop)
+from .reaching import ReachingDefs, compute_reaching, single_reaching_def
+
+__all__ = [
+    "CFG", "remove_unreachable_blocks",
+    "DataflowResult", "solve_backward", "solve_forward",
+    "Liveness", "block_use_def", "compute_liveness", "live_before_each_op",
+    "BasicIV", "Loop", "TripCount", "find_basic_ivs", "find_loops",
+    "loop_invariant_regs", "match_counted_loop",
+    "ReachingDefs", "compute_reaching", "single_reaching_def",
+]

@@ -1,0 +1,162 @@
+"""Control-flow-graph utilities: orderings, dominators, back edges.
+
+These are the structural analyses the optimizer and the trace selector rely
+on.  Dominators use the iterative algorithm of Cooper, Harvey & Kennedy
+("A Simple, Fast Dominance Algorithm"), which is comfortably fast at the
+function sizes this compiler sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IRError
+from ..ir import Function
+
+
+@dataclass
+class CFG:
+    """A materialised view of a function's control-flow graph.
+
+    The view is a snapshot: mutate the function and build a new CFG.
+    """
+
+    func: Function
+    succs: dict[str, list[str]] = field(default_factory=dict)
+    preds: dict[str, list[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(func: Function, tolerant: bool = False) -> "CFG":
+        """Build the CFG.
+
+        With ``tolerant=True``, terminator targets that are not blocks of
+        this function are silently dropped (treated as exits).  The trace
+        compiler uses this on its working function, where compiled blocks
+        have been removed and their labels resolve through the link-time
+        label map instead.
+        """
+        cfg = CFG(func)
+        cfg.preds = {name: [] for name in func.blocks}
+        for name, block in func.blocks.items():
+            succs = block.successors()
+            if tolerant:
+                succs = [s for s in succs if s in func.blocks]
+            cfg.succs[name] = succs
+            for s in succs:
+                if s not in cfg.preds:
+                    raise IRError(f"{func.name}:{name} targets unknown {s!r}")
+                cfg.preds[s].append(name)
+        return cfg
+
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> str:
+        return self.func.entry.name
+
+    def postorder(self) -> list[str]:
+        """Depth-first postorder from the entry (unreachable blocks absent)."""
+        seen: set[str] = set()
+        order: list[str] = []
+
+        def visit(name: str) -> None:
+            # Iterative DFS to survive deep CFGs (long unrolled chains).
+            stack = [(name, iter(self.succs[name]))]
+            seen.add(name)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.succs[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        return order
+
+    def reverse_postorder(self) -> list[str]:
+        return list(reversed(self.postorder()))
+
+    def reachable(self) -> set[str]:
+        return set(self.postorder())
+
+    # ------------------------------------------------------------------
+    def immediate_dominators(self) -> dict[str, str | None]:
+        """idom for every reachable block (entry maps to None)."""
+        rpo = self.reverse_postorder()
+        index = {name: i for i, name in enumerate(rpo)}
+        idom: dict[str, str | None] = {self.entry: self.entry}
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for name in rpo:
+                if name == self.entry:
+                    continue
+                preds = [p for p in self.preds[name]
+                         if p in index and p in idom]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = intersect(new, p)
+                if idom.get(name) != new:
+                    idom[name] = new
+                    changed = True
+        result: dict[str, str | None] = dict(idom)
+        result[self.entry] = None
+        return result
+
+    def dominators(self) -> dict[str, set[str]]:
+        """Full dominator sets (block -> set of blocks dominating it)."""
+        idom = self.immediate_dominators()
+        doms: dict[str, set[str]] = {}
+        for name in idom:
+            chain = {name}
+            cursor = idom[name]
+            while cursor is not None:
+                chain.add(cursor)
+                cursor = idom[cursor]
+            doms[name] = chain
+        return doms
+
+    def dominates(self, a: str, b: str,
+                  doms: dict[str, set[str]] | None = None) -> bool:
+        if doms is None:
+            doms = self.dominators()
+        return a in doms.get(b, set())
+
+    def back_edges(self) -> list[tuple[str, str]]:
+        """Edges (u, v) where v dominates u — loop back edges."""
+        doms = self.dominators()
+        edges = []
+        for u in self.reachable():
+            for v in self.succs[u]:
+                if v in doms.get(u, set()):
+                    edges.append((u, v))
+        return edges
+
+    def edges(self) -> list[tuple[str, str]]:
+        return [(u, v) for u, succs in self.succs.items() for v in succs]
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete blocks not reachable from the entry; returns count removed."""
+    cfg = CFG.build(func)
+    reachable = cfg.reachable()
+    dead = [name for name in func.blocks if name not in reachable]
+    for name in dead:
+        func.remove_block(name)
+    return len(dead)

@@ -1,0 +1,101 @@
+"""A small generic iterative dataflow framework.
+
+Liveness and reaching definitions are instances; passes may define their own
+problems.  Facts are Python ``frozenset``-compatible sets; the solver is the
+classic round-robin worklist over basic blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, TypeVar
+
+from .cfg import CFG
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass
+class DataflowResult(Generic[T]):
+    """Per-block IN/OUT fact sets from a solved dataflow problem."""
+
+    block_in: dict[str, set[T]]
+    block_out: dict[str, set[T]]
+
+
+def solve_forward(cfg: CFG,
+                  transfer: Callable[[str, set[T]], set[T]],
+                  entry_fact: set[T] | None = None,
+                  meet_union: bool = True) -> DataflowResult[T]:
+    """Solve a forward dataflow problem.
+
+    Args:
+        cfg: the control-flow graph.
+        transfer: ``transfer(block_name, in_set) -> out_set``.
+        entry_fact: IN fact of the entry block (default empty).
+        meet_union: True for may-problems (union), False for must-problems
+            (intersection).
+    """
+    order = cfg.reverse_postorder()
+    block_in: dict[str, set[T]] = {name: set() for name in order}
+    block_out: dict[str, set[T]] = {name: set() for name in order}
+    block_in[cfg.entry] = set(entry_fact or set())
+
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            preds = [p for p in cfg.preds[name] if p in block_out]
+            if name != cfg.entry:
+                if preds:
+                    acc = set(block_out[preds[0]])
+                    for p in preds[1:]:
+                        if meet_union:
+                            acc |= block_out[p]
+                        else:
+                            acc &= block_out[p]
+                else:
+                    acc = set()
+                block_in[name] = acc
+            new_out = transfer(name, block_in[name])
+            if new_out != block_out[name]:
+                block_out[name] = new_out
+                changed = True
+    return DataflowResult(block_in, block_out)
+
+
+def solve_backward(cfg: CFG,
+                   transfer: Callable[[str, set[T]], set[T]],
+                   exit_fact: set[T] | None = None,
+                   meet_union: bool = True) -> DataflowResult[T]:
+    """Solve a backward dataflow problem (facts flow against edges).
+
+    ``transfer(block_name, out_set) -> in_set``.  Blocks with no successors
+    (returns) get ``exit_fact`` as OUT.
+    """
+    order = cfg.postorder()
+    block_in: dict[str, set[T]] = {name: set() for name in order}
+    block_out: dict[str, set[T]] = {name: set() for name in order}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            succs = [s for s in cfg.succs[name] if s in block_in]
+            if not cfg.succs[name]:
+                acc = set(exit_fact or set())
+            elif succs:
+                acc = set(block_in[succs[0]])
+                for s in succs[1:]:
+                    if meet_union:
+                        acc |= block_in[s]
+                    else:
+                        acc &= block_in[s]
+            else:
+                acc = set()
+            block_out[name] = acc
+            new_in = transfer(name, acc)
+            if new_in != block_in[name]:
+                block_in[name] = new_in
+                changed = True
+    return DataflowResult(block_in, block_out)

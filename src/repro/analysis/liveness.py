@@ -1,0 +1,79 @@
+"""Register liveness: per-block live-in/out and per-operation queries.
+
+Trace scheduling needs liveness at *edges*: an operation may only be
+speculated above an on-trace branch if its destination is **not live** on the
+off-trace edge (else it would clobber a value the other path still reads),
+unless the scheduler renames it first.  Register allocation uses the same
+facts for interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, VReg
+from .cfg import CFG
+from .dataflow import solve_backward
+
+
+@dataclass
+class Liveness:
+    """Solved liveness facts for one function."""
+
+    live_in: dict[str, set[VReg]]
+    live_out: dict[str, set[VReg]]
+    use: dict[str, set[VReg]]
+    defs: dict[str, set[VReg]]
+
+    def live_on_edge(self, src: str, dst: str) -> set[VReg]:
+        """Registers live along the CFG edge src -> dst.
+
+        With a union meet this is exactly the destination's live-in.
+        """
+        return self.live_in.get(dst, set())
+
+
+def block_use_def(func: Function) -> tuple[dict[str, set[VReg]],
+                                           dict[str, set[VReg]]]:
+    """Upward-exposed uses and defs for each block."""
+    use: dict[str, set[VReg]] = {}
+    defs: dict[str, set[VReg]] = {}
+    for name, block in func.blocks.items():
+        u: set[VReg] = set()
+        d: set[VReg] = set()
+        for op in block.ops:
+            for src in op.reg_srcs():
+                if src not in d:
+                    u.add(src)
+            for dst in op.defs():
+                d.add(dst)
+        use[name] = u
+        defs[name] = d
+    return use, defs
+
+
+def compute_liveness(func: Function, cfg: CFG | None = None) -> Liveness:
+    """Solve backward liveness over the function."""
+    if cfg is None:
+        cfg = CFG.build(func)
+    use, defs = block_use_def(func)
+
+    def transfer(name: str, out_set: set[VReg]) -> set[VReg]:
+        return use[name] | (out_set - defs[name])
+
+    result = solve_backward(cfg, transfer)
+    return Liveness(result.block_in, result.block_out, use, defs)
+
+
+def live_before_each_op(func: Function, block_name: str,
+                        liveness: Liveness) -> list[set[VReg]]:
+    """Registers live immediately *before* each op of a block, in order."""
+    block = func.block(block_name)
+    live = set(liveness.live_out[block_name])
+    before: list[set[VReg]] = [set()] * len(block.ops)
+    for i in range(len(block.ops) - 1, -1, -1):
+        op = block.ops[i]
+        live -= set(op.defs())
+        live |= set(op.reg_srcs())
+        before[i] = set(live)
+    return before

@@ -1,0 +1,196 @@
+"""Natural-loop detection and induction-variable analysis.
+
+The unroller, LICM, and the memory disambiguator all work in terms of
+loops and their *basic induction variables*: registers updated exactly once
+per iteration by ``i = i + c`` for a loop-invariant constant ``c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Function, Imm, Opcode, Operation, VReg
+from .cfg import CFG
+
+
+@dataclass
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: loop header block name (target of the back edges).
+        body: every block in the loop, including the header.
+        latches: blocks with a back edge to the header.
+        exits: (inside_block, outside_block) edges leaving the loop.
+        parent: enclosing loop, or None for top-level loops.
+    """
+
+    header: str
+    body: set[str]
+    latches: list[str]
+    exits: list[tuple[str, str]] = field(default_factory=list)
+    parent: "Loop | None" = None
+    children: list["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        d = 1
+        cursor = self.parent
+        while cursor is not None:
+            d += 1
+            cursor = cursor.parent
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<loop @{self.header} ({len(self.body)} blocks)>"
+
+
+@dataclass
+class BasicIV:
+    """A basic induction variable: ``reg = reg + step`` once per iteration."""
+
+    reg: VReg
+    step: int
+    update_op: Operation
+
+
+def find_loops(func: Function, cfg: CFG | None = None) -> list[Loop]:
+    """All natural loops, outermost-first, with nesting links.
+
+    Back edges sharing a header are merged into a single loop (standard
+    natural-loop construction).
+    """
+    if cfg is None:
+        cfg = CFG.build(func)
+    back = cfg.back_edges()
+
+    by_header: dict[str, Loop] = {}
+    for latch, header in back:
+        loop = by_header.get(header)
+        if loop is None:
+            loop = Loop(header, {header}, [])
+            by_header[header] = loop
+        loop.latches.append(latch)
+        # walk predecessors back from the latch until the header
+        stack = [latch]
+        while stack:
+            node = stack.pop()
+            if node in loop.body:
+                continue
+            loop.body.add(node)
+            stack.extend(cfg.preds[node])
+
+    loops = list(by_header.values())
+    for loop in loops:
+        for node in loop.body:
+            for succ in cfg.succs[node]:
+                if succ not in loop.body:
+                    loop.exits.append((node, succ))
+
+    # nesting: the parent is the smallest strictly-containing loop
+    for loop in loops:
+        candidates = [other for other in loops
+                      if other is not loop and loop.body < other.body]
+        if candidates:
+            loop.parent = min(candidates, key=lambda o: len(o.body))
+            loop.parent.children.append(loop)
+
+    loops.sort(key=lambda lp: (lp.depth, lp.header))
+    return loops
+
+
+def loop_invariant_regs(func: Function, loop: Loop) -> set[VReg]:
+    """Registers not defined anywhere inside the loop (hence invariant)."""
+    defined: set[VReg] = set()
+    for name in loop.body:
+        for op in func.block(name).ops:
+            defined.update(op.defs())
+    used: set[VReg] = set()
+    for name in loop.body:
+        for op in func.block(name).ops:
+            used.update(op.reg_srcs())
+    return (used | set(func.params)) - defined
+
+
+def find_basic_ivs(func: Function, loop: Loop) -> list[BasicIV]:
+    """Basic induction variables of a loop.
+
+    A register qualifies when it has exactly one definition inside the loop
+    and that definition is ``reg = reg + imm`` or ``reg = reg - imm``.
+    """
+    defs_in_loop: dict[VReg, list[Operation]] = {}
+    for name in loop.body:
+        for op in func.block(name).ops:
+            if op.dest is not None:
+                defs_in_loop.setdefault(op.dest, []).append(op)
+
+    ivs: list[BasicIV] = []
+    for reg, ops in defs_in_loop.items():
+        if len(ops) != 1:
+            continue
+        op = ops[0]
+        if op.opcode is Opcode.ADD:
+            a, b = op.srcs
+            if a == reg and isinstance(b, Imm):
+                ivs.append(BasicIV(reg, int(b.value), op))
+            elif b == reg and isinstance(a, Imm):
+                ivs.append(BasicIV(reg, int(a.value), op))
+        elif op.opcode is Opcode.SUB:
+            a, b = op.srcs
+            if a == reg and isinstance(b, Imm):
+                ivs.append(BasicIV(reg, -int(b.value), op))
+    return ivs
+
+
+@dataclass
+class TripCount:
+    """A compile-time-known trip structure: ``for (i = start; i < bound; i += step)``.
+
+    ``bound`` may be a register (runtime bound) or a constant; what matters
+    for unrolling is that the loop has a single conditional exit controlled
+    by a compare against the IV.
+    """
+
+    iv: BasicIV
+    compare_op: Operation
+    exit_block: str
+    known_trips: int | None = None
+
+
+def match_counted_loop(func: Function, loop: Loop,
+                       cfg: CFG | None = None) -> TripCount | None:
+    """Match the canonical counted-loop shape used by the unroller.
+
+    Requirements: single latch; the header ends in ``BR(cmp(iv, bound))``
+    where the false edge leaves the loop; ``iv`` is a basic IV of the loop.
+    Returns None when the loop doesn't match.
+    """
+    if len(loop.latches) != 1:
+        return None
+    header = func.block(loop.header)
+    term = header.terminator
+    if term is None or term.opcode is not Opcode.BR:
+        return None
+    then_name, else_name = (lbl.name for lbl in term.labels)
+    if then_name in loop.body and else_name not in loop.body:
+        exit_block = else_name
+    elif else_name in loop.body and then_name not in loop.body:
+        exit_block = then_name
+    else:
+        return None
+
+    pred = term.srcs[0]
+    if not isinstance(pred, VReg):
+        return None
+    compare = None
+    for op in header.body:
+        if op.dest == pred:
+            compare = op
+    if compare is None or compare.category.value != "int_cmp":
+        return None
+
+    ivs = {iv.reg: iv for iv in find_basic_ivs(func, loop)}
+    for src in compare.reg_srcs():
+        if src in ivs:
+            return TripCount(ivs[src], compare, exit_block)
+    return None

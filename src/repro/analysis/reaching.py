@@ -1,0 +1,76 @@
+"""Reaching definitions and def-use chains.
+
+Copy propagation, CSE and the induction-variable analysis consume these.
+A definition is identified by its operation uid (operations are unique
+objects, stable across passes that don't clone them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Operation, VReg
+from .cfg import CFG
+from .dataflow import solve_forward
+
+
+@dataclass
+class ReachingDefs:
+    """Solved reaching-definition facts.
+
+    ``reach_in[block]`` is the set of op uids whose definitions reach the
+    block entry; ``def_ops`` maps uid -> Operation; ``defs_of`` maps a
+    register to every op uid defining it anywhere in the function.
+    """
+
+    reach_in: dict[str, set[int]]
+    reach_out: dict[str, set[int]]
+    def_ops: dict[int, Operation]
+    defs_of: dict[VReg, set[int]]
+
+    def reaching_defs_of(self, block: str, reg: VReg) -> set[int]:
+        """Uids of defs of ``reg`` reaching the entry of ``block``."""
+        return {uid for uid in self.reach_in.get(block, set())
+                if self.def_ops[uid].dest == reg}
+
+
+def compute_reaching(func: Function, cfg: CFG | None = None) -> ReachingDefs:
+    if cfg is None:
+        cfg = CFG.build(func)
+
+    def_ops: dict[int, Operation] = {}
+    defs_of: dict[VReg, set[int]] = {}
+    for op in func.operations():
+        if op.dest is not None:
+            def_ops[op.uid] = op
+            defs_of.setdefault(op.dest, set()).add(op.uid)
+
+    gen: dict[str, set[int]] = {}
+    kill: dict[str, set[int]] = {}
+    for name, block in func.blocks.items():
+        g: set[int] = set()
+        k: set[int] = set()
+        for op in block.ops:
+            if op.dest is None:
+                continue
+            same_reg = defs_of[op.dest]
+            g -= same_reg
+            g.add(op.uid)
+            k |= same_reg - {op.uid}
+        gen[name] = g
+        kill[name] = k
+
+    def transfer(name: str, in_set: set[int]) -> set[int]:
+        return gen[name] | (in_set - kill[name])
+
+    result = solve_forward(cfg, transfer)
+    return ReachingDefs(result.block_in, result.block_out, def_ops, defs_of)
+
+
+def single_reaching_def(reaching: ReachingDefs, block: str,
+                        reg: VReg) -> Operation | None:
+    """The unique def of ``reg`` reaching ``block``'s entry, if exactly one."""
+    uids = reaching.reaching_defs_of(block, reg)
+    if len(uids) != 1:
+        return None
+    return reaching.def_ops[next(iter(uids))]

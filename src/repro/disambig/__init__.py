@@ -1,0 +1,15 @@
+"""The memory disambiguator (paper section 6.4.2 / 6.4.4)."""
+
+from .affine import AffineDiff, distinct_objects, subtract
+from .answer import Answer
+from .derivation import Derivation, DerivationReport, derive_memrefs
+from .diophantine import (always_zero_mod, can_be_zero, can_be_zero_mod,
+                          can_overlap)
+from .disambiguator import INTERLEAVE, DisambigStats, Disambiguator
+
+__all__ = [
+    "AffineDiff", "distinct_objects", "subtract", "Answer",
+    "Derivation", "DerivationReport", "derive_memrefs",
+    "always_zero_mod", "can_be_zero", "can_be_zero_mod", "can_overlap",
+    "INTERLEAVE", "DisambigStats", "Disambiguator",
+]

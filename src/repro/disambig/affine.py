@@ -1,0 +1,82 @@
+"""Affine address algebra over :class:`~repro.ir.MemRef` annotations.
+
+The disambiguator reasons about the *difference* of two symbolic addresses.
+``AffineDiff`` captures ``addr_a - addr_b`` as
+
+    base_delta? + sum(coeff_v * v) + const
+
+where ``base_delta`` is a known byte distance when both bases are known
+module-level objects (their layout is fixed at compile time, exactly as on
+the real TRACE where the compiler/linker lay out memory), zero when the
+bases are the *same* (possibly unknown!) object — the paper's *relative*
+disambiguation — and unknown otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import MemRef
+
+
+@dataclass(frozen=True)
+class AffineDiff:
+    """The symbolic difference of two references' addresses (in bytes).
+
+    Attributes:
+        known: False when the base distance is unknown (different bases,
+            at least one not a known module object); all queries must
+            answer MAYBE then.
+        coeffs: residual variable coefficients after subtraction.
+        const: constant byte difference (includes base distance if known).
+    """
+
+    known: bool
+    coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @property
+    def is_constant(self) -> bool:
+        return self.known and not self.coeffs
+
+
+def subtract(a: MemRef, b: MemRef,
+             layout: dict[str, int] | None = None) -> AffineDiff:
+    """Compute ``a - b`` as an :class:`AffineDiff`.
+
+    Args:
+        a, b: the two references.
+        layout: compile-time data layout (symbol -> byte address), used to
+            resolve the distance between two *different* known bases.
+    """
+    coeffs = a.coeff_dict()
+    for var, coeff in b.coeffs:
+        coeffs[var] = coeffs.get(var, 0) - coeff
+    coeffs = {v: c for v, c in coeffs.items() if c != 0}
+    const = a.const - b.const
+
+    if a.base is not None and a.base == b.base:
+        base_known = True              # same object: distance cancels
+    elif (a.base is not None and b.base is not None
+          and layout is not None
+          and a.base in layout and b.base in layout
+          and not a.base_unknown_mod and not b.base_unknown_mod):
+        base_known = True
+        const += layout[a.base] - layout[b.base]
+    else:
+        base_known = False
+
+    return AffineDiff(base_known, tuple(sorted(coeffs.items())), const)
+
+
+def distinct_objects(a: MemRef, b: MemRef) -> bool:
+    """True when the refs address provably different memory objects.
+
+    Two distinct named module-level objects can never overlap regardless of
+    index values (the language guarantees separate storage).  Unknown-modulo
+    bases (pointer arguments) do NOT qualify: two different pointer
+    parameters may well address the same array.
+    """
+    return (a.base is not None and b.base is not None
+            and a.base != b.base
+            and not a.base_unknown_mod and not b.base_unknown_mod)

@@ -1,0 +1,21 @@
+"""The three-valued answer the disambiguator gives the code generator.
+
+Paper, section 6.4.2: "the code generator, as it schedules memory
+references, [can] ask for any two references, 'can these conflict, modulo
+the number of memory banks'?  The answer can be 'no', 'yes', or 'maybe'."
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Answer(Enum):
+    """Disambiguator verdict for a pairwise memory-reference query."""
+
+    NO = "no"        # provably never conflict: schedule together freely
+    YES = "yes"      # provably always conflict: serialize
+    MAYBE = "maybe"  # unknown: serialize, or gamble on the bank-stall
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError("Answer is three-valued; compare explicitly")

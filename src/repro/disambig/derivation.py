@@ -1,0 +1,201 @@
+"""Derivation of symbolic memory references from IR address arithmetic.
+
+The front end annotates most references, but compiler-created or
+hand-written IR may carry bare address computations.  This module rebuilds
+:class:`~repro.ir.MemRef` annotations by walking the address expression tree
+— the paper's "derivation trees for array index expressions" — expressing
+each address as  ``base + sum(coeff * iv) + const``  over the enclosing
+loop's basic induction variables.
+
+Pointer-valued *parameters* become unknown-modulo bases (``&name``): two
+references through the same parameter can still be disambiguated relative
+to each other, which is exactly the paper's point about *relative*
+disambiguation succeeding "in subprograms where array base addresses cannot
+be known".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import find_basic_ivs, find_loops
+from ..ir import (ACCESS_SIZE, Function, Imm, MemRef, Opcode, Operation,
+                  Symbol, VReg)
+
+_MAX_DEPTH = 64
+
+
+@dataclass
+class _Affine:
+    """Derivation working form: bases + IV terms + constant."""
+
+    bases: dict[str, int] = field(default_factory=dict)   # name -> coeff
+    unknown_mod_bases: set[str] = field(default_factory=set)
+    coeffs: dict[str, int] = field(default_factory=dict)  # iv name -> coeff
+    const: int = 0
+    failed: bool = False
+
+    @staticmethod
+    def fail() -> "_Affine":
+        return _Affine(failed=True)
+
+    def scaled(self, k: int) -> "_Affine":
+        if self.failed:
+            return self
+        return _Affine({b: c * k for b, c in self.bases.items()},
+                       set(self.unknown_mod_bases),
+                       {v: c * k for v, c in self.coeffs.items()},
+                       self.const * k)
+
+    def plus(self, other: "_Affine", sign: int = 1) -> "_Affine":
+        if self.failed or other.failed:
+            return _Affine.fail()
+        out = _Affine(dict(self.bases), set(self.unknown_mod_bases),
+                      dict(self.coeffs), self.const)
+        for b, c in other.bases.items():
+            out.bases[b] = out.bases.get(b, 0) + sign * c
+        out.unknown_mod_bases |= other.unknown_mod_bases
+        for v, c in other.coeffs.items():
+            out.coeffs[v] = out.coeffs.get(v, 0) + sign * c
+        out.const += sign * other.const
+        out.bases = {b: c for b, c in out.bases.items() if c != 0}
+        out.coeffs = {v: c for v, c in out.coeffs.items() if c != 0}
+        return out
+
+
+@dataclass
+class DerivationReport:
+    """How many references were annotated / failed per function."""
+
+    derived: int = 0
+    already_annotated: int = 0
+    failed: int = 0
+
+
+class Derivation:
+    """Rebuilds MemRef annotations for one function."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self._single_defs: dict[VReg, Operation] = {}
+        self._iv_regs: set[VReg] = set()
+        self._collect()
+
+    def _collect(self) -> None:
+        counts: dict[VReg, int] = {}
+        for op in self.func.operations():
+            if op.dest is not None:
+                counts[op.dest] = counts.get(op.dest, 0) + 1
+                self._single_defs[op.dest] = op
+        for reg, n in counts.items():
+            if n != 1:
+                self._single_defs.pop(reg, None)
+        for loop in find_loops(self.func):
+            for iv in find_basic_ivs(self.func, loop):
+                self._iv_regs.add(iv.reg)
+
+    # ------------------------------------------------------------------
+    def expand_operand(self, operand, depth: int = 0) -> _Affine:
+        """Symbolically expand one operand into an affine form."""
+        if depth > _MAX_DEPTH:
+            return _Affine.fail()
+        if isinstance(operand, Imm):
+            if isinstance(operand.value, float):
+                return _Affine.fail()
+            return _Affine(const=int(operand.value))
+        if isinstance(operand, Symbol):
+            return _Affine(bases={operand.name: 1})
+        if isinstance(operand, VReg):
+            if operand in self._iv_regs:
+                return _Affine(coeffs={operand.name: 1})
+            if operand in self.func.params:
+                # a pointer argument: unknown base, but stable identity
+                name = f"&{operand.name}"
+                return _Affine(bases={name: 1}, unknown_mod_bases={name})
+            op = self._single_defs.get(operand)
+            if op is None:
+                return _Affine.fail()
+            return self.expand_op(op, depth + 1)
+        return _Affine.fail()
+
+    def expand_op(self, op: Operation, depth: int) -> _Affine:
+        opc = op.opcode
+        if opc is Opcode.MOV:
+            return self.expand_operand(op.srcs[0], depth)
+        if opc is Opcode.ADD:
+            return self.expand_operand(op.srcs[0], depth).plus(
+                self.expand_operand(op.srcs[1], depth))
+        if opc is Opcode.SUB:
+            return self.expand_operand(op.srcs[0], depth).plus(
+                self.expand_operand(op.srcs[1], depth), sign=-1)
+        if opc is Opcode.SHL and isinstance(op.srcs[1], Imm):
+            shift = int(op.srcs[1].value) & 31
+            return self.expand_operand(op.srcs[0], depth).scaled(1 << shift)
+        if opc is Opcode.MUL:
+            a, b = op.srcs
+            if isinstance(b, Imm) and not isinstance(b.value, float):
+                return self.expand_operand(a, depth).scaled(int(b.value))
+            if isinstance(a, Imm) and not isinstance(a.value, float):
+                return self.expand_operand(b, depth).scaled(int(a.value))
+        if opc is Opcode.NEG:
+            return self.expand_operand(op.srcs[0], depth).scaled(-1)
+        return _Affine.fail()
+
+    # ------------------------------------------------------------------
+    def memref_for(self, op: Operation) -> MemRef | None:
+        """Derive the MemRef of one load/store, or None on failure.
+
+        Exactly one *symbol* base (coefficient 1) becomes the MemRef base;
+        failing that, a single pointer-parameter term with coefficient 1
+        becomes an unknown-modulo base.  Any remaining parameter terms fold
+        into the variable coefficients — a parameter is a fixed-per-call
+        integer, so it behaves like an opaque index variable and still
+        cancels in relative queries.
+        """
+        size = ACCESS_SIZE[op.opcode]
+        base_operand, offset_operand = (op.srcs[1], op.srcs[2]) \
+            if op.is_store else (op.srcs[0], op.srcs[1])
+        affine = self.expand_operand(base_operand).plus(
+            self.expand_operand(offset_operand))
+        if affine.failed:
+            return None
+
+        symbols = {b: c for b, c in affine.bases.items()
+                   if b not in affine.unknown_mod_bases}
+        params = {b: c for b, c in affine.bases.items()
+                  if b in affine.unknown_mod_bases}
+        coeffs = dict(affine.coeffs)
+        unknown_mod = False
+
+        if len(symbols) == 1 and next(iter(symbols.values())) == 1:
+            (base, _), = symbols.items()
+            for name, coeff in params.items():
+                coeffs[name] = coeffs.get(name, 0) + coeff
+        elif not symbols and len(params) == 1 \
+                and next(iter(params.values())) == 1:
+            (base, _), = params.items()
+            unknown_mod = True
+        else:
+            return None
+        return MemRef.make(base, coeffs, affine.const, size,
+                           base_unknown_mod=unknown_mod)
+
+
+def derive_memrefs(func: Function,
+                   overwrite: bool = False) -> DerivationReport:
+    """Annotate every memory operation in ``func`` that lacks a MemRef."""
+    derivation = Derivation(func)
+    report = DerivationReport()
+    for op in func.operations():
+        if not op.is_memory:
+            continue
+        if op.memref is not None and not overwrite:
+            report.already_annotated += 1
+            continue
+        ref = derivation.memref_for(op)
+        if ref is None:
+            report.failed += 1
+        else:
+            op.memref = ref
+            report.derived += 1
+    return report

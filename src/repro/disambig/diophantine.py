@@ -1,0 +1,84 @@
+"""Diophantine solvability tests on affine address differences.
+
+Paper, section 6.4.2: "The disambiguator builds derivation trees for array
+index expressions and attempts to solve the diophantine equations in terms
+of the loop induction variables."
+
+Two tests are provided:
+
+* :func:`can_be_zero` — can ``diff == 0`` for *some* integer assignment of
+  the residual variables?  (GCD test.)
+* :func:`can_be_zero_mod` — can ``diff ≡ 0 (mod M)``?  This is the
+  *relative modulo-N* question the TRACE bank scheduler asks.
+
+Both are conservative in the right direction: a "no" is a proof, a "yes"
+only says a solution exists over unconstrained integers (runtime values
+might still avoid it), so callers map "solvable" to MAYBE unless the
+difference is fully constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .affine import AffineDiff
+
+
+def can_be_zero(diff: AffineDiff) -> bool:
+    """Can the difference be exactly zero for some integer var values?"""
+    if not diff.known:
+        return True
+    if not diff.coeffs:
+        return diff.const == 0
+    g = 0
+    for _, coeff in diff.coeffs:
+        g = math.gcd(g, abs(coeff))
+    return diff.const % g == 0
+
+
+def can_overlap(diff: AffineDiff, size_a: int, size_b: int) -> bool:
+    """Can the byte ranges [a, a+size_a) and [b, b+size_b) intersect?
+
+    With ``diff = a - b``, overlap means ``-size_a < diff < size_b``; with
+    residual variables we test solvability of each value in that window.
+    """
+    if not diff.known:
+        return True
+    if not diff.coeffs:
+        return -size_a < diff.const < size_b
+    g = 0
+    for _, coeff in diff.coeffs:
+        g = math.gcd(g, abs(coeff))
+    # diff can take any value ≡ const (mod g); overlap iff some value in
+    # the open window shares that residue
+    return any((delta - diff.const) % g == 0
+               for delta in range(-size_a + 1, size_b))
+
+
+def can_be_zero_mod(diff: AffineDiff, modulus: int) -> bool:
+    """Can ``diff ≡ 0 (mod modulus)`` for some integer var values?
+
+    Linear congruence ``sum(c_i * x_i) ≡ -const (mod M)`` is solvable iff
+    ``gcd(c_1, ..., c_k, M)`` divides ``const``.
+    """
+    if modulus <= 1:
+        return True
+    if not diff.known:
+        return True
+    g = modulus
+    for _, coeff in diff.coeffs:
+        g = math.gcd(g, abs(coeff))
+    return diff.const % g == 0
+
+
+def always_zero_mod(diff: AffineDiff, modulus: int) -> bool:
+    """Is ``diff ≡ 0 (mod modulus)`` for *every* var assignment?
+
+    True iff every coefficient and the constant are multiples of M.
+    """
+    if modulus <= 1:
+        return True
+    if not diff.known:
+        return False
+    return (diff.const % modulus == 0
+            and all(coeff % modulus == 0 for _, coeff in diff.coeffs))

@@ -1,0 +1,150 @@
+"""The memory disambiguator: pairwise alias and bank-conflict queries.
+
+This is the compiler module the paper singles out (section 6.4.2): it
+"passes judgment on the feasibility of simultaneous memory references",
+answering *no / yes / maybe* for
+
+* :meth:`Disambiguator.alias` — can two references touch the same bytes?
+  (orders loads against stores in the dependence graph), and
+* :meth:`Disambiguator.bank_equal` / :meth:`controller_equal` — can two
+  references land on the same RAM bank / memory controller, modulo the
+  interleave?  (gates same-beat issue in the scheduler).
+
+The *relative* form (section 6.4.4) needs only "is expr1 ever equal expr2
+modulo N", never absolute addresses, so it succeeds for argument arrays
+whose base addresses are unknown — those carry ``base_unknown_mod`` and
+still disambiguate against references with the same base.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..ir import MemoryImage, MemRef, Module, Operation
+from .affine import AffineDiff, distinct_objects, subtract
+from .answer import Answer
+from .diophantine import (always_zero_mod, can_be_zero_mod, can_overlap)
+
+#: Byte width of one interleave unit (the TRACE's banks serve 64-bit words).
+INTERLEAVE = 8
+
+
+@dataclass
+class DisambigStats:
+    """Query counters, per question kind and answer (experiment E5)."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, kind: str, answer: Answer) -> Answer:
+        self.counts[(kind, answer.value)] += 1
+        return answer
+
+    def rate(self, kind: str, answer: Answer) -> float:
+        total = sum(c for (k, _), c in self.counts.items() if k == kind)
+        if total == 0:
+            return 0.0
+        return self.counts[(kind, answer.value)] / total
+
+
+class Disambiguator:
+    """Answers pairwise memory-reference questions for one module.
+
+    Args:
+        module: provides the compile-time data layout (symbol addresses are
+            fixed by the loader deterministically, so the compiler may use
+            them — as on the real machine).
+        interleave: bytes per bank word.
+    """
+
+    def __init__(self, module: Module | None = None,
+                 interleave: int = INTERLEAVE,
+                 fortran_args: bool = False) -> None:
+        self.layout = MemoryImage(module).layout if module is not None else {}
+        self.interleave = interleave
+        #: FORTRAN argument semantics: two *different* pointer arguments
+        #: may be assumed not to alias (the language forbids it).  Their
+        #: bank residues are still unknown — exactly the situation the
+        #: paper's bank-stall gamble was built for.
+        self.fortran_args = fortran_args
+        self.stats = DisambigStats()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ref(item) -> MemRef | None:
+        if isinstance(item, Operation):
+            return item.memref
+        return item
+
+    def _diff(self, a: MemRef, b: MemRef) -> AffineDiff:
+        return subtract(a, b, self.layout)
+
+    # ------------------------------------------------------------------
+    def alias(self, a, b) -> Answer:
+        """Can the two references access overlapping bytes?"""
+        ref_a, ref_b = self._ref(a), self._ref(b)
+        if ref_a is None or ref_b is None:
+            return self.stats.record("alias", Answer.MAYBE)
+        if distinct_objects(ref_a, ref_b):
+            return self.stats.record("alias", Answer.NO)
+        if (self.fortran_args
+                and ref_a.base is not None and ref_b.base is not None
+                and ref_a.base != ref_b.base
+                and (ref_a.base_unknown_mod or ref_b.base_unknown_mod)):
+            return self.stats.record("alias", Answer.NO)
+        diff = self._diff(ref_a, ref_b)
+        if not diff.known:
+            return self.stats.record("alias", Answer.MAYBE)
+        if diff.is_constant:
+            overlap = -ref_a.size < diff.const < ref_b.size
+            return self.stats.record(
+                "alias", Answer.YES if overlap else Answer.NO)
+        if not can_overlap(diff, ref_a.size, ref_b.size):
+            return self.stats.record("alias", Answer.NO)
+        return self.stats.record("alias", Answer.MAYBE)
+
+    # ------------------------------------------------------------------
+    def _group_equal(self, a, b, modulus: int, kind: str) -> Answer:
+        """Shared math for bank/controller queries.
+
+        Bank-word index is ``addr // interleave``; two refs share a group of
+        ``modulus`` interleaved units iff their word indices are congruent.
+        When the byte difference is provably a multiple of the interleave,
+        the word-index difference is exactly ``diff / interleave`` whatever
+        the (common, unknown) base — the relative-disambiguation trick.
+        """
+        ref_a, ref_b = self._ref(a), self._ref(b)
+        if ref_a is None or ref_b is None:
+            return self.stats.record(kind, Answer.MAYBE)
+        diff = self._diff(ref_a, ref_b)
+        if not diff.known:
+            return self.stats.record(kind, Answer.MAYBE)
+
+        unit = self.interleave
+        aligned = (diff.const % unit == 0
+                   and all(c % unit == 0 for _, c in diff.coeffs))
+        if aligned:
+            if always_zero_mod(diff, unit * modulus):
+                return self.stats.record(kind, Answer.YES)
+            if not can_be_zero_mod(diff, unit * modulus):
+                return self.stats.record(kind, Answer.NO)
+            return self.stats.record(kind, Answer.MAYBE)
+
+        if diff.is_constant:
+            # word-index difference is floor(d/u) or floor(d/u)+1 depending
+            # on the base's alignment within the word
+            k = diff.const // unit
+            hits = [(k % modulus) == 0, ((k + 1) % modulus) == 0]
+            if all(hits):
+                return self.stats.record(kind, Answer.YES)
+            if not any(hits):
+                return self.stats.record(kind, Answer.NO)
+        return self.stats.record(kind, Answer.MAYBE)
+
+    def bank_equal(self, a, b, total_banks: int) -> Answer:
+        """Can the refs hit the same RAM bank (``total_banks`` interleaved)?"""
+        return self._group_equal(a, b, total_banks, "bank")
+
+    def controller_equal(self, a, b, n_controllers: int) -> Answer:
+        """Can the refs hit the same memory controller?"""
+        return self._group_equal(a, b, n_controllers, "controller")

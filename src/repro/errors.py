@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the compiler, machine model, and simulators derive from
+:class:`ReproError` so callers can catch the package's failures uniformly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: verification failures, bad operand classes, etc."""
+
+
+class ParseError(ReproError):
+    """Raised by the textual IR parser and the tiny-language front end."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class InterpError(ReproError):
+    """Runtime error inside the reference interpreter (e.g. bad address)."""
+
+
+class TrapError(InterpError):
+    """A machine trap surfaced as a Python exception.
+
+    The TRACE takes traps for TLB misses, bus errors, and (outside fast
+    mode) floating-point exceptions.  The reference interpreter raises this
+    to mirror a program-terminating trap ("Bus Error" in the paper).
+    """
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        self.kind = kind
+        super().__init__(f"trap: {kind}" + (f" ({detail})" if detail else ""))
+
+
+class ScheduleError(ReproError):
+    """The trace scheduler could not produce a legal schedule."""
+
+
+class RegAllocError(ReproError):
+    """Register allocation failed (ran out of physical registers/spills)."""
+
+
+class EncodingError(ReproError):
+    """Instruction-word encoding or mask-word packing failure."""
+
+
+class MachineError(ReproError):
+    """Illegal machine configuration or resource description."""
+
+
+class SimError(ReproError):
+    """The cycle-level simulator detected an inconsistency.
+
+    On the real TRACE the compiler has *sole* responsibility for resource
+    usage; an oversubscribed bus or register port is a compiler bug, and the
+    simulator flags it as such instead of silently arbitrating.
+    """

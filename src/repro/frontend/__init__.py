@@ -1,0 +1,8 @@
+"""TinyFlow front end: a small C-like language lowered onto the IR."""
+
+from .lexer import Token, tokenize
+from .lower import Lowerer, compile_source
+from .parser import Parser, parse_source
+
+__all__ = ["Token", "tokenize", "Lowerer", "compile_source", "Parser",
+           "parse_source"]

@@ -1,0 +1,140 @@
+"""AST node definitions for TinyFlow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass
+class Program:
+    arrays: list["ArrayDecl"]
+    functions: list["FuncDecl"]
+
+
+@dataclass
+class ArrayDecl:
+    name: str
+    elem_type: str                  # "int" | "float"
+    size: int
+    init: Optional[list] = None
+    line: int = 0
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    ret_type: str                   # "int" | "float" | "void"
+    params: list[tuple[str, str]]   # (type, name)
+    body: list["Stmt"]
+    line: int = 0
+
+
+# --- statements -------------------------------------------------------------
+
+
+@dataclass
+class VarDecl:
+    var_type: str
+    name: str
+    init: Optional["Expr"]
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Union["Name", "Index"]
+    value: "Expr"
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: "Expr"
+    then_body: list["Stmt"]
+    else_body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: "Expr"
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: Optional["Stmt"]
+    cond: Optional["Expr"]
+    step: Optional["Stmt"]
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional["Expr"]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: "Expr"
+    line: int = 0
+
+
+Stmt = Union[VarDecl, Assign, If, While, For, Return, ExprStmt]
+
+
+# --- expressions -------------------------------------------------------------
+
+
+@dataclass
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLit:
+    value: float
+    line: int = 0
+
+
+@dataclass
+class Name:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    array: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str                          # "-" | "!"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call:
+    callee: str
+    args: list["Expr"]
+    line: int = 0
+
+
+Expr = Union[IntLit, FloatLit, Name, Index, Unary, Binary, Call]

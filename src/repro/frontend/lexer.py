@@ -1,0 +1,57 @@
+"""Lexer for TinyFlow, the C-like source language of this reproduction.
+
+The Multiflow compilers took FORTRAN and C; our front end accepts a small
+C subset sufficient for the paper's workload shapes (array loops, branchy
+scalar code, procedure calls).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = {"int", "float", "void", "array", "if", "else", "while", "for",
+            "return"}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>\d+\.\d*([eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%<>=!&|^(){}\[\];,])
+""", re.VERBOSE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str            # "int" | "float" | "name" | "kw" | "op" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.text!r} @{self.line}>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize TinyFlow source; raises ParseError on junk."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line)
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+        elif kind == "name" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line))
+        else:
+            tokens.append(Token(kind, text, line))
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

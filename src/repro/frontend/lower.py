@@ -1,0 +1,363 @@
+"""Lowering: TinyFlow AST -> IR module.
+
+Type rules are C-flavoured: ``int`` (32-bit) and ``float`` (64-bit double);
+mixed arithmetic promotes to float; assignment coerces (float -> int
+truncates); comparisons yield predicates, which become 0/1 ints in value
+contexts.  ``&&`` and ``||`` are *eager* (branch-bank AND/OR — the paper's
+machine evaluates IF chains without branching wherever possible), so
+operand expressions must be side-effect free; the lowering rejects calls
+inside them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import ParseError
+from ..ir import (IRBuilder, Imm, Module, Opcode, RegClass, VReg,
+                  verify_module)
+from . import ast
+from .parser import parse_source
+
+_CMP_OPS = {"<", "<=", ">", ">=", "==", "!="}
+_INT_CMP = {"<": Opcode.CMPLT, "<=": Opcode.CMPLE, ">": Opcode.CMPGT,
+            ">=": Opcode.CMPGE, "==": Opcode.CMPEQ, "!=": Opcode.CMPNE}
+_FLT_CMP = {"<": Opcode.FCMPLT, "<=": Opcode.FCMPLE, ">": Opcode.FCMPGT,
+            ">=": Opcode.FCMPGE, "==": Opcode.FCMPEQ, "!=": Opcode.FCMPNE}
+_INT_BIN = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL,
+            "/": Opcode.DIV, "%": Opcode.REM, "&": Opcode.AND,
+            "|": Opcode.OR, "^": Opcode.XOR, "<<": Opcode.SHL,
+            ">>": Opcode.SHR}
+_FLT_BIN = {"+": Opcode.FADD, "-": Opcode.FSUB, "*": Opcode.FMUL,
+            "/": Opcode.FDIV}
+
+
+class Lowerer:
+    """Lowers one parsed program into a fresh IR module."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.module = Module("tinyflow")
+        self.builder = IRBuilder(self.module)
+        self.arrays: dict[str, ast.ArrayDecl] = {}
+        self.signatures: dict[str, ast.FuncDecl] = {}
+        self._labels = itertools.count()
+
+    # ------------------------------------------------------------------
+    def lower(self) -> Module:
+        for decl in self.program.arrays:
+            if decl.name in self.arrays:
+                raise ParseError(f"duplicate array {decl.name!r}", decl.line)
+            self.arrays[decl.name] = decl
+            elem = 4 if decl.elem_type == "int" else 8
+            init = decl.init
+            if init is not None and decl.elem_type == "float":
+                init = [float(v) for v in init]
+            self.module.add_array(decl.name, decl.size, elem, init)
+        for func in self.program.functions:
+            self.signatures[func.name] = func
+        for func in self.program.functions:
+            self._lower_function(func)
+        verify_module(self.module)
+        return self.module
+
+    def _fresh(self, hint: str) -> str:
+        return f"{hint}{next(self._labels)}"
+
+    # ------------------------------------------------------------------
+    def _lower_function(self, func: ast.FuncDecl) -> None:
+        b = self.builder
+        params = [(name, RegClass.INT if ptype == "int" else RegClass.FLT)
+                  for ptype, name in func.params]
+        ret_class = {"int": RegClass.INT, "float": RegClass.FLT,
+                     "void": None}[func.ret_type]
+        b.function(func.name, params, ret_class=ret_class)
+        b.block("entry")
+        self.vars: dict[str, tuple[VReg, str]] = {
+            name: (b.param(name), ptype) for ptype, name in func.params}
+        self.ret_type = func.ret_type
+
+        self._lower_body(func.body)
+        if not b.cur.is_terminated:
+            if func.ret_type == "void":
+                b.ret()
+            elif func.ret_type == "int":
+                b.ret(0)
+            else:
+                b.ret(0.0)
+
+    def _lower_body(self, stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if self.builder.cur.is_terminated:
+                # code after return: emit into an unreachable block so the
+                # verifier still sees structurally valid IR
+                self.builder.block(self._fresh("dead"))
+            self._lower_stmt(stmt)
+
+    # ------------------------------------------------------------------
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in self.vars or stmt.name in self.arrays:
+                raise ParseError(f"redeclaration of {stmt.name!r}", stmt.line)
+            cls = RegClass.INT if stmt.var_type == "int" else RegClass.FLT
+            reg = VReg(f"v.{stmt.name}", cls)
+            self.vars[stmt.name] = (reg, stmt.var_type)
+            value = (self._value(stmt.init, stmt.var_type)
+                     if stmt.init is not None
+                     else (Imm(0) if stmt.var_type == "int"
+                           else Imm(0.0, RegClass.FLT)))
+            mov = Opcode.MOV if stmt.var_type == "int" else Opcode.FMOV
+            b.emit(mov, [value], dest=reg)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.Return):
+            if self.ret_type == "void":
+                if stmt.value is not None:
+                    raise ParseError("void function returns a value",
+                                     stmt.line)
+                b.ret()
+            else:
+                if stmt.value is None:
+                    raise ParseError("missing return value", stmt.line)
+                b.ret(self._value(stmt.value, self.ret_type))
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        else:  # pragma: no cover - parser produces only the above
+            raise ParseError(f"cannot lower {stmt!r}")
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        b = self.builder
+        if isinstance(stmt.target, ast.Name):
+            if stmt.target.name not in self.vars:
+                raise ParseError(f"assignment to undeclared "
+                                 f"{stmt.target.name!r}", stmt.line)
+            reg, var_type = self.vars[stmt.target.name]
+            value = self._value(stmt.value, var_type)
+            mov = Opcode.MOV if var_type == "int" else Opcode.FMOV
+            b.emit(mov, [value], dest=reg)
+            return
+        decl = self.arrays.get(stmt.target.array)
+        if decl is None:
+            raise ParseError(f"unknown array {stmt.target.array!r}",
+                             stmt.line)
+        addr = self._element_address(decl, stmt.target.index)
+        value = self._value(stmt.value, decl.elem_type)
+        if decl.elem_type == "int":
+            b.store(value, addr, 0)
+        else:
+            b.fstore(value, addr, 0)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        then_name = self._fresh("then")
+        else_name = self._fresh("else")
+        join_name = self._fresh("join")
+        b.br(self._pred(stmt.cond), then_name, else_name)
+        b.block(then_name)
+        self._lower_body(stmt.then_body)
+        if not b.cur.is_terminated:
+            b.jmp(join_name)
+        b.block(else_name)
+        self._lower_body(stmt.else_body)
+        if not b.cur.is_terminated:
+            b.jmp(join_name)
+        b.block(join_name)
+        if not self._reachable(join_name):
+            # both arms returned; keep the block valid for the verifier
+            if self.ret_type == "void":
+                b.ret()
+            elif self.ret_type == "int":
+                b.ret(0)
+            else:
+                b.ret(0.0)
+
+    def _reachable(self, name: str) -> bool:
+        func = self.builder.func
+        return any(name in blk.successors()
+                   for blk in func.blocks.values() if blk.is_terminated)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        b = self.builder
+        head = self._fresh("head")
+        body = self._fresh("body")
+        done = self._fresh("done")
+        b.jmp(head)
+        b.block(head)
+        b.br(self._pred(stmt.cond), body, done)
+        b.block(body)
+        self._lower_body(stmt.body)
+        if not b.cur.is_terminated:
+            b.jmp(head)
+        b.block(done)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        b = self.builder
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head = self._fresh("head")
+        body = self._fresh("body")
+        done = self._fresh("done")
+        b.jmp(head)
+        b.block(head)
+        pred = self._pred(stmt.cond) if stmt.cond is not None \
+            else Imm(1, RegClass.PRED)
+        b.br(pred, body, done)
+        b.block(body)
+        self._lower_body(stmt.body)
+        if not b.cur.is_terminated:
+            if stmt.step is not None:
+                self._lower_stmt(stmt.step)
+            b.jmp(head)
+        b.block(done)
+
+    # ------------------------------------------------------------------
+    def _element_address(self, decl: ast.ArrayDecl, index: ast.Expr):
+        b = self.builder
+        idx, idx_type = self._expr(index)
+        if idx_type != "int":
+            raise ParseError(f"array index must be int", decl.line)
+        shift = 2 if decl.elem_type == "int" else 3
+        return b.add(b.addr(decl.name), b.shl(idx, shift))
+
+    def _value(self, expr: ast.Expr, want: str):
+        """Lower an expression and coerce it to the wanted type."""
+        operand, have = self._expr(expr)
+        return self._coerce(operand, have, want)
+
+    def _coerce(self, operand, have: str, want: str):
+        b = self.builder
+        if have == want:
+            return operand
+        if have == "pred" and want == "int":
+            return b.emit(Opcode.PTOI, [operand]).dest
+        if have == "pred" and want == "float":
+            return b.cvtif(b.emit(Opcode.PTOI, [operand]).dest)
+        if have == "int" and want == "float":
+            if isinstance(operand, Imm):
+                return Imm(float(operand.value), RegClass.FLT)
+            return b.cvtif(operand)
+        if have == "float" and want == "int":
+            return b.cvtfi(operand)
+        raise ParseError(f"cannot convert {have} to {want}")
+
+    def _pred(self, expr: ast.Expr):
+        operand, have = self._expr(expr)
+        if have == "pred":
+            return operand
+        if have == "int":
+            return self.builder.emit(Opcode.ITOP, [operand]).dest
+        raise ParseError("condition must be int or comparison")
+
+    # ------------------------------------------------------------------
+    def _expr(self, expr: ast.Expr):
+        """Lower an expression; returns (operand, type-string)."""
+        b = self.builder
+        if isinstance(expr, ast.IntLit):
+            return Imm(expr.value), "int"
+        if isinstance(expr, ast.FloatLit):
+            return Imm(expr.value, RegClass.FLT), "float"
+        if isinstance(expr, ast.Name):
+            if expr.name not in self.vars:
+                raise ParseError(f"unknown variable {expr.name!r}", expr.line)
+            reg, var_type = self.vars[expr.name]
+            return reg, var_type
+        if isinstance(expr, ast.Index):
+            decl = self.arrays.get(expr.array)
+            if decl is None:
+                raise ParseError(f"unknown array {expr.array!r}", expr.line)
+            addr = self._element_address(decl, expr.index)
+            if decl.elem_type == "int":
+                return b.load(addr, 0), "int"
+            return b.fload(addr, 0), "float"
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        raise ParseError(f"cannot lower expression {expr!r}")
+
+    def _unary(self, expr: ast.Unary):
+        b = self.builder
+        operand, have = self._expr(expr.operand)
+        if expr.op == "-":
+            if have == "float":
+                return b.fneg(operand), "float"
+            operand = self._coerce(operand, have, "int")
+            return b.neg(operand), "int"
+        # "!": logical not
+        if have == "pred":
+            return b.emit(Opcode.PNOT, [operand]).dest, "pred"
+        operand = self._coerce(operand, have, "int")
+        return b.cmpeq(operand, 0), "pred"
+
+    def _binary(self, expr: ast.Binary):
+        b = self.builder
+        if expr.op in ("&&", "||"):
+            self._reject_calls(expr)
+            left = self._pred(expr.left)
+            right = self._pred(expr.right)
+            opcode = Opcode.PAND if expr.op == "&&" else Opcode.POR
+            return b.emit(opcode, [left, right]).dest, "pred"
+
+        left, left_type = self._expr(expr.left)
+        right, right_type = self._expr(expr.right)
+        if expr.op in _CMP_OPS:
+            if left_type == "float" or right_type == "float":
+                left = self._coerce(left, left_type, "float")
+                right = self._coerce(right, right_type, "float")
+                return b.emit(_FLT_CMP[expr.op], [left, right]).dest, "pred"
+            left = self._coerce(left, left_type, "int")
+            right = self._coerce(right, right_type, "int")
+            return b.emit(_INT_CMP[expr.op], [left, right]).dest, "pred"
+
+        if left_type == "float" or right_type == "float":
+            if expr.op not in _FLT_BIN:
+                raise ParseError(f"operator {expr.op!r} needs int operands",
+                                 expr.line)
+            left = self._coerce(left, left_type, "float")
+            right = self._coerce(right, right_type, "float")
+            return b.emit(_FLT_BIN[expr.op], [left, right]).dest, "float"
+        left = self._coerce(left, left_type, "int")
+        right = self._coerce(right, right_type, "int")
+        return b.emit(_INT_BIN[expr.op], [left, right]).dest, "int"
+
+    def _reject_calls(self, expr: ast.Expr) -> None:
+        """Eager && / || must not hide side effects."""
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Call):
+                raise ParseError(
+                    "calls are not allowed inside && / || (they are "
+                    "evaluated eagerly on this machine)", node.line)
+            for child in getattr(node, "__dict__", {}).values():
+                if isinstance(child, (ast.Binary, ast.Unary, ast.Index,
+                                      ast.Call)):
+                    stack.append(child)
+
+    def _call(self, expr: ast.Call):
+        sig = self.signatures.get(expr.callee)
+        if sig is None:
+            raise ParseError(f"unknown function {expr.callee!r}", expr.line)
+        if len(expr.args) != len(sig.params):
+            raise ParseError(
+                f"{expr.callee} takes {len(sig.params)} args", expr.line)
+        args = [self._value(arg, ptype)
+                for arg, (ptype, _) in zip(expr.args, sig.params)]
+        result = self.builder.call(expr.callee, args)
+        if sig.ret_type == "void":
+            return Imm(0), "int"
+        return result, sig.ret_type
+
+
+def compile_source(source: str) -> Module:
+    """Parse and lower TinyFlow source to an IR module."""
+    return Lowerer(parse_source(source)).lower()

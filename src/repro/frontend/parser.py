@@ -1,0 +1,264 @@
+"""Recursive-descent parser for TinyFlow.
+
+Grammar (precedence from loosest to tightest)::
+
+    program   := (array_decl | func_decl)*
+    array_decl:= "array" type NAME "[" INT "]" ("=" "{" literal,* "}")? ";"
+    func_decl := type NAME "(" params? ")" block
+    block     := "{" stmt* "}"
+    stmt      := type NAME ("=" expr)? ";"            (declaration)
+               | lvalue "=" expr ";"                  (assignment)
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "for" "(" simple? ";" expr? ";" simple? ")" block
+               | "return" expr? ";"
+               | expr ";"
+    expr      := or ;  or := and ("||" and)* ;  and := cmp ("&&" cmp)*
+    cmp       := bitor (("<"|"<="|">"|">="|"=="|"!=") bitor)?
+    bitor     := bitxor ("|" bitxor)* ;  bitxor := bitand ("^" bitand)*
+    bitand    := shift ("&" shift)* ;  shift := add (("<<"|">>") add)*
+    add       := mul (("+"|"-") mul)* ;  mul := unary (("*"|"/"|"%") unary)*
+    unary     := ("-"|"!") unary | primary
+    primary   := INT | FLOAT | NAME ("(" args ")" | "[" expr "]")? | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast
+from .lexer import Token, tokenize
+
+_TYPES = {"int", "float", "void"}
+
+
+class Parser:
+    """One-pass recursive-descent parser."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.cur
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        return self.cur.kind == kind and (text is None or self.cur.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.text!r}", self.cur.line)
+        return self.advance()
+
+    # -- program ------------------------------------------------------------
+    def parse(self) -> ast.Program:
+        arrays: list[ast.ArrayDecl] = []
+        functions: list[ast.FuncDecl] = []
+        while not self.check("eof"):
+            if self.check("kw", "array"):
+                arrays.append(self.array_decl())
+            else:
+                functions.append(self.func_decl())
+        return ast.Program(arrays, functions)
+
+    def array_decl(self) -> ast.ArrayDecl:
+        line = self.expect("kw", "array").line
+        elem_type = self.expect("kw").text
+        if elem_type not in ("int", "float"):
+            raise ParseError(f"bad array type {elem_type!r}", line)
+        name = self.expect("name").text
+        self.expect("op", "[")
+        size = int(self.expect("int").text)
+        self.expect("op", "]")
+        init = None
+        if self.accept("op", "="):
+            self.expect("op", "{")
+            init = []
+            while not self.check("op", "}"):
+                negate = self.accept("op", "-") is not None
+                if self.check("float"):
+                    value = float(self.advance().text)
+                else:
+                    value = int(self.expect("int").text)
+                init.append(-value if negate else value)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", "}")
+        self.expect("op", ";")
+        return ast.ArrayDecl(name, elem_type, size, init, line)
+
+    def func_decl(self) -> ast.FuncDecl:
+        token = self.expect("kw")
+        if token.text not in _TYPES:
+            raise ParseError(f"expected a type, found {token.text!r}",
+                             token.line)
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: list[tuple[str, str]] = []
+        if not self.check("op", ")"):
+            while True:
+                ptype = self.expect("kw").text
+                if ptype not in ("int", "float"):
+                    raise ParseError(f"bad parameter type {ptype!r}",
+                                     self.cur.line)
+                params.append((ptype, self.expect("name").text))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.block()
+        return ast.FuncDecl(name, token.text, params, body, token.line)
+
+    # -- statements -----------------------------------------------------------
+    def block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.append(self.statement())
+        self.expect("op", "}")
+        return stmts
+
+    def statement(self) -> ast.Stmt:
+        if self.check("kw", "if"):
+            return self.if_stmt()
+        if self.check("kw", "while"):
+            return self.while_stmt()
+        if self.check("kw", "for"):
+            return self.for_stmt()
+        if self.check("kw", "return"):
+            line = self.advance().line
+            value = None if self.check("op", ";") else self.expression()
+            self.expect("op", ";")
+            return ast.Return(value, line)
+        stmt = self.simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def simple_stmt(self) -> ast.Stmt:
+        """declaration | assignment | bare expression (no trailing ';')."""
+        if self.check("kw", "int") or self.check("kw", "float"):
+            var_type = self.advance().text
+            name = self.expect("name").text
+            init = self.expression() if self.accept("op", "=") else None
+            return ast.VarDecl(var_type, name, init, self.cur.line)
+        expr = self.expression()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("invalid assignment target", self.cur.line)
+            return ast.Assign(expr, self.expression(), self.cur.line)
+        return ast.ExprStmt(expr, self.cur.line)
+
+    def if_stmt(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        then_body = self.block()
+        else_body: list[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                else_body = [self.if_stmt()]
+            else:
+                else_body = self.block()
+        return ast.If(cond, then_body, else_body, line)
+
+    def while_stmt(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        return ast.While(cond, self.block(), line)
+
+    def for_stmt(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init = None if self.check("op", ";") else self.simple_stmt()
+        self.expect("op", ";")
+        cond = None if self.check("op", ";") else self.expression()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self.simple_stmt()
+        self.expect("op", ")")
+        return ast.For(init, cond, step, self.block(), line)
+
+    # -- expressions ------------------------------------------------------------
+    def expression(self) -> ast.Expr:
+        return self._binary(0)
+
+    _LEVELS = [
+        ("||",),
+        ("&&",),
+        ("<", "<=", ">", ">=", "==", "!="),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self.unary()
+        ops = self._LEVELS[level]
+        left = self._binary(level + 1)
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op = self.advance().text
+            right = self._binary(level + 1)
+            left = ast.Binary(op, left, right, self.cur.line)
+        return left
+
+    def unary(self) -> ast.Expr:
+        if self.check("op", "-"):
+            line = self.advance().line
+            return ast.Unary("-", self.unary(), line)
+        if self.check("op", "!"):
+            line = self.advance().line
+            return ast.Unary("!", self.unary(), line)
+        return self.primary()
+
+    def primary(self) -> ast.Expr:
+        token = self.cur
+        if self.accept("op", "("):
+            expr = self.expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(int(token.text), token.line)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(float(token.text), token.line)
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(token.text, args, token.line)
+            if self.accept("op", "["):
+                index = self.expression()
+                self.expect("op", "]")
+                return ast.Index(token.text, index, token.line)
+            return ast.Name(token.text, token.line)
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse TinyFlow source into an AST."""
+    return Parser(source).parse()

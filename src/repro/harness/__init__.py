@@ -1,0 +1,16 @@
+"""Experiment harness: end-to-end measurement, code-size accounting,
+and report formatting."""
+
+from .codesize import (CISC_DENSITY, CodeSizeReport, measure_code_size,
+                       scalar_code_bytes)
+from .measure import (Measurement, compare_kernel, measure, prepare_modules,
+                      train_profile)
+from .report import format_table, print_table
+
+__all__ = [
+    "CISC_DENSITY", "CodeSizeReport", "measure_code_size",
+    "scalar_code_bytes",
+    "Measurement", "compare_kernel", "measure", "prepare_modules",
+    "train_profile",
+    "format_table", "print_table",
+]

@@ -1,0 +1,145 @@
+"""End-to-end measurement: build, optimize, compile, simulate, compare.
+
+This is the experiment driver behind every benchmark: it runs a kernel on
+the reference interpreter (ground truth), on the scalar and scoreboard
+baselines (conventionally compiled code), and on the trace-scheduled VLIW
+(fully optimized code), verifies all outputs agree, and reports timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..ir import Interpreter, MemoryImage, Module, Profile, run_module
+from ..machine import CompiledProgram, MachineConfig, TRACE_28_200
+from ..opt import classical_pipeline
+from ..sim import (ScalarStats, ScoreboardStats, VliwStats, run_compiled,
+                   run_scalar, run_scoreboard)
+from ..trace import SchedulingOptions, TraceCompiler
+from ..workloads import Kernel, get_kernel
+
+
+@dataclass
+class Measurement:
+    """All results from measuring one kernel at one configuration."""
+
+    kernel: str
+    n: int
+    config: MachineConfig
+    scalar: ScalarStats
+    scoreboard: ScoreboardStats
+    vliw: VliwStats
+    compile_stats: object = None        # TraceCompileStats
+    program: CompiledProgram | None = None
+
+    @property
+    def scoreboard_speedup(self) -> float:
+        return self.scalar.beats / self.scoreboard.beats
+
+    @property
+    def vliw_speedup(self) -> float:
+        return self.scalar.beats / self.vliw.beats
+
+    def row(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "n": self.n,
+            "scalar_beats": self.scalar.beats,
+            "scoreboard_beats": self.scoreboard.beats,
+            "vliw_beats": self.vliw.beats,
+            "scoreboard_speedup": round(self.scoreboard_speedup, 2),
+            "vliw_speedup": round(self.vliw_speedup, 2),
+        }
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+def _outputs(kernel: Kernel, module: Module, memory: MemoryImage):
+    out = {}
+    for name, elem in kernel.outputs:
+        obj = module.data[name]
+        out[name] = memory.read_array(name, obj.size // elem, elem)
+    return out
+
+
+def _outputs_equal(a: dict, b: dict) -> bool:
+    return (a.keys() == b.keys()
+            and all(len(a[k]) == len(b[k])
+                    and all(_values_equal(x, y)
+                            for x, y in zip(a[k], b[k])) for k in a))
+
+
+def prepare_modules(kernel: Kernel, n: int, unroll: int = 8,
+                    inline: int = 48) -> tuple[Module, Module]:
+    """(baseline module, VLIW module).
+
+    The baseline gets the "conventional compiler" treatment (classical
+    optimizations, no unrolling); the VLIW module additionally gets the
+    unrolling/inlining that feeds trace scheduling.
+    """
+    baseline = kernel.build(n)
+    classical_pipeline(unroll_factor=0, inline_budget=0).run(baseline)
+    vliw_module = kernel.build(n)
+    classical_pipeline(unroll_factor=unroll,
+                       inline_budget=inline).run(vliw_module)
+    return baseline, vliw_module
+
+
+def train_profile(module: Module, func: str, args) -> Profile:
+    """Run the interpreter once to collect branch statistics."""
+    interp = Interpreter(module)
+    interp.run(func, args)
+    return interp.profile
+
+
+def measure(kernel_name: str, n: int,
+            config: MachineConfig = TRACE_28_200,
+            options: SchedulingOptions | None = None,
+            unroll: int = 8, inline: int = 48,
+            use_profile: bool = True,
+            check: bool = True) -> Measurement:
+    """Measure one kernel end to end; raises if any executor diverges."""
+    kernel = get_kernel(kernel_name)
+    args = kernel.make_args(n)
+    options = options or SchedulingOptions()
+
+    baseline, vliw_module = prepare_modules(kernel, n, unroll, inline)
+    reference = run_module(kernel.build(n), kernel.func, args)
+    ref_out = _outputs(kernel, baseline, reference.memory)
+
+    scalar = run_scalar(baseline, kernel.func, args, config)
+    scoreboard = run_scoreboard(baseline, kernel.func, args, config)
+
+    profile = train_profile(vliw_module, kernel.func, args) \
+        if use_profile else None
+    compiler = TraceCompiler(vliw_module, config, options, profile)
+    program = compiler.compile_module()
+    vliw = run_compiled(program, vliw_module, kernel.func, args)
+
+    if check:
+        for name, result in (("scalar", scalar), ("scoreboard", scoreboard),
+                             ("vliw", vliw)):
+            if kernel.returns_value and not _values_equal(result.value,
+                                                          reference.value):
+                raise ReproError(
+                    f"{kernel_name}: {name} returned {result.value!r},"
+                    f" expected {reference.value!r}")
+            module = baseline if name != "vliw" else vliw_module
+            if not _outputs_equal(_outputs(kernel, module, result.memory),
+                                  ref_out):
+                raise ReproError(f"{kernel_name}: {name} memory diverged")
+
+    return Measurement(kernel_name, n, config, scalar.stats,
+                       scoreboard.stats, vliw.stats,
+                       compiler.stats.get(kernel.func), program)
+
+
+def compare_kernel(kernel_name: str, n: int = 64, **kwargs) -> Measurement:
+    """Alias used by the README quickstart."""
+    return measure(kernel_name, n, **kwargs)

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the same rows/series the paper reports; this module
+keeps that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(rows: Sequence[dict], title: str | None = None) -> str:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    cells = [[_fmt(row.get(h, "")) for h in headers] for row in rows]
+    widths = [max(len(h), *(len(row[i]) for row in cells))
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)
+
+
+def print_table(rows: Sequence[dict], title: str | None = None) -> None:
+    print(format_table(rows, title))
+    print()

@@ -1,0 +1,34 @@
+"""IR subsystem: values, operations, blocks, functions, builder, interpreter.
+
+This package defines the compiler's intermediate representation — a
+virtual-register three-address code over an explicit CFG — together with a
+textual format, a verifier, and a reference interpreter that fixes the
+observable semantics all simulators must match.
+"""
+
+from .block import BasicBlock
+from .builder import IRBuilder
+from .function import DataObject, Function, Module
+from .interp import (FUNNY_FLOAT, FUNNY_INT, Interpreter, InterpStats,
+                     MemoryImage, Profile, RunResult, run_module)
+from .memref import MemRef
+from .opcodes import (ACCESS_SIZE, CMP_NEGATION, OP_INFO, SPECULATIVE_LOAD,
+                      Category, Opcode, OpInfo)
+from .operation import (Operation, make_br, make_call, make_jmp, make_ret)
+from .parser import parse_module, parse_operation
+from .printer import format_function, format_module, format_operation
+from .values import (Imm, Label, Operand, RegClass, Symbol, VReg, wrap32)
+from .verify import verify_function, verify_module, verify_operation
+
+__all__ = [
+    "BasicBlock", "IRBuilder", "DataObject", "Function", "Module",
+    "Interpreter", "InterpStats", "MemoryImage", "Profile", "RunResult",
+    "run_module", "FUNNY_FLOAT", "FUNNY_INT", "MemRef",
+    "ACCESS_SIZE", "CMP_NEGATION", "OP_INFO", "SPECULATIVE_LOAD",
+    "Category", "Opcode", "OpInfo",
+    "Operation", "make_br", "make_call", "make_jmp", "make_ret",
+    "parse_module", "parse_operation",
+    "format_function", "format_module", "format_operation",
+    "Imm", "Label", "Operand", "RegClass", "Symbol", "VReg", "wrap32",
+    "verify_function", "verify_module", "verify_operation",
+]

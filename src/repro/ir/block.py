@@ -1,0 +1,97 @@
+"""Basic blocks: straight-line operation sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import IRError
+from .opcodes import Opcode
+from .operation import Operation
+from .values import Label
+
+
+class BasicBlock:
+    """A named basic block.
+
+    The last operation must be a terminator (``BR``/``JMP``/``RET``/``HALT``)
+    once the function is complete; the builder allows blocks to be open while
+    under construction.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ops: list[Operation] = []
+
+    # ------------------------------------------------------------------
+    def append(self, op: Operation) -> Operation:
+        if self.is_terminated:
+            raise IRError(f"appending to terminated block {self.name}")
+        self.ops.append(op)
+        return op
+
+    def insert(self, index: int, op: Operation) -> Operation:
+        self.ops.insert(index, op)
+        return op
+
+    @property
+    def terminator(self) -> Operation | None:
+        """The terminating operation, or None while under construction."""
+        if self.ops and self.ops[-1].is_terminator:
+            return self.ops[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    @property
+    def body(self) -> list[Operation]:
+        """All operations except the terminator."""
+        if self.is_terminated:
+            return self.ops[:-1]
+        return list(self.ops)
+
+    def successors(self) -> list[str]:
+        """Successor block names, in (taken, fallthrough) order for BR."""
+        term = self.terminator
+        if term is None:
+            raise IRError(f"block {self.name} has no terminator")
+        return [lbl.name for lbl in term.labels]
+
+    def set_terminator(self, op: Operation) -> None:
+        """Replace (or install) the terminator."""
+        if not op.is_terminator:
+            raise IRError(f"{op} is not a terminator")
+        if self.is_terminated:
+            self.ops[-1] = op
+        else:
+            self.ops.append(op)
+
+    def retarget(self, old: str, new: str) -> int:
+        """Rewrite terminator labels ``old`` -> ``new``; return #rewritten."""
+        term = self.terminator
+        if term is None:
+            return 0
+        count = 0
+        labels = list(term.labels)
+        for i, lbl in enumerate(labels):
+            if lbl.name == old:
+                labels[i] = Label(new)
+                count += 1
+        term.labels = tuple(labels)
+        return count
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines += [f"  {op}" for op in self.ops]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<block {self.name} ({len(self.ops)} ops)>"

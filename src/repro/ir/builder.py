@@ -1,0 +1,225 @@
+"""A fluent builder for constructing IR functions programmatically.
+
+Example::
+
+    module = Module("example")
+    b = IRBuilder(module)
+    f = b.function("add3", [("a", RegClass.INT)], ret_class=RegClass.INT)
+    b.block("entry")
+    t = b.add(b.param("a"), 3)
+    b.ret(t)
+
+Workloads (:mod:`repro.workloads`) and many tests are written against this
+API; the tiny-language front end lowers onto it as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..errors import IRError
+from .block import BasicBlock
+from .function import Function, Module
+from .memref import MemRef
+from .opcodes import OP_INFO, Opcode
+from .operation import Operation, make_br, make_call, make_jmp, make_ret
+from .values import Imm, Label, Operand, RegClass, Symbol, VReg
+
+#: Values the builder coerces into operands: raw ints/floats become Imm.
+Coercible = Union[VReg, Imm, Symbol, int, float]
+
+
+def _coerce(value: Coercible, cls: RegClass) -> Operand:
+    """Coerce a Python value to an IR operand of the requested class."""
+    if isinstance(value, (VReg, Imm, Symbol)):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value), cls)
+    if isinstance(value, int):
+        if cls is RegClass.FLT:
+            return Imm(float(value), RegClass.FLT)
+        return Imm(value, cls)
+    if isinstance(value, float):
+        return Imm(value, RegClass.FLT)
+    raise IRError(f"cannot use {value!r} as an operand")
+
+
+class IRBuilder:
+    """Builds operations into the current block of the current function."""
+
+    def __init__(self, module: Module | None = None) -> None:
+        self.module = module if module is not None else Module()
+        self.func: Function | None = None
+        self.cur: BasicBlock | None = None
+
+    # -- structure ------------------------------------------------------
+    def function(self, name: str,
+                 params: Sequence[tuple[str, RegClass]] = (),
+                 ret_class: RegClass | None = None) -> Function:
+        """Start a new function; it becomes the builder's current function."""
+        vregs = [VReg(pname, pcls) for pname, pcls in params]
+        self.func = self.module.add_function(Function(name, vregs, ret_class))
+        self.cur = None
+        return self.func
+
+    def block(self, name: str | None = None) -> BasicBlock:
+        """Create a block in the current function and make it current."""
+        self.cur = self._func().add_block(name)
+        return self.cur
+
+    def switch_to(self, block: BasicBlock | str) -> BasicBlock:
+        """Make an existing block the insertion point."""
+        if isinstance(block, str):
+            block = self._func().block(block)
+        self.cur = block
+        return block
+
+    def param(self, name: str) -> VReg:
+        for p in self._func().params:
+            if p.name == name:
+                return p
+        raise IRError(f"no parameter {name!r} in {self._func().name}")
+
+    def _func(self) -> Function:
+        if self.func is None:
+            raise IRError("no current function")
+        return self.func
+
+    def _block(self) -> BasicBlock:
+        if self.cur is None:
+            raise IRError("no current block")
+        return self.cur
+
+    # -- generic emission -------------------------------------------------
+    def emit(self, opcode: Opcode, srcs: Sequence[Coercible] = (),
+             dest: VReg | None = None, memref: MemRef | None = None,
+             labels: tuple = (), callee: str | None = None) -> Operation:
+        """Emit an operation, creating a fresh destination if needed."""
+        info = OP_INFO[opcode]
+        if (opcode not in (Opcode.CALL, Opcode.RET)
+                and len(srcs) != len(info.src_classes)):
+            raise IRError(f"{opcode.value}: expected "
+                          f"{len(info.src_classes)} operands, got {len(srcs)}")
+        coerced = [_coerce(s, c) for s, c in zip(srcs, info.src_classes)]
+        if dest is None and info.dest_class is not None:
+            dest = self._func().fresh_vreg(info.dest_class)
+        op = Operation(opcode, dest, coerced, labels, callee, memref)
+        self._block().append(op)
+        return op
+
+    def _value(self, opcode: Opcode, srcs: Sequence[Coercible],
+               dest: VReg | None = None,
+               memref: MemRef | None = None) -> VReg:
+        op = self.emit(opcode, srcs, dest, memref)
+        assert op.dest is not None
+        return op.dest
+
+    # -- integer ----------------------------------------------------------
+    def add(self, a, b, dest=None): return self._value(Opcode.ADD, [a, b], dest)
+    def sub(self, a, b, dest=None): return self._value(Opcode.SUB, [a, b], dest)
+    def mul(self, a, b, dest=None): return self._value(Opcode.MUL, [a, b], dest)
+    def div(self, a, b, dest=None): return self._value(Opcode.DIV, [a, b], dest)
+    def rem(self, a, b, dest=None): return self._value(Opcode.REM, [a, b], dest)
+    def and_(self, a, b, dest=None): return self._value(Opcode.AND, [a, b], dest)
+    def or_(self, a, b, dest=None): return self._value(Opcode.OR, [a, b], dest)
+    def xor(self, a, b, dest=None): return self._value(Opcode.XOR, [a, b], dest)
+    def shl(self, a, b, dest=None): return self._value(Opcode.SHL, [a, b], dest)
+    def shr(self, a, b, dest=None): return self._value(Opcode.SHR, [a, b], dest)
+    def shru(self, a, b, dest=None): return self._value(Opcode.SHRU, [a, b], dest)
+    def neg(self, a, dest=None): return self._value(Opcode.NEG, [a], dest)
+    def not_(self, a, dest=None): return self._value(Opcode.NOT, [a], dest)
+    def mov(self, a, dest=None): return self._value(Opcode.MOV, [a], dest)
+
+    def select(self, pred, a, b, dest=None):
+        return self._value(Opcode.SELECT, [pred, a, b], dest)
+
+    # -- compares -----------------------------------------------------------
+    def cmpeq(self, a, b, dest=None): return self._value(Opcode.CMPEQ, [a, b], dest)
+    def cmpne(self, a, b, dest=None): return self._value(Opcode.CMPNE, [a, b], dest)
+    def cmplt(self, a, b, dest=None): return self._value(Opcode.CMPLT, [a, b], dest)
+    def cmple(self, a, b, dest=None): return self._value(Opcode.CMPLE, [a, b], dest)
+    def cmpgt(self, a, b, dest=None): return self._value(Opcode.CMPGT, [a, b], dest)
+    def cmpge(self, a, b, dest=None): return self._value(Opcode.CMPGE, [a, b], dest)
+
+    def fcmpeq(self, a, b, dest=None): return self._value(Opcode.FCMPEQ, [a, b], dest)
+    def fcmpne(self, a, b, dest=None): return self._value(Opcode.FCMPNE, [a, b], dest)
+    def fcmplt(self, a, b, dest=None): return self._value(Opcode.FCMPLT, [a, b], dest)
+    def fcmple(self, a, b, dest=None): return self._value(Opcode.FCMPLE, [a, b], dest)
+    def fcmpgt(self, a, b, dest=None): return self._value(Opcode.FCMPGT, [a, b], dest)
+    def fcmpge(self, a, b, dest=None): return self._value(Opcode.FCMPGE, [a, b], dest)
+
+    # -- float ----------------------------------------------------------------
+    def fadd(self, a, b, dest=None): return self._value(Opcode.FADD, [a, b], dest)
+    def fsub(self, a, b, dest=None): return self._value(Opcode.FSUB, [a, b], dest)
+    def fmul(self, a, b, dest=None): return self._value(Opcode.FMUL, [a, b], dest)
+    def fdiv(self, a, b, dest=None): return self._value(Opcode.FDIV, [a, b], dest)
+    def fneg(self, a, dest=None): return self._value(Opcode.FNEG, [a], dest)
+    def fabs(self, a, dest=None): return self._value(Opcode.FABS, [a], dest)
+    def fmov(self, a, dest=None): return self._value(Opcode.FMOV, [a], dest)
+    def cvtif(self, a, dest=None): return self._value(Opcode.CVTIF, [a], dest)
+    def cvtfi(self, a, dest=None): return self._value(Opcode.CVTFI, [a], dest)
+
+    def fselect(self, pred, a, b, dest=None):
+        return self._value(Opcode.FSELECT, [pred, a, b], dest)
+
+    # -- memory ---------------------------------------------------------------
+    def load(self, base, offset=0, dest=None, memref: MemRef | None = None):
+        """32-bit integer load from byte address ``base + offset``."""
+        return self._value(Opcode.LOAD, [base, offset], dest, memref)
+
+    def fload(self, base, offset=0, dest=None, memref: MemRef | None = None):
+        """64-bit float load from byte address ``base + offset``."""
+        return self._value(Opcode.FLOAD, [base, offset], dest, memref)
+
+    def store(self, value, base, offset=0, memref: MemRef | None = None):
+        return self.emit(Opcode.STORE, [value, base, offset], memref=memref)
+
+    def fstore(self, value, base, offset=0, memref: MemRef | None = None):
+        return self.emit(Opcode.FSTORE, [value, base, offset], memref=memref)
+
+    def addr(self, symbol: str) -> VReg:
+        """Materialise the address of a data object into an int register."""
+        return self._value(Opcode.MOV, [Symbol(symbol)])
+
+    # -- control ------------------------------------------------------------
+    def br(self, pred: Coercible, then_label: str, else_label: str) -> Operation:
+        op = make_br(_coerce(pred, RegClass.PRED), then_label, else_label)
+        return self._block().append(op)
+
+    def jmp(self, target: str) -> Operation:
+        return self._block().append(make_jmp(target))
+
+    def ret(self, value: Coercible | None = None) -> Operation:
+        func = self._func()
+        operand = None
+        if value is not None:
+            if func.ret_class is None:
+                raise IRError(f"{func.name} returns no value")
+            operand = _coerce(value, func.ret_class)
+        return self._block().append(make_ret(operand))
+
+    def halt(self) -> Operation:
+        return self._block().append(Operation(Opcode.HALT))
+
+    def call(self, callee: str, args: Sequence[Coercible] = (),
+             ret_class: RegClass | None = None) -> VReg | None:
+        """Call ``callee``; returns the result register if ret_class given.
+
+        Argument classes are taken from the callee's signature when the
+        callee is already present in the module, else inferred from values.
+        """
+        target = self.module.functions.get(callee)
+        coerced: list[Operand] = []
+        for i, a in enumerate(args):
+            if target is not None and i < len(target.params):
+                cls = target.params[i].cls
+            elif isinstance(a, (VReg, Imm)):
+                cls = a.cls
+            else:
+                cls = RegClass.FLT if isinstance(a, float) else RegClass.INT
+            coerced.append(_coerce(a, cls))
+        if ret_class is None and target is not None:
+            ret_class = target.ret_class
+        dest = self._func().fresh_vreg(ret_class) if ret_class else None
+        self._block().append(make_call(dest, callee, coerced))
+        return dest

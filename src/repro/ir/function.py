@@ -1,0 +1,167 @@
+"""Functions (CFGs of basic blocks) and modules (functions + data objects)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import IRError
+from .block import BasicBlock
+from .opcodes import Opcode
+from .operation import Operation
+from .values import RegClass, VReg
+
+
+@dataclass
+class DataObject:
+    """A module-level memory object (array or scalar).
+
+    Attributes:
+        name: symbol name referenced by :class:`~repro.ir.values.Symbol`.
+        size: size in bytes.
+        init: optional initial contents — list of (byte_offset, width, value)
+            triples, or a bytes object.
+        align: required alignment in bytes (default 8).
+    """
+
+    name: str
+    size: int
+    init: list[tuple[int, int, int | float]] | bytes | None = None
+    align: int = 8
+
+
+class Function:
+    """A function: parameter registers plus an ordered CFG of basic blocks.
+
+    Block order matters only for printing and for the entry block (first).
+    """
+
+    def __init__(self, name: str, params: list[VReg] | None = None,
+                 ret_class: RegClass | None = None) -> None:
+        self.name = name
+        self.params: list[VReg] = list(params or [])
+        self.ret_class = ret_class
+        self.blocks: dict[str, BasicBlock] = {}
+        self._tmp_counter = itertools.count()
+        self._block_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return next(iter(self.blocks.values()))
+
+    def add_block(self, name: str | None = None) -> BasicBlock:
+        if name is None:
+            name = self.fresh_block_name()
+        if name in self.blocks:
+            raise IRError(f"duplicate block name {name!r} in {self.name}")
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        return block
+
+    def remove_block(self, name: str) -> None:
+        del self.blocks[name]
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise IRError(f"no block {name!r} in function {self.name}") from None
+
+    def fresh_block_name(self, hint: str = "bb") -> str:
+        while True:
+            name = f"{hint}{next(self._block_counter)}"
+            if name not in self.blocks:
+                return name
+
+    def fresh_vreg(self, cls: RegClass, hint: str = "t") -> VReg:
+        """A virtual register with a name unused in this function."""
+        return VReg(f"{hint}.{next(self._tmp_counter)}", cls)
+
+    # ------------------------------------------------------------------
+    def operations(self) -> Iterator[Operation]:
+        """All operations in block order."""
+        for block in self.blocks.values():
+            yield from block.ops
+
+    def predecessors(self) -> dict[str, list[str]]:
+        """Map block name -> predecessor block names (in block order)."""
+        preds: dict[str, list[str]] = {name: [] for name in self.blocks}
+        for name, block in self.blocks.items():
+            for succ in block.successors():
+                if succ not in preds:
+                    raise IRError(
+                        f"{self.name}:{name} targets unknown block {succ!r}")
+                preds[succ].append(name)
+        return preds
+
+    def all_vregs(self) -> set[VReg]:
+        regs: set[VReg] = set(self.params)
+        for op in self.operations():
+            regs.update(op.reg_srcs())
+            regs.update(op.defs())
+        return regs
+
+    def op_count(self) -> int:
+        """Number of operations, excluding NOPs."""
+        return sum(1 for op in self.operations() if op.opcode is not Opcode.NOP)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        ret = f" -> {self.ret_class.value}" if self.ret_class else ""
+        lines = [f"func {self.name}({params}){ret} {{"]
+        for block in self.blocks.values():
+            lines.append(str(block))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<func {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A compilation unit: functions plus module-level data objects."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.data: dict[str, DataObject] = {}
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise IRError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function {name!r} in module") from None
+
+    def add_data(self, obj: DataObject) -> DataObject:
+        if obj.name in self.data:
+            raise IRError(f"duplicate data object {obj.name!r}")
+        self.data[obj.name] = obj
+        return obj
+
+    def add_array(self, name: str, n_elems: int, elem_size: int = 4,
+                  init: Iterable[int | float] | None = None) -> DataObject:
+        """Convenience: declare an array of ``n_elems`` fixed-size elements."""
+        init_triples = None
+        if init is not None:
+            init_triples = [(i * elem_size, elem_size, v)
+                            for i, v in enumerate(init)]
+        return self.add_data(DataObject(name, n_elems * elem_size, init_triples))
+
+    def __str__(self) -> str:
+        lines = [f"module {self.name}"]
+        for obj in self.data.values():
+            lines.append(f"data {obj.name}[{obj.size}]")
+        for func in self.functions.values():
+            lines.append(str(func))
+        return "\n\n".join(lines)

@@ -1,0 +1,440 @@
+"""Reference interpreter for the IR, plus the memory image loader.
+
+The interpreter defines the *observable semantics* every simulator and every
+compiled artifact must reproduce: final memory contents, returned value, and
+trap behaviour.  It also collects an edge :class:`Profile`, which is exactly
+the branch statistics the Trace Scheduling compiler feeds to trace selection
+(the paper: "estimates of branch directions obtained automatically through
+heuristics or profiling").
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import InterpError, IRError, TrapError
+from .function import Function, Module
+from .opcodes import ACCESS_SIZE, Category, Opcode
+from .operation import Operation
+from .values import Imm, Label, RegClass, Symbol, VReg, wrap32
+
+#: Value written to the target of a dismissable load whose address faulted
+#: (the paper: "the target register is loaded with a 'funny number' to help
+#: catch bugs").
+FUNNY_INT = wrap32(0xDEADBEEF)
+FUNNY_FLOAT = float("nan")
+
+#: Lowest address handed to data objects; page 0 stays unmapped so null
+#: dereferences trap like the paper's "Bus Error".
+DATA_BASE = 0x1000
+
+
+class MemoryImage:
+    """A loaded module's data memory: flat, byte-addressed, little-endian.
+
+    Data objects are laid out contiguously (respecting alignment) starting
+    at :data:`DATA_BASE`; a scratch region beyond them serves as heap/stack
+    for workloads that need one.
+    """
+
+    def __init__(self, module: Module | None = None,
+                 scratch_bytes: int = 1 << 16) -> None:
+        self.layout: dict[str, int] = {}
+        cursor = DATA_BASE
+        objects = list(module.data.values()) if module is not None else []
+        for obj in objects:
+            align = max(obj.align, 1)
+            cursor = (cursor + align - 1) // align * align
+            self.layout[obj.name] = cursor
+            cursor += obj.size
+        cursor = (cursor + 7) // 8 * 8
+        self.scratch_base = cursor
+        self.size = cursor + scratch_bytes
+        self.data = bytearray(self.size)
+        for obj in objects:
+            self._apply_init(obj)
+
+    def _apply_init(self, obj) -> None:
+        base = self.layout[obj.name]
+        if obj.init is None:
+            return
+        if isinstance(obj.init, bytes):
+            self.data[base:base + len(obj.init)] = obj.init
+            return
+        for offset, width, value in obj.init:
+            if isinstance(value, float) or width == 8 and not isinstance(value, int):
+                self.store_float(base + offset, float(value), check=False)
+            elif width == 8:
+                self.data[base + offset:base + offset + 8] = struct.pack(
+                    "<q", value)
+            else:
+                self.store_int(base + offset, int(value), check=False)
+
+    # ------------------------------------------------------------------
+    def address_of(self, symbol: str) -> int:
+        try:
+            return self.layout[symbol]
+        except KeyError:
+            raise InterpError(f"unknown symbol {symbol!r}") from None
+
+    def check(self, addr: int, size: int) -> bool:
+        """Is [addr, addr+size) a valid, aligned data access?"""
+        return (DATA_BASE <= addr and addr + size <= self.size
+                and addr % size == 0)
+
+    def _guard(self, addr: int, size: int, check: bool) -> None:
+        if check and not self.check(addr, size):
+            raise TrapError("bus_error", f"addr=0x{addr:x} size={size}")
+
+    def load_int(self, addr: int, check: bool = True) -> int:
+        self._guard(addr, 4, check)
+        return struct.unpack_from("<i", self.data, addr)[0]
+
+    def store_int(self, addr: int, value: int, check: bool = True) -> None:
+        self._guard(addr, 4, check)
+        struct.pack_into("<i", self.data, addr, wrap32(value))
+
+    def load_float(self, addr: int, check: bool = True) -> float:
+        self._guard(addr, 8, check)
+        return struct.unpack_from("<d", self.data, addr)[0]
+
+    def store_float(self, addr: int, value: float, check: bool = True) -> None:
+        self._guard(addr, 8, check)
+        struct.pack_into("<d", self.data, addr, value)
+
+    def read_array(self, symbol: str, n: int, elem_size: int = 4) -> list:
+        """Read back an array's contents (for test assertions)."""
+        base = self.address_of(symbol)
+        reader = self.load_int if elem_size == 4 else self.load_float
+        return [reader(base + i * elem_size) for i in range(n)]
+
+    def snapshot(self) -> bytes:
+        return bytes(self.data)
+
+
+@dataclass
+class Profile:
+    """Branch/block execution statistics gathered by a training run."""
+
+    edge_counts: Counter = field(default_factory=Counter)
+    block_counts: Counter = field(default_factory=Counter)
+
+    def record_edge(self, func: str, src: str, dst: str) -> None:
+        self.edge_counts[(func, src, dst)] += 1
+
+    def record_block(self, func: str, block: str) -> None:
+        self.block_counts[(func, block)] += 1
+
+    def edge_probability(self, func: str, src: str, dst: str) -> float | None:
+        """P(src -> dst | src executed), or None if src never ran."""
+        total = self.block_counts.get((func, src), 0)
+        if total == 0:
+            return None
+        return self.edge_counts.get((func, src, dst), 0) / total
+
+    def merge(self, other: "Profile") -> None:
+        self.edge_counts.update(other.edge_counts)
+        self.block_counts.update(other.block_counts)
+
+
+@dataclass
+class InterpStats:
+    """Dynamic operation counts from an interpreter run."""
+
+    ops_executed: int = 0
+    by_category: Counter = field(default_factory=Counter)
+    branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    calls: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything observable from one interpreter run."""
+
+    value: Any
+    memory: MemoryImage
+    stats: InterpStats
+    profile: Profile
+
+
+class Interpreter:
+    """Executes IR functions over a :class:`MemoryImage`.
+
+    Args:
+        module: the module to execute.
+        fp_mode: ``"precise"`` traps on float divide-by-zero and bad
+            conversions (the machine's default exception mode); ``"fast"``
+            propagates IEEE infinities/NaNs without trapping (the paper's
+            *fast mode*, section 7).
+        fuel: maximum operations to execute before declaring runaway.
+    """
+
+    def __init__(self, module: Module, fp_mode: str = "precise",
+                 fuel: int = 50_000_000) -> None:
+        if fp_mode not in ("precise", "fast"):
+            raise InterpError(f"bad fp_mode {fp_mode!r}")
+        self.module = module
+        self.fp_mode = fp_mode
+        self.fuel = fuel
+        self.stats = InterpStats()
+        self.profile = Profile()
+
+    # ------------------------------------------------------------------
+    def run(self, func_name: str, args: Sequence = (),
+            memory: MemoryImage | None = None) -> RunResult:
+        """Run ``func_name`` with ``args``; returns the full result record."""
+        if memory is None:
+            memory = MemoryImage(self.module)
+        self.memory = memory
+        value = self._call(self.module.function(func_name), list(args))
+        return RunResult(value, memory, self.stats, self.profile)
+
+    # ------------------------------------------------------------------
+    def _call(self, func: Function, args: list) -> Any:
+        if len(args) != len(func.params):
+            raise InterpError(
+                f"{func.name} wants {len(func.params)} args, got {len(args)}")
+        env: dict[VReg, Any] = {}
+        for param, arg in zip(func.params, args):
+            env[param] = self._coerce_arg(param, arg)
+
+        block = func.entry
+        prev_name: str | None = None
+        while True:
+            self.profile.record_block(func.name, block.name)
+            next_name = self._run_block(func, block, env)
+            if next_name is _RETURN:
+                return env.get(_RETVAL)
+            if next_name is _HALT:
+                return None
+            self.profile.record_edge(func.name, block.name, next_name)
+            block = func.block(next_name)
+
+    def _coerce_arg(self, param: VReg, arg) -> Any:
+        if param.cls is RegClass.FLT:
+            return float(arg)
+        if param.cls is RegClass.PRED:
+            return 1 if arg else 0
+        if isinstance(arg, str):
+            return self.memory.address_of(arg)
+        return wrap32(int(arg))
+
+    # ------------------------------------------------------------------
+    def _run_block(self, func: Function, block, env) -> Any:
+        for op in block.ops:
+            self.stats.ops_executed += 1
+            self.stats.by_category[op.category] += 1
+            if self.stats.ops_executed > self.fuel:
+                raise InterpError(f"fuel exhausted in {func.name}")
+            result = self._execute(func, op, env)
+            if result is not None:
+                return result
+        raise IRError(f"{func.name}:{block.name} fell off the end")
+
+    def _operand(self, env, src) -> Any:
+        if isinstance(src, VReg):
+            try:
+                return env[src]
+            except KeyError:
+                raise InterpError(f"use of undefined register {src}") from None
+        if isinstance(src, Imm):
+            return src.value
+        if isinstance(src, Symbol):
+            return self.memory.address_of(src.name)
+        raise InterpError(f"cannot evaluate operand {src!r}")
+
+    # ------------------------------------------------------------------
+    def _execute(self, func: Function, op: Operation, env) -> Any:
+        """Execute one op; returns a control-flow token or None."""
+        opc = op.opcode
+        vals = [self._operand(env, s) for s in op.srcs]
+
+        if opc is Opcode.BR:
+            self.stats.branches += 1
+            taken = bool(vals[0])
+            if taken:
+                self.stats.taken_branches += 1
+            return op.labels[0].name if taken else op.labels[1].name
+        if opc is Opcode.JMP:
+            return op.labels[0].name
+        if opc is Opcode.RET:
+            env[_RETVAL] = vals[0] if vals else None
+            return _RETURN
+        if opc is Opcode.HALT:
+            return _HALT
+        if opc is Opcode.CALL:
+            self.stats.calls += 1
+            callee = self.module.function(op.callee)
+            result = self._call(callee, vals)
+            if op.dest is not None:
+                env[op.dest] = result
+            return None
+        if opc is Opcode.NOP:
+            return None
+
+        if op.is_memory:
+            self._execute_memory(op, vals, env)
+            return None
+
+        env[op.dest] = self._compute(opc, vals)
+        return None
+
+    def _execute_memory(self, op: Operation, vals, env) -> None:
+        size = ACCESS_SIZE[op.opcode]
+        if op.is_store:
+            value, base, offset = vals
+            addr = wrap32(base + offset)
+            self.stats.stores += 1
+            if size == 8:
+                self.memory.store_float(addr, value)
+            else:
+                self.memory.store_int(addr, value)
+            return
+        base, offset = vals
+        addr = wrap32(base + offset)
+        self.stats.loads += 1
+        if op.is_speculative and not self.memory.check(addr, size):
+            env[op.dest] = FUNNY_FLOAT if size == 8 else FUNNY_INT
+            return
+        if size == 8:
+            env[op.dest] = self.memory.load_float(addr)
+        else:
+            env[op.dest] = self.memory.load_int(addr)
+
+    # ------------------------------------------------------------------
+    def _compute(self, opc: Opcode, v: list) -> Any:
+        """Pure (register-only) operation semantics."""
+        if opc is Opcode.ADD:
+            return wrap32(v[0] + v[1])
+        if opc is Opcode.SUB:
+            return wrap32(v[0] - v[1])
+        if opc is Opcode.MUL:
+            return wrap32(v[0] * v[1])
+        if opc is Opcode.DIV:
+            if v[1] == 0:
+                raise TrapError("int_divide_by_zero")
+            return wrap32(int(v[0] / v[1]))  # truncate toward zero
+        if opc is Opcode.REM:
+            if v[1] == 0:
+                raise TrapError("int_divide_by_zero")
+            return wrap32(v[0] - int(v[0] / v[1]) * v[1])
+        if opc is Opcode.AND:
+            return wrap32(v[0] & v[1])
+        if opc is Opcode.OR:
+            return wrap32(v[0] | v[1])
+        if opc is Opcode.XOR:
+            return wrap32(v[0] ^ v[1])
+        if opc is Opcode.SHL:
+            return wrap32(v[0] << (v[1] & 31))
+        if opc is Opcode.SHR:
+            return wrap32(v[0] >> (v[1] & 31))
+        if opc is Opcode.SHRU:
+            return wrap32((v[0] & 0xFFFFFFFF) >> (v[1] & 31))
+        if opc is Opcode.NEG:
+            return wrap32(-v[0])
+        if opc is Opcode.NOT:
+            return wrap32(~v[0])
+        if opc in (Opcode.MOV, Opcode.PMOV):
+            return v[0]
+        if opc in (Opcode.SELECT, Opcode.FSELECT):
+            return v[1] if v[0] else v[2]
+        if opc is Opcode.EXTRACT:
+            return wrap32(((v[0] & 0xFFFFFFFF) >> (v[1] & 31))
+                          & ((1 << (v[2] & 31)) - 1))
+        if opc is Opcode.MERGE:
+            width = v[3] & 31
+            pos = v[2] & 31
+            mask = ((1 << width) - 1) << pos
+            return wrap32((v[0] & ~mask) | ((v[1] << pos) & mask))
+
+        if opc is Opcode.CMPEQ:
+            return int(v[0] == v[1])
+        if opc is Opcode.CMPNE:
+            return int(v[0] != v[1])
+        if opc is Opcode.CMPLT:
+            return int(v[0] < v[1])
+        if opc is Opcode.CMPLE:
+            return int(v[0] <= v[1])
+        if opc is Opcode.CMPGT:
+            return int(v[0] > v[1])
+        if opc is Opcode.CMPGE:
+            return int(v[0] >= v[1])
+
+        if opc is Opcode.PAND:
+            return v[0] & v[1]
+        if opc is Opcode.POR:
+            return v[0] | v[1]
+        if opc is Opcode.PNOT:
+            return 1 - (1 if v[0] else 0)
+        if opc is Opcode.PTOI:
+            return 1 if v[0] else 0
+        if opc is Opcode.ITOP:
+            return int(v[0] != 0)
+
+        if opc is Opcode.FADD:
+            return v[0] + v[1]
+        if opc is Opcode.FSUB:
+            return v[0] - v[1]
+        if opc is Opcode.FMUL:
+            return v[0] * v[1]
+        if opc is Opcode.FDIV:
+            return self._fdiv(v[0], v[1])
+        if opc is Opcode.FNEG:
+            return -v[0]
+        if opc is Opcode.FABS:
+            return abs(v[0])
+        if opc is Opcode.FMOV:
+            return v[0]
+
+        if opc is Opcode.FCMPEQ:
+            return int(v[0] == v[1])
+        if opc is Opcode.FCMPNE:
+            return int(v[0] != v[1])
+        if opc is Opcode.FCMPLT:
+            return int(v[0] < v[1])
+        if opc is Opcode.FCMPLE:
+            return int(v[0] <= v[1])
+        if opc is Opcode.FCMPGT:
+            return int(v[0] > v[1])
+        if opc is Opcode.FCMPGE:
+            return int(v[0] >= v[1])
+
+        if opc is Opcode.CVTIF:
+            return float(v[0])
+        if opc is Opcode.CVTFI:
+            if math.isnan(v[0]) or math.isinf(v[0]) or not (
+                    -(2.0 ** 31) <= v[0] < 2.0 ** 31):
+                if self.fp_mode == "precise":
+                    raise TrapError("float_convert", repr(v[0]))
+                return FUNNY_INT
+            return wrap32(int(v[0]))
+
+        raise InterpError(f"unimplemented opcode {opc}")  # pragma: no cover
+
+    def _fdiv(self, a: float, b: float) -> float:
+        if b == 0.0:
+            if self.fp_mode == "precise":
+                raise TrapError("float_divide_by_zero")
+            if a == 0.0 or math.isnan(a):
+                return float("nan")
+            return math.copysign(float("inf"), a) * math.copysign(1.0, b)
+        return a / b
+
+
+_RETURN = object()
+_HALT = object()
+_RETVAL = VReg("__retval__", RegClass.INT)
+
+
+def run_module(module: Module, func_name: str, args: Sequence = (),
+               fp_mode: str = "precise",
+               memory: MemoryImage | None = None) -> RunResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(module, fp_mode=fp_mode).run(func_name, args, memory)

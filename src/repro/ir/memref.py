@@ -1,0 +1,82 @@
+"""Symbolic memory-reference descriptions attached to loads and stores.
+
+The paper's *disambiguator* (section 6.4.2) "builds derivation trees for
+array index expressions and attempts to solve the diophantine equations in
+terms of the loop induction variables."  We carry the derivation result on
+each memory operation as a :class:`MemRef`: an affine form
+
+    address = base + sum(coeff_i * var_i) + const        (bytes)
+
+over symbolic terms (loop induction variables, unknown arguments).  The
+front end and the unroller keep these up to date; the disambiguator consumes
+them.  A memory operation without a ``MemRef`` is treated as "may conflict
+with anything" (the conservative "yes/maybe" answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """An affine symbolic address description.
+
+    Attributes:
+        base: symbolic base region name (array/symbol name), or ``None`` when
+            the base is statically unknown (e.g. an arbitrary pointer).  Two
+            refs with distinct non-None bases can never alias (distinct
+            module-level objects); a ``None`` base may alias anything.
+        coeffs: mapping from symbolic variable name to integer byte
+            coefficient (e.g. ``{"i": 8}`` for ``a[i]`` with 8-byte elems).
+        const: constant byte offset.
+        size: access width in bytes (4 or 8).
+        base_unknown_mod: True when the base address itself is not known even
+            modulo the bank interleave (an argument array) — the case the
+            paper's *relative* disambiguation was invented for.
+    """
+
+    base: str | None
+    coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+    size: int = 4
+    base_unknown_mod: bool = False
+
+    @staticmethod
+    def make(base: str | None, coeffs: dict[str, int] | None = None,
+             const: int = 0, size: int = 4,
+             base_unknown_mod: bool = False) -> "MemRef":
+        """Build a MemRef from a dict of coefficients (normalised, sorted)."""
+        items = tuple(sorted((v, c) for v, c in (coeffs or {}).items() if c != 0))
+        return MemRef(base, items, const, size, base_unknown_mod)
+
+    def coeff_dict(self) -> dict[str, int]:
+        """The affine coefficients as a fresh dict."""
+        return dict(self.coeffs)
+
+    def shifted(self, delta: int) -> "MemRef":
+        """This reference with ``delta`` bytes added to the constant term.
+
+        Used by the loop unroller: the copy of ``a[i]`` in unrolled
+        iteration *k* becomes ``a[i] + k*stride``.
+        """
+        return MemRef(self.base, self.coeffs, self.const + delta, self.size,
+                      self.base_unknown_mod)
+
+    def substituted(self, var: str, replacement_coeffs: dict[str, int],
+                    replacement_const: int) -> "MemRef":
+        """Substitute ``var := affine(replacement)`` into this reference."""
+        coeffs = self.coeff_dict()
+        k = coeffs.pop(var, 0)
+        const = self.const + k * replacement_const
+        for v, c in replacement_coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + k * c
+        return MemRef.make(self.base, coeffs, const, self.size,
+                           self.base_unknown_mod)
+
+    def __str__(self) -> str:
+        terms = [f"{c}*{v}" for v, c in self.coeffs]
+        terms.append(str(self.const))
+        base = self.base if self.base is not None else "?"
+        mod = "?" if self.base_unknown_mod else ""
+        return f"[{base}{mod} + {' + '.join(terms)} /{self.size}]"

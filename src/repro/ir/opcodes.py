@@ -1,0 +1,241 @@
+"""Opcode definitions and static metadata for the IR.
+
+The opcode repertoire mirrors the TRACE instruction set described in the
+paper: a load/store three-address architecture with
+
+* ~80 integer opcodes (arithmetic, logical, compare, shift/extract/merge —
+  we carry the representative subset used by compiled code),
+* compare-*predicate* operations writing one-bit branch-bank values instead
+  of condition codes (paper section 6.5.2),
+* a branching ``SELECT`` operation giving the semantics of C's ``?:``
+  without a jump (section 6.2),
+* pipelined loads/stores, including the special *dismissable* load opcodes
+  used when the compiler speculates a load above a conditional branch
+  (section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .values import RegClass
+
+
+class Category(Enum):
+    """Semantic category, used to map opcodes onto functional-unit classes."""
+
+    INT_ALU = "int_alu"      # 1-beat integer operations
+    INT_MUL = "int_mul"      # pipelined integer multiply
+    INT_DIV = "int_div"      # integer divide (iterative)
+    INT_CMP = "int_cmp"      # compare-predicate, integer operands
+    PRED = "pred"            # branch-bank bit manipulation
+    FLT_ADD = "flt_add"      # floating adder/ALU pipeline
+    FLT_MUL = "flt_mul"      # floating multiplier pipeline
+    FLT_DIV = "flt_div"      # floating divide (shares the multiplier)
+    FLT_CMP = "flt_cmp"      # compare-predicate, float operands
+    CVT = "cvt"              # int<->float conversions
+    LOAD = "load"            # memory read (7-beat pipeline)
+    STORE = "store"          # memory write
+    BRANCH = "branch"        # conditional branch (terminator)
+    JUMP = "jump"            # unconditional jump (terminator)
+    RET = "ret"              # function return (terminator)
+    CALL = "call"            # procedure call (scheduling barrier)
+    MISC = "misc"            # NOP / HALT
+
+
+class Opcode(Enum):
+    """Every operation the IR (and the modeled machine) understands."""
+
+    # --- integer ALU ------------------------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"      # arithmetic shift right
+    SHRU = "shru"    # logical shift right
+    NEG = "neg"
+    NOT = "not"
+    MOV = "mov"
+    SELECT = "select"      # select(pred, a, b) -> a if pred else b
+    EXTRACT = "extract"    # extract(x, pos, width) bit-field read
+    MERGE = "merge"        # merge(x, y, pos, width): insert low bits of y into x
+
+    # --- integer compare-predicate ---------------------------------------
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+
+    # --- predicate (branch bank) ------------------------------------------
+    PAND = "pand"
+    POR = "por"
+    PNOT = "pnot"
+    PMOV = "pmov"
+    PTOI = "ptoi"    # predicate -> 0/1 integer
+    ITOP = "itop"    # integer -> predicate (nonzero test)
+
+    # --- floating point -----------------------------------------------------
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FMOV = "fmov"
+    FSELECT = "fselect"
+
+    FCMPEQ = "fcmpeq"
+    FCMPNE = "fcmpne"
+    FCMPLT = "fcmplt"
+    FCMPLE = "fcmple"
+    FCMPGT = "fcmpgt"
+    FCMPGE = "fcmpge"
+
+    CVTIF = "cvtif"  # int -> float
+    CVTFI = "cvtfi"  # float -> int (truncate toward zero)
+
+    # --- memory -------------------------------------------------------------
+    LOAD = "load"        # load(base, offset) -> int32
+    STORE = "store"      # store(value, base, offset)
+    FLOAD = "fload"      # load(base, offset) -> float64
+    FSTORE = "fstore"    # store(value, base, offset)
+    LOADS = "loads"      # dismissable int load (speculative; traps dismissed)
+    FLOADS = "floads"    # dismissable float load
+
+    # --- control ------------------------------------------------------------
+    BR = "br"        # br(pred, @then, @else)
+    JMP = "jmp"      # jmp(@target)
+    RET = "ret"      # ret([value])
+    CALL = "call"    # call dest?, $func, args...
+    HALT = "halt"
+    NOP = "nop"
+
+
+@dataclass(frozen=True, slots=True)
+class OpInfo:
+    """Static description of one opcode.
+
+    ``src_classes`` lists register classes for register/immediate operands;
+    label/symbol operands are described by ``n_labels``/``callee`` handling
+    in the verifier rather than here.
+    """
+
+    category: Category
+    src_classes: tuple[RegClass, ...]
+    dest_class: RegClass | None
+    commutative: bool = False
+    side_effect: bool = False       # stores, calls, halt
+    can_trap: bool = True           # may raise a machine trap
+    is_terminator: bool = False
+    speculative: bool = False       # dismissable-load variants
+    extra: dict = field(default_factory=dict)
+
+
+_I = RegClass.INT
+_F = RegClass.FLT
+_P = RegClass.PRED
+
+OP_INFO: dict[Opcode, OpInfo] = {
+    # integer ALU: single-beat, never traps (wraps at 32 bits)
+    Opcode.ADD: OpInfo(Category.INT_ALU, (_I, _I), _I, commutative=True, can_trap=False),
+    Opcode.SUB: OpInfo(Category.INT_ALU, (_I, _I), _I, can_trap=False),
+    Opcode.MUL: OpInfo(Category.INT_MUL, (_I, _I), _I, commutative=True, can_trap=False),
+    Opcode.DIV: OpInfo(Category.INT_DIV, (_I, _I), _I),  # traps on /0
+    Opcode.REM: OpInfo(Category.INT_DIV, (_I, _I), _I),
+    Opcode.AND: OpInfo(Category.INT_ALU, (_I, _I), _I, commutative=True, can_trap=False),
+    Opcode.OR: OpInfo(Category.INT_ALU, (_I, _I), _I, commutative=True, can_trap=False),
+    Opcode.XOR: OpInfo(Category.INT_ALU, (_I, _I), _I, commutative=True, can_trap=False),
+    Opcode.SHL: OpInfo(Category.INT_ALU, (_I, _I), _I, can_trap=False),
+    Opcode.SHR: OpInfo(Category.INT_ALU, (_I, _I), _I, can_trap=False),
+    Opcode.SHRU: OpInfo(Category.INT_ALU, (_I, _I), _I, can_trap=False),
+    Opcode.NEG: OpInfo(Category.INT_ALU, (_I,), _I, can_trap=False),
+    Opcode.NOT: OpInfo(Category.INT_ALU, (_I,), _I, can_trap=False),
+    Opcode.MOV: OpInfo(Category.INT_ALU, (_I,), _I, can_trap=False),
+    Opcode.SELECT: OpInfo(Category.INT_ALU, (_P, _I, _I), _I, can_trap=False),
+    Opcode.EXTRACT: OpInfo(Category.INT_ALU, (_I, _I, _I), _I, can_trap=False),
+    Opcode.MERGE: OpInfo(Category.INT_ALU, (_I, _I, _I, _I), _I, can_trap=False),
+
+    Opcode.CMPEQ: OpInfo(Category.INT_CMP, (_I, _I), _P, commutative=True, can_trap=False),
+    Opcode.CMPNE: OpInfo(Category.INT_CMP, (_I, _I), _P, commutative=True, can_trap=False),
+    Opcode.CMPLT: OpInfo(Category.INT_CMP, (_I, _I), _P, can_trap=False),
+    Opcode.CMPLE: OpInfo(Category.INT_CMP, (_I, _I), _P, can_trap=False),
+    Opcode.CMPGT: OpInfo(Category.INT_CMP, (_I, _I), _P, can_trap=False),
+    Opcode.CMPGE: OpInfo(Category.INT_CMP, (_I, _I), _P, can_trap=False),
+
+    Opcode.PAND: OpInfo(Category.PRED, (_P, _P), _P, commutative=True, can_trap=False),
+    Opcode.POR: OpInfo(Category.PRED, (_P, _P), _P, commutative=True, can_trap=False),
+    Opcode.PNOT: OpInfo(Category.PRED, (_P,), _P, can_trap=False),
+    Opcode.PMOV: OpInfo(Category.PRED, (_P,), _P, can_trap=False),
+    Opcode.PTOI: OpInfo(Category.INT_ALU, (_P,), _I, can_trap=False),
+    Opcode.ITOP: OpInfo(Category.INT_CMP, (_I,), _P, can_trap=False),
+
+    Opcode.FADD: OpInfo(Category.FLT_ADD, (_F, _F), _F, commutative=True),
+    Opcode.FSUB: OpInfo(Category.FLT_ADD, (_F, _F), _F),
+    Opcode.FMUL: OpInfo(Category.FLT_MUL, (_F, _F), _F, commutative=True),
+    Opcode.FDIV: OpInfo(Category.FLT_DIV, (_F, _F), _F),
+    Opcode.FNEG: OpInfo(Category.FLT_ADD, (_F,), _F, can_trap=False),
+    Opcode.FABS: OpInfo(Category.FLT_ADD, (_F,), _F, can_trap=False),
+    Opcode.FMOV: OpInfo(Category.FLT_ADD, (_F,), _F, can_trap=False),
+    Opcode.FSELECT: OpInfo(Category.FLT_ADD, (_P, _F, _F), _F, can_trap=False),
+
+    Opcode.FCMPEQ: OpInfo(Category.FLT_CMP, (_F, _F), _P, commutative=True, can_trap=False),
+    Opcode.FCMPNE: OpInfo(Category.FLT_CMP, (_F, _F), _P, commutative=True, can_trap=False),
+    Opcode.FCMPLT: OpInfo(Category.FLT_CMP, (_F, _F), _P, can_trap=False),
+    Opcode.FCMPLE: OpInfo(Category.FLT_CMP, (_F, _F), _P, can_trap=False),
+    Opcode.FCMPGT: OpInfo(Category.FLT_CMP, (_F, _F), _P, can_trap=False),
+    Opcode.FCMPGE: OpInfo(Category.FLT_CMP, (_F, _F), _P, can_trap=False),
+
+    Opcode.CVTIF: OpInfo(Category.CVT, (_I,), _F, can_trap=False),
+    Opcode.CVTFI: OpInfo(Category.CVT, (_F,), _I),  # traps on NaN/overflow
+
+    Opcode.LOAD: OpInfo(Category.LOAD, (_I, _I), _I),
+    Opcode.STORE: OpInfo(Category.STORE, (_I, _I, _I), None, side_effect=True),
+    Opcode.FLOAD: OpInfo(Category.LOAD, (_I, _I), _F),
+    Opcode.FSTORE: OpInfo(Category.STORE, (_F, _I, _I), None, side_effect=True),
+    Opcode.LOADS: OpInfo(Category.LOAD, (_I, _I), _I, can_trap=False, speculative=True),
+    Opcode.FLOADS: OpInfo(Category.LOAD, (_I, _I), _F, can_trap=False, speculative=True),
+
+    Opcode.BR: OpInfo(Category.BRANCH, (_P,), None, can_trap=False, is_terminator=True),
+    Opcode.JMP: OpInfo(Category.JUMP, (), None, can_trap=False, is_terminator=True),
+    Opcode.RET: OpInfo(Category.RET, (), None, can_trap=False, is_terminator=True),
+    Opcode.CALL: OpInfo(Category.CALL, (), None, side_effect=True),
+    Opcode.HALT: OpInfo(Category.MISC, (), None, side_effect=True, can_trap=False,
+                        is_terminator=True),
+    Opcode.NOP: OpInfo(Category.MISC, (), None, can_trap=False),
+}
+
+#: Compare opcodes and their negations, used when the trace scheduler or the
+#: branch lowering needs to invert a test instead of inserting a PNOT.
+CMP_NEGATION: dict[Opcode, Opcode] = {
+    Opcode.CMPEQ: Opcode.CMPNE, Opcode.CMPNE: Opcode.CMPEQ,
+    Opcode.CMPLT: Opcode.CMPGE, Opcode.CMPGE: Opcode.CMPLT,
+    Opcode.CMPLE: Opcode.CMPGT, Opcode.CMPGT: Opcode.CMPLE,
+    Opcode.FCMPEQ: Opcode.FCMPNE, Opcode.FCMPNE: Opcode.FCMPEQ,
+    Opcode.FCMPLT: Opcode.FCMPGE, Opcode.FCMPGE: Opcode.FCMPLT,
+    Opcode.FCMPLE: Opcode.FCMPGT, Opcode.FCMPGT: Opcode.FCMPLE,
+}
+
+#: Map each plain load opcode to its dismissable (speculative) variant.
+SPECULATIVE_LOAD: dict[Opcode, Opcode] = {
+    Opcode.LOAD: Opcode.LOADS,
+    Opcode.FLOAD: Opcode.FLOADS,
+}
+
+#: Byte width of the memory access performed by each memory opcode.
+ACCESS_SIZE: dict[Opcode, int] = {
+    Opcode.LOAD: 4, Opcode.LOADS: 4, Opcode.STORE: 4,
+    Opcode.FLOAD: 8, Opcode.FLOADS: 8, Opcode.FSTORE: 8,
+}
+
+
+def opcode_by_name(name: str) -> Opcode:
+    """Look up an opcode from its textual mnemonic (raises KeyError)."""
+    return Opcode(name)

@@ -1,0 +1,166 @@
+"""The Operation class: one three-address IR operation.
+
+Every operation that ends up in the final program is an ``Operation``; the
+trace scheduler moves, copies (compensation code) and renames these objects,
+tracking provenance through the ``origin`` field.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import IRError
+from .memref import MemRef
+from .opcodes import OP_INFO, Category, Opcode, OpInfo
+from .values import Imm, Label, Operand, RegClass, Symbol, VReg
+
+_op_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class Operation:
+    """A single IR operation.
+
+    Attributes:
+        opcode: the :class:`Opcode`.
+        dest: destination virtual register (``None`` for stores/branches).
+        srcs: source operands (registers, immediates, symbols).
+        labels: control-flow targets (``BR``: then/else, ``JMP``: target).
+        callee: called function name, for ``CALL`` only.
+        memref: symbolic address info for memory operations (may be None).
+        origin: id of the operation this one was copied from (compensation
+            code provenance); ``None`` for original program operations.
+        uid: process-unique integer identity.
+    """
+
+    opcode: Opcode
+    dest: Optional[VReg] = None
+    srcs: list = field(default_factory=list)
+    labels: tuple = ()
+    callee: Optional[str] = None
+    memref: Optional[MemRef] = None
+    origin: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_op_ids))
+
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> OpInfo:
+        """Static metadata for this operation's opcode."""
+        return OP_INFO[self.opcode]
+
+    @property
+    def category(self) -> Category:
+        return self.info.category
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.info.is_terminator
+
+    @property
+    def is_memory(self) -> bool:
+        return self.category in (Category.LOAD, Category.STORE)
+
+    @property
+    def is_load(self) -> bool:
+        return self.category is Category.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.category is Category.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.category is Category.BRANCH
+
+    @property
+    def is_call(self) -> bool:
+        return self.category is Category.CALL
+
+    @property
+    def has_side_effect(self) -> bool:
+        return self.info.side_effect
+
+    @property
+    def can_trap(self) -> bool:
+        return self.info.can_trap
+
+    @property
+    def is_speculative(self) -> bool:
+        return self.info.speculative
+
+    # ------------------------------------------------------------------
+    def reg_srcs(self) -> list[VReg]:
+        """Source operands that are virtual registers."""
+        return [s for s in self.srcs if isinstance(s, VReg)]
+
+    def defs(self) -> list[VReg]:
+        """Registers defined by this operation (0 or 1)."""
+        return [self.dest] if self.dest is not None else []
+
+    def replace_src(self, old: VReg, new: Operand) -> int:
+        """Replace every occurrence of ``old`` among sources; return count."""
+        count = 0
+        for i, s in enumerate(self.srcs):
+            if s == old:
+                self.srcs[i] = new
+                count += 1
+        return count
+
+    def rename_dest(self, new: VReg) -> None:
+        if self.dest is None:
+            raise IRError(f"{self} has no destination to rename")
+        self.dest = new
+
+    def copy(self, origin: Optional[int] = None) -> "Operation":
+        """A fresh Operation with the same fields and a new uid.
+
+        ``origin`` defaults to this op's provenance root, so chains of
+        compensation copies all point back at the original program op.
+        """
+        if origin is None:
+            origin = self.origin if self.origin is not None else self.uid
+        return Operation(self.opcode, self.dest, list(self.srcs), self.labels,
+                         self.callee, self.memref, origin)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        parts = []
+        if self.dest is not None:
+            parts.append(f"{self.dest} = ")
+        parts.append(self.opcode.value)
+        operands = [str(s) for s in self.srcs]
+        if self.callee is not None:
+            operands.insert(0, f"${self.callee}")
+        operands += [str(lbl) for lbl in self.labels]
+        if operands:
+            parts.append(" " + ", ".join(operands))
+        if self.memref is not None:
+            parts.append(f"  ; {self.memref}")
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<op#{self.uid} {self}>"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+
+
+def make_br(pred: Operand, then_label: str, else_label: str) -> Operation:
+    """Conditional branch: to ``then_label`` when ``pred`` is true."""
+    return Operation(Opcode.BR, None, [pred],
+                     (Label(then_label), Label(else_label)))
+
+
+def make_jmp(target: str) -> Operation:
+    return Operation(Opcode.JMP, None, [], (Label(target),))
+
+
+def make_ret(value: Operand | None = None) -> Operation:
+    return Operation(Opcode.RET, None, [] if value is None else [value])
+
+
+def make_call(dest: VReg | None, callee: str, args: list) -> Operation:
+    return Operation(Opcode.CALL, dest, list(args), callee=callee)

@@ -1,0 +1,165 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`."""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .function import DataObject, Function, Module
+from .memref import MemRef
+from .opcodes import OP_INFO, Opcode
+from .operation import Operation
+from .values import Imm, Label, RegClass, Symbol, VReg
+
+_VREG_RE = re.compile(r"%([A-Za-z0-9_.$-]+):([ifp])$")
+_INT_RE = re.compile(r"-?\d+$")
+_FLOAT_RE = re.compile(r"-?(\d+\.\d*([eE][-+]?\d+)?|\d+[eE][-+]?\d+|inf|nan)$")
+_MEM_RE = re.compile(r"!mem\(([^)]*)\)")
+_FUNC_RE = re.compile(r"func\s+([A-Za-z0-9_.$-]+)\(([^)]*)\)\s*(->\s*([ifp]))?\s*\{$")
+_DATA_RE = re.compile(
+    r"data\s+(\S+)\s+(\d+)\s+align\s+(\d+)(?:\s+(init|bytes)\s+(.*))?$")
+_TRIPLE_RE = re.compile(r"\((\d+),(\d+),([^)]+)\)")
+
+
+def _parse_vreg(text: str, line: int) -> VReg:
+    m = _VREG_RE.match(text)
+    if not m:
+        raise ParseError(f"bad register {text!r}", line)
+    return VReg(m.group(1), RegClass(m.group(2)))
+
+
+def _parse_operand(text: str, line: int):
+    text = text.strip()
+    if text.startswith("%"):
+        return _parse_vreg(text, line)
+    if text.startswith("@"):
+        return Label(text[1:])
+    if text.startswith("$"):
+        return Symbol(text[1:])
+    if _INT_RE.match(text):
+        return Imm(int(text))
+    if _FLOAT_RE.match(text):
+        return Imm(float(text), RegClass.FLT)
+    raise ParseError(f"bad operand {text!r}", line)
+
+
+def parse_memref(text: str, line: int = 0) -> MemRef:
+    """Parse the ``base,size,const[,var=coeff]*`` body of a !mem annotation."""
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if len(parts) < 3:
+        raise ParseError(f"bad !mem annotation {text!r}", line)
+    base_text = parts[0]
+    unknown_mod = base_text.endswith("?") and base_text != "?"
+    base_text = base_text.rstrip("?") or None
+    if parts[0] == "?":
+        base_text = None
+    coeffs = {}
+    for item in parts[3:]:
+        var, _, coeff = item.partition("=")
+        coeffs[var] = int(coeff)
+    return MemRef.make(base_text, coeffs, const=int(parts[2]),
+                       size=int(parts[1]), base_unknown_mod=unknown_mod)
+
+
+def parse_operation(text: str, line: int = 0) -> Operation:
+    """Parse one operation line (without leading whitespace)."""
+    memref = None
+    mem_match = _MEM_RE.search(text)
+    if mem_match:
+        memref = parse_memref(mem_match.group(1), line)
+        text = text[:mem_match.start()].strip()
+
+    dest = None
+    if "= " in text and text.startswith("%"):
+        dest_text, _, text = text.partition("=")
+        dest = _parse_vreg(dest_text.strip(), line)
+        text = text.strip()
+
+    mnemonic, _, rest = text.partition(" ")
+    try:
+        opcode = Opcode(mnemonic.strip())
+    except ValueError:
+        raise ParseError(f"unknown opcode {mnemonic!r}", line) from None
+
+    operands = [_parse_operand(tok, line)
+                for tok in rest.split(",")] if rest.strip() else []
+
+    callee = None
+    if opcode is Opcode.CALL:
+        if not operands or not isinstance(operands[0], Symbol):
+            raise ParseError("call needs a $callee first operand", line)
+        callee = operands.pop(0).name
+
+    labels = tuple(o for o in operands if isinstance(o, Label))
+    srcs = [o for o in operands if not isinstance(o, Label)]
+
+    # Immediate operand classes come from opcode metadata (e.g. `1` used as
+    # a predicate or float immediate).
+    info = OP_INFO[opcode]
+    for i, src in enumerate(srcs):
+        if isinstance(src, Imm) and i < len(info.src_classes):
+            want = info.src_classes[i]
+            if src.cls is not want and not isinstance(src.value, float):
+                srcs[i] = Imm(src.value, want)
+            elif want is RegClass.FLT and src.cls is not RegClass.FLT:
+                srcs[i] = Imm(float(src.value), RegClass.FLT)
+    return Operation(opcode, dest, srcs, labels, callee, memref)
+
+
+def parse_module(text: str) -> Module:
+    """Parse a whole module dump back into IR objects."""
+    module: Module | None = None
+    func: Function | None = None
+    block = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip() if not raw.strip().startswith(
+            "!") else raw.strip()
+        if not line:
+            continue
+        if line.startswith("module "):
+            module = Module(line.split(None, 1)[1].strip())
+        elif line.startswith("data "):
+            if module is None:
+                raise ParseError("data before module header", lineno)
+            m = _DATA_RE.match(line)
+            if not m:
+                raise ParseError(f"bad data line {line!r}", lineno)
+            name, size, align, kind, body = m.groups()
+            init = None
+            if kind == "bytes":
+                init = bytes.fromhex(body.strip())
+            elif kind == "init":
+                init = []
+                for off, width, value in _TRIPLE_RE.findall(body):
+                    parsed = float(value) if ("." in value or "e" in value
+                                              or "E" in value) else int(value)
+                    init.append((int(off), int(width), parsed))
+            module.add_data(DataObject(name, int(size), init, int(align)))
+        elif line.startswith("func "):
+            if module is None:
+                raise ParseError("func before module header", lineno)
+            m = _FUNC_RE.match(line)
+            if not m:
+                raise ParseError(f"bad func header {line!r}", lineno)
+            name, params_text, _, ret = m.groups()
+            params = [_parse_vreg(p.strip(), lineno)
+                      for p in params_text.split(",") if p.strip()]
+            func = Function(name, params, RegClass(ret) if ret else None)
+            module.add_function(func)
+            block = None
+        elif line == "}":
+            func = None
+            block = None
+        elif line.endswith(":") and " " not in line:
+            if func is None:
+                raise ParseError("label outside function", lineno)
+            block = func.add_block(line[:-1])
+        else:
+            if block is None:
+                raise ParseError(f"operation outside block: {line!r}", lineno)
+            block.append(parse_operation(line, lineno))
+
+    if module is None:
+        raise ParseError("no module header found")
+    return module

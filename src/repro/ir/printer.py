@@ -1,0 +1,66 @@
+"""Textual serialisation of IR modules/functions.
+
+The format round-trips through :mod:`repro.ir.parser`; it exists so tests
+can assert on readable dumps and so examples can show compiler stages.
+"""
+
+from __future__ import annotations
+
+from .function import DataObject, Function, Module
+from .memref import MemRef
+from .operation import Operation
+
+
+def format_memref(ref: MemRef) -> str:
+    base = ref.base if ref.base is not None else "?"
+    if ref.base_unknown_mod and ref.base is not None:
+        base += "?"
+    parts = [base, str(ref.size), str(ref.const)]
+    parts += [f"{v}={c}" for v, c in ref.coeffs]
+    return f"!mem({','.join(parts)})"
+
+
+def format_operation(op: Operation) -> str:
+    parts = []
+    if op.dest is not None:
+        parts.append(f"{op.dest} = ")
+    parts.append(op.opcode.value)
+    operands = []
+    if op.callee is not None:
+        operands.append(f"${op.callee}")
+    operands += [str(s) for s in op.srcs]
+    operands += [str(lbl) for lbl in op.labels]
+    if operands:
+        parts.append(" " + ", ".join(operands))
+    if op.memref is not None:
+        parts.append(" " + format_memref(op.memref))
+    return "".join(parts)
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(str(p) for p in func.params)
+    ret = f" -> {func.ret_class.value}" if func.ret_class else ""
+    lines = [f"func {func.name}({params}){ret} {{"]
+    for block in func.blocks.values():
+        lines.append(f"{block.name}:")
+        lines += [f"  {format_operation(op)}" for op in block.ops]
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_data(obj: DataObject) -> str:
+    head = f"data {obj.name} {obj.size} align {obj.align}"
+    if obj.init is None:
+        return head
+    if isinstance(obj.init, bytes):
+        return f"{head} bytes {obj.init.hex()}"
+    triples = " ".join(f"({off},{width},{value!r})"
+                       for off, width, value in obj.init)
+    return f"{head} init {triples}"
+
+
+def format_module(module: Module) -> str:
+    chunks = [f"module {module.name}"]
+    chunks += [format_data(obj) for obj in module.data.values()]
+    chunks += [format_function(func) for func in module.functions.values()]
+    return "\n\n".join(chunks) + "\n"

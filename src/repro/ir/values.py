@@ -1,0 +1,108 @@
+"""Value kinds used by IR operations: virtual registers, immediates, labels.
+
+The IR is a conventional three-address virtual-register code.  Registers are
+typed by :class:`RegClass`, mirroring the TRACE's physically distinct
+register banks:
+
+* ``INT``  — 32-bit integers (I-board general registers),
+* ``FLT``  — 64-bit IEEE floats (F-board general registers),
+* ``PRED`` — one-bit compare results (the paper's *branch bank* elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+
+class RegClass(Enum):
+    """The bank class of a register or immediate."""
+
+    INT = "i"
+    FLT = "f"
+    PRED = "p"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegClass.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class VReg:
+    """A virtual register, unique by (name, cls) within a function."""
+
+    name: str
+    cls: RegClass
+
+    def __str__(self) -> str:
+        return f"%{self.name}:{self.cls.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """An immediate constant operand.
+
+    Integer immediates model the TRACE's 6/17/32-bit immediate fields;
+    float immediates are materialised by the backend (the real machine
+    builds them from 32-bit halves).
+    """
+
+    value: Union[int, float]
+    cls: RegClass = RegClass.INT
+
+    def __post_init__(self) -> None:
+        if self.cls is RegClass.FLT and not isinstance(self.value, float):
+            object.__setattr__(self, "value", float(self.value))
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A reference to a basic block, used by branch terminators."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """The address of a module-level data object (array/scalar in memory).
+
+    A ``Symbol`` evaluates to the byte address assigned to the object when
+    the module is loaded.  The disambiguator treats distinct symbols as
+    provably non-aliasing bases.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+#: Anything that may appear in an operation's source-operand list.
+Operand = Union[VReg, Imm, Label, Symbol]
+
+
+def operand_str(op: Operand) -> str:
+    """Render any operand in the textual IR syntax."""
+    return str(op)
+
+
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+
+def wrap32(value: int) -> int:
+    """Wrap a Python int to signed 32-bit two's-complement range.
+
+    All integer arithmetic in the IR (and on the simulated TRACE, whose
+    integer datapaths are 32 bits wide) wraps at 32 bits.
+    """
+    value &= 0xFFFFFFFF
+    if value > INT32_MAX:
+        value -= 1 << 32
+    return value

@@ -1,0 +1,103 @@
+"""IR verifier: structural and type checks over functions and modules.
+
+The compiler pipeline runs the verifier after every pass when
+``repro.opt.pass_manager.PassManager(verify=True)`` is used (the default in
+tests), so a pass that corrupts the IR fails loudly at the point of damage.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .function import Function, Module
+from .opcodes import OP_INFO, Opcode
+from .operation import Operation
+from .values import Imm, RegClass, Symbol, VReg
+
+
+def verify_operation(op: Operation, where: str) -> None:
+    """Check operand counts/classes of a single operation."""
+    info = OP_INFO[op.opcode]
+
+    if op.opcode is Opcode.RET:
+        if len(op.srcs) > 1:
+            raise IRError(f"{where}: ret takes at most one value: {op}")
+    elif op.opcode is Opcode.CALL:
+        if op.callee is None:
+            raise IRError(f"{where}: call without callee: {op}")
+    else:
+        if len(op.srcs) != len(info.src_classes):
+            raise IRError(
+                f"{where}: {op.opcode.value} wants {len(info.src_classes)}"
+                f" operands, has {len(op.srcs)}: {op}")
+        for i, (src, want) in enumerate(zip(op.srcs, info.src_classes)):
+            if isinstance(src, VReg) and src.cls is not want:
+                raise IRError(
+                    f"{where}: operand {i} of {op} is {src.cls.name},"
+                    f" wants {want.name}")
+            if isinstance(src, Imm) and src.cls is not want:
+                raise IRError(
+                    f"{where}: immediate operand {i} of {op} is"
+                    f" {src.cls.name}, wants {want.name}")
+            if isinstance(src, Symbol) and want is not RegClass.INT:
+                raise IRError(f"{where}: symbol operand in non-int slot: {op}")
+
+    if op.opcode not in (Opcode.CALL,):
+        if info.dest_class is None and op.dest is not None:
+            raise IRError(f"{where}: {op.opcode.value} cannot define: {op}")
+        if (info.dest_class is not None and op.dest is not None
+                and op.dest.cls is not info.dest_class):
+            raise IRError(
+                f"{where}: dest of {op} is {op.dest.cls.name},"
+                f" wants {info.dest_class.name}")
+
+    expected_labels = {Opcode.BR: 2, Opcode.JMP: 1}.get(op.opcode, 0)
+    if len(op.labels) != expected_labels:
+        raise IRError(f"{where}: {op.opcode.value} wants {expected_labels}"
+                      f" labels, has {len(op.labels)}: {op}")
+
+
+def verify_function(func: Function, module: Module | None = None) -> None:
+    """Verify one function; pass the module to also check calls/symbols."""
+    if not func.blocks:
+        raise IRError(f"function {func.name} has no blocks")
+
+    for bname, block in func.blocks.items():
+        where = f"{func.name}:{bname}"
+        if block.terminator is None:
+            raise IRError(f"{where}: block is not terminated")
+        for i, op in enumerate(block.ops):
+            if op.is_terminator and i != len(block.ops) - 1:
+                raise IRError(f"{where}: terminator {op} mid-block")
+            verify_operation(op, where)
+            for src in op.srcs:
+                if isinstance(src, Symbol) and module is not None:
+                    if src.name not in module.data:
+                        raise IRError(f"{where}: unknown symbol {src}")
+            if op.opcode is Opcode.CALL and module is not None:
+                callee = module.functions.get(op.callee or "")
+                if callee is None:
+                    raise IRError(f"{where}: call to unknown {op.callee!r}")
+                if len(op.srcs) != len(callee.params):
+                    raise IRError(
+                        f"{where}: call {op.callee} wants"
+                        f" {len(callee.params)} args, has {len(op.srcs)}")
+                for arg, param in zip(op.srcs, callee.params):
+                    cls = arg.cls if isinstance(arg, (VReg, Imm)) else RegClass.INT
+                    if cls is not param.cls:
+                        raise IRError(f"{where}: arg class mismatch in {op}")
+                if op.dest is not None and callee.ret_class is not op.dest.cls:
+                    raise IRError(f"{where}: call result class mismatch: {op}")
+            if op.opcode is Opcode.RET and module is not None:
+                if func.ret_class is None and op.srcs:
+                    raise IRError(f"{where}: ret with value in void function")
+                if func.ret_class is not None and not op.srcs:
+                    raise IRError(f"{where}: ret without value")
+
+    # All branch targets must exist (predecessors() also validates this).
+    func.predecessors()
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module."""
+    for func in module.functions.values():
+        verify_function(func, module)

@@ -1,0 +1,24 @@
+"""The TRACE machine model: configurations, resources, schedules, encoding."""
+
+from .config import (MachineConfig, TRACE_7_200, TRACE_14_200, TRACE_28_200)
+from .encoding import (BLOCK_INSTRUCTIONS, MASK_WORDS, DecodedOp,
+                       PackedProgram, decode_op_word, encode_function,
+                       encode_instruction, encode_op_word, pack_program,
+                       unpack_program)
+from .resources import (F_UNITS, IALU_UNITS, Placement, ReservationTable,
+                        Unit, imm_value, latency_of, needs_imm_word,
+                        units_for)
+from .schedule import (BranchTest, CompiledFunction, CompiledProgram,
+                       LongInstruction, ScheduledOp, format_compiled,
+                       is_phys, phys_index, phys_reg)
+
+__all__ = [
+    "MachineConfig", "TRACE_7_200", "TRACE_14_200", "TRACE_28_200",
+    "BLOCK_INSTRUCTIONS", "MASK_WORDS", "DecodedOp", "PackedProgram",
+    "decode_op_word", "encode_function", "encode_instruction",
+    "encode_op_word", "pack_program", "unpack_program",
+    "F_UNITS", "IALU_UNITS", "Placement", "ReservationTable", "Unit",
+    "imm_value", "latency_of", "needs_imm_word", "units_for",
+    "BranchTest", "CompiledFunction", "CompiledProgram", "LongInstruction",
+    "ScheduledOp", "format_compiled", "is_phys", "phys_index", "phys_reg",
+]

@@ -1,0 +1,133 @@
+"""Machine configuration: the TRACE family (1, 2, or 4 I-F board pairs).
+
+Numbers follow the paper:
+
+* an instruction executes in two 65 ns minor cycles ("beats");
+* each I-F pair contributes a 256-bit instruction slice: two I-board ALUs
+  with unique early- and late-beat operations (4 integer ops), a floating
+  adder and a floating multiplier (1 op each per instruction, and both can
+  run 1-beat integer ALU ops — "fast moves" and SELECT), one branch test,
+  and one memory reference per beat from the I board;
+* pipeline latencies: integer ALU 1 beat, floating adder 6 beats (64-bit),
+  multiplier 7 beats, divide 25 beats, memory 7 beats load-to-use;
+* the backplane carries `n_pairs` ILoad, FLoad and Store buses (4 each in
+  the full machine); a 64-bit transfer holds a 32-bit bus for two beats;
+* up to 8 memory controllers of up to 8 banks; a touched bank stays busy
+  4 beats.
+
+Deviation from the hardware (documented in DESIGN.md): register files are
+modeled as machine-wide pools (64 int / 32 float64 / 14 branch-bank bits
+per pair) rather than per-board banks; the paper's ``dest_bank`` field
+already lets any unit write any bank, and we idealise reads instead of
+implementing cluster assignment in the register allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MachineError
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One point in the TRACE configuration space."""
+
+    n_pairs: int = 4                 # I-F board pairs: 1, 2 or 4
+    n_controllers: int = 8           # memory controllers (<= 8)
+    banks_per_controller: int = 8    # RAM banks per controller (<= 8)
+    beat_ns: float = 65.0            # minor cycle time
+    beats_per_instruction: int = 2
+
+    # functional-unit latencies, in beats
+    lat_int_alu: int = 1
+    lat_int_mul: int = 2
+    lat_int_div: int = 16
+    lat_flt_add: int = 6
+    lat_flt_mul: int = 7
+    lat_flt_div: int = 25
+    lat_flt_cmp: int = 2
+    lat_cvt: int = 6
+    lat_mem: int = 7                 # load issue to data-usable
+
+    bank_busy_beats: int = 4         # bank occupancy per access
+    icache_instructions: int = 8192  # 8K instructions (paper section 6.5)
+
+    # register files (pooled across pairs; see module docstring)
+    int_regs_per_pair: int = 64
+    flt_regs_per_pair: int = 32      # 64 x 32-bit used in pairs
+    pred_regs_per_pair: int = 14     # two 7-element branch banks
+
+    # modeled procedure-call overhead in instructions (block register
+    # save/restore "special subroutines", paper section 9)
+    call_overhead_instructions: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_pairs not in (1, 2, 4):
+            raise MachineError(f"n_pairs must be 1, 2 or 4: {self.n_pairs}")
+        if not 1 <= self.n_controllers <= 8:
+            raise MachineError("n_controllers must be in 1..8")
+        if not 1 <= self.banks_per_controller <= 8:
+            raise MachineError("banks_per_controller must be in 1..8")
+
+    # -- derived figures --------------------------------------------------
+    @property
+    def instruction_bits(self) -> int:
+        """256 bits per pair: the paper's 256/512/1024-bit words."""
+        return 256 * self.n_pairs
+
+    @property
+    def ops_per_instruction(self) -> int:
+        """Peak operations per instruction: 7 per pair (paper: 28 at 4)."""
+        return 7 * self.n_pairs
+
+    @property
+    def total_banks(self) -> int:
+        return self.n_controllers * self.banks_per_controller
+
+    @property
+    def int_regs(self) -> int:
+        return self.int_regs_per_pair * self.n_pairs
+
+    @property
+    def flt_regs(self) -> int:
+        return self.flt_regs_per_pair * self.n_pairs
+
+    @property
+    def pred_regs(self) -> int:
+        return self.pred_regs_per_pair * self.n_pairs
+
+    @property
+    def n_load_buses(self) -> int:
+        """ILoad buses (and FLoad buses) — one per pair."""
+        return self.n_pairs
+
+    @property
+    def n_store_buses(self) -> int:
+        return self.n_pairs
+
+    @property
+    def mem_refs_per_beat(self) -> int:
+        """One address generator per I board per beat."""
+        return self.n_pairs
+
+    def instruction_ns(self) -> float:
+        return self.beat_ns * self.beats_per_instruction
+
+    def peak_mflops(self) -> float:
+        """Peak MFLOPS: one FADD + one FMUL per pair per instruction."""
+        return 2 * self.n_pairs / (self.instruction_ns() * 1e-3)
+
+    def peak_vliw_mips(self) -> float:
+        """Peak native operations per second, in millions."""
+        return self.ops_per_instruction / (self.instruction_ns() * 1e-3)
+
+    def peak_memory_bandwidth_mb_s(self) -> float:
+        """Peak 64-bit reference rate: refs/beat * 8 bytes / beat time."""
+        return self.mem_refs_per_beat * 8 / (self.beat_ns * 1e-3)
+
+
+#: The product line's standard configurations (TRACE 7/200, 14/200, 28/200).
+TRACE_7_200 = MachineConfig(n_pairs=1, n_controllers=4)
+TRACE_14_200 = MachineConfig(n_pairs=2, n_controllers=8)
+TRACE_28_200 = MachineConfig(n_pairs=4, n_controllers=8)

@@ -1,0 +1,278 @@
+"""Instruction-word encoding (paper Figure 3) and the mask-word memory
+format (paper section 6.5.1).
+
+The architecture has a *fixed-length* instruction — 8 32-bit words per I-F
+pair, wired straight to the functional units from the instruction cache —
+but a *variable-length* main-memory representation: instructions are stored
+in blocks of four, each block preceded by four 32-bit mask words whose bits
+say which 32-bit instruction fields are present; absent fields are no-ops
+and cost no memory.  This module implements both, plus the refill-engine
+unpacking, and is the measurement instrument for the paper's code-size
+results (section 9).
+
+Word layout per pair (Figure 3):
+
+====  =================================
+word  contents
+====  =================================
+0     I ALU0, early beat
+1     32-bit immediate constant (early)
+2     I ALU1, early beat
+3     F adder / ALU-A control
+4     I ALU0, late beat
+5     32-bit immediate constant (late)
+6     I ALU1, late beat
+7     F multiplier / ALU-M control
+====  =================================
+
+Within an operation word (documented approximation of Figure 3's fields)::
+
+    [31:25] opcode+1   (0 means empty slot / no-op)
+    [24:19] dest register index
+    [18:17] dest bank  (0 int, 1 float, 2 branch bank)
+    [16]    imm flag   (src2 field is a 6-bit signed immediate)
+    [15:10] src1 register index
+    [9:4]   src2 register index or small immediate (biased +32)
+    [3:0]   branch test: branch-bank element + 1 (0 = no test)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import EncodingError
+from ..ir import Imm, Opcode, Operation, RegClass, Symbol, VReg
+from .config import MachineConfig
+from .resources import Unit
+from .schedule import (BranchTest, CompiledFunction, LongInstruction,
+                       ScheduledOp, phys_index)
+
+#: Stable opcode numbering for the 7-bit opcode field.
+OPCODE_INDEX: dict[Opcode, int] = {op: i for i, op in enumerate(Opcode)}
+INDEX_OPCODE: dict[int, Opcode] = {i: op for op, i in OPCODE_INDEX.items()}
+
+#: Unit -> word index within a pair's 8-word slice.
+UNIT_WORD = {Unit.IALU0_E: 0, Unit.IALU1_E: 2, Unit.FALU: 3,
+             Unit.IALU0_L: 4, Unit.IALU1_L: 6, Unit.FMUL: 7}
+WORD_UNIT = {w: u for u, w in UNIT_WORD.items()}
+IMM_WORDS = (1, 5)          # early, late
+WORDS_PER_PAIR = 8
+
+_BANK_CODE = {RegClass.INT: 0, RegClass.FLT: 1, RegClass.PRED: 2}
+_CODE_BANK = {v: k for k, v in _BANK_CODE.items()}
+
+
+def _small_imm(value) -> int | None:
+    """Encode an inline 6-bit signed immediate, or None if it won't fit."""
+    if isinstance(value, float):
+        return None
+    if -32 <= value <= 31:
+        return value + 32
+    return None
+
+
+def encode_op_word(so: ScheduledOp, branch_elem: int = 0) -> int:
+    """Encode one scheduled operation into its 32-bit control word."""
+    op = so.op
+    word = (OPCODE_INDEX[op.opcode] + 1) << 25
+    if op.dest is not None:
+        word |= (phys_index(op.dest) & 0x3F) << 19
+        word |= _BANK_CODE[op.dest.cls] << 17
+
+    regs = [s for s in op.srcs if isinstance(s, VReg)
+            and s.cls is not RegClass.PRED]
+    imms = [s for s in op.srcs if isinstance(s, (Imm, Symbol))]
+    preds = [s for s in op.srcs if isinstance(s, VReg)
+             and s.cls is RegClass.PRED]
+
+    if regs:
+        word |= (phys_index(regs[0]) & 0x3F) << 10
+    if len(regs) >= 2:
+        word |= (phys_index(regs[1]) & 0x3F) << 4
+    elif imms:
+        small = _small_imm(imms[0].value) if isinstance(imms[0], Imm) else None
+        if small is not None:
+            word |= 1 << 16
+            word |= (small & 0x3F) << 4
+        # wide immediates live in the shared immediate word; nothing here
+    if preds:
+        # predicate source rides the branch-test field (SELECT and friends
+        # read the branch bank, like branches do)
+        word |= (min(phys_index(preds[0]), 13) + 1) & 0xF
+    elif branch_elem:
+        word |= branch_elem & 0xF
+    return word
+
+
+@dataclass
+class DecodedOp:
+    """Structural decode of one control word (for tests and the refill
+    engine; execution uses :class:`ScheduledOp` objects directly)."""
+
+    opcode: Opcode
+    dest_index: int
+    dest_bank: RegClass
+    src1_index: int
+    src2_index: int
+    imm_flag: bool
+    branch_test: int
+
+
+def decode_op_word(word: int) -> DecodedOp | None:
+    """Decode a control word; None for an empty (no-op) slot."""
+    code = word >> 25
+    if code == 0:
+        return None
+    return DecodedOp(
+        opcode=INDEX_OPCODE[code - 1],
+        dest_index=(word >> 19) & 0x3F,
+        dest_bank=_CODE_BANK.get((word >> 17) & 0x3, RegClass.INT),
+        src1_index=(word >> 10) & 0x3F,
+        src2_index=(word >> 4) & 0x3F,
+        imm_flag=bool((word >> 16) & 1),
+        branch_test=word & 0xF,
+    )
+
+
+def _imm_word_value(value, layout: dict[str, int] | None) -> int:
+    """The 32-bit contents of a shared immediate word."""
+    if isinstance(value, tuple) and value and value[0] == "sym":
+        return (layout or {}).get(value[1], 0) & 0xFFFFFFFF
+    if isinstance(value, float):
+        # the hardware splits doubles across both immediate beats; we store
+        # the binary32 approximation (documented approximation)
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    return int(value) & 0xFFFFFFFF
+
+
+def encode_instruction(li: LongInstruction, config: MachineConfig,
+                       layout: dict[str, int] | None = None) -> list[int]:
+    """Encode one long instruction into ``8 * n_pairs`` 32-bit words."""
+    words = [0] * (WORDS_PER_PAIR * config.n_pairs)
+
+    # branch tests: one per pair, encoded on that pair's ALU0-early word
+    branch_by_pair: dict[int, BranchTest] = {}
+    for bt in li.branches:
+        if bt.pair in branch_by_pair:
+            raise EncodingError("two branch tests on one pair")
+        branch_by_pair[bt.pair] = bt
+
+    used: dict[tuple[int, int], bool] = {}
+    for so in li.ops:
+        word_index = so.pair * WORDS_PER_PAIR + UNIT_WORD[so.unit]
+        if used.get((so.pair, UNIT_WORD[so.unit])):
+            raise EncodingError(
+                f"unit word reused: pair {so.pair} unit {so.unit}")
+        used[(so.pair, UNIT_WORD[so.unit])] = True
+        words[word_index] = encode_op_word(so)
+
+        # wide immediates / symbols go to the pair's shared immediate word
+        from .resources import imm_value, needs_imm_word
+        if needs_imm_word(so.op):
+            imm_index = so.pair * WORDS_PER_PAIR + IMM_WORDS[so.issue_offset]
+            value = _imm_word_value(imm_value(so.op), layout)
+            if words[imm_index] not in (0, value):
+                raise EncodingError("conflicting shared immediates")
+            words[imm_index] = value
+
+    for pair, bt in branch_by_pair.items():
+        word_index = pair * WORDS_PER_PAIR + UNIT_WORD[Unit.IALU0_E]
+        if isinstance(bt.pred, VReg):
+            elem = (min(phys_index(bt.pred), 13) + 1) & 0xF
+        else:
+            elem = 15       # constant-true test (assembler pseudo-form)
+        if words[word_index] >> 25 == 0:
+            # no op in the slot: a bare branch word carries just the test
+            words[word_index] = elem
+        else:
+            words[word_index] |= elem
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Mask-word main-memory representation (section 6.5.1)
+
+#: Instructions per mask block.
+BLOCK_INSTRUCTIONS = 4
+#: Mask words per block (4 x 32 bits = 128 field-presence bits).
+MASK_WORDS = 4
+
+
+@dataclass
+class PackedProgram:
+    """A program in the variable-length main-memory representation."""
+
+    words: list[int]                       # masks + present fields only
+    n_instructions: int
+    words_per_instruction: int
+    #: bookkeeping for size accounting
+    mask_words: int = 0
+    field_words: int = 0
+
+    @property
+    def packed_bytes(self) -> int:
+        return 4 * len(self.words)
+
+    @property
+    def unpacked_bytes(self) -> int:
+        return 4 * self.n_instructions * self.words_per_instruction
+
+
+def pack_program(instruction_words: list[list[int]],
+                 config: MachineConfig) -> PackedProgram:
+    """Pack encoded instructions into the mask-word memory format."""
+    wpi = WORDS_PER_PAIR * config.n_pairs
+    if wpi * BLOCK_INSTRUCTIONS > 32 * MASK_WORDS:
+        raise EncodingError("mask block too small for this configuration")
+    out: list[int] = []
+    mask_words = 0
+    field_words = 0
+    for start in range(0, len(instruction_words), BLOCK_INSTRUCTIONS):
+        block = instruction_words[start:start + BLOCK_INSTRUCTIONS]
+        bits: list[int] = [0] * MASK_WORDS
+        fields: list[int] = []
+        position = 0
+        for words in block:
+            for word in words:
+                if word != 0:
+                    bits[position // 32] |= 1 << (position % 32)
+                    fields.append(word)
+                position += 1
+        out.extend(bits)
+        out.extend(fields)
+        mask_words += MASK_WORDS
+        field_words += len(fields)
+    return PackedProgram(out, len(instruction_words), wpi,
+                         mask_words, field_words)
+
+
+def unpack_program(packed: PackedProgram) -> list[list[int]]:
+    """The cache-refill engine's job: expand masks back to full words."""
+    wpi = packed.words_per_instruction
+    out: list[list[int]] = []
+    cursor = 0
+    remaining = packed.n_instructions
+    while remaining > 0:
+        bits = packed.words[cursor:cursor + MASK_WORDS]
+        cursor += MASK_WORDS
+        count = min(BLOCK_INSTRUCTIONS, remaining)
+        block_words = []
+        for position in range(count * wpi):
+            if bits[position // 32] >> (position % 32) & 1:
+                block_words.append(packed.words[cursor])
+                cursor += 1
+            else:
+                block_words.append(0)
+        for i in range(count):
+            out.append(block_words[i * wpi:(i + 1) * wpi])
+        remaining -= count
+    return out
+
+
+def encode_function(cf: CompiledFunction,
+                    layout: dict[str, int] | None = None) -> PackedProgram:
+    """Encode and pack a whole compiled function."""
+    words = [encode_instruction(li, cf.config, layout)
+             for li in cf.instructions]
+    return pack_program(words, cf.config)

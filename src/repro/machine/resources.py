@@ -1,0 +1,210 @@
+"""Functional-unit slots, latencies, and the scheduler's reservation table.
+
+The compiler has *sole* responsibility for resource usage on the TRACE, so
+this table is the machine's whole synchronization story: if an operation
+fits the table, the hardware will execute it conflict-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ScheduleError
+from ..ir import Category, Opcode, Operation
+from .config import MachineConfig
+
+
+class Unit(Enum):
+    """One functional-unit slot within an I-F pair's instruction slice."""
+
+    IALU0_E = "ialu0.e"   # I-board ALU0, early beat
+    IALU1_E = "ialu1.e"   # I-board ALU1, early beat
+    IALU0_L = "ialu0.l"   # I-board ALU0, late beat
+    IALU1_L = "ialu1.l"   # I-board ALU1, late beat
+    FALU = "falu"         # F-board adder/ALU-A pipeline
+    FMUL = "fmul"         # F-board multiplier/ALU-M pipeline
+
+    @property
+    def beat_offset(self) -> int:
+        """Beat within the instruction at which the unit issues (0 or 1)."""
+        return 1 if self.value.endswith(".l") else 0
+
+    @property
+    def is_integer_unit(self) -> bool:
+        return self.value.startswith("ialu")
+
+
+#: Integer-board slots in issue order (early slots first: results one beat
+#: earlier), then float-board slots.
+IALU_UNITS = (Unit.IALU0_E, Unit.IALU1_E, Unit.IALU0_L, Unit.IALU1_L)
+F_UNITS = (Unit.FALU, Unit.FMUL)
+
+#: Which units may execute each operation category.  The F-board ALUs run
+#: 1-beat integer operations too ("fast moves", SELECT — paper section 6.2),
+#: after the integer slots are preferred.
+_CATEGORY_UNITS: dict[Category, tuple[Unit, ...]] = {
+    Category.INT_ALU: IALU_UNITS + F_UNITS,
+    Category.INT_CMP: IALU_UNITS,          # compare feeds branch banks
+    Category.PRED: IALU_UNITS + F_UNITS,
+    Category.INT_MUL: IALU_UNITS,          # 16-bit multiply primitives
+    Category.INT_DIV: IALU_UNITS,
+    Category.FLT_ADD: (Unit.FALU,),
+    Category.FLT_MUL: (Unit.FMUL,),
+    Category.FLT_DIV: (Unit.FMUL,),        # divide shares the multiplier
+    Category.FLT_CMP: (Unit.FALU,),
+    Category.CVT: (Unit.FALU,),
+    Category.LOAD: IALU_UNITS,             # memory issues from the I board
+    Category.STORE: IALU_UNITS,
+}
+
+
+def units_for(op: Operation) -> tuple[Unit, ...]:
+    """Units able to execute ``op`` (empty for control/call pseudo-ops)."""
+    return _CATEGORY_UNITS.get(op.category, ())
+
+
+def latency_of(op: Operation, config: MachineConfig) -> int:
+    """Result latency in beats from the unit's issue beat."""
+    table = {
+        Category.INT_ALU: config.lat_int_alu,
+        Category.INT_CMP: config.lat_int_alu,
+        Category.PRED: config.lat_int_alu,
+        Category.INT_MUL: config.lat_int_mul,
+        Category.INT_DIV: config.lat_int_div,
+        Category.FLT_ADD: config.lat_flt_add,
+        Category.FLT_MUL: config.lat_flt_mul,
+        Category.FLT_DIV: config.lat_flt_div,
+        Category.FLT_CMP: config.lat_flt_cmp,
+        Category.CVT: config.lat_cvt,
+        Category.LOAD: config.lat_mem,
+        Category.STORE: 0,
+    }
+    return table.get(op.category, 1)
+
+
+@dataclass
+class Placement:
+    """Where one operation landed in the schedule."""
+
+    instruction: int          # long-instruction index within the trace
+    pair: int                 # I-F pair 0..n_pairs-1
+    unit: Unit
+
+    @property
+    def issue_beat(self) -> int:
+        return self.instruction * 2 + self.unit.beat_offset
+
+
+class ReservationTable:
+    """Tracks slot/bus/immediate usage over a trace's instructions.
+
+    Cheap-to-grow row-per-instruction structure; the list scheduler probes
+    ``try_place`` for the earliest legal slot.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self._units: dict[tuple[int, int, Unit], bool] = {}
+        #: per (instruction, beat_offset): count of memory refs issued by
+        #: each pair's I board (max 1 per board per beat)
+        self._mem_issue: dict[tuple[int, int, int], bool] = {}
+        #: 32-bit bus reservations per absolute beat, per bus kind
+        self._buses: dict[tuple[str, int], int] = {}
+        #: shared 32-bit immediate word per (instruction, pair, beat_offset)
+        self._imm: dict[tuple[int, int, int], object] = {}
+        #: branch test per (instruction, pair)
+        self._branch: dict[tuple[int, int], bool] = {}
+
+    # -- units ------------------------------------------------------------
+    def unit_free(self, instruction: int, pair: int, unit: Unit) -> bool:
+        return not self._units.get((instruction, pair, unit), False)
+
+    def take_unit(self, instruction: int, pair: int, unit: Unit) -> None:
+        key = (instruction, pair, unit)
+        if self._units.get(key):
+            raise ScheduleError(f"unit double-booked: {key}")
+        self._units[key] = True
+
+    # -- memory issue ports -------------------------------------------------
+    def mem_issue_free(self, instruction: int, pair: int,
+                       beat_offset: int) -> bool:
+        return not self._mem_issue.get((instruction, pair, beat_offset), False)
+
+    def take_mem_issue(self, instruction: int, pair: int,
+                       beat_offset: int) -> None:
+        key = (instruction, pair, beat_offset)
+        if self._mem_issue.get(key):
+            raise ScheduleError(f"memory port double-booked: {key}")
+        self._mem_issue[key] = True
+
+    # -- buses ---------------------------------------------------------------
+    def bus_free(self, kind: str, beat: int, beats: int = 1) -> bool:
+        limit = {"iload": self.config.n_load_buses,
+                 "fload": self.config.n_load_buses,
+                 "store": self.config.n_store_buses}[kind]
+        return all(self._buses.get((kind, beat + i), 0) < limit
+                   for i in range(beats))
+
+    def take_bus(self, kind: str, beat: int, beats: int = 1) -> None:
+        if not self.bus_free(kind, beat, beats):
+            raise ScheduleError(f"bus oversubscribed: {kind}@{beat}")
+        for i in range(beats):
+            self._buses[(kind, beat + i)] = \
+                self._buses.get((kind, beat + i), 0) + 1
+
+    # -- immediates ------------------------------------------------------------
+    def imm_free(self, instruction: int, pair: int, beat_offset: int,
+                 value) -> bool:
+        """One 32-bit immediate word per pair per beat, shareable by value."""
+        current = self._imm.get((instruction, pair, beat_offset), _NO_IMM)
+        return current is _NO_IMM or current == value
+
+    def take_imm(self, instruction: int, pair: int, beat_offset: int,
+                 value) -> None:
+        if not self.imm_free(instruction, pair, beat_offset, value):
+            raise ScheduleError("immediate word conflict")
+        self._imm[(instruction, pair, beat_offset)] = value
+
+    # -- branches ------------------------------------------------------------
+    def branch_free(self, instruction: int, pair: int) -> bool:
+        return not self._branch.get((instruction, pair), False)
+
+    def take_branch(self, instruction: int, pair: int) -> None:
+        key = (instruction, pair)
+        if self._branch.get(key):
+            raise ScheduleError(f"branch slot double-booked: {key}")
+        self._branch[key] = True
+
+    def branches_in(self, instruction: int) -> int:
+        return sum(1 for (ins, _), used in self._branch.items()
+                   if ins == instruction and used)
+
+
+_NO_IMM = object()
+
+
+def needs_imm_word(op: Operation) -> bool:
+    """Does the op require the pair's shared 32-bit immediate field?
+
+    Small integer immediates (6-bit signed, paper's short form) ride inside
+    the source-register field; anything larger — any float immediate, and
+    any symbol address — claims the shared word.
+    """
+    return imm_value(op) is not _NO_IMM
+
+
+def imm_value(op: Operation):
+    """The value that would occupy the shared immediate word.
+
+    Returns the sentinel ``_NO_IMM`` (exported via :func:`needs_imm_word`)
+    when the op carries no wide immediate.
+    """
+    from ..ir import Imm, Symbol
+    for src in op.srcs:
+        if isinstance(src, Symbol):
+            return ("sym", src.name)
+        if isinstance(src, Imm):
+            if isinstance(src.value, float) or not -32 <= int(src.value) <= 31:
+                return src.value
+    return _NO_IMM

@@ -1,0 +1,171 @@
+"""Containers for compiled VLIW code: scheduled ops, long instructions,
+compiled functions and programs.
+
+A :class:`CompiledFunction` is the unit the beat-accurate simulator
+executes; it is produced by the trace-scheduling backend and carries
+physical-register operations placed on specific functional units.
+
+Physical registers use a naming convention over :class:`~repro.ir.VReg`:
+``i<N>``, ``f<N>``, ``b<N>`` for the integer, float, and branch-bank files.
+Register ``*0`` holds the return value; parameters arrive in ``*1`` upward,
+assigned per class in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import MachineError
+from ..ir import Imm, Opcode, Operation, RegClass, VReg
+from .config import MachineConfig
+from .resources import Unit
+
+
+def phys_reg(cls: RegClass, index: int) -> VReg:
+    """The physical register ``index`` of class ``cls``."""
+    prefix = {RegClass.INT: "i", RegClass.FLT: "f", RegClass.PRED: "b"}[cls]
+    return VReg(f"{prefix}{index}", cls)
+
+
+def phys_index(reg: VReg) -> int:
+    """Inverse of :func:`phys_reg` (raises for non-physical names)."""
+    try:
+        return int(reg.name[1:])
+    except ValueError:
+        raise MachineError(f"not a physical register: {reg}") from None
+
+
+def is_phys(reg: VReg) -> bool:
+    return (len(reg.name) >= 2 and reg.name[0] in "ifb"
+            and reg.name[1:].isdigit())
+
+
+@dataclass
+class ScheduledOp:
+    """One operation bound to a functional-unit slot."""
+
+    op: Operation
+    pair: int
+    unit: Unit
+    #: memory ops: which return/store bus class they use ("iload"/"fload"/
+    #: "store"); None for non-memory ops
+    bus: Optional[str] = None
+    #: memory op scheduled into a potentially conflicting slot on a "maybe"
+    #: disambiguator answer — the hardware bank-stall covers it (§6.4.4)
+    gamble: bool = False
+
+    @property
+    def issue_offset(self) -> int:
+        return self.unit.beat_offset
+
+
+@dataclass
+class BranchTest:
+    """One of up to four parallel branch tests (priority = list order)."""
+
+    pred: object              # physical VReg or Imm
+    target: str               # label, resolved through label_map at run time
+    pair: int = 0
+    #: branch taken when the predicate is FALSE (the fallthrough side of the
+    #: original IR branch stayed on-trace)
+    negate: bool = False
+
+
+@dataclass
+class LongInstruction:
+    """One very long instruction word (2 beats of machine time)."""
+
+    ops: list[ScheduledOp] = field(default_factory=list)
+    branches: list[BranchTest] = field(default_factory=list)
+    #: explicit fallthrough label when control does not continue to the next
+    #: instruction (end of a trace); None = sequential
+    next_label: Optional[str] = None
+    #: special terminator: ("ret", operand|None) / ("halt",) /
+    #: ("call", Operation) — calls are scheduling barriers
+    special: Optional[tuple] = None
+
+    def op_count(self) -> int:
+        return len(self.ops) + len(self.branches) + (1 if self.special else 0)
+
+    def is_empty(self) -> bool:
+        return not self.ops and not self.branches and self.special is None \
+            and self.next_label is None
+
+
+@dataclass
+class CompiledFunction:
+    """A trace-scheduled function ready for the VLIW simulator."""
+
+    name: str
+    config: MachineConfig
+    instructions: list[LongInstruction] = field(default_factory=list)
+    #: block-entry label -> instruction index
+    label_map: dict[str, int] = field(default_factory=dict)
+    param_regs: list[VReg] = field(default_factory=list)
+    ret_reg: Optional[VReg] = None
+    #: scheduling statistics filled by the backend
+    meta: dict = field(default_factory=dict)
+
+    def resolve(self, label: str) -> int:
+        try:
+            return self.label_map[label]
+        except KeyError:
+            raise MachineError(
+                f"{self.name}: unresolved label {label!r}") from None
+
+    def op_count(self) -> int:
+        return sum(li.op_count() for li in self.instructions)
+
+    def slots_total(self) -> int:
+        """Total op slots available over the function's instructions."""
+        return len(self.instructions) * self.config.ops_per_instruction
+
+    def fill_ratio(self) -> float:
+        """Fraction of instruction slots holding real operations."""
+        total = self.slots_total()
+        return self.op_count() / total if total else 0.0
+
+    def __iter__(self) -> Iterator[LongInstruction]:
+        return iter(self.instructions)
+
+
+@dataclass
+class CompiledProgram:
+    """All compiled functions of a module plus the data image layout."""
+
+    functions: dict[str, CompiledFunction] = field(default_factory=dict)
+    config: MachineConfig = field(default_factory=MachineConfig)
+
+    def add(self, func: CompiledFunction) -> CompiledFunction:
+        self.functions[func.name] = func
+        return func
+
+    def function(self, name: str) -> CompiledFunction:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise MachineError(f"no compiled function {name!r}") from None
+
+
+def format_compiled(cf: CompiledFunction) -> str:
+    """Human-readable schedule dump (one line per long instruction)."""
+    by_index: dict[int, list[str]] = {}
+    labels_at: dict[int, list[str]] = {}
+    for label, index in cf.label_map.items():
+        labels_at.setdefault(index, []).append(label)
+    lines = [f"compiled {cf.name} ({cf.config.n_pairs} pairs,"
+             f" {len(cf.instructions)} instructions)"]
+    for i, li in enumerate(cf.instructions):
+        for label in labels_at.get(i, []):
+            lines.append(f"{label}:")
+        cells = [f"{so.pair}.{so.unit.value}: {so.op}" for so in li.ops]
+        for bt in li.branches:
+            cells.append(f"br {bt.pred} -> @{bt.target}")
+        if li.special is not None:
+            cells.append(" ".join(str(x) for x in li.special))
+        if li.next_label is not None:
+            cells.append(f"goto @{li.next_label}")
+        body = " | ".join(cells) if cells else "nop"
+        lines.append(f"  [{i:4d}] {body}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Classical optimizations, loop unrolling, and inlining.
+
+``classical_pipeline`` assembles the paper's pre-scheduling pass order;
+individual passes can be composed freely through :class:`PassManager`.
+"""
+
+from .constant_fold import ConstantFold
+from .copyprop import CopyPropagation
+from .cse import LocalCSE
+from .dce import DeadCodeElimination
+from .inline import Inliner, inline_call
+from .licm import LoopInvariantCodeMotion
+from .pass_manager import PassManager, classical_pipeline
+from .strength import InductionVariableSimplify
+from .transforms import (clone_operations, ensure_preheader,
+                         insert_block_before)
+from .unroll import LoopUnroll, UnrollReport
+
+__all__ = [
+    "ConstantFold", "CopyPropagation", "LocalCSE", "DeadCodeElimination",
+    "Inliner", "inline_call", "LoopInvariantCodeMotion",
+    "PassManager", "classical_pipeline", "InductionVariableSimplify",
+    "clone_operations", "ensure_preheader", "insert_block_before",
+    "LoopUnroll", "UnrollReport",
+]

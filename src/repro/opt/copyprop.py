@@ -1,0 +1,97 @@
+"""Copy propagation: local (within blocks) plus a global single-def pass.
+
+The builder front end produces many single-use temporaries; propagating
+copies both shortens dependence chains for the scheduler and exposes more
+constant folding.
+"""
+
+from __future__ import annotations
+
+from ..ir import (Function, Imm, Module, Opcode, Operation, Symbol, VReg)
+
+_COPY_OPCODES = (Opcode.MOV, Opcode.FMOV, Opcode.PMOV)
+
+
+def _is_copy(op: Operation) -> bool:
+    return (op.opcode in _COPY_OPCODES
+            and isinstance(op.srcs[0], (Imm, VReg, Symbol)))
+
+
+class CopyPropagation:
+    """Forward-propagate MOV sources into uses."""
+
+    name = "copy-propagation"
+
+    def run(self, func: Function, module: Module) -> bool:
+        changed = self._local(func)
+        changed |= self._global_single_def(func)
+        return changed
+
+    # ------------------------------------------------------------------
+    def _local(self, func: Function) -> bool:
+        """Per-block copy propagation with kill-on-redefine."""
+        changed = False
+        for block in func.blocks.values():
+            available: dict[VReg, object] = {}
+            for op in block.ops:
+                for i, src in enumerate(op.srcs):
+                    if isinstance(src, VReg) and src in available:
+                        op.srcs[i] = available[src]
+                        changed = True
+                if op.dest is not None:
+                    dest = op.dest
+                    # the new def kills copies reading or writing dest
+                    available.pop(dest, None)
+                    for key in [k for k, v in available.items() if v == dest]:
+                        del available[key]
+                    if _is_copy(op) and op.srcs[0] != dest:
+                        available[dest] = op.srcs[0]
+        return changed
+
+    # ------------------------------------------------------------------
+    def _global_single_def(self, func: Function) -> bool:
+        """Propagate copies whose source can never change.
+
+        Safe cases: the copied register has exactly one def in the whole
+        function, and the copy source is an immediate, a symbol, a parameter
+        that is never redefined, or another single-def register.  Because the
+        source value is immutable over the whole execution, every use of the
+        destination may read the source directly regardless of control flow.
+        """
+        def_count: dict[VReg, int] = {}
+        def_op: dict[VReg, Operation] = {}
+        for op in func.operations():
+            if op.dest is not None:
+                def_count[op.dest] = def_count.get(op.dest, 0) + 1
+                def_op[op.dest] = op
+
+        def immutable(value) -> bool:
+            if isinstance(value, (Imm, Symbol)):
+                return True
+            if isinstance(value, VReg):
+                if value in func.params and def_count.get(value, 0) == 0:
+                    return True
+                return def_count.get(value, 0) == 1
+            return False
+
+        replacements: dict[VReg, object] = {}
+        for reg, op in def_op.items():
+            if def_count[reg] == 1 and _is_copy(op) and immutable(op.srcs[0]):
+                replacements[reg] = op.srcs[0]
+
+        # resolve chains (a = b, c = a): follow until fixpoint
+        def resolve(value):
+            seen = set()
+            while isinstance(value, VReg) and value in replacements \
+                    and value not in seen:
+                seen.add(value)
+                value = replacements[value]
+            return value
+
+        changed = False
+        for op in func.operations():
+            for i, src in enumerate(op.srcs):
+                if isinstance(src, VReg) and src in replacements:
+                    op.srcs[i] = resolve(src)
+                    changed = True
+        return changed

@@ -1,0 +1,82 @@
+"""Local common-subexpression elimination via per-block value numbering.
+
+Pure operations with identical opcode and value-numbered operands reuse the
+earlier result.  Loads participate too, guarded by a per-block *memory
+generation* counter bumped at stores and calls, so a load is only reused
+when no store can have intervened.
+"""
+
+from __future__ import annotations
+
+from ..ir import (Function, Imm, Module, Opcode, Operation, Symbol, VReg)
+
+_UNSAFE = (Opcode.CALL, Opcode.NOP)
+
+
+class LocalCSE:
+    """Per-block value-numbering CSE."""
+
+    name = "local-cse"
+
+    def run(self, func: Function, module: Module) -> bool:
+        changed = False
+        for block in func.blocks.values():
+            changed |= self._run_block(block)
+        return changed
+
+    def _run_block(self, block) -> bool:
+        changed = False
+        version: dict[VReg, int] = {}
+        mem_generation = 0
+        table: dict[tuple, VReg] = {}
+
+        def operand_key(src):
+            if isinstance(src, VReg):
+                return ("r", src.name, src.cls.value, version.get(src, 0))
+            if isinstance(src, Imm):
+                return ("i", repr(src.value), src.cls.value)
+            if isinstance(src, Symbol):
+                return ("s", src.name)
+            return ("?", repr(src))
+
+        for i, op in enumerate(block.ops):
+            info = op.info
+            eligible = (op.dest is not None
+                        and not info.side_effect
+                        and not op.is_terminator
+                        and op.opcode not in _UNSAFE
+                        and not op.is_store)
+            key = None
+            if eligible:
+                srcs = list(op.srcs)
+                if info.commutative:
+                    srcs = sorted(srcs, key=lambda s: repr(operand_key(s)))
+                key_parts = [op.opcode.value] + [operand_key(s) for s in srcs]
+                if op.is_load:
+                    key_parts.append(("mem", mem_generation))
+                key = tuple(key_parts)
+                # table entries are dropped when their register is redefined,
+                # and operand versions are baked into the key, so a hit is
+                # always still valid here
+                prior = table.get(key)
+                if prior is not None:
+                    mov = {"i": Opcode.MOV, "f": Opcode.FMOV,
+                           "p": Opcode.PMOV}[op.dest.cls.value]
+                    block.ops[i] = Operation(mov, op.dest, [prior])
+                    op = block.ops[i]
+                    changed = True
+                    key = None     # keep the existing mapping to `prior`
+
+            if op.dest is not None:
+                version[op.dest] = version.get(op.dest, 0) + 1
+                # invalidate table entries that named the redefined register
+                stale = [k for k, v in table.items() if v == op.dest]
+                for k in stale:
+                    del table[k]
+            if key is not None:
+                # record the value only after the redefinition bookkeeping,
+                # or the entry would be removed as stale immediately
+                table[key] = op.dest
+            if op.is_store or op.is_call:
+                mem_generation += 1
+        return changed

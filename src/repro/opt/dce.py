@@ -1,0 +1,49 @@
+"""Dead-code elimination: drop value-producing ops whose results are unused.
+
+Iterates to a fixpoint so chains of dead temporaries disappear.  Operations
+with side effects (stores, calls), terminators, and trapping operations are
+never removed — a DIV that might trap is an observable effect under the
+machine's precise exception mode.
+"""
+
+from __future__ import annotations
+
+from ..ir import Function, Module, VReg
+
+
+class DeadCodeElimination:
+    """Use-count-driven dead code removal."""
+
+    name = "dce"
+
+    def __init__(self, remove_trapping: bool = False) -> None:
+        #: when True, unused trapping ops (e.g. DIV) are also deleted; the
+        #: default preserves trap behaviour exactly.
+        self.remove_trapping = remove_trapping
+
+    def run(self, func: Function, module: Module) -> bool:
+        changed = False
+        while self._sweep(func):
+            changed = True
+        return changed
+
+    def _sweep(self, func: Function) -> bool:
+        used: set[VReg] = set()
+        for op in func.operations():
+            used.update(op.reg_srcs())
+
+        removed = False
+        for block in func.blocks.values():
+            kept = []
+            for op in block.ops:
+                removable = (op.dest is not None
+                             and op.dest not in used
+                             and not op.has_side_effect
+                             and not op.is_terminator
+                             and (self.remove_trapping or not op.can_trap))
+                if removable:
+                    removed = True
+                else:
+                    kept.append(op)
+            block.ops = kept
+        return removed

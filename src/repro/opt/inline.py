@@ -1,0 +1,119 @@
+"""Automatic inline substitution of subroutines.
+
+The paper relies on inlining (plus a clever register discipline) instead of
+hardware procedure-call support: "We decided to rely on the compiler to be
+clever with its use of registers and procedure inlining."  This pass
+substitutes small, non-recursive callees at their call sites, renaming every
+callee register and block to keep the caller's name space clean.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..ir import (Function, Module, Opcode, Operation, VReg, make_jmp)
+from .transforms import clone_operations, move_op_for_class
+
+_inline_counter = itertools.count()
+
+
+def _is_recursive(module: Module, name: str,
+                  seen: frozenset[str] = frozenset()) -> bool:
+    """Does ``name`` (transitively) call itself?"""
+    if name in seen:
+        return True
+    func = module.functions.get(name)
+    if func is None:
+        return False
+    callees = {op.callee for op in func.operations() if op.is_call}
+    return any(_is_recursive(module, c, seen | {name}) for c in callees if c)
+
+
+def inline_call(func: Function, module: Module, block_name: str,
+                call_index: int) -> None:
+    """Inline the CALL at ``block.ops[call_index]`` into ``func``.
+
+    The containing block is split at the call; the callee's blocks are
+    cloned in with fresh register/block names; parameters become moves and
+    returns become a move (when a value is produced) plus a jump to the
+    continuation.
+    """
+    block = func.block(block_name)
+    call = block.ops[call_index]
+    callee = module.function(call.callee)
+    tag = next(_inline_counter)
+
+    # fresh names for every callee register and block
+    rename = {reg: func.fresh_vreg(reg.cls, f"inl{tag}.{reg.name}")
+              for reg in callee.all_vregs()}
+    label_map = {bname: func.fresh_block_name(f"inl{tag}.{bname}")
+                 for bname in callee.blocks}
+
+    cont_name = func.fresh_block_name(f"{block_name}.cont")
+    cont = func.add_block(cont_name)
+    cont.ops = block.ops[call_index + 1:]
+
+    block.ops = block.ops[:call_index]
+    for param, arg in zip(callee.params, call.srcs):
+        block.append(Operation(move_op_for_class(param.cls),
+                               rename[param], [arg]))
+    block.append(make_jmp(label_map[callee.entry.name]))
+
+    for bname, cblock in callee.blocks.items():
+        new_block = func.add_block(label_map[bname])
+        for op in clone_operations(cblock.ops, rename, label_map):
+            if op.opcode is Opcode.RET:
+                if call.dest is not None:
+                    if not op.srcs:
+                        raise AssertionError(
+                            f"void return feeding a valued call: {call}")
+                    new_block.append(Operation(
+                        move_op_for_class(call.dest.cls), call.dest,
+                        [op.srcs[0]]))
+                new_block.append(make_jmp(cont_name))
+            else:
+                new_block.append(op)
+
+
+class Inliner:
+    """Inline small non-recursive callees, bottom-up by call site.
+
+    Args:
+        max_callee_ops: only callees at most this many operations are
+            substituted (the unrolling/inlining growth heuristics the paper
+            says were "tuned to avoid undue code growth").
+        max_growth_ops: stop once the function has grown by this many ops.
+    """
+
+    name = "inline"
+
+    def __init__(self, max_callee_ops: int = 48,
+                 max_growth_ops: int = 2000) -> None:
+        self.max_callee_ops = max_callee_ops
+        self.max_growth_ops = max_growth_ops
+
+    def run(self, func: Function, module: Module) -> bool:
+        initial = func.op_count()
+        changed = False
+        progress = True
+        while progress and func.op_count() - initial < self.max_growth_ops:
+            progress = False
+            for bname in list(func.blocks):
+                block = func.block(bname)
+                for i, op in enumerate(block.ops):
+                    if not op.is_call or op.callee == func.name:
+                        continue
+                    callee = module.functions.get(op.callee)
+                    if callee is None:
+                        continue
+                    if callee.op_count() > self.max_callee_ops:
+                        continue
+                    if _is_recursive(module, op.callee):
+                        continue
+                    inline_call(func, module, bname, i)
+                    changed = True
+                    progress = True
+                    break
+                if progress:
+                    break
+        return changed

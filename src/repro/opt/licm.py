@@ -1,0 +1,93 @@
+"""Loop-invariant code motion.
+
+Hoists pure, non-trapping operations whose operands are loop-invariant into
+a preheader.  To stay sound in the non-SSA IR, a hoisted op's destination
+must be defined exactly once in the whole function (so hoisting cannot
+clobber another value) — the builder's single-assignment temporaries
+qualify, which is where the paper-relevant wins (address and bound
+computations) live.
+"""
+
+from __future__ import annotations
+
+from ..analysis import CFG, compute_liveness, find_loops, loop_invariant_regs
+from ..ir import Function, Module, VReg
+from .transforms import ensure_preheader
+
+
+class LoopInvariantCodeMotion:
+    """Hoist invariant pure ops to loop preheaders (innermost first)."""
+
+    name = "licm"
+
+    def run(self, func: Function, module: Module) -> bool:
+        changed = False
+        # Innermost loops first, so invariants bubble outward.  Loop
+        # structures are re-discovered after every successful hoist: a new
+        # inner preheader belongs to the enclosing loop's body, and hoisting
+        # against a stale body set could lift a use above its def.
+        progress = True
+        while progress:
+            progress = False
+            loops = sorted(find_loops(func), key=lambda lp: -lp.depth)
+            for loop in loops:
+                if self._hoist_loop(func, loop):
+                    changed = True
+                    progress = True
+                    break
+        return changed
+
+    def _hoist_loop(self, func: Function, loop) -> bool:
+        def_count: dict[VReg, int] = {}
+        for op in func.operations():
+            if op.dest is not None:
+                def_count[op.dest] = def_count.get(op.dest, 0) + 1
+
+        invariant = loop_invariant_regs(func, loop)
+        hoistable = []
+        for bname in sorted(loop.body):
+            block = func.block(bname)
+            for op in block.body:
+                if op.dest is None or op.has_side_effect or op.is_memory \
+                        or op.is_call or op.can_trap:
+                    continue
+                if def_count.get(op.dest, 0) != 1:
+                    continue
+                if all(src in invariant or src not in def_count
+                       for src in op.reg_srcs()) and \
+                        all(src in invariant for src in op.reg_srcs()):
+                    hoistable.append((bname, op))
+
+        if not hoistable:
+            return False
+
+        pre_name = ensure_preheader(func, loop)
+        pre = func.block(pre_name)
+        # Hoisting may enable hoisting of dependents; iterate inside this
+        # loop until stable.
+        moved = True
+        any_moved = False
+        pending = list(hoistable)
+        while moved and pending:
+            moved = False
+            for bname, op in list(pending):
+                # operands must now all be defined outside the loop
+                still_inside = any(
+                    self._defined_in_loop(func, loop, src)
+                    for src in op.reg_srcs())
+                if still_inside:
+                    continue
+                func.block(bname).ops.remove(op)
+                pre.insert(len(pre.ops) - 1, op)   # before the jmp
+                pending.remove((bname, op))
+                moved = True
+                any_moved = True
+        return any_moved
+
+    @staticmethod
+    def _defined_in_loop(func: Function, loop, reg: VReg) -> bool:
+        for bname in loop.body:
+            for op in func.block(bname).ops:
+                if op.dest == reg:
+                    return True
+        return False

@@ -1,0 +1,109 @@
+"""Pass management: ordered function passes with optional verification.
+
+Mirrors the paper's pipeline: "After performing a complete set of
+'classical' optimizations, including loop-invariant motion, common
+subexpression elimination, and induction variable simplification, the
+compiler builds a flow graph of the program..." — the PassManager runs the
+classical set (plus unrolling/inlining) before the trace scheduler takes
+over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..ir import Function, Module, verify_function
+
+
+class FunctionPass(Protocol):
+    """A pass transforms one function; returns True if it changed the IR."""
+
+    name: str
+
+    def run(self, func: Function, module: Module) -> bool: ...
+
+
+@dataclass
+class PassManager:
+    """Runs passes in order, optionally to a fixpoint, verifying after each.
+
+    Args:
+        passes: the pass objects to run.
+        verify: run the IR verifier after every pass (on by default; the
+            test suite depends on it to localise pass bugs).
+        max_rounds: when > 1, repeat the whole pipeline until no pass
+            reports a change or the round budget is exhausted.
+    """
+
+    passes: list = field(default_factory=list)
+    verify: bool = True
+    max_rounds: int = 1
+
+    def add(self, pass_obj) -> "PassManager":
+        self.passes.append(pass_obj)
+        return self
+
+    def run(self, module: Module,
+            only: str | None = None) -> dict[str, list[str]]:
+        """Run on every function (or just ``only``); returns change log."""
+        log: dict[str, list[str]] = {}
+        functions = ([module.function(only)] if only is not None
+                     else list(module.functions.values()))
+        for func in functions:
+            log[func.name] = self.run_function(func, module)
+        return log
+
+    def run_function(self, func: Function, module: Module) -> list[str]:
+        changed_passes: list[str] = []
+        for _ in range(max(1, self.max_rounds)):
+            any_change = False
+            for pass_obj in self.passes:
+                changed = pass_obj.run(func, module)
+                if changed:
+                    any_change = True
+                    changed_passes.append(pass_obj.name)
+                if self.verify:
+                    try:
+                        verify_function(func, module)
+                    except Exception as exc:
+                        raise type(exc)(
+                            f"after pass {pass_obj.name!r}: {exc}") from exc
+            if not any_change:
+                break
+        return changed_passes
+
+
+def classical_pipeline(unroll_factor: int = 0,
+                       inline_budget: int = 0,
+                       verify: bool = True) -> PassManager:
+    """The standard pre-scheduling pipeline.
+
+    ``unroll_factor`` 0/1 disables unrolling; ``inline_budget`` 0 disables
+    inlining.  The classical set runs twice so simplifications exposed by
+    unrolling are picked up (the paper's compiler similarly iterates).
+    """
+    from .constant_fold import ConstantFold
+    from .copyprop import CopyPropagation
+    from .cse import LocalCSE
+    from .dce import DeadCodeElimination
+    from .inline import Inliner
+    from .licm import LoopInvariantCodeMotion
+    from .strength import InductionVariableSimplify
+    from .unroll import LoopUnroll
+
+    pm = PassManager(verify=verify, max_rounds=2)
+    if inline_budget:
+        pm.add(Inliner(max_callee_ops=inline_budget))
+    pm.add(ConstantFold())
+    pm.add(CopyPropagation())
+    pm.add(LocalCSE())
+    pm.add(LoopInvariantCodeMotion())
+    pm.add(InductionVariableSimplify())
+    if unroll_factor and unroll_factor > 1:
+        pm.add(LoopUnroll(factor=unroll_factor))
+    pm.add(ConstantFold())
+    pm.add(CopyPropagation())
+    pm.add(LocalCSE())
+    pm.add(DeadCodeElimination())
+    return pm

@@ -1,0 +1,115 @@
+"""Induction-variable simplification (strength reduction).
+
+Rewrites ``t = iv << c`` / ``t = iv * m`` inside a counted loop into an
+additive recurrence: ``t`` is initialised in the preheader and bumped by a
+constant after each IV update, removing a multiply/shift from the loop body
+— one of the "classical" optimizations the paper lists.
+"""
+
+from __future__ import annotations
+
+from ..analysis import (CFG, compute_liveness, find_basic_ivs, find_loops)
+from ..ir import Function, Imm, Module, Opcode, Operation, VReg, wrap32
+from .transforms import ensure_preheader
+
+
+class InductionVariableSimplify:
+    """Strength-reduce derived induction variables in counted loops."""
+
+    name = "iv-simplify"
+
+    def run(self, func: Function, module: Module) -> bool:
+        changed = False
+        for loop in find_loops(func):
+            changed |= self._reduce_loop(func, loop)
+        return changed
+
+    def _reduce_loop(self, func: Function, loop) -> bool:
+        ivs = {iv.reg: iv for iv in find_basic_ivs(func, loop)}
+        if not ivs:
+            return False
+
+        def_count: dict[VReg, int] = {}
+        for op in func.operations():
+            if op.dest is not None:
+                def_count[op.dest] = def_count.get(op.dest, 0) + 1
+
+        liveness = compute_liveness(func)
+
+        candidates = []
+        for bname in loop.body:
+            block = func.block(bname)
+            for index, op in enumerate(block.body):
+                delta = self._match(op, ivs)
+                if delta is None:
+                    continue
+                iv, step_delta = delta
+                if def_count.get(op.dest, 0) != 1:
+                    continue
+                update = ivs[iv].update_op
+                if update not in block.ops:
+                    continue        # IV updated in a different block
+                update_index = block.ops.index(update)
+                if index >= update_index:
+                    continue        # def after the IV update: values differ
+                def_index = block.ops.index(op)
+                if not self._uses_confined(func, block, op.dest,
+                                           def_index, update_index):
+                    continue
+                if self._live_at_exits(func, loop, op.dest, liveness):
+                    continue
+                candidates.append((bname, op, iv, step_delta, update))
+
+        if not candidates:
+            return False
+
+        pre_name = ensure_preheader(func, loop)
+        pre = func.block(pre_name)
+        for bname, op, iv, step_delta, update in candidates:
+            block = func.block(bname)
+            # initialise t from the IV's entry value, in the preheader
+            pre.insert(len(pre.ops) - 1, op.copy())
+            # remove the in-loop def; bump t right after the IV update
+            block.ops.remove(op)
+            bump = Operation(Opcode.ADD, op.dest,
+                             [op.dest, Imm(wrap32(step_delta))])
+            block.ops.insert(block.ops.index(update) + 1, bump)
+        return True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _match(op: Operation, ivs) -> tuple[VReg, int] | None:
+        """Match t = iv << c  or  t = iv * m; return (iv, per-step delta)."""
+        if op.opcode is Opcode.SHL:
+            a, b = op.srcs
+            if isinstance(a, VReg) and a in ivs and isinstance(b, Imm):
+                return a, ivs[a].step << (int(b.value) & 31)
+        elif op.opcode is Opcode.MUL:
+            a, b = op.srcs
+            if isinstance(a, VReg) and a in ivs and isinstance(b, Imm):
+                return a, ivs[a].step * int(b.value)
+            if isinstance(b, VReg) and b in ivs and isinstance(a, Imm):
+                return b, ivs[b].step * int(a.value)
+        return None
+
+    @staticmethod
+    def _uses_confined(func: Function, block, reg: VReg,
+                       def_index: int, update_index: int) -> bool:
+        """All uses of reg sit in ``block`` between its def and the IV update.
+
+        Uses before the def would have read the *previous* iteration's value
+        and uses after the update would need the *next* one; both would
+        change meaning under the additive-recurrence rewrite.
+        """
+        for bname in func.blocks:
+            blk = func.block(bname)
+            for i, op in enumerate(blk.ops):
+                if reg in op.reg_srcs():
+                    if blk is not block or not (def_index < i < update_index):
+                        return False
+        return True
+
+    @staticmethod
+    def _live_at_exits(func: Function, loop, reg: VReg, liveness) -> bool:
+        return any(reg in liveness.live_in.get(outside, set())
+                   for _, outside in loop.exits)

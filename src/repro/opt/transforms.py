@@ -1,0 +1,80 @@
+"""Shared CFG-transformation utilities used by the transforming passes."""
+
+from __future__ import annotations
+
+from ..analysis import CFG, Loop
+from ..ir import (BasicBlock, Function, Label, Operation, RegClass, VReg,
+                  make_jmp)
+
+
+def insert_block_before(func: Function, new_name: str,
+                        before: str) -> BasicBlock:
+    """Create a block and position it just before ``before`` in block order.
+
+    Block order is cosmetic except that the first block is the entry, so
+    this matters when the new block must become the entry.
+    """
+    block = BasicBlock(new_name)
+    names = list(func.blocks)
+    index = names.index(before)
+    rebuilt: dict[str, BasicBlock] = {}
+    for i, name in enumerate(names):
+        if i == index:
+            rebuilt[new_name] = block
+        rebuilt[name] = func.blocks[name]
+    func.blocks = rebuilt
+    return block
+
+
+def ensure_preheader(func: Function, loop: Loop,
+                     cfg: CFG | None = None) -> str:
+    """Return the name of a preheader block, creating one if necessary.
+
+    A preheader is the unique out-of-loop predecessor of the loop header
+    whose only successor is the header.
+    """
+    if cfg is None:
+        cfg = CFG.build(func)
+    outside = [p for p in cfg.preds[loop.header] if p not in loop.body]
+    if len(outside) == 1:
+        candidate = func.block(outside[0])
+        if cfg.succs[outside[0]] == [loop.header]:
+            return outside[0]
+
+    name = func.fresh_block_name(f"{loop.header}.ph")
+    pre = insert_block_before(func, name, loop.header)
+    pre.append(make_jmp(loop.header))
+    for pred_name in outside:
+        func.block(pred_name).retarget(loop.header, name)
+    return name
+
+
+def clone_operations(ops, rename: dict[VReg, VReg],
+                     label_map: dict[str, str] | None = None) -> list[Operation]:
+    """Clone a list of operations with register renaming and label mapping.
+
+    Registers appearing in ``rename`` are substituted in both source and
+    destination positions; labels are rewritten through ``label_map`` when
+    present (unmapped labels are kept).
+    """
+    clones: list[Operation] = []
+    for op in ops:
+        clone = op.copy()
+        if clone.dest is not None and clone.dest in rename:
+            clone.dest = rename[clone.dest]
+        for i, src in enumerate(clone.srcs):
+            if isinstance(src, VReg) and src in rename:
+                clone.srcs[i] = rename[src]
+        if label_map and clone.labels:
+            clone.labels = tuple(
+                Label(label_map.get(lbl.name, lbl.name))
+                for lbl in clone.labels)
+        clones.append(clone)
+    return clones
+
+
+def move_op_for_class(cls: RegClass):
+    """The move opcode matching a register class."""
+    from ..ir import Opcode
+    return {RegClass.INT: Opcode.MOV, RegClass.FLT: Opcode.FMOV,
+            RegClass.PRED: Opcode.PMOV}[cls]

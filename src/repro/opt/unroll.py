@@ -1,0 +1,331 @@
+"""Automatic loop unrolling.
+
+The paper: "Automatic loop unrolling and automatic inline substitution of
+subroutines are both incorporated in Multiflow's compilers; the compiler
+heuristically determines the amount of unrolling ... substantially
+increasing the parallelism that can be exploited."
+
+This pass unrolls *counted* loops of the canonical two-block shape
+
+    head:  p = cmp(iv, bound); br p, body, exit
+    body:  ...work...; iv = iv + step; ...; jmp head
+
+into a k-wide main loop plus the original loop as the remainder:
+
+    uhead: t = iv + (k-1)*step; p' = cmp(t, bound); br p', ubody, head
+    ubody: copy0 ... copy(k-1); all IVs += k*step; jmp uhead
+    head:  (original, handles the last < k iterations)
+
+Every *basic induction variable* of the loop (the counter, plus any byte
+offsets materialised by strength reduction) is treated symmetrically: in
+copy *c* its uses are rewritten to a fresh ``iv + c*step`` register — k
+independent 1-beat adds the scheduler can issue in parallel — and a single
+merged ``iv += k*step`` closes the block.  Block-local temporaries are
+renamed per copy; genuinely loop-carried registers (accumulators) keep
+their names, since the serial chain they represent is semantic.
+Memory-reference annotations are shifted by ``coeff(v) * c * step(v)`` for
+every annotation variable ``v`` naming one of the loop's IVs, so the
+disambiguator keeps exact knowledge of each copy's address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import (CFG, Loop, compute_liveness, find_basic_ivs,
+                        find_loops, match_counted_loop)
+from ..ir import (Function, Imm, Label, Module, Opcode, Operation, RegClass,
+                  VReg, make_jmp, wrap32)
+from .transforms import clone_operations, insert_block_before
+
+#: Compares usable as an unroll guard, keyed by (opcode, iv_operand_index):
+#: the continue-condition must become monotonically *harder* to satisfy as
+#: the IV advances in its step direction.
+_GUARDS_POS_STEP = {(Opcode.CMPLT, 0), (Opcode.CMPLE, 0),
+                    (Opcode.CMPGT, 1), (Opcode.CMPGE, 1)}
+_GUARDS_NEG_STEP = {(Opcode.CMPGT, 0), (Opcode.CMPGE, 0),
+                    (Opcode.CMPLT, 1), (Opcode.CMPLE, 1)}
+
+
+@dataclass
+class UnrollReport:
+    """What the unroller did to one function (for tests and code-size data)."""
+
+    loops_unrolled: int = 0
+    copies_added: int = 0
+
+
+class LoopUnroll:
+    """Unroll counted loops by a fixed factor or a size heuristic.
+
+    Args:
+        factor: unroll factor; 0 selects automatically from body size
+            (8 for tiny bodies, then 4, then 2 — the heuristic knob the
+            paper says was "tuned to avoid undue code growth").
+        max_body_ops: loops with larger bodies are left alone.
+    """
+
+    name = "loop-unroll"
+
+    def __init__(self, factor: int = 0, max_body_ops: int = 64,
+                 split_accumulators: bool = True,
+                 reassociate_float: bool = False) -> None:
+        self.factor = factor
+        self.max_body_ops = max_body_ops
+        #: split integer reduction accumulators (``s = s + x``) into one
+        #: partial per unrolled copy, combined at loop exit — breaks the
+        #: serial chain that otherwise pins reductions at 1 op/latency.
+        #: Exact for integers (associative).
+        self.split_accumulators = split_accumulators
+        #: also split FADD accumulators.  Float addition is not
+        #: associative, so this changes results in the last bits — off by
+        #: default; the Multiflow compilers offered the same trade under a
+        #: switch.
+        self.reassociate_float = reassociate_float
+        self.last_report = UnrollReport()
+        # headers already unrolled by this pass instance: the remainder loop
+        # keeps the original header name and must not be unrolled again on a
+        # later pipeline round
+        self._unrolled: set[tuple[str, str]] = set()
+
+    def run(self, func: Function, module: Module) -> bool:
+        self.last_report = UnrollReport()
+        changed = False
+        for loop in list(find_loops(func)):
+            if self._unroll_one(func, loop):
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    def _choose_factor(self, body_ops: int) -> int:
+        if self.factor:
+            return self.factor
+        if body_ops <= 10:
+            return 8
+        if body_ops <= 24:
+            return 4
+        if body_ops <= self.max_body_ops:
+            return 2
+        return 1
+
+    def _unroll_one(self, func: Function, loop: Loop) -> bool:
+        if (func.name, loop.header) in self._unrolled:
+            return False
+        shape = self._match_shape(func, loop)
+        if shape is None:
+            return False
+        head_name, body_name, tc = shape
+        head = func.block(head_name)
+        body = func.block(body_name)
+        factor = self._choose_factor(len(body.body))
+        if factor <= 1 or len(body.body) * factor > 4 * self.max_body_ops:
+            return False
+        if head_name == func.entry.name:
+            return False
+
+        # --- the loop's induction variables ----------------------------
+        ivs = find_basic_ivs(func, loop)
+        iv_regs = {iv.reg for iv in ivs}
+        steps = {iv.reg: iv.step for iv in ivs}
+        updates = {iv.reg: iv.update_op for iv in ivs}
+        primary = tc.iv.reg
+        if primary not in iv_regs:
+            return False
+        # every IV update must live in the body block, and no op may read an
+        # IV after its update (it would see the advanced value)
+        for reg, update in updates.items():
+            if update not in body.ops:
+                return False
+            update_index = body.ops.index(update)
+            for later in body.ops[update_index + 1:]:
+                if reg in later.reg_srcs() and later is not update:
+                    return False
+
+        # --- guard-direction check --------------------------------------
+        compare = tc.compare_op
+        step = steps[primary]
+        iv_index = next(
+            (i for i, s in enumerate(compare.srcs) if s == primary), None)
+        if iv_index is None:
+            return False
+        guards = _GUARDS_POS_STEP if step > 0 else _GUARDS_NEG_STEP
+        if (compare.opcode, iv_index) not in guards:
+            return False
+        bound = compare.srcs[1 - iv_index]
+        if isinstance(bound, VReg) and self._defined_in(func, loop, bound):
+            return False
+        # head body will be duplicated into uhead: must be pure
+        if any(op.is_memory or op.is_call or op.has_side_effect or op.can_trap
+               for op in head.body):
+            return False
+        if head.terminator.labels[0].name != body_name:
+            return False
+
+        # --- classify body registers ------------------------------------
+        liveness = compute_liveness(func)
+        carried = set(liveness.live_in[head_name]) - iv_regs
+        locals_: set[VReg] = set()
+        for op in body.body:
+            if op.dest is not None and op.dest not in carried \
+                    and op.dest not in iv_regs:
+                locals_.add(op.dest)
+
+        # --- reduction accumulators eligible for splitting ----------------
+        reductions = self._find_reductions(func, head, body, carried) \
+            if self.split_accumulators else {}
+
+        # --- build the unrolled blocks -----------------------------------
+        uhead_name = func.fresh_block_name(f"{head_name}.u{factor}h")
+        ubody_name = func.fresh_block_name(f"{head_name}.u{factor}b")
+        uhead = insert_block_before(func, uhead_name, head_name)
+        ubody = insert_block_before(func, ubody_name, head_name)
+
+        probe = func.fresh_vreg(RegClass.INT, f"{primary.name}.probe")
+        uhead.append(Operation(Opcode.ADD, probe,
+                               [primary, Imm(wrap32((factor - 1) * step))]))
+        for op in clone_operations(head.body, rename={}):
+            op.replace_src(primary, probe)
+            uhead.append(op)
+        uterm = head.terminator.copy()
+        exit_label = head_name
+        uhead.append(uterm)
+
+        partials: dict[VReg, list[VReg]] = {
+            reg: [reg] + [func.fresh_vreg(reg.cls, f"{reg.name}.acc{c}")
+                          for c in range(1, factor)]
+            for reg in reductions}
+
+        work_ops = [op for op in body.body
+                    if op not in updates.values()]
+        for c in range(factor):
+            rename = {reg: func.fresh_vreg(reg.cls, f"{reg.name}.u{c}")
+                      for reg in locals_}
+            if c > 0:
+                for reg, parts in partials.items():
+                    rename[reg] = parts[c]
+            clones = clone_operations(work_ops, rename)
+            iv_copies: dict[VReg, VReg] = {}
+            if c > 0:
+                used_here = set()
+                for op in clones:
+                    used_here.update(op.reg_srcs())
+                for reg in iv_regs & used_here:
+                    copy_reg = func.fresh_vreg(
+                        reg.cls, f"{reg.name}.it{c}")
+                    ubody.append(Operation(
+                        Opcode.ADD, copy_reg,
+                        [reg, Imm(wrap32(c * steps[reg]))]))
+                    iv_copies[reg] = copy_reg
+            iv_names = {reg.name: steps[reg] for reg in iv_regs}
+            for op in clones:
+                for reg, copy_reg in iv_copies.items():
+                    op.replace_src(reg, copy_reg)
+                if op.memref is not None and c > 0:
+                    shift = sum(coeff * c * iv_names[var]
+                                for var, coeff in op.memref.coeffs
+                                if var in iv_names)
+                    if shift:
+                        op.memref = op.memref.shifted(shift)
+                ubody.append(op)
+            self.last_report.copies_added += 1
+
+        for reg in sorted(iv_regs, key=lambda r: r.name):
+            ubody.append(Operation(
+                Opcode.ADD, reg, [reg, Imm(wrap32(factor * steps[reg]))]))
+        ubody.append(make_jmp(uhead_name))
+
+        # --- accumulator splitting plumbing -------------------------------
+        entry_name = uhead_name
+        combine_name = None
+        if partials:
+            setup_name = func.fresh_block_name(f"{head_name}.u{factor}s")
+            setup = insert_block_before(func, setup_name, uhead_name)
+            for reg, parts in partials.items():
+                init = Imm(0.0, RegClass.FLT) if reg.cls is RegClass.FLT \
+                    else Imm(0)
+                mov = Opcode.FMOV if reg.cls is RegClass.FLT else Opcode.MOV
+                for part in parts[1:]:
+                    setup.append(Operation(mov, part, [init]))
+            setup.append(make_jmp(uhead_name))
+            entry_name = setup_name
+
+            combine_name = func.fresh_block_name(f"{head_name}.u{factor}c")
+            combine = insert_block_before(func, combine_name, head_name)
+            for reg, parts in partials.items():
+                opcode = reductions[reg]
+                for part in parts[1:]:
+                    combine.append(Operation(opcode, reg, [reg, part]))
+            combine.append(make_jmp(head_name))
+            exit_label = combine_name
+        uterm.labels = (Label(ubody_name), Label(exit_label))
+
+        # --- redirect outside entries to the unrolled loop ----------------
+        cfg = CFG.build(func)
+        internal = {uhead_name, ubody_name, entry_name, combine_name}
+        for pred in list(cfg.preds[head_name]):
+            if pred not in loop.body and pred not in internal:
+                func.block(pred).retarget(head_name, entry_name)
+
+        self.last_report.loops_unrolled += 1
+        self._unrolled.add((func.name, head_name))
+        self._unrolled.add((func.name, uhead_name))
+        return True
+
+    # ------------------------------------------------------------------
+    def _find_reductions(self, func: Function, head, body,
+                         carried: set[VReg]) -> dict[VReg, Opcode]:
+        """Loop-carried accumulators safe to split into partials.
+
+        Eligibility: the register's only appearance in the loop is its own
+        single update ``r = op(r, x)`` with an associative op (integer ADD
+        always; FADD only when reassociation is enabled).
+        """
+        out: dict[VReg, Opcode] = {}
+        for reg in carried:
+            if reg.cls is RegClass.INT:
+                wanted = Opcode.ADD
+            elif reg.cls is RegClass.FLT and self.reassociate_float:
+                wanted = Opcode.FADD
+            else:
+                continue
+            defs = [op for op in body.body if op.dest == reg]
+            if len(defs) != 1 or defs[0].opcode is not wanted:
+                continue
+            update = defs[0]
+            operands = [s for s in update.srcs if s == reg]
+            if len(operands) != 1:
+                continue
+            used_elsewhere = any(
+                reg in op.reg_srcs()
+                for op in body.ops if op is not update)
+            used_in_head = any(reg in op.reg_srcs() for op in head.ops)
+            if used_elsewhere or used_in_head:
+                continue
+            out[reg] = wanted
+        return out
+
+    # ------------------------------------------------------------------
+    def _match_shape(self, func: Function, loop: Loop):
+        """The canonical two-block counted loop, or None."""
+        if len(loop.body) != 2 or len(loop.latches) != 1:
+            return None
+        tc = match_counted_loop(func, loop)
+        if tc is None:
+            return None
+        body_name = loop.latches[0]
+        if body_name == loop.header:
+            return None
+        body = func.block(body_name)
+        term = body.terminator
+        if term is None or term.opcode is not Opcode.JMP \
+                or term.labels[0].name != loop.header:
+            return None
+        if any(op.is_call for op in body.body):
+            return None
+        return loop.header, body_name, tc
+
+    @staticmethod
+    def _defined_in(func: Function, loop: Loop, reg: VReg) -> bool:
+        return any(op.dest == reg
+                   for bname in loop.body
+                   for op in func.block(bname).ops)

@@ -1,0 +1,83 @@
+"""Context-switch cost model (paper section 8.1, experiment E10).
+
+"Updating the ASID registers is cheap, so the high available memory
+bandwidth in the system permits a complete context switch in 15
+microseconds.  This figure holds in any machine configuration, because
+usable memory bandwidth increases as the number of registers."
+
+The model decomposes a switch into: interrupt entry and pipeline drain,
+saving and restoring every register file over the store/load buses (one
+32-bit word per bus per beat), scheduler overhead, and — for the untagged
+comparison — the cold-start cost of a flushed TLB and instruction cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import MachineConfig
+
+#: interrupt entry + self-draining pipeline wait (max pipeline depth ~25
+#: beats for a divide) + trap dispatch
+INTERRUPT_DRAIN_BEATS = 40
+#: scheduler bookkeeping in the kernel, in beats
+SCHEDULER_BEATS = 30
+#: modeled cold-start penalty after a full cache+TLB flush, in beats
+#: (Clark & Emer-style translation-buffer cold misses; paper citation)
+FLUSH_COLD_START_BEATS = 3000
+#: hardware ASID space: 8 bits -> purge every 255 mapping changes
+ASID_COUNT = 255
+
+
+@dataclass
+class ContextSwitchReport:
+    """Cost breakdown of one context switch."""
+
+    config_pairs: int
+    register_words: int
+    save_restore_beats: int
+    overhead_beats: int
+    cold_start_beats: int
+
+    @property
+    def total_beats(self) -> int:
+        return (self.save_restore_beats + self.overhead_beats
+                + self.cold_start_beats)
+
+    def total_us(self, config: MachineConfig) -> float:
+        return self.total_beats * config.beat_ns * 1e-3
+
+
+def register_file_words(config: MachineConfig) -> int:
+    """32-bit words of architectural state per process.
+
+    Per pair: 64 integer registers, 64 32-bit float registers (32 x 64-bit),
+    a 32-word store file, and the branch banks + PSW (counted as 4 words).
+    """
+    per_pair = 64 + 64 + 32 + 4
+    return per_pair * config.n_pairs
+
+
+def context_switch_cost(config: MachineConfig,
+                        tagged: bool = True) -> ContextSwitchReport:
+    """Beats to switch between two resident processes.
+
+    With ASID tagging (the real machine) no cache or TLB purge happens;
+    untagged hardware pays a flush plus cold-start misses.
+    """
+    words = register_file_words(config)
+    # save + restore as paired 64-bit references (2 words per bus-beat);
+    # store buses carry the save while load buses carry the next process's
+    # restore, so bandwidth scales with configuration exactly as the paper
+    # says ("usable memory bandwidth increases as the number of registers")
+    words_per_beat = 2 * config.n_store_buses
+    save_restore = 2 * ((words + words_per_beat - 1) // words_per_beat)
+    overhead = INTERRUPT_DRAIN_BEATS + SCHEDULER_BEATS
+    cold = 0 if tagged else FLUSH_COLD_START_BEATS
+    return ContextSwitchReport(config.n_pairs, words, save_restore,
+                               overhead, cold)
+
+
+def asid_purge_interval() -> int:
+    """Mapping changes between unavoidable purges (ASID space wrap)."""
+    return ASID_COUNT

@@ -1,0 +1,95 @@
+"""Instruction-cache model (paper section 6.5).
+
+The TRACE has a physically distributed, full-width instruction cache: 8K
+instructions (1 MB in the full configuration), virtually addressed and
+process-tagged, refilled from the mask-word main-memory format by a
+dedicated refill engine that interprets the mask words and steers fields
+over the ILoad buses.
+
+The model is a direct-mapped (configurable) cache over *instruction
+indices*, charging a refill penalty proportional to the number of words the
+refill engine actually moves for the missing block (masks + present fields
+— absent fields cost nothing, the point of the encoding).  Process tags
+(ASIDs) make flushes unnecessary on context switch; the model exposes
+``switch_process`` so experiment E10 can show the difference against an
+untagged cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine import (BLOCK_INSTRUCTIONS, MASK_WORDS, CompiledFunction,
+                       MachineConfig, encode_instruction)
+
+
+@dataclass
+class ICacheStats:
+    accesses: int = 0
+    misses: int = 0
+    refill_beats: int = 0
+    flushes: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class ICacheModel:
+    """Cache over (asid, function, block index) with refill-cost accounting.
+
+    Args:
+        config: supplies capacity (8K instructions) and bus width.
+        tagged: process-tagged (the real machine).  Untagged caches flush
+            on every process switch — the comparison of section 8.1.
+        lines: overrides the number of block-granularity lines.
+    """
+
+    def __init__(self, config: MachineConfig, tagged: bool = True,
+                 lines: int | None = None) -> None:
+        self.config = config
+        self.tagged = tagged
+        self.n_lines = lines if lines is not None else \
+            config.icache_instructions // BLOCK_INSTRUCTIONS
+        self._lines: dict[int, tuple] = {}
+        self._block_words: dict[tuple, int] = {}
+        self.asid = 0
+        self.stats = ICacheStats()
+
+    # ------------------------------------------------------------------
+    def register_function(self, cf: CompiledFunction,
+                          layout: dict | None = None) -> None:
+        """Precompute per-block refill word counts for a function."""
+        words = [encode_instruction(li, self.config, layout)
+                 for li in cf.instructions]
+        for start in range(0, len(words), BLOCK_INSTRUCTIONS):
+            block = words[start:start + BLOCK_INSTRUCTIONS]
+            present = sum(1 for iw in block for w in iw if w)
+            self._block_words[(cf.name, start // BLOCK_INSTRUCTIONS)] = \
+                MASK_WORDS + present
+
+    def switch_process(self, asid: int) -> None:
+        """Change address space; untagged caches must flush."""
+        self.asid = asid
+        if not self.tagged:
+            self._lines.clear()
+            self.stats.flushes += 1
+
+    # ------------------------------------------------------------------
+    def access(self, func_name: str, pc: int) -> int:
+        """Fetch one instruction; returns stall beats (0 on a hit)."""
+        self.stats.accesses += 1
+        block = pc // BLOCK_INSTRUCTIONS
+        line = (hash((func_name, block)) & 0x7FFFFFFF) % self.n_lines
+        tag = (self.asid if self.tagged else 0, func_name, block)
+        if self._lines.get(line) == tag:
+            return 0
+        self.stats.misses += 1
+        self._lines[line] = tag
+        words = self._block_words.get((func_name, block),
+                                      MASK_WORDS + BLOCK_INSTRUCTIONS * 4)
+        # the refill engine streams words over the ILoad buses, one 32-bit
+        # word per bus per beat, masks interpreted in parallel
+        beats = -(-words // max(1, self.config.n_load_buses))
+        self.stats.refill_beats += beats
+        return beats

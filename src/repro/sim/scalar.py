@@ -1,0 +1,199 @@
+"""Sequential scalar baseline: a single-issue RISC of the same technology.
+
+The paper's headline comparison is against "a more conventional machine
+built of the same implementation technology": one operation per cycle, the
+same functional-unit latencies, blocking on every data hazard.  This
+simulator executes the *same IR* the trace compiler consumes, charging:
+
+* 1 instruction issue per beat-pair (one op per 2-beat cycle — a scalar
+  machine of the era issued roughly one operation per cycle; we use the
+  TRACE's 2-beat instruction time so the comparison is
+  technology-neutral);
+* full producer latency before a consumer can issue (no bypass magic the
+  TRACE doesn't have either);
+* one extra cycle per taken branch (refetch bubble).
+
+The result is the denominator of experiment E1's speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimError
+from ..ir import (ACCESS_SIZE, Function, Imm, MemoryImage, Module, Opcode,
+                  Operation, RegClass, Symbol, VReg, wrap32)
+from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
+from ..machine import MachineConfig, latency_of
+
+
+@dataclass
+class ScalarStats:
+    """Cycle and event counts from a scalar-baseline run."""
+
+    cycles: int = 0                 # instruction cycles (2 beats each)
+    ops: int = 0
+    branch_bubbles: int = 0
+    loads: int = 0
+    stores: int = 0
+    calls: int = 0
+
+    @property
+    def beats(self) -> int:
+        return 2 * self.cycles
+
+    def time_us(self, config: MachineConfig) -> float:
+        return self.beats * config.beat_ns * 1e-3
+
+
+@dataclass
+class ScalarResult:
+    value: object
+    memory: MemoryImage
+    stats: ScalarStats
+
+
+class ScalarSimulator:
+    """Runs IR sequentially with latency accounting."""
+
+    def __init__(self, module: Module, config: MachineConfig | None = None,
+                 fp_mode: str = "precise",
+                 max_cycles: int = 100_000_000) -> None:
+        self.module = module
+        self.config = config or MachineConfig()
+        self.fp_mode = fp_mode
+        self.max_cycles = max_cycles
+        self.stats = ScalarStats()
+        self._eval = Interpreter.__new__(Interpreter)
+        self._eval.fp_mode = fp_mode
+
+    # ------------------------------------------------------------------
+    def run(self, func_name: str, args=(),
+            memory: MemoryImage | None = None) -> ScalarResult:
+        if memory is None:
+            memory = MemoryImage(self.module)
+        self.memory = memory
+        value = self._call(self.module.function(func_name), list(args))
+        return ScalarResult(value, memory, self.stats)
+
+    # ------------------------------------------------------------------
+    def _call(self, func: Function, args: list):
+        regs: dict[VReg, object] = {}
+        ready: dict[VReg, int] = {}     # cycle at which the value is usable
+        for param, arg in zip(func.params, args):
+            regs[param] = self._coerce(param, arg)
+
+        block = func.entry
+        while True:
+            jump = None
+            for op in block.ops:
+                jump = self._step(func, op, regs, ready)
+                if self.stats.cycles > self.max_cycles:
+                    raise SimError("scalar cycle budget exhausted")
+                if jump is not None:
+                    break
+            if jump is None:
+                raise SimError(f"{func.name}:{block.name} fell off the end")
+            kind, payload = jump
+            if kind == "ret":
+                return payload
+            block = func.block(payload)
+
+    def _coerce(self, reg: VReg, arg):
+        if reg.cls is RegClass.FLT:
+            return float(arg)
+        if isinstance(arg, str):
+            return self.memory.address_of(arg)
+        return wrap32(int(arg))
+
+    def _operand(self, regs, ready, src):
+        """Read an operand, stalling (cycle-wise) until it is ready."""
+        if isinstance(src, VReg):
+            if src not in regs:
+                raise SimError(f"read of never-written register {src}")
+            if ready.get(src, 0) > self.stats.cycles:
+                self.stats.cycles = ready[src]
+            return regs[src]
+        if isinstance(src, Imm):
+            return src.value
+        if isinstance(src, Symbol):
+            return self.memory.address_of(src.name)
+        raise SimError(f"bad operand {src!r}")
+
+    # ------------------------------------------------------------------
+    def _step(self, func: Function, op: Operation, regs, ready):
+        opc = op.opcode
+        if opc is Opcode.NOP:
+            return None
+        self.stats.cycles += 1
+        self.stats.ops += 1
+
+        if opc is Opcode.BR:
+            pred = self._operand(regs, ready, op.srcs[0])
+            target = op.labels[0].name if pred else op.labels[1].name
+            if pred:
+                self.stats.cycles += 1      # taken-branch bubble
+                self.stats.branch_bubbles += 1
+            return ("jmp", target)
+        if opc is Opcode.JMP:
+            self.stats.cycles += 1
+            self.stats.branch_bubbles += 1
+            return ("jmp", op.labels[0].name)
+        if opc is Opcode.RET:
+            value = self._operand(regs, ready, op.srcs[0]) if op.srcs else None
+            return ("ret", value)
+        if opc is Opcode.HALT:
+            return ("ret", None)
+        if opc is Opcode.CALL:
+            self.stats.calls += 1
+            args = [self._operand(regs, ready, s) for s in op.srcs]
+            self.stats.cycles += self.config.call_overhead_instructions
+            result = self._call(self.module.function(op.callee), args)
+            if op.dest is not None:
+                regs[op.dest] = result
+                ready[op.dest] = self.stats.cycles
+            return None
+
+        if op.is_memory:
+            self._memory_op(op, regs, ready)
+            return None
+
+        vals = [self._operand(regs, ready, s) for s in op.srcs]
+        result = self._eval._compute(opc, vals)
+        regs[op.dest] = result
+        # latency in beats -> cycles (2 beats each), minimum next cycle
+        latency_cycles = (latency_of(op, self.config) + 1) // 2
+        ready[op.dest] = self.stats.cycles + max(0, latency_cycles - 1)
+        return None
+
+    def _memory_op(self, op: Operation, regs, ready) -> None:
+        size = ACCESS_SIZE[op.opcode]
+        if op.is_store:
+            value, base, offset = (self._operand(regs, ready, s)
+                                   for s in op.srcs)
+            addr = wrap32(base + offset)
+            self.stats.stores += 1
+            if size == 8:
+                self.memory.store_float(addr, value)
+            else:
+                self.memory.store_int(addr, value)
+            return
+        base, offset = (self._operand(regs, ready, s) for s in op.srcs)
+        addr = wrap32(base + offset)
+        self.stats.loads += 1
+        if op.is_speculative and not self.memory.check(addr, size):
+            result = FUNNY_FLOAT if size == 8 else FUNNY_INT
+        elif size == 8:
+            result = self.memory.load_float(addr)
+        else:
+            result = self.memory.load_int(addr)
+        regs[op.dest] = result
+        latency_cycles = (self.config.lat_mem + 1) // 2
+        ready[op.dest] = self.stats.cycles + max(0, latency_cycles - 1)
+
+
+def run_scalar(module: Module, func_name: str, args=(),
+               config: MachineConfig | None = None,
+               fp_mode: str = "precise") -> ScalarResult:
+    """One-shot scalar baseline run."""
+    return ScalarSimulator(module, config, fp_mode).run(func_name, args)

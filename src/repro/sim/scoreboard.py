@@ -1,0 +1,241 @@
+"""Scoreboard baseline: dynamic-issue hardware limited to basic blocks.
+
+The paper cites Acosta et al.: execute-unit schedulers that "look ahead in
+a conventional instruction stream and attempt to dynamically overlap
+execution" achieve "only a factor of 2 or 3 speedup ... the hardware cannot
+see past basic blocks in order to find usable concurrency."
+
+This simulator models such a machine generously: the *same* functional-unit
+complement and latencies as the TRACE configuration it is compared with,
+out-of-order issue *within* the current basic block (every operation starts
+at its earliest hazard-free cycle), out-of-order completion with a register
+scoreboard (CDC-6600-style WAW/WAR stalls, no renaming), and *perfect*
+runtime memory disambiguation (it sees real addresses).  Its one structural
+limit is the paper's: issue never crosses a basic-block boundary
+speculatively — a branch ends the lookahead window, and the next block
+starts only after the branch resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimError
+from ..ir import (ACCESS_SIZE, Category, Function, Imm, MemoryImage, Module,
+                  Opcode, Operation, RegClass, Symbol, VReg, wrap32)
+from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
+from ..machine import MachineConfig, latency_of
+
+#: functional-unit kind per op category
+_FU_KIND = {
+    Category.INT_ALU: "int", Category.INT_CMP: "int", Category.PRED: "int",
+    Category.INT_MUL: "int", Category.INT_DIV: "int",
+    Category.FLT_ADD: "fadd", Category.FLT_CMP: "fadd", Category.CVT: "fadd",
+    Category.FLT_MUL: "fmul", Category.FLT_DIV: "fmul",
+    Category.LOAD: "mem", Category.STORE: "mem",
+}
+
+
+@dataclass
+class ScoreboardStats:
+    """Cycle and event counters from a scoreboard run."""
+
+    cycles: int = 0
+    ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    calls: int = 0
+    issue_stalls: int = 0
+
+    @property
+    def beats(self) -> int:
+        return 2 * self.cycles
+
+    def time_us(self, config: MachineConfig) -> float:
+        return self.beats * config.beat_ns * 1e-3
+
+
+@dataclass
+class ScoreboardResult:
+    value: object
+    memory: MemoryImage
+    stats: ScoreboardStats
+
+
+class ScoreboardSimulator:
+    """In-order multi-issue, out-of-order completion, basic-block window."""
+
+    def __init__(self, module: Module, config: MachineConfig | None = None,
+                 fp_mode: str = "precise",
+                 max_cycles: int = 100_000_000) -> None:
+        self.module = module
+        self.config = config or MachineConfig()
+        self.fp_mode = fp_mode
+        self.max_cycles = max_cycles
+        self.stats = ScoreboardStats()
+        self._eval = Interpreter.__new__(Interpreter)
+        self._eval.fp_mode = fp_mode
+        n = self.config.n_pairs
+        self._capacity = {"int": 4 * n, "fadd": n, "fmul": n, "mem": 2 * n}
+
+    # ------------------------------------------------------------------
+    def run(self, func_name: str, args=(),
+            memory: MemoryImage | None = None) -> ScoreboardResult:
+        if memory is None:
+            memory = MemoryImage(self.module)
+        self.memory = memory
+        value, _ = self._call(self.module.function(func_name), list(args), 0)
+        return ScoreboardResult(value, memory, self.stats)
+
+    # ------------------------------------------------------------------
+    def _call(self, func: Function, args: list, clock: int):
+        regs: dict[VReg, object] = {}
+        ready: dict[VReg, int] = {}
+        last_read: dict[VReg, int] = {}
+        fu_used: dict[tuple[str, int], int] = {}
+        for param, arg in zip(func.params, args):
+            regs[param] = self._coerce(param, arg)
+
+        block = func.entry
+        while True:
+            jump = None
+            for op in block.ops:
+                jump, clock = self._issue(func, op, regs, ready, last_read,
+                                          fu_used, clock)
+                if clock > self.max_cycles:
+                    raise SimError("scoreboard cycle budget exhausted")
+                if jump is not None:
+                    break
+            if jump is None:
+                raise SimError(f"{func.name}:{block.name} fell off the end")
+            kind, payload, clock = jump
+            if kind == "ret":
+                self.stats.cycles = max(self.stats.cycles, clock)
+                return payload, clock
+            block = func.block(payload)
+
+    def _coerce(self, reg: VReg, arg):
+        if reg.cls is RegClass.FLT:
+            return float(arg)
+        if isinstance(arg, str):
+            return self.memory.address_of(arg)
+        return wrap32(int(arg))
+
+    # ------------------------------------------------------------------
+    def _operand_time(self, ready: dict, src) -> int:
+        if isinstance(src, VReg):
+            return ready.get(src, 0)
+        return 0
+
+    def _operand(self, regs, src):
+        if isinstance(src, VReg):
+            if src not in regs:
+                raise SimError(f"read of never-written register {src}")
+            return regs[src]
+        if isinstance(src, Imm):
+            return src.value
+        if isinstance(src, Symbol):
+            return self.memory.address_of(src.name)
+        raise SimError(f"bad operand {src!r}")
+
+    def _fu_slot(self, fu_used: dict, kind: str, earliest: int) -> int:
+        """First cycle >= earliest with a free unit of this kind."""
+        t = earliest
+        while fu_used.get((kind, t), 0) >= self._capacity[kind]:
+            t += 1
+        return t
+
+    # ------------------------------------------------------------------
+    def _issue(self, func: Function, op: Operation, regs, ready, last_read,
+               fu_used, clock: int):
+        """Issue one op in order; returns (jump, new_clock)."""
+        opc = op.opcode
+        if opc is Opcode.NOP:
+            return None, clock
+        self.stats.ops += 1
+
+        # out-of-order issue within the block window: the op starts at its
+        # earliest hazard-free cycle at or after the block start (``clock``
+        # here is the block-start fetch cycle, not a serial program order)
+        t = clock
+        for src in op.srcs:
+            t = max(t, self._operand_time(ready, src))
+
+        if opc in (Opcode.BR, Opcode.JMP, Opcode.RET, Opcode.HALT):
+            self.stats.cycles = max(self.stats.cycles, t)
+            if opc is Opcode.BR:
+                pred = self._operand(regs, op.srcs[0])
+                target = op.labels[0].name if pred else op.labels[1].name
+                return ("jmp", target, t + 1), t
+            if opc is Opcode.JMP:
+                return ("jmp", op.labels[0].name, t + 1), t
+            value = self._operand(regs, op.srcs[0]) if op.srcs else None
+            return ("ret", value, t), t
+
+        if opc is Opcode.CALL:
+            self.stats.calls += 1
+            args = [self._operand(regs, s) for s in op.srcs]
+            result, after = self._call(
+                self.module.function(op.callee), args,
+                t + self.config.call_overhead_instructions)
+            if op.dest is not None:
+                regs[op.dest] = result
+                ready[op.dest] = after
+            return None, after
+
+        # WAW: previous write to the same register must have completed;
+        # WAR: previous readers must have issued
+        if op.dest is not None:
+            t = max(t, ready.get(op.dest, 0))
+            t = max(t, last_read.get(op.dest, 0))
+
+        kind = _FU_KIND[op.category]
+        slot = self._fu_slot(fu_used, kind, t)
+        if slot > clock:
+            self.stats.issue_stalls += slot - clock
+        fu_used[(kind, slot)] = fu_used.get((kind, slot), 0) + 1
+
+        for src in op.srcs:
+            if isinstance(src, VReg):
+                last_read[src] = max(last_read.get(src, 0), slot)
+
+        latency_cycles = max(1, (latency_of(op, self.config) + 1) // 2)
+        if op.is_memory:
+            self._memory_effect(op, regs, ready, slot, latency_cycles)
+        else:
+            vals = [self._operand(regs, s) for s in op.srcs]
+            regs[op.dest] = self._eval._compute(opc, vals)
+            ready[op.dest] = slot + latency_cycles
+        self.stats.cycles = max(self.stats.cycles, slot)
+        return None, clock         # OOO within the block: clock unchanged
+
+    def _memory_effect(self, op, regs, ready, slot, latency_cycles) -> None:
+        size = ACCESS_SIZE[op.opcode]
+        if op.is_store:
+            value, base, offset = (self._operand(regs, s) for s in op.srcs)
+            addr = wrap32(base + offset)
+            self.stats.stores += 1
+            if size == 8:
+                self.memory.store_float(addr, value)
+            else:
+                self.memory.store_int(addr, value)
+            return
+        base, offset = (self._operand(regs, s) for s in op.srcs)
+        addr = wrap32(base + offset)
+        self.stats.loads += 1
+        if op.is_speculative and not self.memory.check(addr, size):
+            result = FUNNY_FLOAT if size == 8 else FUNNY_INT
+        elif size == 8:
+            result = self.memory.load_float(addr)
+        else:
+            result = self.memory.load_int(addr)
+        regs[op.dest] = result
+        mem_cycles = max(1, (self.config.lat_mem + 1) // 2)
+        ready[op.dest] = slot + mem_cycles
+
+
+def run_scoreboard(module: Module, func_name: str, args=(),
+                   config: MachineConfig | None = None,
+                   fp_mode: str = "precise") -> ScoreboardResult:
+    """One-shot scoreboard baseline run."""
+    return ScoreboardSimulator(module, config, fp_mode).run(func_name, args)

@@ -1,0 +1,357 @@
+"""Beat-accurate simulator for compiled TRACE code.
+
+Executes :class:`~repro.machine.CompiledFunction` schedules with the
+machine's timing model:
+
+* one long instruction per two 65 ns beats; early/late integer slots issue
+  one beat apart;
+* self-draining pipelines: every destination write lands at
+  ``issue_beat + latency`` regardless of what the PC does in between
+  (this is what makes speculated operations and interrupts work);
+* memory effects at issue, data delivery through the 7-beat pipeline;
+* interleaved banks: a touched bank is busy four beats; a reference that
+  finds its bank busy *bank-stalls* the whole CPU (legal only for
+  compiler-marked "gamble" references — anything else is a compiler bug
+  and raises :class:`~repro.errors.SimError`);
+* multiway branching with software priority, negate flags, and the
+  default next-PC;
+* procedure calls as save/run/restore with a modeled overhead (the block
+  register save/restore "special subroutines" of section 9).
+
+The simulator double-checks the compiler: oversubscribed resources,
+same-beat controller conflicts, and unproven bank conflicts on non-gamble
+references all raise ``SimError`` instead of being silently arbitrated —
+on the real TRACE there is no arbitration hardware to hide them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SimError, TrapError
+from ..ir import (ACCESS_SIZE, FUNNY_FLOAT, FUNNY_INT, Imm, MemoryImage,
+                  Opcode, Operation, RegClass, Symbol, VReg, wrap32)
+from ..ir.interp import Interpreter
+from ..machine import (CompiledFunction, CompiledProgram, MachineConfig,
+                       latency_of)
+
+
+@dataclass
+class VliwStats:
+    """Timing and event counters from one simulation."""
+
+    beats: int = 0
+    instructions: int = 0
+    ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    bank_stall_beats: int = 0
+    gamble_refs: int = 0
+    unexpected_bank_stalls: int = 0
+    calls: int = 0
+    dismissed_loads: int = 0
+
+    @property
+    def cycles(self) -> int:
+        """Instruction cycles (2 beats each, including stall beats)."""
+        return (self.beats + 1) // 2
+
+    def time_us(self, config: MachineConfig) -> float:
+        return self.beats * config.beat_ns * 1e-3
+
+    def ops_per_instruction(self) -> float:
+        return self.ops / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class VliwResult:
+    value: object
+    memory: MemoryImage
+    stats: VliwStats
+
+
+class _Evaluator(Interpreter):
+    """Reuses the reference interpreter's pure-operation semantics."""
+
+    def __init__(self, fp_mode: str) -> None:
+        # bypass Interpreter.__init__: we only need _compute/_fdiv
+        self.fp_mode = fp_mode
+
+
+class VliwSimulator:
+    """Executes a compiled program on the modeled machine."""
+
+    def __init__(self, program: CompiledProgram,
+                 memory: MemoryImage,
+                 fp_mode: str = "precise",
+                 max_beats: int = 200_000_000,
+                 icache=None, tlb=None) -> None:
+        self.program = program
+        self.config = program.config
+        self.memory = memory
+        self.fp_mode = fp_mode
+        self.max_beats = max_beats
+        self.stats = VliwStats()
+        self._eval = _Evaluator(fp_mode)
+        #: optional ICacheModel — charges refill beats on misses
+        self.icache = icache
+        #: optional TlbModel — charges batched trap/replay beats on misses
+        self.tlb = tlb
+        if icache is not None:
+            for cf in program.functions.values():
+                icache.register_function(cf, getattr(memory, "layout", None))
+
+    # ------------------------------------------------------------------
+    def run(self, func_name: str, args=()) -> VliwResult:
+        cf = self.program.function(func_name)
+        value = self._run_function(cf, list(args), start_beat=0)[0]
+        return VliwResult(value, self.memory, self.stats)
+
+    # ------------------------------------------------------------------
+    def _run_function(self, cf: CompiledFunction, args: list,
+                      start_beat: int) -> tuple[object, int]:
+        """Returns (return value, beat after completion)."""
+        regs: dict[VReg, object] = {}
+        if len(args) != len(cf.param_regs):
+            raise SimError(f"{cf.name}: expected {len(cf.param_regs)} args")
+        for reg, arg in zip(cf.param_regs, args):
+            regs[reg] = self._coerce_arg(reg, arg)
+
+        pending: list[tuple[int, VReg, object]] = []
+        bank_busy: dict[int, int] = {}
+        beat = start_beat
+        pc = cf.label_map.get(cf.meta.get("entry_label", ""), 0)
+
+        while True:
+            if beat - start_beat > self.max_beats:
+                raise SimError(f"{cf.name}: beat budget exhausted")
+            if pc < 0 or pc >= len(cf.instructions):
+                raise SimError(f"{cf.name}: PC out of range: {pc}")
+            li = cf.instructions[pc]
+            self.stats.instructions += 1
+            if self.icache is not None:
+                fetch_stall = self.icache.access(cf.name, pc)
+                if fetch_stall:
+                    pending[:] = [(b + fetch_stall, r, v)
+                                  for b, r, v in pending]
+                    beat += fetch_stall
+                    self.stats.beats += fetch_stall
+
+            # --- read-before-write state as of the instruction's first
+            # beat: branch tests and return values see beat-2t state -------
+            self._land(pending, regs, beat)
+            branch_vals = [self._operand(regs, bt.pred)
+                           for bt in li.branches]
+            ret_val = None
+            if li.special is not None and li.special[0] == "ret" \
+                    and li.special[1] is not None:
+                ret_val = self._operand(regs, li.special[1])
+
+            # --- issue this instruction's operations, beat by beat ------
+            ops_by_beat: dict[int, list] = {0: [], 1: []}
+            for so in li.ops:
+                ops_by_beat[so.unit.beat_offset].append(so)
+
+            stall = 0
+            for offset in (0, 1):
+                issue_beat = beat + offset + stall
+                self._land(pending, regs, issue_beat)
+                controllers_this_beat: set[int] = set()
+                for so in ops_by_beat[offset]:
+                    extra = self._issue(so, regs, pending, issue_beat,
+                                        bank_busy, controllers_this_beat)
+                    if extra:
+                        stall += extra
+                        issue_beat += extra
+                    self.stats.ops += 1
+
+            beat += 2 + stall
+            self.stats.beats += 2 + stall
+            self.stats.bank_stall_beats += stall
+
+            if self.tlb is not None:
+                tlb_stall = self.tlb.end_instruction()
+                if tlb_stall:
+                    pending[:] = [(b + tlb_stall, r, v)
+                                  for b, r, v in pending]
+                    beat += tlb_stall
+                    self.stats.beats += tlb_stall
+
+            # --- control transfer at end of instruction ------------------
+            next_pc = None
+            for bt, pred in zip(li.branches, branch_vals):
+                self.stats.branches += 1
+                taken = (not pred) if bt.negate else bool(pred)
+                if taken:
+                    self.stats.taken_branches += 1
+                    next_pc = cf.resolve(bt.target)
+                    break
+            if next_pc is None and li.special is not None:
+                kind = li.special[0]
+                if kind == "ret":
+                    return ret_val, beat
+                if kind == "halt":
+                    return None, beat
+                if kind == "call":
+                    beat = self._do_call(li.special[1], regs, pending, beat)
+                    next_pc = pc + 1
+            if next_pc is None:
+                if li.next_label is not None:
+                    next_pc = cf.resolve(li.next_label)
+                else:
+                    next_pc = pc + 1
+            pc = next_pc
+
+    # ------------------------------------------------------------------
+    def _coerce_arg(self, reg: VReg, arg):
+        if reg.cls is RegClass.FLT:
+            return float(arg)
+        if isinstance(arg, str):
+            return self.memory.address_of(arg)
+        return wrap32(int(arg))
+
+    @staticmethod
+    def _land(pending: list, regs: dict, beat: int) -> None:
+        """Apply every pipeline write that lands at or before ``beat``."""
+        if not pending:
+            return
+        ready = [item for item in pending if item[0] <= beat]
+        if not ready:
+            return
+        ready.sort(key=lambda item: item[0])
+        for land_beat, reg, value in ready:
+            regs[reg] = value
+        pending[:] = [item for item in pending if item[0] > beat]
+
+    def _operand(self, regs: dict, src):
+        if isinstance(src, VReg):
+            if src not in regs:
+                # a speculated operation may read a register that was never
+                # written on this path; its result is dead here (the
+                # scheduler's liveness rule), so any value will do — the
+                # real register file would hold whatever was left behind.
+                # Funny numbers make an actual liveness bug loud.
+                if src.cls is RegClass.FLT:
+                    return FUNNY_FLOAT
+                if src.cls is RegClass.PRED:
+                    return 0
+                return FUNNY_INT
+            return regs[src]
+        if isinstance(src, Imm):
+            return src.value
+        if isinstance(src, Symbol):
+            return self.memory.address_of(src.name)
+        raise SimError(f"bad operand {src!r}")
+
+    # ------------------------------------------------------------------
+    def _issue(self, so, regs: dict, pending: list, issue_beat: int,
+               bank_busy: dict[int, int],
+               controllers_this_beat: set[int]) -> int:
+        """Issue one op; returns stall beats incurred."""
+        op = so.op
+        if op.is_memory:
+            return self._issue_memory(so, regs, pending, issue_beat,
+                                      bank_busy, controllers_this_beat)
+        vals = [self._operand(regs, s) for s in op.srcs]
+        result = self._eval._compute(op.opcode, vals)
+        latency = latency_of(op, self.config)
+        pending.append((issue_beat + latency, op.dest, result))
+        return 0
+
+    def _issue_memory(self, so, regs: dict, pending: list, issue_beat: int,
+                      bank_busy: dict[int, int],
+                      controllers_this_beat: set[int]) -> int:
+        op = so.op
+        size = ACCESS_SIZE[op.opcode]
+        stall = 0
+
+        if op.is_store:
+            value, base, offset = (self._operand(regs, s) for s in op.srcs)
+            addr = wrap32(base + offset)
+        else:
+            base, offset = (self._operand(regs, s) for s in op.srcs)
+            addr = wrap32(base + offset)
+
+        if self.tlb is not None:
+            self.tlb.access(addr)
+
+        word = addr // 8 if addr >= 0 else 0
+        controller = word % self.config.n_controllers
+        bank = word % self.config.total_banks
+
+        if controller in controllers_this_beat:
+            raise SimError(
+                f"two references hit controller {controller} in one beat "
+                f"(disambiguator/compiler bug): {op}")
+        controllers_this_beat.add(controller)
+
+        busy_until = bank_busy.get(bank, -1)
+        if busy_until > issue_beat:
+            # the hardware bank-stall covers every conflict; the compiler is
+            # responsible only for avoiding them where provable.  Stalls on
+            # references the compiler did NOT mark as gambles come from
+            # cross-trace adjacency (never compared at compile time) and are
+            # tracked separately so tests can bound them.
+            if not so.gamble:
+                self.stats.unexpected_bank_stalls += 1
+            stall = busy_until - issue_beat
+            # the bank stall freezes the CPU: shift every in-flight
+            # writeback *before* this reference's own entry is appended
+            pending[:] = [(b + stall, r, v) for b, r, v in pending]
+            issue_beat = busy_until
+        if so.gamble:
+            self.stats.gamble_refs += 1
+        bank_busy[bank] = issue_beat + self.config.bank_busy_beats
+
+        if op.is_store:
+            self.stats.stores += 1
+            if size == 8:
+                self.memory.store_float(addr, value)
+            else:
+                self.memory.store_int(addr, value)
+            return stall
+
+        self.stats.loads += 1
+        if op.is_speculative and not self.memory.check(addr, size):
+            self.stats.dismissed_loads += 1
+            result = FUNNY_FLOAT if size == 8 else FUNNY_INT
+        elif size == 8:
+            result = self.memory.load_float(addr)
+        else:
+            result = self.memory.load_int(addr)
+        pending.append((issue_beat + self.config.lat_mem, op.dest, result))
+        return stall
+
+    # ------------------------------------------------------------------
+    def _do_call(self, call: Operation, regs: dict, pending: list,
+                 beat: int) -> int:
+        """Execute a CALL: drain, save, run callee, restore."""
+        self.stats.calls += 1
+        # drain self-draining pipelines
+        if pending:
+            drain_to = max(item[0] for item in pending)
+            extra = max(0, drain_to - beat)
+            self._land(pending, regs, drain_to)
+            self.stats.beats += extra
+            beat += extra
+        args = [self._operand(regs, s) for s in call.srcs]
+        callee = self.program.function(call.callee)
+        overhead = 2 * self.config.call_overhead_instructions
+        self.stats.beats += overhead
+        value, after = self._run_function(callee, args, beat + overhead)
+        if call.dest is not None:
+            regs[call.dest] = value
+        return after
+
+
+def run_compiled(program: CompiledProgram, module, func_name: str,
+                 args=(), fp_mode: str = "precise",
+                 memory: MemoryImage | None = None) -> VliwResult:
+    """Convenience: build the memory image, run, return the result."""
+    if memory is None:
+        memory = MemoryImage(module)
+    sim = VliwSimulator(program, memory, fp_mode)
+    return sim.run(func_name, args)

@@ -1,0 +1,20 @@
+"""The Trace Scheduling compiler (the paper's core contribution)."""
+
+from .compiler import (TraceCompiler, TraceCompileStats, clone_function,
+                       compile_module)
+from .depgraph import (Node, SchedulingOptions, TraceGraph,
+                       build_trace_graph, linearize)
+from .profile import (ExecutionEstimates, estimate_from_profile,
+                      estimate_static)
+from .regalloc import allocate_registers
+from .scheduler import ListScheduler, PlacedNode, TraceSchedule
+from .selector import Trace, TraceSelector
+
+__all__ = [
+    "TraceCompiler", "TraceCompileStats", "clone_function", "compile_module",
+    "Node", "SchedulingOptions", "TraceGraph", "build_trace_graph",
+    "linearize",
+    "ExecutionEstimates", "estimate_from_profile", "estimate_static",
+    "allocate_registers", "ListScheduler", "PlacedNode", "TraceSchedule",
+    "Trace", "TraceSelector",
+]

@@ -1,0 +1,280 @@
+"""The Trace Scheduling compiler driver.
+
+Implements the loop of paper section 4: select the likeliest remaining
+trace, schedule it as if branch-free, insert compensation code on the
+off-trace edges where code motion broke naive correctness, and repeat until
+the whole function is compiled.  Finishes with register allocation onto the
+machine's physical files and link-time label resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import CFG, compute_liveness
+from ..disambig import Disambiguator, derive_memrefs
+from ..errors import ScheduleError
+from ..ir import (Function, Module, Opcode, Operation, Profile, RegClass,
+                  SPECULATIVE_LOAD, VReg, make_jmp)
+from ..machine import (BranchTest, CompiledFunction, CompiledProgram,
+                       LongInstruction, MachineConfig, ScheduledOp,
+                       latency_of)
+from ..opt import clone_operations
+from .depgraph import SchedulingOptions, build_trace_graph
+from .profile import (ExecutionEstimates, estimate_from_profile,
+                      estimate_static)
+from .regalloc import allocate_registers
+from .scheduler import ListScheduler, TraceSchedule
+from .selector import Trace, TraceSelector
+
+
+@dataclass
+class TraceCompileStats:
+    """Per-function statistics gathered during trace compilation."""
+
+    n_traces: int = 0
+    n_instructions: int = 0
+    n_ops: int = 0
+    n_speculated_loads: int = 0
+    n_compensation_ops: int = 0
+    n_gambles: int = 0
+    trace_lengths: list[int] = field(default_factory=list)
+
+
+def clone_function(func: Function) -> Function:
+    """A deep working copy (the compiler consumes its input blocks)."""
+    fork = Function(func.name, list(func.params), func.ret_class)
+    for name, block in func.blocks.items():
+        new_block = fork.add_block(name)
+        new_block.ops = clone_operations(block.ops, rename={})
+    return fork
+
+
+class TraceCompiler:
+    """Compiles a module's functions onto one TRACE configuration.
+
+    Args:
+        module: the (already classically-optimized) module.
+        config: target machine configuration.
+        options: code-motion knobs (speculation, join motion, fast FP,
+            bank gambling) — see :class:`SchedulingOptions`.
+        profile: optional training-run profile for trace selection; static
+            heuristics are used otherwise.
+    """
+
+    def __init__(self, module: Module, config: MachineConfig | None = None,
+                 options: SchedulingOptions | None = None,
+                 profile: Profile | None = None) -> None:
+        self.module = module
+        self.config = config or MachineConfig()
+        self.options = options or SchedulingOptions()
+        self.profile = profile
+        self.disambiguator = Disambiguator(
+            module, fortran_args=self.options.fortran_args)
+        self.stats: dict[str, TraceCompileStats] = {}
+
+    # ------------------------------------------------------------------
+    def compile_module(self) -> CompiledProgram:
+        program = CompiledProgram(config=self.config)
+        for func in self.module.functions.values():
+            program.add(self.compile_function(func))
+        return program
+
+    def compile_function(self, func: Function) -> CompiledFunction:
+        """Compile one function, backing off code motion under register
+        pressure.
+
+        Aggressive speculation and join motion stretch live ranges; when
+        allocation fails, the function is recompiled with motion disabled
+        (shorter live ranges), mirroring the pressure heuristics production
+        trace schedulers applied.  A function whose *sequential* pressure
+        already exceeds the files still fails, with a clear error.
+        """
+        from ..errors import RegAllocError
+        try:
+            return self._compile_function(func, self.options)
+        except RegAllocError:
+            conservative = SchedulingOptions(
+                speculation=False, join_motion=False,
+                fast_fp=self.options.fast_fp,
+                bank_gamble=self.options.bank_gamble)
+            return self._compile_function(func, conservative)
+
+    def _compile_function(self, func: Function,
+                          options: SchedulingOptions) -> CompiledFunction:
+        derive_memrefs(func)
+        work = clone_function(func)
+        stats = TraceCompileStats()
+        self.stats[func.name] = stats
+
+        live_in_map = dict(compute_liveness(work).live_in)
+        if self.profile is not None:
+            estimates = estimate_from_profile(work, self.profile)
+        else:
+            estimates = estimate_static(work)
+        selector = TraceSelector(work, estimates)
+        entry_labels: set[str] = {work.entry.name}
+        entry_name = work.entry.name
+
+        cf = CompiledFunction(func.name, self.config)
+        cf.meta["entry_label"] = entry_name
+        cf.meta["param_vregs"] = list(func.params)
+        cf.meta["ret_class"] = func.ret_class
+        comp_counter = 0
+
+        while True:
+            trace = selector.next_trace()
+            if trace is None:
+                break
+            graph = build_trace_graph(work, trace, self.disambiguator,
+                                      self.config, options,
+                                      live_in_map, entry_labels)
+            sched = ListScheduler(graph, self.config, self.disambiguator,
+                                  options).run()
+            stats.n_traces += 1
+            stats.trace_lengths.append(len(trace))
+            stats.n_gambles += sched.gambles
+            selector.mark_scheduled(trace)
+            for bname in trace.blocks:
+                work.remove_block(bname)
+
+            comp_counter = self._emit_trace(
+                work, trace, graph, sched, cf, stats, estimates,
+                live_in_map, entry_labels, selector, comp_counter)
+
+        allocate_registers(cf, self.config)
+        stats.n_instructions = len(cf.instructions)
+        stats.n_ops = cf.op_count()
+        cf.meta["stats"] = stats
+        return cf
+
+    # ------------------------------------------------------------------
+    def _emit_trace(self, work: Function, trace: Trace, graph, sched,
+                    cf: CompiledFunction, stats: TraceCompileStats,
+                    estimates: ExecutionEstimates,
+                    live_in_map, entry_labels: set[str],
+                    selector: TraceSelector, comp_counter: int) -> int:
+        start = len(cf.instructions)
+        instructions = [LongInstruction()
+                        for _ in range(sched.n_instructions)]
+        nodes = graph.nodes
+        placements = sched.placements
+
+        splits = [n for n in nodes if n.kind == "split"]
+
+        # entry label for the whole trace
+        cf.label_map[trace.blocks[0]] = start
+
+        branch_nodes: dict[int, list] = {}
+        for node in nodes:
+            placed = placements[node.index]
+            t = placed.instruction
+            li = instructions[t]
+            if node.kind == "op":
+                op = node.op
+                if op.is_load:
+                    speculated = any(
+                        s.pos < node.pos and
+                        placements[s.index].instruction >= t
+                        for s in splits)
+                    if speculated and op.opcode in SPECULATIVE_LOAD:
+                        op = op.copy()
+                        op.opcode = SPECULATIVE_LOAD[node.op.opcode]
+                        stats.n_speculated_loads += 1
+                bus = None
+                if op.is_memory:
+                    bus = ("store" if op.is_store else
+                           "fload" if op.dest is not None
+                           and op.dest.cls is RegClass.FLT else "iload")
+                li.ops.append(ScheduledOp(op, placed.pair, placed.unit,
+                                          bus, placed.gamble))
+            elif node.kind == "split":
+                branch_nodes.setdefault(t, []).append((node, placed))
+                entry_labels.add(node.off_trace)
+            elif node.kind == "call":
+                li.special = ("call", node.op)
+            elif node.kind == "term":
+                term = node.op
+                if term.opcode is Opcode.RET:
+                    value = term.srcs[0] if term.srcs else None
+                    li.special = ("ret", value)
+                elif term.opcode is Opcode.HALT:
+                    li.special = ("halt",)
+                # JMP: handled below via next_label
+
+        # branches within an instruction keep original program order
+        for t, items in branch_nodes.items():
+            for node, placed in sorted(items, key=lambda x: x[0].pos):
+                negate = node.off_trace != node.op.labels[0].name
+                instructions[t].branches.append(BranchTest(
+                    node.op.srcs[0], node.off_trace, placed.pair, negate))
+
+        # trace exit: explicit fallthrough label on the last instruction
+        last_node = nodes[-1]
+        exit_target = None
+        if last_node.kind == "split":
+            exit_target = last_node.on_trace
+        elif last_node.kind == "term" and last_node.op.opcode is Opcode.JMP:
+            exit_target = last_node.op.labels[0].name
+        if exit_target is not None:
+            # cross-trace timing: every in-flight value the successor may
+            # read must land before control transfers out of this trace, so
+            # pad with empty instructions until the relevant pipelines drain
+            live_at_target = live_in_map.get(exit_target)
+            max_land = 0
+            for node in nodes:
+                if node.kind not in ("op", "split") or node.op is None:
+                    continue
+                dest = node.op.dest
+                if dest is None:
+                    continue
+                if live_at_target is not None and dest not in live_at_target:
+                    continue
+                placed = placements[node.index]
+                land = placed.issue_beat + \
+                    latency_of(node.op, self.config)
+                max_land = max(max_land, land)
+            needed = (max_land + 1) // 2
+            while len(instructions) < needed:
+                instructions.append(LongInstruction())
+            instructions[-1].next_label = exit_target
+            entry_labels.add(exit_target)
+        # RET/HALT: special already set
+
+        # --- join labels and compensation code -----------------------------
+        for join in (n for n in nodes if n.kind == "join"):
+            join_instr = placements[join.index].instruction
+            moved = [n for n in nodes
+                     if n.kind == "op" and n.pos > join.pos
+                     and placements[n.index].instruction < join_instr]
+            moved.sort(key=lambda n: n.pos)
+            internal = f"{join.block}@t{stats.n_traces}"
+            cf.label_map[internal] = start + join_instr
+            if not moved:
+                cf.label_map[join.block] = start + join_instr
+                continue
+            # a compensation block takes over the join target's name so
+            # every outside entry (past and future) runs the copies first
+            stats.n_compensation_ops += len(moved)
+            comp_counter += 1
+            name = join.block
+            comp = work.add_block(name)
+            for node in moved:
+                comp.append(node.op.copy())
+            comp.append(make_jmp(internal))
+            selector.scheduled.discard(name)
+            estimates.set_block(name, 0.1 * estimates.weight(name) + 0.01)
+            live = set(live_in_map.get(name, set()))
+            for node in moved:
+                live |= set(node.op.reg_srcs())
+            live_in_map[name] = live
+
+        cf.instructions.extend(instructions)
+        return comp_counter
+
+
+def compile_module(module: Module, config: MachineConfig | None = None,
+                   options: SchedulingOptions | None = None,
+                   profile: Profile | None = None) -> CompiledProgram:
+    """One-shot convenience wrapper around :class:`TraceCompiler`."""
+    return TraceCompiler(module, config, options, profile).compile_module()

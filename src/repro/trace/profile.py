@@ -1,0 +1,110 @@
+"""Execution estimates driving trace selection.
+
+Paper, section 4: "Using estimates of branch directions obtained
+automatically through heuristics or profiling, the compiler selects the
+most likely path, or 'trace', that the code will follow during execution."
+
+Two estimators are provided: a static heuristic (loop structure based) and
+a profile-driven one that consumes the :class:`~repro.ir.Profile` collected
+by a training run of the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import CFG, find_loops
+from ..ir import Function, Profile
+
+
+@dataclass
+class ExecutionEstimates:
+    """Block weights and edge probabilities for one function."""
+
+    block_weight: dict[str, float] = field(default_factory=dict)
+    #: P(src -> dst | src executed)
+    edge_prob: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def weight(self, block: str) -> float:
+        return self.block_weight.get(block, 0.0)
+
+    def prob(self, src: str, dst: str) -> float:
+        return self.edge_prob.get((src, dst), 0.0)
+
+    def set_block(self, block: str, weight: float) -> None:
+        self.block_weight[block] = weight
+
+    def likeliest_successor(self, cfg: CFG, block: str) -> str | None:
+        succs = cfg.succs[block]
+        if not succs:
+            return None
+        return max(succs, key=lambda s: self.prob(block, s))
+
+    def likeliest_predecessor(self, cfg: CFG, block: str) -> str | None:
+        preds = cfg.preds[block]
+        if not preds:
+            return None
+        return max(preds,
+                   key=lambda p: self.weight(p) * self.prob(p, block))
+
+
+#: Probability assigned to staying in a loop at its exit test.
+LOOP_BRANCH_PROB = 0.9
+
+
+def estimate_static(func: Function,
+                    cfg: CFG | None = None) -> ExecutionEstimates:
+    """Heuristic estimates: loops iterate ~10x, other branches are 50/50."""
+    if cfg is None:
+        cfg = CFG.build(func)
+    loops = find_loops(func, cfg)
+    depth: dict[str, int] = {name: 0 for name in func.blocks}
+    for loop in loops:
+        for name in loop.body:
+            depth[name] = max(depth[name], loop.depth)
+    in_same_loop: dict[tuple[str, str], bool] = {}
+    for u, v in cfg.edges():
+        in_same_loop[(u, v)] = any(
+            u in loop.body and v in loop.body for loop in loops)
+
+    est = ExecutionEstimates()
+    for name in cfg.reachable():
+        est.set_block(name, 10.0 ** depth[name])
+    for name in cfg.reachable():
+        succs = cfg.succs[name]
+        if len(succs) == 1:
+            est.edge_prob[(name, succs[0])] = 1.0
+        elif len(succs) == 2:
+            a, b = succs
+            a_in = in_same_loop.get((name, a), False)
+            b_in = in_same_loop.get((name, b), False)
+            if a_in and not b_in:
+                est.edge_prob[(name, a)] = LOOP_BRANCH_PROB
+                est.edge_prob[(name, b)] = 1 - LOOP_BRANCH_PROB
+            elif b_in and not a_in:
+                est.edge_prob[(name, b)] = LOOP_BRANCH_PROB
+                est.edge_prob[(name, a)] = 1 - LOOP_BRANCH_PROB
+            else:
+                est.edge_prob[(name, a)] = 0.5
+                est.edge_prob[(name, b)] = 0.5
+    return est
+
+
+def estimate_from_profile(func: Function, profile: Profile,
+                          cfg: CFG | None = None) -> ExecutionEstimates:
+    """Estimates from measured branch statistics; static fallback where the
+    training run never visited."""
+    if cfg is None:
+        cfg = CFG.build(func)
+    static = estimate_static(func, cfg)
+    est = ExecutionEstimates()
+    for name in cfg.reachable():
+        count = profile.block_counts.get((func.name, name), 0)
+        est.set_block(name, float(count) if count else
+                      0.01 * static.weight(name))
+        for succ in cfg.succs[name]:
+            prob = profile.edge_probability(func.name, name, succ)
+            if prob is None:
+                prob = static.prob(name, succ)
+            est.edge_prob[(name, succ)] = prob
+    return est

@@ -1,0 +1,205 @@
+"""Register allocation onto the TRACE's physical register files.
+
+Runs after all traces are scheduled.  The compiled code is itself a CFG of
+long instructions (branch targets resolved through the label map), so we
+compute instruction-level liveness directly on the schedule, extend each
+definition's range by its pipeline latency — on the TRACE "the target
+register of any pipelined operation is 'in use' from the beat in which the
+operation is initiated until the beat in which it is defined to be written"
+(section 6.2), even across a taken branch, because pipelines self-drain —
+build an interference graph per register class, and colour greedily.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import RegAllocError
+from ..ir import Imm, Operation, RegClass, VReg
+from ..machine import (CompiledFunction, MachineConfig, latency_of,
+                       phys_reg)
+
+
+def _instruction_uses_defs(li, config: MachineConfig) -> tuple[set[VReg],
+                                                               set[VReg],
+                                                               set[VReg]]:
+    """(exposed_uses, all_uses, defs) of one long instruction.
+
+    A use is *upward-exposed* (drives liveness into predecessors) unless a
+    definition in this same instruction lands, beat-wise, no later than the
+    use reads it — e.g. an early-slot 1-beat add feeding a late-slot
+    consumer is internal to the instruction.
+    """
+    reads: list[tuple[VReg, int]] = []     # (reg, read beat offset)
+    defs: set[VReg] = set()
+    def_land: dict[VReg, int] = {}         # reg -> earliest land offset
+    for so in li.ops:
+        offset = so.unit.beat_offset
+        for src in so.op.reg_srcs():
+            reads.append((src, offset))
+        if so.op.dest is not None:
+            defs.add(so.op.dest)
+            land = offset + latency_of(so.op, config)
+            prior = def_land.get(so.op.dest)
+            def_land[so.op.dest] = land if prior is None \
+                else min(prior, land)
+    for bt in li.branches:
+        if isinstance(bt.pred, VReg):
+            reads.append((bt.pred, 0))
+    if li.special is not None:
+        kind = li.special[0]
+        if kind == "ret" and li.special[1] is not None \
+                and isinstance(li.special[1], VReg):
+            reads.append((li.special[1], 0))
+        elif kind == "call":
+            call: Operation = li.special[1]
+            for src in call.reg_srcs():
+                reads.append((src, 0))
+            if call.dest is not None:
+                defs.add(call.dest)
+                def_land[call.dest] = 0
+
+    all_uses = {reg for reg, _ in reads}
+    exposed = {reg for reg, read_offset in reads
+               if def_land.get(reg) is None
+               or def_land[reg] > read_offset}
+    return exposed, all_uses, defs
+
+
+def _successors(cf: CompiledFunction, index: int) -> list[int]:
+    li = cf.instructions[index]
+    succs = [cf.resolve(bt.target) for bt in li.branches]
+    if li.special is not None and li.special[0] in ("ret", "halt"):
+        return succs
+    if li.next_label is not None:
+        succs.append(cf.resolve(li.next_label))
+    elif index + 1 < len(cf.instructions):
+        succs.append(index + 1)
+    return succs
+
+
+def allocate_registers(cf: CompiledFunction, config: MachineConfig) -> None:
+    """Colour every virtual register and rewrite the schedule in place."""
+    n = len(cf.instructions)
+    exposed: list[set[VReg]] = [set()] * n
+    uses: list[set[VReg]] = [set()] * n
+    defs: list[set[VReg]] = [set()] * n
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        exposed[i], uses[i], defs[i] = _instruction_uses_defs(
+            cf.instructions[i], config)
+        succs[i] = _successors(cf, i)
+
+    # backward liveness over instructions (beat-aware exposure: a use fed
+    # by a same-instruction def does not reach predecessors)
+    live_in: list[set[VReg]] = [set() for _ in range(n)]
+    live_out: list[set[VReg]] = [set() for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out = set()
+            for s in succs[i]:
+                out |= live_in[s]
+            new_in = exposed[i] | (out - defs[i])
+            if out != live_out[i] or new_in != live_in[i]:
+                live_out[i] = out
+                live_in[i] = new_in
+                changed = True
+
+    # pipeline-latency extension: a register being written stays "in use"
+    # until the write lands, along every path the machine might follow
+    for i, li in enumerate(cf.instructions):
+        for so in li.ops:
+            if so.op.dest is None:
+                continue
+            lat = latency_of(so.op, config)
+            extra = (so.unit.beat_offset + lat) // 2
+            frontier = {i}
+            for _ in range(extra):
+                nxt: set[int] = set()
+                for j in frontier:
+                    for s in succs[j]:
+                        live_in[s].add(so.op.dest)
+                        live_out[j].add(so.op.dest)
+                        nxt.add(s)
+                frontier = nxt
+
+    # interference graph per class (instruction granularity; uses included
+    # so a same-instruction read can never share with a new definition)
+    all_regs: set[VReg] = set()
+    interference: dict[VReg, set[VReg]] = defaultdict(set)
+
+    def interfere_group(group: set[VReg]) -> None:
+        group_list = list(group)
+        all_regs.update(group_list)
+        for a_index, a in enumerate(group_list):
+            for b in group_list[a_index + 1:]:
+                if a.cls is b.cls:
+                    interference[a].add(b)
+                    interference[b].add(a)
+
+    for i in range(n):
+        interfere_group(live_out[i] | defs[i] | uses[i])
+
+    # function parameters are all live on entry simultaneously, together
+    # with anything live into the entry instruction
+    params = _collect_params(cf)
+    entry_index = cf.label_map.get(cf.meta.get("entry_label", ""), 0)
+    entry_live = live_in[entry_index] if n else set()
+    interfere_group(set(params) | entry_live)
+
+    capacity = {RegClass.INT: config.int_regs,
+                RegClass.FLT: config.flt_regs,
+                RegClass.PRED: config.pred_regs}
+    color: dict[VReg, int] = {}
+    for cls in RegClass:
+        regs = sorted((r for r in all_regs if r.cls is cls),
+                      key=lambda r: (-len(interference[r]), r.name))
+        for reg in regs:
+            taken = {color[other] for other in interference[reg]
+                     if other in color and other.cls is cls}
+            assigned = next(c for c in range(capacity[cls] + 1)
+                            if c not in taken)
+            if assigned >= capacity[cls]:
+                raise RegAllocError(
+                    f"{cf.name}: out of {cls.name} registers "
+                    f"({capacity[cls]} available); reduce unrolling or use "
+                    f"a wider configuration")
+            color[reg] = assigned
+
+    mapping = {reg: phys_reg(reg.cls, c) for reg, c in color.items()}
+
+    # rewrite the schedule
+    for li in cf.instructions:
+        for so in li.ops:
+            _rewrite(so.op, mapping)
+        for bt in li.branches:
+            if isinstance(bt.pred, VReg):
+                bt.pred = mapping.get(bt.pred, bt.pred)
+        if li.special is not None:
+            if li.special[0] == "ret" and isinstance(li.special[1], VReg):
+                li.special = ("ret", mapping.get(li.special[1],
+                                                 li.special[1]))
+            elif li.special[0] == "call":
+                _rewrite(li.special[1], mapping)
+
+    cf.param_regs = [mapping.get(p, phys_reg(p.cls, 0))
+                     for p in _collect_params(cf)]
+    cf.meta["vreg_map"] = mapping
+    cf.meta["registers_used"] = {
+        cls.name: 1 + max((c for r, c in color.items() if r.cls is cls),
+                          default=-1)
+        for cls in RegClass}
+
+
+def _collect_params(cf: CompiledFunction) -> list[VReg]:
+    return cf.meta.get("param_vregs", [])
+
+
+def _rewrite(op: Operation, mapping: dict[VReg, VReg]) -> None:
+    if op.dest is not None:
+        op.dest = mapping.get(op.dest, op.dest)
+    for i, src in enumerate(op.srcs):
+        if isinstance(src, VReg):
+            op.srcs[i] = mapping.get(src, src)

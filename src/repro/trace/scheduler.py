@@ -1,0 +1,301 @@
+"""Resource-constrained list scheduling of one trace.
+
+Greedy cycle scheduling over the trace's dependence graph, placing
+operations into functional-unit slots of successive long instructions while
+honouring every machine resource the compiler owns on the TRACE: unit
+slots, per-beat memory-issue ports, load/store buses (64-bit transfers hold
+a 32-bit bus two beats), the per-pair shared immediate word, branch slots
+(up to one test per pair, multiway), and pairwise memory-bank constraints
+answered by the disambiguator — including the "maybe ... roll the dice"
+bank-stall gamble of section 6.4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..disambig import Answer, Disambiguator
+from ..errors import ScheduleError
+from ..ir import Opcode, Operation, RegClass
+from ..machine import (MachineConfig, ReservationTable, Unit, imm_value,
+                       latency_of, needs_imm_word, units_for)
+from .depgraph import Node, SchedulingOptions, TraceGraph
+
+
+@dataclass
+class PlacedNode:
+    """Where one graph node landed."""
+
+    node: Node
+    instruction: int
+    pair: int = -1
+    unit: Unit | None = None
+    gamble: bool = False
+
+    @property
+    def issue_beat(self) -> int:
+        offset = self.unit.beat_offset if self.unit is not None else 0
+        return self.instruction * 2 + offset
+
+
+@dataclass
+class TraceSchedule:
+    """The scheduler's result for one trace."""
+
+    placements: dict[int, PlacedNode] = field(default_factory=dict)
+    n_instructions: int = 0
+    #: memory gambles taken (for statistics)
+    gambles: int = 0
+
+    def placed(self, index: int) -> PlacedNode:
+        return self.placements[index]
+
+
+class ListScheduler:
+    """Schedules one TraceGraph onto one machine configuration."""
+
+    def __init__(self, graph: TraceGraph, config: MachineConfig,
+                 disambiguator: Disambiguator,
+                 options: SchedulingOptions | None = None) -> None:
+        self.graph = graph
+        self.config = config
+        self.disambiguator = disambiguator
+        self.options = options or SchedulingOptions()
+        self.table = ReservationTable(config)
+        self.result = TraceSchedule()
+        self._mem_placed: list[PlacedNode] = []
+        self._instr_op_count: dict[int, int] = {}
+        self._call_instrs: set[int] = set()
+        self._heights = self._compute_heights()
+        self._preds: list[list] = [[] for _ in graph.nodes]
+        for src, edges in enumerate(graph.succs):
+            for edge in edges:
+                self._preds[edge.dst].append((src, edge))
+
+    # ------------------------------------------------------------------
+    def _compute_heights(self) -> list[int]:
+        """Critical-path heights (beats) for priority ordering."""
+        n = len(self.graph.nodes)
+        heights = [0] * n
+        for index in range(n - 1, -1, -1):
+            best = 0
+            for edge in self.graph.succs[index]:
+                weight = edge.latency if edge.kind == "beat" else \
+                    (2 if edge.kind == "inst_gt" else 0)
+                best = max(best, weight + heights[edge.dst])
+            heights[index] = best
+        return heights
+
+    # ------------------------------------------------------------------
+    def run(self) -> TraceSchedule:
+        graph = self.graph
+        n = len(graph.nodes)
+        remaining_preds = list(graph.pred_count)
+        ready: list[int] = [i for i in range(n) if remaining_preds[i] == 0]
+        unscheduled = n
+        t = 0
+        stall_guard = 0
+        while unscheduled > 0:
+            progress = False
+            # keep sweeping the ready list at this instruction until no
+            # more nodes fit: a node whose predecessors were placed earlier
+            # in this same sweep (zero-latency edges) may still join it
+            sweep = True
+            while sweep:
+                sweep = False
+                # highest critical path first; ties by original position
+                for index in sorted(ready, key=lambda i:
+                                    (-self._heights[i],
+                                     graph.nodes[i].pos)):
+                    node = graph.nodes[index]
+                    earliest = self._earliest_instruction(index)
+                    if earliest > t:
+                        continue
+                    placed = self._try_place(node, t)
+                    if placed is None:
+                        continue
+                    self.result.placements[index] = placed
+                    ready.remove(index)
+                    unscheduled -= 1
+                    progress = True
+                    sweep = True
+                    for edge in graph.succs[index]:
+                        remaining_preds[edge.dst] -= 1
+                        if remaining_preds[edge.dst] == 0:
+                            ready.append(edge.dst)
+            if unscheduled > 0:
+                t += 1
+                stall_guard = stall_guard + 1 if not progress else 0
+                if stall_guard > 10000:
+                    raise ScheduleError(
+                        "scheduler made no progress for 10000 instructions")
+        self.result.n_instructions = 1 + max(
+            p.instruction for p in self.result.placements.values())
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _earliest_instruction(self, index: int) -> int:
+        """Lower bound on the node's instruction from scheduled preds."""
+        earliest = 0
+        for pred_index, edge in self._in_edges(index):
+            placed = self.result.placements.get(pred_index)
+            if placed is None:
+                return 1 << 30      # pred not scheduled (shouldn't happen)
+            if edge.kind == "inst_ge":
+                earliest = max(earliest, placed.instruction)
+            elif edge.kind == "inst_gt":
+                earliest = max(earliest, placed.instruction + 1)
+            else:
+                need_beat = placed.issue_beat + edge.latency
+                earliest = max(earliest, need_beat // 2)
+        return earliest
+
+    def _in_edges(self, index: int):
+        return self._preds[index]
+
+    def _required_beat(self, index: int) -> int:
+        """Earliest legal issue beat from 'beat' edges."""
+        beat = 0
+        for pred_index, edge in self._in_edges(index):
+            if edge.kind != "beat":
+                continue
+            placed = self.result.placements[pred_index]
+            beat = max(beat, placed.issue_beat + edge.latency)
+        return beat
+
+    # ------------------------------------------------------------------
+    def _try_place(self, node: Node, t: int) -> PlacedNode | None:
+        if node.kind == "join":
+            return PlacedNode(node, t)
+        if node.kind == "term":
+            # a RET reads its value at the instruction's first beat
+            if self._required_beat(node.index) > 2 * t:
+                return None
+            return PlacedNode(node, t)
+        if node.kind == "call":
+            if self._instr_op_count.get(t, 0) > 0 or t in self._call_instrs:
+                return None
+            self._call_instrs.add(t)
+            return PlacedNode(node, t)
+        if t in self._call_instrs:
+            return None
+        if node.kind == "split":
+            return self._place_branch(node, t)
+        return self._place_op(node, t)
+
+    def _place_branch(self, node: Node, t: int) -> PlacedNode | None:
+        if self.table.branches_in(t) >= self.config.n_pairs:
+            return None
+        required = self._required_beat(node.index)
+        if required > 2 * t:
+            return None                     # predicate not ready
+        for pair in range(self.config.n_pairs):
+            if self.table.branch_free(t, pair):
+                self.table.take_branch(t, pair)
+                self._instr_op_count[t] = self._instr_op_count.get(t, 0) + 1
+                return PlacedNode(node, t, pair, None)
+        return None
+
+    def _place_op(self, node: Node, t: int) -> PlacedNode | None:
+        op = node.op
+        required = self._required_beat(node.index)
+        units = units_for(op)
+        if not units:
+            raise ScheduleError(f"no unit can execute {op}")
+        wide_imm = needs_imm_word(op)
+        imm = imm_value(op) if wide_imm else None
+
+        for unit in units:
+            beat_offset = unit.beat_offset
+            for pair in range(self.config.n_pairs):
+                issue_beat = 2 * t + beat_offset
+                if issue_beat < required:
+                    continue
+                if not self.table.unit_free(t, pair, unit):
+                    continue
+                if wide_imm and not self.table.imm_free(t, pair, beat_offset,
+                                                        imm):
+                    continue
+                if op.is_memory:
+                    gamble = self._memory_feasible(node, t, pair, unit)
+                    if gamble is None:
+                        continue
+                else:
+                    gamble = False
+                # commit
+                self.table.take_unit(t, pair, unit)
+                if wide_imm:
+                    self.table.take_imm(t, pair, beat_offset, imm)
+                placed = PlacedNode(node, t, pair, unit, gamble)
+                if op.is_memory:
+                    self._commit_memory(placed)
+                self._instr_op_count[t] = self._instr_op_count.get(t, 0) + 1
+                if gamble:
+                    self.result.gambles += 1
+                return placed
+        return None
+
+    # ------------------------------------------------------------------
+    def _bus_plan(self, op: Operation, issue_beat: int) -> tuple[str, int, int]:
+        """(bus kind, first beat, beats held) for a memory op."""
+        wide = op.opcode in (Opcode.FLOAD, Opcode.FLOADS, Opcode.FSTORE)
+        beats = 2 if wide else 1
+        if op.is_store:
+            return "store", issue_beat + 2, beats
+        kind = "fload" if op.dest is not None \
+            and op.dest.cls is RegClass.FLT else "iload"
+        return kind, issue_beat + self.config.lat_mem - 2, beats
+
+    def _memory_feasible(self, node: Node, t: int, pair: int,
+                         unit: Unit) -> bool | None:
+        """None if the slot is illegal; else the gamble flag."""
+        op = node.op
+        beat_offset = unit.beat_offset
+        issue_beat = 2 * t + beat_offset
+        if not self.table.mem_issue_free(t, pair, beat_offset):
+            return None
+        bus, first, beats = self._bus_plan(op, issue_beat)
+        if not self.table.bus_free(bus, first, beats):
+            return None
+
+        gamble = False
+        partners: list[PlacedNode] = []
+        window = self.config.bank_busy_beats
+        for other in self._mem_placed:
+            delta = abs(other.issue_beat - issue_beat)
+            if delta >= window:
+                continue
+            comparable = (op.memref is not None
+                          and other.node.op.memref is not None
+                          and node.mem_gen == other.node.mem_gen)
+            if delta == 0:
+                answer = self.disambiguator.controller_equal(
+                    op, other.node.op, self.config.n_controllers) \
+                    if comparable else Answer.MAYBE
+                if answer is not Answer.NO:
+                    return None     # same-beat controller conflict is hard
+            answer = self.disambiguator.bank_equal(
+                op, other.node.op, self.config.total_banks) \
+                if comparable else Answer.MAYBE
+            if answer is Answer.YES:
+                return None
+            if answer is Answer.MAYBE:
+                if not self.options.bank_gamble:
+                    return None
+                gamble = True
+                partners.append(other)
+        # both sides of a "maybe" pair must be stall-tolerant: either one
+        # may turn out to be the later reference at run time
+        self._gamble_partners = partners
+        return gamble
+
+    def _commit_memory(self, placed: PlacedNode) -> None:
+        op = placed.node.op
+        self.table.take_mem_issue(placed.instruction, placed.pair,
+                                  placed.unit.beat_offset)
+        bus, first, beats = self._bus_plan(op, placed.issue_beat)
+        self.table.take_bus(bus, first, beats)
+        for partner in getattr(self, "_gamble_partners", ()):
+            partner.gamble = True
+        self._gamble_partners = []
+        self._mem_placed.append(placed)

@@ -1,0 +1,112 @@
+"""Trace selection: pick the likeliest unscheduled path through the CFG.
+
+Fisher's mutual-most-likely growth: seed at the heaviest unscheduled block,
+grow forward while the likeliest successor is unscheduled and the edge is
+not a loop back edge, then grow backward symmetrically.  Scheduled blocks
+are never re-entered — each operation is scheduled exactly once (plus any
+compensation copies, which live in new blocks and are scheduled as later
+traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import CFG
+from ..ir import Function
+from .profile import ExecutionEstimates
+
+
+@dataclass
+class Trace:
+    """An ordered list of block names selected for joint scheduling."""
+
+    blocks: list[str]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.blocks
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+
+class TraceSelector:
+    """Stateful selector over one function's CFG."""
+
+    def __init__(self, func: Function, estimates: ExecutionEstimates,
+                 max_trace_blocks: int = 64) -> None:
+        self.func = func
+        self.estimates = estimates
+        self.max_trace_blocks = max_trace_blocks
+        self.scheduled: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def mark_scheduled(self, trace: Trace) -> None:
+        self.scheduled.update(trace.blocks)
+
+    def refresh_cfg(self) -> CFG:
+        """CFG rebuilt against the (possibly grown) working function.
+
+        Tolerant mode: labels pointing into already-compiled code are
+        treated as exits.
+        """
+        return CFG.build(self.func, tolerant=True)
+
+    def next_trace(self) -> Trace | None:
+        """Select the next trace, or None when every block is scheduled.
+
+        The working function shrinks as traces are compiled out of it, so
+        candidacy is simply membership: every remaining block must be
+        scheduled eventually, whether or not the (removed) original entry
+        still reaches it.
+        """
+        if not self.func.blocks:
+            return None
+        cfg = self.refresh_cfg()
+        candidates = [name for name in self.func.blocks
+                      if name not in self.scheduled]
+        if not candidates:
+            return None
+        doms = cfg.dominators()
+        seed = max(candidates, key=lambda n: (self.estimates.weight(n),
+                                              -_order_index(self.func, n)))
+        blocks = [seed]
+
+        # grow forward
+        while len(blocks) < self.max_trace_blocks:
+            current = blocks[-1]
+            succ = self.estimates.likeliest_successor(cfg, current)
+            if succ is None or succ in self.scheduled or succ in blocks:
+                break
+            if succ in doms.get(current, set()):
+                break                      # back edge: stop at loop boundary
+            blocks.append(succ)
+
+        # grow backward
+        while len(blocks) < self.max_trace_blocks:
+            current = blocks[0]
+            pred = self.estimates.likeliest_predecessor(cfg, current)
+            if pred is None or pred in self.scheduled or pred in blocks:
+                break
+            if _is_back_edge(cfg, doms, pred, current):
+                break
+            # mutual-most-likely: only extend if we are pred's best successor
+            if self.estimates.likeliest_successor(cfg, pred) != current:
+                break
+            blocks.insert(0, pred)
+
+        return Trace(blocks)
+
+
+def _order_index(func: Function, name: str) -> int:
+    for i, bname in enumerate(func.blocks):
+        if bname == name:
+            return i
+    return 1 << 30
+
+
+def _is_back_edge(cfg: CFG, doms, src: str, dst: str) -> bool:
+    return dst in doms.get(src, set())

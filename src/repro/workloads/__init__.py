@@ -1,0 +1,28 @@
+"""Workloads: numeric kernels, Livermore shapes, systems code, and the
+random-program generator used for differential testing."""
+
+from .generator import GeneratorConfig, ProgramGenerator, generate_program
+from .kernels import Kernel, NUMERIC_KERNELS
+from .livermore import LIVERMORE_KERNELS
+from .systems import SYSTEMS_KERNELS
+
+#: every named workload, by name
+ALL_KERNELS: dict[str, Kernel] = {
+    **NUMERIC_KERNELS, **LIVERMORE_KERNELS, **SYSTEMS_KERNELS,
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name (raises KeyError with the valid names)."""
+    try:
+        return ALL_KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; choose from "
+                       f"{sorted(ALL_KERNELS)}") from None
+
+
+__all__ = [
+    "GeneratorConfig", "ProgramGenerator", "generate_program",
+    "Kernel", "NUMERIC_KERNELS", "LIVERMORE_KERNELS", "SYSTEMS_KERNELS",
+    "ALL_KERNELS", "get_kernel",
+]

@@ -1,0 +1,384 @@
+"""Numeric kernels: the unrollable array loops the paper's speedup claims
+are about (LINPACK/BLAS shapes and friends).
+
+Every kernel is described by a :class:`Kernel` record with a builder
+(problem size -> fresh IR module), the entry function name, argument maker,
+and the names of output arrays to compare for correctness.  The harness
+runs each kernel on the reference interpreter and on the simulators and
+checks the outputs match, so kernels need no closed-form expected values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..ir import IRBuilder, MemRef, Module, RegClass, VReg, verify_module
+
+
+@dataclass
+class Kernel:
+    """One benchmark program family."""
+
+    name: str
+    kind: str                       # "numeric" | "systems"
+    description: str
+    build: Callable[[int], Module]
+    func: str = "main"
+    #: problem size -> positional args for the entry function
+    make_args: Callable[[int], tuple] = lambda n: (n,)
+    #: (array name, element size) pairs whose final contents define the
+    #: observable result
+    outputs: list[tuple[str, int]] = field(default_factory=list)
+    #: the entry function returns a checkable value
+    returns_value: bool = True
+
+
+def _mref(base: str, iv: str = "i", scale: int = 8, const: int = 0,
+          size: int = 8) -> MemRef:
+    return MemRef.make(base, {iv: scale}, const, size)
+
+
+def _float_init(n: int, phase: float = 0.0) -> list[float]:
+    return [round(math.sin(0.7 * k + phase) * 4 + 0.25 * k, 6)
+            for k in range(n)]
+
+
+def _int_init(n: int, seed: int = 0) -> list[int]:
+    return [((k * 1103515245 + 12345 + seed) >> 4) % 201 - 100
+            for k in range(n)]
+
+
+def _counted_loop(b: IRBuilder, n_operand, body: Callable[[VReg], None],
+                  prefix: str = "") -> None:
+    """Emit ``for (i = 0; i < n; i++) body(i)`` ending in block ``exit``."""
+    i = VReg(f"{prefix}i", RegClass.INT)
+    b.mov(0, dest=i)
+    b.jmp(f"{prefix}head")
+    b.block(f"{prefix}head")
+    p = b.cmplt(i, n_operand)
+    b.br(p, f"{prefix}body", f"{prefix}exit")
+    b.block(f"{prefix}body")
+    body(i)
+    b.add(i, 1, dest=i)
+    b.jmp(f"{prefix}head")
+    b.block(f"{prefix}exit")
+
+
+# ---------------------------------------------------------------------------
+# BLAS-1 shapes
+
+
+def build_daxpy(n: int) -> Module:
+    """y[i] = a*x[i] + y[i] — the canonical independent-iteration loop."""
+    m = Module("daxpy")
+    m.add_array("X", n, 8, init=_float_init(n))
+    m.add_array("Y", n, 8, init=_float_init(n, 1.0))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT), ("a", RegClass.FLT)])
+    b.block("entry")
+    x = b.addr("X")
+    y = b.addr("Y")
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        xa = b.add(x, off)
+        ya = b.add(y, off)
+        xv = b.fload(xa, 0, memref=_mref("X"))
+        yv = b.fload(ya, 0, memref=_mref("Y"))
+        b.fstore(b.fadd(yv, b.fmul(b.param("a"), xv)), ya, 0,
+                 memref=_mref("Y"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_dot(n: int) -> Module:
+    """s = sum(x[i] * y[i]) — a reduction (serial FADD chain)."""
+    m = Module("dot")
+    m.add_array("X", n, 8, init=_float_init(n))
+    m.add_array("Y", n, 8, init=_float_init(n, 2.0))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.FLT)
+    s = VReg("s", RegClass.FLT)
+    b.block("entry")
+    x = b.addr("X")
+    y = b.addr("Y")
+    b.fmov(0.0, dest=s)
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        xv = b.fload(b.add(x, off), 0, memref=_mref("X"))
+        yv = b.fload(b.add(y, off), 0, memref=_mref("Y"))
+        b.fadd(s, b.fmul(xv, yv), dest=s)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret(s)
+    verify_module(m)
+    return m
+
+
+def build_vadd(n: int) -> Module:
+    """z[i] = x[i] + y[i]."""
+    m = Module("vadd")
+    m.add_array("X", n, 8, init=_float_init(n))
+    m.add_array("Y", n, 8, init=_float_init(n, 1.5))
+    m.add_array("Z", n, 8)
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    x, y, z = b.addr("X"), b.addr("Y"), b.addr("Z")
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        xv = b.fload(b.add(x, off), 0, memref=_mref("X"))
+        yv = b.fload(b.add(y, off), 0, memref=_mref("Y"))
+        b.fstore(b.fadd(xv, yv), b.add(z, off), 0, memref=_mref("Z"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_scale(n: int) -> Module:
+    """x[i] = a * x[i]."""
+    m = Module("scale")
+    m.add_array("X", n, 8, init=_float_init(n))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT), ("a", RegClass.FLT)])
+    b.block("entry")
+    x = b.addr("X")
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        xa = b.add(x, off)
+        xv = b.fload(xa, 0, memref=_mref("X"))
+        b.fstore(b.fmul(b.param("a"), xv), xa, 0, memref=_mref("X"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Signal / stencil shapes
+
+
+def build_fir4(n: int) -> Module:
+    """y[i] = sum_{t<4} c[t] * x[i+t] — 4-tap FIR filter."""
+    m = Module("fir4")
+    m.add_array("X", n + 4, 8, init=_float_init(n + 4))
+    m.add_array("Y", n, 8)
+    m.add_array("C", 4, 8, init=[0.25, 0.5, -0.5, 1.0])
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    x, y = b.addr("X"), b.addr("Y")
+    coeffs = [b.fload(b.addr("C"), 8 * t,
+                      memref=MemRef.make("C", {}, 8 * t, size=8))
+              for t in range(4)]
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        xa = b.add(x, off)
+        acc = None
+        for t in range(4):
+            xv = b.fload(xa, 8 * t, memref=_mref("X", const=8 * t))
+            term = b.fmul(coeffs[t], xv)
+            acc = term if acc is None else b.fadd(acc, term)
+        b.fstore(acc, b.add(y, off), 0, memref=_mref("Y"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_stencil3(n: int) -> Module:
+    """y[i] = (x[i-1] + x[i] + x[i+1]) / 3 over the interior."""
+    m = Module("stencil3")
+    m.add_array("X", n + 2, 8, init=_float_init(n + 2))
+    m.add_array("Y", n, 8)
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    x, y = b.addr("X"), b.addr("Y")
+    third = b.fmov(1.0 / 3.0)
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        xa = b.add(x, off)
+        left = b.fload(xa, 0, memref=_mref("X", const=0))
+        mid = b.fload(xa, 8, memref=_mref("X", const=8))
+        right = b.fload(xa, 16, memref=_mref("X", const=16))
+        total = b.fadd(b.fadd(left, mid), right)
+        b.fstore(b.fmul(total, third), b.add(y, off), 0, memref=_mref("Y"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Matrix
+
+
+def build_matmul(n: int) -> Module:
+    """C = A @ B for n x n float matrices (three nested loops)."""
+    m = Module("matmul")
+    m.add_array("A", n * n, 8, init=_float_init(n * n))
+    m.add_array("B", n * n, 8, init=_float_init(n * n, 3.0))
+    m.add_array("C", n * n, 8)
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    a, bb, c = b.addr("A"), b.addr("B"), b.addr("C")
+    i = VReg("i", RegClass.INT)
+    j = VReg("j", RegClass.INT)
+    k = VReg("k", RegClass.INT)
+    acc = VReg("acc", RegClass.FLT)
+    row = VReg("row", RegClass.INT)
+
+    b.mov(0, dest=i)
+    b.jmp("ihead")
+    b.block("ihead")
+    b.br(b.cmplt(i, b.param("n")), "ibody", "iexit")
+    b.block("ibody")
+    b.mul(i, b.param("n"), dest=row)
+    b.mov(0, dest=j)
+    b.jmp("jhead")
+    b.block("jhead")
+    b.br(b.cmplt(j, b.param("n")), "jbody", "jexit")
+    b.block("jbody")
+    b.fmov(0.0, dest=acc)
+    b.mov(0, dest=k)
+    b.jmp("khead")
+    b.block("khead")
+    b.br(b.cmplt(k, b.param("n")), "kbody", "kexit")
+    b.block("kbody")
+    av = b.fload(b.add(a, b.shl(b.add(row, k), 3)), 0,
+                 memref=MemRef.make("A", {"k": 8, "row": 8}, size=8))
+    bv = b.fload(b.add(bb, b.shl(b.add(b.mul(k, b.param("n")), j), 3)), 0)
+    b.fadd(acc, b.fmul(av, bv), dest=acc)
+    b.add(k, 1, dest=k)
+    b.jmp("khead")
+    b.block("kexit")
+    b.fstore(acc, b.add(c, b.shl(b.add(row, j), 3)), 0)
+    b.add(j, 1, dest=j)
+    b.jmp("jhead")
+    b.block("jexit")
+    b.add(i, 1, dest=i)
+    b.jmp("ihead")
+    b.block("iexit")
+    b.ret()
+    verify_module(m)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Integer kernels
+
+
+def build_int_sum(n: int) -> Module:
+    """s = sum(v[i]) over an int array (1-beat chain: integer reduction)."""
+    m = Module("int_sum")
+    m.add_array("V", n, 4, init=_int_init(n))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    s = VReg("s", RegClass.INT)
+    b.block("entry")
+    v = b.addr("V")
+    b.mov(0, dest=s)
+
+    def body(i: VReg) -> None:
+        x = b.load(b.add(v, b.shl(i, 2)), 0,
+                   memref=_mref("V", scale=4, size=4))
+        b.add(s, x, dest=s)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret(s)
+    verify_module(m)
+    return m
+
+
+def build_saxpy_int(n: int) -> Module:
+    """y[i] = a*x[i] + y[i] over int arrays (integer multiply pipeline)."""
+    m = Module("saxpy_int")
+    m.add_array("XI", n, 4, init=_int_init(n))
+    m.add_array("YI", n, 4, init=_int_init(n, 7))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT), ("a", RegClass.INT)])
+    b.block("entry")
+    x, y = b.addr("XI"), b.addr("YI")
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 2)
+        xa, ya = b.add(x, off), b.add(y, off)
+        xv = b.load(xa, 0, memref=_mref("XI", scale=4, size=4))
+        yv = b.load(ya, 0, memref=_mref("YI", scale=4, size=4))
+        b.store(b.add(yv, b.mul(b.param("a"), xv)), ya, 0,
+                memref=_mref("YI", scale=4, size=4))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_copy(n: int) -> Module:
+    """dst[i] = src[i] — pure memory bandwidth."""
+    m = Module("copy")
+    m.add_array("SRC", n, 8, init=_float_init(n))
+    m.add_array("DST", n, 8)
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    src, dst = b.addr("SRC"), b.addr("DST")
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        b.fstore(b.fload(b.add(src, off), 0, memref=_mref("SRC")),
+                 b.add(dst, off), 0, memref=_mref("DST"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+NUMERIC_KERNELS: dict[str, Kernel] = {
+    "daxpy": Kernel("daxpy", "numeric",
+                    "y[i] += a*x[i] (LINPACK inner loop)", build_daxpy,
+                    make_args=lambda n: (n, 2.5), outputs=[("Y", 8)],
+                    returns_value=False),
+    "dot": Kernel("dot", "numeric", "inner product (reduction)", build_dot,
+                  outputs=[]),
+    "vadd": Kernel("vadd", "numeric", "z[i] = x[i]+y[i]", build_vadd,
+                   outputs=[("Z", 8)], returns_value=False),
+    "scale": Kernel("scale", "numeric", "x[i] *= a", build_scale,
+                    make_args=lambda n: (n, 1.01), outputs=[("X", 8)],
+                    returns_value=False),
+    "fir4": Kernel("fir4", "numeric", "4-tap FIR filter", build_fir4,
+                   outputs=[("Y", 8)], returns_value=False),
+    "stencil3": Kernel("stencil3", "numeric", "3-point average stencil",
+                       build_stencil3, outputs=[("Y", 8)],
+                       returns_value=False),
+    "matmul": Kernel("matmul", "numeric", "n x n matrix multiply",
+                     build_matmul, outputs=[("C", 8)], returns_value=False),
+    "int_sum": Kernel("int_sum", "numeric", "integer array reduction",
+                      build_int_sum, outputs=[]),
+    "saxpy_int": Kernel("saxpy_int", "numeric", "integer saxpy",
+                        build_saxpy_int, make_args=lambda n: (n, 3),
+                        outputs=[("YI", 4)], returns_value=False),
+    "copy": Kernel("copy", "numeric", "block copy (memory bandwidth)",
+                   build_copy, outputs=[("DST", 8)], returns_value=False),
+}

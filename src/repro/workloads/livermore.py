@@ -1,0 +1,178 @@
+"""Livermore-loop shapes: the scientific kernels 1980s supercomputers were
+judged by, and the kind of FORTRAN inner loop the TRACE was built for.
+
+A representative subset, chosen for distinct scheduling behaviour:
+
+* LL1  (hydro fragment)        — wide independent expression per iteration
+* LL3  (inner product)         — serial reduction
+* LL5  (tridiagonal elim.)     — loop-carried dependence (hard case)
+* LL7  (equation of state)     — very wide expression, high ILP
+* LL12 (first difference)      — 2-load 1-store streaming
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir import IRBuilder, MemRef, Module, RegClass, VReg, verify_module
+from .kernels import Kernel, _counted_loop, _float_init, _mref
+
+
+def build_ll1_hydro(n: int) -> Module:
+    """x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])."""
+    m = Module("ll1")
+    m.add_array("Xa", n, 8)
+    m.add_array("Ya", n, 8, init=_float_init(n))
+    m.add_array("Za", n + 12, 8, init=_float_init(n + 12, 0.5))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    x, y, z = b.addr("Xa"), b.addr("Ya"), b.addr("Za")
+    q = b.fmov(0.5)
+    r = b.fmov(1.25)
+    t = b.fmov(0.75)
+
+    def body(k: VReg) -> None:
+        off = b.shl(k, 3)
+        za = b.add(z, off)
+        z10 = b.fload(za, 80, memref=_mref("Za", "i", const=80))
+        z11 = b.fload(za, 88, memref=_mref("Za", "i", const=88))
+        yk = b.fload(b.add(y, off), 0, memref=_mref("Ya", "i"))
+        inner = b.fadd(b.fmul(r, z10), b.fmul(t, z11))
+        b.fstore(b.fadd(q, b.fmul(yk, inner)), b.add(x, off), 0,
+                 memref=_mref("Xa", "i"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_ll3_inner(n: int) -> Module:
+    """q = sum(z[k] * x[k])."""
+    m = Module("ll3")
+    m.add_array("Xa", n, 8, init=_float_init(n))
+    m.add_array("Za", n, 8, init=_float_init(n, 1.0))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.FLT)
+    q = VReg("q", RegClass.FLT)
+    b.block("entry")
+    x, z = b.addr("Xa"), b.addr("Za")
+    b.fmov(0.0, dest=q)
+
+    def body(k: VReg) -> None:
+        off = b.shl(k, 3)
+        zv = b.fload(b.add(z, off), 0, memref=_mref("Za", "i"))
+        xv = b.fload(b.add(x, off), 0, memref=_mref("Xa", "i"))
+        b.fadd(q, b.fmul(zv, xv), dest=q)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret(q)
+    verify_module(m)
+    return m
+
+
+def build_ll5_tridiag(n: int) -> Module:
+    """x[i] = z[i] * (y[i] - x[i-1]) — loop-carried dependence."""
+    m = Module("ll5")
+    m.add_array("Xa", n + 1, 8, init=[0.1] + [0.0] * n)
+    m.add_array("Ya", n + 1, 8, init=_float_init(n + 1))
+    m.add_array("Za", n + 1, 8, init=_float_init(n + 1, 2.0))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    x, y, z = b.addr("Xa"), b.addr("Ya"), b.addr("Za")
+    # carry x[i-1] in a register to expose the recurrence to the scheduler
+    carry = VReg("carry", RegClass.FLT)
+    first = b.fload(x, 0, memref=MemRef.make("Xa", {}, 0, size=8))
+    b.fmov(first, dest=carry)
+
+    def body(i: VReg) -> None:
+        off = b.shl(i, 3)
+        yv = b.fload(b.add(y, off), 8, memref=_mref("Ya", "i", const=8))
+        zv = b.fload(b.add(z, off), 8, memref=_mref("Za", "i", const=8))
+        value = b.fmul(zv, b.fsub(yv, carry))
+        b.fstore(value, b.add(x, off), 8, memref=_mref("Xa", "i", const=8))
+        b.fmov(value, dest=carry)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_ll7_state(n: int) -> Module:
+    """x[k] = u[k] + r*(z[k] + r*y[k]) + t*(u[k+3] + r*(u[k+2] + r*u[k+1]))
+    — the equation-of-state fragment, lots of independent multiplies."""
+    m = Module("ll7")
+    m.add_array("Xa", n, 8)
+    m.add_array("Ya", n, 8, init=_float_init(n))
+    m.add_array("Za", n, 8, init=_float_init(n, 1.3))
+    m.add_array("Ua", n + 4, 8, init=_float_init(n + 4, 2.6))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    x, y, z, u = (b.addr(s) for s in ("Xa", "Ya", "Za", "Ua"))
+    r = b.fmov(0.625)
+    t = b.fmov(0.375)
+
+    def body(k: VReg) -> None:
+        off = b.shl(k, 3)
+        ua = b.add(u, off)
+        u0 = b.fload(ua, 0, memref=_mref("Ua", "i"))
+        u1 = b.fload(ua, 8, memref=_mref("Ua", "i", const=8))
+        u2 = b.fload(ua, 16, memref=_mref("Ua", "i", const=16))
+        u3 = b.fload(ua, 24, memref=_mref("Ua", "i", const=24))
+        yv = b.fload(b.add(y, off), 0, memref=_mref("Ya", "i"))
+        zv = b.fload(b.add(z, off), 0, memref=_mref("Za", "i"))
+        left = b.fadd(u0, b.fmul(r, b.fadd(zv, b.fmul(r, yv))))
+        right = b.fmul(t, b.fadd(u3, b.fmul(r, b.fadd(u2, b.fmul(r, u1)))))
+        b.fstore(b.fadd(left, right), b.add(x, off), 0,
+                 memref=_mref("Xa", "i"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_ll12_diff(n: int) -> Module:
+    """x[k] = y[k+1] - y[k]."""
+    m = Module("ll12")
+    m.add_array("Xa", n, 8)
+    m.add_array("Ya", n + 1, 8, init=_float_init(n + 1))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    b.block("entry")
+    x, y = b.addr("Xa"), b.addr("Ya")
+
+    def body(k: VReg) -> None:
+        off = b.shl(k, 3)
+        ya = b.add(y, off)
+        y1 = b.fload(ya, 8, memref=_mref("Ya", "i", const=8))
+        y0 = b.fload(ya, 0, memref=_mref("Ya", "i"))
+        b.fstore(b.fsub(y1, y0), b.add(x, off), 0, memref=_mref("Xa", "i"))
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+LIVERMORE_KERNELS: dict[str, Kernel] = {
+    "ll1_hydro": Kernel("ll1_hydro", "numeric",
+                        "LL1 hydro fragment", build_ll1_hydro,
+                        outputs=[("Xa", 8)], returns_value=False),
+    "ll3_inner": Kernel("ll3_inner", "numeric",
+                        "LL3 inner product", build_ll3_inner, outputs=[]),
+    "ll5_tridiag": Kernel("ll5_tridiag", "numeric",
+                          "LL5 tridiagonal elimination (loop-carried)",
+                          build_ll5_tridiag, outputs=[("Xa", 8)],
+                          returns_value=False),
+    "ll7_state": Kernel("ll7_state", "numeric",
+                        "LL7 equation of state (wide ILP)", build_ll7_state,
+                        outputs=[("Xa", 8)], returns_value=False),
+    "ll12_diff": Kernel("ll12_diff", "numeric",
+                        "LL12 first difference", build_ll12_diff,
+                        outputs=[("Xa", 8)], returns_value=False),
+}

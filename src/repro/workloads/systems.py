@@ -1,0 +1,310 @@
+"""Systems-code workloads: the branchy, pointer-heavy shapes of UNIX code.
+
+Paper section 8.4: systems code "tends to have even smaller basic blocks
+than numerical code" and "proportionately many more procedure calls" — and
+the TRACE still sped it up, which surprised the authors.  These kernels
+reproduce those shapes: element-wise conditionals, searches, pointer
+chases, sorting passes, state machines, and call-heavy code.
+"""
+
+from __future__ import annotations
+
+from ..ir import IRBuilder, MemRef, Module, RegClass, VReg, verify_module
+from .kernels import Kernel, _counted_loop, _int_init, _mref
+
+
+def build_count_matches(n: int) -> Module:
+    """count of v[i] > 0 — one data-dependent branch per element."""
+    m = Module("count_matches")
+    m.add_array("V", n, 4, init=_int_init(n))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    count = VReg("count", RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    v = b.addr("V")
+    b.mov(0, dest=count)
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    b.br(b.cmplt(i, b.param("n")), "body", "exit")
+    b.block("body")
+    x = b.load(b.add(v, b.shl(i, 2)), 0, memref=_mref("V", scale=4, size=4))
+    b.br(b.cmpgt(x, 0), "hit", "next")
+    b.block("hit")
+    b.add(count, 1, dest=count)
+    b.jmp("next")
+    b.block("next")
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(count)
+    verify_module(m)
+    return m
+
+
+def build_clamp(n: int) -> Module:
+    """v[i] = clamp(v[i], -50, 50) via an if/else chain per element."""
+    m = Module("clamp")
+    m.add_array("V", n, 4, init=_int_init(n, 3))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)])
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    v = b.addr("V")
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    b.br(b.cmplt(i, b.param("n")), "body", "exit")
+    b.block("body")
+    addr = b.add(v, b.shl(i, 2), dest=VReg("addr", RegClass.INT))
+    x = b.load(addr, 0, memref=_mref("V", scale=4, size=4))
+    b.br(b.cmpgt(x, 50), "high", "check_low")
+    b.block("high")
+    b.store(50, addr, 0, memref=_mref("V", scale=4, size=4))
+    b.jmp("next")
+    b.block("check_low")
+    b.br(b.cmplt(x, -50), "low", "next")
+    b.block("low")
+    b.store(-50, addr, 0, memref=_mref("V", scale=4, size=4))
+    b.jmp("next")
+    b.block("next")
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def build_pointer_chase(n: int) -> Module:
+    """Walk a linked list laid out in an array: node = next[node].
+
+    The serial pointer chase is the worst case for any ILP machine —
+    the paper's honesty check.
+    """
+    m = Module("pointer_chase")
+    # next[i] = (i + 7) % n builds one full cycle when gcd(7, n) == 1
+    links = [(k + 7) % n for k in range(n)]
+    m.add_array("NEXT", n, 4, init=links)
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    node = VReg("node", RegClass.INT)
+    b.block("entry")
+    base = b.addr("NEXT")
+    b.mov(0, dest=node)
+
+    def body(i: VReg) -> None:
+        loaded = b.load(b.add(base, b.shl(node, 2)), 0)
+        b.mov(loaded, dest=node)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret(node)
+    verify_module(m)
+    return m
+
+
+def build_insertion_pass(n: int) -> Module:
+    """One bubble pass: adjacent compare-and-swap across the array."""
+    m = Module("insertion_pass")
+    m.add_array("V", n + 1, 4, init=_int_init(n + 1, 11))
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    swaps = VReg("swaps", RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    v = b.addr("V")
+    b.mov(0, dest=swaps)
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    b.br(b.cmplt(i, b.param("n")), "body", "exit")
+    b.block("body")
+    addr = b.add(v, b.shl(i, 2), dest=VReg("addr", RegClass.INT))
+    a = b.load(addr, 0, memref=_mref("V", scale=4, size=4))
+    c = b.load(addr, 4, memref=_mref("V", scale=4, const=4, size=4))
+    b.br(b.cmpgt(a, c), "swap", "next")
+    b.block("swap")
+    b.store(c, addr, 0, memref=_mref("V", scale=4, size=4))
+    b.store(a, addr, 4, memref=_mref("V", scale=4, const=4, size=4))
+    b.add(swaps, 1, dest=swaps)
+    b.jmp("next")
+    b.block("next")
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(swaps)
+    verify_module(m)
+    return m
+
+
+def build_state_machine(n: int) -> Module:
+    """A 3-state token scanner over byte-ish values (grep-like shape)."""
+    m = Module("state_machine")
+    m.add_array("V", n, 4, init=[abs(x) % 4 for x in _int_init(n, 5)])
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    state = VReg("state", RegClass.INT)
+    tokens = VReg("tokens", RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    v = b.addr("V")
+    b.mov(0, dest=state)
+    b.mov(0, dest=tokens)
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    b.br(b.cmplt(i, b.param("n")), "body", "exit")
+    b.block("body")
+    x = b.load(b.add(v, b.shl(i, 2)), 0, memref=_mref("V", scale=4, size=4))
+    b.br(b.cmpeq(x, 0), "sep", "nonsep")
+    b.block("sep")
+    # separator: if we were in a token, count it
+    b.br(b.cmpne(state, 0), "endtok", "next")
+    b.block("endtok")
+    b.add(tokens, 1, dest=tokens)
+    b.mov(0, dest=state)
+    b.jmp("next")
+    b.block("nonsep")
+    b.mov(1, dest=state)
+    b.jmp("next")
+    b.block("next")
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    # trailing token
+    b.br(b.cmpne(state, 0), "trail", "done")
+    b.block("trail")
+    b.add(tokens, 1, dest=tokens)
+    b.jmp("done")
+    b.block("done")
+    b.ret(tokens)
+    verify_module(m)
+    return m
+
+
+def build_call_heavy(n: int) -> Module:
+    """sum of f(v[i]) where f is a small leaf routine — inliner fodder."""
+    m = Module("call_heavy")
+    m.add_array("V", n, 4, init=_int_init(n, 1))
+    b = IRBuilder(m)
+    b.function("weight", [("x", RegClass.INT)], ret_class=RegClass.INT)
+    b.block("entry")
+    p = b.cmplt(b.param("x"), 0)
+    b.ret(b.select(p, b.neg(b.param("x")), b.shl(b.param("x"), 1)))
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    total = VReg("total", RegClass.INT)
+    b.block("entry")
+    v = b.addr("V")
+    b.mov(0, dest=total)
+
+    def body(i: VReg) -> None:
+        x = b.load(b.add(v, b.shl(i, 2)), 0,
+                   memref=_mref("V", scale=4, size=4))
+        w = b.call("weight", [x])
+        b.add(total, w, dest=total)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret(total)
+    verify_module(m)
+    return m
+
+
+def build_binary_search(n: int) -> Module:
+    """Repeated binary searches over a sorted array (branch-dominated)."""
+    m = Module("binary_search")
+    m.add_array("V", n, 4, init=[3 * k for k in range(n)])
+    b = IRBuilder(m)
+    b.function("find", [("n", RegClass.INT), ("key", RegClass.INT)],
+               ret_class=RegClass.INT)
+    lo = VReg("lo", RegClass.INT)
+    hi = VReg("hi", RegClass.INT)
+    mid = VReg("mid", RegClass.INT)
+    b.block("entry")
+    v = b.addr("V")
+    b.mov(0, dest=lo)
+    b.mov(b.param("n"), dest=hi)
+    b.jmp("head")
+    b.block("head")
+    b.br(b.cmplt(lo, hi), "body", "missing")
+    b.block("body")
+    b.shr(b.add(lo, hi), 1, dest=mid)
+    x = b.load(b.add(v, b.shl(mid, 2)), 0)
+    b.br(b.cmpeq(x, b.param("key")), "found", "narrow")
+    b.block("narrow")
+    b.br(b.cmplt(x, b.param("key")), "goright", "goleft")
+    b.block("goright")
+    b.add(mid, 1, dest=lo)
+    b.jmp("head")
+    b.block("goleft")
+    b.mov(mid, dest=hi)
+    b.jmp("head")
+    b.block("found")
+    b.ret(mid)
+    b.block("missing")
+    b.ret(-1)
+
+    b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    hits = VReg("hits", RegClass.INT)
+    b.block("entry")
+    b.mov(0, dest=hits)
+
+    def body(i: VReg) -> None:
+        found = b.call("find", [b.param("n"), b.mul(i, 3)])
+        p = b.cmpge(found, 0)
+        b.add(hits, b.select(p, 1, 0), dest=hits)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret(hits)
+    verify_module(m)
+    return m
+
+
+def build_horner(n: int) -> Module:
+    """Horner polynomial evaluation — a pure serial FP chain."""
+    m = Module("horner")
+    m.add_array("C", n, 8, init=[0.5 / (k + 1) for k in range(n)])
+    b = IRBuilder(m)
+    b.function("main", [("n", RegClass.INT), ("x", RegClass.FLT)],
+               ret_class=RegClass.FLT)
+    acc = VReg("acc", RegClass.FLT)
+    b.block("entry")
+    c = b.addr("C")
+    b.fmov(0.0, dest=acc)
+
+    def body(i: VReg) -> None:
+        coeff = b.fload(b.add(c, b.shl(i, 3)), 0,
+                        memref=_mref("C", scale=8, size=8))
+        b.fadd(b.fmul(acc, b.param("x")), coeff, dest=acc)
+
+    _counted_loop(b, b.param("n"), body)
+    b.ret(acc)
+    verify_module(m)
+    return m
+
+
+SYSTEMS_KERNELS: dict[str, Kernel] = {
+    "count_matches": Kernel("count_matches", "systems",
+                            "conditional count (branch per element)",
+                            build_count_matches, outputs=[]),
+    "clamp": Kernel("clamp", "systems", "clamp with if/else chain",
+                    build_clamp, outputs=[("V", 4)], returns_value=False),
+    "pointer_chase": Kernel("pointer_chase", "systems",
+                            "serial linked-list walk", build_pointer_chase,
+                            outputs=[]),
+    "insertion_pass": Kernel("insertion_pass", "systems",
+                             "bubble pass with swaps", build_insertion_pass,
+                             outputs=[("V", 4)]),
+    "state_machine": Kernel("state_machine", "systems",
+                            "token scanner (grep-like)", build_state_machine,
+                            outputs=[]),
+    "call_heavy": Kernel("call_heavy", "systems",
+                         "leaf call per element", build_call_heavy,
+                         outputs=[]),
+    "binary_search": Kernel("binary_search", "systems",
+                            "repeated binary searches", build_binary_search,
+                            outputs=[]),
+    "horner": Kernel("horner", "systems", "Horner polynomial (serial FP)",
+                     build_horner, make_args=lambda n: (n, 0.9),
+                     outputs=[]),
+}

@@ -1,0 +1,68 @@
+"""Shared fixtures: small IR programs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (IRBuilder, MemRef, Module, RegClass, VReg,
+                      verify_module)
+
+
+def build_sum_array(n_elems: int = 8) -> Module:
+    """sumA(n) -> float: sums the first n elements of float array A."""
+    m = Module("sum_array")
+    m.add_array("A", n_elems, 8, init=[float(i) for i in range(n_elems)])
+    b = IRBuilder(m)
+    f = b.function("sumA", [("n", RegClass.INT)], ret_class=RegClass.FLT)
+    i = VReg("i", RegClass.INT)
+    s = VReg("s", RegClass.FLT)
+    b.block("entry")
+    base = b.addr("A")
+    b.mov(0, dest=i)
+    b.fmov(0.0, dest=s)
+    b.jmp("head")
+    b.block("head")
+    p = b.cmplt(i, b.param("n"))
+    b.br(p, "body", "exit")
+    b.block("body")
+    addr = b.add(base, b.shl(i, 3))
+    x = b.fload(addr, 0, memref=MemRef.make("A", {"i": 8}, size=8))
+    b.fadd(s, x, dest=s)
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(s)
+    verify_module(m)
+    return m
+
+
+def build_diamond() -> Module:
+    """absdiff(a, b) -> int via a branch diamond: |a - b|."""
+    m = Module("diamond")
+    b = IRBuilder(m)
+    b.function("absdiff", [("a", RegClass.INT), ("b", RegClass.INT)],
+               ret_class=RegClass.INT)
+    r = VReg("r", RegClass.INT)
+    b.block("entry")
+    p = b.cmpge(b.param("a"), b.param("b"))
+    b.br(p, "ge", "lt")
+    b.block("ge")
+    b.sub(b.param("a"), b.param("b"), dest=r)
+    b.jmp("join")
+    b.block("lt")
+    b.sub(b.param("b"), b.param("a"), dest=r)
+    b.jmp("join")
+    b.block("join")
+    b.ret(r)
+    verify_module(m)
+    return m
+
+
+@pytest.fixture
+def sum_array_module() -> Module:
+    return build_sum_array()
+
+
+@pytest.fixture
+def diamond_module() -> Module:
+    return build_diamond()

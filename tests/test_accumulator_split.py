@@ -1,0 +1,150 @@
+"""Tests for reduction accumulator splitting in the unroller.
+
+Integer splitting is exact (associative) and on by default; float
+reassociation changes last-bit results and hides behind an explicit flag —
+the same trade the Multiflow compilers exposed as a switch.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import find_loops
+from repro.harness import measure
+from repro.ir import (IRBuilder, Opcode, RegClass, VReg, run_module,
+                      verify_module)
+from repro.opt import LoopUnroll, PassManager
+from repro.workloads import get_kernel
+
+
+def _unroll(module, factor=8, **kw):
+    PassManager([LoopUnroll(factor=factor, **kw)]).run(module)
+    verify_module(module)
+    return module
+
+
+class TestIntSplitting:
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 29, 64])
+    def test_exact_across_trip_counts(self, n):
+        kernel = get_kernel("int_sum")
+        ref = run_module(kernel.build(64), "main", (n,)).value
+        module = _unroll(kernel.build(64))
+        assert run_module(module, "main", (n,)).value == ref
+
+    def test_partials_created(self):
+        kernel = get_kernel("int_sum")
+        module = _unroll(kernel.build(64), factor=4)
+        func = module.function("main")
+        names = {r.name for r in func.all_vregs()}
+        assert any(".acc" in name for name in names)
+        # a combine block joins the partials on exit
+        assert any(".u4c" in bname for bname in func.blocks)
+
+    def test_splitting_can_be_disabled(self):
+        kernel = get_kernel("int_sum")
+        module = _unroll(kernel.build(64), factor=4,
+                         split_accumulators=False)
+        names = {r.name for r in module.function("main").all_vregs()}
+        assert not any(".acc" in name for name in names)
+
+    def test_breaks_the_serial_chain(self):
+        """The point of the exercise: int reductions now scale."""
+        m = measure("int_sum", 96, unroll=8)
+        assert m.vliw_speedup > 6.0
+
+    def test_wrapping_semantics_preserved(self):
+        """Partial sums wrap at 32 bits exactly like the serial order."""
+        b = IRBuilder()
+        b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        s = VReg("s", RegClass.INT)
+        i = VReg("i", RegClass.INT)
+        b.block("entry")
+        b.mov(0, dest=s)
+        b.mov(0, dest=i)
+        b.jmp("head")
+        b.block("head")
+        p = b.cmplt(i, b.param("n"))
+        b.br(p, "body", "exit")
+        b.block("body")
+        big = b.shl(i, 27)           # overflows quickly
+        b.add(s, big, dest=s)
+        b.add(i, 1, dest=i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(s)
+        module = b.module
+        ref = run_module(module, "f", (37,)).value
+        _unroll(module, factor=8)
+        assert run_module(module, "f", (37,)).value == ref
+
+    def test_accumulator_read_in_body_blocks_split(self):
+        """An accumulator also *read* per iteration must stay serial."""
+        kernel = get_kernel("int_sum")
+        module = kernel.build(32)
+        func = module.function("main")
+        # add a second use of s inside the body (store-ish read)
+        body = func.block("body")
+        s = VReg("s", RegClass.INT)
+        extra = None
+        for op in body.body:
+            if op.dest == s:
+                extra = op
+        assert extra is not None
+        from repro.ir import Operation
+        body.insert(len(body.ops) - 1,
+                    Operation(Opcode.XOR, VReg("peek", RegClass.INT),
+                              [s, s]))
+        verify_module(module)
+        ref = run_module(module, "main", (20,)).value
+        _unroll(module, factor=4)
+        assert run_module(module, "main", (20,)).value == ref
+        names = {r.name for r in func.all_vregs()}
+        assert not any("s.acc" in name for name in names)
+
+
+class TestFloatReassociation:
+    def test_off_by_default(self):
+        kernel = get_kernel("dot")
+        module = _unroll(kernel.build(32), factor=4)
+        names = {r.name for r in module.function("main").all_vregs()}
+        assert not any(".acc" in name for name in names)
+
+    def test_flag_enables_and_stays_close(self):
+        kernel = get_kernel("dot")
+        ref = run_module(kernel.build(96), "main", (90,)).value
+        module = _unroll(kernel.build(96), factor=8,
+                         reassociate_float=True)
+        got = run_module(module, "main", (90,)).value
+        assert got == pytest.approx(ref, rel=1e-12)
+        names = {r.name for r in module.function("main").all_vregs()}
+        assert any(".acc" in name for name in names)
+
+    def test_reassociated_reduction_gets_faster(self):
+        """With partials, the FADD chain parallelises on the machine."""
+        from repro.machine import TRACE_28_200
+        from repro.opt import (ConstantFold, CopyPropagation,
+                               DeadCodeElimination, LocalCSE)
+        from repro.sim import run_compiled
+        from repro.trace import compile_module
+
+        kernel = get_kernel("dot")
+
+        def beats(reassoc: bool) -> int:
+            module = kernel.build(96)
+            PassManager([LoopUnroll(factor=8,
+                                    reassociate_float=reassoc),
+                         CopyPropagation(), LocalCSE(),
+                         DeadCodeElimination()]).run(module)
+            program = compile_module(module, TRACE_28_200)
+            return run_compiled(program, module, "main",
+                                (90,)).stats.beats
+
+        assert beats(True) < 0.7 * beats(False)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(0, 64), factor=st.sampled_from([2, 4, 8]))
+    def test_property_int_sum_any_shape(self, n, factor):
+        kernel = get_kernel("int_sum")
+        ref = run_module(kernel.build(64), "main", (n,)).value
+        module = _unroll(kernel.build(64), factor=factor)
+        assert run_module(module, "main", (n,)).value == ref

@@ -1,0 +1,226 @@
+"""Tests for CFG, dominators, dataflow, liveness, reaching defs, and loops."""
+
+import pytest
+
+from repro.analysis import (CFG, compute_liveness, compute_reaching,
+                            find_basic_ivs, find_loops, live_before_each_op,
+                            loop_invariant_regs, match_counted_loop,
+                            remove_unreachable_blocks, single_reaching_def,
+                            solve_forward)
+from repro.ir import (IRBuilder, Module, Opcode, RegClass, VReg,
+                      verify_module)
+
+from .conftest import build_diamond, build_sum_array
+
+
+def build_nested_loops() -> Module:
+    """Two nested counted loops: for i { for j { } }."""
+    m = Module("nested")
+    b = IRBuilder(m)
+    b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    j = VReg("j", RegClass.INT)
+    acc = VReg("acc", RegClass.INT)
+    b.block("entry")
+    b.mov(0, dest=i)
+    b.mov(0, dest=acc)
+    b.jmp("outer")
+    b.block("outer")
+    p = b.cmplt(i, b.param("n"))
+    b.br(p, "outer_body", "exit")
+    b.block("outer_body")
+    b.mov(0, dest=j)
+    b.jmp("inner")
+    b.block("inner")
+    q = b.cmplt(j, b.param("n"))
+    b.br(q, "inner_body", "outer_latch")
+    b.block("inner_body")
+    b.add(acc, 1, dest=acc)
+    b.add(j, 1, dest=j)
+    b.jmp("inner")
+    b.block("outer_latch")
+    b.add(i, 1, dest=i)
+    b.jmp("outer")
+    b.block("exit")
+    b.ret(acc)
+    verify_module(m)
+    return m
+
+
+class TestCFG:
+    def test_preds_and_succs(self, diamond_module):
+        cfg = CFG.build(diamond_module.function("absdiff"))
+        assert cfg.succs["entry"] == ["ge", "lt"]
+        assert sorted(cfg.preds["join"]) == ["ge", "lt"]
+
+    def test_reverse_postorder_starts_at_entry(self, sum_array_module):
+        cfg = CFG.build(sum_array_module.function("sumA"))
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert set(rpo) == set(sum_array_module.function("sumA").blocks)
+
+    def test_rpo_visits_preds_first_in_acyclic(self, diamond_module):
+        cfg = CFG.build(diamond_module.function("absdiff"))
+        rpo = cfg.reverse_postorder()
+        assert rpo.index("entry") < rpo.index("ge")
+        assert rpo.index("ge") < rpo.index("join")
+        assert rpo.index("lt") < rpo.index("join")
+
+    def test_dominators_diamond(self, diamond_module):
+        cfg = CFG.build(diamond_module.function("absdiff"))
+        doms = cfg.dominators()
+        assert doms["join"] == {"entry", "join"}
+        assert doms["ge"] == {"entry", "ge"}
+        idom = cfg.immediate_dominators()
+        assert idom["join"] == "entry"
+        assert idom["entry"] is None
+
+    def test_back_edges(self, sum_array_module):
+        cfg = CFG.build(sum_array_module.function("sumA"))
+        assert cfg.back_edges() == [("body", "head")]
+
+    def test_remove_unreachable(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(1)
+        b.block("orphan")
+        b.ret(2)
+        assert remove_unreachable_blocks(b.func) == 1
+        assert "orphan" not in b.func.blocks
+
+
+class TestDataflow:
+    def test_forward_reachability_instance(self, diamond_module):
+        cfg = CFG.build(diamond_module.function("absdiff"))
+
+        def transfer(name, in_set):
+            return in_set | {name}
+
+        res = solve_forward(cfg, transfer)
+        assert res.block_out["join"] >= {"entry", "join"}
+
+    def test_forward_intersection_meet(self, diamond_module):
+        cfg = CFG.build(diamond_module.function("absdiff"))
+
+        def transfer(name, in_set):
+            return in_set | {name}
+
+        res = solve_forward(cfg, transfer, meet_union=False)
+        # with intersection, only common dominat-ish facts survive at join
+        assert "ge" not in res.block_in["join"] or "lt" not in res.block_in["join"]
+
+
+class TestLiveness:
+    def test_loop_carried_registers_live_at_header(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        lv = compute_liveness(func)
+        i = VReg("i", RegClass.INT)
+        s = VReg("s", RegClass.FLT)
+        assert i in lv.live_in["head"]
+        assert s in lv.live_in["head"]
+
+    def test_dead_after_last_use(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        lv = compute_liveness(func)
+        # param n is not live at exit
+        n = VReg("n", RegClass.INT)
+        assert n not in lv.live_in["exit"]
+
+    def test_diamond_result_live_on_join_edges(self, diamond_module):
+        func = diamond_module.function("absdiff")
+        lv = compute_liveness(func)
+        r = VReg("r", RegClass.INT)
+        assert r in lv.live_on_edge("ge", "join")
+        assert r not in lv.live_in["entry"]
+
+    def test_live_before_each_op(self, diamond_module):
+        func = diamond_module.function("absdiff")
+        lv = compute_liveness(func)
+        before = live_before_each_op(func, "entry", lv)
+        a = VReg("a", RegClass.INT)
+        assert a in before[0]
+
+
+class TestReaching:
+    def test_single_def_reaches(self, diamond_module):
+        func = diamond_module.function("absdiff")
+        reaching = compute_reaching(func)
+        r = VReg("r", RegClass.INT)
+        uids = reaching.reaching_defs_of("join", r)
+        assert len(uids) == 2  # one per diamond arm
+
+    def test_single_reaching_def_helper(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        reaching = compute_reaching(func)
+        i = VReg("i", RegClass.INT)
+        # both the entry mov and the body add reach the header
+        assert single_reaching_def(reaching, "head", i) is None
+        # only entry's def of the base address op reaches body
+        base_defs = [op for op in func.block("entry").ops
+                     if op.dest is not None and op.opcode is Opcode.MOV
+                     and op.dest.cls is RegClass.INT]
+        base = base_defs[0].dest
+
+
+class TestLoops:
+    def test_single_loop_found(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        loops = find_loops(func)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "head"
+        assert loop.body == {"head", "body"}
+        assert loop.latches == ["body"]
+        assert ("head", "exit") in loop.exits
+
+    def test_nested_loops_nesting(self):
+        m = build_nested_loops()
+        func = m.function("f")
+        loops = find_loops(func)
+        assert len(loops) == 2
+        outer = next(lp for lp in loops if lp.header == "outer")
+        inner = next(lp for lp in loops if lp.header == "inner")
+        assert inner.parent is outer
+        assert inner.depth == 2
+        assert inner.body < outer.body
+
+    def test_basic_ivs(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        loop = find_loops(func)[0]
+        ivs = find_basic_ivs(func, loop)
+        assert len(ivs) == 1
+        assert ivs[0].reg == VReg("i", RegClass.INT)
+        assert ivs[0].step == 1
+
+    def test_loop_invariant_regs(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        loop = find_loops(func)[0]
+        inv = loop_invariant_regs(func, loop)
+        assert VReg("n", RegClass.INT) in inv
+        assert VReg("i", RegClass.INT) not in inv
+
+    def test_match_counted_loop(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        loop = find_loops(func)[0]
+        tc = match_counted_loop(func, loop)
+        assert tc is not None
+        assert tc.iv.step == 1
+        assert tc.exit_block == "exit"
+
+    def test_non_counted_loop_rejected(self):
+        b = IRBuilder()
+        b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        x = VReg("x", RegClass.INT)
+        b.block("entry")
+        b.mov(b.param("n"), dest=x)
+        b.jmp("head")
+        b.block("head")
+        # exit controlled by a loaded value, not an IV compare
+        b.shr(x, 1, dest=x)
+        p = b.cmpgt(x, 0)
+        b.br(p, "head", "exit")
+        b.block("exit")
+        b.ret(x)
+        loop = find_loops(b.func)[0]
+        assert match_counted_loop(b.func, loop) is None

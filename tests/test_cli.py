@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "daxpy" in out and "state_machine" in out
+
+
+def test_measure(capsys):
+    assert main(["measure", "vadd", "-n", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "vliw_speedup" in out
+    assert "traces:" in out
+
+
+def test_measure_narrow_machine(capsys):
+    assert main(["measure", "vadd", "-n", "32", "--pairs", "1",
+                 "--unroll", "4"]) == 0
+    assert "7/200" in capsys.readouterr().out
+
+
+def test_schedule(capsys):
+    assert main(["schedule", "copy", "-n", "32", "--unroll", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "compiled main" in out
+    assert "fload" in out or "fstore" in out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "-n", "24", "--unroll", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel sweep" in out
+    assert "daxpy" in out
+
+
+def test_compile_and_run(tmp_path, capsys):
+    source = tmp_path / "prog.tf"
+    source.write_text("""
+array int V[16];
+int f(int n) {
+    int s = 0; int i;
+    for (i = 0; i < n; i = i + 1) { V[i] = i * 2; s = s + V[i]; }
+    return s;
+}
+""")
+    assert main(["compile", str(source), "--run", "f", "--args", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "f(10) = 90" in out
+    assert "beats" in out
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(SystemExit):
+        main(["measure", "not_a_kernel"])
+
+
+def test_options_plumbed(capsys):
+    assert main(["measure", "vadd", "-n", "32", "--no-speculation",
+                 "--no-join-motion"]) == 0
+    assert "speculated loads: 0" in capsys.readouterr().out

@@ -1,0 +1,318 @@
+"""Tests for the memory disambiguator: affine algebra, diophantine tests,
+derivation, and the no/yes/maybe query layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disambig import (Answer, Disambiguator, can_be_zero,
+                            can_be_zero_mod, can_overlap, derive_memrefs,
+                            distinct_objects, subtract)
+from repro.ir import (IRBuilder, MemRef, MemoryImage, Module, RegClass,
+                      VReg, run_module, verify_module)
+
+
+def ref(base, coeffs=None, const=0, size=8, unknown=False) -> MemRef:
+    return MemRef.make(base, coeffs, const, size, base_unknown_mod=unknown)
+
+
+class TestAffine:
+    def test_same_base_cancels(self):
+        d = subtract(ref("A", {"i": 8}, 16), ref("A", {"i": 8}, 0))
+        assert d.known and d.is_constant and d.const == 16
+
+    def test_var_residual(self):
+        d = subtract(ref("A", {"i": 8}), ref("A", {"j": 8}))
+        assert d.known and dict(d.coeffs) == {"i": 8, "j": -8}
+
+    def test_same_var_partial_cancel(self):
+        d = subtract(ref("A", {"i": 16}), ref("A", {"i": 8}))
+        assert dict(d.coeffs) == {"i": 8}
+
+    def test_known_bases_use_layout(self):
+        layout = {"A": 0x1000, "B": 0x2000}
+        d = subtract(ref("A"), ref("B"), layout)
+        assert d.known and d.const == -0x1000
+
+    def test_unknown_base_pair(self):
+        d = subtract(ref("&p", unknown=True), ref("&q", unknown=True),
+                     {"&p": 0, "&q": 0})
+        assert not d.known
+
+    def test_same_unknown_base_is_relative(self):
+        d = subtract(ref("&p", {"i": 8}, 8, unknown=True),
+                     ref("&p", {"i": 8}, 0, unknown=True))
+        assert d.known and d.const == 8
+
+    def test_distinct_objects(self):
+        assert distinct_objects(ref("A"), ref("B"))
+        assert not distinct_objects(ref("A"), ref("A"))
+        assert not distinct_objects(ref(None), ref("B"))
+
+
+class TestDiophantine:
+    def test_constant_zero(self):
+        d = subtract(ref("A", {"i": 8}), ref("A", {"i": 8}))
+        assert can_be_zero(d)
+
+    def test_gcd_rules_out(self):
+        # 8i - 8j = 4 has no integer solutions
+        d = subtract(ref("A", {"i": 8}, 4), ref("A", {"j": 8}))
+        assert not can_be_zero(d)
+
+    def test_gcd_allows(self):
+        # 8i - 8j = 16 solvable
+        d = subtract(ref("A", {"i": 8}, 16), ref("A", {"j": 8}))
+        assert can_be_zero(d)
+
+    def test_overlap_window(self):
+        d = subtract(ref("A", {}, 4, size=8), ref("A", {}, 0, size=8))
+        assert can_overlap(d, 8, 8)
+        d = subtract(ref("A", {}, 8, size=8), ref("A", {}, 0, size=8))
+        assert not can_overlap(d, 8, 8)
+
+    def test_mod_solvable(self):
+        # 8i ≡ 0 mod 32: i = 4 works
+        d = subtract(ref("A", {"i": 8}), ref("A"))
+        assert can_be_zero_mod(d, 32)
+
+    def test_mod_unsolvable(self):
+        # 32i + 8 ≡ 0 mod 32 never (gcd(32,32)=32 does not divide 8)
+        d = subtract(ref("A", {"i": 32}, 8), ref("A"))
+        assert not can_be_zero_mod(d, 32)
+
+    @given(st.integers(-64, 64), st.integers(1, 6))
+    def test_mod_constant_exact(self, const, log_m):
+        m = 1 << log_m
+        d = subtract(ref("A", {}, const), ref("A"))
+        assert can_be_zero_mod(d, m) == (const % m == 0)
+
+
+class TestAliasQueries:
+    def setup_method(self):
+        m = Module()
+        m.add_array("A", 64, 8)
+        m.add_array("B", 64, 8)
+        self.dis = Disambiguator(m)
+
+    def test_distinct_arrays_no(self):
+        assert self.dis.alias(ref("A", {"i": 8}), ref("B", {"i": 8})) \
+            is Answer.NO
+
+    def test_same_element_yes(self):
+        assert self.dis.alias(ref("A", {"i": 8}), ref("A", {"i": 8})) \
+            is Answer.YES
+
+    def test_adjacent_elements_no(self):
+        assert self.dis.alias(ref("A", {"i": 8}, 8), ref("A", {"i": 8})) \
+            is Answer.NO
+
+    def test_partial_overlap_yes(self):
+        # a 4-byte ref 4 bytes into an 8-byte ref's range
+        assert self.dis.alias(ref("A", {}, 4, size=4), ref("A", {}, 0, size=8)) \
+            is Answer.YES
+
+    def test_cross_iteration_maybe(self):
+        # c(i) vs c(i+j): j unknown
+        assert self.dis.alias(ref("C", {"i": 8}), ref("C", {"i": 8, "j": 8})) \
+            is Answer.MAYBE
+
+    def test_gcd_proves_no_across_vars(self):
+        assert self.dis.alias(ref("A", {"i": 8}, 4, size=4),
+                              ref("A", {"j": 8}, 0, size=4)) is Answer.NO
+
+    def test_missing_memref_maybe(self):
+        assert self.dis.alias(None, ref("A")) is Answer.MAYBE
+
+    def test_relative_same_pointer_arg(self):
+        a = ref("&p", {"i": 8}, 0, unknown=True)
+        b = ref("&p", {"i": 8}, 8, unknown=True)
+        assert self.dis.alias(a, b) is Answer.NO
+
+    def test_two_pointer_args_maybe(self):
+        a = ref("&p", {"i": 8}, 0, unknown=True)
+        b = ref("&q", {"i": 8}, 0, unknown=True)
+        assert self.dis.alias(a, b) is Answer.MAYBE
+
+
+class TestBankQueries:
+    def setup_method(self):
+        m = Module()
+        m.add_array("A", 1024, 8)
+        self.dis = Disambiguator(m)
+
+    def test_adjacent_words_different_bank(self):
+        # 8 banks: A[i] and A[i+1] differ by one bank word
+        assert self.dis.bank_equal(ref("A", {"i": 8}, 8),
+                                   ref("A", {"i": 8}), 8) is Answer.NO
+
+    def test_stride_equal_banks_yes(self):
+        # A[i] and A[i+8] with 8 banks: same bank always
+        assert self.dis.bank_equal(ref("A", {"i": 8}, 64),
+                                   ref("A", {"i": 8}), 8) is Answer.YES
+
+    def test_unknown_vars_maybe(self):
+        assert self.dis.bank_equal(ref("A", {"i": 8}),
+                                   ref("A", {"j": 8}), 8) is Answer.MAYBE
+
+    def test_unknown_vars_no_when_gcd_blocks(self):
+        # 64i + 8 ≡ 0 mod 64 unsolvable -> different banks, provably
+        assert self.dis.bank_equal(ref("A", {"i": 64}, 8),
+                                   ref("A"), 8) is Answer.NO
+
+    def test_relative_disambiguation_on_unknown_base(self):
+        # the paper's headline case: argument array, base unknown, but
+        # A[i] vs A[i+1] still provably different banks
+        a = ref("&arg", {"i": 8}, 0, unknown=True)
+        b = ref("&arg", {"i": 8}, 8, unknown=True)
+        assert self.dis.bank_equal(a, b, 8) is Answer.NO
+
+    def test_distinct_unknown_bases_maybe(self):
+        a = ref("&p", unknown=True)
+        b = ref("&q", unknown=True)
+        assert self.dis.bank_equal(a, b, 8) is Answer.MAYBE
+
+    def test_misaligned_const_diff(self):
+        # d = 4: same bank word possible (base at odd half-word) -> MAYBE
+        assert self.dis.bank_equal(ref("A", {}, 4, size=4),
+                                   ref("A", {}, 0, size=4), 8) is Answer.MAYBE
+
+    def test_misaligned_but_provably_distinct(self):
+        # d = 12: word delta is 1 or 2, neither ≡ 0 mod 8 -> NO
+        assert self.dis.bank_equal(ref("A", {}, 12, size=4),
+                                   ref("A", {}, 0, size=4), 8) is Answer.NO
+
+    def test_controller_query(self):
+        assert self.dis.controller_equal(ref("A", {"i": 8}, 8),
+                                         ref("A", {"i": 8}), 4) is Answer.NO
+        assert self.dis.controller_equal(ref("A", {"i": 8}, 32),
+                                         ref("A", {"i": 8}), 4) is Answer.YES
+
+    def test_stats_recorded(self):
+        self.dis.bank_equal(ref("A", {"i": 8}, 8), ref("A", {"i": 8}), 8)
+        assert self.dis.stats.counts[("bank", "no")] >= 1
+        assert self.dis.stats.rate("bank", Answer.NO) > 0
+
+
+class TestDerivation:
+    def test_derives_simple_array_ref(self):
+        m = Module()
+        m.add_array("A", 32, 8)
+        b = IRBuilder(m)
+        b.function("f", [("n", RegClass.INT)], ret_class=RegClass.FLT)
+        i = VReg("i", RegClass.INT)
+        s = VReg("s", RegClass.FLT)
+        b.block("entry")
+        b.mov(0, dest=i)
+        b.fmov(0.0, dest=s)
+        b.jmp("head")
+        b.block("head")
+        p = b.cmplt(i, b.param("n"))
+        b.br(p, "body", "exit")
+        b.block("body")
+        addr = b.add(b.addr("A"), b.shl(i, 3))
+        x = b.fload(addr, 0)         # deliberately unannotated
+        b.fadd(s, x, dest=s)
+        b.add(i, 1, dest=i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(s)
+        verify_module(m)
+
+        report = derive_memrefs(m.function("f"))
+        assert report.derived == 1 and report.failed == 0
+        load = next(op for op in m.function("f").operations() if op.is_load)
+        assert load.memref.base == "A"
+        assert load.memref.coeff_dict() == {"i": 8}
+        assert load.memref.size == 8
+
+    def test_pointer_param_becomes_unknown_base(self):
+        b = IRBuilder()
+        b.function("f", [("p", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.load(b.param("p"), 4))
+        report = derive_memrefs(b.func)
+        assert report.derived == 1
+        load = next(op for op in b.func.operations() if op.is_load)
+        assert load.memref.base == "&p"
+        assert load.memref.base_unknown_mod
+        assert load.memref.const == 4
+
+    def test_two_base_sum_fails(self):
+        m = Module()
+        m.add_array("A", 8, 4)
+        m.add_array("B", 8, 4)
+        b = IRBuilder(m)
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        weird = b.add(b.addr("A"), b.addr("B"))
+        b.ret(b.load(weird, 0))
+        report = derive_memrefs(b.func)
+        assert report.failed == 1
+
+    def test_existing_annotation_kept(self):
+        m = Module()
+        m.add_array("A", 8, 4)
+        b = IRBuilder(m)
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.load(b.addr("A"), 0,
+                     memref=MemRef.make("A", {}, 0, size=4)))
+        report = derive_memrefs(b.func)
+        assert report.already_annotated == 1
+
+    def test_store_derivation(self):
+        m = Module()
+        m.add_array("A", 8, 4)
+        b = IRBuilder(m)
+        b.function("f", [("v", RegClass.INT)])
+        b.block("entry")
+        b.store(b.param("v"), b.addr("A"), 8)
+        b.ret()
+        report = derive_memrefs(b.func)
+        assert report.derived == 1
+        store = next(op for op in b.func.operations() if op.is_store)
+        assert store.memref.const == 8
+        assert store.memref.size == 4
+
+    def test_multi_def_non_iv_fails(self):
+        m = Module()
+        m.add_array("A", 8, 4)
+        b = IRBuilder(m)
+        b.function("f", [("p", RegClass.PRED)], ret_class=RegClass.INT)
+        x = VReg("x", RegClass.INT)
+        b.block("entry")
+        b.mov(0, dest=x)
+        b.br(b.param("p"), "a", "join")
+        b.block("a")
+        b.mov(4, dest=x)
+        b.jmp("join")
+        b.block("join")
+        b.ret(b.load(b.add(b.addr("A"), x), 0))
+        report = derive_memrefs(b.func)
+        assert report.failed == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(offset=st.integers(0, 7), scale_log=st.integers(0, 3))
+    def test_derived_matches_runtime_address(self, offset, scale_log):
+        """The derived affine form must agree with the actual address."""
+        m = Module()
+        m.add_array("A", 256, 8)
+        b = IRBuilder(m)
+        b.function("f", [("i", RegClass.INT)], ret_class=RegClass.FLT)
+        b.block("entry")
+        addr = b.add(b.addr("A"), b.shl(b.param("i"), 3 + scale_log))
+        b.ret(b.fload(addr, offset * 8))
+        derive_memrefs(b.func)
+        load = next(op for op in b.func.operations() if op.is_load)
+        # evaluate the memref at i = 2 and compare to the interpreter
+        img = MemoryImage(m)
+        base = img.address_of("A")
+        i_val = 2
+        predicted = base + load.memref.const + sum(
+            coeff * i_val for var, coeff in load.memref.coeffs)
+        expected = base + (i_val << (3 + scale_log)) + offset * 8
+        # the param is not an IV; coeffs should carry "&i"-free terms only
+        # when derivable — accept either an exact match or a derivation fail
+        if load.memref is not None and load.memref.base == "A":
+            assert predicted == expected

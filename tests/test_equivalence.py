@@ -1,0 +1,142 @@
+"""Differential testing: every executor must agree with the reference
+interpreter on randomly generated programs.
+
+This is the compiler's main correctness oracle: interpreter -> scalar sim
+-> scoreboard sim -> trace-scheduled VLIW sim (across machine widths,
+optimization levels, and code-motion options) must produce identical
+return values and identical final array contents.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import MemoryImage, run_module
+from repro.machine import (MachineConfig, TRACE_7_200, TRACE_14_200,
+                           TRACE_28_200)
+from repro.opt import classical_pipeline
+from repro.sim import run_compiled, run_scalar, run_scoreboard
+from repro.trace import SchedulingOptions, compile_module
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+ARGS = (7, -3)
+
+
+def _array_state(module, memory: MemoryImage):
+    state = {}
+    for name, obj in module.data.items():
+        elem = 8 if name.startswith("FA") else 4
+        state[name] = memory.read_array(name, obj.size // elem, elem)
+    return state
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    return a == b
+
+
+def _states_equal(a: dict, b: dict) -> bool:
+    """Array-state equality with NaN == NaN (programs may legitimately
+    compute NaN through inf - inf; bit-identical divergence still fails)."""
+    if a.keys() != b.keys():
+        return False
+    return all(len(a[k]) == len(b[k])
+               and all(_values_equal(x, y) for x, y in zip(a[k], b[k]))
+               for k in a)
+
+
+def _check_program(seed: int, unroll: int, config: MachineConfig,
+                   options: SchedulingOptions) -> None:
+    module = generate_program(seed)
+    ref = run_module(module, "main", ARGS)
+    ref_arrays = _array_state(module, ref.memory)
+
+    if unroll:
+        module_opt = generate_program(seed)
+        classical_pipeline(unroll_factor=unroll).run(module_opt)
+        opt_ref = run_module(module_opt, "main", ARGS)
+        assert _values_equal(opt_ref.value, ref.value), "optimizer broke it"
+        module = module_opt
+
+    scal = run_scalar(module, "main", ARGS)
+    assert _values_equal(scal.value, ref.value), "scalar sim diverged"
+    assert _states_equal(_array_state(module, scal.memory), ref_arrays)
+
+    board = run_scoreboard(module, "main", ARGS)
+    assert _values_equal(board.value, ref.value), "scoreboard diverged"
+    assert _states_equal(_array_state(module, board.memory), ref_arrays)
+
+    program = compile_module(module, config, options)
+    vliw = run_compiled(program, module, "main", ARGS)
+    assert _values_equal(vliw.value, ref.value), \
+        f"VLIW diverged: {vliw.value} != {ref.value}"
+    assert _states_equal(_array_state(module, vliw.memory), ref_arrays), \
+        "VLIW memory state diverged"
+
+
+class TestEquivalenceSeeds:
+    """Deterministic seeds, full option matrix on a few of them."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_default_options(self, seed):
+        _check_program(seed, unroll=0, config=TRACE_28_200,
+                       options=SchedulingOptions())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_unrolled(self, seed):
+        _check_program(seed, unroll=4, config=TRACE_28_200,
+                       options=SchedulingOptions())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_narrow_machine(self, seed):
+        _check_program(seed, unroll=0, config=TRACE_7_200,
+                       options=SchedulingOptions())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_speculation(self, seed):
+        _check_program(seed, unroll=0, config=TRACE_14_200,
+                       options=SchedulingOptions(speculation=False))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_join_motion(self, seed):
+        _check_program(seed, unroll=0, config=TRACE_28_200,
+                       options=SchedulingOptions(join_motion=False))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_gamble(self, seed):
+        _check_program(seed, unroll=0, config=TRACE_28_200,
+                       options=SchedulingOptions(bank_gamble=False))
+
+
+class TestEquivalenceProperty:
+    """Hypothesis-driven sweep over seeds and option combinations."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000),
+           unroll=st.sampled_from([0, 0, 2, 4]),
+           pairs=st.sampled_from([1, 2, 4]),
+           speculation=st.booleans(),
+           join_motion=st.booleans())
+    def test_random_programs(self, seed, unroll, pairs, speculation,
+                             join_motion):
+        config = MachineConfig(n_pairs=pairs)
+        options = SchedulingOptions(speculation=speculation,
+                                    join_motion=join_motion)
+        _check_program(seed, unroll, config, options)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_bigger_programs(self, seed):
+        config = GeneratorConfig(max_stmts=10, max_depth=3, n_arrays=3)
+        module = generate_program(seed, config)
+        ref = run_module(module, "main", ARGS)
+        program = compile_module(module, TRACE_28_200)
+        vliw = run_compiled(program, module, "main", ARGS)
+        assert _values_equal(vliw.value, ref.value)
+        assert _states_equal(_array_state(module, vliw.memory),
+                             _array_state(module, ref.memory))

@@ -1,0 +1,202 @@
+"""Tests for the TinyFlow front end (lexer, parser, lowering)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import compile_source, parse_source, tokenize
+from repro.ir import run_module, verify_module
+from repro.machine import TRACE_28_200
+from repro.sim import run_compiled
+from repro.trace import compile_module as trace_compile
+from repro.opt import classical_pipeline
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("int x = 42; // comment\nfloat y;")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert ("kw", "int") in kinds
+        assert ("int", "42") in kinds
+        assert ("kw", "float") in kinds
+        assert not any("comment" in t for _, t in kinds)
+
+    def test_block_comment(self):
+        tokens = tokenize("a /* stuff \n more */ b")
+        names = [t.text for t in tokens if t.kind == "name"]
+        assert names == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b << 2 != c")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<=", "<<", "!="]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_function_signature(self):
+        program = parse_source("int f(int a, float b) { return a; }")
+        func = program.functions[0]
+        assert func.name == "f"
+        assert func.ret_type == "int"
+        assert func.params == [("int", "a"), ("float", "b")]
+
+    def test_array_decl_with_init(self):
+        program = parse_source(
+            "array float X[8] = {1.0, -2.5, 3};\nvoid f() { }")
+        decl = program.arrays[0]
+        assert decl.size == 8
+        assert decl.init == [1.0, -2.5, 3]
+
+    def test_precedence(self):
+        program = parse_source("int f() { return 2 + 3 * 4; }")
+        ret = program.functions[0].body[0]
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_else_if_chain(self):
+        src = """int f(int x) {
+            if (x > 2) { return 2; }
+            else if (x > 1) { return 1; }
+            else { return 0; }
+        }"""
+        func = parse_source(src).functions[0]
+        outer = func.body[0]
+        assert outer.else_body[0].cond.op == ">"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("int f() { return 1 }")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_source("int f() { 1 + 2 = 3; }")
+
+
+class TestLowering:
+    def _run(self, src, func, args):
+        module = compile_source(src)
+        verify_module(module)
+        return run_module(module, func, args).value
+
+    def test_arithmetic_and_vars(self):
+        src = "int f(int a) { int b = a * 3; return b - 1; }"
+        assert self._run(src, "f", [5]) == 14
+
+    def test_mixed_arithmetic_promotes(self):
+        src = "float f(int a) { return a + 0.5; }"
+        assert self._run(src, "f", [2]) == 2.5
+
+    def test_float_to_int_truncates(self):
+        src = "int f(float x) { int k = x; return k; }"
+        assert self._run(src, "f", [3.9]) == 3
+
+    def test_comparison_as_int_value(self):
+        src = "int f(int a) { int hit = a > 3; return hit * 10; }"
+        assert self._run(src, "f", [5]) == 10
+        assert self._run(src, "f", [1]) == 0
+
+    def test_while_loop(self):
+        src = """int f(int n) {
+            int total = 0;
+            int i = 0;
+            while (i < n) { total = total + i; i = i + 1; }
+            return total;
+        }"""
+        assert self._run(src, "f", [5]) == 10
+
+    def test_for_loop_and_arrays(self):
+        src = """
+        array int V[16];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) { V[i] = i * i; }
+            return V[n - 1];
+        }"""
+        assert self._run(src, "f", [5]) == 16
+
+    def test_logical_ops_eager(self):
+        src = "int f(int a) { if (a > 0 && a < 10) { return 1; } return 0; }"
+        assert self._run(src, "f", [5]) == 1
+        assert self._run(src, "f", [50]) == 0
+
+    def test_call_in_logical_rejected(self):
+        src = """int g() { return 1; }
+        int f(int a) { if (a > 0 && g() > 0) { return 1; } return 0; }"""
+        with pytest.raises(ParseError, match="eagerly"):
+            compile_source(src)
+
+    def test_functions_calling_functions(self):
+        src = """
+        int sq(int x) { return x * x; }
+        int f(int a) { return sq(a) + sq(a + 1); }
+        """
+        assert self._run(src, "f", [3]) == 9 + 16
+
+    def test_recursion(self):
+        src = """int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }"""
+        assert self._run(src, "fib", [10]) == 55
+
+    def test_both_arms_return(self):
+        src = "int f(int a) { if (a > 0) { return 1; } else { return 2; } }"
+        assert self._run(src, "f", [5]) == 1
+        assert self._run(src, "f", [-5]) == 2
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(ParseError, match="undeclared"):
+            compile_source("int f() { x = 3; return 0; }")
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(ParseError, match="unknown array"):
+            compile_source("int f() { return Q[0]; }")
+
+    def test_missing_return_value_defaults(self):
+        src = "int f(int a) { if (a > 0) { return 5; } }"
+        assert self._run(src, "f", [-1]) == 0
+
+
+class TestFrontendEndToEnd:
+    SRC = """
+    array float X[64];
+    array float Y[64];
+
+    void fill(int n) {
+        int i;
+        for (i = 0; i < n; i = i + 1) {
+            X[i] = i * 1.5;
+            Y[i] = i * 0.5;
+        }
+    }
+
+    float daxpy_sum(int n, float a) {
+        fill(n);
+        int i;
+        for (i = 0; i < n; i = i + 1) {
+            Y[i] = a * X[i] + Y[i];
+        }
+        float s = 0.0;
+        for (i = 0; i < n; i = i + 1) { s = s + Y[i]; }
+        return s;
+    }
+    """
+
+    def test_through_whole_stack(self):
+        module = compile_source(self.SRC)
+        ref = run_module(module, "daxpy_sum", [32, 2.0]).value
+
+        optimized = compile_source(self.SRC)
+        classical_pipeline(unroll_factor=8, inline_budget=48).run(optimized)
+        assert run_module(optimized, "daxpy_sum", [32, 2.0]).value == ref
+
+        program = trace_compile(optimized, TRACE_28_200)
+        result = run_compiled(program, optimized, "daxpy_sum", [32, 2.0])
+        assert result.value == ref

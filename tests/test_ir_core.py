@@ -1,0 +1,191 @@
+"""Unit tests for operations, blocks, functions, and the builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (CMP_NEGATION, OP_INFO, Category, Function, IRBuilder,
+                      Imm, Module, Opcode, Operation, RegClass, VReg,
+                      make_br, make_jmp, make_ret, verify_module)
+
+
+class TestOpcodeMetadata:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OP_INFO
+
+    def test_terminators_flagged(self):
+        for opcode in (Opcode.BR, Opcode.JMP, Opcode.RET, Opcode.HALT):
+            assert OP_INFO[opcode].is_terminator
+
+    def test_stores_have_side_effects_and_no_dest(self):
+        for opcode in (Opcode.STORE, Opcode.FSTORE):
+            assert OP_INFO[opcode].side_effect
+            assert OP_INFO[opcode].dest_class is None
+
+    def test_speculative_loads_do_not_trap(self):
+        for opcode in (Opcode.LOADS, Opcode.FLOADS):
+            assert OP_INFO[opcode].speculative
+            assert not OP_INFO[opcode].can_trap
+
+    def test_cmp_negation_is_an_involution(self):
+        for opcode, negated in CMP_NEGATION.items():
+            assert CMP_NEGATION[negated] is opcode
+            assert opcode is not negated
+
+    def test_commutative_ops_have_two_matching_srcs(self):
+        for opcode, info in OP_INFO.items():
+            if info.commutative:
+                assert len(info.src_classes) >= 2
+                assert info.src_classes[0] is info.src_classes[1]
+
+
+class TestOperation:
+    def test_unique_uids(self):
+        a = Operation(Opcode.NOP)
+        b = Operation(Opcode.NOP)
+        assert a.uid != b.uid
+
+    def test_copy_points_origin_at_source(self):
+        op = Operation(Opcode.ADD, VReg("x", RegClass.INT),
+                       [VReg("a", RegClass.INT), Imm(1)])
+        dup = op.copy()
+        assert dup.uid != op.uid
+        assert dup.origin == op.uid
+        # a copy of a copy still points at the root
+        assert dup.copy().origin == op.uid
+
+    def test_copy_has_independent_srcs_list(self):
+        op = Operation(Opcode.ADD, VReg("x", RegClass.INT),
+                       [VReg("a", RegClass.INT), Imm(1)])
+        dup = op.copy()
+        dup.replace_src(VReg("a", RegClass.INT), Imm(9))
+        assert op.srcs[0] == VReg("a", RegClass.INT)
+
+    def test_replace_src_counts(self):
+        a = VReg("a", RegClass.INT)
+        op = Operation(Opcode.ADD, VReg("x", RegClass.INT), [a, a])
+        assert op.replace_src(a, Imm(5)) == 2
+
+    def test_category_queries(self):
+        load = Operation(Opcode.LOAD, VReg("x", RegClass.INT),
+                         [Imm(0x1000), Imm(0)])
+        assert load.is_load and load.is_memory and not load.is_store
+        br = make_br(VReg("p", RegClass.PRED), "a", "b")
+        assert br.is_branch and br.is_terminator
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_fails(self):
+        m = Module()
+        f = m.add_function(Function("f"))
+        blk = f.add_block("entry")
+        blk.append(make_ret())
+        with pytest.raises(IRError):
+            blk.append(Operation(Opcode.NOP))
+
+    def test_successors_order(self):
+        m = Module()
+        f = m.add_function(Function("f"))
+        blk = f.add_block("entry")
+        blk.append(make_br(VReg("p", RegClass.PRED), "t", "e"))
+        assert blk.successors() == ["t", "e"]
+
+    def test_retarget(self):
+        m = Module()
+        f = m.add_function(Function("f"))
+        blk = f.add_block("entry")
+        blk.append(make_jmp("old"))
+        assert blk.retarget("old", "new") == 1
+        assert blk.successors() == ["new"]
+
+    def test_body_excludes_terminator(self):
+        m = Module()
+        f = m.add_function(Function("f"))
+        blk = f.add_block("entry")
+        blk.append(Operation(Opcode.NOP))
+        blk.append(make_ret())
+        assert len(blk.body) == 1
+        assert len(blk.ops) == 2
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        f = Function("f")
+        f.add_block("a")
+        f.add_block("b")
+        assert f.entry.name == "a"
+
+    def test_duplicate_block_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        with pytest.raises(IRError):
+            f.add_block("a")
+
+    def test_fresh_vreg_unique(self):
+        f = Function("f")
+        regs = {f.fresh_vreg(RegClass.INT) for _ in range(100)}
+        assert len(regs) == 100
+
+    def test_predecessors(self, diamond_module):
+        f = diamond_module.function("absdiff")
+        preds = f.predecessors()
+        assert sorted(preds["join"]) == ["ge", "lt"]
+        assert preds["entry"] == []
+
+    def test_predecessor_unknown_target_raises(self):
+        m = Module()
+        f = m.add_function(Function("f"))
+        f.add_block("entry").append(make_jmp("nowhere"))
+        with pytest.raises(IRError):
+            f.predecessors()
+
+
+class TestBuilder:
+    def test_fresh_dests_created(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        t = b.add(b.param("a"), 1)
+        assert t.cls is RegClass.INT
+        b.ret(t)
+        verify_module(b.module)
+
+    def test_int_literal_coerced_to_float_imm(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.FLT)
+        b.block("entry")
+        t = b.fadd(1, 2)       # plain ints in float slots
+        b.ret(t)
+        verify_module(b.module)
+
+    def test_param_lookup_fails_for_unknown(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)])
+        with pytest.raises(IRError):
+            b.param("zz")
+
+    def test_call_infers_signature_from_module(self):
+        b = IRBuilder()
+        b.function("callee", [("x", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.add(b.param("x"), 1))
+        b.function("caller", [], ret_class=RegClass.INT)
+        b.block("entry")
+        r = b.call("callee", [41])
+        assert r is not None and r.cls is RegClass.INT
+        b.ret(r)
+        verify_module(b.module)
+
+    def test_ret_value_in_void_function_rejected(self):
+        b = IRBuilder()
+        b.function("f", [])
+        b.block("entry")
+        with pytest.raises(IRError):
+            b.ret(3)
+
+    def test_wrong_operand_count_rejected(self):
+        b = IRBuilder()
+        b.function("f", [])
+        b.block("entry")
+        with pytest.raises(IRError):
+            b.emit(Opcode.ADD, [1])

@@ -1,0 +1,251 @@
+"""Unit tests for the reference interpreter and the memory image."""
+
+import math
+
+import pytest
+
+from repro.errors import InterpError, TrapError
+from repro.ir import (FUNNY_INT, IRBuilder, Interpreter, MemoryImage, Module,
+                      Opcode, RegClass, VReg, run_module, verify_module)
+from repro.ir.interp import DATA_BASE
+
+
+def _expr_func(build_body):
+    """Helper: single-block function returning build_body(builder)."""
+    b = IRBuilder()
+    b.function("f", [("a", RegClass.INT), ("b", RegClass.INT)],
+               ret_class=RegClass.INT)
+    b.block("entry")
+    b.ret(build_body(b))
+    verify_module(b.module)
+    return b.module
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 2, 3, 5),
+        ("sub", 2, 3, -1),
+        ("mul", -4, 6, -24),
+        ("div", 7, 2, 3),
+        ("div", -7, 2, -3),       # truncation toward zero
+        ("rem", 7, 2, 1),
+        ("rem", -7, 2, -1),       # sign follows dividend (C semantics)
+        ("and_", 0b1100, 0b1010, 0b1000),
+        ("or_", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 1, 4, 16),
+        ("shr", -16, 2, -4),      # arithmetic
+        ("shru", -1, 28, 15),     # logical
+    ])
+    def test_binary(self, op, a, b, expected):
+        m = _expr_func(lambda bld: getattr(bld, op)(
+            bld.param("a"), bld.param("b")))
+        assert run_module(m, "f", [a, b]).value == expected
+
+    def test_add_wraps_32(self):
+        m = _expr_func(lambda bld: bld.add(bld.param("a"), bld.param("b")))
+        assert run_module(m, "f", [0x7FFFFFFF, 1]).value == -(1 << 31)
+
+    def test_div_by_zero_traps(self):
+        m = _expr_func(lambda bld: bld.div(bld.param("a"), bld.param("b")))
+        with pytest.raises(TrapError):
+            run_module(m, "f", [5, 0])
+
+    def test_select(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT), ("b", RegClass.INT)],
+                   ret_class=RegClass.INT)
+        b.block("entry")
+        p = b.cmplt(b.param("a"), b.param("b"))
+        b.ret(b.select(p, 111, 222))
+        assert run_module(b.module, "f", [1, 2]).value == 111
+        assert run_module(b.module, "f", [2, 1]).value == 222
+
+    def test_extract_merge(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT), ("b", RegClass.INT)],
+                   ret_class=RegClass.INT)
+        b.block("entry")
+        e = b.emit(Opcode.EXTRACT, [b.param("a"), 8, 8]).dest
+        r = b.emit(Opcode.MERGE, [b.param("b"), e, 0, 8]).dest
+        b.ret(r)
+        # extract byte 1 of a, merge into low byte of b
+        assert run_module(b.module, "f", [0x00AB00, 0xFFFF00]).value == 0xFFFFAB
+
+
+class TestFloat:
+    def test_fdiv_precise_traps_on_zero(self):
+        b = IRBuilder()
+        b.function("f", [("x", RegClass.FLT)], ret_class=RegClass.FLT)
+        b.block("entry")
+        b.ret(b.fdiv(1.0, b.param("x")))
+        with pytest.raises(TrapError):
+            run_module(b.module, "f", [0.0])
+
+    def test_fdiv_fast_mode_propagates_inf(self):
+        b = IRBuilder()
+        b.function("f", [("x", RegClass.FLT)], ret_class=RegClass.FLT)
+        b.block("entry")
+        b.ret(b.fdiv(1.0, b.param("x")))
+        value = run_module(b.module, "f", [0.0], fp_mode="fast").value
+        assert math.isinf(value) and value > 0
+
+    def test_fast_mode_zero_over_zero_is_nan(self):
+        b = IRBuilder()
+        b.function("f", [("x", RegClass.FLT)], ret_class=RegClass.FLT)
+        b.block("entry")
+        b.ret(b.fdiv(0.0, b.param("x")))
+        assert math.isnan(run_module(b.module, "f", [0.0],
+                                     fp_mode="fast").value)
+
+    def test_cvtfi_trunc_and_trap(self):
+        b = IRBuilder()
+        b.function("f", [("x", RegClass.FLT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.cvtfi(b.param("x")))
+        assert run_module(b.module, "f", [3.9]).value == 3
+        assert run_module(b.module, "f", [-3.9]).value == -3
+        with pytest.raises(TrapError):
+            run_module(b.module, "f", [float("nan")])
+        # fast mode: a funny number instead of a trap
+        assert run_module(b.module, "f", [float("nan")],
+                          fp_mode="fast").value == FUNNY_INT
+
+    def test_cvtif(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.FLT)
+        b.block("entry")
+        b.ret(b.cvtif(b.param("a")))
+        assert run_module(b.module, "f", [-7]).value == -7.0
+
+
+class TestMemory:
+    def test_layout_respects_alignment(self):
+        m = Module()
+        m.add_array("A", 3, 4)          # 12 bytes
+        m.add_array("B", 2, 8)          # needs 8-alignment
+        img = MemoryImage(m)
+        assert img.layout["A"] % 4 == 0
+        assert img.layout["B"] % 8 == 0
+        assert img.layout["B"] >= img.layout["A"] + 12
+
+    def test_init_values_visible(self):
+        m = Module()
+        m.add_array("A", 4, 4, init=[10, 20, 30, 40])
+        img = MemoryImage(m)
+        assert img.read_array("A", 4) == [10, 20, 30, 40]
+
+    def test_float_roundtrip(self):
+        img = MemoryImage()
+        img.store_float(img.scratch_base, 2.5)
+        assert img.load_float(img.scratch_base) == 2.5
+
+    def test_unaligned_access_traps(self):
+        img = MemoryImage()
+        with pytest.raises(TrapError):
+            img.load_int(DATA_BASE + 1)
+
+    def test_null_page_traps(self):
+        img = MemoryImage()
+        with pytest.raises(TrapError):
+            img.load_int(0)
+
+    def test_load_store_program(self):
+        m = Module()
+        m.add_array("A", 2, 4, init=[5, 7])
+        b = IRBuilder(m)
+        b.function("swap", [], ret_class=RegClass.INT)
+        b.block("entry")
+        base = b.addr("A")
+        x = b.load(base, 0)
+        y = b.load(base, 4)
+        b.store(y, base, 0)
+        b.store(x, base, 4)
+        b.ret(b.sub(x, y))
+        res = run_module(m, "swap")
+        assert res.value == -2
+        assert res.memory.read_array("A", 2) == [7, 5]
+
+    def test_speculative_load_funny_number(self):
+        b = IRBuilder()
+        b.function("f", [("addr", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        v = b.emit(Opcode.LOADS, [b.param("addr"), 0]).dest
+        b.ret(v)
+        # invalid address: no trap, funny number instead
+        assert run_module(b.module, "f", [0]).value == FUNNY_INT
+
+    def test_normal_load_bad_address_traps(self):
+        b = IRBuilder()
+        b.function("f", [("addr", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.load(b.param("addr"), 0))
+        with pytest.raises(TrapError):
+            run_module(b.module, "f", [0])
+
+
+class TestControlAndCalls:
+    def test_loop_and_profile(self, sum_array_module):
+        res = run_module(sum_array_module, "sumA", [8])
+        assert res.value == 28.0
+        prob = res.profile.edge_probability("sumA", "head", "body")
+        assert prob == pytest.approx(8 / 9)
+
+    def test_diamond_both_paths(self, diamond_module):
+        assert run_module(diamond_module, "absdiff", [10, 3]).value == 7
+        assert run_module(diamond_module, "absdiff", [3, 10]).value == 7
+
+    def test_call_and_return(self):
+        b = IRBuilder()
+        b.function("sq", [("x", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.mul(b.param("x"), b.param("x")))
+        b.function("f", [("a", RegClass.INT), ("b", RegClass.INT)],
+                   ret_class=RegClass.INT)
+        b.block("entry")
+        s1 = b.call("sq", [b.param("a")])
+        s2 = b.call("sq", [b.param("b")])
+        b.ret(b.add(s1, s2))
+        verify_module(b.module)
+        res = run_module(b.module, "f", [3, 4])
+        assert res.value == 25
+        assert res.stats.calls == 2
+
+    def test_recursion(self):
+        b = IRBuilder()
+        b.function("fact", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        p = b.cmple(b.param("n"), 1)
+        b.br(p, "base", "rec")
+        b.block("base")
+        b.ret(1)
+        b.block("rec")
+        r = b.call("fact", [b.sub(b.param("n"), 1)])
+        b.ret(b.mul(b.param("n"), r))
+        assert run_module(b.module, "fact", [6]).value == 720
+
+    def test_fuel_limit(self):
+        b = IRBuilder()
+        b.function("spin", [])
+        b.block("entry")
+        b.jmp("entry")
+        interp = Interpreter(b.module, fuel=1000)
+        with pytest.raises(InterpError):
+            interp.run("spin")
+
+    def test_use_of_undefined_register(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(VReg("ghost", RegClass.INT))
+        with pytest.raises(InterpError):
+            run_module(b.module, "f")
+
+    def test_string_arg_resolves_symbol(self):
+        m = Module()
+        m.add_array("A", 1, 4, init=[42])
+        b = IRBuilder(m)
+        b.function("deref", [("p", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.load(b.param("p"), 0))
+        assert run_module(m, "deref", ["A"]).value == 42

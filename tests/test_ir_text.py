@@ -1,0 +1,99 @@
+"""Tests for the textual IR printer/parser, including round-trip properties."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import (MemRef, Opcode, format_module, format_operation,
+                      parse_module, parse_operation, run_module,
+                      verify_module)
+from repro.ir.parser import parse_memref
+from repro.ir.printer import format_memref
+
+from .conftest import build_diamond, build_sum_array
+
+
+class TestOperationText:
+    def test_simple_roundtrip(self):
+        op = parse_operation("%x:i = add %a:i, 4")
+        assert op.opcode is Opcode.ADD
+        assert format_operation(op) == "%x:i = add %a:i, 4"
+
+    def test_branch_roundtrip(self):
+        op = parse_operation("br %p:p, @then, @else")
+        assert op.labels[0].name == "then"
+        assert format_operation(op) == "br %p:p, @then, @else"
+
+    def test_call_roundtrip(self):
+        op = parse_operation("%r:i = call $foo, %a:i, 3")
+        assert op.callee == "foo"
+        assert format_operation(op) == "%r:i = call $foo, %a:i, 3"
+
+    def test_float_immediate(self):
+        op = parse_operation("%x:f = fadd %y:f, 2.5")
+        assert op.srcs[1].value == 2.5
+
+    def test_int_literal_in_float_slot_coerced(self):
+        op = parse_operation("%x:f = fmul %y:f, 2.5")
+        assert isinstance(op.srcs[1].value, float)
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(ParseError):
+            parse_operation("frobnicate %a:i")
+
+    def test_bad_register_raises(self):
+        with pytest.raises(ParseError):
+            parse_operation("%x = add %a:i, 1")
+
+
+class TestMemRefText:
+    def test_roundtrip_known_base(self):
+        ref = MemRef.make("A", {"i": 8, "j": -4}, const=16, size=8)
+        assert parse_memref(format_memref(ref)[5:-1]) == ref
+
+    def test_roundtrip_unknown_base(self):
+        ref = MemRef.make(None, {"i": 4})
+        assert parse_memref(format_memref(ref)[5:-1]) == ref
+
+    def test_roundtrip_unknown_mod(self):
+        ref = MemRef.make("arg", {"i": 4}, base_unknown_mod=True)
+        parsed = parse_memref(format_memref(ref)[5:-1])
+        assert parsed.base_unknown_mod
+        assert parsed == ref
+
+    def test_operation_carries_memref(self):
+        op = parse_operation("%x:f = fload %p:i, 0 !mem(A,8,16,i=8)")
+        assert op.memref is not None
+        assert op.memref.base == "A"
+        assert op.memref.coeff_dict() == {"i": 8}
+        assert op.memref.const == 16
+
+
+class TestModuleText:
+    @pytest.mark.parametrize("factory", [build_sum_array, build_diamond])
+    def test_module_roundtrip_stable(self, factory):
+        module = factory()
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+    def test_roundtrip_preserves_semantics(self):
+        module = build_sum_array()
+        reparsed = parse_module(format_module(module))
+        assert run_module(reparsed, "sumA", [5]).value == \
+            run_module(module, "sumA", [5]).value
+
+    def test_data_init_roundtrip(self):
+        module = build_sum_array()
+        reparsed = parse_module(format_module(module))
+        obj = reparsed.data["A"]
+        assert obj.size == module.data["A"].size
+        assert obj.init == module.data["A"].init
+
+    def test_missing_module_header(self):
+        with pytest.raises(ParseError):
+            parse_module("func f() {\nentry:\n  ret\n}\n")
+
+    def test_op_outside_block(self):
+        with pytest.raises(ParseError):
+            parse_module("module m\n\nfunc f() {\n  ret\n}\n")

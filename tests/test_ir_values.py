@@ -1,0 +1,70 @@
+"""Unit tests for IR value kinds and 32-bit wrapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import Imm, Label, RegClass, Symbol, VReg, wrap32
+from repro.ir.values import INT32_MAX, INT32_MIN
+
+
+class TestVReg:
+    def test_equality_by_name_and_class(self):
+        assert VReg("x", RegClass.INT) == VReg("x", RegClass.INT)
+        assert VReg("x", RegClass.INT) != VReg("x", RegClass.FLT)
+        assert VReg("x", RegClass.INT) != VReg("y", RegClass.INT)
+
+    def test_hashable(self):
+        regs = {VReg("a", RegClass.INT), VReg("a", RegClass.INT)}
+        assert len(regs) == 1
+
+    def test_str(self):
+        assert str(VReg("t.3", RegClass.FLT)) == "%t.3:f"
+
+
+class TestImm:
+    def test_float_class_coerces_value(self):
+        imm = Imm(3, RegClass.FLT)
+        assert imm.value == 3.0
+        assert isinstance(imm.value, float)
+
+    def test_int_default_class(self):
+        assert Imm(7).cls is RegClass.INT
+
+
+class TestLabelSymbol:
+    def test_str(self):
+        assert str(Label("loop")) == "@loop"
+        assert str(Symbol("A")) == "$A"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Label("x").name = "y"  # type: ignore[misc]
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(0) == 0
+        assert wrap32(INT32_MAX) == INT32_MAX
+        assert wrap32(INT32_MIN) == INT32_MIN
+
+    def test_overflow_wraps(self):
+        assert wrap32(INT32_MAX + 1) == INT32_MIN
+        assert wrap32(INT32_MIN - 1) == INT32_MAX
+        assert wrap32(1 << 32) == 0
+
+    def test_unsigned_constant(self):
+        assert wrap32(0xFFFFFFFF) == -1
+
+    @given(st.integers(min_value=-(1 << 70), max_value=1 << 70))
+    def test_always_in_range(self, x):
+        w = wrap32(x)
+        assert INT32_MIN <= w <= INT32_MAX
+
+    @given(st.integers(), st.integers())
+    def test_additive_homomorphism(self, a, b):
+        assert wrap32(wrap32(a) + wrap32(b)) == wrap32(a + b)
+
+    @given(st.integers(), st.integers())
+    def test_multiplicative_homomorphism(self, a, b):
+        assert wrap32(wrap32(a) * wrap32(b)) == wrap32(a * b)

@@ -1,0 +1,110 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (Function, IRBuilder, Imm, Module, Opcode, Operation,
+                      RegClass, VReg, make_br, make_jmp, make_ret,
+                      verify_function, verify_module, verify_operation)
+
+
+def test_unterminated_block_rejected():
+    m = Module()
+    f = m.add_function(Function("f"))
+    f.add_block("entry").append(Operation(Opcode.NOP))
+    with pytest.raises(IRError, match="not terminated"):
+        verify_function(f, m)
+
+
+def test_wrong_operand_class_rejected():
+    op = Operation(Opcode.ADD, VReg("x", RegClass.INT),
+                   [VReg("a", RegClass.FLT), Imm(1)])
+    with pytest.raises(IRError, match="wants INT"):
+        verify_operation(op, "t")
+
+
+def test_wrong_dest_class_rejected():
+    op = Operation(Opcode.FADD, VReg("x", RegClass.INT),
+                   [Imm(1.0, RegClass.FLT), Imm(2.0, RegClass.FLT)])
+    with pytest.raises(IRError, match="dest"):
+        verify_operation(op, "t")
+
+
+def test_store_with_dest_rejected():
+    op = Operation(Opcode.STORE, VReg("x", RegClass.INT),
+                   [Imm(1), Imm(0x1000), Imm(0)])
+    with pytest.raises(IRError, match="cannot define"):
+        verify_operation(op, "t")
+
+
+def test_branch_label_count():
+    op = Operation(Opcode.BR, None, [VReg("p", RegClass.PRED)])
+    with pytest.raises(IRError, match="labels"):
+        verify_operation(op, "t")
+
+
+def test_terminator_mid_block_rejected():
+    m = Module()
+    f = m.add_function(Function("f"))
+    blk = f.add_block("entry")
+    blk.ops.append(make_ret())          # bypass append() guard
+    blk.ops.append(Operation(Opcode.NOP))
+    blk.ops.append(make_ret())
+    with pytest.raises(IRError, match="mid-block"):
+        verify_function(f, m)
+
+
+def test_unknown_branch_target_rejected():
+    m = Module()
+    f = m.add_function(Function("f"))
+    f.add_block("entry").append(make_jmp("ghost"))
+    with pytest.raises(IRError):
+        verify_function(f, m)
+
+
+def test_unknown_symbol_rejected():
+    b = IRBuilder()
+    b.function("f", [], ret_class=RegClass.INT)
+    b.block("entry")
+    b.ret(b.addr("nothere"))
+    with pytest.raises(IRError, match="unknown symbol"):
+        verify_module(b.module)
+
+
+def test_call_arg_count_checked():
+    b = IRBuilder()
+    b.function("callee", [("x", RegClass.INT)], ret_class=RegClass.INT)
+    b.block("entry")
+    b.ret(b.param("x"))
+    b.function("caller", [])
+    b.block("entry")
+    # hand-build a bad call with zero args
+    from repro.ir import make_call
+    b.cur.append(make_call(None, "callee", []))
+    b.ret()
+    with pytest.raises(IRError, match="wants 1 args"):
+        verify_module(b.module)
+
+
+def test_call_unknown_callee_rejected():
+    b = IRBuilder()
+    b.function("caller", [])
+    b.block("entry")
+    from repro.ir import make_call
+    b.cur.append(make_call(None, "ghost", []))
+    b.ret()
+    with pytest.raises(IRError, match="unknown"):
+        verify_module(b.module)
+
+
+def test_ret_without_value_in_valued_function():
+    m = Module()
+    f = m.add_function(Function("f", [], RegClass.INT))
+    f.add_block("entry").append(make_ret())
+    with pytest.raises(IRError, match="without value"):
+        verify_module(m)
+
+
+def test_good_modules_pass(sum_array_module, diamond_module):
+    verify_module(sum_array_module)
+    verify_module(diamond_module)

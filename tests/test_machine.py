@@ -1,0 +1,285 @@
+"""Tests for the machine model: configs, resources, schedule containers,
+and the Figure-3 encoding with mask-word packing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError, ScheduleError
+from repro.ir import Imm, Opcode, Operation, RegClass, Symbol
+from repro.machine import (BLOCK_INSTRUCTIONS, BranchTest, CompiledFunction,
+                           LongInstruction, MachineConfig, ReservationTable,
+                           ScheduledOp, TRACE_7_200, TRACE_14_200,
+                           TRACE_28_200, Unit, decode_op_word,
+                           encode_instruction, encode_op_word, is_phys,
+                           latency_of, needs_imm_word, pack_program,
+                           phys_index, phys_reg, units_for, unpack_program)
+
+
+class TestConfig:
+    def test_paper_peak_numbers_full_machine(self):
+        cfg = TRACE_28_200
+        # paper section 6.3: 1024-bit instruction, 28 ops, 215 VLIW MIPS,
+        # 60 MFLOPS
+        assert cfg.instruction_bits == 1024
+        assert cfg.ops_per_instruction == 28
+        assert cfg.peak_vliw_mips() == pytest.approx(215, rel=0.01)
+        assert cfg.peak_mflops() == pytest.approx(61.5, rel=0.03)
+
+    def test_paper_memory_bandwidth(self):
+        # section 6.4.1: four 64-bit refs per beat -> 492 MB/s
+        assert TRACE_28_200.peak_memory_bandwidth_mb_s() == \
+            pytest.approx(492, rel=0.01)
+
+    def test_width_family(self):
+        assert TRACE_7_200.instruction_bits == 256
+        assert TRACE_14_200.instruction_bits == 512
+        assert TRACE_7_200.ops_per_instruction == 7
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(MachineError):
+            MachineConfig(n_pairs=3)
+        with pytest.raises(MachineError):
+            MachineConfig(n_controllers=9)
+        with pytest.raises(MachineError):
+            MachineConfig(banks_per_controller=0)
+
+    def test_register_pools_scale(self):
+        assert TRACE_28_200.int_regs == 256
+        assert TRACE_7_200.int_regs == 64
+
+
+class TestResources:
+    def test_float_ops_only_on_f_units(self):
+        fadd = Operation(Opcode.FADD, phys_reg(RegClass.FLT, 1),
+                         [phys_reg(RegClass.FLT, 2), phys_reg(RegClass.FLT, 3)])
+        assert units_for(fadd) == (Unit.FALU,)
+        fmul = Operation(Opcode.FMUL, phys_reg(RegClass.FLT, 1),
+                         [phys_reg(RegClass.FLT, 2), phys_reg(RegClass.FLT, 3)])
+        assert units_for(fmul) == (Unit.FMUL,)
+
+    def test_int_ops_can_use_f_board_alus(self):
+        mov = Operation(Opcode.MOV, phys_reg(RegClass.INT, 1),
+                        [phys_reg(RegClass.INT, 2)])
+        assert Unit.FALU in units_for(mov)
+        assert Unit.IALU0_E in units_for(mov)
+
+    def test_paper_latencies(self):
+        cfg = MachineConfig()
+        mk = lambda opc: Operation(opc, phys_reg(RegClass.FLT, 1),
+                                   [phys_reg(RegClass.FLT, 2),
+                                    phys_reg(RegClass.FLT, 3)])
+        assert latency_of(mk(Opcode.FADD), cfg) == 6
+        assert latency_of(mk(Opcode.FMUL), cfg) == 7
+        assert latency_of(mk(Opcode.FDIV), cfg) == 25
+        load = Operation(Opcode.LOAD, phys_reg(RegClass.INT, 1),
+                         [phys_reg(RegClass.INT, 2), Imm(0)])
+        assert latency_of(load, cfg) == 7
+
+    def test_unit_beat_offsets(self):
+        assert Unit.IALU0_E.beat_offset == 0
+        assert Unit.IALU0_L.beat_offset == 1
+        assert Unit.FALU.beat_offset == 0
+
+    def test_reservation_unit_exclusive(self):
+        table = ReservationTable(MachineConfig())
+        table.take_unit(0, 0, Unit.IALU0_E)
+        assert not table.unit_free(0, 0, Unit.IALU0_E)
+        assert table.unit_free(0, 0, Unit.IALU1_E)
+        assert table.unit_free(1, 0, Unit.IALU0_E)
+        with pytest.raises(ScheduleError):
+            table.take_unit(0, 0, Unit.IALU0_E)
+
+    def test_bus_capacity(self):
+        cfg = MachineConfig(n_pairs=2)
+        table = ReservationTable(cfg)
+        table.take_bus("iload", 10)
+        table.take_bus("iload", 10)
+        assert not table.bus_free("iload", 10)
+        assert table.bus_free("iload", 11)
+        with pytest.raises(ScheduleError):
+            table.take_bus("iload", 10)
+
+    def test_multibeat_bus_hold(self):
+        cfg = MachineConfig(n_pairs=1)
+        table = ReservationTable(cfg)
+        table.take_bus("fload", 5, beats=2)
+        assert not table.bus_free("fload", 5)
+        assert not table.bus_free("fload", 6)
+        assert table.bus_free("fload", 7)
+
+    def test_imm_word_sharing_same_value(self):
+        table = ReservationTable(MachineConfig())
+        table.take_imm(0, 0, 0, 1000)
+        assert table.imm_free(0, 0, 0, 1000)     # same value shares
+        assert not table.imm_free(0, 0, 0, 2000)
+        assert table.imm_free(0, 0, 1, 2000)     # other beat free
+
+    def test_mem_issue_per_board_per_beat(self):
+        table = ReservationTable(MachineConfig())
+        table.take_mem_issue(0, 0, 0)
+        assert not table.mem_issue_free(0, 0, 0)
+        assert table.mem_issue_free(0, 0, 1)
+        assert table.mem_issue_free(0, 1, 0)
+
+    def test_branch_slot_per_pair(self):
+        table = ReservationTable(MachineConfig())
+        table.take_branch(3, 0)
+        assert not table.branch_free(3, 0)
+        assert table.branch_free(3, 1)
+        assert table.branches_in(3) == 1
+
+    def test_needs_imm_word(self):
+        small = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                          [phys_reg(RegClass.INT, 2), Imm(5)])
+        assert not needs_imm_word(small)
+        big = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                        [phys_reg(RegClass.INT, 2), Imm(5000)])
+        assert needs_imm_word(big)
+        sym = Operation(Opcode.MOV, phys_reg(RegClass.INT, 1), [Symbol("A")])
+        assert needs_imm_word(sym)
+        flt = Operation(Opcode.FMOV, phys_reg(RegClass.FLT, 1),
+                        [Imm(1.0, RegClass.FLT)])
+        assert needs_imm_word(flt)
+
+
+class TestPhysRegs:
+    def test_roundtrip(self):
+        for cls in RegClass:
+            reg = phys_reg(cls, 7)
+            assert is_phys(reg)
+            assert phys_index(reg) == 7
+
+    def test_non_phys_detected(self):
+        from repro.ir import VReg
+        assert not is_phys(VReg("t.3", RegClass.INT))
+
+
+def _sched(op, pair=0, unit=Unit.IALU0_E) -> ScheduledOp:
+    return ScheduledOp(op, pair, unit)
+
+
+class TestEncoding:
+    def test_op_word_roundtrip(self):
+        op = Operation(Opcode.ADD, phys_reg(RegClass.INT, 5),
+                       [phys_reg(RegClass.INT, 6), phys_reg(RegClass.INT, 7)])
+        decoded = decode_op_word(encode_op_word(_sched(op)))
+        assert decoded.opcode is Opcode.ADD
+        assert decoded.dest_index == 5
+        assert decoded.dest_bank is RegClass.INT
+        assert decoded.src1_index == 6
+        assert decoded.src2_index == 7
+        assert not decoded.imm_flag
+
+    def test_small_immediate_inline(self):
+        op = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                       [phys_reg(RegClass.INT, 2), Imm(-3)])
+        decoded = decode_op_word(encode_op_word(_sched(op)))
+        assert decoded.imm_flag
+        assert decoded.src2_index - 32 == -3
+
+    def test_empty_slot_decodes_none(self):
+        assert decode_op_word(0) is None
+
+    def test_instruction_word_count_by_config(self):
+        li = LongInstruction()
+        assert len(encode_instruction(li, TRACE_7_200)) == 8
+        assert len(encode_instruction(li, TRACE_14_200)) == 16
+        assert len(encode_instruction(li, TRACE_28_200)) == 32
+
+    def test_unit_slice_positions(self):
+        op = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                       [phys_reg(RegClass.INT, 2), phys_reg(RegClass.INT, 3)])
+        li = LongInstruction(ops=[ScheduledOp(op, 1, Unit.IALU1_L)])
+        words = encode_instruction(li, TRACE_28_200)
+        # pair 1, unit IALU1_L -> word index 8 + 6
+        assert words[14] != 0
+        assert sum(1 for w in words if w) == 1
+
+    def test_wide_immediate_occupies_imm_word(self):
+        op = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                       [phys_reg(RegClass.INT, 2), Imm(100000)])
+        li = LongInstruction(ops=[ScheduledOp(op, 0, Unit.IALU0_E)])
+        words = encode_instruction(li, TRACE_7_200)
+        assert words[1] == 100000     # early immediate word
+
+    def test_branch_test_encoded(self):
+        li = LongInstruction(
+            branches=[BranchTest(phys_reg(RegClass.PRED, 2), "target", 0)])
+        words = encode_instruction(li, TRACE_7_200)
+        decoded_field = words[0] & 0xF
+        assert decoded_field == 3     # element index + 1
+
+
+class TestMaskPacking:
+    def _encode_simple(self, n_instructions, config, fill=1):
+        instrs = []
+        for i in range(n_instructions):
+            ops = []
+            for k in range(fill):
+                op = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                               [phys_reg(RegClass.INT, 2),
+                                phys_reg(RegClass.INT, 3)])
+                ops.append(ScheduledOp(op, k % config.n_pairs,
+                                       Unit.IALU0_E if k < config.n_pairs
+                                       else Unit.IALU1_E))
+            instrs.append(LongInstruction(ops=ops))
+        return [encode_instruction(li, config) for li in instrs]
+
+    def test_pack_unpack_roundtrip(self):
+        cfg = TRACE_28_200
+        words = self._encode_simple(10, cfg, fill=3)
+        packed = pack_program(words, cfg)
+        assert unpack_program(packed) == words
+
+    def test_noops_cost_nothing(self):
+        cfg = TRACE_28_200
+        words = self._encode_simple(8, cfg, fill=1)
+        packed = pack_program(words, cfg)
+        # 2 blocks of masks + 8 field words (one op per instruction)
+        assert packed.mask_words == 8
+        assert packed.field_words == 8
+        assert packed.packed_bytes < packed.unpacked_bytes / 5
+
+    def test_full_instructions_pack_dense(self):
+        cfg = TRACE_7_200
+        words = self._encode_simple(4, cfg, fill=1)
+        packed = pack_program(words, cfg)
+        assert packed.packed_bytes == 4 * (4 + 4)   # 4 masks + 4 fields
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 25),
+           pairs=st.sampled_from([1, 2, 4]),
+           seed=st.integers(0, 2 ** 16))
+    def test_property_roundtrip_random_sparsity(self, n, pairs, seed):
+        import random
+        rng = random.Random(seed)
+        cfg = MachineConfig(n_pairs=pairs)
+        words = []
+        wpi = 8 * pairs
+        for _ in range(n):
+            words.append([rng.randint(1, 2 ** 32 - 1)
+                          if rng.random() < 0.3 else 0
+                          for _ in range(wpi)])
+        packed = pack_program(words, cfg)
+        assert unpack_program(packed) == words
+        nonzero = sum(1 for iw in words for w in iw if w)
+        assert packed.field_words == nonzero
+
+
+class TestCompiledContainers:
+    def test_label_resolution(self):
+        cf = CompiledFunction("f", MachineConfig(), [LongInstruction()],
+                              {"entry": 0})
+        assert cf.resolve("entry") == 0
+        with pytest.raises(MachineError):
+            cf.resolve("ghost")
+
+    def test_fill_ratio(self):
+        cfg = TRACE_7_200
+        op = Operation(Opcode.ADD, phys_reg(RegClass.INT, 1),
+                       [phys_reg(RegClass.INT, 2), phys_reg(RegClass.INT, 3)])
+        li = LongInstruction(ops=[_sched(op)])
+        cf = CompiledFunction("f", cfg, [li, LongInstruction()], {"e": 0})
+        assert cf.op_count() == 1
+        assert cf.fill_ratio() == pytest.approx(1 / 14)

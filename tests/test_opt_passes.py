@@ -1,0 +1,450 @@
+"""Unit tests for the classical optimization passes."""
+
+import pytest
+
+from repro.analysis import find_loops
+from repro.ir import (IRBuilder, Imm, MemRef, Module, Opcode, RegClass,
+                      Symbol, VReg, run_module, verify_module)
+from repro.opt import (ConstantFold, CopyPropagation, DeadCodeElimination,
+                       Inliner, InductionVariableSimplify, LocalCSE,
+                       LoopInvariantCodeMotion, PassManager)
+
+from .conftest import build_sum_array
+
+
+def _ops(module, fname="f"):
+    return list(module.function(fname).operations())
+
+
+class TestConstantFold:
+    def _fold(self, module):
+        changed = ConstantFold().run(module.function("f"), module)
+        verify_module(module)
+        return changed
+
+    def test_folds_int_arith(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.add(2, 3))
+        assert self._fold(b.module)
+        assert run_module(b.module, "f").value == 5
+        movs = [op for op in _ops(b.module) if op.opcode is Opcode.MOV]
+        assert movs and movs[0].srcs[0] == Imm(5)
+
+    def test_folds_compare_to_pred_imm(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        p = b.cmplt(1, 2)
+        b.ret(b.select(p, 10, 20))
+        self._fold(b.module)
+        assert run_module(b.module, "f").value == 10
+
+    def test_identity_add_zero(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.add(b.param("a"), 0))
+        assert self._fold(b.module)
+        assert any(op.opcode is Opcode.MOV for op in _ops(b.module))
+
+    def test_mul_by_zero(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.mul(b.param("a"), 0))
+        self._fold(b.module)
+        assert run_module(b.module, "f", [123]).value == 0
+
+    def test_never_folds_div_by_zero(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.div(1, 0))
+        changed = self._fold(b.module)
+        # the op must survive so the trap still happens at runtime
+        assert any(op.opcode is Opcode.DIV for op in _ops(b.module))
+
+    def test_never_folds_fdiv(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.FLT)
+        b.block("entry")
+        b.ret(b.fdiv(1.0, 0.0))
+        self._fold(b.module)
+        assert any(op.opcode is Opcode.FDIV for op in _ops(b.module))
+
+    def test_constant_branch_becomes_jump(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.br(Imm(1, RegClass.PRED), "yes", "no")
+        b.block("yes")
+        b.ret(1)
+        b.block("no")
+        b.ret(0)
+        assert self._fold(b.module)
+        func = b.module.function("f")
+        assert func.block("entry").terminator.opcode is Opcode.JMP
+        assert "no" not in func.blocks  # unreachable removed
+        assert run_module(b.module, "f").value == 1
+
+    def test_folding_wraps_32bit(self):
+        b = IRBuilder()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.add(0x7FFFFFFF, 1))
+        self._fold(b.module)
+        assert run_module(b.module, "f").value == -(1 << 31)
+
+
+class TestCopyPropagation:
+    def test_local_chain(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        t1 = b.mov(b.param("a"))
+        t2 = b.mov(t1)
+        b.ret(b.add(t2, 1))
+        assert CopyPropagation().run(b.module.function("f"), b.module)
+        add = [op for op in _ops(b.module) if op.opcode is Opcode.ADD][0]
+        assert add.srcs[0] == b.param("a")
+
+    def test_kill_on_redefinition(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        x = VReg("x", RegClass.INT)
+        b.block("entry")
+        b.mov(b.param("a"), dest=x)
+        y = b.mov(x)
+        b.add(b.param("a"), 100, dest=x)   # x redefined: y != x now
+        b.ret(b.add(y, x))
+        CopyPropagation().run(b.module.function("f"), b.module)
+        verify_module(b.module)
+        assert run_module(b.module, "f", [1]).value == 1 + 101
+
+    def test_global_constant_propagates_across_blocks(self):
+        b = IRBuilder()
+        b.function("f", [("p", RegClass.PRED)], ret_class=RegClass.INT)
+        b.block("entry")
+        c = b.mov(42)
+        b.br(b.param("p"), "a", "bb")
+        b.block("a")
+        b.ret(b.add(c, 1))
+        b.block("bb")
+        b.ret(b.add(c, 2))
+        CopyPropagation().run(b.module.function("f"), b.module)
+        adds = [op for op in _ops(b.module) if op.opcode is Opcode.ADD]
+        assert all(isinstance(op.srcs[0], Imm) for op in adds)
+
+    def test_symbol_copy_propagates(self):
+        m = Module()
+        m.add_array("A", 2, 4, init=[7, 8])
+        b = IRBuilder(m)
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        base = b.addr("A")
+        b.ret(b.load(base, 4))
+        CopyPropagation().run(m.function("f"), m)
+        load = [op for op in _ops(m) if op.is_load][0]
+        assert isinstance(load.srcs[0], Symbol)
+        assert run_module(m, "f").value == 8
+
+
+class TestLocalCSE:
+    def test_pure_duplicate_removed(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        x = b.add(b.param("a"), 3)
+        y = b.add(b.param("a"), 3)
+        b.ret(b.mul(x, y))
+        assert LocalCSE().run(b.module.function("f"), b.module)
+        adds = [op for op in _ops(b.module) if op.opcode is Opcode.ADD]
+        assert len(adds) == 1
+        assert run_module(b.module, "f", [2]).value == 25
+
+    def test_commutative_match(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT), ("b", RegClass.INT)],
+                   ret_class=RegClass.INT)
+        b.block("entry")
+        x = b.add(b.param("a"), b.param("b"))
+        y = b.add(b.param("b"), b.param("a"))
+        b.ret(b.sub(x, y))
+        assert LocalCSE().run(b.module.function("f"), b.module)
+        assert run_module(b.module, "f", [3, 9]).value == 0
+
+    def test_redefined_operand_blocks_reuse(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        x = VReg("x", RegClass.INT)
+        b.block("entry")
+        b.mov(b.param("a"), dest=x)
+        t1 = b.add(x, 1)
+        b.mov(100, dest=x)
+        t2 = b.add(x, 1)       # different x: must NOT be CSEd with t1
+        b.ret(b.sub(t2, t1))
+        LocalCSE().run(b.module.function("f"), b.module)
+        assert run_module(b.module, "f", [5]).value == 101 - 6
+
+    def test_load_reuse_without_store(self):
+        m = Module()
+        m.add_array("A", 1, 4, init=[9])
+        b = IRBuilder(m)
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        base = b.addr("A")
+        x = b.load(base, 0)
+        y = b.load(base, 0)
+        b.ret(b.add(x, y))
+        assert LocalCSE().run(m.function("f"), m)
+        loads = [op for op in _ops(m) if op.is_load]
+        assert len(loads) == 1
+        assert run_module(m, "f").value == 18
+
+    def test_store_invalidates_loads(self):
+        m = Module()
+        m.add_array("A", 1, 4, init=[9])
+        b = IRBuilder(m)
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        base = b.addr("A")
+        x = b.load(base, 0)
+        b.store(1, base, 0)
+        y = b.load(base, 0)       # must reload: the store changed memory
+        b.ret(b.add(x, y))
+        LocalCSE().run(m.function("f"), m)
+        loads = [op for op in _ops(m) if op.is_load]
+        assert len(loads) == 2
+        assert run_module(m, "f").value == 10
+
+    def test_redefined_result_not_reused(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        t = VReg("t", RegClass.INT)
+        b.block("entry")
+        b.add(b.param("a"), 3, dest=t)
+        b.mov(0, dest=t)                  # t clobbered
+        u = b.add(b.param("a"), 3)        # must not become mov t
+        b.ret(b.add(u, t))
+        LocalCSE().run(b.module.function("f"), b.module)
+        assert run_module(b.module, "f", [4]).value == 7
+
+
+class TestDCE:
+    def test_dead_chain_removed(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        t1 = b.add(b.param("a"), 1)
+        t2 = b.mul(t1, 2)          # t2 unused -> whole chain dead
+        b.ret(b.param("a"))
+        assert DeadCodeElimination().run(b.module.function("f"), b.module)
+        assert b.module.function("f").op_count() == 1  # just the ret
+
+    def test_stores_never_removed(self):
+        m = Module()
+        m.add_array("A", 1, 4)
+        b = IRBuilder(m)
+        b.function("f", [])
+        b.block("entry")
+        b.store(5, b.addr("A"), 0)
+        b.ret()
+        DeadCodeElimination().run(m.function("f"), m)
+        assert any(op.is_store for op in _ops(m))
+
+    def test_trapping_op_kept_by_default(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.div(1, b.param("a"))     # result unused but may trap
+        b.ret(b.param("a"))
+        DeadCodeElimination().run(b.module.function("f"), b.module)
+        assert any(op.opcode is Opcode.DIV for op in _ops(b.module))
+
+    def test_trapping_op_removed_when_allowed(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.div(1, b.param("a"))
+        b.ret(b.param("a"))
+        DeadCodeElimination(remove_trapping=True).run(
+            b.module.function("f"), b.module)
+        assert not any(op.opcode is Opcode.DIV for op in _ops(b.module))
+
+
+class TestLICM:
+    def _loop_with_invariant(self):
+        b = IRBuilder()
+        b.function("f", [("n", RegClass.INT), ("k", RegClass.INT)],
+                   ret_class=RegClass.INT)
+        i = VReg("i", RegClass.INT)
+        acc = VReg("acc", RegClass.INT)
+        b.block("entry")
+        b.mov(0, dest=i)
+        b.mov(0, dest=acc)
+        b.jmp("head")
+        b.block("head")
+        p = b.cmplt(i, b.param("n"))
+        b.br(p, "body", "exit")
+        b.block("body")
+        inv = b.mul(b.param("k"), 3)        # loop-invariant
+        b.add(acc, inv, dest=acc)
+        b.add(i, 1, dest=i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(acc)
+        return b.module
+
+    def test_invariant_hoisted(self):
+        m = self._loop_with_invariant()
+        ref = run_module(m, "f", [5, 2]).value
+        assert LoopInvariantCodeMotion().run(m.function("f"), m)
+        verify_module(m)
+        func = m.function("f")
+        loop = find_loops(func)[0]
+        in_loop_muls = [op for bn in loop.body
+                        for op in func.block(bn).ops
+                        if op.opcode is Opcode.MUL]
+        assert not in_loop_muls
+        assert run_module(m, "f", [5, 2]).value == ref
+
+    def test_zero_trip_loop_still_correct(self):
+        m = self._loop_with_invariant()
+        LoopInvariantCodeMotion().run(m.function("f"), m)
+        assert run_module(m, "f", [0, 2]).value == 0
+
+    def test_variant_op_not_hoisted(self):
+        b = IRBuilder()
+        b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        i = VReg("i", RegClass.INT)
+        acc = VReg("acc", RegClass.INT)
+        b.block("entry")
+        b.mov(0, dest=i)
+        b.mov(0, dest=acc)
+        b.jmp("head")
+        b.block("head")
+        p = b.cmplt(i, b.param("n"))
+        b.br(p, "body", "exit")
+        b.block("body")
+        sq = b.mul(i, 2)          # depends on IV: not invariant
+        b.add(acc, sq, dest=acc)
+        b.add(i, 1, dest=i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(acc)
+        func = b.module.function("f")
+        LoopInvariantCodeMotion().run(func, b.module)
+        loop = find_loops(func)[0]
+        in_loop_muls = [op for bn in loop.body
+                        for op in func.block(bn).ops
+                        if op.opcode is Opcode.MUL]
+        assert in_loop_muls
+
+
+class TestInductionVariableSimplify:
+    def test_shl_reduced_and_semantics_kept(self):
+        m = build_sum_array(16)
+        ref = run_module(m, "sumA", [13]).value
+        func = m.function("sumA")
+        assert InductionVariableSimplify().run(func, m)
+        verify_module(m)
+        loop = next(lp for lp in find_loops(func) if lp.header == "head")
+        shls = [op for bn in loop.body for op in func.block(bn).ops
+                if op.opcode is Opcode.SHL]
+        assert not shls
+        assert run_module(m, "sumA", [13]).value == ref
+
+    def test_zero_trips(self):
+        m = build_sum_array(16)
+        InductionVariableSimplify().run(m.function("sumA"), m)
+        assert run_module(m, "sumA", [0]).value == 0.0
+
+
+class TestInliner:
+    def test_simple_inline(self):
+        b = IRBuilder()
+        b.function("sq", [("x", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.mul(b.param("x"), b.param("x")))
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        r = b.call("sq", [b.param("a")])
+        b.ret(b.add(r, 1))
+        assert Inliner().run(b.module.function("f"), b.module)
+        verify_module(b.module)
+        assert not any(op.is_call for op in _ops(b.module))
+        assert run_module(b.module, "f", [5]).value == 26
+
+    def test_inline_branchy_callee(self):
+        b = IRBuilder()
+        b.function("absv", [("x", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        p = b.cmplt(b.param("x"), 0)
+        b.br(p, "neg", "pos")
+        b.block("neg")
+        b.ret(b.neg(b.param("x")))
+        b.block("pos")
+        b.ret(b.param("x"))
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        r1 = b.call("absv", [b.param("a")])
+        r2 = b.call("absv", [b.neg(b.param("a"))])
+        b.ret(b.add(r1, r2))
+        Inliner().run(b.module.function("f"), b.module)
+        verify_module(b.module)
+        assert not any(op.is_call for op in _ops(b.module))
+        assert run_module(b.module, "f", [-4]).value == 8
+        assert run_module(b.module, "f", [4]).value == 8
+
+    def test_recursive_callee_not_inlined(self):
+        b = IRBuilder()
+        b.function("fact", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        p = b.cmple(b.param("n"), 1)
+        b.br(p, "base", "rec")
+        b.block("base")
+        b.ret(1)
+        b.block("rec")
+        r = b.call("fact", [b.sub(b.param("n"), 1)])
+        b.ret(b.mul(b.param("n"), r))
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.call("fact", [b.param("a")]))
+        changed = Inliner().run(b.module.function("f"), b.module)
+        assert not changed
+        assert run_module(b.module, "f", [5]).value == 120
+
+    def test_large_callee_respects_threshold(self):
+        b = IRBuilder()
+        b.function("big", [("x", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        acc = b.param("x")
+        for _ in range(60):
+            acc = b.add(acc, 1)
+        b.ret(acc)
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.call("big", [b.param("a")]))
+        assert not Inliner(max_callee_ops=10).run(
+            b.module.function("f"), b.module)
+        assert Inliner(max_callee_ops=100).run(
+            b.module.function("f"), b.module)
+        assert run_module(b.module, "f", [0]).value == 60
+
+    def test_void_callee(self):
+        m = Module()
+        m.add_array("A", 1, 4)
+        b = IRBuilder(m)
+        b.function("poke", [("v", RegClass.INT)])
+        b.block("entry")
+        b.store(b.param("v"), b.addr("A"), 0)
+        b.ret()
+        b.function("f", [], ret_class=RegClass.INT)
+        b.block("entry")
+        b.call("poke", [77])
+        b.ret(b.load(b.addr("A"), 0))
+        Inliner().run(m.function("f"), m)
+        verify_module(m)
+        assert run_module(m, "f").value == 77

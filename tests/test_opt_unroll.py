@@ -1,0 +1,191 @@
+"""Tests for the loop unroller, including semantic-preservation properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import find_loops
+from repro.ir import (IRBuilder, MemRef, Module, Opcode, RegClass, VReg,
+                      run_module, verify_module)
+from repro.opt import LoopUnroll, classical_pipeline
+
+from .conftest import build_sum_array
+
+
+def build_countdown(start_free: bool = True) -> Module:
+    """f(n) = n + (n-1) + ... + 1 via a downward-counting loop."""
+    b = IRBuilder()
+    b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    acc = VReg("acc", RegClass.INT)
+    b.block("entry")
+    b.mov(b.param("n"), dest=i)
+    b.mov(0, dest=acc)
+    b.jmp("head")
+    b.block("head")
+    p = b.cmpgt(i, 0)
+    b.br(p, "body", "exit")
+    b.block("body")
+    b.add(acc, i, dest=acc)
+    b.add(i, -1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(acc)
+    verify_module(b.module)
+    return b.module
+
+
+def build_store_loop(n_elems: int = 32) -> Module:
+    """Writes i*i into A[i]: exercises stores + memref shifting."""
+    m = Module()
+    m.add_array("A", n_elems, 4)
+    b = IRBuilder(m)
+    b.function("f", [("n", RegClass.INT)])
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    base = b.addr("A")
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    p = b.cmplt(i, b.param("n"))
+    b.br(p, "body", "exit")
+    b.block("body")
+    sq = b.mul(i, i)
+    addr = b.add(base, b.shl(i, 2))
+    b.store(sq, addr, 0, memref=MemRef.make("A", {"i": 4}, size=4))
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret()
+    verify_module(m)
+    return m
+
+
+class TestUnrollMechanics:
+    def test_report_counts(self):
+        m = build_sum_array(32)
+        unroller = LoopUnroll(factor=4)
+        assert unroller.run(m.function("sumA"), m)
+        assert unroller.last_report.loops_unrolled == 1
+        assert unroller.last_report.copies_added == 4
+
+    def test_unrolled_loop_structure(self):
+        m = build_sum_array(32)
+        LoopUnroll(factor=4).run(m.function("sumA"), m)
+        verify_module(m)
+        func = m.function("sumA")
+        loops = find_loops(func)
+        assert len(loops) == 2        # wide loop + remainder
+        # remainder loop untouched
+        assert "head" in {lp.header for lp in loops}
+
+    def test_memref_shifted_per_copy(self):
+        m = build_sum_array(32)
+        LoopUnroll(factor=4).run(m.function("sumA"), m)
+        func = m.function("sumA")
+        wide = next(lp for lp in find_loops(func) if lp.header != "head")
+        loads = [op for bn in wide.body for op in func.block(bn).ops
+                 if op.is_load]
+        consts = sorted(op.memref.const for op in loads)
+        assert consts == [0, 8, 16, 24]
+
+    def test_no_double_unroll(self):
+        m = build_sum_array(32)
+        unroller = LoopUnroll(factor=4)
+        assert unroller.run(m.function("sumA"), m)
+        assert not unroller.run(m.function("sumA"), m)
+
+    def test_non_counted_loop_untouched(self):
+        b = IRBuilder()
+        b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        x = VReg("x", RegClass.INT)
+        b.block("entry")
+        b.mov(b.param("n"), dest=x)
+        b.jmp("head")
+        b.block("head")
+        b.shr(x, 1, dest=x)
+        p = b.cmpgt(x, 0)
+        b.br(p, "head", "exit")
+        b.block("exit")
+        b.ret(x)
+        assert not LoopUnroll(factor=4).run(b.module.function("f"), b.module)
+
+    def test_call_in_body_blocks_unroll(self):
+        b = IRBuilder()
+        b.function("g", [("x", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.param("x"))
+        b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        i = VReg("i", RegClass.INT)
+        acc = VReg("acc", RegClass.INT)
+        b.block("entry")
+        b.mov(0, dest=i)
+        b.mov(0, dest=acc)
+        b.jmp("head")
+        b.block("head")
+        p = b.cmplt(i, b.param("n"))
+        b.br(p, "body", "exit")
+        b.block("body")
+        r = b.call("g", [i])
+        b.add(acc, r, dest=acc)
+        b.add(i, 1, dest=i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(acc)
+        assert not LoopUnroll(factor=4).run(b.module.function("f"), b.module)
+
+    def test_auto_factor_heuristic(self):
+        assert LoopUnroll()._choose_factor(5) == 8
+        assert LoopUnroll()._choose_factor(20) == 4
+        assert LoopUnroll()._choose_factor(40) == 2
+        assert LoopUnroll()._choose_factor(100) == 1
+
+
+class TestUnrollSemantics:
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 8, 9, 31, 32])
+    def test_sum_matches_reference(self, factor, n):
+        m = build_sum_array(32)
+        ref = run_module(m, "sumA", [n]).value
+        LoopUnroll(factor=factor).run(m.function("sumA"), m)
+        verify_module(m)
+        assert run_module(m, "sumA", [n]).value == ref
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    @pytest.mark.parametrize("n", [0, 1, 5, 8, 13])
+    def test_downward_loop(self, factor, n):
+        m = build_countdown()
+        ref = run_module(m, "f", [n]).value
+        assert LoopUnroll(factor=factor).run(m.function("f"), m)
+        verify_module(m)
+        assert run_module(m, "f", [n]).value == ref
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_store_loop_memory_state(self, factor):
+        m = build_store_loop(32)
+        ref = run_module(m, "f", [30]).memory.read_array("A", 32)
+        LoopUnroll(factor=factor).run(m.function("f"), m)
+        verify_module(m)
+        got = run_module(m, "f", [30]).memory.read_array("A", 32)
+        assert got == ref
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=32),
+           factor=st.integers(min_value=2, max_value=9))
+    def test_property_sum_all_trip_counts(self, n, factor):
+        m = build_sum_array(32)
+        ref = run_module(m, "sumA", [n]).value
+        LoopUnroll(factor=factor).run(m.function("sumA"), m)
+        assert run_module(m, "sumA", [n]).value == ref
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=32),
+           unroll=st.sampled_from([0, 2, 4, 8]),
+           inline=st.sampled_from([0, 48]))
+    def test_property_full_pipeline(self, n, unroll, inline):
+        m = build_sum_array(32)
+        ref = run_module(m, "sumA", [n]).value
+        classical_pipeline(unroll_factor=unroll,
+                           inline_budget=inline).run(m)
+        verify_module(m)
+        assert run_module(m, "sumA", [n]).value == ref

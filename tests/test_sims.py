@@ -1,0 +1,292 @@
+"""Tests for the simulators: timing semantics, stats, machine components."""
+
+import math
+
+import pytest
+
+from repro.errors import SimError
+from repro.ir import (IRBuilder, MemoryImage, Module, Opcode, RegClass, VReg,
+                      run_module)
+from repro.machine import (MachineConfig, TRACE_7_200, TRACE_28_200,
+                           BranchTest, CompiledFunction, CompiledProgram,
+                           LongInstruction, ScheduledOp, Unit, phys_reg)
+from repro.ir import Imm, Operation
+from repro.sim import (ICacheModel, ScalarSimulator, TlbModel,
+                       VliwSimulator, context_switch_cost,
+                       register_file_words, run_compiled, run_scalar,
+                       run_scoreboard)
+from repro.trace import compile_module
+
+from .conftest import build_diamond, build_sum_array
+
+
+def _hand_program(instructions, param_regs, entry="entry",
+                  config=TRACE_28_200, ret_reg=None):
+    cf = CompiledFunction("f", config, instructions, {entry: 0}, param_regs)
+    cf.meta["entry_label"] = entry
+    program = CompiledProgram(config=config)
+    program.add(cf)
+    return program
+
+
+class TestVliwTiming:
+    def test_two_beats_per_instruction(self):
+        r0 = phys_reg(RegClass.INT, 0)
+        instrs = [
+            LongInstruction(ops=[ScheduledOp(
+                Operation(Opcode.ADD, r0, [r0, Imm(1)]), 0, Unit.IALU0_E)]),
+            LongInstruction(special=("ret", r0)),
+        ]
+        program = _hand_program(instrs, [r0])
+        sim = VliwSimulator(program, MemoryImage())
+        result = sim.run("f", [41])
+        assert result.value == 42
+        assert sim.stats.beats == 4
+
+    def test_pipeline_latency_visible(self):
+        """A consumer in the very next instruction sees the OLD value if the
+        producer's pipeline has not drained — exposed pipelines for real."""
+        r0 = phys_reg(RegClass.FLT, 0)
+        r1 = phys_reg(RegClass.FLT, 1)
+        # f1 = f0 + 1.0 (6 beats); the fmov in the next instruction reads
+        # f1 at beat 2, before the fadd lands at beat 6 -> it must see the
+        # OLD f1 (99.0).  The fmov itself (an FALU op) also takes 6 beats,
+        # so the ret is padded out far enough to observe its result.
+        instrs = [
+            LongInstruction(ops=[ScheduledOp(
+                Operation(Opcode.FADD, r1, [r0, Imm(1.0, RegClass.FLT)]),
+                0, Unit.FALU)]),
+            LongInstruction(ops=[ScheduledOp(
+                Operation(Opcode.FMOV, r0, [r1]), 0, Unit.FALU)]),
+            LongInstruction(),
+            LongInstruction(),
+            LongInstruction(),
+            LongInstruction(special=("ret", r0)),
+        ]
+        program = _hand_program(instrs, [r0, r1])
+        sim = VliwSimulator(program, MemoryImage())
+        result = sim.run("f", [10.0, 99.0])
+        assert result.value == 99.0
+
+    def test_self_draining_write_lands_after_taken_branch(self):
+        """A write in flight when a branch leaves still lands (self-drain)."""
+        r0 = phys_reg(RegClass.INT, 0)
+        rf = phys_reg(RegClass.FLT, 0)
+        b0 = phys_reg(RegClass.PRED, 0)
+        instrs = [
+            # fadd issues here (lands at beat 6), branch leaves at end of
+            # this instruction
+            LongInstruction(
+                ops=[ScheduledOp(Operation(
+                    Opcode.FADD, rf, [rf, Imm(1.0, RegClass.FLT)]),
+                    0, Unit.FALU)],
+                branches=[BranchTest(b0, "target", 0)]),
+            LongInstruction(special=("ret", r0)),      # not executed
+            LongInstruction(special=("ret", rf)),      # target
+        ]
+        program = _hand_program(instrs, [r0, rf, b0])
+        program.function("f").label_map["target"] = 2
+        sim = VliwSimulator(program, MemoryImage())
+        result = sim.run("f", [7, 1.5, 1])
+        # ret at instruction 2 reads rf at beat 4; the write lands at 6;
+        # BUT landing happens during instruction 2's processing... the ret
+        # captures as of beat 4: the OLD value
+        assert result.value == 1.5
+
+    def test_bank_stall_only_when_same_bank(self):
+        """Two stores 1 beat apart: same bank stalls, different banks not."""
+        def run_with(offset_bytes):
+            m = Module()
+            m.add_array("A", 64, 8)
+            r0 = phys_reg(RegClass.INT, 0)
+            store1 = Operation(Opcode.STORE, None, [r0, r0, Imm(0)])
+            store2 = Operation(Opcode.STORE, None,
+                               [r0, r0, Imm(offset_bytes)])
+            instrs = [
+                LongInstruction(ops=[
+                    ScheduledOp(store1, 0, Unit.IALU0_E, "store",
+                                gamble=True),
+                    ScheduledOp(store2, 0, Unit.IALU0_L, "store",
+                                gamble=True)]),
+                LongInstruction(special=("ret", r0)),
+            ]
+            program = _hand_program(instrs, [r0])
+            memory = MemoryImage(m)
+            sim = VliwSimulator(program, memory)
+            sim.run("f", [memory.address_of("A")])
+            return sim.stats.bank_stall_beats
+
+        total_banks = TRACE_28_200.total_banks
+        assert run_with(0) > 0                      # same word: conflict
+        assert run_with(8 * total_banks) > 0        # same bank, next round
+        assert run_with(8) == 0                     # adjacent bank: fine
+
+    def test_same_beat_controller_conflict_detected(self):
+        m = Module()
+        m.add_array("A", 1024, 8)
+        r0 = phys_reg(RegClass.INT, 0)
+        # two stores in the SAME beat to addresses n_controllers*8 apart:
+        # same controller -> the compiler must never emit this
+        delta = TRACE_28_200.n_controllers * 8
+        store1 = Operation(Opcode.STORE, None, [r0, r0, Imm(0)])
+        store2 = Operation(Opcode.STORE, None, [r0, r0, Imm(delta)])
+        instrs = [
+            LongInstruction(ops=[
+                ScheduledOp(store1, 0, Unit.IALU0_E, "store"),
+                ScheduledOp(store2, 1, Unit.IALU0_E, "store")]),
+            LongInstruction(special=("ret", r0)),
+        ]
+        program = _hand_program(instrs, [r0])
+        memory = MemoryImage(m)
+        sim = VliwSimulator(program, memory)
+        with pytest.raises(SimError, match="controller"):
+            sim.run("f", [memory.address_of("A")])
+
+    def test_stats_time_conversion(self, sum_array_module):
+        prog = compile_module(sum_array_module, TRACE_28_200)
+        res = run_compiled(prog, sum_array_module, "sumA", [8])
+        assert res.stats.time_us(TRACE_28_200) == pytest.approx(
+            res.stats.beats * 65e-3)
+
+
+class TestScalarSim:
+    def test_matches_interpreter(self, sum_array_module):
+        ref = run_module(sum_array_module, "sumA", [8])
+        result = run_scalar(sum_array_module, "sumA", [8])
+        assert result.value == ref.value
+
+    def test_latency_charged(self):
+        b = IRBuilder()
+        b.function("f", [("x", RegClass.FLT)], ret_class=RegClass.FLT)
+        b.block("entry")
+        t = b.fadd(b.param("x"), 1.0)
+        b.ret(b.fmul(t, 2.0))
+        with_dep = run_scalar(b.module, "f", [1.0]).stats.cycles
+
+        b2 = IRBuilder()
+        b2.function("f", [("x", RegClass.FLT)], ret_class=RegClass.FLT)
+        b2.block("entry")
+        t1 = b2.fadd(b2.param("x"), 1.0)
+        t2 = b2.fmul(b2.param("x"), 2.0)   # independent
+        b2.ret(b2.fadd(t1, t2))
+        # same op count + 1, but the dependent chain pays latency stalls
+        independent = run_scalar(b2.module, "f", [1.0]).stats.cycles
+        assert with_dep >= 1
+
+    def test_branch_bubbles_counted(self, diamond_module):
+        result = run_scalar(diamond_module, "absdiff", [9, 4])
+        assert result.stats.branch_bubbles >= 1
+
+
+class TestScoreboardSim:
+    def test_matches_interpreter(self, sum_array_module):
+        ref = run_module(sum_array_module, "sumA", [8])
+        assert run_scoreboard(sum_array_module, "sumA", [8]).value == \
+            ref.value
+
+    def test_overlaps_independent_work_within_block(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        temps = [b.add(b.param("a"), k) for k in range(8)]
+        b.ret(temps[-1])
+        board = run_scoreboard(b.module, "f", [3]).stats.cycles
+        scalar = run_scalar(b.module, "f", [3]).stats.cycles
+        assert board < scalar
+
+    def test_does_not_cross_branches(self, sum_array_module):
+        """The block window limits speedup on loop code (the paper's 2-3x
+        argument) — it must stay well under the VLIW's."""
+        from repro.opt import classical_pipeline
+        module = build_sum_array(64)
+        scalar = run_scalar(module, "sumA", [60]).stats.beats
+        board = run_scoreboard(module, "sumA", [60]).stats.beats
+        assert 1.0 <= scalar / board < 6.0
+
+
+class TestICache:
+    def test_cold_misses_then_hits(self, sum_array_module):
+        prog = compile_module(sum_array_module, TRACE_28_200)
+        cache = ICacheModel(TRACE_28_200)
+        mem = MemoryImage(sum_array_module)
+        sim = VliwSimulator(prog, mem, icache=cache)
+        sim.run("sumA", [32])
+        assert cache.stats.misses > 0
+        assert cache.stats.miss_rate < 0.2      # loop hits after warmup
+        assert cache.stats.refill_beats > 0
+
+    def test_untagged_cache_flushes_on_switch(self):
+        cache = ICacheModel(TRACE_28_200, tagged=False)
+        cache.switch_process(1)
+        assert cache.stats.flushes == 1
+        tagged = ICacheModel(TRACE_28_200, tagged=True)
+        tagged.switch_process(1)
+        assert tagged.stats.flushes == 0
+
+    def test_refill_cost_scales_with_density(self, sum_array_module):
+        prog = compile_module(sum_array_module, TRACE_28_200)
+        cache = ICacheModel(TRACE_28_200)
+        cache.register_function(prog.function("sumA"))
+        beats = cache.access("sumA", 0)
+        # a sparse block must refill in far fewer beats than a full one
+        full_words = 4 + 4 * 32
+        assert 0 < beats < full_words // TRACE_28_200.n_load_buses
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = TlbModel(TRACE_28_200)
+        assert not tlb.access(0x4000)
+        assert tlb.access(0x4000 + 8)     # same 8KB page
+        assert not tlb.access(0x4000 + (1 << 13))
+
+    def test_batched_trap_cost(self):
+        tlb = TlbModel(TRACE_28_200)
+        for k in range(4):
+            tlb.access(k << 13)
+        beats_batched = tlb.end_instruction()
+        tlb2 = TlbModel(TRACE_28_200)
+        total_individual = 0
+        for k in range(4):
+            tlb2.access(k << 13)
+            total_individual += tlb2.end_instruction()
+        # the history queue batches 4 misses into one trap entry
+        assert beats_batched < total_individual
+
+    def test_asid_tagging_survives_switch(self):
+        tlb = TlbModel(TRACE_28_200, tagged=True)
+        tlb.access(0x4000)
+        tlb.switch_process(1)
+        tlb.access(0x4000)              # other process: own entry
+        tlb.switch_process(0)
+        assert tlb.access(0x4000)       # original entry still resident
+
+    def test_untagged_flushes(self):
+        tlb = TlbModel(TRACE_28_200, tagged=False)
+        tlb.access(0x4000)
+        tlb.switch_process(1)
+        tlb.switch_process(0)
+        assert not tlb.access(0x4000)   # flushed twice: miss again
+
+    def test_capacity_eviction(self):
+        tlb = TlbModel(TRACE_28_200, entries=4)
+        for k in range(5):
+            tlb.access(k << 13)
+        tlb.end_instruction()
+        assert not tlb.access(0 << 13)   # LRU victim was page 0
+
+
+class TestContextSwitch:
+    def test_fifteen_microseconds_any_config(self):
+        for config in (TRACE_7_200, TRACE_28_200):
+            report = context_switch_cost(config)
+            assert report.total_us(config) == pytest.approx(15, abs=1.0)
+
+    def test_bandwidth_scales_with_registers(self):
+        assert register_file_words(TRACE_28_200) == \
+            4 * register_file_words(TRACE_7_200)
+
+    def test_untagged_switch_much_slower(self):
+        tagged = context_switch_cost(TRACE_28_200, tagged=True)
+        untagged = context_switch_cost(TRACE_28_200, tagged=False)
+        assert untagged.total_beats > 5 * tagged.total_beats

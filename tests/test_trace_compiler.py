@@ -1,0 +1,305 @@
+"""Unit tests for the trace-scheduling compiler's internals."""
+
+import pytest
+
+from repro.disambig import Disambiguator
+from repro.ir import (IRBuilder, MemRef, Module, Opcode, RegClass, VReg,
+                      run_module)
+from repro.machine import (MachineConfig, TRACE_7_200, TRACE_28_200, Unit,
+                           format_compiled)
+from repro.sim import run_compiled
+from repro.trace import (ListScheduler, SchedulingOptions, Trace,
+                         TraceCompiler, TraceSelector, build_trace_graph,
+                         compile_module, estimate_static, linearize)
+
+from .conftest import build_diamond, build_sum_array
+
+
+class TestEstimates:
+    def test_loop_blocks_heavier(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        est = estimate_static(func)
+        assert est.weight("body") > est.weight("entry")
+        assert est.weight("head") > est.weight("exit")
+
+    def test_loop_edge_probability(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        est = estimate_static(func)
+        assert est.prob("head", "body") > est.prob("head", "exit")
+
+    def test_plain_branch_is_even(self, diamond_module):
+        func = diamond_module.function("absdiff")
+        est = estimate_static(func)
+        assert est.prob("entry", "ge") == pytest.approx(0.5)
+
+
+class TestSelector:
+    def test_first_trace_is_the_loop(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        selector = TraceSelector(func, estimate_static(func))
+        trace = selector.next_trace()
+        assert trace.blocks == ["head", "body"]
+
+    def test_trace_does_not_cross_back_edge(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        selector = TraceSelector(func, estimate_static(func))
+        trace = selector.next_trace()
+        # body -> head is the back edge; the trace must not wrap
+        assert len(trace.blocks) == len(set(trace.blocks))
+
+    def test_all_blocks_eventually_selected(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        selector = TraceSelector(func, estimate_static(func))
+        seen = set()
+        while True:
+            trace = selector.next_trace()
+            if trace is None:
+                break
+            selector.mark_scheduled(trace)
+            seen.update(trace.blocks)
+            for name in trace.blocks:
+                func.remove_block(name)
+        assert seen == {"entry", "head", "body", "exit"}
+
+
+class TestLinearize:
+    def test_diamond_trace_has_split(self, diamond_module):
+        func = diamond_module.function("absdiff")
+        nodes = linearize(func, Trace(["entry", "ge", "join"]))
+        kinds = [n.kind for n in nodes]
+        assert "split" in kinds
+        split = next(n for n in nodes if n.kind == "split")
+        assert split.off_trace == "lt"
+        assert split.on_trace == "ge"
+
+    def test_join_detected_at_side_entrance(self, diamond_module):
+        func = diamond_module.function("absdiff")
+        nodes = linearize(func, Trace(["entry", "ge", "join"]))
+        joins = [n for n in nodes if n.kind == "join"]
+        assert len(joins) == 1
+        assert joins[0].block == "join"
+
+    def test_external_entry_label_forces_join(self, diamond_module):
+        func = diamond_module.function("absdiff")
+        nodes = linearize(func, Trace(["entry", "ge"]),
+                          entry_labels={"ge"})
+        assert any(n.kind == "join" and n.block == "ge" for n in nodes)
+
+    def test_mem_generation_bumped_by_iv_defs(self, sum_array_module):
+        func = sum_array_module.function("sumA")
+        graph = build_trace_graph(func, Trace(["head", "body"]),
+                                  Disambiguator(sum_array_module),
+                                  MachineConfig())
+        gens = [n.mem_gen for n in graph.nodes]
+        assert gens == sorted(gens)            # monotone
+        assert gens[-1] > gens[0]              # i redefined inside
+
+
+class TestSchedulerMechanics:
+    def _graph(self, module, blocks):
+        func = module.function(next(iter(module.functions)))
+        return func, build_trace_graph(func, Trace(blocks),
+                                       Disambiguator(module),
+                                       TRACE_28_200)
+
+    def test_float_latency_respected(self):
+        b = IRBuilder()
+        b.function("f", [("x", RegClass.FLT)], ret_class=RegClass.FLT)
+        b.block("entry")
+        t1 = b.fadd(b.param("x"), 1.0)
+        t2 = b.fmul(t1, 2.0)
+        b.ret(t2)
+        func, graph = self._graph(b.module, ["entry"])
+        sched = ListScheduler(graph, TRACE_28_200,
+                              Disambiguator(b.module)).run()
+        place = {graph.nodes[i].op.opcode: p.instruction
+                 for i, p in sched.placements.items()
+                 if graph.nodes[i].op is not None
+                 and graph.nodes[i].op.dest is not None}
+        # fadd latency 6 beats = 3 instructions
+        assert place[Opcode.FMUL] - place[Opcode.FADD] >= 3
+
+    def test_independent_ops_packed_together(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        temps = [b.add(b.param("a"), k) for k in range(6)]
+        total = temps[0]
+        for t in temps[1:]:
+            total = b.add(total, t)
+        b.ret(total)
+        func, graph = self._graph(b.module, ["entry"])
+        sched = ListScheduler(graph, TRACE_28_200,
+                              Disambiguator(b.module)).run()
+        first = [i for i, p in sched.placements.items()
+                 if p.instruction == 0 and graph.nodes[i].kind == "op"]
+        assert len(first) >= 6       # all six independent adds in instr 0
+
+    def test_narrow_machine_needs_more_instructions(self):
+        def build():
+            b = IRBuilder()
+            b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+            b.block("entry")
+            # 30 fully independent operations: width-limited, not
+            # dependence-limited
+            temps = [b.add(b.param("a"), k) for k in range(30)]
+            b.ret(temps[0])
+            return b.module
+
+        lengths = {}
+        for config in (TRACE_7_200, TRACE_28_200):
+            module = build()
+            func, graph = self._graph(module, ["entry"])
+            sched = ListScheduler(graph, config,
+                                  Disambiguator(module)).run()
+            lengths[config.n_pairs] = sched.n_instructions
+        assert lengths[1] > lengths[4]
+
+
+class TestCompiledStructure:
+    def test_multiway_branch_possible(self):
+        """Two originally-sequential tests may pack into one instruction."""
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        # branches written so the fallthrough chain is the likely trace:
+        # both tests then belong to one trace and can pack multiway
+        p1 = b.cmpne(b.param("a"), 1)
+        b.br(p1, "try2", "one")
+        b.block("try2")
+        p2 = b.cmpne(b.param("a"), 2)
+        b.br(p2, "other", "two")
+        b.block("one")
+        b.ret(100)
+        b.block("two")
+        b.ret(200)
+        b.block("other")
+        b.ret(0)
+        prog = compile_module(b.module, TRACE_28_200)
+        cf = prog.function("f")
+        max_branches = max(len(li.branches) for li in cf.instructions)
+        assert max_branches >= 2     # the multiway jump in action
+        for value, expected in ((1, 100), (2, 200), (7, 0)):
+            assert run_compiled(prog, b.module, "f", [value]).value == expected
+
+    def test_branch_priority_order(self):
+        """When both tests are true, the originally-first must win."""
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        p1 = b.cmpgt(b.param("a"), 0)
+        b.br(p1, "first", "try2")
+        b.block("try2")
+        p2 = b.cmpgt(b.param("a"), -10)
+        b.br(p2, "second", "other")
+        b.block("first")
+        b.ret(1)
+        b.block("second")
+        b.ret(2)
+        b.block("other")
+        b.ret(3)
+        prog = compile_module(b.module, TRACE_28_200)
+        assert run_compiled(prog, b.module, "f", [5]).value == 1
+        assert run_compiled(prog, b.module, "f", [-5]).value == 2
+        assert run_compiled(prog, b.module, "f", [-50]).value == 3
+
+    def test_speculative_load_conversion(self, sum_array_module):
+        """A load hoisted above the loop-exit branch becomes dismissable."""
+        compiler = TraceCompiler(sum_array_module, TRACE_28_200,
+                                 SchedulingOptions())
+        cf = compiler.compile_function(sum_array_module.function("sumA"))
+        stats = compiler.stats["sumA"]
+        has_spec = any(so.op.is_speculative
+                       for li in cf.instructions for so in li.ops)
+        assert has_spec == (stats.n_speculated_loads > 0)
+
+    def test_no_speculation_option(self, sum_array_module):
+        compiler = TraceCompiler(sum_array_module, TRACE_28_200,
+                                 SchedulingOptions(speculation=False))
+        cf = compiler.compile_function(sum_array_module.function("sumA"))
+        assert compiler.stats["sumA"].n_speculated_loads == 0
+        assert not any(so.op.is_speculative
+                       for li in cf.instructions for so in li.ops)
+
+    def test_compensation_generated_for_diamond(self, diamond_module):
+        """The off-trace arm enters mid-trace: join compensation appears."""
+        compiler = TraceCompiler(diamond_module, TRACE_28_200,
+                                 SchedulingOptions())
+        cf = compiler.compile_function(diamond_module.function("absdiff"))
+        stats = compiler.stats["absdiff"]
+        # the ret block's fadd-free ops move above the join; either
+        # compensation was emitted or nothing moved — both paths must work
+        assert run_compiled_program(cf, compiler, diamond_module)
+
+    def test_fill_ratio_reported(self, sum_array_module):
+        prog = compile_module(sum_array_module, TRACE_28_200)
+        cf = prog.function("sumA")
+        assert 0.0 < cf.fill_ratio() <= 1.0
+
+    def test_format_compiled_readable(self, sum_array_module):
+        prog = compile_module(sum_array_module, TRACE_28_200)
+        text = format_compiled(prog.function("sumA"))
+        assert "compiled sumA" in text
+        assert "head" in text
+
+
+def run_compiled_program(cf, compiler, module) -> bool:
+    from repro.machine import CompiledProgram
+    program = CompiledProgram(config=cf.config)
+    program.add(cf)
+    result = run_compiled(program, module, cf.name, [10, 3])
+    return result.value == 7
+
+
+class TestRegalloc:
+    def test_distinct_live_values_get_distinct_registers(self):
+        b = IRBuilder()
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        temps = [b.add(b.param("a"), k) for k in range(10)]
+        total = temps[0]
+        for t in temps[1:]:
+            total = b.add(total, t)
+        b.ret(total)
+        prog = compile_module(b.module, TRACE_28_200)
+        assert run_compiled(prog, b.module, "f", [1]).value == \
+            run_module(b.module, "f", [1]).value
+
+    def test_register_capacity_enforced(self):
+        from repro.errors import RegAllocError
+        b = IRBuilder()
+        # 40 float parameters are simultaneously live on entry: that alone
+        # exceeds one pair's 32 float registers, whatever the schedule does
+        params = [(f"p{k}", RegClass.FLT) for k in range(40)]
+        b.function("f", params, ret_class=RegClass.FLT)
+        b.block("entry")
+        total = b.param("p0")
+        for k in range(1, 40):
+            total = b.fadd(total, b.param(f"p{k}"))
+        b.ret(total)
+        with pytest.raises(RegAllocError, match="FLT"):
+            compile_module(b.module, MachineConfig(n_pairs=1))
+
+    def test_registers_used_metadata(self, sum_array_module):
+        prog = compile_module(sum_array_module, TRACE_28_200)
+        used = prog.function("sumA").meta["registers_used"]
+        assert used["INT"] >= 2
+        assert used["FLT"] >= 1
+        assert used["PRED"] >= 1
+
+
+class TestCalls:
+    def test_call_compiles_and_runs(self):
+        b = IRBuilder()
+        b.function("double", [("x", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.shl(b.param("x"), 1))
+        b.function("f", [("a", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        r1 = b.call("double", [b.param("a")])
+        r2 = b.call("double", [r1])
+        b.ret(r2)
+        prog = compile_module(b.module, TRACE_28_200)
+        result = run_compiled(prog, b.module, "f", [5])
+        assert result.value == 20
+        assert result.stats.calls == 2
