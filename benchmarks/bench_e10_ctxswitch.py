@@ -10,14 +10,14 @@ be purged only every 255 address space mapping changes."
 
 import pytest
 
-from repro.machine import TRACE_7_200, TRACE_14_200, TRACE_28_200
+from repro.machine import MachineConfig, TRACE_28_200
 from repro.sim import (ICacheModel, TlbModel, asid_purge_interval,
                        context_switch_cost, register_file_words)
 
 from .conftest import bench_once
 
-CONFIGS = [("7/200", TRACE_7_200), ("14/200", TRACE_14_200),
-           ("28/200", TRACE_28_200)]
+CONFIGS = [(f"{7 * pairs}/200", MachineConfig.from_pairs(pairs))
+           for pairs in (1, 2, 4)]
 
 
 def test_e10_fifteen_microseconds_every_config(show, benchmark):

@@ -9,12 +9,12 @@ ships with.
 
 import pytest
 
-from repro.machine import TRACE_7_200, TRACE_14_200, TRACE_28_200
+from repro.machine import MachineConfig, TRACE_28_200
 
 from .conftest import bench_once
 
-CONFIGS = [("7/200", TRACE_7_200), ("14/200", TRACE_14_200),
-           ("28/200", TRACE_28_200)]
+CONFIGS = [(f"{7 * pairs}/200", MachineConfig.from_pairs(pairs))
+           for pairs in (1, 2, 4)]
 
 
 def _functional_units(config) -> int:

@@ -16,9 +16,19 @@ The package contains, built from scratch:
 
 Quickstart::
 
-    from repro.harness import compare_kernel
-    result = compare_kernel("daxpy", n=64)
-    print(result.summary())
+    from repro import measure
+    result = measure("daxpy", n=64, telemetry=True)
+    print(result.row())
+    print(result.telemetry.summary())
 """
 
-__version__ = "1.0.0"
+from .harness import (Measurement, MeasureSpec, compare_kernel, measure,
+                      run_measurement)
+from .obs import Telemetry, Tracer
+
+__all__ = [
+    "Measurement", "MeasureSpec", "compare_kernel", "measure",
+    "run_measurement", "Telemetry", "Tracer",
+]
+
+__version__ = "1.1.0"

@@ -4,24 +4,32 @@ Commands:
 
 * ``list`` — show every named workload.
 * ``measure <kernel>`` — run one kernel on all executors and print timing.
+* ``stats <kernel>`` — run one kernel with full telemetry and print the
+  phase/counter report (``--json`` for the machine-readable form).
 * ``schedule <kernel>`` — print the compiled long-instruction schedule.
 * ``compile <file>`` — compile a TinyFlow source file and print its
   schedule (and optionally run a function from it).
 * ``sweep`` — the quick numeric-suite table (E1-style).
+
+``measure`` and ``sweep`` take ``--json`` (dump one JSON report object to
+stdout instead of the table) and ``--events-out FILE`` (write a
+Chrome-trace-format event log, loadable in Perfetto or
+``chrome://tracing``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .harness import format_table, measure, print_table
-from .machine import (MachineConfig, TRACE_7_200, TRACE_14_200, TRACE_28_200,
-                      format_compiled)
+from .harness import (format_table, measure, measurement_report,
+                      print_table, run_measurement, sweep_report)
+from .harness.measure import MeasureSpec
+from .machine import MachineConfig, format_compiled
+from .obs import Telemetry, Tracer
 from .trace import SchedulingOptions
 from .workloads import ALL_KERNELS, get_kernel
-
-_CONFIGS = {1: TRACE_7_200, 2: TRACE_14_200, 4: TRACE_28_200}
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -37,10 +45,25 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="fast floating-point exception mode")
 
 
+def _add_report_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one machine-readable JSON report")
+    parser.add_argument("--events-out", metavar="FILE",
+                        help="write a Chrome-trace event file (Perfetto)")
+
+
 def _options(args) -> SchedulingOptions:
     return SchedulingOptions(speculation=not args.no_speculation,
                              join_motion=not args.no_join_motion,
                              fast_fp=args.fast_fp)
+
+
+def _spec(args, kernel: str, telemetry: bool = False,
+          events: bool = False) -> MeasureSpec:
+    return MeasureSpec(kernel=kernel, n=args.n,
+                       config=MachineConfig.from_pairs(args.pairs),
+                       options=_options(args), unroll=args.unroll,
+                       telemetry=telemetry, events=events)
 
 
 def cmd_list(args) -> int:
@@ -52,8 +75,14 @@ def cmd_list(args) -> int:
 
 
 def cmd_measure(args) -> int:
-    result = measure(args.kernel, args.n, config=_CONFIGS[args.pairs],
-                     options=_options(args), unroll=args.unroll)
+    telemetry = args.as_json or bool(args.events_out)
+    result = run_measurement(_spec(args, args.kernel, telemetry=telemetry,
+                                   events=bool(args.events_out)))
+    if args.events_out:
+        result.telemetry.write_events(args.events_out)
+    if args.as_json:
+        print(json.dumps(measurement_report(result), indent=2))
+        return 0
     print_table([result.row()], f"{args.kernel} on the TRACE "
                                 f"{7 * args.pairs}/200")
     stats = result.compile_stats
@@ -65,13 +94,23 @@ def cmd_measure(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    result = run_measurement(_spec(args, args.kernel, telemetry=True))
+    if args.as_json:
+        print(json.dumps(measurement_report(result), indent=2))
+    else:
+        print(result.telemetry.summary())
+    return 0
+
+
 def cmd_schedule(args) -> int:
     from .harness import prepare_modules
     from .trace import compile_module
 
     kernel = get_kernel(args.kernel)
     _, module = prepare_modules(kernel, args.n, unroll=args.unroll)
-    program = compile_module(module, _CONFIGS[args.pairs], _options(args))
+    program = compile_module(module, MachineConfig.from_pairs(args.pairs),
+                             _options(args))
     print(format_compiled(program.function(kernel.func)))
     return 0
 
@@ -82,12 +121,13 @@ def cmd_compile(args) -> int:
     from .sim import run_compiled
     from .trace import compile_module
 
+    config = MachineConfig.from_pairs(args.pairs)
     with open(args.file) as handle:
         source = handle.read()
     module = compile_source(source)
     classical_pipeline(unroll_factor=args.unroll, inline_budget=48).run(
         module)
-    program = compile_module(module, _CONFIGS[args.pairs], _options(args))
+    program = compile_module(module, config, _options(args))
     for name in program.functions:
         print(format_compiled(program.function(name)))
         print()
@@ -97,19 +137,35 @@ def cmd_compile(args) -> int:
                               fp_mode="fast" if args.fast_fp else "precise")
         print(f"{args.run}({', '.join(args.args)}) = {result.value}   "
               f"[{result.stats.beats} beats, "
-              f"{result.stats.time_us(_CONFIGS[args.pairs]):.2f} us]")
+              f"{result.stats.time_us(config):.2f} us]")
     return 0
 
 
+SWEEP_KERNELS = ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll7_state",
+                 "count_matches", "state_machine")
+
+
 def cmd_sweep(args) -> int:
-    rows = []
-    for name in ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll7_state",
-                 "count_matches", "state_machine"):
-        result = measure(name, args.n, config=_CONFIGS[args.pairs],
-                         options=_options(args), unroll=args.unroll)
-        rows.append(result.row())
-    print_table(rows, f"kernel sweep (n={args.n}, "
-                      f"TRACE {7 * args.pairs}/200, unroll {args.unroll})")
+    telemetry = args.as_json or bool(args.events_out)
+    tracer = Tracer(events=bool(args.events_out)) if telemetry else None
+    results = []
+    for name in SWEEP_KERNELS:
+        # one shared tracer across the sweep: per-row telemetry stays off,
+        # the combined report carries the totals
+        results.append(run_measurement(_spec(args, name), tracer=tracer))
+    if tracer is not None:
+        combined = Telemetry.from_tracer(tracer, meta={
+            "kernels": list(SWEEP_KERNELS), "n": args.n,
+            "config": f"TRACE {7 * args.pairs}/200",
+            "unroll": args.unroll})
+        if args.events_out:
+            combined.write_events(args.events_out)
+        if args.as_json:
+            print(json.dumps(sweep_report(results, combined), indent=2))
+            return 0
+    print_table([r.row() for r in results],
+                f"kernel sweep (n={args.n}, "
+                f"TRACE {7 * args.pairs}/200, unroll {args.unroll})")
     return 0
 
 
@@ -124,7 +180,16 @@ def main(argv=None) -> int:
     p = sub.add_parser("measure", help="measure one kernel on all executors")
     p.add_argument("kernel", choices=sorted(ALL_KERNELS))
     _add_machine_args(p)
+    _add_report_args(p)
     p.set_defaults(fn=cmd_measure)
+
+    p = sub.add_parser("stats",
+                       help="measure one kernel and print its telemetry")
+    p.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    _add_machine_args(p)
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit one machine-readable JSON report")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("schedule", help="print a kernel's compiled schedule")
     p.add_argument("kernel", choices=sorted(ALL_KERNELS))
@@ -141,6 +206,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("sweep", help="quick E1-style kernel sweep")
     _add_machine_args(p)
+    _add_report_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     args = parser.parse_args(argv)

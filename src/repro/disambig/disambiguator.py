@@ -22,6 +22,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..ir import MemoryImage, MemRef, Module, Operation
+from ..obs import get_tracer
 from .affine import AffineDiff, distinct_objects, subtract
 from .answer import Answer
 from .diophantine import (always_zero_mod, can_be_zero_mod, can_overlap)
@@ -32,12 +33,19 @@ INTERLEAVE = 8
 
 @dataclass
 class DisambigStats:
-    """Query counters, per question kind and answer (experiment E5)."""
+    """Query counters, per question kind and answer (experiment E5).
+
+    When an observability tracer is attached (``counters``), every answer
+    is mirrored into its registry as ``disambig.<kind>.<answer>``.
+    """
 
     counts: Counter = field(default_factory=Counter)
+    counters: object = None
 
     def record(self, kind: str, answer: Answer) -> Answer:
         self.counts[(kind, answer.value)] += 1
+        if self.counters is not None:
+            self.counters.inc(f"disambig.{kind}.{answer.value}")
         return answer
 
     def rate(self, kind: str, answer: Answer) -> float:
@@ -59,7 +67,8 @@ class Disambiguator:
 
     def __init__(self, module: Module | None = None,
                  interleave: int = INTERLEAVE,
-                 fortran_args: bool = False) -> None:
+                 fortran_args: bool = False,
+                 tracer=None) -> None:
         self.layout = MemoryImage(module).layout if module is not None else {}
         self.interleave = interleave
         #: FORTRAN argument semantics: two *different* pointer arguments
@@ -67,7 +76,9 @@ class Disambiguator:
         #: bank residues are still unknown — exactly the situation the
         #: paper's bank-stall gamble was built for.
         self.fortran_args = fortran_args
-        self.stats = DisambigStats()
+        obs = get_tracer(tracer)
+        self.stats = DisambigStats(
+            counters=obs.counters if obs.enabled else None)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -3,14 +3,16 @@ and report formatting."""
 
 from .codesize import (CISC_DENSITY, CodeSizeReport, measure_code_size,
                        scalar_code_bytes)
-from .measure import (Measurement, compare_kernel, measure, prepare_modules,
-                      train_profile)
-from .report import format_table, print_table
+from .measure import (Measurement, MeasureSpec, compare_kernel, measure,
+                      prepare_modules, run_measurement, train_profile)
+from .report import (config_report, format_table, measurement_report,
+                     print_table, sweep_report)
 
 __all__ = [
     "CISC_DENSITY", "CodeSizeReport", "measure_code_size",
     "scalar_code_bytes",
-    "Measurement", "compare_kernel", "measure", "prepare_modules",
-    "train_profile",
-    "format_table", "print_table",
+    "Measurement", "MeasureSpec", "compare_kernel", "measure",
+    "prepare_modules", "run_measurement", "train_profile",
+    "config_report", "format_table", "measurement_report", "print_table",
+    "sweep_report",
 ]

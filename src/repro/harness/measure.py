@@ -4,6 +4,19 @@ This is the experiment driver behind every benchmark: it runs a kernel on
 the reference interpreter (ground truth), on the scalar and scoreboard
 baselines (conventionally compiled code), and on the trace-scheduled VLIW
 (fully optimized code), verifies all outputs agree, and reports timing.
+
+Two call styles are supported:
+
+* the classic positional form — ``measure("daxpy", 64, unroll=8)`` —
+  unchanged since the first release, and
+* the spec form — ``run_measurement(MeasureSpec(kernel="daxpy", n=64,
+  telemetry=True))`` — one keyword-only options object that the CLI,
+  benchmarks, and sweeps can build, store, and replay.
+
+With ``telemetry=True`` the whole pipeline runs under a
+:class:`~repro.obs.Tracer` and the returned
+:attr:`Measurement.telemetry` carries per-phase wall-times, the full
+counter registry, and (with ``events=True``) a Chrome-trace event log.
 """
 
 from __future__ import annotations
@@ -14,11 +27,41 @@ from dataclasses import dataclass, field
 from ..errors import ReproError
 from ..ir import Interpreter, MemoryImage, Module, Profile, run_module
 from ..machine import CompiledProgram, MachineConfig, TRACE_28_200
+from ..obs import NULL_TRACER, Telemetry, Tracer
 from ..opt import classical_pipeline
 from ..sim import (ScalarStats, ScoreboardStats, VliwStats, run_compiled,
                    run_scalar, run_scoreboard)
-from ..trace import SchedulingOptions, TraceCompiler
+from ..trace import SchedulingOptions, TraceCompiler, TraceCompileStats
 from ..workloads import Kernel, get_kernel
+
+
+@dataclass
+class MeasureSpec:
+    """Everything one measurement needs, as a single keyword-only record.
+
+    Args:
+        kernel: workload name (see ``repro.workloads.ALL_KERNELS``).
+        n: problem size.
+        config: target machine configuration.
+        options: code-motion knobs for the trace scheduler.
+        unroll: unroll factor fed to the VLIW module (0 disables).
+        inline: inline budget in callee ops (0 disables).
+        use_profile: train a branch profile on the interpreter first.
+        check: verify every executor against the reference interpreter.
+        telemetry: collect phase timings and counters on the result.
+        events: also keep the per-beat event log (implies telemetry).
+    """
+
+    kernel: str
+    n: int = 64
+    config: MachineConfig = TRACE_28_200
+    options: SchedulingOptions | None = None
+    unroll: int = 8
+    inline: int = 48
+    use_profile: bool = True
+    check: bool = True
+    telemetry: bool = False
+    events: bool = False
 
 
 @dataclass
@@ -31,8 +74,9 @@ class Measurement:
     scalar: ScalarStats
     scoreboard: ScoreboardStats
     vliw: VliwStats
-    compile_stats: object = None        # TraceCompileStats
+    compile_stats: TraceCompileStats | None = None
     program: CompiledProgram | None = None
+    telemetry: Telemetry | None = None
 
     @property
     def scoreboard_speedup(self) -> float:
@@ -76,7 +120,7 @@ def _outputs_equal(a: dict, b: dict) -> bool:
 
 
 def prepare_modules(kernel: Kernel, n: int, unroll: int = 8,
-                    inline: int = 48) -> tuple[Module, Module]:
+                    inline: int = 48, tracer=None) -> tuple[Module, Module]:
     """(baseline module, VLIW module).
 
     The baseline gets the "conventional compiler" treatment (classical
@@ -86,8 +130,8 @@ def prepare_modules(kernel: Kernel, n: int, unroll: int = 8,
     baseline = kernel.build(n)
     classical_pipeline(unroll_factor=0, inline_budget=0).run(baseline)
     vliw_module = kernel.build(n)
-    classical_pipeline(unroll_factor=unroll,
-                       inline_budget=inline).run(vliw_module)
+    classical_pipeline(unroll_factor=unroll, inline_budget=inline,
+                       tracer=tracer).run(vliw_module)
     return baseline, vliw_module
 
 
@@ -98,46 +142,96 @@ def train_profile(module: Module, func: str, args) -> Profile:
     return interp.profile
 
 
-def measure(kernel_name: str, n: int,
+def run_measurement(spec: MeasureSpec,
+                    tracer: Tracer | None = None) -> Measurement:
+    """Measure one kernel end to end; raises if any executor diverges.
+
+    A caller-supplied ``tracer`` wins over ``spec.telemetry`` (the sweep
+    command threads one tracer through every kernel); otherwise a fresh
+    tracer is created when the spec asks for telemetry.
+    """
+    own_tracer = tracer is None and (spec.telemetry or spec.events)
+    if own_tracer:
+        tracer = Tracer(events=spec.events)
+    trc = tracer if tracer is not None else NULL_TRACER
+
+    kernel = get_kernel(spec.kernel)
+    args = kernel.make_args(spec.n)
+    options = spec.options or SchedulingOptions()
+
+    with trc.span("measure.prepare", cat="harness", kernel=spec.kernel):
+        baseline, vliw_module = prepare_modules(
+            kernel, spec.n, spec.unroll, spec.inline, tracer=trc)
+    with trc.span("measure.reference", cat="harness"):
+        reference = run_module(kernel.build(spec.n), kernel.func, args)
+    ref_out = _outputs(kernel, baseline, reference.memory)
+
+    with trc.span("sim.scalar", cat="harness"):
+        scalar = run_scalar(baseline, kernel.func, args, spec.config,
+                            tracer=trc)
+    with trc.span("sim.scoreboard", cat="harness"):
+        scoreboard = run_scoreboard(baseline, kernel.func, args, spec.config,
+                                    tracer=trc)
+
+    with trc.span("measure.profile", cat="harness"):
+        profile = train_profile(vliw_module, kernel.func, args) \
+            if spec.use_profile else None
+    with trc.span("trace.compile", cat="harness", kernel=spec.kernel):
+        compiler = TraceCompiler(vliw_module, spec.config, options, profile,
+                                 tracer=trc)
+        program = compiler.compile_module()
+    with trc.span("sim.vliw", cat="harness"):
+        vliw = run_compiled(program, vliw_module, kernel.func, args,
+                            tracer=trc)
+
+    if spec.check:
+        with trc.span("measure.check", cat="harness"):
+            for name, result in (("scalar", scalar),
+                                 ("scoreboard", scoreboard),
+                                 ("vliw", vliw)):
+                if kernel.returns_value and not _values_equal(
+                        result.value, reference.value):
+                    raise ReproError(
+                        f"{spec.kernel}: {name} returned {result.value!r},"
+                        f" expected {reference.value!r}")
+                module = baseline if name != "vliw" else vliw_module
+                if not _outputs_equal(
+                        _outputs(kernel, module, result.memory), ref_out):
+                    raise ReproError(
+                        f"{spec.kernel}: {name} memory diverged")
+
+    telemetry = None
+    if own_tracer or (tracer is not None and tracer.enabled
+                      and spec.telemetry):
+        telemetry = Telemetry.from_tracer(trc, meta={
+            "kernel": spec.kernel, "n": spec.n,
+            "config": f"TRACE {7 * spec.config.n_pairs}/200",
+            "unroll": spec.unroll, "use_profile": spec.use_profile})
+    return Measurement(spec.kernel, spec.n, spec.config, scalar.stats,
+                       scoreboard.stats, vliw.stats,
+                       compiler.stats.get(kernel.func), program,
+                       telemetry)
+
+
+def measure(kernel_name: str, n: int = 64,
             config: MachineConfig = TRACE_28_200,
             options: SchedulingOptions | None = None,
             unroll: int = 8, inline: int = 48,
             use_profile: bool = True,
-            check: bool = True) -> Measurement:
-    """Measure one kernel end to end; raises if any executor diverges."""
-    kernel = get_kernel(kernel_name)
-    args = kernel.make_args(n)
-    options = options or SchedulingOptions()
+            check: bool = True, *,
+            telemetry: bool = False, events: bool = False,
+            tracer: Tracer | None = None) -> Measurement:
+    """Positional-compatibility shim over :func:`run_measurement`.
 
-    baseline, vliw_module = prepare_modules(kernel, n, unroll, inline)
-    reference = run_module(kernel.build(n), kernel.func, args)
-    ref_out = _outputs(kernel, baseline, reference.memory)
-
-    scalar = run_scalar(baseline, kernel.func, args, config)
-    scoreboard = run_scoreboard(baseline, kernel.func, args, config)
-
-    profile = train_profile(vliw_module, kernel.func, args) \
-        if use_profile else None
-    compiler = TraceCompiler(vliw_module, config, options, profile)
-    program = compiler.compile_module()
-    vliw = run_compiled(program, vliw_module, kernel.func, args)
-
-    if check:
-        for name, result in (("scalar", scalar), ("scoreboard", scoreboard),
-                             ("vliw", vliw)):
-            if kernel.returns_value and not _values_equal(result.value,
-                                                          reference.value):
-                raise ReproError(
-                    f"{kernel_name}: {name} returned {result.value!r},"
-                    f" expected {reference.value!r}")
-            module = baseline if name != "vliw" else vliw_module
-            if not _outputs_equal(_outputs(kernel, module, result.memory),
-                                  ref_out):
-                raise ReproError(f"{kernel_name}: {name} memory diverged")
-
-    return Measurement(kernel_name, n, config, scalar.stats,
-                       scoreboard.stats, vliw.stats,
-                       compiler.stats.get(kernel.func), program)
+    The original ``measure(kernel, n, config, ...)`` call shape keeps
+    working; new options (``telemetry``, ``events``, ``tracer``) are
+    keyword-only and collected into a :class:`MeasureSpec`.
+    """
+    spec = MeasureSpec(kernel=kernel_name, n=n, config=config,
+                       options=options, unroll=unroll, inline=inline,
+                       use_profile=use_profile, check=check,
+                       telemetry=telemetry, events=events)
+    return run_measurement(spec, tracer=tracer)
 
 
 def compare_kernel(kernel_name: str, n: int = 64, **kwargs) -> Measurement:

@@ -1,11 +1,15 @@
-"""Plain-text table rendering for benchmark output.
+"""Report rendering: plain-text tables and machine-readable JSON.
 
 The benches print the same rows/series the paper reports; this module
-keeps that output consistent and diff-friendly.
+keeps that output consistent and diff-friendly.  The JSON builders back
+``repro stats``/``--json`` — one object per run, round-trippable through
+``json.dumps``, so results can be diffed, archived, and compared across
+PRs.
 """
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Iterable, Sequence
 
 
@@ -36,3 +40,40 @@ def _fmt(value) -> str:
 def print_table(rows: Sequence[dict], title: str | None = None) -> None:
     print(format_table(rows, title))
     print()
+
+
+def config_report(config) -> dict:
+    """A MachineConfig as a JSON-ready dict (plus derived figures)."""
+    report = asdict(config)
+    report["name"] = f"TRACE {7 * config.n_pairs}/200"
+    report["ops_per_instruction"] = config.ops_per_instruction
+    report["total_banks"] = config.total_banks
+    return report
+
+
+def measurement_report(measurement) -> dict:
+    """One measurement as a single JSON-ready object.
+
+    Schema: ``{"kernel", "n", "config": {...}, "results": {...},
+    "compile": {...}|null, "telemetry": {...}|null}``.
+    """
+    report = {
+        "kernel": measurement.kernel,
+        "n": measurement.n,
+        "config": config_report(measurement.config),
+        "results": measurement.row(),
+        "compile": (asdict(measurement.compile_stats)
+                    if measurement.compile_stats is not None else None),
+        "telemetry": (measurement.telemetry.to_dict()
+                      if measurement.telemetry is not None else None),
+    }
+    return report
+
+
+def sweep_report(measurements: Sequence, telemetry=None) -> dict:
+    """A whole sweep as one JSON object (rows + shared telemetry)."""
+    rows = [measurement_report(m) for m in measurements]
+    return {"kernels": [m.kernel for m in measurements],
+            "rows": rows,
+            "telemetry": telemetry.to_dict()
+            if telemetry is not None else None}

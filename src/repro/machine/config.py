@@ -70,6 +70,16 @@ class MachineConfig:
         if not 1 <= self.banks_per_controller <= 8:
             raise MachineError("banks_per_controller must be in 1..8")
 
+    @classmethod
+    def from_pairs(cls, pairs: int) -> "MachineConfig":
+        """The product-line configuration with ``pairs`` I-F board pairs.
+
+        ``from_pairs(1)``/``(2)``/``(4)`` are the TRACE 7/200, 14/200 and
+        28/200 — the single source of truth for the pairs→config mapping
+        (the 7/200 shipped with a half-populated memory of 4 controllers).
+        """
+        return cls(n_pairs=pairs, n_controllers=4 if pairs == 1 else 8)
+
     # -- derived figures --------------------------------------------------
     @property
     def instruction_bits(self) -> int:
@@ -128,6 +138,6 @@ class MachineConfig:
 
 
 #: The product line's standard configurations (TRACE 7/200, 14/200, 28/200).
-TRACE_7_200 = MachineConfig(n_pairs=1, n_controllers=4)
-TRACE_14_200 = MachineConfig(n_pairs=2, n_controllers=8)
-TRACE_28_200 = MachineConfig(n_pairs=4, n_controllers=8)
+TRACE_7_200 = MachineConfig.from_pairs(1)
+TRACE_14_200 = MachineConfig.from_pairs(2)
+TRACE_28_200 = MachineConfig.from_pairs(4)

@@ -1,0 +1,17 @@
+"""Observability: structured tracing, counters, and telemetry reports.
+
+Every pipeline phase (classical passes, trace selection, scheduling,
+register allocation, disambiguation, the three simulators) reports
+through this layer when a :class:`Tracer` is supplied, and costs nothing
+when it is not (:data:`NULL_TRACER`).
+"""
+
+from .telemetry import Telemetry
+from .tracer import (NULL_TRACER, Counters, NullTracer, Span, TraceEvent,
+                     Tracer, get_tracer)
+
+__all__ = [
+    "Telemetry",
+    "NULL_TRACER", "Counters", "NullTracer", "Span", "TraceEvent",
+    "Tracer", "get_tracer",
+]

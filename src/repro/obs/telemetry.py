@@ -1,0 +1,120 @@
+"""The Telemetry report: a frozen, JSON-ready snapshot of one run.
+
+A :class:`Telemetry` is what the harness hands back on
+``Measurement.telemetry`` and what ``repro stats``/``--json`` serialize:
+phase wall-times, the full counter registry, and (when event collection
+was on) the Chrome-trace event log.  Everything in :meth:`to_dict` is
+plain ``str``/``int``/``float``/``dict``/``list`` so it round-trips
+through ``json.dumps`` unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .tracer import Tracer
+
+#: (counter prefix, section heading) for :meth:`Telemetry.summary`.
+_SECTIONS = (
+    ("opt.", "classical optimizer"),
+    ("trace.", "trace compiler"),
+    ("sched.", "list scheduler"),
+    ("select.", "trace selector"),
+    ("disambig.", "disambiguator"),
+    ("sim.scalar.", "scalar baseline"),
+    ("sim.scoreboard.", "scoreboard baseline"),
+    ("sim.vliw.", "VLIW simulator"),
+    ("sim.icache.", "instruction cache"),
+)
+
+
+@dataclass
+class Telemetry:
+    """Structured results of one traced run.
+
+    Attributes:
+        phases: span name -> total wall-time in seconds.
+        counters: flat dotted-name counter totals.
+        events: Chrome trace-event dicts (empty unless events were on).
+        meta: free-form context (kernel, n, machine config, ...).
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, meta: dict | None = None
+                    ) -> "Telemetry":
+        return cls(phases=tracer.phase_times(),
+                   counters=tracer.counters.as_dict(),
+                   events=tracer.chrome_trace(),
+                   meta=dict(meta or {}))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready report (events omitted — use :meth:`write_events`)."""
+        return {"meta": dict(self.meta),
+                "phases": dict(self.phases),
+                "counters": dict(self.counters)}
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def chrome_trace(self) -> list[dict]:
+        return list(self.events)
+
+    def write_events(self, path) -> int:
+        """Write the Chrome-trace event file; returns the event count."""
+        events = self.chrome_trace()
+        with open(path, "w") as handle:
+            json.dump(events, handle)
+        return len(events)
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, default: float = 0):
+        return self.counters.get(name, default)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = []
+        if self.meta:
+            ctx = ", ".join(f"{k}={v}" for k, v in self.meta.items()
+                            if not isinstance(v, (dict, list)))
+            lines.append(f"telemetry [{ctx}]")
+        else:
+            lines.append("telemetry")
+        if self.phases:
+            lines.append("phases (ms):")
+            width = max(len(name) for name in self.phases)
+            for name, seconds in self.phases.items():
+                lines.append(f"  {name.ljust(width)}  {seconds * 1e3:8.3f}")
+        shown: set[str] = set()
+        for prefix, heading in _SECTIONS:
+            items = {k: v for k, v in self.counters.items()
+                     if k.startswith(prefix)}
+            if not items:
+                continue
+            shown |= set(items)
+            lines.append(f"{heading}:")
+            width = max(len(k) for k in items)
+            for name, value in items.items():
+                lines.append(f"  {name.ljust(width)}  {_fmt(value)}")
+        rest = {k: v for k, v in self.counters.items() if k not in shown}
+        if rest:
+            lines.append("other counters:")
+            width = max(len(k) for k in rest)
+            for name, value in rest.items():
+                lines.append(f"  {name.ljust(width)}  {_fmt(value)}")
+        if self.events:
+            lines.append(f"events: {len(self.events)} recorded")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))

@@ -1,0 +1,247 @@
+"""Structured tracing: nestable spans, counters, and event logs.
+
+The compiler and the simulators do all the work that on a conventional
+machine would be runtime hardware; the only way to understand a result is
+to see what they actually did.  This module is the measurement substrate:
+
+* :class:`Tracer` — collects nestable, monotonic-clocked *spans* (phase
+  wall-times), named *counters*, and optional instant *events* (a
+  Chrome-trace-format log loadable in Perfetto);
+* :class:`NullTracer` / :data:`NULL_TRACER` — the disabled twin.  Every
+  instrumented module holds a tracer unconditionally and calls it through
+  the same interface; the null implementation makes the whole layer a
+  handful of no-op attribute reads.  Hot per-beat paths additionally gate
+  on :attr:`Tracer.enabled` so a disabled run does no per-beat work at all
+  (the <5% budget is guarded by ``benchmarks/bench_obs_overhead.py``).
+
+Span timestamps use :func:`time.perf_counter` (monotonic).  Simulator
+events carry *beat numbers* as timestamps instead — they describe machine
+time, not host time — and are kept on their own track when exported.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceEvent:
+    """One entry in the structured event log.
+
+    ``ph`` follows the Chrome trace-event phase codes: ``"X"`` for a
+    complete span (has ``dur``), ``"i"`` for an instant event.  ``ts`` and
+    ``dur`` are microseconds for host-clock events; simulator events use
+    beats (see module docstring).
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    def to_chrome(self) -> dict:
+        """One Chrome trace-event dict (Perfetto-loadable)."""
+        ev = {"name": self.name, "cat": self.cat, "ph": self.ph,
+              "ts": self.ts, "pid": 1,
+              "tid": 2 if self.cat == "sim" else 1}
+        if self.ph == "X":
+            ev["dur"] = self.dur
+        if self.args:
+            ev["args"] = dict(self.args)
+        return ev
+
+
+class Counters:
+    """A flat registry of named numeric totals.
+
+    Names are dotted paths (``sim.vliw.bank_stall_beats``) so reports can
+    group by prefix.  ``inc(name, 0)`` registers the counter at zero —
+    instrumented code uses that to guarantee a key is present even when
+    the event never fired.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = {}
+
+    def inc(self, name: str, n: float = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + n
+
+    def get(self, name: str, default: float = 0):
+        return self._counts.get(name, default)
+
+    def total(self, prefix: str) -> float:
+        """Sum of every counter whose name starts with ``prefix``."""
+        return sum(v for k, v in self._counts.items()
+                   if k.startswith(prefix))
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._counts.items():
+            self.inc(name, value)
+
+    def as_dict(self) -> dict[str, float]:
+        """Sorted snapshot (ints stay ints, ready for ``json.dumps``)."""
+        return {k: self._counts[k] for k in sorted(self._counts)}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+
+class Span:
+    """Context-manager handle for one timed phase; re-entrant never."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "Span":
+        self._depth = len(self._tracer._stack)
+        self._tracer._stack.append(self.name)
+        self._start = self._tracer.now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer.now_us()
+        self._tracer._stack.pop()
+        self._tracer._record_span(self, self._start, end - self._start,
+                                  self._depth)
+
+
+class Tracer:
+    """Collects spans, counters, and (optionally) instant events.
+
+    Args:
+        events: keep the per-event log.  Span timing and counters are
+            always on; the event log is what can grow with simulated
+            beats, so it is opt-in (``--events-out`` / ``events=True``).
+    """
+
+    enabled = True
+
+    def __init__(self, events: bool = False,
+                 clock=time.perf_counter) -> None:
+        self.counters = Counters()
+        self.collect_events = events
+        self.spans: list[TraceEvent] = []
+        self.events: list[TraceEvent] = []
+        self._clock = clock
+        self._t0 = clock()
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    def now_us(self) -> float:
+        """Microseconds since the tracer was created (monotonic)."""
+        return (self._clock() - self._t0) * 1e6
+
+    def span(self, name: str, cat: str = "phase", **args) -> Span:
+        """A nestable timed phase: ``with tracer.span("trace.select"): ...``"""
+        return Span(self, name, cat, args)
+
+    def _record_span(self, span: Span, start: float, dur: float,
+                     depth: int) -> None:
+        self.spans.append(TraceEvent(span.name, span.cat, "X", start, dur,
+                                     depth, span.args))
+
+    def event(self, name: str, cat: str = "event",
+              ts: float | None = None, **args) -> None:
+        """An instant event; ``ts`` overrides the host clock (beats)."""
+        if not self.collect_events:
+            return
+        self.events.append(TraceEvent(
+            name, cat, "i", self.now_us() if ts is None else ts,
+            0.0, len(self._stack), args))
+
+    # ------------------------------------------------------------------
+    def current_span(self) -> str | None:
+        return self._stack[-1] if self._stack else None
+
+    def phase_times(self) -> dict[str, float]:
+        """Total wall-time per span name, in seconds, sorted by name."""
+        totals: dict[str, float] = {}
+        for ev in self.spans:
+            totals[ev.name] = totals.get(ev.name, 0.0) + ev.dur * 1e-6
+        return {k: totals[k] for k in sorted(totals)}
+
+    def chrome_trace(self) -> list[dict]:
+        """The full log as a Chrome trace-event list (spans + events)."""
+        return [ev.to_chrome() for ev in self.spans + self.events]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class _NullCounters(Counters):
+    """Counters that discard every increment."""
+
+    __slots__ = ()
+
+    def inc(self, name: str, n: float = 1) -> None:
+        return None
+
+    def merge(self, other: Counters) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: same interface, no state, no cost."""
+
+    enabled = False
+    collect_events = False
+
+    def __init__(self) -> None:
+        self.counters = _NullCounters()
+        self.spans: list[TraceEvent] = []
+        self.events: list[TraceEvent] = []
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def span(self, name: str, cat: str = "phase", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, cat: str = "event",
+              ts: float | None = None, **args) -> None:
+        return None
+
+    def current_span(self) -> None:
+        return None
+
+    def phase_times(self) -> dict[str, float]:
+        return {}
+
+    def chrome_trace(self) -> list[dict]:
+        return []
+
+
+#: Process-wide disabled tracer; instrumented code defaults to this.
+NULL_TRACER = NullTracer()
+
+
+def get_tracer(tracer) -> Tracer:
+    """``tracer`` if given, else the shared null tracer."""
+    return tracer if tracer is not None else NULL_TRACER

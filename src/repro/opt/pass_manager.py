@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from ..ir import Function, Module, verify_function
+from ..obs import get_tracer
 
 
 class FunctionPass(Protocol):
@@ -34,11 +35,15 @@ class PassManager:
             test suite depends on it to localise pass bugs).
         max_rounds: when > 1, repeat the whole pipeline until no pass
             reports a change or the round budget is exhausted.
+        tracer: optional :class:`~repro.obs.Tracer`; each pass gets a
+            timed ``opt.<name>`` span and ``opt.*`` counters (runs,
+            changes, ops-changed delta).
     """
 
     passes: list = field(default_factory=list)
     verify: bool = True
     max_rounds: int = 1
+    tracer: object = None
 
     def add(self, pass_obj) -> "PassManager":
         self.passes.append(pass_obj)
@@ -55,14 +60,23 @@ class PassManager:
         return log
 
     def run_function(self, func: Function, module: Module) -> list[str]:
+        tracer = get_tracer(self.tracer)
+        counters = tracer.counters
         changed_passes: list[str] = []
         for _ in range(max(1, self.max_rounds)):
             any_change = False
             for pass_obj in self.passes:
-                changed = pass_obj.run(func, module)
+                ops_before = func.op_count()
+                with tracer.span(f"opt.{pass_obj.name}", cat="opt",
+                                 function=func.name):
+                    changed = pass_obj.run(func, module)
+                counters.inc(f"opt.{pass_obj.name}.runs")
                 if changed:
                     any_change = True
                     changed_passes.append(pass_obj.name)
+                    counters.inc(f"opt.{pass_obj.name}.changes")
+                    counters.inc("opt.ops_delta",
+                                 func.op_count() - ops_before)
                 if self.verify:
                     try:
                         verify_function(func, module)
@@ -76,7 +90,8 @@ class PassManager:
 
 def classical_pipeline(unroll_factor: int = 0,
                        inline_budget: int = 0,
-                       verify: bool = True) -> PassManager:
+                       verify: bool = True,
+                       tracer=None) -> PassManager:
     """The standard pre-scheduling pipeline.
 
     ``unroll_factor`` 0/1 disables unrolling; ``inline_budget`` 0 disables
@@ -92,7 +107,7 @@ def classical_pipeline(unroll_factor: int = 0,
     from .strength import InductionVariableSimplify
     from .unroll import LoopUnroll
 
-    pm = PassManager(verify=verify, max_rounds=2)
+    pm = PassManager(verify=verify, max_rounds=2, tracer=tracer)
     if inline_budget:
         pm.add(Inliner(max_callee_ops=inline_budget))
     pm.add(ConstantFold())

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..machine import (BLOCK_INSTRUCTIONS, MASK_WORDS, CompiledFunction,
                        MachineConfig, encode_instruction)
+from ..obs import get_tracer
 
 
 @dataclass
@@ -46,7 +47,7 @@ class ICacheModel:
     """
 
     def __init__(self, config: MachineConfig, tagged: bool = True,
-                 lines: int | None = None) -> None:
+                 lines: int | None = None, tracer=None) -> None:
         self.config = config
         self.tagged = tagged
         self.n_lines = lines if lines is not None else \
@@ -55,6 +56,7 @@ class ICacheModel:
         self._block_words: dict[tuple, int] = {}
         self.asid = 0
         self.stats = ICacheStats()
+        self.tracer = get_tracer(tracer)
 
     # ------------------------------------------------------------------
     def register_function(self, cf: CompiledFunction,
@@ -92,4 +94,7 @@ class ICacheModel:
         # word per bus per beat, masks interpreted in parallel
         beats = -(-words // max(1, self.config.n_load_buses))
         self.stats.refill_beats += beats
+        if self.tracer.enabled:
+            self.tracer.counters.inc("sim.icache.misses")
+            self.tracer.counters.inc("sim.icache.refill_beats", beats)
         return beats

@@ -25,6 +25,7 @@ from ..ir import (ACCESS_SIZE, Function, Imm, MemoryImage, Module, Opcode,
                   Operation, RegClass, Symbol, VReg, wrap32)
 from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
 from ..machine import MachineConfig, latency_of
+from ..obs import get_tracer
 
 
 @dataclass
@@ -58,12 +59,13 @@ class ScalarSimulator:
 
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  fp_mode: str = "precise",
-                 max_cycles: int = 100_000_000) -> None:
+                 max_cycles: int = 100_000_000, tracer=None) -> None:
         self.module = module
         self.config = config or MachineConfig()
         self.fp_mode = fp_mode
         self.max_cycles = max_cycles
         self.stats = ScalarStats()
+        self.tracer = get_tracer(tracer)
         self._eval = Interpreter.__new__(Interpreter)
         self._eval.fp_mode = fp_mode
 
@@ -74,6 +76,14 @@ class ScalarSimulator:
             memory = MemoryImage(self.module)
         self.memory = memory
         value = self._call(self.module.function(func_name), list(args))
+        c = self.tracer.counters
+        c.inc("sim.scalar.cycles", self.stats.cycles)
+        c.inc("sim.scalar.beats", self.stats.beats)
+        c.inc("sim.scalar.ops", self.stats.ops)
+        c.inc("sim.scalar.branch_bubbles", self.stats.branch_bubbles)
+        c.inc("sim.scalar.loads", self.stats.loads)
+        c.inc("sim.scalar.stores", self.stats.stores)
+        c.inc("sim.scalar.calls", self.stats.calls)
         return ScalarResult(value, memory, self.stats)
 
     # ------------------------------------------------------------------
@@ -194,6 +204,7 @@ class ScalarSimulator:
 
 def run_scalar(module: Module, func_name: str, args=(),
                config: MachineConfig | None = None,
-               fp_mode: str = "precise") -> ScalarResult:
+               fp_mode: str = "precise", tracer=None) -> ScalarResult:
     """One-shot scalar baseline run."""
-    return ScalarSimulator(module, config, fp_mode).run(func_name, args)
+    return ScalarSimulator(module, config, fp_mode,
+                           tracer=tracer).run(func_name, args)

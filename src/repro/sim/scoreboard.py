@@ -25,6 +25,7 @@ from ..ir import (ACCESS_SIZE, Category, Function, Imm, MemoryImage, Module,
                   Opcode, Operation, RegClass, Symbol, VReg, wrap32)
 from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
 from ..machine import MachineConfig, latency_of
+from ..obs import get_tracer
 
 #: functional-unit kind per op category
 _FU_KIND = {
@@ -67,12 +68,13 @@ class ScoreboardSimulator:
 
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  fp_mode: str = "precise",
-                 max_cycles: int = 100_000_000) -> None:
+                 max_cycles: int = 100_000_000, tracer=None) -> None:
         self.module = module
         self.config = config or MachineConfig()
         self.fp_mode = fp_mode
         self.max_cycles = max_cycles
         self.stats = ScoreboardStats()
+        self.tracer = get_tracer(tracer)
         self._eval = Interpreter.__new__(Interpreter)
         self._eval.fp_mode = fp_mode
         n = self.config.n_pairs
@@ -85,6 +87,14 @@ class ScoreboardSimulator:
             memory = MemoryImage(self.module)
         self.memory = memory
         value, _ = self._call(self.module.function(func_name), list(args), 0)
+        c = self.tracer.counters
+        c.inc("sim.scoreboard.cycles", self.stats.cycles)
+        c.inc("sim.scoreboard.beats", self.stats.beats)
+        c.inc("sim.scoreboard.ops", self.stats.ops)
+        c.inc("sim.scoreboard.issue_stalls", self.stats.issue_stalls)
+        c.inc("sim.scoreboard.loads", self.stats.loads)
+        c.inc("sim.scoreboard.stores", self.stats.stores)
+        c.inc("sim.scoreboard.calls", self.stats.calls)
         return ScoreboardResult(value, memory, self.stats)
 
     # ------------------------------------------------------------------
@@ -236,6 +246,8 @@ class ScoreboardSimulator:
 
 def run_scoreboard(module: Module, func_name: str, args=(),
                    config: MachineConfig | None = None,
-                   fp_mode: str = "precise") -> ScoreboardResult:
+                   fp_mode: str = "precise",
+                   tracer=None) -> ScoreboardResult:
     """One-shot scoreboard baseline run."""
-    return ScoreboardSimulator(module, config, fp_mode).run(func_name, args)
+    return ScoreboardSimulator(module, config, fp_mode,
+                               tracer=tracer).run(func_name, args)

@@ -35,6 +35,7 @@ from ..ir import (ACCESS_SIZE, FUNNY_FLOAT, FUNNY_INT, Imm, MemoryImage,
 from ..ir.interp import Interpreter
 from ..machine import (CompiledFunction, CompiledProgram, MachineConfig,
                        latency_of)
+from ..obs import get_tracer
 
 
 @dataclass
@@ -88,7 +89,7 @@ class VliwSimulator:
                  memory: MemoryImage,
                  fp_mode: str = "precise",
                  max_beats: int = 200_000_000,
-                 icache=None, tlb=None) -> None:
+                 icache=None, tlb=None, tracer=None) -> None:
         self.program = program
         self.config = program.config
         self.memory = memory
@@ -100,6 +101,10 @@ class VliwSimulator:
         self.icache = icache
         #: optional TlbModel — charges batched trap/replay beats on misses
         self.tlb = tlb
+        self.tracer = get_tracer(tracer)
+        # per-beat hooks fire only when an event-collecting tracer is
+        # attached; a disabled run pays a single cached-bool test per site
+        self._emit = self.tracer.enabled and self.tracer.collect_events
         if icache is not None:
             for cf in program.functions.values():
                 icache.register_function(cf, getattr(memory, "layout", None))
@@ -108,7 +113,36 @@ class VliwSimulator:
     def run(self, func_name: str, args=()) -> VliwResult:
         cf = self.program.function(func_name)
         value = self._run_function(cf, list(args), start_beat=0)[0]
+        self._fold_stats()
         return VliwResult(value, self.memory, self.stats)
+
+    def _fold_stats(self) -> None:
+        """Accumulate event totals into the obs counter registry."""
+        c = self.tracer.counters
+        s = self.stats
+        c.inc("sim.vliw.beats", s.beats)
+        c.inc("sim.vliw.instructions", s.instructions)
+        c.inc("sim.vliw.ops", s.ops)
+        c.inc("sim.vliw.loads", s.loads)
+        c.inc("sim.vliw.stores", s.stores)
+        c.inc("sim.vliw.branches", s.branches)
+        c.inc("sim.vliw.taken_branches", s.taken_branches)
+        c.inc("sim.vliw.bank_stall_beats", s.bank_stall_beats)
+        c.inc("sim.vliw.gamble_refs", s.gamble_refs)
+        c.inc("sim.vliw.unexpected_bank_stalls", s.unexpected_bank_stalls)
+        c.inc("sim.vliw.calls", s.calls)
+        c.inc("sim.vliw.dismissed_loads", s.dismissed_loads)
+        # NOP density: issue slots the mask-word encoding leaves empty
+        # (paper section 6 — absent fields cost nothing in memory but are
+        # real unused issue opportunities)
+        nop_slots = (s.instructions * self.config.ops_per_instruction
+                     - s.ops)
+        c.inc("sim.vliw.nop_slots", nop_slots)
+        c.inc("sim.vliw.icache_misses",
+              self.icache.stats.misses if self.icache is not None else 0)
+        c.inc("sim.vliw.icache_refill_beats",
+              self.icache.stats.refill_beats
+              if self.icache is not None else 0)
 
     # ------------------------------------------------------------------
     def _run_function(self, cf: CompiledFunction, args: list,
@@ -135,6 +169,10 @@ class VliwSimulator:
             if self.icache is not None:
                 fetch_stall = self.icache.access(cf.name, pc)
                 if fetch_stall:
+                    if self._emit:
+                        self.tracer.event("icache_miss", cat="sim", ts=beat,
+                                          function=cf.name, pc=pc,
+                                          beats=fetch_stall)
                     pending[:] = [(b + fetch_stall, r, v)
                                   for b, r, v in pending]
                     beat += fetch_stall
@@ -168,6 +206,9 @@ class VliwSimulator:
                         issue_beat += extra
                     self.stats.ops += 1
 
+            if stall and self._emit:
+                self.tracer.event("bank_stall", cat="sim", ts=beat,
+                                  function=cf.name, pc=pc, beats=stall)
             beat += 2 + stall
             self.stats.beats += 2 + stall
             self.stats.bank_stall_beats += stall
@@ -185,6 +226,10 @@ class VliwSimulator:
             for bt, pred in zip(li.branches, branch_vals):
                 self.stats.branches += 1
                 taken = (not pred) if bt.negate else bool(pred)
+                if self._emit:
+                    self.tracer.event("branch", cat="sim", ts=beat,
+                                      function=cf.name, pc=pc, taken=taken,
+                                      target=bt.target)
                 if taken:
                     self.stats.taken_branches += 1
                     next_pc = cf.resolve(bt.target)
@@ -349,9 +394,10 @@ class VliwSimulator:
 
 def run_compiled(program: CompiledProgram, module, func_name: str,
                  args=(), fp_mode: str = "precise",
-                 memory: MemoryImage | None = None) -> VliwResult:
+                 memory: MemoryImage | None = None,
+                 tracer=None) -> VliwResult:
     """Convenience: build the memory image, run, return the result."""
     if memory is None:
         memory = MemoryImage(module)
-    sim = VliwSimulator(program, memory, fp_mode)
+    sim = VliwSimulator(program, memory, fp_mode, tracer=tracer)
     return sim.run(func_name, args)

@@ -19,6 +19,7 @@ from ..ir import (Function, Module, Opcode, Operation, Profile, RegClass,
 from ..machine import (BranchTest, CompiledFunction, CompiledProgram,
                        LongInstruction, MachineConfig, ScheduledOp,
                        latency_of)
+from ..obs import get_tracer
 from ..opt import clone_operations
 from .depgraph import SchedulingOptions, build_trace_graph
 from .profile import (ExecutionEstimates, estimate_from_profile,
@@ -64,25 +65,31 @@ class TraceCompiler:
 
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  options: SchedulingOptions | None = None,
-                 profile: Profile | None = None) -> None:
+                 profile: Profile | None = None,
+                 tracer=None) -> None:
         self.module = module
         self.config = config or MachineConfig()
         self.options = options or SchedulingOptions()
         self.profile = profile
+        self.tracer = get_tracer(tracer)
         self.disambiguator = Disambiguator(
-            module, fortran_args=self.options.fortran_args)
+            module, fortran_args=self.options.fortran_args,
+            tracer=self.tracer)
         self.stats: dict[str, TraceCompileStats] = {}
 
     # ------------------------------------------------------------------
     def compile_module(self) -> CompiledProgram:
         program = CompiledProgram(config=self.config)
         for func in self.module.functions.values():
-            program.add(self.compile_function(func))
+            cf, _stats = self.compile_function(func)
+            program.add(cf)
         return program
 
-    def compile_function(self, func: Function) -> CompiledFunction:
+    def compile_function(
+            self, func: Function) -> tuple[CompiledFunction,
+                                           TraceCompileStats]:
         """Compile one function, backing off code motion under register
-        pressure.
+        pressure; returns the compiled function and its statistics.
 
         Aggressive speculation and join motion stretch live ranges; when
         allocation fails, the function is recompiled with motion disabled
@@ -100,8 +107,11 @@ class TraceCompiler:
                 bank_gamble=self.options.bank_gamble)
             return self._compile_function(func, conservative)
 
-    def _compile_function(self, func: Function,
-                          options: SchedulingOptions) -> CompiledFunction:
+    def _compile_function(
+            self, func: Function,
+            options: SchedulingOptions) -> tuple[CompiledFunction,
+                                                 TraceCompileStats]:
+        tracer = self.tracer
         derive_memrefs(func)
         work = clone_function(func)
         stats = TraceCompileStats()
@@ -112,7 +122,7 @@ class TraceCompiler:
             estimates = estimate_from_profile(work, self.profile)
         else:
             estimates = estimate_static(work)
-        selector = TraceSelector(work, estimates)
+        selector = TraceSelector(work, estimates, tracer=tracer)
         entry_labels: set[str] = {work.entry.name}
         entry_name = work.entry.name
 
@@ -123,14 +133,20 @@ class TraceCompiler:
         comp_counter = 0
 
         while True:
-            trace = selector.next_trace()
+            with tracer.span("trace.select", cat="compile",
+                             function=func.name):
+                trace = selector.next_trace()
             if trace is None:
                 break
-            graph = build_trace_graph(work, trace, self.disambiguator,
-                                      self.config, options,
-                                      live_in_map, entry_labels)
-            sched = ListScheduler(graph, self.config, self.disambiguator,
-                                  options).run()
+            with tracer.span("trace.depgraph", cat="compile",
+                             function=func.name, blocks=len(trace)):
+                graph = build_trace_graph(work, trace, self.disambiguator,
+                                          self.config, options,
+                                          live_in_map, entry_labels)
+            with tracer.span("trace.schedule", cat="compile",
+                             function=func.name, nodes=len(graph.nodes)):
+                sched = ListScheduler(graph, self.config, self.disambiguator,
+                                      options, tracer=tracer).run()
             stats.n_traces += 1
             stats.trace_lengths.append(len(trace))
             stats.n_gambles += sched.gambles
@@ -138,15 +154,29 @@ class TraceCompiler:
             for bname in trace.blocks:
                 work.remove_block(bname)
 
-            comp_counter = self._emit_trace(
-                work, trace, graph, sched, cf, stats, estimates,
-                live_in_map, entry_labels, selector, comp_counter)
+            with tracer.span("trace.compensation", cat="compile",
+                             function=func.name):
+                comp_counter = self._emit_trace(
+                    work, trace, graph, sched, cf, stats, estimates,
+                    live_in_map, entry_labels, selector, comp_counter)
 
-        allocate_registers(cf, self.config)
+        with tracer.span("trace.regalloc", cat="compile",
+                         function=func.name):
+            allocate_registers(cf, self.config)
         stats.n_instructions = len(cf.instructions)
         stats.n_ops = cf.op_count()
-        cf.meta["stats"] = stats
-        return cf
+        self._fold_stats(stats)
+        return cf, stats
+
+    def _fold_stats(self, stats: TraceCompileStats) -> None:
+        """Accumulate one function's statistics into the obs counters."""
+        c = self.tracer.counters
+        c.inc("trace.traces", stats.n_traces)
+        c.inc("trace.instructions", stats.n_instructions)
+        c.inc("trace.ops", stats.n_ops)
+        c.inc("trace.speculated_loads", stats.n_speculated_loads)
+        c.inc("trace.compensation_ops", stats.n_compensation_ops)
+        c.inc("trace.gambles", stats.n_gambles)
 
     # ------------------------------------------------------------------
     def _emit_trace(self, work: Function, trace: Trace, graph, sched,
@@ -275,6 +305,8 @@ class TraceCompiler:
 
 def compile_module(module: Module, config: MachineConfig | None = None,
                    options: SchedulingOptions | None = None,
-                   profile: Profile | None = None) -> CompiledProgram:
+                   profile: Profile | None = None,
+                   tracer=None) -> CompiledProgram:
     """One-shot convenience wrapper around :class:`TraceCompiler`."""
-    return TraceCompiler(module, config, options, profile).compile_module()
+    return TraceCompiler(module, config, options, profile,
+                         tracer=tracer).compile_module()

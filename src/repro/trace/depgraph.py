@@ -292,7 +292,10 @@ def build_trace_graph(func: Function, trace: Trace,
                     if earlier.op.dest is not None \
                             and earlier.op.dest in live_off:
                         lat = latency_of(earlier.op, config)
-                        if lat > 2:
+                        # lat == 2 still needs the (zero-latency) beat
+                        # edge: issued on the late beat it lands at 2t+3,
+                        # one beat after the transfer at 2t+2
+                        if lat >= 2:
                             graph.add_edge(earlier.index, node.index,
                                            "beat", lat - 2)
             for later in nodes[node.index + 1:]:

@@ -19,6 +19,7 @@ from ..errors import ScheduleError
 from ..ir import Opcode, Operation, RegClass
 from ..machine import (MachineConfig, ReservationTable, Unit, imm_value,
                        latency_of, needs_imm_word, units_for)
+from ..obs import get_tracer
 from .depgraph import Node, SchedulingOptions, TraceGraph
 
 
@@ -56,11 +57,13 @@ class ListScheduler:
 
     def __init__(self, graph: TraceGraph, config: MachineConfig,
                  disambiguator: Disambiguator,
-                 options: SchedulingOptions | None = None) -> None:
+                 options: SchedulingOptions | None = None,
+                 tracer=None) -> None:
         self.graph = graph
         self.config = config
         self.disambiguator = disambiguator
         self.options = options or SchedulingOptions()
+        self.tracer = get_tracer(tracer)
         self.table = ReservationTable(config)
         self.result = TraceSchedule()
         self._mem_placed: list[PlacedNode] = []
@@ -131,6 +134,11 @@ class ListScheduler:
                         "scheduler made no progress for 10000 instructions")
         self.result.n_instructions = 1 + max(
             p.instruction for p in self.result.placements.values())
+        counters = self.tracer.counters
+        counters.inc("sched.traces")
+        counters.inc("sched.instructions", self.result.n_instructions)
+        counters.inc("sched.placed_nodes", len(self.result.placements))
+        counters.inc("sched.gambles", self.result.gambles)
         return self.result
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..analysis import CFG
 from ..ir import Function
+from ..obs import get_tracer
 from .profile import ExecutionEstimates
 
 
@@ -37,11 +38,12 @@ class TraceSelector:
     """Stateful selector over one function's CFG."""
 
     def __init__(self, func: Function, estimates: ExecutionEstimates,
-                 max_trace_blocks: int = 64) -> None:
+                 max_trace_blocks: int = 64, tracer=None) -> None:
         self.func = func
         self.estimates = estimates
         self.max_trace_blocks = max_trace_blocks
         self.scheduled: set[str] = set()
+        self.tracer = get_tracer(tracer)
 
     # ------------------------------------------------------------------
     def mark_scheduled(self, trace: Trace) -> None:
@@ -98,6 +100,10 @@ class TraceSelector:
                 break
             blocks.insert(0, pred)
 
+        counters = self.tracer.counters
+        counters.inc("select.traces")
+        counters.inc("select.blocks", len(blocks))
+        counters.inc("select.seed_weight", self.estimates.weight(seed))
         return Trace(blocks)
 
 

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -52,6 +54,51 @@ int f(int n) {
     out = capsys.readouterr().out
     assert "f(10) = 90" in out
     assert "beats" in out
+
+
+def test_stats(capsys):
+    assert main(["stats", "vadd", "-n", "16", "--unroll", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "phases (ms):" in out
+    assert "trace.select" in out
+    assert "sim.vliw.bank_stall_beats" in out
+
+
+def test_stats_json(capsys):
+    assert main(["stats", "vadd", "-n", "16", "--unroll", "4",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["kernel"] == "vadd"
+    telemetry = report["telemetry"]
+    assert "trace.schedule" in telemetry["phases"]
+    assert "sim.vliw.nop_slots" in telemetry["counters"]
+
+
+def test_measure_json(capsys):
+    assert main(["measure", "vadd", "-n", "16", "--unroll", "4",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["results"]["vliw_speedup"] > 1.0
+    assert report["compile"]["n_traces"] >= 1
+    assert report["config"]["n_pairs"] == 4
+
+
+def test_measure_events_out(tmp_path, capsys):
+    trace_file = tmp_path / "events.json"
+    assert main(["measure", "vadd", "-n", "16", "--unroll", "4",
+                 "--events-out", str(trace_file)]) == 0
+    events = json.loads(trace_file.read_text())
+    assert events and {"name", "cat", "ph", "ts"} <= set(events[0])
+    assert any(ev["cat"] == "sim" for ev in events)
+
+
+def test_sweep_json(capsys):
+    assert main(["sweep", "-n", "16", "--unroll", "2", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert "daxpy" in report["kernels"]
+    assert len(report["rows"]) == len(report["kernels"])
+    assert report["telemetry"]["counters"]["trace.traces"] >= \
+        len(report["kernels"])
 
 
 def test_unknown_kernel_rejected():

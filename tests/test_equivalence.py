@@ -107,6 +107,22 @@ class TestEquivalenceSeeds:
         _check_program(seed, unroll=0, config=TRACE_28_200,
                        options=SchedulingOptions(join_motion=False))
 
+    def test_late_beat_producer_lands_before_offtrace_transfer(self):
+        """Regression (seed 200, bigger-program config): a latency-2 op
+        (integer multiply) issued on the *late* beat of the instruction
+        whose branch exits the trace lands at 2t+3 — one beat after
+        control transfers at 2t+2.  The off-trace path then read the
+        stale register.  The depgraph's cross-trace timing edge must
+        cover lat == 2, not just lat > 2."""
+        config = GeneratorConfig(max_stmts=10, max_depth=3, n_arrays=3)
+        module = generate_program(200, config)
+        ref = run_module(module, "main", ARGS)
+        program = compile_module(module, TRACE_28_200)
+        vliw = run_compiled(program, module, "main", ARGS)
+        assert _values_equal(vliw.value, ref.value)
+        assert _states_equal(_array_state(module, vliw.memory),
+                             _array_state(module, ref.memory))
+
     @pytest.mark.parametrize("seed", range(8))
     def test_no_gamble(self, seed):
         _check_program(seed, unroll=0, config=TRACE_28_200,

@@ -1,0 +1,204 @@
+"""Tests for the observability layer (repro.obs) and its integration."""
+
+import json
+
+import pytest
+
+from repro.harness import (MeasureSpec, Measurement, compare_kernel,
+                           measure, measurement_report, run_measurement)
+from repro.machine import (MachineConfig, TRACE_7_200, TRACE_14_200,
+                           TRACE_28_200)
+from repro.errors import MachineError
+from repro.obs import (NULL_TRACER, Counters, NullTracer, Telemetry,
+                       TraceEvent, Tracer, get_tracer)
+
+
+class TestTracer:
+    def test_span_nesting_depths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            assert tracer.current_span() == "outer"
+            with tracer.span("inner"):
+                assert tracer.current_span() == "inner"
+        assert tracer.current_span() is None
+        by_name = {ev.name: ev for ev in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # the inner span closes first and nests inside the outer window
+        assert by_name["inner"].ts >= by_name["outer"].ts
+        assert by_name["inner"].dur <= by_name["outer"].dur
+
+    def test_phase_times_accumulate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase.a"):
+                pass
+        with tracer.span("phase.b"):
+            pass
+        times = tracer.phase_times()
+        assert set(times) == {"phase.a", "phase.b"}
+        assert all(t >= 0.0 for t in times.values())
+
+    def test_span_monotonic_clock(self):
+        ticks = iter(range(100))
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.spans
+        assert span.dur > 0
+
+    def test_counter_totals(self):
+        c = Counters()
+        c.inc("a.x")
+        c.inc("a.x", 4)
+        c.inc("a.y", 2)
+        c.inc("b.z", 0)            # registers the key at zero
+        assert c.get("a.x") == 5
+        assert c.total("a.") == 7
+        assert "b.z" in c and c.get("b.z") == 0
+        other = Counters()
+        other.inc("a.x", 10)
+        c.merge(other)
+        assert c.get("a.x") == 15
+        assert list(c.as_dict()) == ["a.x", "a.y", "b.z"]
+
+    def test_events_opt_in(self):
+        silent = Tracer(events=False)
+        silent.event("boom", ts=1)
+        assert silent.events == []
+        loud = Tracer(events=True)
+        loud.event("boom", cat="sim", ts=7, pc=3)
+        (ev,) = loud.events
+        assert (ev.name, ev.ts, ev.args["pc"]) == ("boom", 7, 3)
+
+    def test_chrome_trace_format(self):
+        tracer = Tracer(events=True)
+        with tracer.span("compile", cat="compile"):
+            tracer.event("branch", cat="sim", ts=4, taken=True)
+        trace = tracer.chrome_trace()
+        assert json.loads(json.dumps(trace)) == trace
+        phases = {ev["ph"] for ev in trace}
+        assert phases == {"X", "i"}
+        span = next(ev for ev in trace if ev["ph"] == "X")
+        assert "dur" in span and span["pid"] == 1
+
+
+class TestNullTracer:
+    def test_null_tracer_is_noop(self):
+        null = NullTracer()
+        assert not null.enabled
+        with null.span("anything", cat="x", arg=1):
+            null.counters.inc("never", 100)
+            null.event("never", ts=1)
+        assert null.spans == [] and null.events == []
+        assert null.phase_times() == {} and null.chrome_trace() == []
+        assert null.counters.get("never") == 0
+        assert len(null.counters) == 0
+
+    def test_get_tracer_defaults_to_shared_null(self):
+        assert get_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert get_tracer(real) is real
+
+
+class TestTelemetryReport:
+    def test_measure_telemetry_schema(self):
+        m = measure("daxpy", 32, telemetry=True)
+        t = m.telemetry
+        assert isinstance(t, Telemetry)
+        # per-phase wall-times for the compiler's inner phases
+        for phase in ("trace.select", "trace.schedule", "trace.regalloc",
+                      "trace.depgraph", "sim.vliw"):
+            assert phase in t.phases and t.phases[phase] >= 0.0
+        # per-simulator event counters, present even at zero
+        for counter in ("sim.vliw.bank_stall_beats", "sim.vliw.nop_slots",
+                        "sim.vliw.icache_misses", "sim.scalar.cycles",
+                        "sim.scoreboard.cycles", "trace.traces",
+                        "select.traces", "sched.instructions"):
+            assert counter in t.counters, counter
+        assert t.counter("sim.vliw.beats") == m.vliw.beats
+        assert t.counter("trace.traces") == m.compile_stats.n_traces
+        # disambiguator mirror: every alias/bank query is counted
+        assert sum(v for k, v in t.counters.items()
+                   if k.startswith("disambig.")) > 0
+
+    def test_telemetry_round_trips_json(self):
+        t = measure("vadd", 16, telemetry=True).telemetry
+        blob = json.dumps(t.to_dict())
+        assert json.loads(blob) == t.to_dict()
+        assert json.loads(t.to_json()) == t.to_dict()
+
+    def test_summary_readable(self):
+        t = measure("vadd", 16, telemetry=True).telemetry
+        text = t.summary()
+        assert "phases (ms):" in text
+        assert "VLIW simulator" in text
+        assert "sim.vliw.nop_slots" in text
+
+    def test_telemetry_off_by_default(self):
+        assert measure("vadd", 16).telemetry is None
+
+    def test_events_collected_on_request(self):
+        t = measure("vadd", 16, events=True).telemetry
+        assert t is not None
+        cats = {ev["cat"] for ev in t.chrome_trace()}
+        assert "sim" in cats        # per-beat simulator events present
+
+    def test_write_events(self, tmp_path):
+        t = measure("vadd", 16, events=True).telemetry
+        path = tmp_path / "trace.json"
+        count = t.write_events(path)
+        assert count == len(json.loads(path.read_text())) > 0
+
+
+class TestMeasureSpecApi:
+    def test_spec_form(self):
+        spec = MeasureSpec(kernel="vadd", n=16, config=TRACE_7_200,
+                           unroll=4, telemetry=True)
+        m = run_measurement(spec)
+        assert isinstance(m, Measurement)
+        assert m.config is TRACE_7_200
+        assert m.telemetry is not None
+
+    def test_old_positional_shapes_still_work(self):
+        m = measure("vadd", 16, TRACE_7_200, None, 4)
+        assert m.kernel == "vadd" and m.n == 16
+        assert compare_kernel("vadd", 16).vliw_speedup > 1.0
+
+    def test_compile_stats_typed(self):
+        from repro.trace import TraceCompileStats
+        m = measure("vadd", 16)
+        assert isinstance(m.compile_stats, TraceCompileStats)
+
+    def test_shared_tracer_across_runs(self):
+        tracer = Tracer()
+        measure("vadd", 16, tracer=tracer)
+        beats_once = tracer.counters.get("sim.vliw.beats")
+        measure("vadd", 16, tracer=tracer)
+        assert tracer.counters.get("sim.vliw.beats") == 2 * beats_once
+
+    def test_measurement_report_schema(self):
+        m = measure("vadd", 16, telemetry=True)
+        report = measurement_report(m)
+        assert json.loads(json.dumps(report)) == report
+        assert report["config"]["n_pairs"] == 4
+        assert report["compile"]["n_traces"] == m.compile_stats.n_traces
+        assert report["telemetry"]["counters"]["sim.vliw.beats"] \
+            == m.vliw.beats
+
+    def test_root_package_reexports(self):
+        import repro
+        assert repro.measure is measure
+        assert repro.MeasureSpec is MeasureSpec
+        assert repro.Measurement is Measurement
+
+
+class TestFromPairs:
+    def test_matches_product_line(self):
+        assert MachineConfig.from_pairs(1) == TRACE_7_200
+        assert MachineConfig.from_pairs(2) == TRACE_14_200
+        assert MachineConfig.from_pairs(4) == TRACE_28_200
+
+    def test_invalid_pairs_rejected(self):
+        with pytest.raises(MachineError):
+            MachineConfig.from_pairs(3)

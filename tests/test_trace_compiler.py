@@ -207,8 +207,9 @@ class TestCompiledStructure:
         """A load hoisted above the loop-exit branch becomes dismissable."""
         compiler = TraceCompiler(sum_array_module, TRACE_28_200,
                                  SchedulingOptions())
-        cf = compiler.compile_function(sum_array_module.function("sumA"))
-        stats = compiler.stats["sumA"]
+        cf, stats = compiler.compile_function(
+            sum_array_module.function("sumA"))
+        assert stats is compiler.stats["sumA"]
         has_spec = any(so.op.is_speculative
                        for li in cf.instructions for so in li.ops)
         assert has_spec == (stats.n_speculated_loads > 0)
@@ -216,8 +217,9 @@ class TestCompiledStructure:
     def test_no_speculation_option(self, sum_array_module):
         compiler = TraceCompiler(sum_array_module, TRACE_28_200,
                                  SchedulingOptions(speculation=False))
-        cf = compiler.compile_function(sum_array_module.function("sumA"))
-        assert compiler.stats["sumA"].n_speculated_loads == 0
+        cf, stats = compiler.compile_function(
+            sum_array_module.function("sumA"))
+        assert stats.n_speculated_loads == 0
         assert not any(so.op.is_speculative
                        for li in cf.instructions for so in li.ops)
 
@@ -225,8 +227,8 @@ class TestCompiledStructure:
         """The off-trace arm enters mid-trace: join compensation appears."""
         compiler = TraceCompiler(diamond_module, TRACE_28_200,
                                  SchedulingOptions())
-        cf = compiler.compile_function(diamond_module.function("absdiff"))
-        stats = compiler.stats["absdiff"]
+        cf, stats = compiler.compile_function(
+            diamond_module.function("absdiff"))
         # the ret block's fadd-free ops move above the join; either
         # compensation was emitted or nothing moved — both paths must work
         assert run_compiled_program(cf, compiler, diamond_module)
