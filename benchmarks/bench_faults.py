@@ -1,0 +1,92 @@
+"""Fault injection & recovery: the cost of precise interrupts.
+
+Paper section 4: interrupts on the TRACE are precise because the machine
+simply stops issuing and lets the self-draining pipelines empty — no
+scoreboard or shadow state.  The price is the drain (bounded by the
+deepest pipeline) plus handler service time, paid per interrupt.  This
+bench sweeps the interrupt rate over one kernel and shows the overhead
+is linear in the number of interrupts and architecturally invisible
+(identical results), and that a checkpoint/resume round trip reproduces
+the uninterrupted run bit-identically.
+"""
+
+from repro.faults import (FaultEvent, FaultInjector, INTERRUPT,
+                          InjectionPlan, SERVICE_BEATS)
+from repro.harness import prepare_modules
+from repro.ir import MemoryImage
+from repro.machine import TRACE_28_200
+from repro.sim import VliwSimulator, run_compiled
+from repro.trace import compile_module
+from repro.workloads import get_kernel
+
+from .conftest import bench_once
+
+KERNEL, N, UNROLL = "daxpy", 64, 8
+
+
+def _compiled():
+    kernel = get_kernel(KERNEL)
+    _, module = prepare_modules(kernel, N, unroll=UNROLL)
+    program = compile_module(module, TRACE_28_200)
+    return kernel, module, program
+
+
+def test_interrupt_overhead_is_linear_and_invisible(show, benchmark):
+    kernel, module, program = _compiled()
+    args = kernel.make_args(N)
+    clean = run_compiled(program, module, kernel.func, args)
+
+    rows = []
+    prev_beats = clean.stats.beats
+    for count in (1, 4, 16):
+        beats = clean.stats.beats
+        plan = InjectionPlan([FaultEvent(i * beats // (count + 1), INTERRUPT)
+                              for i in range(1, count + 1)])
+        inj = FaultInjector(plan)
+        res = run_compiled(program, module, kernel.func, args, injector=inj)
+        assert res.value == clean.value
+        assert res.memory.snapshot() == clean.memory.snapshot()
+        assert res.stats.interrupts == count
+        overhead = res.stats.beats - clean.stats.beats
+        rows.append({"interrupts": count, "beats": res.stats.beats,
+                     "overhead_beats": overhead,
+                     "per_interrupt": round(overhead / count, 1)})
+        # each interrupt costs at least its service time, and the run
+        # never gets cheaper as the rate rises
+        assert overhead >= count * SERVICE_BEATS
+        assert res.stats.beats >= prev_beats
+        prev_beats = res.stats.beats
+    show([{"interrupts": 0, "beats": clean.stats.beats,
+           "overhead_beats": 0, "per_interrupt": 0.0}] + rows,
+         f"{KERNEL} n={N}: precise-interrupt overhead "
+         f"(service {SERVICE_BEATS} beats + drain per event)")
+    bench_once(benchmark,
+               lambda: run_compiled(program, module, kernel.func, args,
+                                    injector=FaultInjector(
+                                        InjectionPlan.random(
+                                            1, clean.stats.beats))))
+
+
+def test_checkpoint_resume_round_trip(show, benchmark):
+    kernel, module, program = _compiled()
+    args = kernel.make_args(N)
+    clean = run_compiled(program, module, kernel.func, args)
+
+    def round_trip():
+        inj = FaultInjector(InjectionPlan.interrupt_at(
+            clean.stats.beats // 2, checkpoint=True))
+        first = VliwSimulator(program, MemoryImage(module),
+                              injector=inj).run(kernel.func, args)
+        assert first.interrupted
+        return first.checkpoint, VliwSimulator(
+            program, MemoryImage(module)).resume(first.checkpoint)
+
+    checkpoint, resumed = round_trip()
+    assert resumed.value == clean.value
+    assert resumed.memory.snapshot() == clean.memory.snapshot()
+    show([{"run": "uninterrupted", "beats": clean.stats.beats},
+          {"run": "checkpoint+resume", "beats": resumed.stats.beats},
+          {"run": "drain cost", "beats": checkpoint.drain_beats}],
+         f"{KERNEL} n={N}: checkpoint/resume reproduces the run "
+         f"bit-identically (state = regs + PCs + memory)")
+    bench_once(benchmark, round_trip)

@@ -11,8 +11,10 @@ The package contains, built from scratch:
 * the TRACE machine model and instruction encoding (``repro.machine``);
 * the Trace Scheduling compiler itself (``repro.trace``);
 * beat-accurate TRACE, scalar, and scoreboard simulators (``repro.sim``);
-* workloads and the experiment harness (``repro.workloads``,
-  ``repro.harness``).
+* deterministic fault injection and precise-interrupt checkpoints
+  (``repro.faults``);
+* workloads and the experiment harness — including the fault-injecting
+  differential fuzzer (``repro.workloads``, ``repro.harness``).
 
 Quickstart::
 

@@ -9,6 +9,8 @@ Commands:
 * ``schedule <kernel>`` — print the compiled long-instruction schedule.
 * ``compile <file>`` — compile a TinyFlow source file and print its
   schedule (and optionally run a function from it).
+* ``fuzz`` — differential fuzzing (interpreter vs. VLIW sim) with
+  deterministic fault injection and checkpoint/resume verification.
 * ``sweep`` — the quick numeric-suite table (E1-style).
 
 ``measure`` and ``sweep`` take ``--json`` (dump one JSON report object to
@@ -141,6 +143,24 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .harness.fuzz import run_fuzz
+
+    def progress(case):
+        if not case.ok:
+            print(f"seed {case.seed}: FAILED", file=sys.stderr)
+
+    report = run_fuzz(seed=args.seed, count=args.count,
+                      config=MachineConfig.from_pairs(args.pairs),
+                      check_faults=not args.no_faults,
+                      progress=progress if args.verbose else None)
+    if args.as_json:
+        print(json.dumps(report.row(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 SWEEP_KERNELS = ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll7_state",
                  "count_matches", "state_machine")
 
@@ -203,6 +223,22 @@ def main(argv=None) -> int:
                    help="arguments for --run")
     _add_machine_args(p)
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "fuzz", help="differential fuzzing with fault injection")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; case i uses seed+i (default 0)")
+    p.add_argument("--count", type=int, default=50,
+                   help="number of differential cases (default 50)")
+    p.add_argument("--pairs", type=int, choices=(1, 2, 4), default=4,
+                   help="I-F board pairs (default 4 = TRACE 28/200)")
+    p.add_argument("--no-faults", action="store_true",
+                   help="clean differential runs only, no injection")
+    p.add_argument("--verbose", action="store_true",
+                   help="report failing seeds as they happen")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit one machine-readable JSON report")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("sweep", help="quick E1-style kernel sweep")
     _add_machine_args(p)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..errors import DisambigError
 from ..ir import MemoryImage, MemRef, Module, Operation
 from ..obs import get_tracer
 from .affine import AffineDiff, distinct_objects, subtract
@@ -68,7 +69,7 @@ class Disambiguator:
     def __init__(self, module: Module | None = None,
                  interleave: int = INTERLEAVE,
                  fortran_args: bool = False,
-                 tracer=None) -> None:
+                 tracer=None, query_budget: int | None = None) -> None:
         self.layout = MemoryImage(module).layout if module is not None else {}
         self.interleave = interleave
         #: FORTRAN argument semantics: two *different* pointer arguments
@@ -76,9 +77,22 @@ class Disambiguator:
         #: bank residues are still unknown — exactly the situation the
         #: paper's bank-stall gamble was built for.
         self.fortran_args = fortran_args
+        #: pairwise queries are quadratic in trace length; an optional
+        #: budget bounds pathological inputs.  Exhaustion raises
+        #: :class:`~repro.errors.DisambigError`, which the trace compiler
+        #: downgrades to per-block scheduling instead of failing.
+        self.query_budget = query_budget
+        self.queries = 0
         obs = get_tracer(tracer)
         self.stats = DisambigStats(
             counters=obs.counters if obs.enabled else None)
+
+    def _charge(self) -> None:
+        self.queries += 1
+        if self.query_budget is not None and self.queries > self.query_budget:
+            raise DisambigError(
+                f"disambiguation budget exhausted after "
+                f"{self.query_budget} pairwise queries")
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -93,6 +107,7 @@ class Disambiguator:
     # ------------------------------------------------------------------
     def alias(self, a, b) -> Answer:
         """Can the two references access overlapping bytes?"""
+        self._charge()
         ref_a, ref_b = self._ref(a), self._ref(b)
         if ref_a is None or ref_b is None:
             return self.stats.record("alias", Answer.MAYBE)
@@ -124,6 +139,7 @@ class Disambiguator:
         the word-index difference is exactly ``diff / interleave`` whatever
         the (common, unknown) base — the relative-disambiguation trick.
         """
+        self._charge()
         ref_a, ref_b = self._ref(a), self._ref(b)
         if ref_a is None or ref_b is None:
             return self.stats.record(kind, Answer.MAYBE)

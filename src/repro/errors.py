@@ -35,15 +35,66 @@ class TrapError(InterpError):
     The TRACE takes traps for TLB misses, bus errors, and (outside fast
     mode) floating-point exceptions.  The reference interpreter raises this
     to mirror a program-terminating trap ("Bus Error" in the paper).
+
+    ``beat`` and ``pc`` locate the trap when known: the simulators fill in
+    the machine beat and the ``function:pc`` of the faulting instruction;
+    the reference interpreter fills in its dynamic op count and the
+    ``function:block:index`` of the faulting operation.  Code that raises
+    the trap deep inside the memory model leaves them unset; the executor
+    annotates on the way out via :meth:`locate`.
     """
 
-    def __init__(self, kind: str, detail: str = "") -> None:
+    def __init__(self, kind: str, detail: str = "",
+                 beat: int | None = None, pc: object = None) -> None:
         self.kind = kind
-        super().__init__(f"trap: {kind}" + (f" ({detail})" if detail else ""))
+        self.detail = detail
+        self.beat = beat
+        self.pc = pc
+        super().__init__(self._message())
+
+    def _message(self) -> str:
+        msg = f"trap: {self.kind}"
+        if self.detail:
+            msg += f" ({self.detail})"
+        if self.beat is not None:
+            msg += f" at beat {self.beat}"
+        if self.pc is not None:
+            msg += f" pc={self.pc}"
+        return msg
+
+    def locate(self, beat: int | None = None, pc: object = None) -> None:
+        """Fill in beat/pc if they are not already known."""
+        if self.beat is None and beat is not None:
+            self.beat = beat
+        if self.pc is None and pc is not None:
+            self.pc = pc
+        self.args = (self._message(),)
 
 
 class ScheduleError(ReproError):
-    """The trace scheduler could not produce a legal schedule."""
+    """The trace scheduler could not produce a legal schedule.
+
+    No-progress failures carry diagnostics: ``trace_id`` (which trace),
+    ``ready`` (size of the stuck ready list), and ``blocking`` (a
+    human-readable description of the highest-priority unplaceable node).
+    """
+
+    def __init__(self, message: str, trace_id: str | None = None,
+                 ready: int | None = None,
+                 blocking: str | None = None) -> None:
+        self.trace_id = trace_id
+        self.ready = ready
+        self.blocking = blocking
+        super().__init__(message)
+
+
+class DisambigError(ReproError):
+    """The memory disambiguator exceeded its query budget.
+
+    Pairwise bank/alias queries are quadratic in trace length; a budget
+    bounds pathological inputs.  The trace compiler catches this and
+    degrades to per-block scheduling instead of failing the compile.
+    """
 
 
 class RegAllocError(ReproError):

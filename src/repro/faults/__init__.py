@@ -1,0 +1,13 @@
+"""Deterministic fault injection and precise-interrupt recovery."""
+
+from .checkpoint import FrameState, MachineCheckpoint
+from .plan import (BANK_POISON, CHECKPOINT, FP_TRAP, INTERRUPT, KINDS,
+                   SERVICE_BEATS, TLB_FLUSH, FaultEvent, FaultInjector,
+                   InjectionPlan)
+
+__all__ = [
+    "FrameState", "MachineCheckpoint",
+    "BANK_POISON", "CHECKPOINT", "FP_TRAP", "INTERRUPT", "KINDS",
+    "SERVICE_BEATS", "TLB_FLUSH", "FaultEvent", "FaultInjector",
+    "InjectionPlan",
+]

@@ -1,0 +1,69 @@
+"""Architectural snapshots for precise interrupts and context switches.
+
+When the TRACE takes an interrupt it simply stops issuing and lets the
+self-draining pipelines empty — after at most the deepest pipeline's
+latency, *every* in-flight result has landed in its register and the
+architectural state is just: register files, PC (per active frame, since
+calls save/restore by convention), and memory.  No scoreboard, reorder
+buffer, or shadow state exists to capture (paper section 4: "the
+pipelines drain and the machine may then be stopped").
+
+:class:`MachineCheckpoint` is that state, tagged with a hardware ASID
+from :class:`~repro.sim.context.ProcessTagTable` so checkpoint/resume
+composes with the tagged-TLB context-switch model.  Resuming a checkpoint
+on a fresh :class:`~repro.sim.vliw.VliwSimulator` reproduces the
+uninterrupted run bit-identically (the fuzz harness asserts exactly
+this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FrameState:
+    """One suspended call frame: enough to re-enter the function.
+
+    ``pending`` is empty in every frame of a drained machine — that is
+    the whole point of self-draining pipelines — but the field is kept so
+    a checkpoint can assert the invariant rather than assume it.
+    """
+
+    function: str
+    regs: dict = field(default_factory=dict)
+    pc: int = 0
+    start_beat: int = 0
+    ret_dest: object = None
+    bank_busy: dict = field(default_factory=dict)
+    pending: list = field(default_factory=list)
+
+
+@dataclass
+class MachineCheckpoint:
+    """Complete architectural state of a drained machine."""
+
+    #: beat at which the machine stopped (after the drain)
+    beat: int
+    #: call stack, outermost first
+    frames: list[FrameState]
+    #: full data-memory contents at the stop point
+    memory_bytes: bytes
+    #: simulator statistics up to the stop point (resume continues them)
+    stats: object
+    #: hardware process tag assigned at snapshot time
+    asid: int = 0
+    #: beats spent draining the pipelines for this snapshot
+    drain_beats: int = 0
+
+    def __post_init__(self) -> None:
+        for frame in self.frames:
+            if frame.pending:
+                raise ValueError(
+                    f"checkpoint of an undrained machine: frame "
+                    f"{frame.function} has {len(frame.pending)} in-flight "
+                    f"writes")
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)

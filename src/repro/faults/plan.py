@@ -1,0 +1,144 @@
+"""Deterministic fault-injection plans and their runtime driver.
+
+The paper's robustness story (sections 4-7) rests on hardware devices —
+self-draining pipelines, dismissable loads, the bank-stall, history-queue
+TLB replay — that only matter when something *goes wrong*.  This module
+makes things go wrong on purpose, deterministically:
+
+* :class:`FaultEvent` — one scheduled fault: an asynchronous interrupt
+  (drain-and-resume or drain-and-checkpoint), a forced TLB flush, a
+  poisoned memory bank (busy for extra beats), or a trap-mode FP
+  exception.
+* :class:`InjectionPlan` — an ordered set of events keyed by machine
+  beat.  :meth:`InjectionPlan.random` derives one from a seed, so a fuzz
+  run is reproducible from ``(program seed, fault seed)`` alone.
+* :class:`FaultInjector` — the runtime driver the simulators poll at
+  instruction boundaries; it hands out due events exactly once and keeps
+  a log of what fired (and when) for reports and assertions.
+
+Every fault here is either architecturally invisible (timing-only: TLB
+flush, bank poison, drain-and-resume interrupt) or a precise trap
+(checkpoint interrupt, FP trap).  The differential fuzz harness leans on
+that split: timing faults must leave final state bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: FaultEvent.kind values
+INTERRUPT = "interrupt"          # drain pipelines, service, resume
+CHECKPOINT = "checkpoint"        # drain pipelines, snapshot state, stop
+TLB_FLUSH = "tlb_flush"          # drop every resident translation
+BANK_POISON = "bank_poison"      # one bank busy for extra beats
+FP_TRAP = "fp_trap"              # precise trap-mode FP exception
+
+KINDS = (INTERRUPT, CHECKPOINT, TLB_FLUSH, BANK_POISON, FP_TRAP)
+
+#: beats charged for interrupt service (trap dispatch + handler + return)
+#: on a drain-and-resume interrupt; the *drain* itself is simulated, not
+#: charged (see sim/context.py INTERRUPT_DRAIN_BEATS for the cost model)
+SERVICE_BEATS = 30
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``beat`` is the earliest machine beat at which the event may fire;
+    delivery happens at the first *instruction boundary* at or after it
+    (interrupts on the TRACE are taken between long instructions — the
+    self-draining pipelines make that the only precise point).
+    """
+
+    beat: int
+    kind: str
+    #: bank index for BANK_POISON
+    bank: int = 0
+    #: extra busy beats for BANK_POISON
+    busy_beats: int = 0
+    #: service cost for INTERRUPT
+    service_beats: int = SERVICE_BEATS
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass
+class InjectionPlan:
+    """An ordered, deterministic set of fault events."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.beat)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def interrupt_at(cls, beat: int, checkpoint: bool = False,
+                     service_beats: int = SERVICE_BEATS) -> "InjectionPlan":
+        """A single interrupt (optionally a checkpointing one)."""
+        kind = CHECKPOINT if checkpoint else INTERRUPT
+        return cls([FaultEvent(beat, kind, service_beats=service_beats)])
+
+    @classmethod
+    def random(cls, seed: int, horizon_beats: int,
+               n_interrupts: int = 2, n_tlb_flushes: int = 1,
+               n_bank_poisons: int = 2, total_banks: int = 64,
+               max_busy_beats: int = 16) -> "InjectionPlan":
+        """A seed-derived plan of architecturally-invisible faults.
+
+        Only timing faults are generated (no checkpoints, no FP traps):
+        the result is safe to inject into a differential run that asserts
+        bit-identical final state.
+        """
+        rng = random.Random(seed)
+        horizon = max(2, horizon_beats)
+        events = []
+        for _ in range(n_interrupts):
+            events.append(FaultEvent(rng.randrange(horizon), INTERRUPT))
+        for _ in range(n_tlb_flushes):
+            events.append(FaultEvent(rng.randrange(horizon), TLB_FLUSH))
+        for _ in range(n_bank_poisons):
+            events.append(FaultEvent(
+                rng.randrange(horizon), BANK_POISON,
+                bank=rng.randrange(total_banks),
+                busy_beats=rng.randint(1, max_busy_beats)))
+        return cls(events)
+
+
+class FaultInjector:
+    """Runtime driver: hands each planned event out exactly once.
+
+    The simulators poll :meth:`due` at every instruction boundary with the
+    current beat; events whose beat has been reached are returned in plan
+    order and moved to :attr:`fired`.
+    """
+
+    def __init__(self, plan: InjectionPlan) -> None:
+        self.plan = plan
+        self._queue = list(plan.events)
+        #: (delivery_beat, event) pairs, in delivery order
+        self.fired: list[tuple[int, FaultEvent]] = []
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def due(self, beat: int) -> list[FaultEvent]:
+        """Pop every event whose beat has arrived."""
+        if not self._queue or self._queue[0].beat > beat:
+            return []
+        ready = [e for e in self._queue if e.beat <= beat]
+        self._queue = [e for e in self._queue if e.beat > beat]
+        self.fired.extend((beat, e) for e in ready)
+        return ready

@@ -3,6 +3,8 @@ and report formatting."""
 
 from .codesize import (CISC_DENSITY, CodeSizeReport, measure_code_size,
                        scalar_code_bytes)
+from .fuzz import (FuzzCase, FuzzReport, fuzz_one, run_fuzz,
+                   verify_dismissal)
 from .measure import (Measurement, MeasureSpec, compare_kernel, measure,
                       prepare_modules, run_measurement, train_profile)
 from .report import (config_report, format_table, measurement_report,
@@ -11,6 +13,7 @@ from .report import (config_report, format_table, measurement_report,
 __all__ = [
     "CISC_DENSITY", "CodeSizeReport", "measure_code_size",
     "scalar_code_bytes",
+    "FuzzCase", "FuzzReport", "fuzz_one", "run_fuzz", "verify_dismissal",
     "Measurement", "MeasureSpec", "compare_kernel", "measure",
     "prepare_modules", "run_measurement", "train_profile",
     "config_report", "format_table", "measurement_report", "print_table",

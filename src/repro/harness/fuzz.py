@@ -1,0 +1,292 @@
+"""Differential fuzzing with fault injection.
+
+Every fuzz case runs one seed-generated program (see
+``workloads/generator.py``) on the reference interpreter and on the
+trace-scheduled VLIW simulator three ways:
+
+1. **clean** — no faults; return value and final array state must match
+   the interpreter exactly (the classic differential oracle);
+2. **faulted** — a seed-derived :class:`~repro.faults.InjectionPlan` of
+   architecturally-invisible faults (drain-and-resume interrupts, TLB
+   flushes, poisoned banks).  These may only cost time: the final state
+   must stay bit-identical, and the run must not get *faster*;
+3. **checkpoint/resume** — a checkpointing interrupt at mid-run drains
+   the pipelines and snapshots the machine; a *fresh* simulator resumes
+   the checkpoint and must reach the same value and byte-identical
+   memory as the uninterrupted run (the paper's precise-interrupt claim,
+   section 4).
+
+One extra scenario per report exercises the dismissable-load story: a
+profile-trained guard-branch program whose speculated load goes out of
+bounds at run time must dismiss (funny number, no trap) and still agree
+with the interpreter.
+
+Reproducibility: a case is fully determined by its integer seed — the
+program, the fault plan, and the checkpoint beat all derive from it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..faults import FaultInjector, InjectionPlan
+from ..ir import IRBuilder, Interpreter, MemoryImage, Module, RegClass, \
+    VReg, run_module, verify_module
+from ..machine import MachineConfig, TRACE_28_200
+from ..obs import get_tracer
+from ..sim import VliwSimulator, run_compiled
+from ..trace import TraceCompiler
+from ..workloads.generator import generate_program
+
+#: arguments every generated ``main(p0, p1)`` is fuzzed with
+ARGS = (7, -3)
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+def _array_state(module: Module, memory: MemoryImage) -> dict:
+    state = {}
+    for name, obj in module.data.items():
+        elem = 8 if name.startswith("FA") else 4
+        state[name] = memory.read_array(name, obj.size // elem, elem)
+    return state
+
+
+def _states_equal(a: dict, b: dict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(len(a[k]) == len(b[k])
+               and all(_values_equal(x, y) for x, y in zip(a[k], b[k]))
+               for k in a)
+
+
+@dataclass
+class FuzzCase:
+    """Outcome of one differential case."""
+
+    seed: int
+    ok: bool = True
+    failures: list[str] = field(default_factory=list)
+    #: injected events actually delivered during the faulted run
+    faults_fired: int = 0
+    #: a checkpoint/resume round trip matched the uninterrupted run
+    checkpoint_verified: bool = False
+    #: compiler degradations recorded while compiling this program
+    degradations: int = 0
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.failures.append(message)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    cases: list[FuzzCase] = field(default_factory=list)
+    #: the dedicated dismissable-load scenario passed
+    dismissal_verified: bool = False
+    #: the dedicated scenario was run at all (off when faults are off)
+    dismissal_checked: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (all(c.ok for c in self.cases)
+                and (self.dismissal_verified or not self.dismissal_checked))
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for c in self.cases if not c.ok)
+
+    @property
+    def checkpoints_verified(self) -> int:
+        return sum(1 for c in self.cases if c.checkpoint_verified)
+
+    @property
+    def faults_fired(self) -> int:
+        return sum(c.faults_fired for c in self.cases)
+
+    def summary(self) -> str:
+        lines = [f"fuzz: {len(self.cases)} cases, {self.n_failed} failed, "
+                 f"{self.faults_fired} faults injected, "
+                 f"{self.checkpoints_verified} checkpoint/resume round trips "
+                 f"verified"]
+        if self.dismissal_checked:
+            state = "ok" if self.dismissal_verified else "FAILED"
+            lines.append(f"dismissed-load scenario: {state}")
+        for case in self.cases:
+            if not case.ok:
+                for failure in case.failures:
+                    lines.append(f"  seed {case.seed}: {failure}")
+        return "\n".join(lines)
+
+    def row(self) -> dict:
+        return {
+            "cases": len(self.cases),
+            "failed": self.n_failed,
+            "faults_fired": self.faults_fired,
+            "checkpoints_verified": self.checkpoints_verified,
+            "dismissal_verified": self.dismissal_verified,
+            "failures": [f for c in self.cases for f in c.failures],
+        }
+
+
+# ----------------------------------------------------------------------
+def fuzz_one(seed: int, config: MachineConfig = TRACE_28_200,
+             check_faults: bool = True) -> FuzzCase:
+    """Run one differential case; never raises on divergence (records it)."""
+    case = FuzzCase(seed)
+    module = generate_program(seed)
+    ref = run_module(module, "main", ARGS)
+    ref_arrays = _array_state(module, ref.memory)
+
+    compiler = TraceCompiler(module, config)
+    program = compiler.compile_module()
+    case.degradations = sum(len(s.degradations)
+                            for s in compiler.stats.values())
+
+    clean = run_compiled(program, module, "main", ARGS)
+    if not _values_equal(clean.value, ref.value):
+        case.fail(f"clean run returned {clean.value!r}, "
+                  f"interpreter returned {ref.value!r}")
+    if not _states_equal(_array_state(module, clean.memory), ref_arrays):
+        case.fail("clean run memory diverged from interpreter")
+    if not check_faults or not case.ok:
+        return case
+
+    # --- timing-only faults must be architecturally invisible ----------
+    plan = InjectionPlan.random(seed, horizon_beats=clean.stats.beats,
+                                total_banks=config.total_banks)
+    injector = FaultInjector(plan)
+    faulted = run_compiled(program, module, "main", ARGS, injector=injector)
+    case.faults_fired = len(injector.fired)
+    if not _values_equal(faulted.value, ref.value):
+        case.fail(f"faulted run returned {faulted.value!r}, "
+                  f"interpreter returned {ref.value!r}")
+    if not _states_equal(_array_state(module, faulted.memory), ref_arrays):
+        case.fail("faulted run memory diverged from interpreter")
+    if faulted.stats.beats < clean.stats.beats:
+        case.fail(f"faulted run was faster than clean "
+                  f"({faulted.stats.beats} < {clean.stats.beats} beats)")
+
+    # --- checkpoint at mid-run, resume on a fresh simulator ------------
+    half = clean.stats.beats // 2
+    ck = FaultInjector(InjectionPlan.interrupt_at(half, checkpoint=True))
+    first = VliwSimulator(program, MemoryImage(module),
+                          injector=ck).run("main", ARGS)
+    if not first.interrupted:
+        if clean.stats.beats >= 8:
+            case.fail(f"checkpoint interrupt at beat {half} "
+                      f"never delivered ({clean.stats.beats} beats total)")
+        return case
+    resumed = VliwSimulator(program, MemoryImage(module)) \
+        .resume(first.checkpoint)
+    if resumed.interrupted:
+        case.fail("resumed run interrupted again with an empty plan")
+    elif not _values_equal(resumed.value, clean.value):
+        case.fail(f"resumed run returned {resumed.value!r}, "
+                  f"uninterrupted run returned {clean.value!r}")
+    elif resumed.memory.snapshot() != clean.memory.snapshot():
+        case.fail("resumed run memory not bit-identical to "
+                  "uninterrupted run")
+    else:
+        case.checkpoint_verified = True
+    return case
+
+
+# ----------------------------------------------------------------------
+def _guarded_load_module() -> Module:
+    """``main(p0)``: load IA0[p0] when p0 < 8, else -1.
+
+    Profile-trained on the in-bounds path, the trace scheduler hoists the
+    load above the guard as a dismissable (speculative) load; an
+    out-of-bounds ``p0`` then sends its address past the memory image.
+    """
+    module = Module("dismissal_case")
+    module.add_array("IA0", 16, 4, init=list(range(100, 116)))
+    b = IRBuilder(module)
+    b.function("main", [("p0", RegClass.INT)], ret_class=RegClass.INT)
+    out = VReg("out", RegClass.INT)
+    b.block("entry")
+    addr = b.add(b.addr("IA0"), b.shl(b.param("p0"), 2))
+    pred = b.cmplt(b.param("p0"), 8)
+    b.br(pred, "then", "els")
+    b.block("then")
+    b.mov(b.load(addr, 0), dest=out)
+    b.jmp("join")
+    b.block("els")
+    b.mov(-1, dest=out)
+    b.jmp("join")
+    b.block("join")
+    b.ret(out)
+    verify_module(module)
+    return module
+
+
+def verify_dismissal(config: MachineConfig = TRACE_28_200) -> tuple[bool, str]:
+    """The dismissable-load scenario: (passed, detail).
+
+    Out-of-bounds argument: index 1<<20 puts the speculated load's
+    address far beyond the data image, so the hardware must dismiss it
+    (funny number in the target, no trap) while the committed path
+    returns -1 — exactly what the interpreter computes.
+    """
+    module = _guarded_load_module()
+    interp = Interpreter(module)
+    interp.run("main", (2,))            # train: guard taken, load runs
+    compiler = TraceCompiler(module, config, profile=interp.profile)
+    program = compiler.compile_module()
+    stats = compiler.stats["main"]
+    if stats.n_speculated_loads < 1:
+        return False, "compiler did not speculate the guarded load"
+
+    oob = 1 << 20
+    ref = run_module(module, "main", (oob,))
+    result = run_compiled(program, module, "main", (oob,))
+    if result.stats.dismissed_loads < 1:
+        return False, "speculated load was not dismissed at run time"
+    if not _values_equal(result.value, ref.value):
+        return False, (f"dismissal case returned {result.value!r}, "
+                       f"interpreter returned {ref.value!r}")
+    return True, ""
+
+
+# ----------------------------------------------------------------------
+def run_fuzz(seed: int = 0, count: int = 50,
+             config: MachineConfig = TRACE_28_200,
+             check_faults: bool = True, tracer=None,
+             progress=None) -> FuzzReport:
+    """The full differential fuzz run: ``count`` cases from ``seed``.
+
+    Case ``i`` uses program/fault seed ``seed + i``.  ``progress`` (an
+    optional callable) receives each finished :class:`FuzzCase`.
+    """
+    trc = get_tracer(tracer)
+    report = FuzzReport()
+    with trc.span("fuzz.run", cat="harness", seed=seed, count=count):
+        for i in range(count):
+            case = fuzz_one(seed + i, config, check_faults)
+            report.cases.append(case)
+            trc.counters.inc("fuzz.cases")
+            trc.counters.inc("fuzz.faults_fired", case.faults_fired)
+            if case.checkpoint_verified:
+                trc.counters.inc("fuzz.checkpoints_verified")
+            if not case.ok:
+                trc.counters.inc("fuzz.failures")
+            if progress is not None:
+                progress(case)
+        if check_faults:
+            report.dismissal_checked = True
+            ok, detail = verify_dismissal(config)
+            report.dismissal_verified = ok
+            if not ok:
+                trc.counters.inc("fuzz.failures")
+                failed = FuzzCase(-1)
+                failed.fail(f"dismissal scenario: {detail}")
+                report.cases.append(failed)
+    return report

@@ -228,12 +228,18 @@ class Interpreter:
 
     # ------------------------------------------------------------------
     def _run_block(self, func: Function, block, env) -> Any:
-        for op in block.ops:
+        for i, op in enumerate(block.ops):
             self.stats.ops_executed += 1
             self.stats.by_category[op.category] += 1
             if self.stats.ops_executed > self.fuel:
                 raise InterpError(f"fuel exhausted in {func.name}")
-            result = self._execute(func, op, env)
+            try:
+                result = self._execute(func, op, env)
+            except TrapError as exc:
+                # the interpreter has no clock, so only the program
+                # location is attached; simulators add the beat
+                exc.locate(pc=f"{func.name}:{block.name}:{i}")
+                raise
             if result is not None:
                 return result
         raise IRError(f"{func.name}:{block.name} fell off the end")

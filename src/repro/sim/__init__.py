@@ -1,8 +1,9 @@
 """Simulators: the beat-accurate TRACE VLIW, plus scalar and scoreboard
 baselines used by the paper's comparative claims."""
 
-from .context import (ASID_COUNT, ContextSwitchReport, asid_purge_interval,
-                      context_switch_cost, register_file_words)
+from .context import (ASID_COUNT, ContextSwitchReport, ProcessTagTable,
+                      asid_purge_interval, context_switch_cost,
+                      register_file_words)
 from .icache import ICacheModel, ICacheStats
 from .scalar import ScalarResult, ScalarSimulator, ScalarStats, run_scalar
 from .scoreboard import (ScoreboardResult, ScoreboardSimulator,
@@ -11,8 +12,8 @@ from .tlb import PAGE_SHIFT, TlbModel, TlbStats
 from .vliw import VliwResult, VliwSimulator, VliwStats, run_compiled
 
 __all__ = [
-    "ASID_COUNT", "ContextSwitchReport", "asid_purge_interval",
-    "context_switch_cost", "register_file_words",
+    "ASID_COUNT", "ContextSwitchReport", "ProcessTagTable",
+    "asid_purge_interval", "context_switch_cost", "register_file_words",
     "ICacheModel", "ICacheStats",
     "ScalarResult", "ScalarSimulator", "ScalarStats", "run_scalar",
     "ScoreboardResult", "ScoreboardSimulator", "ScoreboardStats",

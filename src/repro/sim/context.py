@@ -81,3 +81,64 @@ def context_switch_cost(config: MachineConfig,
 def asid_purge_interval() -> int:
     """Mapping changes between unavoidable purges (ASID space wrap)."""
     return ASID_COUNT
+
+
+class ProcessTagTable:
+    """Hardware ASID allocator: maps software process ids to the 8-bit
+    process tags that key the TLB and instruction cache.
+
+    The real machine has :data:`ASID_COUNT` tags; while a process keeps
+    its tag, a context switch back to it costs no flush.  When every tag
+    is in use, the least-recently-assigned process is evicted (its next
+    switch-in pays cold-start misses), and a full purge resets the table
+    exactly as an ASID-space wrap would.
+    """
+
+    def __init__(self, capacity: int = ASID_COUNT) -> None:
+        if capacity < 1:
+            raise ValueError("ProcessTagTable needs at least one tag")
+        self.capacity = capacity
+        self._tags: dict[object, int] = {}      # pid -> asid
+        self._stamp: dict[object, int] = {}     # pid -> last-use clock
+        self._clock = 0
+        self.assignments = 0
+        self.hits = 0
+        self.evictions = 0
+        self.purges = 0
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, pid) -> bool:
+        return pid in self._tags
+
+    def assign(self, pid) -> int:
+        """The pid's tag, allocating (and evicting if needed) on a miss."""
+        self._clock += 1
+        self.assignments += 1
+        if pid in self._tags:
+            self.hits += 1
+            self._stamp[pid] = self._clock
+            return self._tags[pid]
+        if len(self._tags) >= self.capacity:
+            victim = min(self._stamp, key=self._stamp.get)
+            asid = self._tags.pop(victim)
+            del self._stamp[victim]
+            self.evictions += 1
+        else:
+            used = set(self._tags.values())
+            asid = next(a for a in range(self.capacity) if a not in used)
+        self._tags[pid] = asid
+        self._stamp[pid] = self._clock
+        return asid
+
+    def release(self, pid) -> None:
+        """Free a pid's tag (process exit)."""
+        self._tags.pop(pid, None)
+        self._stamp.pop(pid, None)
+
+    def purge(self) -> None:
+        """Drop every mapping (ASID-space wrap)."""
+        self._tags.clear()
+        self._stamp.clear()
+        self.purges += 1

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SimError
+from ..errors import SimError, TrapError
+from ..faults import CHECKPOINT, FP_TRAP, INTERRUPT
 from ..ir import (ACCESS_SIZE, Function, Imm, MemoryImage, Module, Opcode,
                   Operation, RegClass, Symbol, VReg, wrap32)
 from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
@@ -38,6 +39,7 @@ class ScalarStats:
     loads: int = 0
     stores: int = 0
     calls: int = 0
+    interrupts: int = 0
 
     @property
     def beats(self) -> int:
@@ -59,13 +61,18 @@ class ScalarSimulator:
 
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  fp_mode: str = "precise",
-                 max_cycles: int = 100_000_000, tracer=None) -> None:
+                 max_cycles: int = 100_000_000, tracer=None,
+                 injector=None) -> None:
         self.module = module
         self.config = config or MachineConfig()
         self.fp_mode = fp_mode
         self.max_cycles = max_cycles
         self.stats = ScalarStats()
         self.tracer = get_tracer(tracer)
+        #: optional FaultInjector — a sequential machine drains trivially,
+        #: so interrupts cost only their service time; TLB/bank faults do
+        #: not apply (the baseline models neither device)
+        self.injector = injector
         self._eval = Interpreter.__new__(Interpreter)
         self._eval.fp_mode = fp_mode
 
@@ -96,8 +103,15 @@ class ScalarSimulator:
         block = func.entry
         while True:
             jump = None
-            for op in block.ops:
-                jump = self._step(func, op, regs, ready)
+            for i, op in enumerate(block.ops):
+                if self.injector is not None and self.injector.pending:
+                    self._deliver_faults(func, block)
+                try:
+                    jump = self._step(func, op, regs, ready)
+                except TrapError as exc:
+                    exc.locate(beat=2 * self.stats.cycles,
+                               pc=f"{func.name}:{block.name}:{i}")
+                    raise
                 if self.stats.cycles > self.max_cycles:
                     raise SimError("scalar cycle budget exhausted")
                 if jump is not None:
@@ -108,6 +122,23 @@ class ScalarSimulator:
             if kind == "ret":
                 return payload
             block = func.block(payload)
+
+    def _deliver_faults(self, func: Function, block) -> None:
+        """Service due injector events between instructions.
+
+        The scalar baseline has no overlapped state to drain and no
+        TLB/bank models, so interrupts (checkpointing or not) cost their
+        service time only and memory faults are no-ops.
+        """
+        beat = 2 * self.stats.cycles
+        for event in self.injector.due(beat):
+            if event.kind in (INTERRUPT, CHECKPOINT):
+                self.stats.interrupts += 1
+                self.stats.cycles += (event.service_beats + 1) // 2
+            elif event.kind == FP_TRAP:
+                raise TrapError("injected_fp",
+                                event.detail or "fault injection",
+                                beat=beat, pc=f"{func.name}:{block.name}")
 
     def _coerce(self, reg: VReg, arg):
         if reg.cls is RegClass.FLT:
@@ -204,7 +235,8 @@ class ScalarSimulator:
 
 def run_scalar(module: Module, func_name: str, args=(),
                config: MachineConfig | None = None,
-               fp_mode: str = "precise", tracer=None) -> ScalarResult:
+               fp_mode: str = "precise", tracer=None,
+               injector=None) -> ScalarResult:
     """One-shot scalar baseline run."""
-    return ScalarSimulator(module, config, fp_mode,
-                           tracer=tracer).run(func_name, args)
+    return ScalarSimulator(module, config, fp_mode, tracer=tracer,
+                           injector=injector).run(func_name, args)

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SimError
+from ..errors import SimError, TrapError
+from ..faults import CHECKPOINT, FP_TRAP, INTERRUPT
 from ..ir import (ACCESS_SIZE, Category, Function, Imm, MemoryImage, Module,
                   Opcode, Operation, RegClass, Symbol, VReg, wrap32)
 from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
@@ -47,6 +48,7 @@ class ScoreboardStats:
     stores: int = 0
     calls: int = 0
     issue_stalls: int = 0
+    interrupts: int = 0
 
     @property
     def beats(self) -> int:
@@ -68,13 +70,18 @@ class ScoreboardSimulator:
 
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  fp_mode: str = "precise",
-                 max_cycles: int = 100_000_000, tracer=None) -> None:
+                 max_cycles: int = 100_000_000, tracer=None,
+                 injector=None) -> None:
         self.module = module
         self.config = config or MachineConfig()
         self.fp_mode = fp_mode
         self.max_cycles = max_cycles
         self.stats = ScoreboardStats()
         self.tracer = get_tracer(tracer)
+        #: optional FaultInjector — interrupts drain the scoreboard (wait
+        #: for every issued op to complete) then charge service time;
+        #: TLB/bank faults do not apply to this baseline
+        self.injector = injector
         self._eval = Interpreter.__new__(Interpreter)
         self._eval.fp_mode = fp_mode
         n = self.config.n_pairs
@@ -109,9 +116,16 @@ class ScoreboardSimulator:
         block = func.entry
         while True:
             jump = None
-            for op in block.ops:
-                jump, clock = self._issue(func, op, regs, ready, last_read,
-                                          fu_used, clock)
+            for i, op in enumerate(block.ops):
+                if self.injector is not None and self.injector.pending:
+                    clock = self._deliver_faults(func, block, ready, clock)
+                try:
+                    jump, clock = self._issue(func, op, regs, ready,
+                                              last_read, fu_used, clock)
+                except TrapError as exc:
+                    exc.locate(beat=2 * max(self.stats.cycles, clock),
+                               pc=f"{func.name}:{block.name}:{i}")
+                    raise
                 if clock > self.max_cycles:
                     raise SimError("scoreboard cycle budget exhausted")
                 if jump is not None:
@@ -130,6 +144,27 @@ class ScoreboardSimulator:
         if isinstance(arg, str):
             return self.memory.address_of(arg)
         return wrap32(int(arg))
+
+    def _deliver_faults(self, func: Function, block, ready: dict,
+                        clock: int) -> int:
+        """Service due injector events; returns the post-service clock.
+
+        An interrupt drains the scoreboard — every issued op completes
+        (no precise-interrupt shadow state on a 6600-style machine, so it
+        must wait) — then charges the service time.
+        """
+        beat = 2 * max(self.stats.cycles, clock)
+        for event in self.injector.due(beat):
+            if event.kind in (INTERRUPT, CHECKPOINT):
+                drained = max([clock] + list(ready.values()))
+                self.stats.interrupts += 1
+                clock = drained + (event.service_beats + 1) // 2
+                self.stats.cycles = max(self.stats.cycles, clock)
+            elif event.kind == FP_TRAP:
+                raise TrapError("injected_fp",
+                                event.detail or "fault injection",
+                                beat=beat, pc=f"{func.name}:{block.name}")
+        return clock
 
     # ------------------------------------------------------------------
     def _operand_time(self, ready: dict, src) -> int:
@@ -247,7 +282,7 @@ class ScoreboardSimulator:
 def run_scoreboard(module: Module, func_name: str, args=(),
                    config: MachineConfig | None = None,
                    fp_mode: str = "precise",
-                   tracer=None) -> ScoreboardResult:
+                   tracer=None, injector=None) -> ScoreboardResult:
     """One-shot scoreboard baseline run."""
-    return ScoreboardSimulator(module, config, fp_mode,
-                               tracer=tracer).run(func_name, args)
+    return ScoreboardSimulator(module, config, fp_mode, tracer=tracer,
+                               injector=injector).run(func_name, args)

@@ -34,6 +34,8 @@ class TlbStats:
     trap_batches: int = 0
     stall_beats: int = 0
     flushes: int = 0
+    injected_flushes: int = 0
+    injected_evictions: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -64,6 +66,25 @@ class TlbModel:
         if not self.tagged:
             self._resident.clear()
             self.stats.flushes += 1
+
+    # ------------------------------------------------------------------
+    def inject_flush(self) -> None:
+        """Fault injection: drop every resident translation.
+
+        Architecturally invisible — every subsequent reference misses,
+        traps, refills, and replays through the history queue; only
+        timing changes.
+        """
+        self._resident.clear()
+        self.stats.flushes += 1
+        self.stats.injected_flushes += 1
+
+    def inject_evict(self, addr: int) -> None:
+        """Fault injection: force the next access to ``addr``'s page to
+        miss (one targeted cold miss)."""
+        key = (self.asid if self.tagged else 0, addr >> PAGE_SHIFT)
+        if self._resident.pop(key, None) is not None:
+            self.stats.injected_evictions += 1
 
     # ------------------------------------------------------------------
     def access(self, addr: int) -> bool:

@@ -16,26 +16,46 @@ machine's timing model:
 * multiway branching with software priority, negate flags, and the
   default next-PC;
 * procedure calls as save/run/restore with a modeled overhead (the block
-  register save/restore "special subroutines" of section 9).
+  register save/restore "special subroutines" of section 9);
+* precise interrupts by self-draining (section 4): at an instruction
+  boundary with an interrupt pending, the machine stops issuing, the
+  pipelines drain, and the architectural state is *only* registers, PCs,
+  and memory — snapshotted into a
+  :class:`~repro.faults.MachineCheckpoint` that :meth:`VliwSimulator.resume`
+  continues bit-identically.
 
 The simulator double-checks the compiler: oversubscribed resources,
 same-beat controller conflicts, and unproven bank conflicts on non-gamble
 references all raise ``SimError`` instead of being silently arbitrated —
 on the real TRACE there is no arbitration hardware to hide them.
+
+Execution uses an explicit call-frame stack (not Python recursion) so an
+interrupt can capture and rebuild the whole call chain; calls drain the
+pipelines first (the block save/restore convention), so only the
+innermost frame ever holds in-flight writes.
+
+Fault injection: pass a :class:`~repro.faults.FaultInjector` and the
+simulator polls it at every instruction boundary — asynchronous
+interrupts (drain + service + resume, or drain + checkpoint + stop),
+forced TLB flushes, poisoned banks, and injected trap-mode FP exceptions
+all deliver at the only architecturally precise point the paper's
+hardware offers.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from ..errors import SimError, TrapError
+from ..faults import (BANK_POISON, CHECKPOINT, FP_TRAP, INTERRUPT,
+                      TLB_FLUSH, FrameState, MachineCheckpoint)
 from ..ir import (ACCESS_SIZE, FUNNY_FLOAT, FUNNY_INT, Imm, MemoryImage,
                   Opcode, Operation, RegClass, Symbol, VReg, wrap32)
 from ..ir.interp import Interpreter
 from ..machine import (CompiledFunction, CompiledProgram, MachineConfig,
                        latency_of)
 from ..obs import get_tracer
+from .context import ProcessTagTable
 
 
 @dataclass
@@ -54,6 +74,13 @@ class VliwStats:
     unexpected_bank_stalls: int = 0
     calls: int = 0
     dismissed_loads: int = 0
+    interrupts: int = 0
+    interrupt_drain_beats: int = 0
+    interrupt_service_beats: int = 0
+    checkpoints: int = 0
+    resumes: int = 0
+    injected_tlb_flushes: int = 0
+    injected_bank_poisons: int = 0
 
     @property
     def cycles(self) -> int:
@@ -72,6 +99,23 @@ class VliwResult:
     value: object
     memory: MemoryImage
     stats: VliwStats
+    #: True when a checkpointing interrupt stopped the run early
+    interrupted: bool = False
+    #: the architectural snapshot, when ``interrupted``
+    checkpoint: MachineCheckpoint | None = None
+
+
+@dataclass
+class _Frame:
+    """One live call frame of the executing machine."""
+
+    cf: CompiledFunction
+    regs: dict
+    pending: list                       # (land_beat, reg, value)
+    bank_busy: dict
+    pc: int
+    start_beat: int
+    ret_dest: VReg | None = None
 
 
 class _Evaluator(Interpreter):
@@ -89,7 +133,9 @@ class VliwSimulator:
                  memory: MemoryImage,
                  fp_mode: str = "precise",
                  max_beats: int = 200_000_000,
-                 icache=None, tlb=None, tracer=None) -> None:
+                 icache=None, tlb=None, tracer=None,
+                 injector=None, tags: ProcessTagTable | None = None,
+                 process_id: int = 0) -> None:
         self.program = program
         self.config = program.config
         self.memory = memory
@@ -101,6 +147,11 @@ class VliwSimulator:
         self.icache = icache
         #: optional TlbModel — charges batched trap/replay beats on misses
         self.tlb = tlb
+        #: optional FaultInjector — polled at instruction boundaries
+        self.injector = injector
+        #: ASID allocator used to tag checkpoints (shared across processes)
+        self.tags = tags
+        self.process_id = process_id
         self.tracer = get_tracer(tracer)
         # per-beat hooks fire only when an event-collecting tracer is
         # attached; a disabled run pays a single cached-bool test per site
@@ -112,9 +163,48 @@ class VliwSimulator:
     # ------------------------------------------------------------------
     def run(self, func_name: str, args=()) -> VliwResult:
         cf = self.program.function(func_name)
-        value = self._run_function(cf, list(args), start_beat=0)[0]
+        frame = self._make_frame(cf, list(args), start_beat=0)
+        kind, payload = self._execute([frame], beat=0)
+        if kind == "interrupted":
+            # counters fold on completion only: the resumed half reports
+            # the whole run's totals exactly once
+            return VliwResult(None, self.memory, self.stats,
+                              interrupted=True, checkpoint=payload)
         self._fold_stats()
-        return VliwResult(value, self.memory, self.stats)
+        return VliwResult(payload, self.memory, self.stats)
+
+    def resume(self, checkpoint: MachineCheckpoint) -> VliwResult:
+        """Continue a checkpointed run bit-identically.
+
+        Restores memory and every call frame from the snapshot and keeps
+        executing from the interrupted beat.  The resuming simulator must
+        be built over the same compiled program (and a memory image of
+        the same shape); it is usually a fresh instance, modeling the
+        process being switched back in.
+        """
+        if len(self.memory.data) != len(checkpoint.memory_bytes):
+            raise SimError(
+                "resume: memory image shape differs from checkpoint "
+                f"({len(self.memory.data)} != {len(checkpoint.memory_bytes)}"
+                " bytes)")
+        self.memory.data[:] = checkpoint.memory_bytes
+        self.stats = replace(checkpoint.stats)
+        self.stats.resumes += 1
+        if self.tlb is not None:
+            self.tlb.switch_process(checkpoint.asid)
+        stack = [_Frame(self.program.function(fs.function), dict(fs.regs),
+                        list(fs.pending), dict(fs.bank_busy), fs.pc,
+                        fs.start_beat, fs.ret_dest)
+                 for fs in checkpoint.frames]
+        if self._emit:
+            self.tracer.event("resume", cat="sim", ts=checkpoint.beat,
+                              asid=checkpoint.asid, depth=len(stack))
+        kind, payload = self._execute(stack, beat=checkpoint.beat)
+        if kind == "interrupted":
+            return VliwResult(None, self.memory, self.stats,
+                              interrupted=True, checkpoint=payload)
+        self._fold_stats()
+        return VliwResult(payload, self.memory, self.stats)
 
     def _fold_stats(self) -> None:
         """Accumulate event totals into the obs counter registry."""
@@ -132,6 +222,13 @@ class VliwSimulator:
         c.inc("sim.vliw.unexpected_bank_stalls", s.unexpected_bank_stalls)
         c.inc("sim.vliw.calls", s.calls)
         c.inc("sim.vliw.dismissed_loads", s.dismissed_loads)
+        c.inc("sim.vliw.interrupts", s.interrupts)
+        c.inc("sim.vliw.interrupt_drain_beats", s.interrupt_drain_beats)
+        c.inc("sim.vliw.interrupt_service_beats", s.interrupt_service_beats)
+        c.inc("sim.vliw.checkpoints", s.checkpoints)
+        c.inc("sim.vliw.resumes", s.resumes)
+        c.inc("sim.vliw.injected_tlb_flushes", s.injected_tlb_flushes)
+        c.inc("sim.vliw.injected_bank_poisons", s.injected_bank_poisons)
         # NOP density: issue slots the mask-word encoding leaves empty
         # (paper section 6 — absent fields cost nothing in memory but are
         # real unused issue opportunities)
@@ -145,23 +242,34 @@ class VliwSimulator:
               if self.icache is not None else 0)
 
     # ------------------------------------------------------------------
-    def _run_function(self, cf: CompiledFunction, args: list,
-                      start_beat: int) -> tuple[object, int]:
-        """Returns (return value, beat after completion)."""
-        regs: dict[VReg, object] = {}
+    def _make_frame(self, cf: CompiledFunction, args: list,
+                    start_beat: int, ret_dest: VReg | None = None) -> _Frame:
         if len(args) != len(cf.param_regs):
             raise SimError(f"{cf.name}: expected {len(cf.param_regs)} args")
+        regs: dict[VReg, object] = {}
         for reg, arg in zip(cf.param_regs, args):
             regs[reg] = self._coerce_arg(reg, arg)
-
-        pending: list[tuple[int, VReg, object]] = []
-        bank_busy: dict[int, int] = {}
-        beat = start_beat
         pc = cf.label_map.get(cf.meta.get("entry_label", ""), 0)
+        return _Frame(cf, regs, [], {}, pc, start_beat, ret_dest)
 
-        while True:
-            if beat - start_beat > self.max_beats:
+    def _execute(self, stack: list[_Frame], beat: int) -> tuple[str, object]:
+        """Run the frame stack to completion or to a checkpoint.
+
+        Returns ``("done", value)`` or ``("interrupted", checkpoint)``.
+        """
+        while stack:
+            f = stack[-1]
+            cf = f.cf
+
+            # --- instruction boundary: the one precise point ------------
+            if self.injector is not None and self.injector.pending:
+                outcome = self._deliver_faults(stack, beat, f)
+                if isinstance(outcome, MachineCheckpoint):
+                    return ("interrupted", outcome)
+                beat = outcome
+            if beat - f.start_beat > self.max_beats:
                 raise SimError(f"{cf.name}: beat budget exhausted")
+            pc = f.pc
             if pc < 0 or pc >= len(cf.instructions):
                 raise SimError(f"{cf.name}: PC out of range: {pc}")
             li = cf.instructions[pc]
@@ -173,38 +281,44 @@ class VliwSimulator:
                         self.tracer.event("icache_miss", cat="sim", ts=beat,
                                           function=cf.name, pc=pc,
                                           beats=fetch_stall)
-                    pending[:] = [(b + fetch_stall, r, v)
-                                  for b, r, v in pending]
+                    f.pending[:] = [(b + fetch_stall, r, v)
+                                    for b, r, v in f.pending]
                     beat += fetch_stall
                     self.stats.beats += fetch_stall
 
-            # --- read-before-write state as of the instruction's first
-            # beat: branch tests and return values see beat-2t state -------
-            self._land(pending, regs, beat)
-            branch_vals = [self._operand(regs, bt.pred)
-                           for bt in li.branches]
-            ret_val = None
-            if li.special is not None and li.special[0] == "ret" \
-                    and li.special[1] is not None:
-                ret_val = self._operand(regs, li.special[1])
+            try:
+                # --- read-before-write state as of the instruction's
+                # first beat: branch tests and return values see beat-2t
+                # state ----------------------------------------------------
+                self._land(f.pending, f.regs, beat)
+                branch_vals = [self._operand(f.regs, bt.pred)
+                               for bt in li.branches]
+                ret_val = None
+                if li.special is not None and li.special[0] == "ret" \
+                        and li.special[1] is not None:
+                    ret_val = self._operand(f.regs, li.special[1])
 
-            # --- issue this instruction's operations, beat by beat ------
-            ops_by_beat: dict[int, list] = {0: [], 1: []}
-            for so in li.ops:
-                ops_by_beat[so.unit.beat_offset].append(so)
+                # --- issue this instruction's operations, beat by beat --
+                ops_by_beat: dict[int, list] = {0: [], 1: []}
+                for so in li.ops:
+                    ops_by_beat[so.unit.beat_offset].append(so)
 
-            stall = 0
-            for offset in (0, 1):
-                issue_beat = beat + offset + stall
-                self._land(pending, regs, issue_beat)
-                controllers_this_beat: set[int] = set()
-                for so in ops_by_beat[offset]:
-                    extra = self._issue(so, regs, pending, issue_beat,
-                                        bank_busy, controllers_this_beat)
-                    if extra:
-                        stall += extra
-                        issue_beat += extra
-                    self.stats.ops += 1
+                stall = 0
+                for offset in (0, 1):
+                    issue_beat = beat + offset + stall
+                    self._land(f.pending, f.regs, issue_beat)
+                    controllers_this_beat: set[int] = set()
+                    for so in ops_by_beat[offset]:
+                        extra = self._issue(so, f.regs, f.pending,
+                                            issue_beat, f.bank_busy,
+                                            controllers_this_beat)
+                        if extra:
+                            stall += extra
+                            issue_beat += extra
+                        self.stats.ops += 1
+            except TrapError as exc:
+                exc.locate(beat=beat, pc=f"{cf.name}:{pc}")
+                raise
 
             if stall and self._emit:
                 self.tracer.event("bank_stall", cat="sim", ts=beat,
@@ -216,8 +330,8 @@ class VliwSimulator:
             if self.tlb is not None:
                 tlb_stall = self.tlb.end_instruction()
                 if tlb_stall:
-                    pending[:] = [(b + tlb_stall, r, v)
-                                  for b, r, v in pending]
+                    f.pending[:] = [(b + tlb_stall, r, v)
+                                    for b, r, v in f.pending]
                     beat += tlb_stall
                     self.stats.beats += tlb_stall
 
@@ -236,19 +350,120 @@ class VliwSimulator:
                     break
             if next_pc is None and li.special is not None:
                 kind = li.special[0]
-                if kind == "ret":
-                    return ret_val, beat
-                if kind == "halt":
-                    return None, beat
+                if kind in ("ret", "halt"):
+                    value = ret_val if kind == "ret" else None
+                    stack.pop()
+                    if not stack:
+                        return ("done", value)
+                    if f.ret_dest is not None:
+                        stack[-1].regs[f.ret_dest] = value
+                    continue
                 if kind == "call":
-                    beat = self._do_call(li.special[1], regs, pending, beat)
-                    next_pc = pc + 1
+                    beat = self._begin_call(li.special[1], f, stack, beat,
+                                            pc)
+                    continue
             if next_pc is None:
                 if li.next_label is not None:
                     next_pc = cf.resolve(li.next_label)
                 else:
                     next_pc = pc + 1
-            pc = next_pc
+            f.pc = next_pc
+        raise SimError("empty frame stack")           # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _begin_call(self, call: Operation, f: _Frame, stack: list[_Frame],
+                    beat: int, pc: int) -> int:
+        """Push a callee frame: drain, save, modeled overhead."""
+        self.stats.calls += 1
+        # drain self-draining pipelines (the save/restore convention)
+        if f.pending:
+            drain_to = max(item[0] for item in f.pending)
+            extra = max(0, drain_to - beat)
+            self._land(f.pending, f.regs, drain_to)
+            self.stats.beats += extra
+            beat += extra
+        args = [self._operand(f.regs, s) for s in call.srcs]
+        callee = self.program.function(call.callee)
+        overhead = 2 * self.config.call_overhead_instructions
+        self.stats.beats += overhead
+        beat += overhead
+        f.pc = pc + 1
+        stack.append(self._make_frame(callee, args, beat, call.dest))
+        return beat
+
+    # ------------------------------------------------------------------
+    def _drain(self, stack: list[_Frame], beat: int) -> tuple[int, int]:
+        """Let every in-flight pipeline write land; returns
+        (beat after drain, drain beats)."""
+        drain_to = beat
+        for f in stack:
+            if f.pending:
+                drain_to = max(drain_to,
+                               max(item[0] for item in f.pending))
+        for f in stack:
+            if f.pending:
+                self._land(f.pending, f.regs, drain_to)
+        extra = drain_to - beat
+        self.stats.beats += extra
+        return drain_to, extra
+
+    def _deliver_faults(self, stack: list[_Frame], beat: int,
+                        f: _Frame):
+        """Service due injector events; returns the new beat, or a
+        :class:`MachineCheckpoint` when a checkpointing interrupt fires."""
+        for event in self.injector.due(beat):
+            if event.kind == TLB_FLUSH:
+                if self.tlb is not None:
+                    self.tlb.inject_flush()
+                self.stats.injected_tlb_flushes += 1
+                if self._emit:
+                    self.tracer.event("fault_tlb_flush", cat="sim", ts=beat)
+            elif event.kind == BANK_POISON:
+                busy_to = beat + event.busy_beats
+                if f.bank_busy.get(event.bank, -1) < busy_to:
+                    f.bank_busy[event.bank] = busy_to
+                self.stats.injected_bank_poisons += 1
+                if self._emit:
+                    self.tracer.event("fault_bank_poison", cat="sim",
+                                      ts=beat, bank=event.bank,
+                                      beats=event.busy_beats)
+            elif event.kind == FP_TRAP:
+                raise TrapError("injected_fp",
+                                event.detail or "fault injection",
+                                beat=beat, pc=f"{f.cf.name}:{f.pc}")
+            elif event.kind == INTERRUPT:
+                beat, drained = self._drain(stack, beat)
+                self.stats.interrupts += 1
+                self.stats.interrupt_drain_beats += drained
+                self.stats.interrupt_service_beats += event.service_beats
+                self.stats.beats += event.service_beats
+                beat += event.service_beats
+                if self._emit:
+                    self.tracer.event("interrupt", cat="sim", ts=beat,
+                                      drain_beats=drained,
+                                      service_beats=event.service_beats)
+            elif event.kind == CHECKPOINT:
+                beat, drained = self._drain(stack, beat)
+                self.stats.interrupts += 1
+                self.stats.interrupt_drain_beats += drained
+                self.stats.checkpoints += 1
+                if self._emit:
+                    self.tracer.event("checkpoint", cat="sim", ts=beat,
+                                      drain_beats=drained,
+                                      depth=len(stack))
+                return self._snapshot(stack, beat, drained)
+        return beat
+
+    def _snapshot(self, stack: list[_Frame], beat: int,
+                  drain_beats: int) -> MachineCheckpoint:
+        """Capture the drained machine's architectural state."""
+        frames = [FrameState(f.cf.name, dict(f.regs), f.pc, f.start_beat,
+                             f.ret_dest, dict(f.bank_busy), list(f.pending))
+                  for f in stack]
+        asid = self.tags.assign(self.process_id) \
+            if self.tags is not None else 0
+        return MachineCheckpoint(beat, frames, self.memory.snapshot(),
+                                 replace(self.stats), asid, drain_beats)
 
     # ------------------------------------------------------------------
     def _coerce_arg(self, reg: VReg, arg):
@@ -370,34 +585,14 @@ class VliwSimulator:
         pending.append((issue_beat + self.config.lat_mem, op.dest, result))
         return stall
 
-    # ------------------------------------------------------------------
-    def _do_call(self, call: Operation, regs: dict, pending: list,
-                 beat: int) -> int:
-        """Execute a CALL: drain, save, run callee, restore."""
-        self.stats.calls += 1
-        # drain self-draining pipelines
-        if pending:
-            drain_to = max(item[0] for item in pending)
-            extra = max(0, drain_to - beat)
-            self._land(pending, regs, drain_to)
-            self.stats.beats += extra
-            beat += extra
-        args = [self._operand(regs, s) for s in call.srcs]
-        callee = self.program.function(call.callee)
-        overhead = 2 * self.config.call_overhead_instructions
-        self.stats.beats += overhead
-        value, after = self._run_function(callee, args, beat + overhead)
-        if call.dest is not None:
-            regs[call.dest] = value
-        return after
-
 
 def run_compiled(program: CompiledProgram, module, func_name: str,
                  args=(), fp_mode: str = "precise",
                  memory: MemoryImage | None = None,
-                 tracer=None) -> VliwResult:
+                 tracer=None, injector=None, tlb=None) -> VliwResult:
     """Convenience: build the memory image, run, return the result."""
     if memory is None:
         memory = MemoryImage(module)
-    sim = VliwSimulator(program, memory, fp_mode, tracer=tracer)
+    sim = VliwSimulator(program, memory, fp_mode, tracer=tracer,
+                        injector=injector, tlb=tlb)
     return sim.run(func_name, args)

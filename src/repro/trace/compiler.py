@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..analysis import CFG, compute_liveness
 from ..disambig import Disambiguator, derive_memrefs
-from ..errors import ScheduleError
+from ..errors import DisambigError, ScheduleError
 from ..ir import (Function, Module, Opcode, Operation, Profile, RegClass,
                   SPECULATIVE_LOAD, VReg, make_jmp)
 from ..machine import (BranchTest, CompiledFunction, CompiledProgram,
@@ -40,6 +40,9 @@ class TraceCompileStats:
     n_compensation_ops: int = 0
     n_gambles: int = 0
     trace_lengths: list[int] = field(default_factory=list)
+    #: reasons this function fell back to degraded (per-block) compilation;
+    #: empty on a fully trace-scheduled compile
+    degradations: list[str] = field(default_factory=list)
 
 
 def clone_function(func: Function) -> Function:
@@ -66,15 +69,16 @@ class TraceCompiler:
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  options: SchedulingOptions | None = None,
                  profile: Profile | None = None,
-                 tracer=None) -> None:
+                 tracer=None, disambig_budget: int | None = None) -> None:
         self.module = module
         self.config = config or MachineConfig()
         self.options = options or SchedulingOptions()
         self.profile = profile
         self.tracer = get_tracer(tracer)
+        self.disambig_budget = disambig_budget
         self.disambiguator = Disambiguator(
             module, fortran_args=self.options.fortran_args,
-            tracer=self.tracer)
+            tracer=self.tracer, query_budget=disambig_budget)
         self.stats: dict[str, TraceCompileStats] = {}
 
     # ------------------------------------------------------------------
@@ -96,6 +100,11 @@ class TraceCompiler:
         (shorter live ranges), mirroring the pressure heuristics production
         trace schedulers applied.  A function whose *sequential* pressure
         already exceeds the files still fails, with a clear error.
+
+        Scheduler no-progress and disambiguator budget exhaustion do not
+        fail the compile either: both downgrade to per-block (non-trace)
+        scheduling — correct, slower code — and record the reason on
+        :attr:`TraceCompileStats.degradations`.
         """
         from ..errors import RegAllocError
         try:
@@ -105,13 +114,49 @@ class TraceCompiler:
                 speculation=False, join_motion=False,
                 fast_fp=self.options.fast_fp,
                 bank_gamble=self.options.bank_gamble)
-            return self._compile_function(func, conservative)
+            try:
+                return self._compile_function(func, conservative)
+            except (ScheduleError, DisambigError) as exc:
+                return self._degraded_compile(func, exc)
+        except (ScheduleError, DisambigError) as exc:
+            return self._degraded_compile(func, exc)
+
+    def _degraded_compile(
+            self, func: Function,
+            cause: Exception) -> tuple[CompiledFunction, TraceCompileStats]:
+        """Per-block fallback: every trace is one basic block, no code
+        motion, no bank gambles, and an unbudgeted disambiguator (per-block
+        traces keep the pairwise query count linear in block size).
+
+        The result is what a conventional compiler would have produced —
+        correct and schedulable, just without cross-block parallelism.
+        """
+        reason = f"{type(cause).__name__}: {cause}"
+        degraded_options = SchedulingOptions(
+            speculation=False, join_motion=False,
+            fast_fp=self.options.fast_fp, bank_gamble=False,
+            fortran_args=self.options.fortran_args)
+        fallback_disambiguator = Disambiguator(
+            self.module, fortran_args=self.options.fortran_args,
+            tracer=self.tracer)
+        cf, stats = self._compile_function(
+            func, degraded_options, per_block=True,
+            disambiguator=fallback_disambiguator)
+        stats.degradations.append(reason)
+        self.tracer.counters.inc("trace.degradations")
+        self.tracer.event("compile_degraded", cat="compile",
+                          function=func.name, reason=reason)
+        return cf, stats
 
     def _compile_function(
             self, func: Function,
-            options: SchedulingOptions) -> tuple[CompiledFunction,
-                                                 TraceCompileStats]:
+            options: SchedulingOptions,
+            per_block: bool = False,
+            disambiguator: Disambiguator | None = None,
+    ) -> tuple[CompiledFunction, TraceCompileStats]:
         tracer = self.tracer
+        disambig = disambiguator if disambiguator is not None \
+            else self.disambiguator
         derive_memrefs(func)
         work = clone_function(func)
         stats = TraceCompileStats()
@@ -122,7 +167,9 @@ class TraceCompiler:
             estimates = estimate_from_profile(work, self.profile)
         else:
             estimates = estimate_static(work)
-        selector = TraceSelector(work, estimates, tracer=tracer)
+        selector = TraceSelector(
+            work, estimates, tracer=tracer,
+            max_trace_blocks=1 if per_block else 64)
         entry_labels: set[str] = {work.entry.name}
         entry_name = work.entry.name
 
@@ -140,13 +187,16 @@ class TraceCompiler:
                 break
             with tracer.span("trace.depgraph", cat="compile",
                              function=func.name, blocks=len(trace)):
-                graph = build_trace_graph(work, trace, self.disambiguator,
+                graph = build_trace_graph(work, trace, disambig,
                                           self.config, options,
                                           live_in_map, entry_labels)
             with tracer.span("trace.schedule", cat="compile",
                              function=func.name, nodes=len(graph.nodes)):
-                sched = ListScheduler(graph, self.config, self.disambiguator,
-                                      options, tracer=tracer).run()
+                trace_id = f"{func.name}#t{stats.n_traces}" \
+                    f"@{trace.blocks[0]}"
+                sched = ListScheduler(graph, self.config, disambig,
+                                      options, tracer=tracer,
+                                      trace_id=trace_id).run()
             stats.n_traces += 1
             stats.trace_lengths.append(len(trace))
             stats.n_gambles += sched.gambles

@@ -58,11 +58,13 @@ class ListScheduler:
     def __init__(self, graph: TraceGraph, config: MachineConfig,
                  disambiguator: Disambiguator,
                  options: SchedulingOptions | None = None,
-                 tracer=None) -> None:
+                 tracer=None, trace_id: str = "?") -> None:
         self.graph = graph
         self.config = config
         self.disambiguator = disambiguator
         self.options = options or SchedulingOptions()
+        #: which trace this is (for diagnosable failures)
+        self.trace_id = trace_id
         self.tracer = get_tracer(tracer)
         self.table = ReservationTable(config)
         self.result = TraceSchedule()
@@ -130,8 +132,7 @@ class ListScheduler:
                 t += 1
                 stall_guard = stall_guard + 1 if not progress else 0
                 if stall_guard > 10000:
-                    raise ScheduleError(
-                        "scheduler made no progress for 10000 instructions")
+                    raise self._no_progress_error(ready, t)
         self.result.n_instructions = 1 + max(
             p.instruction for p in self.result.placements.values())
         counters = self.tracer.counters
@@ -140,6 +141,24 @@ class ListScheduler:
         counters.inc("sched.placed_nodes", len(self.result.placements))
         counters.inc("sched.gambles", self.result.gambles)
         return self.result
+
+    def _no_progress_error(self, ready: list[int], t: int) -> ScheduleError:
+        """A diagnosable no-progress failure: which trace, how big the
+        stuck ready list is, and what its highest-priority node looks
+        like (the node everything else is probably waiting behind)."""
+        blocking = "none (empty ready list)"
+        if ready:
+            index = min(ready, key=lambda i: (-self._heights[i],
+                                              self.graph.nodes[i].pos))
+            node = self.graph.nodes[index]
+            what = str(node.op.opcode) if node.op is not None else node.kind
+            blocking = (f"node #{index} {what} at pos {node.pos} "
+                        f"(height {self._heights[index]})")
+        return ScheduleError(
+            f"scheduler made no progress for 10000 instructions "
+            f"(trace {self.trace_id}, instruction {t}, "
+            f"{len(ready)} nodes ready, blocking: {blocking})",
+            trace_id=self.trace_id, ready=len(ready), blocking=blocking)
 
     # ------------------------------------------------------------------
     def _earliest_instruction(self, index: int) -> int:

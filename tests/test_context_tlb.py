@@ -1,0 +1,157 @@
+"""Process-tag (ASID) allocation and TLB page-boundary edge cases.
+
+The 8-bit hardware ASID space (paper section 8.1) is managed as an LRU
+table; the data TLB translates 8 KB pages.  These tests pin the eviction
+and reuse behaviour of the tag table and the exact page-boundary
+behaviour of the TLB model.
+"""
+
+import pytest
+
+from repro.machine import TRACE_28_200
+from repro.sim import ASID_COUNT, PAGE_SHIFT, ProcessTagTable, TlbModel
+
+PAGE = 1 << PAGE_SHIFT
+
+
+class TestProcessTagTable:
+    def test_allocates_lowest_free_tags(self):
+        tags = ProcessTagTable()
+        assert [tags.assign(pid) for pid in ("a", "b", "c")] == [0, 1, 2]
+        assert len(tags) == 3
+
+    def test_reassign_is_a_hit_and_keeps_the_tag(self):
+        tags = ProcessTagTable()
+        first = tags.assign("a")
+        tags.assign("b")
+        assert tags.assign("a") == first
+        assert tags.hits == 1
+        assert tags.assignments == 3
+        assert tags.evictions == 0
+
+    def test_lru_eviction_picks_least_recent(self):
+        tags = ProcessTagTable(capacity=2)
+        tags.assign("a")
+        tags.assign("b")
+        tags.assign("a")                # refresh a; b is now LRU
+        tags.assign("c")                # evicts b
+        assert tags.evictions == 1
+        assert "b" not in tags and "a" in tags and "c" in tags
+
+    def test_evicted_tag_is_reused(self):
+        tags = ProcessTagTable(capacity=2)
+        tags.assign("a")
+        b_tag = tags.assign("b")
+        tags.assign("a")
+        assert tags.assign("c") == b_tag     # inherits the victim's tag
+        # the evicted process comes back as a fresh allocation
+        tags.assign("b")
+        assert tags.evictions == 2
+        assert tags.hits == 1
+
+    def test_release_frees_the_tag(self):
+        tags = ProcessTagTable(capacity=1)
+        tags.assign("a")
+        tags.release("a")
+        assert "a" not in tags and len(tags) == 0
+        tags.assign("b")
+        assert tags.evictions == 0           # no eviction needed
+
+    def test_release_unknown_pid_is_a_noop(self):
+        tags = ProcessTagTable()
+        tags.release("ghost")
+        assert len(tags) == 0
+
+    def test_purge_resets_everything(self):
+        tags = ProcessTagTable()
+        for pid in range(10):
+            tags.assign(pid)
+        tags.purge()
+        assert len(tags) == 0 and tags.purges == 1
+        assert tags.assign(3) == 0           # tags restart from zero
+
+    def test_default_capacity_is_the_asid_space(self):
+        tags = ProcessTagTable()
+        assert tags.capacity == ASID_COUNT
+        for pid in range(ASID_COUNT):
+            tags.assign(pid)
+        assert tags.evictions == 0
+        tags.assign("one more")
+        assert tags.evictions == 1
+
+    def test_rejects_empty_capacity(self):
+        with pytest.raises(ValueError):
+            ProcessTagTable(capacity=0)
+
+
+class TestTlbPageBoundaries:
+    def _tlb(self, **kwargs) -> TlbModel:
+        return TlbModel(TRACE_28_200, **kwargs)
+
+    def test_same_page_accesses_share_one_translation(self):
+        tlb = self._tlb()
+        assert not tlb.access(0x1000)            # cold miss, mid-page 0
+        assert tlb.access(PAGE - 8)              # last word of page 0
+        assert tlb.stats.misses == 1
+
+    def test_accesses_straddling_a_boundary_miss_twice(self):
+        tlb = self._tlb()
+        base = 4 * PAGE
+        assert not tlb.access(base - 8)          # last word of page 3
+        assert not tlb.access(base)              # first word of page 4
+        assert tlb.stats.misses == 2
+
+    def test_page_zero_and_exact_boundary_addresses(self):
+        tlb = self._tlb()
+        tlb.access(0)
+        assert tlb.access(PAGE - 1)              # still page 0
+        assert not tlb.access(PAGE)              # first byte of page 1
+        assert tlb.stats.misses == 2
+
+    def test_inject_evict_forces_one_cold_miss(self):
+        tlb = self._tlb()
+        tlb.access(0x2000)
+        assert tlb.access(0x2000)
+        tlb.inject_evict(0x2000 + 16)            # same page, any offset
+        assert tlb.stats.injected_evictions == 1
+        assert not tlb.access(0x2000)
+        assert tlb.stats.misses == 2
+
+    def test_inject_evict_of_nonresident_page_is_a_noop(self):
+        tlb = self._tlb()
+        tlb.inject_evict(0x2000)
+        assert tlb.stats.injected_evictions == 0
+
+    def test_inject_flush_drops_every_page(self):
+        tlb = self._tlb()
+        for page in range(4):
+            tlb.access(page * PAGE)
+        tlb.inject_flush()
+        assert tlb.stats.injected_flushes == 1
+        for page in range(4):
+            assert not tlb.access(page * PAGE)
+        assert tlb.stats.misses == 8
+
+    def test_asid_keys_are_per_process_on_tagged_tlb(self):
+        tlb = self._tlb(tagged=True)
+        tlb.access(0x1000)
+        tlb.switch_process(7)
+        assert not tlb.access(0x1000)            # other process, same page
+        tlb.switch_process(0)
+        assert tlb.access(0x1000)                # original survives
+
+    def test_untagged_tlb_shares_pages_across_switches(self):
+        tlb = self._tlb(tagged=False)
+        tlb.access(0x1000)
+        tlb.switch_process(7)                    # flush-on-switch
+        assert tlb.stats.flushes == 1
+        assert not tlb.access(0x1000)
+
+    def test_capacity_eviction_is_lru_across_pages(self):
+        tlb = self._tlb(entries=2)
+        assert not tlb.access(0 * PAGE)
+        assert not tlb.access(1 * PAGE)
+        assert tlb.access(0 * PAGE)              # refresh page 0
+        assert not tlb.access(2 * PAGE)          # evicts page 1
+        assert not tlb.access(1 * PAGE)
+        assert tlb.access(2 * PAGE)

@@ -1,0 +1,401 @@
+"""Fault injection and precise interrupts.
+
+The paper's self-draining-pipeline claim (section 4): at an instruction
+boundary the machine can stop issuing, let the pipelines drain, and the
+architectural state is *only* registers, PCs, and memory.  These tests
+inject faults at arbitrary beats and verify (a) timing-only faults are
+architecturally invisible, (b) a checkpointed run resumes bit-identically
+on a fresh simulator, and (c) the compiler degrades gracefully instead of
+failing on adversarial inputs.
+"""
+
+import pytest
+
+from repro.errors import DisambigError, ScheduleError, TrapError
+from repro.faults import (BANK_POISON, CHECKPOINT, FP_TRAP, INTERRUPT,
+                          TLB_FLUSH, FaultEvent, FaultInjector, FrameState,
+                          InjectionPlan, MachineCheckpoint, SERVICE_BEATS)
+from repro.ir import IRBuilder, MemoryImage, Module, RegClass, VReg, \
+    run_module, verify_module
+from repro.machine import TRACE_28_200
+from repro.sim import (ProcessTagTable, TlbModel, VliwSimulator,
+                       run_compiled, run_scalar, run_scoreboard)
+from repro.trace import TraceCompiler, compile_module
+
+from .conftest import build_sum_array
+
+ARGS = (8,)
+
+
+@pytest.fixture(scope="module")
+def sum_program():
+    module = build_sum_array()
+    return module, compile_module(module, TRACE_28_200)
+
+
+def _clean(sum_program):
+    module, program = sum_program
+    return run_compiled(program, module, "sumA", ARGS)
+
+
+# ----------------------------------------------------------------------
+class TestInjectionPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0, "meteor_strike")
+
+    def test_events_sorted_by_beat(self):
+        plan = InjectionPlan([FaultEvent(30, INTERRUPT),
+                              FaultEvent(4, TLB_FLUSH)])
+        assert [e.beat for e in plan] == [4, 30]
+
+    def test_random_is_deterministic(self):
+        a = InjectionPlan.random(42, horizon_beats=1000)
+        b = InjectionPlan.random(42, horizon_beats=1000)
+        assert a.events == b.events
+        c = InjectionPlan.random(43, horizon_beats=1000)
+        assert a.events != c.events
+
+    def test_random_generates_only_invisible_faults(self):
+        plan = InjectionPlan.random(7, horizon_beats=500, n_interrupts=3,
+                                    n_tlb_flushes=2, n_bank_poisons=3)
+        assert len(plan) == 8
+        assert all(e.kind in (INTERRUPT, TLB_FLUSH, BANK_POISON)
+                   for e in plan)
+
+    def test_injector_hands_out_each_event_once(self):
+        plan = InjectionPlan([FaultEvent(10, INTERRUPT),
+                              FaultEvent(20, TLB_FLUSH)])
+        inj = FaultInjector(plan)
+        assert inj.pending == 2
+        assert inj.due(5) == []
+        first = inj.due(15)
+        assert [e.kind for e in first] == [INTERRUPT]
+        assert inj.due(15) == []
+        assert [e.kind for e in inj.due(100)] == [TLB_FLUSH]
+        assert inj.pending == 0
+        assert [(b, e.kind) for b, e in inj.fired] == \
+            [(15, INTERRUPT), (100, TLB_FLUSH)]
+
+    def test_checkpoint_rejects_undrained_frames(self):
+        frame = FrameState("f", {}, 0, 0, None, {}, pending=[(9, "r", 1)])
+        with pytest.raises(ValueError):
+            MachineCheckpoint(4, [frame], b"", stats=None)
+
+
+# ----------------------------------------------------------------------
+class TestPreciseInterrupts:
+    def test_drain_and_resume_is_architecturally_invisible(
+            self, sum_program):
+        module, program = sum_program
+        clean = _clean(sum_program)
+        inj = FaultInjector(InjectionPlan.interrupt_at(
+            clean.stats.beats // 2))
+        res = run_compiled(program, module, "sumA", ARGS, injector=inj)
+        assert res.value == clean.value
+        assert res.memory.snapshot() == clean.memory.snapshot()
+        assert res.stats.interrupts == 1
+        assert res.stats.interrupt_service_beats == SERVICE_BEATS
+        assert res.stats.beats >= clean.stats.beats + SERVICE_BEATS
+
+    def test_checkpoint_resume_bit_identical(self, sum_program):
+        module, program = sum_program
+        clean = _clean(sum_program)
+        inj = FaultInjector(InjectionPlan.interrupt_at(
+            clean.stats.beats // 2, checkpoint=True))
+        first = VliwSimulator(program, MemoryImage(module),
+                              injector=inj).run("sumA", ARGS)
+        assert first.interrupted
+        ck = first.checkpoint
+        assert ck is not None and ck.depth == 1
+        assert all(not f.pending for f in ck.frames), "not drained"
+        assert first.stats.checkpoints == 1
+
+        resumed = VliwSimulator(program, MemoryImage(module)).resume(ck)
+        assert not resumed.interrupted
+        assert resumed.value == clean.value
+        assert resumed.memory.snapshot() == clean.memory.snapshot()
+        assert resumed.stats.resumes == 1
+        # the resumed half reports whole-run totals exactly once
+        assert resumed.stats.instructions >= clean.stats.instructions
+
+    def test_checkpoint_at_every_boundary_resumes_identically(
+            self, sum_program):
+        """Sweep the checkpoint beat across the whole run: every
+        instruction boundary must be a precise point."""
+        module, program = sum_program
+        clean = _clean(sum_program)
+        for beat in range(0, clean.stats.beats, 7):
+            inj = FaultInjector(InjectionPlan.interrupt_at(
+                beat, checkpoint=True))
+            first = VliwSimulator(program, MemoryImage(module),
+                                  injector=inj).run("sumA", ARGS)
+            if not first.interrupted:
+                continue        # delivered past the last boundary
+            resumed = VliwSimulator(program,
+                                    MemoryImage(module)).resume(
+                                        first.checkpoint)
+            assert resumed.value == clean.value, f"beat {beat}"
+            assert resumed.memory.snapshot() == clean.memory.snapshot(), \
+                f"beat {beat}"
+
+    def test_checkpoint_mid_call_chain(self):
+        """A checkpoint taken while a callee is live captures and
+        rebuilds the whole frame stack."""
+        m = Module("calls")
+        b = IRBuilder(m)
+        b.function("square", [("x", RegClass.INT)],
+                   ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.mul(b.param("x"), b.param("x")))
+        b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        i = VReg("i", RegClass.INT)
+        acc = VReg("acc", RegClass.INT)
+        b.block("entry")
+        b.mov(0, dest=i)
+        b.mov(0, dest=acc)
+        b.jmp("head")
+        b.block("head")
+        p = b.cmplt(i, b.param("n"))
+        b.br(p, "body", "exit")
+        b.block("body")
+        sq = b.call("square", [i], ret_class=RegClass.INT)
+        b.add(acc, sq, dest=acc)
+        b.add(i, 1, dest=i)
+        b.jmp("head")
+        b.block("exit")
+        b.ret(acc)
+        verify_module(m)
+
+        program = compile_module(m, TRACE_28_200)
+        clean = run_compiled(program, m, "main", (6,))
+        assert clean.value == sum(x * x for x in range(6))
+
+        saw_deep = False
+        for beat in range(0, clean.stats.beats, 5):
+            inj = FaultInjector(InjectionPlan.interrupt_at(
+                beat, checkpoint=True))
+            first = VliwSimulator(program, MemoryImage(m),
+                                  injector=inj).run("main", (6,))
+            if not first.interrupted:
+                continue
+            saw_deep = saw_deep or first.checkpoint.depth > 1
+            resumed = VliwSimulator(program, MemoryImage(m)).resume(
+                first.checkpoint)
+            assert resumed.value == clean.value, f"beat {beat}"
+        assert saw_deep, "no checkpoint ever landed inside the callee"
+
+    def test_resume_rejects_wrong_memory_shape(self, sum_program):
+        from repro.errors import SimError
+        module, program = sum_program
+        inj = FaultInjector(InjectionPlan.interrupt_at(4, checkpoint=True))
+        first = VliwSimulator(program, MemoryImage(module),
+                              injector=inj).run("sumA", ARGS)
+        assert first.interrupted
+        small = MemoryImage(module, scratch_bytes=16)
+        with pytest.raises(SimError):
+            VliwSimulator(program, small).resume(first.checkpoint)
+
+    def test_checkpoint_carries_process_tag(self, sum_program):
+        module, program = sum_program
+        tags = ProcessTagTable()
+        inj = FaultInjector(InjectionPlan.interrupt_at(6, checkpoint=True))
+        sim = VliwSimulator(program, MemoryImage(module), injector=inj,
+                            tags=tags, process_id=41)
+        first = sim.run("sumA", ARGS)
+        assert first.interrupted
+        assert first.checkpoint.asid == 0
+        assert 41 in tags and tags.assignments == 1
+
+
+# ----------------------------------------------------------------------
+class TestInvisibleFaults:
+    def test_tlb_flush_costs_time_only(self, sum_program):
+        module, program = sum_program
+        tlb_clean = TlbModel(TRACE_28_200)
+        clean = run_compiled(program, module, "sumA", ARGS, tlb=tlb_clean)
+
+        tlb = TlbModel(TRACE_28_200)
+        inj = FaultInjector(InjectionPlan(
+            [FaultEvent(clean.stats.beats // 2, TLB_FLUSH)]))
+        res = run_compiled(program, module, "sumA", ARGS, injector=inj,
+                           tlb=tlb)
+        assert res.value == clean.value
+        assert res.memory.snapshot() == clean.memory.snapshot()
+        assert res.stats.injected_tlb_flushes == 1
+        assert tlb.stats.injected_flushes == 1
+        assert res.stats.beats >= clean.stats.beats
+        assert tlb.stats.misses > tlb_clean.stats.misses
+
+    def test_bank_poison_costs_time_only(self, sum_program):
+        module, program = sum_program
+        clean = _clean(sum_program)
+        inj = FaultInjector(InjectionPlan(
+            [FaultEvent(2, BANK_POISON, bank=b, busy_beats=12)
+             for b in range(TRACE_28_200.total_banks)]))
+        res = run_compiled(program, module, "sumA", ARGS, injector=inj)
+        assert res.value == clean.value
+        assert res.memory.snapshot() == clean.memory.snapshot()
+        assert res.stats.injected_bank_poisons == TRACE_28_200.total_banks
+        assert res.stats.beats > clean.stats.beats
+
+    def test_fp_trap_reports_beat_and_pc(self, sum_program):
+        module, program = sum_program
+        inj = FaultInjector(InjectionPlan(
+            [FaultEvent(4, FP_TRAP, detail="injected")]))
+        with pytest.raises(TrapError) as info:
+            run_compiled(program, module, "sumA", ARGS, injector=inj)
+        exc = info.value
+        assert exc.kind == "injected_fp"
+        assert exc.beat is not None and exc.beat >= 4
+        assert "sumA" in str(exc.pc)
+        assert "beat" in str(exc) and "pc=" in str(exc)
+
+
+# ----------------------------------------------------------------------
+class TestBaselineInjection:
+    def test_scalar_interrupt_charges_time_only(self, sum_array_module):
+        clean = run_scalar(sum_array_module, "sumA", ARGS)
+        inj = FaultInjector(InjectionPlan.interrupt_at(
+            clean.stats.beats // 2))
+        res = run_scalar(sum_array_module, "sumA", ARGS, injector=inj)
+        assert res.value == clean.value
+        assert res.stats.interrupts == 1
+        assert res.stats.cycles > clean.stats.cycles
+
+    def test_scoreboard_interrupt_charges_time_only(self, sum_array_module):
+        clean = run_scoreboard(sum_array_module, "sumA", ARGS)
+        inj = FaultInjector(InjectionPlan.interrupt_at(
+            clean.stats.beats // 2))
+        res = run_scoreboard(sum_array_module, "sumA", ARGS, injector=inj)
+        assert res.value == clean.value
+        assert res.stats.interrupts == 1
+        assert res.stats.cycles > clean.stats.cycles
+
+    def test_scalar_fp_trap_located(self, sum_array_module):
+        inj = FaultInjector(InjectionPlan([FaultEvent(0, FP_TRAP)]))
+        with pytest.raises(TrapError) as info:
+            run_scalar(sum_array_module, "sumA", ARGS, injector=inj)
+        assert info.value.beat is not None
+        assert "sumA" in str(info.value.pc)
+
+
+# ----------------------------------------------------------------------
+class TestTrapLocation:
+    def test_locate_fills_once(self):
+        exc = TrapError("bus_error", "addr=0x0")
+        assert exc.beat is None and exc.pc is None
+        exc.locate(beat=12, pc="f:3")
+        assert exc.beat == 12 and exc.pc == "f:3"
+        exc.locate(beat=99, pc="g:9")       # already known: unchanged
+        assert exc.beat == 12 and exc.pc == "f:3"
+        assert "at beat 12" in str(exc) and "pc=f:3" in str(exc)
+
+    def test_interpreter_locates_traps(self):
+        m = Module("oob")
+        b = IRBuilder(m)
+        b.function("main", [("p", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        b.ret(b.load(b.param("p"), 0))
+        verify_module(m)
+        with pytest.raises(TrapError) as info:
+            run_module(m, "main", (0,))
+        assert info.value.kind == "bus_error"
+        assert str(info.value.pc).startswith("main:entry:")
+
+
+# ----------------------------------------------------------------------
+class TestGracefulDegradation:
+    @staticmethod
+    def _store_load_module() -> Module:
+        """A store/load pair forces pairwise disambiguation queries."""
+        m = Module("memops")
+        m.add_array("A", 8, 4, init=list(range(8)))
+        b = IRBuilder(m)
+        b.function("main", [("n", RegClass.INT)], ret_class=RegClass.INT)
+        b.block("entry")
+        base = b.addr("A")
+        b.store(b.param("n"), base, 0)
+        x = b.load(base, 4)
+        b.ret(b.add(x, b.load(base, 0)))
+        verify_module(m)
+        return m
+
+    def test_disambig_budget_degrades_to_per_block(self):
+        module = self._store_load_module()
+        ref = run_module(module, "main", (9,))
+        compiler = TraceCompiler(module, TRACE_28_200, disambig_budget=0)
+        program = compiler.compile_module()
+        stats = compiler.stats["main"]
+        assert stats.degradations, "budget exhaustion must degrade"
+        assert "DisambigError" in stats.degradations[0]
+        res = run_compiled(program, module, "main", (9,))
+        assert res.value == ref.value
+
+    def test_schedule_error_degrades_to_per_block(self, sum_array_module,
+                                                  monkeypatch):
+        """An adversarial input (here: a scheduler that gives up on any
+        speculative trace) downgrades to per-block scheduling instead of
+        failing the compile."""
+        from repro.trace import compiler as compiler_mod
+        real = compiler_mod.ListScheduler
+
+        class FlakyScheduler(real):
+            def run(self):
+                if self.options.speculation:
+                    raise ScheduleError(
+                        "scheduler made no progress for 10000 instructions",
+                        trace_id=self.trace_id, ready=3, blocking="mul")
+                return super().run()
+
+        monkeypatch.setattr(compiler_mod, "ListScheduler", FlakyScheduler)
+        ref = run_module(sum_array_module, "sumA", ARGS)
+        compiler = TraceCompiler(sum_array_module, TRACE_28_200)
+        program = compiler.compile_module()
+        stats = compiler.stats["sumA"]
+        assert len(stats.degradations) == 1
+        assert "ScheduleError" in stats.degradations[0]
+        res = run_compiled(program, sum_array_module, "sumA", ARGS)
+        assert res.value == ref.value
+
+    def test_no_progress_error_carries_diagnostics(self):
+        exc = ScheduleError("no progress", trace_id="f#t2@head",
+                            ready=5, blocking="node #3 mul at pos 7")
+        assert exc.trace_id == "f#t2@head"
+        assert exc.ready == 5
+        assert "mul" in exc.blocking
+
+    def test_disambig_error_message_names_budget(self):
+        from repro.disambig import Disambiguator
+        d = Disambiguator(query_budget=2)
+        d.alias(None, None)
+        d.alias(None, None)
+        with pytest.raises(DisambigError) as info:
+            d.alias(None, None)
+        assert "2 pairwise queries" in str(info.value)
+
+    def test_clean_compile_has_no_degradations(self, sum_array_module):
+        compiler = TraceCompiler(sum_array_module, TRACE_28_200)
+        compiler.compile_module()
+        assert compiler.stats["sumA"].degradations == []
+
+
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_interrupt_counters_folded_once(self, sum_program):
+        from repro.obs import Tracer
+        module, program = sum_program
+        tracer = Tracer()
+        clean = _clean(sum_program)
+        inj = FaultInjector(InjectionPlan.interrupt_at(
+            clean.stats.beats // 2, checkpoint=True))
+        first = VliwSimulator(program, MemoryImage(module), injector=inj,
+                              tracer=tracer).run("sumA", ARGS)
+        assert first.interrupted
+        # interrupted half must NOT fold (totals would double-count)
+        assert tracer.counters.get("sim.vliw.checkpoints") == 0
+        VliwSimulator(program, MemoryImage(module),
+                      tracer=tracer).resume(first.checkpoint)
+        assert tracer.counters.get("sim.vliw.checkpoints") == 1
+        assert tracer.counters.get("sim.vliw.resumes") == 1
+        assert tracer.counters.get("sim.vliw.interrupts") == 1

@@ -1,0 +1,81 @@
+"""The differential fuzzing harness and its CLI entry point."""
+
+import json
+
+from repro.__main__ import main
+from repro.harness.fuzz import (FuzzCase, FuzzReport, fuzz_one, run_fuzz,
+                                verify_dismissal)
+from repro.machine import TRACE_14_200
+from repro.obs import Tracer
+
+
+class TestFuzzOne:
+    def test_clean_and_faulted_case_passes(self):
+        case = fuzz_one(0)
+        assert case.ok, case.failures
+        assert case.checkpoint_verified
+        assert case.faults_fired > 0
+
+    def test_case_is_deterministic(self):
+        a, b = fuzz_one(3), fuzz_one(3)
+        assert a.ok and b.ok
+        assert a.faults_fired == b.faults_fired
+
+    def test_without_faults_only_differential(self):
+        case = fuzz_one(1, check_faults=False)
+        assert case.ok
+        assert case.faults_fired == 0
+        assert not case.checkpoint_verified
+
+    def test_narrow_machine(self):
+        case = fuzz_one(2, config=TRACE_14_200)
+        assert case.ok, case.failures
+
+
+class TestRunFuzz:
+    def test_small_run_passes_and_counts(self):
+        tracer = Tracer()
+        report = run_fuzz(seed=0, count=3, tracer=tracer)
+        assert report.ok
+        assert len(report.cases) == 3
+        assert report.checkpoints_verified == 3
+        assert report.faults_fired > 0
+        assert report.dismissal_checked and report.dismissal_verified
+        assert tracer.counters.get("fuzz.cases") == 3
+        assert tracer.counters.get("fuzz.failures") == 0
+
+    def test_progress_callback_sees_every_case(self):
+        seen = []
+        run_fuzz(seed=5, count=2, check_faults=False,
+                 progress=seen.append)
+        assert [c.seed for c in seen] == [5, 6]
+
+    def test_summary_reports_failures(self):
+        report = FuzzReport()
+        bad = FuzzCase(9)
+        bad.fail("clean run memory diverged from interpreter")
+        report.cases.append(bad)
+        assert not report.ok
+        assert "seed 9" in report.summary()
+        assert report.row()["failed"] == 1
+
+    def test_dismissal_scenario(self):
+        ok, detail = verify_dismissal()
+        assert ok, detail
+
+
+class TestFuzzCli:
+    def test_fuzz_command(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cases, 0 failed" in out
+        assert "checkpoint/resume" in out
+        assert "dismissed-load scenario: ok" in out
+
+    def test_fuzz_json(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--count", "2", "--no-faults",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cases"] == 2
+        assert report["failed"] == 0
+        assert report["failures"] == []
