@@ -1,0 +1,143 @@
+"""E-pipeline — software pipelining vs unroll-and-trace-schedule.
+
+The tentpole claim for the modulo scheduler: on pipelinable counted
+loops, ``--strategy pipeline`` reaches a steady state of ``2 * II``
+beats per kernel iteration, and because the shape matcher also accepts
+the unroller's probe-guard loops, pipelining *composes* with unrolling —
+an unroll-4 body retires four source iterations per II.  At its best
+unroll factor the pipeline matches or beats the unroll-8 trace
+schedule's per-iteration rate on nearly every kernel.
+
+Two honest counterexamples are kept in the table:
+
+* ll5_tridiag's carried FADD/FMUL chain pins II at the recurrence
+  bound; no schedule beats the dependence height.
+* code size: modulo variable expansion needs K kernel copies (and K
+  epilogues) whenever a value's lifetime exceeds the II, so on this
+  28-wide machine the *trace* schedule — which packs an unroll-8 body
+  into a handful of very wide instructions — wins code size whenever
+  K > 1.  Only the K == 1 loops come out smaller pipelined.
+
+Steady-state rates are measured, not computed: beats at two problem
+sizes, divided by the iteration delta, cancels every fixed cost (call,
+guard, prologue, remainder loop).
+"""
+
+import pytest
+
+from repro.harness import prepare_modules
+from repro.machine import TRACE_28_200
+from repro.sim import run_compiled
+from repro.trace import TraceCompiler
+from repro.workloads import get_kernel
+
+from .conftest import bench_once
+
+KERNELS = ["daxpy", "vadd", "dot", "fir4", "stencil3", "ll1_hydro",
+           "ll3_inner", "ll12_diff", "ll5_tridiag"]
+N_SMALL, N_LARGE = 192, 448
+#: unroll factor for the pipeline-over-unrolled-body measurement
+PIPE_UNROLL = 4
+
+
+def _beats(name: str, n: int, strategy: str, unroll: int):
+    kernel = get_kernel(name)
+    _, module = prepare_modules(kernel, n, unroll=unroll, inline=48)
+    compiler = TraceCompiler(module, TRACE_28_200, strategy=strategy)
+    program = compiler.compile_module()
+    result = run_compiled(program, module, kernel.func, kernel.make_args(n))
+    return result.stats.beats, compiler.stats[kernel.func]
+
+
+def _rate(name: str, strategy: str, unroll: int):
+    small, stats = _beats(name, N_SMALL, strategy, unroll)
+    large, _ = _beats(name, N_LARGE, strategy, unroll)
+    return (large - small) / (N_LARGE - N_SMALL), stats
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for name in KERNELS:
+        pipe_rate, p_stats = _rate(name, "pipeline", 0)
+        pipe_u_rate, _ = _rate(name, "pipeline", PIPE_UNROLL)
+        trace_rate, t_stats = _rate(name, "trace", 8)
+        loop = p_stats.pipelined_loops[0]
+        best = min(pipe_rate, pipe_u_rate)
+        rows.append({
+            "kernel": name,
+            "ii": loop.ii,
+            "mii": loop.mii,
+            "stages": loop.stages,
+            "copies": loop.kernel_copies,
+            "rec_bound": loop.rec_mii > loop.res_mii,
+            "pipe_code": loop.n_instructions,
+            "trace_code": t_stats.n_instructions,
+            "pipe_rate": round(pipe_rate, 3),
+            f"pipe_u{PIPE_UNROLL}_rate": round(pipe_u_rate, 3),
+            "trace_rate": round(trace_rate, 3),
+            "speedup": round(trace_rate / best, 2),
+        })
+    return rows
+
+
+def test_pipeline_achieves_mii_mostly(table, show, benchmark):
+    show(table, "E-pipeline: modulo schedule (rolled + unroll "
+                f"{PIPE_UNROLL}) vs trace (unroll 8), marginal "
+                f"beats/source-iteration over n={N_SMALL}->{N_LARGE}")
+    # the iterative scheduler hits the lower bound on most loops; the
+    # bank-conflict-heavy bodies (fir4, ll1) settle one II above it
+    at_bound = sum(1 for r in table if r["ii"] == r["mii"])
+    assert at_bound * 3 >= len(table) * 2, table
+    assert all(r["ii"] <= r["mii"] + 1 for r in table), table
+    bench_once(benchmark, lambda: _beats("daxpy", N_LARGE, "pipeline", 0))
+
+
+def test_steady_state_matches_or_beats_trace(table, show):
+    """Acceptance: >= half the loop kernels run at a per-iteration rate
+    no worse than the unroll-8 trace schedule's, with ``--strategy
+    pipeline`` at its better unroll factor (0 or PIPE_UNROLL)."""
+    wins = [r["kernel"] for r in table
+            if min(r["pipe_rate"], r[f"pipe_u{PIPE_UNROLL}_rate"])
+            <= r["trace_rate"] + 1e-9]
+    assert len(wins) * 2 >= len(table), (wins, table)
+
+
+def test_unrolled_pipeline_compounds_on_streams(table):
+    """On streaming loops (no carried chain and a split-friendly body)
+    the probe-guard shape match lets unroll and pipeline compose:
+    PIPE_UNROLL source iterations retire per II, so the unrolled
+    pipeline rate beats the rolled one."""
+    for name in ("daxpy", "vadd", "stencil3", "ll12_diff"):
+        r = next(row for row in table if row["kernel"] == name)
+        assert r[f"pipe_u{PIPE_UNROLL}_rate"] < r["pipe_rate"], r
+        assert r[f"pipe_u{PIPE_UNROLL}_rate"] < r["trace_rate"], r
+
+
+def test_steady_state_rate_is_2ii(table):
+    """Measured marginal rate of the rolled pipeline equals the
+    schedule's promise, 2*II beats per iteration (kernel rounds are II
+    instructions of 2 beats)."""
+    for r in table:
+        assert abs(r["pipe_rate"] - 2 * r["ii"]) < 0.35, r
+
+
+def test_code_size_tracks_kernel_copies(table):
+    """Code size is the pipeline's honest cost on streaming loops: modulo
+    variable expansion needs K kernel copies plus per-copy epilogues, so
+    every K > 1 streaming loop emits more code than the packed unroll-8
+    trace schedule (bounded at 5x).  The recurrence-bound loops win both
+    ways — K stays small and the serial unroll-8 body can't pack."""
+    for r in table:
+        assert r["pipe_code"] <= 5 * r["trace_code"], r
+        if r["rec_bound"]:
+            assert r["pipe_code"] < r["trace_code"], r
+        elif r["copies"] > 1:
+            assert r["pipe_code"] > r["trace_code"], r
+
+
+def test_recurrence_bound_loop_documented(table):
+    """ll5's carried chain pins II above the resource bound — the modulo
+    scheduler can't beat the dependence height, only match it."""
+    ll5 = next(r for r in table if r["kernel"] == "ll5_tridiag")
+    assert ll5["ii"] > 3

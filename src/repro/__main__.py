@@ -41,6 +41,11 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="I-F board pairs (default 4 = TRACE 28/200)")
     parser.add_argument("--unroll", type=int, default=8,
                         help="unroll factor (default 8; 0 disables)")
+    parser.add_argument("--strategy", choices=("trace", "pipeline", "auto"),
+                        default="trace",
+                        help="loop engine: unroll+trace-schedule (default), "
+                             "modulo-schedule counted loops, or pick per "
+                             "loop by estimated steady-state rate")
     parser.add_argument("--no-speculation", action="store_true")
     parser.add_argument("--no-join-motion", action="store_true")
     parser.add_argument("--fast-fp", action="store_true",
@@ -65,14 +70,27 @@ def _spec(args, kernel: str, telemetry: bool = False,
     return MeasureSpec(kernel=kernel, n=args.n,
                        config=MachineConfig.from_pairs(args.pairs),
                        options=_options(args), unroll=args.unroll,
+                       strategy=args.strategy,
                        telemetry=telemetry, events=events)
 
 
+def _kernel_shape(kernel) -> str:
+    """Loop-shape tag of the kernel's entry function, rolled form."""
+    from .opt import classical_pipeline
+    from .pipeline import loop_shape_tag
+
+    module = kernel.build(8)
+    classical_pipeline(unroll_factor=0, inline_budget=0).run(module)
+    return loop_shape_tag(module.function(kernel.func))
+
+
 def cmd_list(args) -> int:
-    rows = [{"kernel": k.name, "kind": k.kind, "description": k.description}
+    rows = [{"kernel": k.name, "kind": k.kind, "shape": _kernel_shape(k),
+             "description": k.description}
             for k in ALL_KERNELS.values()]
     print_table(sorted(rows, key=lambda r: (r["kind"], r["kernel"])),
-                "available workloads")
+                "available workloads (shape: pipelinable = the modulo "
+                "scheduler can take the inner loop)")
     return 0
 
 
@@ -93,6 +111,13 @@ def cmd_measure(args) -> int:
               f"{stats.n_instructions}, speculated loads: "
               f"{stats.n_speculated_loads}, compensation ops: "
               f"{stats.n_compensation_ops}, gambles: {stats.n_gambles}")
+        for loop in stats.pipelined_loops:
+            print(f"pipelined {loop.header}: II={loop.ii} (MII={loop.mii}, "
+                  f"res={loop.res_mii}, rec={loop.rec_mii}), "
+                  f"stages={loop.stages}, copies={loop.kernel_copies}, "
+                  f"decision={loop.decision}")
+        for reason in stats.pipeline_fallbacks:
+            print(f"pipeline fallback: {reason}")
     return 0
 
 
@@ -112,7 +137,7 @@ def cmd_schedule(args) -> int:
     kernel = get_kernel(args.kernel)
     _, module = prepare_modules(kernel, args.n, unroll=args.unroll)
     program = compile_module(module, MachineConfig.from_pairs(args.pairs),
-                             _options(args))
+                             _options(args), strategy=args.strategy)
     print(format_compiled(program.function(kernel.func)))
     return 0
 
@@ -129,7 +154,8 @@ def cmd_compile(args) -> int:
     module = compile_source(source)
     classical_pipeline(unroll_factor=args.unroll, inline_budget=48).run(
         module)
-    program = compile_module(module, config, _options(args))
+    program = compile_module(module, config, _options(args),
+                             strategy=args.strategy)
     for name in program.functions:
         print(format_compiled(program.function(name)))
         print()
@@ -153,7 +179,8 @@ def cmd_fuzz(args) -> int:
     report = run_fuzz(seed=args.seed, count=args.count,
                       config=MachineConfig.from_pairs(args.pairs),
                       check_faults=not args.no_faults,
-                      progress=progress if args.verbose else None)
+                      progress=progress if args.verbose else None,
+                      strategy=args.strategy)
     if args.as_json:
         print(json.dumps(report.row(), indent=2))
     else:
@@ -234,6 +261,10 @@ def main(argv=None) -> int:
                    help="I-F board pairs (default 4 = TRACE 28/200)")
     p.add_argument("--no-faults", action="store_true",
                    help="clean differential runs only, no injection")
+    p.add_argument("--strategy", choices=("trace", "pipeline", "auto"),
+                   default="trace",
+                   help="loop engine under test; 'pipeline' runs the "
+                        "pipeline-vs-trace differential scenario")
     p.add_argument("--verbose", action="store_true",
                    help="report failing seeds as they happen")
     p.add_argument("--json", action="store_true", dest="as_json",

@@ -101,6 +101,17 @@ class RegAllocError(ReproError):
     """Register allocation failed (ran out of physical registers/spills)."""
 
 
+class PipelineError(ReproError):
+    """The modulo scheduler could not software-pipeline a loop.
+
+    Raised for loops that match the pipelinable shape but defeat the
+    scheduler (no feasible initiation interval within the search window,
+    stage count over the cap, ...).  The trace compiler catches this and
+    falls back to trace scheduling for that loop, recording the reason on
+    :attr:`TraceCompileStats.pipeline_fallbacks`.
+    """
+
+
 class EncodingError(ReproError):
     """Instruction-word encoding or mask-word packing failure."""
 

@@ -21,6 +21,13 @@ profile-trained guard-branch program whose speculated load goes out of
 bounds at run time must dismiss (funny number, no trap) and still agree
 with the interpreter.
 
+With ``strategy="pipeline"`` (or ``"auto"``) every case additionally
+cross-checks the two loop engines: the same seed-generated program is
+compiled once with the requested strategy (whose output feeds the
+faulted and checkpoint/resume variants above) and once with plain trace
+scheduling, and the two simulations must agree with each other and with
+the interpreter.
+
 Reproducibility: a case is fully determined by its integer seed — the
 program, the fault plan, and the checkpoint beat all derive from it.
 """
@@ -78,6 +85,8 @@ class FuzzCase:
     checkpoint_verified: bool = False
     #: compiler degradations recorded while compiling this program
     degradations: int = 0
+    #: loops the modulo scheduler took (0 under plain trace scheduling)
+    loops_pipelined: int = 0
 
     def fail(self, message: str) -> None:
         self.ok = False
@@ -111,11 +120,18 @@ class FuzzReport:
     def faults_fired(self) -> int:
         return sum(c.faults_fired for c in self.cases)
 
+    @property
+    def loops_pipelined(self) -> int:
+        return sum(c.loops_pipelined for c in self.cases)
+
     def summary(self) -> str:
         lines = [f"fuzz: {len(self.cases)} cases, {self.n_failed} failed, "
                  f"{self.faults_fired} faults injected, "
                  f"{self.checkpoints_verified} checkpoint/resume round trips "
                  f"verified"]
+        if self.loops_pipelined:
+            lines.append(f"loops software-pipelined across cases: "
+                         f"{self.loops_pipelined}")
         if self.dismissal_checked:
             state = "ok" if self.dismissal_verified else "FAILED"
             lines.append(f"dismissed-load scenario: {state}")
@@ -132,23 +148,32 @@ class FuzzReport:
             "faults_fired": self.faults_fired,
             "checkpoints_verified": self.checkpoints_verified,
             "dismissal_verified": self.dismissal_verified,
+            "loops_pipelined": self.loops_pipelined,
             "failures": [f for c in self.cases for f in c.failures],
         }
 
 
 # ----------------------------------------------------------------------
 def fuzz_one(seed: int, config: MachineConfig = TRACE_28_200,
-             check_faults: bool = True) -> FuzzCase:
-    """Run one differential case; never raises on divergence (records it)."""
+             check_faults: bool = True,
+             strategy: str = "trace") -> FuzzCase:
+    """Run one differential case; never raises on divergence (records it).
+
+    With a non-default ``strategy`` the faulted and checkpoint variants
+    run against the strategy-compiled program, and an extra
+    trace-compiled run of the same program must agree with it.
+    """
     case = FuzzCase(seed)
     module = generate_program(seed)
     ref = run_module(module, "main", ARGS)
     ref_arrays = _array_state(module, ref.memory)
 
-    compiler = TraceCompiler(module, config)
+    compiler = TraceCompiler(module, config, strategy=strategy)
     program = compiler.compile_module()
     case.degradations = sum(len(s.degradations)
                             for s in compiler.stats.values())
+    case.loops_pipelined = sum(len(s.pipelined_loops)
+                               for s in compiler.stats.values())
 
     clean = run_compiled(program, module, "main", ARGS)
     if not _values_equal(clean.value, ref.value):
@@ -156,6 +181,20 @@ def fuzz_one(seed: int, config: MachineConfig = TRACE_28_200,
                   f"interpreter returned {ref.value!r}")
     if not _states_equal(_array_state(module, clean.memory), ref_arrays):
         case.fail("clean run memory diverged from interpreter")
+
+    if strategy != "trace" and case.ok:
+        # same seed, fresh module: the default engine must agree with the
+        # strategy engine op for op (generate_program is deterministic)
+        t_module = generate_program(seed)
+        t_program = TraceCompiler(t_module, config).compile_module()
+        traced = run_compiled(t_program, t_module, "main", ARGS)
+        if not _values_equal(traced.value, clean.value):
+            case.fail(f"trace engine returned {traced.value!r}, "
+                      f"{strategy} engine returned {clean.value!r}")
+        if not _states_equal(_array_state(t_module, traced.memory),
+                             _array_state(module, clean.memory)):
+            case.fail(f"trace and {strategy} engines diverged on memory")
+
     if not check_faults or not case.ok:
         return case
 
@@ -228,7 +267,8 @@ def _guarded_load_module() -> Module:
     return module
 
 
-def verify_dismissal(config: MachineConfig = TRACE_28_200) -> tuple[bool, str]:
+def verify_dismissal(config: MachineConfig = TRACE_28_200,
+                     strategy: str = "trace") -> tuple[bool, str]:
     """The dismissable-load scenario: (passed, detail).
 
     Out-of-bounds argument: index 1<<20 puts the speculated load's
@@ -239,7 +279,8 @@ def verify_dismissal(config: MachineConfig = TRACE_28_200) -> tuple[bool, str]:
     module = _guarded_load_module()
     interp = Interpreter(module)
     interp.run("main", (2,))            # train: guard taken, load runs
-    compiler = TraceCompiler(module, config, profile=interp.profile)
+    compiler = TraceCompiler(module, config, profile=interp.profile,
+                             strategy=strategy)
     program = compiler.compile_module()
     stats = compiler.stats["main"]
     if stats.n_speculated_loads < 1:
@@ -260,20 +301,24 @@ def verify_dismissal(config: MachineConfig = TRACE_28_200) -> tuple[bool, str]:
 def run_fuzz(seed: int = 0, count: int = 50,
              config: MachineConfig = TRACE_28_200,
              check_faults: bool = True, tracer=None,
-             progress=None) -> FuzzReport:
+             progress=None, strategy: str = "trace") -> FuzzReport:
     """The full differential fuzz run: ``count`` cases from ``seed``.
 
     Case ``i`` uses program/fault seed ``seed + i``.  ``progress`` (an
     optional callable) receives each finished :class:`FuzzCase`.
+    ``strategy`` selects the loop engine under test; ``"pipeline"`` is
+    the pipeline-vs-trace differential scenario (see module docstring).
     """
     trc = get_tracer(tracer)
     report = FuzzReport()
-    with trc.span("fuzz.run", cat="harness", seed=seed, count=count):
+    with trc.span("fuzz.run", cat="harness", seed=seed, count=count,
+                  strategy=strategy):
         for i in range(count):
-            case = fuzz_one(seed + i, config, check_faults)
+            case = fuzz_one(seed + i, config, check_faults, strategy)
             report.cases.append(case)
             trc.counters.inc("fuzz.cases")
             trc.counters.inc("fuzz.faults_fired", case.faults_fired)
+            trc.counters.inc("fuzz.loops_pipelined", case.loops_pipelined)
             if case.checkpoint_verified:
                 trc.counters.inc("fuzz.checkpoints_verified")
             if not case.ok:
@@ -282,7 +327,7 @@ def run_fuzz(seed: int = 0, count: int = 50,
                 progress(case)
         if check_faults:
             report.dismissal_checked = True
-            ok, detail = verify_dismissal(config)
+            ok, detail = verify_dismissal(config, strategy)
             report.dismissal_verified = ok
             if not ok:
                 trc.counters.inc("fuzz.failures")

@@ -46,6 +46,11 @@ class MeasureSpec:
         options: code-motion knobs for the trace scheduler.
         unroll: unroll factor fed to the VLIW module (0 disables).
         inline: inline budget in callee ops (0 disables).
+        strategy: loop engine — ``"trace"`` (unroll + trace schedule),
+            ``"pipeline"`` (modulo-schedule matching counted loops), or
+            ``"auto"`` (pipeline only when its II beats the trace
+            scheduler's steady-state estimate).  Pipelining targets
+            *rolled* loops, so pair it with ``unroll=0``.
         use_profile: train a branch profile on the interpreter first.
         check: verify every executor against the reference interpreter.
         telemetry: collect phase timings and counters on the result.
@@ -58,6 +63,7 @@ class MeasureSpec:
     options: SchedulingOptions | None = None
     unroll: int = 8
     inline: int = 48
+    strategy: str = "trace"
     use_profile: bool = True
     check: bool = True
     telemetry: bool = False
@@ -87,7 +93,7 @@ class Measurement:
         return self.scalar.beats / self.vliw.beats
 
     def row(self) -> dict:
-        return {
+        out = {
             "kernel": self.kernel,
             "n": self.n,
             "scalar_beats": self.scalar.beats,
@@ -96,6 +102,11 @@ class Measurement:
             "scoreboard_speedup": round(self.scoreboard_speedup, 2),
             "vliw_speedup": round(self.vliw_speedup, 2),
         }
+        if self.compile_stats is not None \
+                and self.compile_stats.pipelined_loops:
+            out["pipelined_ii"] = [
+                loop.ii for loop in self.compile_stats.pipelined_loops]
+        return out
 
 
 def _values_equal(a, b) -> bool:
@@ -178,7 +189,7 @@ def run_measurement(spec: MeasureSpec,
             if spec.use_profile else None
     with trc.span("trace.compile", cat="harness", kernel=spec.kernel):
         compiler = TraceCompiler(vliw_module, spec.config, options, profile,
-                                 tracer=trc)
+                                 tracer=trc, strategy=spec.strategy)
         program = compiler.compile_module()
     with trc.span("sim.vliw", cat="harness"):
         vliw = run_compiled(program, vliw_module, kernel.func, args,
@@ -219,6 +230,7 @@ def measure(kernel_name: str, n: int = 64,
             unroll: int = 8, inline: int = 48,
             use_profile: bool = True,
             check: bool = True, *,
+            strategy: str = "trace",
             telemetry: bool = False, events: bool = False,
             tracer: Tracer | None = None) -> Measurement:
     """Positional-compatibility shim over :func:`run_measurement`.
@@ -229,6 +241,7 @@ def measure(kernel_name: str, n: int = 64,
     """
     spec = MeasureSpec(kernel=kernel_name, n=n, config=config,
                        options=options, unroll=unroll, inline=inline,
+                       strategy=strategy,
                        use_profile=use_profile, check=check,
                        telemetry=telemetry, events=events)
     return run_measurement(spec, tracer=tracer)

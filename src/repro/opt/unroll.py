@@ -158,6 +158,13 @@ class LoopUnroll:
         if any(op.is_memory or op.is_call or op.has_side_effect or op.can_trap
                for op in head.body):
             return False
+        # a head-defined register read in the body would reach the copies
+        # as the uhead clone's value — computed from the probe IV, not the
+        # copy's iteration; such loops are left alone
+        head_defs = {op.dest for op in head.body if op.dest is not None}
+        if head_defs and any(src in head_defs
+                             for op in body.ops for src in op.reg_srcs()):
+            return False
         if head.terminator.labels[0].name != body_name:
             return False
 

@@ -1,0 +1,46 @@
+"""Software pipelining: a modulo scheduler as a second loop engine.
+
+The trace compiler's default treatment of a hot loop is unroll-and-trace-
+schedule (paper section 4).  This package implements the alternative the
+paper's successors explored: *software pipelining* innermost counted
+loops with an iterative modulo scheduler, overlapping iterations at a
+fixed initiation interval (II) instead of compacting an unrolled body.
+
+Pipeline of responsibilities:
+
+* :mod:`~repro.pipeline.shape` — match the canonical counted loop and
+  rotate its body into one straight-line iteration.
+* :mod:`~repro.pipeline.depgraph` — distance-annotated dependences,
+  memory edges via the disambiguator.
+* :mod:`~repro.pipeline.mii` — ResMII/RecMII lower bounds, priority
+  heights, branch-pinned deadlines.
+* :mod:`~repro.pipeline.scheduler` — iterative modulo scheduling into a
+  :mod:`~repro.pipeline.mrt` modulo reservation table.
+* :mod:`~repro.pipeline.emit` — guard/prologue/kernel/epilogue emission
+  with modulo variable expansion.
+
+The trace compiler (``strategy="pipeline"`` / ``"auto"``) drives this
+per loop and falls back to trace scheduling whenever a stage raises
+:class:`~repro.errors.PipelineError` or the shape match fails.
+"""
+
+from .depgraph import MAX_DIST, LoopDep, LoopGraph, build_loop_graph
+from .emit import EmittedPipeline, emit_pipeline
+from .mii import MAX_STAGES, deadlines, heights, rec_mii, res_mii
+from .mrt import ModuloTable, Reservation
+from .scheduler import II_SEARCH, ModuloSchedule, ModuloScheduler
+from .shape import (MAX_LOOP_OPS, PipelineLoop, find_pipeline_loops,
+                    loop_shape_tag, match_pipeline_loop)
+from .stats import PipelinedLoopStats
+
+__all__ = [
+    "MAX_DIST", "MAX_LOOP_OPS", "MAX_STAGES", "II_SEARCH",
+    "LoopDep", "LoopGraph", "build_loop_graph",
+    "EmittedPipeline", "emit_pipeline",
+    "deadlines", "heights", "rec_mii", "res_mii",
+    "ModuloTable", "Reservation",
+    "ModuloSchedule", "ModuloScheduler",
+    "PipelineLoop", "find_pipeline_loops", "loop_shape_tag",
+    "match_pipeline_loop",
+    "PipelinedLoopStats",
+]

@@ -1,0 +1,293 @@
+"""Kernel/prologue/epilogue emission with modulo variable expansion.
+
+The flat modulo schedule places rotated op ``i`` at flat instruction
+``f_i`` (stage ``f_i // II``, kernel slot ``f_i % II``).  Execution is a
+sequence of *rounds* of II instructions: round ``r`` runs op ``i`` for
+iteration ``r - stage_i``.  The emitted layout:
+
+``guard``     clone of the loop header testing ``iv + (S-1)*step`` —
+              guarantees at least S trips, otherwise branches to the
+              original (rolled, trace-scheduled) loop.
+``preload``   when MVE renames registers: seed the rename slot that
+              iteration 0's cross-iteration reads will consult with the
+              architectural (loop-entry) value.
+``prologue``  rounds 0..S-2, filling the pipeline.  No branches: the
+              guard already proved these iterations all run.
+``kernels``   K copies of the steady-state round (K = MVE degree);
+              copy ``c``'s branch continues to copy ``(c+1) % K`` and
+              falls through to its own epilogue.
+``epilogues`` per kernel copy: rounds draining stages 1..S-1, padding
+              until every in-flight result has landed, move-fixups
+              restoring architectural register names, then a jump back
+              to the original header — whose (now false) exit test
+              routes to the loop's real exit with all live-outs intact.
+
+Modulo variable expansion: with K kernel copies, iteration ``j`` writes
+rename slot ``j % K`` of every loop-defined register, and a reader at
+iteration distance ``d`` reads slot ``(j - d) % K``.  K is the smallest
+count such that a value is never clobbered (write of iteration ``j+K``)
+before its last read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Imm, Opcode, Operation, RegClass, VReg, wrap32
+from ..machine import (BranchTest, LongInstruction, MachineConfig,
+                       ReservationTable, ScheduledOp, imm_value, latency_of,
+                       needs_imm_word, units_for)
+from .depgraph import LoopGraph
+from .scheduler import ModuloSchedule
+from .shape import PipelineLoop
+
+
+@dataclass
+class EmittedPipeline:
+    """The pipelined loop as a relocatable instruction run."""
+
+    instructions: list[LongInstruction]
+    #: label -> index relative to ``instructions[0]``
+    labels: dict[str, int]
+    guard_label: str
+    kernel_copies: int
+    #: registers invented by MVE/guard emission (for diagnostics)
+    new_regs: int = 0
+
+
+def _mov_for(cls: RegClass) -> Opcode:
+    if cls is RegClass.FLT:
+        return Opcode.FMOV
+    if cls is RegClass.PRED:
+        return Opcode.PMOV
+    return Opcode.MOV
+
+
+class _Packer:
+    """Tiny greedy scheduler for the scalar sections (guard/preload/fixups).
+
+    These sections execute once per loop entry/exit, so density barely
+    matters — but result latencies must still be honored, and unit/imm
+    slots must not be oversubscribed.  No memory ops ever pass through
+    here (the guard is pure by the shape check; preload/fixups are moves).
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.table = ReservationTable(config)
+        self.rows: list[LongInstruction] = []
+        self.land: dict[VReg, int] = {}   # def -> section-relative land beat
+        self.max_land = 0
+
+    def _grow(self, t: int) -> None:
+        while len(self.rows) <= t:
+            self.rows.append(LongInstruction())
+
+    def add(self, op: Operation) -> None:
+        t = 0
+        for src in op.reg_srcs():
+            if src in self.land:              # read beat 2t >= land beat
+                t = max(t, -(-self.land[src] // 2))
+        while self._try_row(op, t) is None:
+            t += 1
+
+    def _try_row(self, op: Operation, t: int) -> ScheduledOp | None:
+        for unit in units_for(op):
+            for pair in range(self.config.n_pairs):
+                if not self.table.unit_free(t, pair, unit):
+                    continue
+                if needs_imm_word(op) and not self.table.imm_free(
+                        t, pair, unit.beat_offset, imm_value(op)):
+                    continue
+                self.table.take_unit(t, pair, unit)
+                if needs_imm_word(op):
+                    self.table.take_imm(t, pair, unit.beat_offset,
+                                        imm_value(op))
+                self._grow(t)
+                sop = ScheduledOp(op, pair, unit)
+                self.rows[t].ops.append(sop)
+                if op.dest is not None:
+                    land = 2 * t + unit.beat_offset \
+                        + latency_of(op, self.config)
+                    self.land[op.dest] = land
+                    self.max_land = max(self.max_land, land)
+                return sop
+        return None
+
+    def finish(self, drain: bool = True) -> list[LongInstruction]:
+        """The packed rows, padded (if ``drain``) until all lands complete."""
+        if drain and self.max_land > 0:
+            self._grow(-(-self.max_land // 2) - 1)
+        return self.rows
+
+
+def emit_pipeline(func, pl: PipelineLoop, graph: LoopGraph,
+                  sched: ModuloSchedule,
+                  config: MachineConfig) -> EmittedPipeline:
+    ii, S = sched.ii, sched.stages
+    period = 2 * ii
+    ops = graph.ops
+    n = len(ops)
+    lat = [latency_of(op, config) for op in ops]
+    stage = [sched.stage_of(i) for i in range(n)]
+    slot = [sched.slot_of(i) for i in range(n)]
+    beat = [sched.placements[i][3] for i in range(n)]
+
+    # --- MVE degree: slot j+K's write must land after j's last read ------
+    last_read: dict[int, int] = {}
+    for e in graph.edges:
+        if e.kind == "mem":
+            continue
+        rb = 2 * (ii - 1) if e.dst == graph.branch \
+            else beat[e.dst] + period * e.dist
+        last_read[e.src] = max(last_read.get(e.src, -1), rb)
+    K = 1
+    for i, op in enumerate(ops):
+        if op.dest is None or i not in last_read:
+            continue
+        need = -(-(last_read[i] + 1 - (beat[i] + lat[i])) // period)
+        K = max(K, need)
+
+    name_map: dict[VReg, list[VReg]] = {}
+    if K > 1:
+        for op in ops:
+            if op.dest is not None:
+                name_map[op.dest] = [
+                    func.fresh_vreg(op.dest.cls, f"{op.dest.name}.mv{k}")
+                    for k in range(K)]
+
+    defs_at = graph.defs_at
+
+    def reg_name(reg: VReg, j: int) -> VReg:
+        names = name_map.get(reg)
+        return reg if names is None else names[j % K]
+
+    def instance(i: int, j: int) -> ScheduledOp:
+        """Rotated op ``i`` as executed by iteration ``j``."""
+        src_op = ops[i]
+        op = src_op.copy()
+        if op.dest is not None and op.dest in name_map:
+            op.rename_dest(name_map[op.dest][j % K])
+        for src in set(src_op.reg_srcs()):
+            if src in name_map:
+                delta = 0 if defs_at[src] < i else 1
+                op.replace_src(src, name_map[src][(j - delta) % K])
+        _f, pair, unit, _b = sched.placements[i]
+        bus = None
+        if op.is_memory:
+            bus = ("store" if op.is_store else
+                   "fload" if op.dest is not None
+                   and op.dest.cls is RegClass.FLT else "iload")
+        return ScheduledOp(op, pair, unit, bus, i in sched.gambles)
+
+    by_slot: list[list[int]] = [[] for _ in range(ii)]
+    for i in range(n):
+        by_slot[slot[i]].append(i)
+
+    def round_instrs(include, iteration_of) -> list[LongInstruction]:
+        out = []
+        for m in range(ii):
+            li = LongInstruction()
+            for i in by_slot[m]:
+                if include(i):
+                    li.ops.append(instance(i, iteration_of(i)))
+            out.append(li)
+        return out
+
+    instrs: list[LongInstruction] = []
+    labels: dict[str, int] = {}
+    guard_label = f"{pl.header}.pipe"
+    new_regs = sum(len(v) for v in name_map.values())
+
+    # --- guard: at least S trips, or bail to the rolled loop -------------
+    labels[guard_label] = 0
+    primary = pl.primary.reg
+    packer = _Packer(config)
+    probe = func.fresh_vreg(primary.cls, f"{primary.name}.pp")
+    new_regs += 1
+    packer.add(Operation(Opcode.ADD, probe,
+                         [primary, Imm(wrap32((S - 1) * pl.step))]))
+    g_rename: dict[VReg, VReg] = {}
+    for op in pl.head_ops:
+        cp = op.copy()
+        cp.replace_src(primary, probe)
+        for old, new in g_rename.items():
+            cp.replace_src(old, new)
+        if cp.dest is not None:
+            fresh = func.fresh_vreg(cp.dest.cls, f"{cp.dest.name}.pg")
+            new_regs += 1
+            g_rename[cp.dest] = fresh
+            cp.rename_dest(fresh)
+        packer.add(cp)
+    g_pred = g_rename[pl.pred]
+    rows = packer.finish(drain=False)
+    t_br = -(-packer.land[g_pred] // 2)   # branch reads pred at beat 2t
+    while len(rows) <= t_br:
+        rows.append(LongInstruction())
+    rows[t_br].branches.append(BranchTest(g_pred, pl.header, 0, True))
+    instrs += rows
+
+    # --- preload: seed slot K-1 for iteration 0's distance-1 reads -------
+    if K > 1:
+        carried = set()
+        for i, op in enumerate(ops):
+            for src in op.reg_srcs():
+                if src in name_map and defs_at[src] >= i:
+                    carried.add(src)
+        pre = _Packer(config)
+        for v in sorted(carried, key=lambda r: r.name):
+            pre.add(Operation(_mov_for(v.cls), name_map[v][K - 1], [v]))
+        instrs += pre.finish(drain=True)
+
+    # --- prologue: rounds 0..S-2 fill the pipeline -----------------------
+    for r in range(S - 1):
+        instrs += round_instrs(lambda i, r=r: stage[i] <= r,
+                               lambda i, r=r: r - stage[i])
+
+    # --- K kernel copies -------------------------------------------------
+    kern_labels = [f"{guard_label}.k{c}" for c in range(K)]
+    epi_labels = [f"{guard_label}.e{c}" for c in range(K)]
+    for c in range(K):
+        labels[kern_labels[c]] = len(instrs)
+        base_round = S - 1 + c
+        rows = round_instrs(lambda i: True,
+                            lambda i, r=base_round: r - stage[i])
+        rows[-1].branches.append(BranchTest(
+            reg_name(pl.pred, base_round), kern_labels[(c + 1) % K],
+            0, False))
+        rows[-1].next_label = epi_labels[c]
+        instrs += rows
+
+    # --- per-copy epilogues ----------------------------------------------
+    # relative to epilogue start, op i's final instance lands at
+    # beat[i] + lat[i] - 2*II (its last round is the one just finished for
+    # stage 0, or drain round ``stage_i`` for deeper stages — same formula)
+    drain_land = max((beat[i] + lat[i] for i in range(n)
+                      if ops[i].dest is not None), default=0) - period
+    drain_rows = max(-(-drain_land // 2), 0)
+    fix_regs = [v for v in sorted(name_map, key=lambda r: r.name)
+                if v in pl.live_out or v in pl.live_in_header]
+    for c in range(K):
+        labels[epi_labels[c]] = len(instrs)
+        base_round = S - 1 + c
+        rows = []
+        for e in range(1, S):
+            rows += round_instrs(
+                lambda i, e=e: stage[i] >= e,
+                lambda i, r=base_round, e=e: r + e - stage[i])
+        while len(rows) < drain_rows:
+            rows.append(LongInstruction())
+        if fix_regs:
+            fix = _Packer(config)
+            for v in fix_regs:
+                fix.add(Operation(_mov_for(v.cls), v,
+                                  [name_map[v][base_round % K]]))
+            rows += fix.finish(drain=True)
+        if not rows:
+            rows.append(LongInstruction())
+        rows[-1].next_label = pl.header
+        instrs += rows
+
+    return EmittedPipeline(instructions=instrs, labels=labels,
+                           guard_label=guard_label, kernel_copies=K,
+                           new_regs=new_regs)

@@ -1,0 +1,312 @@
+"""Iterative modulo scheduling (Rau-style) over a loop graph.
+
+The scheduler searches initiation intervals upward from
+``MII = max(2, ResMII, RecMII)``.  At each candidate II it places rotated
+ops into a :class:`~repro.pipeline.mrt.ModuloTable` in height order, with
+the loop branch pinned at flat beat ``2*(II-1)`` (the predicate read of
+the last kernel instruction).  An op with no conflict-free slot is
+*force-placed* at the cheapest slot of the next instruction it has not
+yet tried, evicting whatever is in the way; eviction plus a per-II
+operation budget gives the iterative behaviour its name.
+
+Memory placement legality goes beyond the reservation table: two memory
+ops whose steady-state issue beats fall within the bank-busy window are
+checked through the disambiguator at the implied iteration distance.
+A provable same-bank collision (or a same-beat pair without a provable
+controller split — the simulator treats that as a compiler bug) makes the
+slot illegal; an unprovable one is a *bank gamble*, taken only under
+``SchedulingOptions.bank_gamble`` and marked on the schedule so the
+simulator can account for the stall risk.
+
+The floor of II = 2 is load-bearing: with a 2-beat instruction, II >= 2
+puts successive instances of the *same* memory op at least 8 beats apart,
+outside the 4-beat bank-busy window, so self-conflicts never need
+checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..disambig import Answer
+from ..errors import PipelineError
+from ..machine import MachineConfig, Unit, units_for
+from .depgraph import LoopGraph
+from .mii import MAX_STAGES, _cycle_free, deadlines, heights, rec_mii, res_mii
+from .mrt import ModuloTable, Reservation
+
+#: candidate IIs tried above the MII before the loop is given up
+II_SEARCH = 32
+
+#: beat separations at which two accesses can hit a busy bank
+#: (``bank_busy = issue + 4`` with a strict comparison: within 3 beats)
+_BANK_WINDOW = 3
+
+
+@dataclass
+class ModuloSchedule:
+    """A feasible modulo schedule for one rotated loop iteration."""
+
+    ii: int
+    mii: int
+    res_mii: int
+    rec_mii: int
+    stages: int
+    #: per rotated-op index: (flat instruction, pair, unit, flat beat)
+    placements: list[tuple[int, int, Unit, int]]
+    #: rotated-op indices issuing under an unproven bank disambiguation
+    gambles: set[int] = field(default_factory=set)
+    n_gamble_pairs: int = 0
+
+    def stage_of(self, index: int) -> int:
+        return self.placements[index][0] // self.ii
+
+    def slot_of(self, index: int) -> int:
+        return self.placements[index][0] % self.ii
+
+
+class ModuloScheduler:
+    """One-shot scheduler for one loop graph (``run()`` once)."""
+
+    def __init__(self, graph: LoopGraph, config: MachineConfig,
+                 disambiguator, options) -> None:
+        self.graph = graph
+        self.config = config
+        self.disambiguator = disambiguator
+        self.options = options
+        # disambiguation answers depend only on (op, op, iteration
+        # distance), never on candidate beats — memoized across the
+        # whole II search
+        self._bank_memo: dict[tuple, Answer] = {}
+        self._ctrl_memo: dict[tuple, Answer] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> ModuloSchedule:
+        g = self.graph
+        for op in g.ops:
+            if not units_for(op):
+                raise PipelineError(
+                    f"{op.opcode.name} has no functional unit")
+        rmii = res_mii(g.ops, self.config)
+        hi = rmii + II_SEARCH
+        rcmii = rec_mii(g, hi)
+        if rcmii is None:
+            raise PipelineError(
+                f"recurrence MII exceeds {hi} (latency-bound cycle)")
+        mii = max(2, rmii, rcmii)
+        for ii in range(mii, mii + II_SEARCH + 1):
+            sched = self._try_ii(ii, mii, rmii, rcmii)
+            if sched is not None:
+                return sched
+        raise PipelineError(
+            f"no feasible II in [{mii}, {mii + II_SEARCH}]")
+
+    # ------------------------------------------------------------------
+    def _try_ii(self, ii: int, mii: int, rmii: int,
+                rcmii: int) -> ModuloSchedule | None:
+        g = self.graph
+        n = len(g.ops)
+        if not _cycle_free(g, ii):
+            return None
+        dl = deadlines(g, ii)
+        if dl is None:
+            return None
+        h = heights(g, ii)
+        if h is None:
+            return None
+        order = sorted(range(n), key=lambda i: (-h[i], i))
+        mrt = ModuloTable(self.config, ii)
+        placed: dict[int, Reservation] = {}
+        prev_f = [-1] * n
+        budget = 50 + 8 * n
+        while len(placed) < n:
+            if budget <= 0:
+                return None
+            budget -= 1
+            u = next(i for i in order if i not in placed)
+            estart = 0
+            for e in g.preds[u]:
+                if e.src == u or e.src not in placed:
+                    continue
+                estart = max(estart, placed[e.src].beat
+                             + e.latency - 2 * ii * e.dist)
+            if estart > dl[u]:
+                return None
+            res = self._place_free(mrt, placed, u, estart, dl[u], ii)
+            if res is None:
+                res = self._place_forced(mrt, placed, u, estart, dl[u],
+                                         prev_f, ii)
+                if res is None:
+                    return None
+            placed[u] = res
+            self._evict_violators(mrt, placed, u, ii)
+        stages = max(r.f for r in placed.values()) // ii + 1
+        if stages > MAX_STAGES:       # deadlines cap this already; belt
+            return None
+        sched = ModuloSchedule(
+            ii=ii, mii=mii, res_mii=rmii, rec_mii=rcmii, stages=stages,
+            placements=[(placed[i].f, placed[i].pair, placed[i].unit,
+                         placed[i].beat) for i in range(n)])
+        self._mark_gambles(sched, placed, ii)
+        return sched
+
+    # -- placement ------------------------------------------------------
+    def _place_free(self, mrt: ModuloTable, placed: dict, u: int,
+                    estart: int, deadline: int,
+                    ii: int) -> Reservation | None:
+        """Earliest conflict-free slot with beat in [estart, deadline]."""
+        op = self.graph.ops[u]
+        f_lo = max(0, estart // 2)
+        # f_lo .. f_lo+II covers every modulo slot at least once with an
+        # in-range beat (the extra +1 catches the slot whose f_lo beat
+        # lands just below estart)
+        for f in range(f_lo, f_lo + ii + 1):
+            beat_ok: dict[int, bool] = {}
+            for unit in units_for(op):
+                beat = 2 * f + unit.beat_offset
+                if beat < estart or beat > deadline:
+                    continue
+                if op.is_memory:
+                    off = unit.beat_offset
+                    if off not in beat_ok:
+                        beat_ok[off] = not self._mem_conflicts(
+                            placed, u, beat, ii)
+                    if not beat_ok[off]:
+                        continue
+                for pair in range(self.config.n_pairs):
+                    if not mrt.conflicts(op, f, pair, unit):
+                        return mrt.place(op, u, f, pair, unit)
+        return None
+
+    def _place_forced(self, mrt: ModuloTable, placed: dict, u: int,
+                      estart: int, deadline: int, prev_f: list[int],
+                      ii: int) -> Reservation | None:
+        """Take a slot by eviction, one instruction past the last try."""
+        g = self.graph
+        op = g.ops[u]
+        f = max(max(0, estart // 2), prev_f[u] + 1)
+        while 2 * f <= deadline:
+            best = None
+            for unit in units_for(op):
+                beat = 2 * f + unit.beat_offset
+                if beat < estart or beat > deadline:
+                    continue
+                mem_evict = self._mem_conflicts(placed, u, beat, ii) \
+                    if op.is_memory else set()
+                for pair in range(self.config.n_pairs):
+                    evict = mrt.conflicts(op, f, pair, unit) | mem_evict
+                    if best is None or len(evict) < len(best[2]):
+                        best = (unit, pair, evict)
+            if best is not None:
+                prev_f[u] = f
+                unit, pair, evict = best
+                for victim in evict:
+                    mrt.release(placed.pop(victim))
+                return mrt.place(op, u, f, pair, unit)
+            f += 1
+        return None
+
+    def _evict_violators(self, mrt: ModuloTable, placed: dict, u: int,
+                         ii: int) -> None:
+        """Unplace neighbours whose distance constraint ``u`` now breaks."""
+        g = self.graph
+        n = len(g.ops)
+        bu = placed[u].beat
+        for e in g.succs[u]:
+            if e.dst >= n or e.dst == u or e.dst not in placed:
+                continue
+            if bu + e.latency > placed[e.dst].beat + 2 * ii * e.dist:
+                mrt.release(placed.pop(e.dst))
+        for e in g.preds[u]:
+            if e.src == u or e.src not in placed:
+                continue
+            if placed[e.src].beat + e.latency > bu + 2 * ii * e.dist:
+                mrt.release(placed.pop(e.src))
+
+    # -- memory-bank legality ------------------------------------------
+    def _mem_conflicts(self, placed: dict, u: int, beat_u: int,
+                      ii: int) -> set[int]:
+        """Placed memory ops that make issuing ``u`` at this beat illegal."""
+        out: set[int] = set()
+        for v, rv in placed.items():
+            if v == u or not self.graph.ops[v].is_memory:
+                continue
+            if not self._pair_legal(u, beat_u, v, rv.beat, ii):
+                out.add(v)
+        return out
+
+    def _pair_legal(self, u: int, bu: int, v: int, bv: int,
+                    ii: int) -> bool:
+        period = 2 * ii
+        diff = bv - bu
+        for db in range(-_BANK_WINDOW, _BANK_WINDOW + 1):
+            if (db - diff) % period:
+                continue
+            d = (db - diff) // period
+            if db == 0:
+                # simultaneous issue: the simulator faults on a same-beat
+                # same-controller pair, so the split must be *provable*
+                if self._controller_answer(u, v, d) is not Answer.NO:
+                    return False
+            else:
+                ans = self._bank_answer(u, v, d)
+                if ans is Answer.YES:
+                    return False
+                if ans is Answer.MAYBE and not self.options.bank_gamble:
+                    return False
+        return True
+
+    def _refs_at(self, u: int, v: int, d: int):
+        g = self.graph
+        if d == 0:
+            ru, rv = g.ops[u].memref, g.ops[v].memref
+        else:
+            ru, rv = g.shiftable_ref(u), g.shifted_ref(v, d)
+        if ru is None or rv is None:
+            return None
+        return ru, rv
+
+    def _bank_answer(self, u: int, v: int, d: int) -> Answer:
+        key = (u, v, d)
+        ans = self._bank_memo.get(key)
+        if ans is None:
+            refs = self._refs_at(u, v, d)
+            ans = Answer.MAYBE if refs is None else \
+                self.disambiguator.bank_equal(refs[0], refs[1],
+                                              self.config.total_banks)
+            self._bank_memo[key] = ans
+        return ans
+
+    def _controller_answer(self, u: int, v: int, d: int) -> Answer:
+        key = (u, v, d)
+        ans = self._ctrl_memo.get(key)
+        if ans is None:
+            refs = self._refs_at(u, v, d)
+            ans = Answer.MAYBE if refs is None else \
+                self.disambiguator.controller_equal(
+                    refs[0], refs[1], self.config.n_controllers)
+            self._ctrl_memo[key] = ans
+        return ans
+
+    def _mark_gambles(self, sched: ModuloSchedule, placed: dict,
+                      ii: int) -> None:
+        """Flag the ops whose steady-state bank proximity is unproven."""
+        g = self.graph
+        mem = [(i, r) for i, r in placed.items() if g.ops[i].is_memory]
+        period = 2 * ii
+        pairs = 0
+        for a, (u, ru) in enumerate(mem):
+            for v, rv in mem[a + 1:]:
+                diff = rv.beat - ru.beat
+                hit = False
+                for db in range(-_BANK_WINDOW, _BANK_WINDOW + 1):
+                    if db == 0 or (db - diff) % period:
+                        continue
+                    d = (db - diff) // period
+                    if self._bank_answer(u, v, d) is Answer.MAYBE:
+                        hit = True
+                        # the later access of the pair takes the stall
+                        sched.gambles.add(v if db > 0 else u)
+                if hit:
+                    pairs += 1
+        sched.n_gamble_pairs = pairs

@@ -1,0 +1,266 @@
+"""Loop-shape matching for the modulo scheduler.
+
+The pipeliner handles the same canonical counted loop the unroller targets
+(``head: p = cmp(iv, bound); br p, body, exit`` / ``body: ...; iv += step;
+jmp head``), but with stricter requirements: the loop body is *rotated*
+into a straight-line iteration — work ops, then the induction updates,
+then the header ops recomputing the exit test for the **next** iteration —
+and every register must have exactly one definition per iteration so
+cross-iteration distances are well defined.
+
+A match produces a :class:`PipelineLoop` carrying the rotated op list and
+everything the dependence graph, scheduler, and emitter need.  A miss
+produces a human-readable reason, recorded on
+``TraceCompileStats.pipeline_fallbacks`` so strategy decisions stay
+observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import (BasicIV, Loop, compute_liveness, find_basic_ivs,
+                        find_loops, match_counted_loop)
+from ..ir import Function, Imm, Opcode, Operation, VReg
+
+#: Compares usable as a pipeline guard, keyed by (opcode, iv_operand_index):
+#: the continue-condition must become monotonically harder to satisfy as
+#: the IV advances (same tables as the unroller — both transform the trip
+#: test into "do at least k more iterations?").
+_GUARDS_POS_STEP = {(Opcode.CMPLT, 0), (Opcode.CMPLE, 0),
+                    (Opcode.CMPGT, 1), (Opcode.CMPGE, 1)}
+_GUARDS_NEG_STEP = {(Opcode.CMPGT, 0), (Opcode.CMPGE, 0),
+                    (Opcode.CMPLT, 1), (Opcode.CMPLE, 1)}
+
+#: rotated iterations larger than this are left to the trace scheduler
+MAX_LOOP_OPS = 120
+
+
+@dataclass
+class PipelineLoop:
+    """One pipelinable loop, rotated and classified."""
+
+    header: str
+    body: str
+    exit: str
+    #: the trip-count IV (drives the guard)
+    primary: BasicIV
+    #: every basic IV's step, keyed by register
+    steps: dict[VReg, int]
+    #: the header's compare feeding the loop branch
+    compare: Operation
+    #: the branch predicate (the compare's destination)
+    pred: VReg
+    #: one rotated iteration: body work ops, IV updates, header ops (the
+    #: header ops read the post-update IV, i.e. they compute the *next*
+    #: iteration's exit test — exactly what the kernel branch needs)
+    rot_ops: list[Operation]
+    #: header-body ops alone (cloned into the trip-count guard)
+    head_ops: list[Operation]
+    #: registers live into the header (loop-carried values, incl. IVs)
+    live_in_header: set[VReg] = field(default_factory=set)
+    #: registers live into the exit block
+    live_out: set[VReg] = field(default_factory=set)
+
+    @property
+    def step(self) -> int:
+        return self.primary.step
+
+
+def _trip_structure(func: Function, loop: Loop, ivs: dict):
+    """(iv, compare, exit block, guarded register) for the trip test.
+
+    Beyond the canonical ``cmp(iv, bound)`` recognised by
+    :func:`match_counted_loop`, this accepts a header temp ``probe =
+    iv +/- const`` as the compared register — the shape the unroller's
+    probe guard leaves behind.  The probe advances in lockstep with the
+    IV, so guard direction and trip arithmetic carry over unchanged, and
+    pipelining an unrolled loop retires several source iterations per II.
+    """
+    tc = match_counted_loop(func, loop)
+    if tc is not None:
+        return tc.iv, tc.compare_op, tc.exit_block, tc.iv.reg
+    header = func.block(loop.header)
+    term = header.terminator
+    if term is None or term.opcode is not Opcode.BR:
+        return None
+    then_name, else_name = (lbl.name for lbl in term.labels)
+    if then_name in loop.body and else_name not in loop.body:
+        exit_block = else_name
+    elif else_name in loop.body and then_name not in loop.body:
+        exit_block = then_name
+    else:
+        return None
+    pred = term.srcs[0]
+    if not isinstance(pred, VReg):
+        return None
+    compare = None
+    for op in header.body:
+        if op.dest == pred:
+            compare = op
+    if compare is None or compare.category.value != "int_cmp":
+        return None
+    head_defs = {op.dest: op for op in header.body if op.dest is not None}
+    for src in compare.reg_srcs():
+        probe_op = head_defs.get(src)
+        if probe_op is None or len(probe_op.srcs) != 2:
+            continue
+        if probe_op.opcode is Opcode.ADD:
+            views = [(probe_op.srcs[0], probe_op.srcs[1]),
+                     (probe_op.srcs[1], probe_op.srcs[0])]
+        elif probe_op.opcode is Opcode.SUB:
+            views = [(probe_op.srcs[0], probe_op.srcs[1])]
+        else:
+            continue
+        for base, offset in views:
+            if isinstance(base, VReg) and base in ivs \
+                    and isinstance(offset, Imm):
+                return ivs[base], compare, exit_block, src
+    return None
+
+
+def match_pipeline_loop(
+        func: Function, loop: Loop,
+        live_in_map: dict[str, set[VReg]]
+) -> tuple[PipelineLoop | None, str]:
+    """Match one loop against the pipelinable shape: (loop, reason)."""
+    if loop.children:
+        return None, "not an innermost loop"
+    if len(loop.body) != 2 or len(loop.latches) != 1:
+        return None, "not a two-block counted loop"
+    header = loop.header
+    body_name = loop.latches[0]
+    if body_name == header:
+        return None, "single-block loop"
+    if header == func.entry.name:
+        return None, "loop header is the function entry"
+    ivs = find_basic_ivs(func, loop)
+    trip = _trip_structure(func, loop, {iv.reg: iv for iv in ivs})
+    if trip is None:
+        return None, "no counted-loop trip structure"
+    t_iv, compare, exit_block, guard_reg = trip
+    head = func.block(header)
+    body = func.block(body_name)
+    term = body.terminator
+    if term is None or term.opcode is not Opcode.JMP \
+            or term.labels[0].name != header:
+        return None, "latch does not jump straight back to the header"
+    if head.terminator.labels[0].name != body_name:
+        return None, "header branch continues on its false edge"
+    if any(op.is_call for op in body.body):
+        return None, "call in the loop body"
+    if any(op.is_memory or op.is_call or op.has_side_effect or op.can_trap
+           for op in head.body):
+        return None, "header body is not pure"
+
+    steps = {iv.reg: iv.step for iv in ivs}
+    updates = {iv.reg: iv.update_op for iv in ivs}
+    primary = t_iv.reg
+    step = steps.get(primary, 0)
+    if step == 0:
+        return None, "zero-step induction variable"
+
+    iv_index = next(
+        (i for i, s in enumerate(compare.srcs) if s == guard_reg), None)
+    if iv_index is None:
+        return None, "compare does not read the induction variable"
+    guards = _GUARDS_POS_STEP if step > 0 else _GUARDS_NEG_STEP
+    if (compare.opcode, iv_index) not in guards:
+        return None, "unsupported guard direction"
+    bound = compare.srcs[1 - iv_index]
+
+    defined = {op.dest for bname in loop.body
+               for op in func.block(bname).ops if op.dest is not None}
+    if isinstance(bound, VReg) and bound in defined:
+        return None, "loop bound is defined inside the loop"
+
+    # every IV update lives in the body, and nothing reads an IV after its
+    # update (the rotation moves all updates after the work ops)
+    for reg, update in updates.items():
+        if update not in body.ops:
+            return None, "induction update outside the latch block"
+        idx = body.ops.index(update)
+        for later in body.ops[idx + 1:]:
+            if reg in later.reg_srcs():
+                return None, "induction variable read after its update"
+
+    # the guard clones the header with the IV replaced by a probe, so the
+    # header may only read the primary IV, its own temps, and invariants
+    head_defs = {op.dest for op in head.body if op.dest is not None}
+    for op in head.body:
+        for src in op.reg_srcs():
+            if src == primary or src in head_defs:
+                continue
+            if src in defined:
+                return None, (f"header reads loop-varying register "
+                              f"{src.name}")
+    # header temps are recomputed one iteration ahead in the rotation;
+    # the body reading them would see next-iteration values
+    for op in body.ops:
+        if any(src in head_defs for src in op.reg_srcs()):
+            return None, "loop body reads a header-defined register"
+
+    rot = [op for op in body.body if op not in updates.values()]
+    rot += list(updates.values())
+    rot += list(head.body)
+    if len(rot) > MAX_LOOP_OPS:
+        return None, f"loop too large to pipeline ({len(rot)} ops)"
+    if any(op.is_branch or op.is_terminator for op in rot):
+        return None, "control flow inside the loop body"
+
+    defs_at: dict[VReg, int] = {}
+    for i, op in enumerate(rot):
+        if op.dest is not None:
+            if op.dest in defs_at:
+                return None, (f"register {op.dest.name} defined more "
+                              f"than once per iteration")
+            defs_at[op.dest] = i
+
+    live_in_header = set(live_in_map.get(header, ()))
+    # a cross-iteration read (use before the def in rotated order) needs a
+    # well-defined entry value: the register must be live into the header
+    for i, op in enumerate(rot):
+        for src in op.reg_srcs():
+            d = defs_at.get(src)
+            if d is not None and d >= i and src not in live_in_header:
+                return None, (f"cross-iteration read of {src.name}, "
+                              f"which is not live into the header")
+
+    pl = PipelineLoop(
+        header=header, body=body_name, exit=exit_block,
+        primary=t_iv, steps=steps, compare=compare,
+        pred=compare.dest, rot_ops=rot, head_ops=list(head.body),
+        live_in_header=live_in_header,
+        live_out=set(live_in_map.get(exit_block, ())))
+    return pl, "ok"
+
+
+def find_pipeline_loops(
+        func: Function,
+        live_in_map: dict[str, set[VReg]] | None = None
+) -> list[tuple[Loop, PipelineLoop | None, str]]:
+    """Every innermost loop with its match result (loop, match, reason)."""
+    if live_in_map is None:
+        live_in_map = dict(compute_liveness(func).live_in)
+    out = []
+    for loop in find_loops(func):
+        if loop.children:
+            continue
+        pl, why = match_pipeline_loop(func, loop, live_in_map)
+        out.append((loop, pl, why))
+    return out
+
+
+def loop_shape_tag(func: Function) -> str:
+    """One-word loop-shape classification for ``repro list``.
+
+    ``pipelinable`` — at least one innermost loop matches the modulo
+    scheduler's shape; ``loops`` — has loops, none pipelinable;
+    ``acyclic`` — no loops at all.
+    """
+    matches = find_pipeline_loops(func)
+    if not matches:
+        return "acyclic"
+    if any(pl is not None for _, pl, _ in matches):
+        return "pipelinable"
+    return "loops"

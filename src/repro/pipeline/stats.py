@@ -1,0 +1,46 @@
+"""Per-loop software-pipelining statistics.
+
+Attached to :class:`repro.trace.TraceCompileStats.pipelined_loops` by the
+compiler and surfaced through ``repro measure``/``repro stats`` and the
+benchmark harness — achieved II versus the MII bound is the headline
+quality metric for the modulo scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PipelinedLoopStats:
+    """One successfully pipelined loop."""
+
+    header: str
+    ii: int
+    mii: int
+    res_mii: int
+    rec_mii: int
+    stages: int
+    kernel_copies: int
+    #: rotated ops per iteration (the work the kernel retires per II)
+    n_ops: int
+    #: instructions the pipelined region added to the function
+    n_instructions: int
+    #: ops issued under an unproven bank disambiguation
+    gambles: int
+    #: the trace scheduler's steady-state instructions/iteration for the
+    #: same loop (None when the probe failed or was skipped)
+    trace_estimate: int | None = None
+    #: why this engine won: "pipeline" (forced), "auto-ii" (II beat the
+    #: trace estimate), ...
+    decision: str = "pipeline"
+
+    def row(self) -> dict:
+        return {
+            "header": self.header, "ii": self.ii, "mii": self.mii,
+            "res_mii": self.res_mii, "rec_mii": self.rec_mii,
+            "stages": self.stages, "kernel_copies": self.kernel_copies,
+            "n_ops": self.n_ops, "gambles": self.gambles,
+            "trace_estimate": self.trace_estimate,
+            "decision": self.decision,
+        }

@@ -43,6 +43,11 @@ class TraceCompileStats:
     #: reasons this function fell back to degraded (per-block) compilation;
     #: empty on a fully trace-scheduled compile
     degradations: list[str] = field(default_factory=list)
+    #: :class:`~repro.pipeline.PipelinedLoopStats` per software-pipelined
+    #: loop (strategy "pipeline"/"auto" only)
+    pipelined_loops: list = field(default_factory=list)
+    #: "header: reason" per loop the modulo scheduler declined or lost
+    pipeline_fallbacks: list[str] = field(default_factory=list)
 
 
 def clone_function(func: Function) -> Function:
@@ -64,16 +69,28 @@ class TraceCompiler:
             bank gambling) — see :class:`SchedulingOptions`.
         profile: optional training-run profile for trace selection; static
             heuristics are used otherwise.
+        strategy: loop-compilation engine — ``"trace"`` (default) compiles
+            loops as unrolled traces, ``"pipeline"`` software-pipelines
+            every loop the modulo scheduler accepts, ``"auto"`` pipelines
+            only when the achieved II beats the trace scheduler's
+            steady-state instructions per iteration for the same loop.
     """
+
+    STRATEGIES = ("trace", "pipeline", "auto")
 
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  options: SchedulingOptions | None = None,
                  profile: Profile | None = None,
-                 tracer=None, disambig_budget: int | None = None) -> None:
+                 tracer=None, disambig_budget: int | None = None,
+                 strategy: str = "trace") -> None:
+        if strategy not in self.STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r} "
+                             f"(expected one of {self.STRATEGIES})")
         self.module = module
         self.config = config or MachineConfig()
         self.options = options or SchedulingOptions()
         self.profile = profile
+        self.strategy = strategy
         self.tracer = get_tracer(tracer)
         self.disambig_budget = disambig_budget
         self.disambiguator = Disambiguator(
@@ -110,14 +127,21 @@ class TraceCompiler:
         try:
             return self._compile_function(func, self.options)
         except RegAllocError:
+            # pipelining multiplies live ranges (stage overlap + modulo
+            # variable expansion), so the pressure retry also turns it off
             conservative = SchedulingOptions(
                 speculation=False, join_motion=False,
                 fast_fp=self.options.fast_fp,
                 bank_gamble=self.options.bank_gamble)
             try:
-                return self._compile_function(func, conservative)
+                cf, stats = self._compile_function(
+                    func, conservative, allow_pipeline=False)
             except (ScheduleError, DisambigError) as exc:
                 return self._degraded_compile(func, exc)
+            if self.strategy != "trace":
+                stats.pipeline_fallbacks.append(
+                    "*: register pressure retry disabled pipelining")
+            return cf, stats
         except (ScheduleError, DisambigError) as exc:
             return self._degraded_compile(func, exc)
 
@@ -153,6 +177,7 @@ class TraceCompiler:
             options: SchedulingOptions,
             per_block: bool = False,
             disambiguator: Disambiguator | None = None,
+            allow_pipeline: bool = True,
     ) -> tuple[CompiledFunction, TraceCompileStats]:
         tracer = self.tracer
         disambig = disambiguator if disambiguator is not None \
@@ -178,6 +203,10 @@ class TraceCompiler:
         cf.meta["param_vregs"] = list(func.params)
         cf.meta["ret_class"] = func.ret_class
         comp_counter = 0
+
+        if self.strategy != "trace" and allow_pipeline and not per_block:
+            self._pipeline_loops(work, cf, options, stats, estimates,
+                                 live_in_map, entry_labels)
 
         while True:
             with tracer.span("trace.select", cat="compile",
@@ -227,6 +256,133 @@ class TraceCompiler:
         c.inc("trace.speculated_loads", stats.n_speculated_loads)
         c.inc("trace.compensation_ops", stats.n_compensation_ops)
         c.inc("trace.gambles", stats.n_gambles)
+        for ls in stats.pipelined_loops:
+            c.inc("pipeline.loops")
+            c.inc("pipeline.achieved_ii", ls.ii)
+            c.inc("pipeline.mii", ls.mii)
+            c.inc("pipeline.gambles", ls.gambles)
+        c.inc("pipeline.fallbacks", len(stats.pipeline_fallbacks))
+
+    # ------------------------------------------------------------------
+    def _pipeline_loops(self, work: Function, cf: CompiledFunction,
+                        options: SchedulingOptions,
+                        stats: TraceCompileStats,
+                        estimates: ExecutionEstimates,
+                        live_in_map, entry_labels: set[str]) -> None:
+        """Software-pipeline the innermost loops the modulo scheduler takes.
+
+        Runs before trace selection: each pipelined loop is emitted as a
+        guarded region (guard/prologue/kernels/epilogues) and every
+        outside entry to the loop header is retargeted at the guard.  The
+        original header/body blocks stay in the working function — they
+        are the guard-fail fallback *and* the exit path (the epilogue
+        jumps back to the header, whose now-false exit test routes to the
+        real loop exit) — and get trace-scheduled afterwards at a
+        near-zero execution estimate.
+
+        Every per-loop failure (shape mismatch, no feasible II) lands on
+        :attr:`TraceCompileStats.pipeline_fallbacks`; the loop then simply
+        stays on the trace-scheduling path.
+        """
+        from ..errors import PipelineError
+        from ..pipeline import (ModuloScheduler, PipelinedLoopStats,
+                                build_loop_graph, emit_pipeline,
+                                find_pipeline_loops)
+        tracer = self.tracer
+        # pipeline-local disambiguator: per-loop query counts are small and
+        # bounded, so no budget (the shared one is for quadratic traces)
+        pipe_disambig = Disambiguator(
+            self.module, fortran_args=options.fortran_args, tracer=tracer)
+        for loop, pl, why in find_pipeline_loops(work, live_in_map):
+            header = loop.header
+            if pl is None:
+                stats.pipeline_fallbacks.append(f"{header}: {why}")
+                continue
+            try:
+                with tracer.span("pipeline.schedule", cat="compile",
+                                 function=work.name, loop=header,
+                                 ops=len(pl.rot_ops)):
+                    graph = build_loop_graph(pl, self.config, pipe_disambig)
+                    sched = ModuloScheduler(graph, self.config,
+                                            pipe_disambig, options).run()
+            except PipelineError as exc:
+                stats.pipeline_fallbacks.append(f"{header}: {exc}")
+                continue
+            decision = "pipeline"
+            trace_estimate = None
+            if self.strategy == "auto":
+                trace_estimate = self._trace_estimate(
+                    work, pl, options, live_in_map, entry_labels)
+                if trace_estimate is not None \
+                        and sched.ii >= trace_estimate:
+                    stats.pipeline_fallbacks.append(
+                        f"{header}: auto kept trace scheduling "
+                        f"(II {sched.ii} >= {trace_estimate} instr/iter)")
+                    continue
+                decision = "auto-ii"
+            emitted = emit_pipeline(work, pl, graph, sched, self.config)
+            base = len(cf.instructions)
+            for label, index in emitted.labels.items():
+                cf.label_map[label] = base + index
+            cf.instructions.extend(emitted.instructions)
+            for bname, block in work.blocks.items():
+                if bname not in loop.body:
+                    block.retarget(header, emitted.guard_label)
+            # the rolled loop survives as fallback/exit: keep its header
+            # addressable and give predecessors its live-in set for their
+            # exit-padding, but make it cold for trace selection
+            entry_labels.add(header)
+            live_in_map[emitted.guard_label] = set(
+                live_in_map.get(header, set()))
+            estimates.set_block(header, 0.01)
+            estimates.set_block(pl.body, 0.01)
+            stats.pipelined_loops.append(PipelinedLoopStats(
+                header=header, ii=sched.ii, mii=sched.mii,
+                res_mii=sched.res_mii, rec_mii=sched.rec_mii,
+                stages=sched.stages,
+                kernel_copies=emitted.kernel_copies,
+                n_ops=len(graph.ops),
+                n_instructions=len(emitted.instructions),
+                gambles=len(sched.gambles),
+                trace_estimate=trace_estimate, decision=decision))
+            tracer.event("loop_pipelined", cat="compile",
+                         function=work.name, loop=header, ii=sched.ii,
+                         mii=sched.mii, stages=sched.stages,
+                         copies=emitted.kernel_copies, decision=decision)
+
+    def _trace_estimate(self, work: Function, pl, options,
+                        live_in_map, entry_labels) -> int | None:
+        """Steady-state instructions/iteration if the rolled loop were
+        trace-scheduled as-is: schedule the [header, body] trace with a
+        throwaway disambiguator and add the backedge drain padding the
+        emitter would append (in-flight defs of header-live values must
+        land before re-entry, exactly like a trace exit)."""
+        probe_disambig = Disambiguator(
+            self.module, fortran_args=options.fortran_args,
+            tracer=self.tracer)
+        trace = Trace([pl.header, pl.body])
+        try:
+            graph = build_trace_graph(work, trace, probe_disambig,
+                                      self.config, options,
+                                      live_in_map, entry_labels)
+            sched = ListScheduler(graph, self.config, probe_disambig,
+                                  options, tracer=self.tracer,
+                                  trace_id=f"{work.name}#probe@{pl.header}"
+                                  ).run()
+        except (ScheduleError, DisambigError):
+            return None
+        live = live_in_map.get(pl.header, set())
+        max_land = 0
+        for node in graph.nodes:
+            if node.kind not in ("op", "split") or node.op is None:
+                continue
+            dest = node.op.dest
+            if dest is None or dest not in live:
+                continue
+            placed = sched.placements[node.index]
+            max_land = max(max_land, placed.issue_beat
+                           + latency_of(node.op, self.config))
+        return max(sched.n_instructions, (max_land + 1) // 2)
 
     # ------------------------------------------------------------------
     def _emit_trace(self, work: Function, trace: Trace, graph, sched,
@@ -356,7 +512,7 @@ class TraceCompiler:
 def compile_module(module: Module, config: MachineConfig | None = None,
                    options: SchedulingOptions | None = None,
                    profile: Profile | None = None,
-                   tracer=None) -> CompiledProgram:
+                   tracer=None, strategy: str = "trace") -> CompiledProgram:
     """One-shot convenience wrapper around :class:`TraceCompiler`."""
     return TraceCompiler(module, config, options, profile,
-                         tracer=tracer).compile_module()
+                         tracer=tracer, strategy=strategy).compile_module()

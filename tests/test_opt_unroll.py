@@ -189,3 +189,108 @@ class TestUnrollSemantics:
                            inline_budget=inline).run(m)
         verify_module(m)
         assert run_module(m, "sumA", [n]).value == ref
+
+
+def build_head_temp(read_in_body: bool) -> Module:
+    """A pure head op ``t = i << 2``; the body optionally reads it.
+
+    When the body reads ``t``, unrolling would hand every copy the uhead
+    clone's value (computed from the probe IV) — a miscompile the
+    unroller must refuse.
+    """
+    m = Module("head_temp")
+    m.add_array("A", 32, 4, init=[(k * 7 + 3) % 11 - 5 for k in range(32)])
+    b = IRBuilder(m)
+    b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    s = VReg("s", RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    t = VReg("t", RegClass.INT)
+    b.block("entry")
+    b.mov(0, dest=s)
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    b.shl(i, 2, dest=t)
+    p = b.cmplt(i, b.param("n"))
+    b.br(p, "body", "exit")
+    b.block("body")
+    offs = t if read_in_body else b.shl(i, 2)
+    x = b.load(b.add(b.addr("A"), offs), 0)
+    b.add(s, x, dest=s)
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    b.ret(s)
+    verify_module(m)
+    return m
+
+
+class TestHeadDefinedValues:
+    def test_head_value_read_in_body_blocks_unroll(self):
+        m = build_head_temp(read_in_body=True)
+        assert not LoopUnroll(factor=4).run(m.function("f"), m)
+
+    @pytest.mark.parametrize("n", [0, 1, 5, 8, 13])
+    def test_head_value_loop_still_correct(self, n):
+        ref = run_module(build_head_temp(True), "f", [n]).value
+        m = build_head_temp(True)
+        LoopUnroll(factor=4).run(m.function("f"), m)
+        verify_module(m)
+        assert run_module(m, "f", [n]).value == ref
+
+    def test_head_temp_not_read_in_body_still_unrolls(self):
+        m = build_head_temp(read_in_body=False)
+        assert LoopUnroll(factor=4).run(m.function("f"), m)
+        verify_module(m)
+        ref = run_module(build_head_temp(False), "f", [13]).value
+        assert run_module(m, "f", [13]).value == ref
+
+
+def build_live_out_reduction() -> Module:
+    """Reduction whose register is read (twice) after the loop."""
+    m = Module("live_out_red")
+    m.add_array("A", 32, 4, init=[(k * 5 + 2) % 13 - 6 for k in range(32)])
+    b = IRBuilder(m)
+    b.function("f", [("n", RegClass.INT)], ret_class=RegClass.INT)
+    s = VReg("s", RegClass.INT)
+    i = VReg("i", RegClass.INT)
+    b.block("entry")
+    b.mov(100, dest=s)
+    b.mov(0, dest=i)
+    b.jmp("head")
+    b.block("head")
+    p = b.cmplt(i, b.param("n"))
+    b.br(p, "body", "exit")
+    b.block("body")
+    x = b.load(b.add(b.addr("A"), b.shl(i, 2)), 0)
+    b.add(s, x, dest=s)
+    b.add(i, 1, dest=i)
+    b.jmp("head")
+    b.block("exit")
+    t = b.add(s, 1)
+    b.ret(b.add(t, s))
+    verify_module(m)
+    return m
+
+
+class TestReductionLiveOut:
+    """The split accumulator must be whole again on every epilogue path."""
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 4, 5, 8, 13, 32])
+    @pytest.mark.parametrize("factor", [2, 4, 8])
+    def test_live_out_through_epilogue(self, n, factor):
+        ref = run_module(build_live_out_reduction(), "f", [n]).value
+        m = build_live_out_reduction()
+        assert LoopUnroll(factor=factor).run(m.function("f"), m)
+        verify_module(m)
+        assert run_module(m, "f", [n]).value == ref
+
+    def test_partials_combined_before_remainder(self):
+        m = build_live_out_reduction()
+        LoopUnroll(factor=4).run(m.function("f"), m)
+        func = m.function("f")
+        combine = next(blk for name, blk in func.blocks.items()
+                       if name.startswith("head.u4c"))
+        # every partial folds back into s before the remainder loop runs
+        assert [op.opcode for op in combine.body] == [Opcode.ADD] * 3
+        assert combine.terminator.labels[0].name == "head"

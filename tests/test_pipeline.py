@@ -1,0 +1,238 @@
+"""Tests for the software-pipelining subsystem (modulo scheduler)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness.measure import MeasureSpec, prepare_modules, run_measurement
+from repro.ir import run_module
+from repro.machine import MachineConfig, TRACE_28_200
+from repro.pipeline import (MAX_STAGES, ModuloScheduler, build_loop_graph,
+                            emit_pipeline, find_pipeline_loops,
+                            loop_shape_tag, res_mii)
+from repro.sim import run_compiled
+from repro.trace import SchedulingOptions, TraceCompiler
+from repro.trace.compiler import Disambiguator
+from repro.workloads import get_kernel
+
+
+def _vliw_module(name: str, n: int, unroll: int = 0):
+    kernel = get_kernel(name)
+    _, module = prepare_modules(kernel, n, unroll=unroll, inline=48)
+    return kernel, module
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+def _outputs(kernel, module, memory):
+    return {name: memory.read_array(name, module.data[name].size // elem,
+                                    elem)
+            for name, elem in kernel.outputs}
+
+
+def _run_both(name: str, n: int, strategy: str, unroll: int = 0):
+    """(interpreter result, compiled result, compiler) for one kernel."""
+    kernel, module = _vliw_module(name, n, unroll)
+    args = kernel.make_args(n)
+    ref = run_module(kernel.build(n), kernel.func, args)
+    compiler = TraceCompiler(module, TRACE_28_200, strategy=strategy)
+    program = compiler.compile_module()
+    got = run_compiled(program, module, kernel.func, args)
+    if kernel.returns_value:
+        assert _values_equal(got.value, ref.value), \
+            f"{name} n={n} {strategy}: {got.value!r} != {ref.value!r}"
+    ref_out = _outputs(kernel, kernel.build(n), ref.memory)
+    got_out = _outputs(kernel, module, got.memory)
+    assert set(ref_out) == set(got_out)
+    for key in ref_out:
+        assert all(_values_equal(x, y)
+                   for x, y in zip(ref_out[key], got_out[key])), \
+            f"{name} n={n} {strategy}: memory {key} diverged"
+    return ref, got, compiler
+
+
+class TestShape:
+    def test_daxpy_is_pipelinable(self):
+        _, module = _vliw_module("daxpy", 32)
+        func = module.function("main")
+        loops = find_pipeline_loops(func)
+        assert any(pl is not None for _, pl, _ in loops)
+        assert loop_shape_tag(func) == "pipelinable"
+
+    def test_shape_tags(self):
+        for name, want in (("daxpy", "pipelinable"),
+                           ("state_machine", "loops")):
+            _, module = _vliw_module(name, 16)
+            assert loop_shape_tag(module.function("main")) == want
+
+    def test_miss_reasons_are_strings(self):
+        _, module = _vliw_module("binary_search", 16)
+        for _, pl, why in find_pipeline_loops(module.function("main")):
+            if pl is None:
+                assert isinstance(why, str) and why
+
+
+class TestScheduler:
+    def _schedule(self, name: str, n: int = 32):
+        _, module = _vliw_module(name, n)
+        func = module.function("main")
+        matches = [(loop, pl) for loop, pl, _ in find_pipeline_loops(func)
+                   if pl is not None]
+        assert matches
+        loop, pl = matches[0]
+        disambig = Disambiguator(module)
+        graph = build_loop_graph(pl, TRACE_28_200, disambig)
+        sched = ModuloScheduler(graph, TRACE_28_200, disambig,
+                                SchedulingOptions()).run()
+        return graph, sched
+
+    def test_ii_at_least_mii(self):
+        for name in ("daxpy", "dot", "ll5_tridiag"):
+            _, sched = self._schedule(name)
+            assert sched.ii >= sched.mii >= 2
+            assert sched.mii == max(2, sched.res_mii, sched.rec_mii)
+            assert 1 <= sched.stages <= MAX_STAGES
+
+    def test_recurrence_bounds_ii(self):
+        # ll5 carries x[i-1]: FADD/FMUL chain => rec MII above the
+        # resource bound
+        _, sched = self._schedule("ll5_tridiag")
+        assert sched.rec_mii > sched.res_mii
+
+    def test_placements_respect_dependences(self):
+        graph, sched = self._schedule("daxpy")
+        period = 2 * sched.ii
+        for e in graph.edges:
+            if e.dst == graph.branch:
+                continue
+            bu = sched.placements[e.src][3]
+            bv = sched.placements[e.dst][3]
+            assert bu + e.latency <= bv + period * e.dist, e
+
+    def test_res_mii_positive(self):
+        _, module = _vliw_module("daxpy", 32)
+        func = module.function("main")
+        pl = next(pl for _, pl, _ in find_pipeline_loops(func)
+                  if pl is not None)
+        assert res_mii(pl.rot_ops, TRACE_28_200) >= 1
+
+
+KERNELS = ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll5_tridiag",
+           "horner", "int_sum")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_pipeline_matches_interpreter(self, name):
+        _, _, compiler = _run_both(name, 48, "pipeline")
+        stats = compiler.stats[get_kernel(name).func]
+        assert stats.pipelined_loops, stats.pipeline_fallbacks
+        for loop in stats.pipelined_loops:
+            assert loop.ii >= loop.mii
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 6, 7, 11])
+    def test_trip_count_boundaries(self, n):
+        # daxpy pipelines at S=6 stages: n below S exercises the guard's
+        # bail to the rolled loop, n just above exercises a short drain
+        _run_both("daxpy", n, "pipeline")
+
+    @pytest.mark.parametrize("name", ("daxpy", "pointer_chase"))
+    def test_auto_matches_interpreter(self, name):
+        _run_both(name, 48, "auto")
+
+    def test_auto_declines_serial_loop(self):
+        # pointer_chase is recurrence-bound: II never beats the trace
+        # scheduler's steady state, so auto keeps trace scheduling
+        _, _, compiler = _run_both("pointer_chase", 48, "auto")
+        stats = compiler.stats["main"]
+        assert not stats.pipelined_loops
+        assert any("auto kept trace" in why
+                   for why in stats.pipeline_fallbacks)
+
+    def test_pipeline_with_unrolled_module(self):
+        # the unroller's probe-guard loop matches too, so BOTH the wide
+        # loop and the remainder loop pipeline — unroll composes with
+        # modulo scheduling (8 source iterations per II in the wide loop)
+        _, _, compiler = _run_both("daxpy", 48, "pipeline", unroll=8)
+        stats = compiler.stats["main"]
+        headers = {loop.header for loop in stats.pipelined_loops}
+        assert "head" in headers
+        assert any(h.startswith("head.u8h") for h in headers), stats
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 15, 17, 48])
+    def test_unrolled_pipeline_trip_boundaries(self, n):
+        # probe-guard composition: every alignment of trip count vs
+        # unroll factor and stage count must drain exactly
+        _run_both("daxpy", n, "pipeline", unroll=4)
+
+    def test_steady_state_beats_trace_at_scale(self):
+        kernel = get_kernel("dot")
+        args = kernel.make_args(256)
+        results = {}
+        for strategy, unroll in (("trace", 8), ("pipeline", 0)):
+            _, module = _vliw_module("dot", 256, unroll)
+            program = TraceCompiler(module, TRACE_28_200,
+                                    strategy=strategy).compile_module()
+            results[strategy] = run_compiled(program, module, kernel.func,
+                                             args).stats.beats
+        assert results["pipeline"] < results["trace"]
+
+
+class TestCompilerIntegration:
+    def test_bad_strategy_rejected(self):
+        _, module = _vliw_module("daxpy", 16)
+        with pytest.raises(ValueError):
+            TraceCompiler(module, TRACE_28_200, strategy="modulo")
+
+    def test_trace_strategy_never_pipelines(self):
+        _, _, compiler = _run_both("daxpy", 48, "trace")
+        assert not compiler.stats["main"].pipelined_loops
+
+    def test_stats_record_decision_and_copies(self):
+        _, _, compiler = _run_both("daxpy", 48, "pipeline")
+        loop = compiler.stats["main"].pipelined_loops[0]
+        assert loop.decision == "pipeline"
+        assert loop.kernel_copies >= 1
+        assert loop.n_instructions > 0
+        row = loop.row()
+        assert row["ii"] == loop.ii
+
+    def test_counters_folded(self):
+        from repro.obs import Tracer
+        tracer = Tracer()
+        kernel, module = _vliw_module("daxpy", 48)
+        compiler = TraceCompiler(module, TRACE_28_200, tracer=tracer,
+                                 strategy="pipeline")
+        compiler.compile_module()
+        assert tracer.counters.get("pipeline.loops") >= 1
+        assert tracer.counters.get("pipeline.achieved_ii") >= 2
+
+
+class TestMeasureIntegration:
+    def test_run_measurement_pipeline(self):
+        spec = MeasureSpec(kernel="daxpy", n=64, unroll=0,
+                           strategy="pipeline")
+        result = run_measurement(spec)
+        assert result.compile_stats.pipelined_loops
+        assert "pipelined_ii" in result.row()
+
+    def test_narrow_machine_pipeline(self):
+        spec = MeasureSpec(kernel="vadd", n=48, unroll=0,
+                           strategy="pipeline",
+                           config=MachineConfig.from_pairs(1))
+        run_measurement(spec)
+
+
+class TestFuzzScenario:
+    def test_pipeline_vs_trace_seeds(self):
+        from repro.harness.fuzz import run_fuzz
+        report = run_fuzz(seed=0, count=4, check_faults=True,
+                          strategy="pipeline")
+        assert report.ok, report.summary()
+        assert report.row()["loops_pipelined"] >= 0
