@@ -1,0 +1,202 @@
+"""Throughput layer benchmarks: parallel sweeps, compile cache, predecode.
+
+Unlike the ``bench_eN`` files, which reproduce the *paper's* numbers,
+this one measures the harness itself — the three tiers of the
+throughput layer — and writes the results to ``BENCH_throughput.json``
+at the repository root:
+
+1. **parallel sweep** — the same kernel sweep at ``--jobs 1`` vs.
+   ``--jobs 4`` through the work-queue executor.  The >=2.5x gate only
+   applies on hosts with >= 4 CPUs (a single-core runner honestly
+   records ~1x; the JSON carries ``cpu_count`` so readers can tell);
+2. **compile cache** — the content-addressed compile stage cold vs.
+   warm.  Warm must be >= 5x faster: a hit is one module hash plus one
+   lookup, against classical optimization + profile training + trace
+   scheduling;
+3. **predecode** — the VLIW simulator's pre-decoded execute loop vs.
+   the original interpretive loop (kept under ``predecode=False``) on
+   E1 kernels.  The fast path must be >= 1.5x on simulated beats/sec.
+
+Determinism sanity rides along: every tier cross-checks that the faster
+configuration produced bit-identical results before timing is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import time
+
+import pytest
+
+from .conftest import bench_once
+
+from repro.cache import CompileCache
+from repro.harness import run_sweep
+from repro.harness.measure import (MeasureSpec, _cached_compile_stage,
+                                   _compile_stage)
+from repro.ir import MemoryImage
+from repro.obs import Tracer
+from repro.sim import VliwSimulator
+from repro.trace import SchedulingOptions
+from repro.workloads import get_kernel
+
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_throughput.json")
+SWEEP_KERNELS = ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll7_state",
+                 "count_matches", "state_machine")
+PREDECODE_KERNELS = ("daxpy", "vadd", "fir4", "dot", "ll7_state")
+JOBS = 4
+
+_report: dict = {
+    "host": {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "fork": "fork" in multiprocessing.get_all_start_methods(),
+    },
+}
+
+_multicore = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4
+    or "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel speedup gate needs >= 4 CPUs and fork")
+
+
+def _specs(n=96):
+    return [MeasureSpec(kernel=k, n=n) for k in SWEEP_KERNELS]
+
+
+def test_parallel_sweep(tmp_path, benchmark):
+    """Tier 1: the work-queue executor."""
+    serial_tracer, parallel_tracer = Tracer(), Tracer()
+    t0 = time.perf_counter()
+    serial = run_sweep(_specs(), jobs=1, tracer=serial_tracer,
+                       cache_dir=str(tmp_path / "serial"))
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_sweep(_specs(), jobs=JOBS, tracer=parallel_tracer,
+                         cache_dir=str(tmp_path / "parallel"))
+    parallel_s = time.perf_counter() - t0
+
+    assert [m.row() for m in serial] == [m.row() for m in parallel]
+    strip = lambda t: {k: v for k, v in t.counters.as_dict().items()
+                       if not k.startswith("cache.")}
+    assert strip(serial_tracer) == strip(parallel_tracer)
+
+    _report["parallel_sweep"] = {
+        "kernels": list(SWEEP_KERNELS), "n": 96, "jobs": JOBS,
+        "serial_s": round(serial_s, 3), "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+    bench_once(benchmark, lambda: run_sweep(_specs(48), jobs=1,
+                                            use_cache=False))
+
+
+@_multicore
+def test_parallel_sweep_scales():
+    """The >= 2.5x gate, applied only where the hardware can deliver."""
+    assert _report["parallel_sweep"]["speedup"] >= 2.5
+
+
+def test_compile_cache_warm_speedup(tmp_path, benchmark):
+    """Tier 2: cold vs. warm content-addressed compile stage."""
+    cache = CompileCache(directory=str(tmp_path))
+    cold_s = warm_s = 0.0
+    for name in SWEEP_KERNELS:
+        spec = MeasureSpec(kernel=name, n=96)
+        kernel = get_kernel(name)
+        args = kernel.make_args(spec.n)
+        options = spec.options or SchedulingOptions()
+
+        t0 = time.perf_counter()
+        cold = _cached_compile_stage(spec, kernel, args, options,
+                                     Tracer(), cache)
+        cold_s += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = _cached_compile_stage(spec, kernel, args, options,
+                                     Tracer(), cache)
+        warm_s += time.perf_counter() - t0
+        # hits must be byte-equivalent to the compile they replaced
+        assert warm[2] is cold[2]            # same artifact object
+
+    speedup = cold_s / warm_s
+    _report["compile_cache"] = {
+        "kernels": list(SWEEP_KERNELS), "n": 96,
+        "cold_s": round(cold_s, 4), "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+        "stats": cache.stats().row(),
+    }
+    assert speedup >= 5.0, f"warm cache only {speedup:.1f}x vs cold"
+    bench_once(benchmark, lambda: _cached_compile_stage(
+        MeasureSpec(kernel="daxpy", n=96), get_kernel("daxpy"),
+        get_kernel("daxpy").make_args(96), SchedulingOptions(),
+        Tracer(), cache))
+
+
+def test_predecode_fast_path(benchmark):
+    """Tier 3: pre-decoded execute loop vs. the interpretive original."""
+    slow_s = fast_s = 0.0
+    beats = 0
+    for name in PREDECODE_KERNELS:
+        kernel = get_kernel(name)
+        spec = MeasureSpec(kernel=name, n=96)
+        args = kernel.make_args(spec.n)
+        _, module, program, _ = _compile_stage(
+            spec, kernel, args, SchedulingOptions(), Tracer())
+        runs = {}
+        for predecode in (True, False):
+            memory = MemoryImage(module)
+            sim = VliwSimulator(program, memory, predecode=predecode)
+            t0 = time.perf_counter()
+            result = sim.run(kernel.func, args)
+            elapsed = time.perf_counter() - t0
+            if predecode:
+                fast_s += elapsed
+                beats += result.stats.beats
+            else:
+                slow_s += elapsed
+            runs[predecode] = (result.value, bytes(memory.data),
+                               vars(result.stats))
+        assert runs[True] == runs[False], name     # timing != semantics
+
+    speedup = slow_s / fast_s
+    _report["predecode"] = {
+        "kernels": list(PREDECODE_KERNELS), "n": 96,
+        "interpretive_s": round(slow_s, 4), "predecoded_s": round(fast_s, 4),
+        "speedup": round(speedup, 2),
+        "beats_per_sec_fast": int(beats / fast_s),
+    }
+    assert speedup >= 1.5, f"fast path only {speedup:.2f}x"
+
+    kernel = get_kernel("daxpy")
+    spec = MeasureSpec(kernel="daxpy", n=96)
+    args = kernel.make_args(96)
+    _, module, program, _ = _compile_stage(spec, kernel, args,
+                                           SchedulingOptions(), Tracer())
+    bench_once(benchmark, lambda: VliwSimulator(
+        program, MemoryImage(module)).run(kernel.func, args))
+
+
+def test_write_report(show):
+    """Last in file: persist the tiers measured above."""
+    assert {"parallel_sweep", "compile_cache", "predecode"} <= set(_report)
+    with open(REPORT_PATH, "w") as handle:
+        json.dump(_report, handle, indent=2)
+        handle.write("\n")
+    show([{
+        "tier": "parallel sweep",
+        "speedup": _report["parallel_sweep"]["speedup"],
+        "gate": ">=2.5x on >=4 cores",
+    }, {
+        "tier": "compile cache (warm)",
+        "speedup": _report["compile_cache"]["speedup"],
+        "gate": ">=5x vs cold",
+    }, {
+        "tier": "predecoded VLIW sim",
+        "speedup": _report["predecode"]["speedup"],
+        "gate": ">=1.5x vs interpretive",
+    }], "throughput layer (BENCH_throughput.json)")

@@ -59,6 +59,24 @@ def _add_report_args(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome-trace event file (Perfetto)")
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = run inline; results and "
+             "aggregated counters are bit-identical at any job count)")
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="compile from scratch instead of using the content-"
+             "addressed compile cache")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="compile-cache directory (default $REPRO_CACHE_DIR or "
+             "~/.cache/repro-compile)")
+
+
 def _options(args) -> SchedulingOptions:
     return SchedulingOptions(speculation=not args.no_speculation,
                              join_motion=not args.no_join_motion,
@@ -94,10 +112,19 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _cache(args):
+    """The process compile cache, or ``None`` under ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from .cache import process_cache
+    return process_cache(args.cache_dir)
+
+
 def cmd_measure(args) -> int:
     telemetry = args.as_json or bool(args.events_out)
     result = run_measurement(_spec(args, args.kernel, telemetry=telemetry,
-                                   events=bool(args.events_out)))
+                                   events=bool(args.events_out)),
+                             cache=_cache(args))
     if args.events_out:
         result.telemetry.write_events(args.events_out)
     if args.as_json:
@@ -180,7 +207,7 @@ def cmd_fuzz(args) -> int:
                       config=MachineConfig.from_pairs(args.pairs),
                       check_faults=not args.no_faults,
                       progress=progress if args.verbose else None,
-                      strategy=args.strategy)
+                      strategy=args.strategy, jobs=args.jobs)
     if args.as_json:
         print(json.dumps(report.row(), indent=2))
     else:
@@ -188,18 +215,39 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_cache(args) -> int:
+    from .cache import process_cache
+
+    cache = process_cache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached artifacts from {cache.directory}")
+        return 0
+    stats = cache.stats().row()
+    if args.as_json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print_table([stats], f"compile cache at {cache.directory} "
+                             "(hits/misses are this process's)")
+    return 0
+
+
 SWEEP_KERNELS = ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll7_state",
                  "count_matches", "state_machine")
 
 
 def cmd_sweep(args) -> int:
+    from .harness import run_sweep
+
     telemetry = args.as_json or bool(args.events_out)
     tracer = Tracer(events=bool(args.events_out)) if telemetry else None
-    results = []
-    for name in SWEEP_KERNELS:
-        # one shared tracer across the sweep: per-row telemetry stays off,
-        # the combined report carries the totals
-        results.append(run_measurement(_spec(args, name), tracer=tracer))
+    # one shared tracer across the sweep: per-row telemetry stays off,
+    # the combined report carries the totals (folded in kernel order,
+    # so the report is identical at any --jobs setting)
+    results = run_sweep([_spec(args, name) for name in SWEEP_KERNELS],
+                        jobs=args.jobs, tracer=tracer,
+                        use_cache=not args.no_cache,
+                        cache_dir=args.cache_dir)
     if tracer is not None:
         combined = Telemetry.from_tracer(tracer, meta={
             "kernels": list(SWEEP_KERNELS), "n": args.n,
@@ -228,6 +276,7 @@ def main(argv=None) -> int:
     p.add_argument("kernel", choices=sorted(ALL_KERNELS))
     _add_machine_args(p)
     _add_report_args(p)
+    _add_cache_args(p)
     p.set_defaults(fn=cmd_measure)
 
     p = sub.add_parser("stats",
@@ -269,12 +318,28 @@ def main(argv=None) -> int:
                    help="report failing seeds as they happen")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit one machine-readable JSON report")
+    _add_jobs_arg(p)
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("sweep", help="quick E1-style kernel sweep")
     _add_machine_args(p)
     _add_report_args(p)
+    _add_jobs_arg(p)
+    _add_cache_args(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed compile "
+                      "cache shared by measure/sweep/benchmarks")
+    p.add_argument("cache_command", choices=("stats", "clear"),
+                   help="stats: show hit/miss counters and the disk "
+                        "tier's footprint; clear: drop every entry")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="cache directory (default $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-compile)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit machine-readable JSON")
+    p.set_defaults(fn=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.fn(args)

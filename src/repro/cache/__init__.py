@@ -1,0 +1,20 @@
+"""Content-addressed compile cache.
+
+The trace-scheduling bet moves work to compile time; the experiment
+harness pays that cost on every sweep point and benchmark row.  This
+package makes recompilation free when nothing the compiler reads has
+changed: artifacts are keyed by a SHA-256 over the module text, machine
+configuration, scheduling options, loop-engine strategy, and classical
+pipeline knobs (:func:`compile_key`), held in an in-memory LRU backed by
+an optional on-disk store (:class:`CompileCache`), and surfaced through
+``cache.hit`` / ``cache.miss`` counters and the ``repro cache`` CLI.
+"""
+
+from .key import CACHE_SCHEMA, compile_key, module_fingerprint
+from .store import (CacheStats, CompileCache, default_cache_dir,
+                    process_cache)
+
+__all__ = [
+    "CACHE_SCHEMA", "compile_key", "module_fingerprint",
+    "CacheStats", "CompileCache", "default_cache_dir", "process_cache",
+]

@@ -1,0 +1,78 @@
+"""Content-addressed cache keys for compilation artifacts.
+
+A compiled program is a pure function of its inputs: the IR module text,
+the target :class:`~repro.machine.MachineConfig`, the
+:class:`~repro.trace.SchedulingOptions`, the loop-engine strategy, and
+the classical-pipeline knobs (unroll factor, inline budget).  A training
+profile is itself derived from the module plus the training arguments,
+so those arguments stand in for it.  Hashing exactly that tuple gives a
+*content-addressed* key: any edit to the source, any config or option
+flip, any strategy or unroll change produces a different digest, while
+re-running the same compile — in this process, another worker, or a
+later CLI invocation — finds the previous result.
+
+The module fingerprint uses :func:`repro.ir.printer.format_module`,
+which serialises functions *and* data objects (sizes, alignment, init
+values).  Data layout feeds the memory-bank disambiguator and init
+values feed profile training, so both belong in the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+
+#: Bump when the pickled artifact layout changes; every key embeds it, so
+#: stale on-disk entries from older schemas simply never match.
+CACHE_SCHEMA = 1
+
+
+def module_fingerprint(module) -> str:
+    """SHA-256 over the module's canonical text serialisation."""
+    from ..ir.printer import format_module
+
+    return hashlib.sha256(format_module(module).encode()).hexdigest()
+
+
+def _dataclass_text(obj) -> str:
+    """A stable ``name(field=value, ...)`` rendering of a dataclass.
+
+    ``repr`` would do today, but spelling it out keeps the key stable
+    against future ``repr=False`` fields and guarantees field order.
+    """
+    if not is_dataclass(obj):
+        return repr(obj)
+    parts = [f"{f.name}={getattr(obj, f.name)!r}" for f in fields(obj)]
+    return f"{type(obj).__name__}({', '.join(parts)})"
+
+
+def compile_key(module, config, options, *, strategy: str, unroll: int,
+                inline: int, use_profile: bool = False,
+                train_args=()) -> str:
+    """The content-addressed key for one end-to-end compilation.
+
+    Args:
+        module: the *unoptimized* input module (the classical pipeline is
+            deterministic, so hashing its input is equivalent to hashing
+            its output and much cheaper).
+        config: target machine configuration.
+        options: code-motion knobs.
+        strategy: loop engine ("trace" | "pipeline" | "auto").
+        unroll: classical-pipeline unroll factor.
+        inline: classical-pipeline inline budget.
+        use_profile: whether a training profile feeds trace selection.
+        train_args: the training run's arguments (they determine the
+            profile, which determines trace selection).
+    """
+    blob = "\n".join([
+        f"schema={CACHE_SCHEMA}",
+        f"module={module_fingerprint(module)}",
+        f"config={_dataclass_text(config)}",
+        f"options={_dataclass_text(options)}",
+        f"strategy={strategy}",
+        f"unroll={unroll}",
+        f"inline={inline}",
+        f"use_profile={use_profile}",
+        f"train_args={tuple(train_args)!r}",
+    ])
+    return hashlib.sha256(blob.encode()).hexdigest()

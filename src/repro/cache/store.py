@@ -1,0 +1,210 @@
+"""The compile-cache store: in-memory LRU over an optional on-disk tier.
+
+Lookups go memory first, then disk.  A disk hit is promoted into memory;
+an in-memory eviction keeps the disk copy (the disk tier is the
+capacity tier, the LRU is the latency tier).  Disk entries are one
+pickle file per key, written atomically (temp file + ``os.replace``) so
+concurrent sweep workers sharing a cache directory never observe a torn
+artifact; a corrupt or unreadable file is treated as a miss and removed.
+
+Every lookup reports through the usual counter registry —
+``cache.hit`` / ``cache.miss`` (and ``cache.hit_disk`` for the subset of
+hits served from disk) — so cache behavior shows up in telemetry,
+``repro stats`` and the sweep JSON like any other subsystem.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+
+#: Default on-disk location, overridable with ``$REPRO_CACHE_DIR``.
+DEFAULT_DIR = os.path.join(os.path.expanduser("~"), ".cache",
+                           "repro-compile")
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_DIR)
+
+
+@dataclass
+class CacheStats:
+    """One cache's counters plus a snapshot of its disk tier."""
+
+    hits: int = 0
+    misses: int = 0
+    hits_disk: int = 0
+    stores: int = 0
+    evictions: int = 0
+    memory_entries: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
+    directory: str | None = None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def row(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "hits_disk": self.hits_disk, "hit_rate": round(self.hit_rate, 3),
+            "stores": self.stores, "evictions": self.evictions,
+            "memory_entries": self.memory_entries,
+            "disk_entries": self.disk_entries,
+            "disk_bytes": self.disk_bytes,
+            "directory": self.directory,
+        }
+
+
+class CompileCache:
+    """Content-addressed artifact store: LRU memory tier + disk tier.
+
+    Args:
+        max_entries: in-memory LRU capacity (evicted entries survive on
+            disk when a directory is configured).
+        directory: on-disk tier location; ``None`` disables persistence
+            (the cache is then purely per-process).
+    """
+
+    def __init__(self, max_entries: int = 64,
+                 directory: str | None = None) -> None:
+        self.max_entries = max(1, max_entries)
+        self.directory = directory
+        self._lru: OrderedDict[str, object] = OrderedDict()
+        self._stats = CacheStats(directory=directory)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get(self, key: str, counters=None):
+        """The cached artifact, or ``None`` on a miss."""
+        value = self._lru.get(key)
+        if value is not None:
+            self._lru.move_to_end(key)
+            self._stats.hits += 1
+            if counters is not None:
+                counters.inc("cache.hit")
+            return value
+        if self.directory is not None:
+            value = self._disk_get(key)
+            if value is not None:
+                self._remember(key, value)
+                self._stats.hits += 1
+                self._stats.hits_disk += 1
+                if counters is not None:
+                    counters.inc("cache.hit")
+                    counters.inc("cache.hit_disk")
+                return value
+        self._stats.misses += 1
+        if counters is not None:
+            counters.inc("cache.miss")
+        return None
+
+    def put(self, key: str, value) -> None:
+        """Store an artifact under its content key (memory + disk)."""
+        self._remember(key, value)
+        self._stats.stores += 1
+        if self.directory is not None:
+            self._disk_put(key, value)
+
+    def _remember(self, key: str, value) -> None:
+        self._lru[key] = value
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+            self._stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def _disk_get(self, key: str):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # torn/corrupt/stale-schema entry: drop it, report a miss
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, value) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # a read-only or full disk tier degrades to memory-only
+            pass
+
+    # ------------------------------------------------------------------
+    def _disk_listing(self) -> list[str]:
+        if self.directory is None or not os.path.isdir(self.directory):
+            return []
+        return [os.path.join(self.directory, name)
+                for name in os.listdir(self.directory)
+                if name.endswith(".pkl")]
+
+    def stats(self) -> CacheStats:
+        """A snapshot including the disk tier's current footprint."""
+        s = self._stats
+        s.memory_entries = len(self._lru)
+        paths = self._disk_listing()
+        s.disk_entries = len(paths)
+        s.disk_bytes = 0
+        for path in paths:
+            try:
+                s.disk_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        return s
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns entries removed."""
+        removed = len(self._lru)
+        self._lru.clear()
+        for path in self._disk_listing():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+_PROCESS_CACHE: CompileCache | None = None
+
+
+def process_cache(directory: str | None = None) -> CompileCache:
+    """The shared per-process cache (created on first use).
+
+    The CLI and benchmarks route through this so repeated commands in
+    one process — and, via the disk tier, across processes — share
+    compiled artifacts.  An explicit ``directory`` rebinds the disk tier
+    (used by ``--cache-dir``); tests build private ``CompileCache``
+    instances instead.
+    """
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = CompileCache(directory=directory
+                                      or default_cache_dir())
+    elif directory is not None and _PROCESS_CACHE.directory != directory:
+        _PROCESS_CACHE = CompileCache(directory=directory)
+    return _PROCESS_CACHE

@@ -9,6 +9,8 @@ from .measure import (Measurement, MeasureSpec, compare_kernel, measure,
                       prepare_modules, run_measurement, train_profile)
 from .report import (config_report, format_table, measurement_report,
                      print_table, sweep_report)
+from .runner import (TaskOutcome, default_jobs, run_fuzz_cases, run_sweep,
+                     run_tasks)
 
 __all__ = [
     "CISC_DENSITY", "CodeSizeReport", "measure_code_size",
@@ -18,4 +20,6 @@ __all__ = [
     "prepare_modules", "run_measurement", "train_profile",
     "config_report", "format_table", "measurement_report", "print_table",
     "sweep_report",
+    "TaskOutcome", "default_jobs", "run_fuzz_cases", "run_sweep",
+    "run_tasks",
 ]

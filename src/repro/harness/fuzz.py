@@ -301,30 +301,26 @@ def verify_dismissal(config: MachineConfig = TRACE_28_200,
 def run_fuzz(seed: int = 0, count: int = 50,
              config: MachineConfig = TRACE_28_200,
              check_faults: bool = True, tracer=None,
-             progress=None, strategy: str = "trace") -> FuzzReport:
+             progress=None, strategy: str = "trace",
+             jobs: int = 1) -> FuzzReport:
     """The full differential fuzz run: ``count`` cases from ``seed``.
 
     Case ``i`` uses program/fault seed ``seed + i``.  ``progress`` (an
     optional callable) receives each finished :class:`FuzzCase`.
     ``strategy`` selects the loop engine under test; ``"pipeline"`` is
     the pipeline-vs-trace differential scenario (see module docstring).
+    ``jobs`` fans the cases out over worker processes; every case is
+    seed-deterministic, so the report is identical at any job count.
     """
+    from .runner import run_fuzz_cases
+
     trc = get_tracer(tracer)
     report = FuzzReport()
     with trc.span("fuzz.run", cat="harness", seed=seed, count=count,
                   strategy=strategy):
-        for i in range(count):
-            case = fuzz_one(seed + i, config, check_faults, strategy)
-            report.cases.append(case)
-            trc.counters.inc("fuzz.cases")
-            trc.counters.inc("fuzz.faults_fired", case.faults_fired)
-            trc.counters.inc("fuzz.loops_pipelined", case.loops_pipelined)
-            if case.checkpoint_verified:
-                trc.counters.inc("fuzz.checkpoints_verified")
-            if not case.ok:
-                trc.counters.inc("fuzz.failures")
-            if progress is not None:
-                progress(case)
+        report.cases.extend(run_fuzz_cases(
+            seed, count, config, check_faults, strategy, jobs=jobs,
+            tracer=tracer, progress=progress))
         if check_faults:
             report.dismissal_checked = True
             ok, detail = verify_dismissal(config, strategy)

@@ -1,0 +1,334 @@
+"""Work-queue executor: one experiment sweep across worker processes.
+
+Every sweep, fuzz run, and benchmark driver is a bag of independent
+tasks — measure one kernel, fuzz one seed — whose results must aggregate
+the same way no matter how they were scheduled.  This module is the one
+place that bag is executed:
+
+* ``jobs=1`` runs every task inline, in order.  This is not a special
+  case bolted on for convenience — it is the *reference schedule* that
+  the parallel path must reproduce bit for bit.
+* ``jobs>1`` runs the same handler in worker processes, each task under
+  its own private :class:`~repro.obs.Tracer`.  Workers never touch a
+  shared counter registry; each returns its counters (and spans) as
+  plain picklable data, and the parent folds them into the caller's
+  tracer **in task-index order** via :meth:`Counters.merge` — so the
+  aggregate is independent of worker count and completion order.
+
+Robustness: each task attempt has an optional wall-clock deadline.  A
+worker that blows its deadline (or dies) is killed and replaced, and the
+task is retried up to ``retries`` times before being reported as failed.
+A handler that raises an ordinary exception is *not* retried — that
+failure is deterministic — but it never takes the whole run down: it
+comes back as a failed :class:`TaskOutcome` with the traceback attached.
+
+Handlers are registered by name in this module (``measure``, ``fuzz``)
+so they resolve on both ``fork`` and ``spawn`` start methods: a worker
+only needs to import this module to find its function.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..obs import Tracer, get_tracer
+from .fuzz import fuzz_one
+from .measure import run_measurement
+
+#: task-kind name -> handler ``fn(payload, tracer) -> value``
+HANDLERS: dict[str, object] = {}
+
+
+def task_handler(name: str):
+    """Register a named task handler (workers look it up by name)."""
+    def register(fn):
+        HANDLERS[name] = fn
+        return fn
+    return register
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced, wherever it ran."""
+
+    index: int
+    ok: bool
+    value: object = None
+    error: str | None = None
+    #: the task's private counter registry, as a plain dict
+    counters: dict = field(default_factory=dict)
+    #: the task's span log (host wall-times from the worker's clock)
+    spans: list = field(default_factory=list)
+    #: the task's instant-event log (only when the caller collects events)
+    events: list = field(default_factory=list)
+    attempts: int = 1
+    duration_s: float = 0.0
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` if set, else the machine's CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+@task_handler("measure")
+def _measure_task(payload, tracer):
+    """One sweep point: ``payload = (MeasureSpec, use_cache, cache_dir)``.
+
+    The compile cache is worker-local in memory but shares its disk tier
+    across workers (atomic writes make concurrent stores safe), so a
+    parallel sweep still warms the same store a serial one would.
+    """
+    from ..cache import process_cache
+    spec, use_cache, cache_dir = payload
+    cache = process_cache(cache_dir) if use_cache else None
+    return run_measurement(spec, tracer=tracer, cache=cache)
+
+
+@task_handler("fuzz")
+def _fuzz_task(payload, tracer):
+    """One differential fuzz case: ``payload = (seed, config,
+    check_faults, strategy)``."""
+    seed, config, check_faults, strategy = payload
+    return fuzz_one(seed, config, check_faults, strategy)
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+def _run_one(fn, index: int, payload, events: bool = False) -> TaskOutcome:
+    """Execute one task attempt in this process."""
+    tracer = Tracer(events=events)
+    start = time.perf_counter()
+    try:
+        value = fn(payload, tracer)
+        ok, error = True, None
+    except Exception:
+        value, ok, error = None, False, traceback.format_exc()
+    return TaskOutcome(index, ok, value, error,
+                       tracer.counters.as_dict(), tracer.spans,
+                       tracer.events,
+                       duration_s=time.perf_counter() - start)
+
+
+def _worker_main(kind: str, inbox, outbox, worker_id: int,
+                 events: bool) -> None:
+    fn = HANDLERS[kind]
+    while True:
+        message = inbox.get()
+        if message is None:
+            return
+        index, payload = message
+        outcome = _run_one(fn, index, payload, events)
+        outbox.put((worker_id, outcome))
+
+
+def _fold(trc, outcomes: list[TaskOutcome]) -> None:
+    """Merge every task's counters, spans, and events, in task-index
+    order."""
+    for outcome in outcomes:
+        trc.counters.merge(outcome.counters)
+        if trc.enabled:
+            trc.spans.extend(outcome.spans)
+            trc.events.extend(outcome.events)
+
+
+class _Worker:
+    """One worker process plus the parent's view of its assignment."""
+
+    def __init__(self, ctx, kind: str, outbox, worker_id: int,
+                 events: bool = False) -> None:
+        self.inbox = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(kind, self.inbox, outbox, worker_id, events),
+            daemon=True)
+        self.process.start()
+        self.task: int | None = None
+        self.deadline: float | None = None
+
+    def assign(self, index: int, payload, timeout_s: float | None) -> None:
+        self.task = index
+        self.deadline = (time.monotonic() + timeout_s
+                         if timeout_s is not None else None)
+        self.inbox.put((index, payload))
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+
+    def retire(self) -> None:
+        self.inbox.put(None)
+
+
+def run_tasks(kind: str, payloads: list, jobs: int = 1,
+              timeout_s: float | None = None, retries: int = 1,
+              tracer=None) -> list[TaskOutcome]:
+    """Run every payload through the ``kind`` handler; ordered outcomes.
+
+    ``jobs=1`` executes inline (the serial reference schedule); any
+    higher value fans out over worker processes.  Either way the
+    caller's tracer receives every task's counters and spans folded in
+    task-index order, so aggregate counters are bit-identical across
+    ``jobs`` settings.
+    """
+    trc = get_tracer(tracer)
+    collect_events = trc.enabled and trc.collect_events
+    # jobs=1 runs inline even for one task; jobs>1 always uses workers —
+    # a single task still wants the deadline policing only a separate
+    # process can provide
+    if jobs <= 1 or not payloads:
+        fn = HANDLERS[kind]
+        outcomes = [_run_one(fn, i, p, collect_events)
+                    for i, p in enumerate(payloads)]
+        _fold(trc, outcomes)
+        return outcomes
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    outbox = ctx.Queue()
+    outcomes: list[TaskOutcome | None] = [None] * len(payloads)
+    attempts = [0] * len(payloads)
+    pending = deque(range(len(payloads)))
+    workers: list[_Worker] = []
+    try:
+        for worker_id in range(min(jobs, len(payloads))):
+            worker = _Worker(ctx, kind, outbox, worker_id, collect_events)
+            workers.append(worker)
+            if pending:
+                index = pending.popleft()
+                attempts[index] += 1
+                worker.assign(index, payloads[index], timeout_s)
+
+        while any(o is None for o in outcomes):
+            try:
+                worker_id, outcome = outbox.get(timeout=0.05)
+            except queue.Empty:
+                worker_id, outcome = None, None
+            if outcome is not None:
+                outcome.attempts = attempts[outcome.index]
+                outcomes[outcome.index] = outcome
+                worker = workers[worker_id]
+                worker.task = worker.deadline = None
+                if pending:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    worker.assign(index, payloads[index], timeout_s)
+
+            # deadline and liveness police
+            now = time.monotonic()
+            for worker_id, worker in enumerate(workers):
+                index = worker.task
+                if index is None:
+                    continue
+                timed_out = (worker.deadline is not None
+                             and now > worker.deadline)
+                died = not worker.process.is_alive()
+                if not (timed_out or died):
+                    continue
+                worker.kill()
+                reason = ("timed out after "
+                          f"{timeout_s}s" if timed_out else
+                          "worker died "
+                          f"(exit {worker.process.exitcode})")
+                if attempts[index] <= retries:
+                    pending.appendleft(index)
+                else:
+                    outcomes[index] = TaskOutcome(
+                        index, False, error=f"task {index} {reason} "
+                        f"after {attempts[index]} attempts",
+                        attempts=attempts[index])
+                replacement = _Worker(ctx, kind, outbox, worker_id,
+                                      collect_events)
+                workers[worker_id] = replacement
+                if pending:
+                    nxt = pending.popleft()
+                    attempts[nxt] += 1
+                    replacement.assign(nxt, payloads[nxt], timeout_s)
+    finally:
+        for worker in workers:
+            if worker.process.is_alive() and worker.task is None:
+                worker.retire()
+            else:
+                worker.kill()
+        for worker in workers:
+            worker.process.join(timeout=5)
+
+    _fold(trc, outcomes)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# the two drivers
+# ----------------------------------------------------------------------
+def run_sweep(specs: list, jobs: int = 1, tracer=None,
+              use_cache: bool = True, cache_dir: str | None = None,
+              timeout_s: float | None = None, retries: int = 1) -> list:
+    """Measure every spec; ordered :class:`Measurement` list.
+
+    Raises :class:`RuntimeError` carrying the first failure's traceback
+    if any measurement failed (divergence is never swallowed by
+    parallelism).
+    """
+    payloads = [(spec, use_cache, cache_dir) for spec in specs]
+    outcomes = run_tasks("measure", payloads, jobs=jobs,
+                         timeout_s=timeout_s, retries=retries,
+                         tracer=tracer)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} of {len(outcomes)} measurements failed; "
+            f"first: {failed[0].error}")
+    return [o.value for o in outcomes]
+
+
+def run_fuzz_cases(seed: int, count: int, config, check_faults: bool,
+                   strategy: str, jobs: int = 1, tracer=None,
+                   progress=None, timeout_s: float | None = None,
+                   retries: int = 1) -> list:
+    """Run ``count`` differential cases; ordered :class:`FuzzCase` list.
+
+    An executor-level failure (handler exception, exhausted retries)
+    becomes a failed case for that seed rather than an exception, so a
+    fuzz report always covers every requested seed.  The ``fuzz.*``
+    counters and the ``progress`` callback fire in the parent, in seed
+    order — workers report no shared state.
+    """
+    from .fuzz import FuzzCase
+
+    trc = get_tracer(tracer)
+    payloads = [(seed + i, config, check_faults, strategy)
+                for i in range(count)]
+    outcomes = run_tasks("fuzz", payloads, jobs=jobs, timeout_s=timeout_s,
+                         retries=retries, tracer=tracer)
+    cases = []
+    for i, outcome in enumerate(outcomes):
+        if outcome.ok:
+            case = outcome.value
+        else:
+            case = FuzzCase(seed + i)
+            case.fail(f"executor: {outcome.error}")
+        cases.append(case)
+        trc.counters.inc("fuzz.cases")
+        trc.counters.inc("fuzz.faults_fired", case.faults_fired)
+        trc.counters.inc("fuzz.loops_pipelined", case.loops_pipelined)
+        if case.checkpoint_verified:
+            trc.counters.inc("fuzz.checkpoints_verified")
+        if not case.ok:
+            trc.counters.inc("fuzz.failures")
+        if progress is not None:
+            progress(case)
+    return cases

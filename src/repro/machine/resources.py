@@ -64,23 +64,36 @@ def units_for(op: Operation) -> tuple[Unit, ...]:
     return _CATEGORY_UNITS.get(op.category, ())
 
 
+#: config -> category latency table; configs are frozen dataclasses, so a
+#: table never goes stale and every simulator shares the same few entries
+_LATENCY_TABLES: dict[MachineConfig, dict[Category, int]] = {}
+
+
+def latency_table(config: MachineConfig) -> dict[Category, int]:
+    """The category->beats latency table for ``config`` (built once)."""
+    table = _LATENCY_TABLES.get(config)
+    if table is None:
+        table = {
+            Category.INT_ALU: config.lat_int_alu,
+            Category.INT_CMP: config.lat_int_alu,
+            Category.PRED: config.lat_int_alu,
+            Category.INT_MUL: config.lat_int_mul,
+            Category.INT_DIV: config.lat_int_div,
+            Category.FLT_ADD: config.lat_flt_add,
+            Category.FLT_MUL: config.lat_flt_mul,
+            Category.FLT_DIV: config.lat_flt_div,
+            Category.FLT_CMP: config.lat_flt_cmp,
+            Category.CVT: config.lat_cvt,
+            Category.LOAD: config.lat_mem,
+            Category.STORE: 0,
+        }
+        _LATENCY_TABLES[config] = table
+    return table
+
+
 def latency_of(op: Operation, config: MachineConfig) -> int:
     """Result latency in beats from the unit's issue beat."""
-    table = {
-        Category.INT_ALU: config.lat_int_alu,
-        Category.INT_CMP: config.lat_int_alu,
-        Category.PRED: config.lat_int_alu,
-        Category.INT_MUL: config.lat_int_mul,
-        Category.INT_DIV: config.lat_int_div,
-        Category.FLT_ADD: config.lat_flt_add,
-        Category.FLT_MUL: config.lat_flt_mul,
-        Category.FLT_DIV: config.lat_flt_div,
-        Category.FLT_CMP: config.lat_flt_cmp,
-        Category.CVT: config.lat_cvt,
-        Category.LOAD: config.lat_mem,
-        Category.STORE: 0,
-    }
-    return table.get(op.category, 1)
+    return latency_table(config).get(op.category, 1)
 
 
 @dataclass

@@ -17,6 +17,7 @@ from .tracer import Tracer
 
 #: (counter prefix, section heading) for :meth:`Telemetry.summary`.
 _SECTIONS = (
+    ("cache.", "compile cache"),
     ("opt.", "classical optimizer"),
     ("trace.", "trace compiler"),
     ("sched.", "list scheduler"),

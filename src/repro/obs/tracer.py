@@ -80,9 +80,18 @@ class Counters:
         return sum(v for k, v in self._counts.items()
                    if k.startswith(prefix))
 
-    def merge(self, other: "Counters") -> None:
-        for name, value in other._counts.items():
-            self.inc(name, value)
+    def merge(self, other) -> None:
+        """Fold another registry (or a plain name->total mapping) in.
+
+        This is the cross-process aggregation primitive: workers never
+        touch a shared registry — each returns its counters as a plain
+        dict and the parent merges them, in task order, through this
+        method.  Keys are folded in sorted order so repeated merges of
+        the same inputs are bit-identical even for float counters.
+        """
+        items = other._counts if isinstance(other, Counters) else other
+        for name in sorted(items):
+            self.inc(name, items[name])
 
     def as_dict(self) -> dict[str, float]:
         """Sorted snapshot (ints stay ints, ready for ``json.dumps``)."""
@@ -200,7 +209,7 @@ class _NullCounters(Counters):
     def inc(self, name: str, n: float = 1) -> None:
         return None
 
-    def merge(self, other: Counters) -> None:
+    def merge(self, other) -> None:
         return None
 
 

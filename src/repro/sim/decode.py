@@ -1,0 +1,150 @@
+"""Pre-decoding compiled VLIW programs for the simulator fast path.
+
+The beat-accurate simulator's inner loop used to re-derive, on every
+visit to every long instruction, facts that never change after link
+time: which ops issue on the early vs. late beat, each operand's kind
+(register / immediate / symbol), each result's landing latency, branch
+target indices, and the fallthrough PC.  On the real TRACE all of that
+is literally wiring; redoing it per beat is pure interpretive overhead.
+
+:func:`predecode_function` flattens a
+:class:`~repro.machine.CompiledFunction` once — at simulator
+construction — into per-instruction issue tuples:
+
+* operands become ``(is_literal, payload, funny)`` triples: immediates
+  and symbols collapse to their literal value (the data layout is fixed
+  when the simulator is built), registers carry their class's funny
+  number so a never-written read needs no isinstance dispatch;
+* per-op latencies come from the config's latency table, computed once;
+* branch targets and ``next_label`` fallthroughs resolve to instruction
+  indices, so the hot loop never touches ``label_map``;
+* early/late issue groups are split once, hoisting the per-beat
+  ``ops_by_beat`` rebuild out of the execute loop entirely.
+
+The decoded form is a pure acceleration structure: it references the
+original :class:`~repro.machine.ScheduledOp` objects for error messages
+and never replaces the compiled program as the source of truth.
+"""
+
+from __future__ import annotations
+
+from ..ir import (ACCESS_SIZE, FUNNY_FLOAT, FUNNY_INT, Imm, RegClass,
+                  Symbol, VReg)
+from ..machine import CompiledFunction, MachineConfig
+from ..machine.resources import latency_table
+
+#: sentinel distinguishable from any architectural register value
+MISSING = object()
+
+#: "no pipeline write outstanding" marker for ``_Frame.next_land``
+NEVER = float("inf")
+
+#: decoded-op tags
+ALU_OP = 0
+MEM_OP = 1
+
+#: special-terminator tags
+SP_NONE = 0
+SP_RET = 1
+SP_HALT = 2
+SP_CALL = 3
+
+
+def funny_for(cls: RegClass):
+    """The funny number a never-written register of ``cls`` reads as."""
+    if cls is RegClass.FLT:
+        return FUNNY_FLOAT
+    if cls is RegClass.PRED:
+        return 0
+    return FUNNY_INT
+
+
+def decode_operand(src, memory) -> tuple:
+    """``(is_literal, payload, funny)`` for one operand.
+
+    Literals carry their final runtime value (immediates as-is, symbols
+    resolved against the memory image's layout); registers carry the
+    :class:`~repro.ir.VReg` plus the funny number substituted when the
+    register was never written on this path.
+    """
+    if isinstance(src, VReg):
+        return (False, src, funny_for(src.cls))
+    if isinstance(src, Imm):
+        return (True, src.value, None)
+    if isinstance(src, Symbol):
+        return (True, memory.address_of(src.name), None)
+    raise TypeError(f"bad operand {src!r}")
+
+
+class PredecodedFunction:
+    """One compiled function flattened into per-instruction issue tuples.
+
+    ``insts[pc]`` is ``(ops0, ops1, branches, sp_kind, sp_arg,
+    fall_pc)``:
+
+    * ``ops0`` / ``ops1`` — early/late-beat decoded ops.  ALU ops are
+      ``(ALU_OP, opcode, srcs, dest, latency)``; memory ops are
+      ``(MEM_OP, is_store, size, srcs, dest, gamble, speculative, op)``
+      with ``op`` kept for diagnostics.
+    * ``branches`` — ``(is_literal, payload, funny, negate, target_pc,
+      label)`` per parallel branch test, in priority order.
+    * ``sp_kind`` / ``sp_arg`` — special terminator (``SP_RET`` with a
+      decoded return operand, ``SP_HALT``, or ``SP_CALL`` with the call
+      :class:`~repro.ir.Operation`).
+    * ``fall_pc`` — where control goes when no branch fires and there is
+      no special terminator.
+    """
+
+    __slots__ = ("cf", "insts")
+
+    def __init__(self, cf: CompiledFunction, insts: list[tuple]) -> None:
+        self.cf = cf
+        self.insts = insts
+
+
+def _decode_op(so, lat_table, memory) -> tuple:
+    op = so.op
+    srcs = tuple(decode_operand(s, memory) for s in op.srcs)
+    if op.is_memory:
+        return (MEM_OP, op.is_store, ACCESS_SIZE[op.opcode], srcs,
+                op.dest, so.gamble, op.is_speculative, op)
+    return (ALU_OP, op.opcode, srcs, op.dest,
+            lat_table.get(op.category, 1))
+
+
+def predecode_function(cf: CompiledFunction, config: MachineConfig,
+                       memory) -> PredecodedFunction:
+    """Flatten one compiled function against a fixed memory layout."""
+    lat_table = latency_table(config)
+    insts: list[tuple] = []
+    for pc, li in enumerate(cf.instructions):
+        ops0, ops1 = [], []
+        for so in li.ops:
+            (ops1 if so.unit.beat_offset else ops0).append(
+                _decode_op(so, lat_table, memory))
+        branches = tuple(
+            decode_operand(bt.pred, memory)
+            + (bt.negate, cf.resolve(bt.target), bt.target)
+            for bt in li.branches)
+        sp_kind, sp_arg = SP_NONE, None
+        if li.special is not None:
+            kind = li.special[0]
+            if kind == "ret":
+                sp_kind = SP_RET
+                if li.special[1] is not None:
+                    sp_arg = decode_operand(li.special[1], memory)
+            elif kind == "halt":
+                sp_kind = SP_HALT
+            elif kind == "call":
+                sp_kind, sp_arg = SP_CALL, li.special[1]
+        fall_pc = (cf.resolve(li.next_label)
+                   if li.next_label is not None else pc + 1)
+        insts.append((tuple(ops0), tuple(ops1), branches,
+                      sp_kind, sp_arg, fall_pc))
+    return PredecodedFunction(cf, insts)
+
+
+def predecode_program(program, memory) -> dict[str, PredecodedFunction]:
+    """Pre-decode every function of a compiled program."""
+    return {name: predecode_function(cf, program.config, memory)
+            for name, cf in program.functions.items()}

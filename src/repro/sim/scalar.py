@@ -25,7 +25,8 @@ from ..faults import CHECKPOINT, FP_TRAP, INTERRUPT
 from ..ir import (ACCESS_SIZE, Function, Imm, MemoryImage, Module, Opcode,
                   Operation, RegClass, Symbol, VReg, wrap32)
 from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
-from ..machine import MachineConfig, latency_of
+from ..machine import MachineConfig
+from ..machine.resources import latency_table
 from ..obs import get_tracer
 
 
@@ -75,6 +76,10 @@ class ScalarSimulator:
         self.injector = injector
         self._eval = Interpreter.__new__(Interpreter)
         self._eval.fp_mode = fp_mode
+        # hoisted out of the per-op loop: category latency table and the
+        # memory latency in cycles (both fixed by the frozen config)
+        self._lat = latency_table(self.config)
+        self._mem_lat_cycles = max(0, (self.config.lat_mem + 1) // 2 - 1)
 
     # ------------------------------------------------------------------
     def run(self, func_name: str, args=(),
@@ -203,7 +208,7 @@ class ScalarSimulator:
         result = self._eval._compute(opc, vals)
         regs[op.dest] = result
         # latency in beats -> cycles (2 beats each), minimum next cycle
-        latency_cycles = (latency_of(op, self.config) + 1) // 2
+        latency_cycles = (self._lat.get(op.category, 1) + 1) // 2
         ready[op.dest] = self.stats.cycles + max(0, latency_cycles - 1)
         return None
 
@@ -229,8 +234,7 @@ class ScalarSimulator:
         else:
             result = self.memory.load_int(addr)
         regs[op.dest] = result
-        latency_cycles = (self.config.lat_mem + 1) // 2
-        ready[op.dest] = self.stats.cycles + max(0, latency_cycles - 1)
+        ready[op.dest] = self.stats.cycles + self._mem_lat_cycles
 
 
 def run_scalar(module: Module, func_name: str, args=(),

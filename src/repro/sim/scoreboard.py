@@ -25,7 +25,8 @@ from ..faults import CHECKPOINT, FP_TRAP, INTERRUPT
 from ..ir import (ACCESS_SIZE, Category, Function, Imm, MemoryImage, Module,
                   Opcode, Operation, RegClass, Symbol, VReg, wrap32)
 from ..ir.interp import FUNNY_FLOAT, FUNNY_INT, Interpreter
-from ..machine import MachineConfig, latency_of
+from ..machine import MachineConfig
+from ..machine.resources import latency_table
 from ..obs import get_tracer
 
 #: functional-unit kind per op category
@@ -86,6 +87,9 @@ class ScoreboardSimulator:
         self._eval.fp_mode = fp_mode
         n = self.config.n_pairs
         self._capacity = {"int": 4 * n, "fadd": n, "fmul": n, "mem": 2 * n}
+        # hoisted out of the per-op loop (both fixed by the frozen config)
+        self._lat = latency_table(self.config)
+        self._mem_cycles = max(1, (self.config.lat_mem + 1) // 2)
 
     # ------------------------------------------------------------------
     def run(self, func_name: str, args=(),
@@ -244,7 +248,7 @@ class ScoreboardSimulator:
             if isinstance(src, VReg):
                 last_read[src] = max(last_read.get(src, 0), slot)
 
-        latency_cycles = max(1, (latency_of(op, self.config) + 1) // 2)
+        latency_cycles = max(1, (self._lat.get(op.category, 1) + 1) // 2)
         if op.is_memory:
             self._memory_effect(op, regs, ready, slot, latency_cycles)
         else:
@@ -275,8 +279,7 @@ class ScoreboardSimulator:
         else:
             result = self.memory.load_int(addr)
         regs[op.dest] = result
-        mem_cycles = max(1, (self.config.lat_mem + 1) // 2)
-        ready[op.dest] = slot + mem_cycles
+        ready[op.dest] = slot + self._mem_cycles
 
 
 def run_scoreboard(module: Module, func_name: str, args=(),

@@ -56,6 +56,8 @@ from ..machine import (CompiledFunction, CompiledProgram, MachineConfig,
                        latency_of)
 from ..obs import get_tracer
 from .context import ProcessTagTable
+from .decode import (ALU_OP, MISSING, NEVER, SP_CALL, SP_HALT, SP_NONE,
+                     SP_RET, predecode_program)
 
 
 @dataclass
@@ -116,6 +118,11 @@ class _Frame:
     pc: int
     start_beat: int
     ret_dest: VReg | None = None
+    #: pre-decoded twin of ``cf`` (fast path only)
+    dcf: object = None
+    #: earliest outstanding land beat; lets the fast path skip the
+    #: pending-list rescan on the (common) beats where nothing lands
+    next_land: float = NEVER
 
 
 class _Evaluator(Interpreter):
@@ -135,7 +142,7 @@ class VliwSimulator:
                  max_beats: int = 200_000_000,
                  icache=None, tlb=None, tracer=None,
                  injector=None, tags: ProcessTagTable | None = None,
-                 process_id: int = 0) -> None:
+                 process_id: int = 0, predecode: bool = True) -> None:
         self.program = program
         self.config = program.config
         self.memory = memory
@@ -156,6 +163,11 @@ class VliwSimulator:
         # per-beat hooks fire only when an event-collecting tracer is
         # attached; a disabled run pays a single cached-bool test per site
         self._emit = self.tracer.enabled and self.tracer.collect_events
+        # fast path: flatten the program once against this memory image's
+        # layout (see sim/decode.py); predecode=False keeps the original
+        # interpretive loop as a differential-testing reference
+        self._predecoded = (predecode_program(program, memory)
+                            if predecode else None)
         if icache is not None:
             for cf in program.functions.values():
                 icache.register_function(cf, getattr(memory, "layout", None))
@@ -164,7 +176,9 @@ class VliwSimulator:
     def run(self, func_name: str, args=()) -> VliwResult:
         cf = self.program.function(func_name)
         frame = self._make_frame(cf, list(args), start_beat=0)
-        kind, payload = self._execute([frame], beat=0)
+        execute = (self._execute_fast if self._predecoded is not None
+                   else self._execute)
+        kind, payload = execute([frame], beat=0)
         if kind == "interrupted":
             # counters fold on completion only: the resumed half reports
             # the whole run's totals exactly once
@@ -196,10 +210,17 @@ class VliwSimulator:
                         list(fs.pending), dict(fs.bank_busy), fs.pc,
                         fs.start_beat, fs.ret_dest)
                  for fs in checkpoint.frames]
+        for frame in stack:
+            frame.next_land = min((item[0] for item in frame.pending),
+                                  default=NEVER)
+            if self._predecoded is not None:
+                frame.dcf = self._predecoded[frame.cf.name]
         if self._emit:
             self.tracer.event("resume", cat="sim", ts=checkpoint.beat,
                               asid=checkpoint.asid, depth=len(stack))
-        kind, payload = self._execute(stack, beat=checkpoint.beat)
+        execute = (self._execute_fast if self._predecoded is not None
+                   else self._execute)
+        kind, payload = execute(stack, beat=checkpoint.beat)
         if kind == "interrupted":
             return VliwResult(None, self.memory, self.stats,
                               interrupted=True, checkpoint=payload)
@@ -250,7 +271,10 @@ class VliwSimulator:
         for reg, arg in zip(cf.param_regs, args):
             regs[reg] = self._coerce_arg(reg, arg)
         pc = cf.label_map.get(cf.meta.get("entry_label", ""), 0)
-        return _Frame(cf, regs, [], {}, pc, start_beat, ret_dest)
+        frame = _Frame(cf, regs, [], {}, pc, start_beat, ret_dest)
+        if self._predecoded is not None:
+            frame.dcf = self._predecoded[cf.name]
+        return frame
 
     def _execute(self, stack: list[_Frame], beat: int) -> tuple[str, object]:
         """Run the frame stack to completion or to a checkpoint.
@@ -371,6 +395,254 @@ class VliwSimulator:
         raise SimError("empty frame stack")           # pragma: no cover
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _land_frame(f: _Frame, beat: int) -> None:
+        """Fast-path landing: apply due writes, refresh ``next_land``.
+
+        Callers gate on ``f.next_land <= beat`` so the pending list is
+        only rescanned on beats where something actually lands — the
+        semantics (land in beat order, ties in issue order) match
+        :meth:`_land` exactly.
+        """
+        pending = f.pending
+        ready = [item for item in pending if item[0] <= beat]
+        ready.sort(key=lambda item: item[0])
+        regs = f.regs
+        for _, reg, value in ready:
+            regs[reg] = value
+        pending[:] = [item for item in pending if item[0] > beat]
+        f.next_land = min((item[0] for item in pending), default=NEVER)
+
+    def _execute_fast(self, stack: list[_Frame],
+                      beat: int) -> tuple[str, object]:
+        """The pre-decoded twin of :meth:`_execute`.
+
+        Beat-identical and state-identical to the interpretive loop (the
+        differential tests in ``tests/test_sims.py`` hold the two paths
+        together); the difference is purely mechanical: decoded issue
+        tuples instead of per-beat rediscovery, literals pre-resolved,
+        latencies precomputed, and pending-list scans gated on
+        ``next_land``.
+        """
+        stats = self.stats
+        memory = self.memory
+        compute = self._eval._compute
+        icache, tlb, injector = self.icache, self.tlb, self.injector
+        tracer, emit = self.tracer, self._emit
+        max_beats = self.max_beats
+        config = self.config
+        lat_mem = config.lat_mem
+        n_controllers = config.n_controllers
+        total_banks = config.total_banks
+        bank_busy_beats = config.bank_busy_beats
+        land_frame = self._land_frame
+
+        while stack:
+            f = stack[-1]
+            cf = f.cf
+            regs = f.regs
+            pending = f.pending
+            bank_busy = f.bank_busy
+
+            # --- instruction boundary: the one precise point ------------
+            if injector is not None and injector.pending:
+                outcome = self._deliver_faults(stack, beat, f)
+                if isinstance(outcome, MachineCheckpoint):
+                    return ("interrupted", outcome)
+                beat = outcome
+                for fr in stack:
+                    fr.next_land = min((item[0] for item in fr.pending),
+                                       default=NEVER)
+            if beat - f.start_beat > max_beats:
+                raise SimError(f"{cf.name}: beat budget exhausted")
+            pc = f.pc
+            insts = f.dcf.insts
+            if pc < 0 or pc >= len(insts):
+                raise SimError(f"{cf.name}: PC out of range: {pc}")
+            ops0, ops1, branches, sp_kind, sp_arg, fall_pc = insts[pc]
+            stats.instructions += 1
+            if icache is not None:
+                fetch_stall = icache.access(cf.name, pc)
+                if fetch_stall:
+                    if emit:
+                        tracer.event("icache_miss", cat="sim", ts=beat,
+                                     function=cf.name, pc=pc,
+                                     beats=fetch_stall)
+                    pending[:] = [(b + fetch_stall, r, v)
+                                  for b, r, v in pending]
+                    f.next_land += fetch_stall
+                    beat += fetch_stall
+                    stats.beats += fetch_stall
+
+            try:
+                # --- read-before-write state as of the instruction's
+                # first beat (branch tests and return values) ------------
+                if f.next_land <= beat:
+                    land_frame(f, beat)
+                branch_vals = None
+                if branches:
+                    branch_vals = []
+                    for lit, payload, funny, _neg, _tpc, _lbl in branches:
+                        if lit:
+                            branch_vals.append(payload)
+                        else:
+                            value = regs.get(payload, MISSING)
+                            branch_vals.append(
+                                funny if value is MISSING else value)
+                ret_val = None
+                if sp_kind == SP_RET and sp_arg is not None:
+                    lit, payload, funny = sp_arg
+                    if lit:
+                        ret_val = payload
+                    else:
+                        ret_val = regs.get(payload, MISSING)
+                        if ret_val is MISSING:
+                            ret_val = funny
+
+                # --- issue the pre-split early/late groups --------------
+                stall = 0
+                for offset, ops in ((0, ops0), (1, ops1)):
+                    if not ops:
+                        continue
+                    issue_beat = beat + offset + stall
+                    if f.next_land <= issue_beat:
+                        land_frame(f, issue_beat)
+                    controllers_this_beat = None
+                    for dop in ops:
+                        if dop[0] == ALU_OP:
+                            _, opcode, srcs, dest, latency = dop
+                            vals = []
+                            for lit, payload, funny in srcs:
+                                if lit:
+                                    vals.append(payload)
+                                else:
+                                    value = regs.get(payload, MISSING)
+                                    vals.append(funny if value is MISSING
+                                                else value)
+                            land = issue_beat + latency
+                            pending.append((land, dest,
+                                            compute(opcode, vals)))
+                            if land < f.next_land:
+                                f.next_land = land
+                            stats.ops += 1
+                            continue
+                        # ---- memory reference --------------------------
+                        (_, is_store, size, srcs, dest, gamble,
+                         speculative, op) = dop
+                        vals = []
+                        for lit, payload, funny in srcs:
+                            if lit:
+                                vals.append(payload)
+                            else:
+                                value = regs.get(payload, MISSING)
+                                vals.append(funny if value is MISSING
+                                            else value)
+                        if is_store:
+                            value, base, off = vals
+                        else:
+                            base, off = vals
+                        addr = wrap32(base + off)
+                        if tlb is not None:
+                            tlb.access(addr)
+                        word = addr // 8 if addr >= 0 else 0
+                        controller = word % n_controllers
+                        bank = word % total_banks
+                        if controllers_this_beat is None:
+                            controllers_this_beat = {controller}
+                        elif controller in controllers_this_beat:
+                            raise SimError(
+                                f"two references hit controller "
+                                f"{controller} in one beat "
+                                f"(disambiguator/compiler bug): {op}")
+                        else:
+                            controllers_this_beat.add(controller)
+                        busy_until = bank_busy.get(bank, -1)
+                        if busy_until > issue_beat:
+                            if not gamble:
+                                stats.unexpected_bank_stalls += 1
+                            extra = busy_until - issue_beat
+                            # the bank stall freezes the CPU: shift every
+                            # in-flight writeback before appending our own
+                            pending[:] = [(b + extra, r, v)
+                                          for b, r, v in pending]
+                            f.next_land += extra
+                            stall += extra
+                            issue_beat = busy_until
+                        if gamble:
+                            stats.gamble_refs += 1
+                        bank_busy[bank] = issue_beat + bank_busy_beats
+                        if is_store:
+                            stats.stores += 1
+                            if size == 8:
+                                memory.store_float(addr, value)
+                            else:
+                                memory.store_int(addr, value)
+                        else:
+                            stats.loads += 1
+                            if speculative and not memory.check(addr, size):
+                                stats.dismissed_loads += 1
+                                result = (FUNNY_FLOAT if size == 8
+                                          else FUNNY_INT)
+                            elif size == 8:
+                                result = memory.load_float(addr)
+                            else:
+                                result = memory.load_int(addr)
+                            land = issue_beat + lat_mem
+                            pending.append((land, dest, result))
+                            if land < f.next_land:
+                                f.next_land = land
+                        stats.ops += 1
+            except TrapError as exc:
+                exc.locate(beat=beat, pc=f"{cf.name}:{pc}")
+                raise
+
+            if stall and emit:
+                tracer.event("bank_stall", cat="sim", ts=beat,
+                             function=cf.name, pc=pc, beats=stall)
+            beat += 2 + stall
+            stats.beats += 2 + stall
+            stats.bank_stall_beats += stall
+
+            if tlb is not None:
+                tlb_stall = tlb.end_instruction()
+                if tlb_stall:
+                    pending[:] = [(b + tlb_stall, r, v)
+                                  for b, r, v in pending]
+                    f.next_land += tlb_stall
+                    beat += tlb_stall
+                    stats.beats += tlb_stall
+
+            # --- control transfer at end of instruction -----------------
+            next_pc = -1
+            if branch_vals is not None:
+                for decoded, pred in zip(branches, branch_vals):
+                    stats.branches += 1
+                    negate, target_pc, label = decoded[3], decoded[4], \
+                        decoded[5]
+                    taken = (not pred) if negate else bool(pred)
+                    if emit:
+                        tracer.event("branch", cat="sim", ts=beat,
+                                     function=cf.name, pc=pc, taken=taken,
+                                     target=label)
+                    if taken:
+                        stats.taken_branches += 1
+                        next_pc = target_pc
+                        break
+            if next_pc < 0 and sp_kind != SP_NONE:
+                if sp_kind != SP_CALL:      # SP_RET or SP_HALT
+                    value = ret_val if sp_kind == SP_RET else None
+                    stack.pop()
+                    if not stack:
+                        return ("done", value)
+                    if f.ret_dest is not None:
+                        stack[-1].regs[f.ret_dest] = value
+                    continue
+                beat = self._begin_call(sp_arg, f, stack, beat, pc)
+                continue
+            f.pc = fall_pc if next_pc < 0 else next_pc
+        raise SimError("empty frame stack")           # pragma: no cover
+
+    # ------------------------------------------------------------------
     def _begin_call(self, call: Operation, f: _Frame, stack: list[_Frame],
                     beat: int, pc: int) -> int:
         """Push a callee frame: drain, save, modeled overhead."""
@@ -382,6 +654,7 @@ class VliwSimulator:
             self._land(f.pending, f.regs, drain_to)
             self.stats.beats += extra
             beat += extra
+        f.next_land = NEVER
         args = [self._operand(f.regs, s) for s in call.srcs]
         callee = self.program.function(call.callee)
         overhead = 2 * self.config.call_overhead_instructions
@@ -589,10 +862,11 @@ class VliwSimulator:
 def run_compiled(program: CompiledProgram, module, func_name: str,
                  args=(), fp_mode: str = "precise",
                  memory: MemoryImage | None = None,
-                 tracer=None, injector=None, tlb=None) -> VliwResult:
+                 tracer=None, injector=None, tlb=None,
+                 predecode: bool = True) -> VliwResult:
     """Convenience: build the memory image, run, return the result."""
     if memory is None:
         memory = MemoryImage(module)
     sim = VliwSimulator(program, memory, fp_mode, tracer=tracer,
-                        injector=injector, tlb=tlb)
+                        injector=injector, tlb=tlb, predecode=predecode)
     return sim.run(func_name, args)

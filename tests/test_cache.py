@@ -1,0 +1,174 @@
+"""Tests for the content-addressed compile cache: keys, the two-tier
+store, and the cached compile stage inside ``run_measurement``."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cache import (CACHE_SCHEMA, CompileCache, compile_key,
+                         module_fingerprint)
+from repro.harness.measure import MeasureSpec, run_measurement
+from repro.machine import TRACE_7_200, TRACE_28_200
+from repro.obs import Tracer
+from repro.trace import SchedulingOptions
+from repro.workloads import get_kernel
+
+
+def _key(module, **overrides):
+    kw = dict(config=TRACE_28_200, options=SchedulingOptions(),
+              strategy="trace", unroll=8, inline=48, use_profile=True)
+    kw.update(overrides)
+    return compile_key(module, kw.pop("config"), kw.pop("options"), **kw)
+
+
+class TestCompileKey:
+    def test_same_inputs_same_key(self):
+        kernel = get_kernel("daxpy")
+        assert _key(kernel.build(64)) == _key(kernel.build(64))
+
+    def test_source_edit_changes_key(self):
+        kernel = get_kernel("daxpy")
+        base = _key(kernel.build(64))
+        # a different problem size changes init data and layout -> the
+        # module text -> the key
+        assert _key(kernel.build(65)) != base
+        assert _key(get_kernel("vadd").build(64)) != base
+
+    def test_config_change_changes_key(self):
+        module = get_kernel("daxpy").build(64)
+        assert _key(module, config=TRACE_7_200) != _key(module)
+
+    def test_options_change_changes_key(self):
+        module = get_kernel("daxpy").build(64)
+        assert _key(module, options=SchedulingOptions(speculation=False)) \
+            != _key(module)
+
+    def test_strategy_and_knob_changes_change_key(self):
+        module = get_kernel("daxpy").build(64)
+        base = _key(module)
+        assert _key(module, strategy="pipeline") != base
+        assert _key(module, unroll=4) != base
+        assert _key(module, inline=0) != base
+        assert _key(module, use_profile=False) != base
+
+    def test_fingerprint_tracks_module_text(self):
+        kernel = get_kernel("daxpy")
+        assert module_fingerprint(kernel.build(64)) \
+            == module_fingerprint(kernel.build(64))
+        assert module_fingerprint(kernel.build(64)) \
+            != module_fingerprint(kernel.build(65))
+
+    def test_schema_version_present(self):
+        assert isinstance(CACHE_SCHEMA, int)
+
+
+class TestCompileCacheStore:
+    def test_memory_hit_and_miss_counters(self):
+        cache = CompileCache()
+        tracer = Tracer()
+        assert cache.get("k1", tracer.counters) is None
+        cache.put("k1", {"x": 1})
+        assert cache.get("k1", tracer.counters) == {"x": 1}
+        assert tracer.counters.get("cache.miss") == 1
+        assert tracer.counters.get("cache.hit") == 1
+
+    def test_disk_tier_round_trip(self, tmp_path):
+        first = CompileCache(directory=str(tmp_path))
+        first.put("k", [1, 2, 3])
+        second = CompileCache(directory=str(tmp_path))
+        tracer = Tracer()
+        assert second.get("k", tracer.counters) == [1, 2, 3]
+        assert tracer.counters.get("cache.hit_disk") == 1
+        # promoted into memory: the next get does not touch disk
+        assert second.get("k", tracer.counters) == [1, 2, 3]
+        assert tracer.counters.get("cache.hit_disk") == 1
+
+    def test_lru_eviction_keeps_disk_copy(self, tmp_path):
+        cache = CompileCache(max_entries=2, directory=str(tmp_path))
+        for i in range(3):
+            cache.put(f"k{i}", i)
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.memory_entries == 2
+        assert cache.get("k0") == 0          # served from disk
+        assert cache.stats().hits_disk == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        cache.put("k", 42)
+        path = tmp_path / "k.pkl"
+        path.write_bytes(b"not a pickle")
+        fresh = CompileCache(directory=str(tmp_path))
+        assert fresh.get("k") is None
+        assert not path.exists()             # dropped, not retried forever
+
+    def test_clear_empties_both_tiers(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() >= 2
+        assert cache.get("a") is None
+        assert cache.stats().disk_entries == 0
+
+
+class TestCachedMeasurement:
+    def _run(self, cache, **spec_kw):
+        tracer = Tracer()
+        spec = MeasureSpec(kernel="daxpy", n=48, **spec_kw)
+        result = run_measurement(spec, tracer=tracer, cache=cache)
+        return result, tracer.counters.as_dict()
+
+    @staticmethod
+    def _non_cache(counters):
+        return {k: v for k, v in counters.items()
+                if not k.startswith("cache.")}
+
+    def test_warm_measurement_identical_to_cold(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        cold, cold_counters = self._run(cache)
+        warm, warm_counters = self._run(cache)
+        assert warm.row() == cold.row()
+        # counter replay: a hit reports the same compiler counters a
+        # cold compile would, so aggregates don't depend on cache state
+        assert self._non_cache(warm_counters) \
+            == self._non_cache(cold_counters)
+        assert cold_counters.get("cache.miss") == 1
+        assert warm_counters.get("cache.hit") == 1
+
+    def test_config_change_misses(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        self._run(cache)
+        _, counters = self._run(cache, config=TRACE_7_200)
+        assert counters.get("cache.miss") == 1
+
+    def test_options_change_misses(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        self._run(cache)
+        _, counters = self._run(
+            cache, options=SchedulingOptions(join_motion=False))
+        assert counters.get("cache.miss") == 1
+
+    def test_strategy_change_misses(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        self._run(cache)
+        _, counters = self._run(cache, strategy="pipeline", unroll=0)
+        assert counters.get("cache.miss") == 1
+
+    def test_source_change_misses(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        self._run(cache)
+        tracer = Tracer()
+        run_measurement(MeasureSpec(kernel="daxpy", n=49), tracer=tracer,
+                        cache=cache)
+        assert tracer.counters.get("cache.miss") == 1
+
+    def test_artifact_survives_process_restart(self, tmp_path):
+        """A fresh cache instance over the same directory hits on disk
+        (the cross-process story the CLI and CI rely on)."""
+        cold = CompileCache(directory=str(tmp_path))
+        first, _ = self._run(cold)
+        fresh = CompileCache(directory=str(tmp_path))
+        second, counters = self._run(fresh)
+        assert second.row() == first.row()
+        assert counters.get("cache.hit_disk") == 1

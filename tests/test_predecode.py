@@ -1,0 +1,134 @@
+"""Differential tests for the pre-decoded VLIW fast path.
+
+``VliwSimulator(predecode=False)`` keeps the original interpretive
+execute loop alive as a reference; these tests pin the fast path to it
+bit for bit — values, final memory, and every timing stat — across
+kernels, strategies, device models, fault injection, and
+checkpoint/resume (including resuming a fast-path checkpoint on a
+slow-path simulator and vice versa).
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, InjectionPlan
+from repro.harness.measure import prepare_modules, train_profile
+from repro.ir import MemoryImage
+from repro.machine import TRACE_28_200
+from repro.sim import ICacheModel, TlbModel, VliwSimulator
+from repro.sim.decode import predecode_program
+from repro.trace import TraceCompiler
+from repro.workloads import generate_program, get_kernel
+
+KERNELS = ("daxpy", "fir4", "ll7_state", "state_machine", "call_heavy",
+           "binary_search")
+
+
+def _compiled(name, n=48, strategy="trace"):
+    kernel = get_kernel(name)
+    _, module = prepare_modules(kernel, n)
+    profile = train_profile(module, kernel.func, kernel.make_args(n))
+    program = TraceCompiler(module, profile=profile,
+                            strategy=strategy).compile_module()
+    return kernel, module, program
+
+
+def _snapshot(sim, result, module, memory):
+    return (result.value, bytes(memory.data), vars(result.stats))
+
+
+def _run(program, module, func, args, predecode, **sim_kw):
+    memory = MemoryImage(module)
+    sim = VliwSimulator(program, memory, predecode=predecode, **sim_kw)
+    result = sim.run(func, args)
+    return _snapshot(sim, result, module, memory)
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_kernels_bit_identical(self, name):
+        kernel, module, program = _compiled(name)
+        args = kernel.make_args(48)
+        assert _run(program, module, kernel.func, args, True) \
+            == _run(program, module, kernel.func, args, False)
+
+    @pytest.mark.parametrize("name", ("daxpy", "ll7_state"))
+    def test_pipeline_strategy_bit_identical(self, name):
+        kernel, module, program = _compiled(name, strategy="pipeline")
+        args = kernel.make_args(48)
+        assert _run(program, module, kernel.func, args, True) \
+            == _run(program, module, kernel.func, args, False)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_programs_bit_identical(self, seed):
+        module = generate_program(seed)
+        program = TraceCompiler(module).compile_module()
+        assert _run(program, module, "main", (7, -3), True) \
+            == _run(program, module, "main", (7, -3), False)
+
+    def test_device_models_bit_identical(self):
+        kernel, module, program = _compiled("daxpy")
+        args = kernel.make_args(48)
+        runs = {}
+        for predecode in (True, False):
+            runs[predecode] = _run(
+                program, module, kernel.func, args, predecode,
+                icache=ICacheModel(TRACE_28_200, lines=2),
+                tlb=TlbModel(TRACE_28_200, entries=2))
+        assert runs[True] == runs[False]
+
+    def test_fault_injection_bit_identical(self):
+        module = generate_program(4)
+        program = TraceCompiler(module).compile_module()
+        clean = _run(program, module, "main", (7, -3), True)
+        horizon = clean[2]["beats"]
+        runs = {}
+        for predecode in (True, False):
+            plan = InjectionPlan.random(4, horizon_beats=horizon,
+                                        total_banks=64)
+            runs[predecode] = _run(program, module, "main", (7, -3),
+                                   predecode,
+                                   injector=FaultInjector(plan))
+        assert runs[True] == runs[False]
+
+    @pytest.mark.parametrize("first,second", [(True, False), (False, True)])
+    def test_checkpoint_crosses_paths(self, first, second):
+        """A checkpoint taken on either path resumes on the other: the
+        snapshot is pure architectural state, so decode strategy cannot
+        leak into it."""
+        module = generate_program(2)
+        program = TraceCompiler(module).compile_module()
+        baseline = _run(program, module, "main", (7, -3), True)
+        half = baseline[2]["beats"] // 2
+
+        memory = MemoryImage(module)
+        injector = FaultInjector(
+            InjectionPlan.interrupt_at(half, checkpoint=True))
+        start = VliwSimulator(program, memory, injector=injector,
+                              predecode=first).run("main", (7, -3))
+        assert start.interrupted
+        resume_memory = MemoryImage(module)
+        resumed = VliwSimulator(program, resume_memory,
+                                predecode=second).resume(start.checkpoint)
+        assert not resumed.interrupted
+        assert resumed.value == baseline[0]
+        assert bytes(resume_memory.data) == baseline[1]
+        assert resumed.stats.beats == baseline[2]["beats"]
+
+
+class TestPredecodeStructure:
+    def test_predecode_resolves_branch_targets(self):
+        kernel, module, program = _compiled("binary_search")
+        decoded = predecode_program(program, MemoryImage(module))
+        for dcf in decoded.values():
+            assert len(dcf.insts) == len(dcf.cf.instructions)
+            for _, _, branches, _, _, fall_pc in dcf.insts:
+                assert 0 <= fall_pc
+                for br in branches:
+                    assert isinstance(br[4], int)   # target pre-resolved
+
+    def test_fast_path_used_by_default(self):
+        kernel, module, program = _compiled("daxpy")
+        sim = VliwSimulator(program, MemoryImage(module))
+        assert sim._predecoded is not None
+        slow = VliwSimulator(program, MemoryImage(module), predecode=False)
+        assert slow._predecoded is None

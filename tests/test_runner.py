@@ -1,0 +1,134 @@
+"""Tests for the work-queue executor: serial/parallel determinism,
+failure isolation, and timeout/retry policing.
+
+The determinism tests are the contract the whole throughput layer rests
+on: ``--jobs N`` must be a pure wall-clock knob.  Measurement rows and
+the aggregated counter registry have to come out bit-identical whether
+tasks ran inline or across worker processes.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.harness import run_fuzz, run_sweep, run_tasks
+from repro.harness.measure import MeasureSpec
+from repro.harness.runner import HANDLERS, TaskOutcome, task_handler
+from repro.machine import TRACE_28_200
+from repro.obs import Tracer
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK, reason="test handlers register in-process; workers "
+                          "only inherit them under fork")
+
+
+@task_handler("test.echo")
+def _echo_task(payload, tracer):
+    tracer.counters.inc("test.echo.calls")
+    tracer.counters.inc("test.echo.total", payload)
+    return payload * 2
+
+
+@task_handler("test.flaky")
+def _flaky_task(payload, tracer):
+    if payload == "boom":
+        raise ValueError("deterministic failure")
+    if payload == "hang":
+        time.sleep(60)
+    return payload
+
+
+class TestRunTasks:
+    def test_inline_order_and_fold(self):
+        tracer = Tracer()
+        outcomes = run_tasks("test.echo", [3, 1, 2], jobs=1, tracer=tracer)
+        assert [o.value for o in outcomes] == [6, 2, 4]
+        assert all(o.ok for o in outcomes)
+        assert tracer.counters.get("test.echo.calls") == 3
+        assert tracer.counters.get("test.echo.total") == 6
+
+    @needs_fork
+    def test_parallel_matches_inline(self):
+        serial, parallel = Tracer(), Tracer()
+        a = run_tasks("test.echo", list(range(6)), jobs=1, tracer=serial)
+        b = run_tasks("test.echo", list(range(6)), jobs=3, tracer=parallel)
+        assert [o.value for o in a] == [o.value for o in b]
+        assert serial.counters.as_dict() == parallel.counters.as_dict()
+
+    def test_handler_exception_is_isolated(self):
+        outcomes = run_tasks("test.flaky", ["ok", "boom", "fine"], jobs=1)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "deterministic failure" in outcomes[1].error
+        assert outcomes[0].value == "ok" and outcomes[2].value == "fine"
+
+    @needs_fork
+    def test_parallel_handler_exception_is_isolated(self):
+        outcomes = run_tasks("test.flaky", ["ok", "boom", "fine"], jobs=2)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "deterministic failure" in outcomes[1].error
+
+    @needs_fork
+    def test_timeout_kills_and_reports(self):
+        outcomes = run_tasks("test.flaky", ["ok", "hang"], jobs=2,
+                             timeout_s=1.0, retries=0)
+        assert outcomes[0].ok and outcomes[0].value == "ok"
+        assert not outcomes[1].ok
+        assert "timed out" in outcomes[1].error
+
+    @needs_fork
+    def test_timeout_retries_before_failing(self):
+        outcomes = run_tasks("test.flaky", ["hang"], jobs=2,
+                             timeout_s=0.5, retries=1)
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 2
+
+
+class TestSweepDeterminism:
+    SPECS = [MeasureSpec(kernel=k, n=32)
+             for k in ("daxpy", "vadd", "count_matches")]
+
+    def _counters(self, tracer):
+        return {k: v for k, v in tracer.counters.as_dict().items()
+                if not k.startswith("cache.")}
+
+    @needs_fork
+    def test_parallel_sweep_bit_identical(self, tmp_path):
+        serial, parallel = Tracer(), Tracer()
+        a = run_sweep(self.SPECS, jobs=1, tracer=serial,
+                      cache_dir=str(tmp_path / "s"))
+        b = run_sweep(self.SPECS, jobs=2, tracer=parallel,
+                      cache_dir=str(tmp_path / "p"))
+        assert [m.row() for m in a] == [m.row() for m in b]
+        assert self._counters(serial) == self._counters(parallel)
+
+    def test_sweep_without_cache_matches_cached(self, tmp_path):
+        plain, cached = Tracer(), Tracer()
+        a = run_sweep(self.SPECS, jobs=1, tracer=plain, use_cache=False)
+        b = run_sweep(self.SPECS, jobs=1, tracer=cached,
+                      cache_dir=str(tmp_path))
+        assert [m.row() for m in a] == [m.row() for m in b]
+        assert self._counters(plain) == self._counters(cached)
+
+    def test_sweep_raises_on_divergence_style_failures(self):
+        with pytest.raises(RuntimeError, match="measurements failed"):
+            run_sweep([MeasureSpec(kernel="no_such_kernel")], jobs=1)
+
+
+class TestFuzzDeterminism:
+    @needs_fork
+    def test_parallel_fuzz_bit_identical(self):
+        serial, parallel = Tracer(), Tracer()
+        a = run_fuzz(seed=11, count=4, tracer=serial, jobs=1)
+        b = run_fuzz(seed=11, count=4, tracer=parallel, jobs=2)
+        assert a.row() == b.row()
+        assert serial.counters.as_dict() == parallel.counters.as_dict()
+
+    def test_fuzz_counters_fold_in_parent(self):
+        tracer = Tracer()
+        report = run_fuzz(seed=5, count=3, tracer=tracer, jobs=1,
+                          check_faults=False)
+        assert tracer.counters.get("fuzz.cases") == 3
+        assert report.ok
