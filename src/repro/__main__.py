@@ -9,6 +9,9 @@ Commands:
 * ``schedule <kernel>`` — print the compiled long-instruction schedule.
 * ``compile <file>`` — compile a TinyFlow source file and print its
   schedule (and optionally run a function from it).
+* ``explain-deps <module> [fn]`` — dump the unified dependence graphs
+  (edge kind, latency, iteration distance, disambiguator verdict) the
+  scheduling core builds for a kernel or TinyFlow file.
 * ``fuzz`` — differential fuzzing (interpreter vs. VLIW sim) with
   deterministic fault injection and checkpoint/resume verification.
 * ``sweep`` — the quick numeric-suite table (E1-style).
@@ -196,6 +199,168 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _explain_module(args):
+    """(module, function name) for a kernel name or a TinyFlow file."""
+    if args.target in ALL_KERNELS:
+        from .harness import prepare_modules
+        kernel = get_kernel(args.target)
+        _, module = prepare_modules(kernel, args.n, unroll=args.unroll,
+                                    inline=48)
+        return module, args.func or kernel.func
+    from .frontend import compile_source
+    from .opt import classical_pipeline
+    with open(args.target) as handle:
+        module = compile_source(handle.read())
+    classical_pipeline(unroll_factor=args.unroll, inline_budget=48).run(
+        module)
+    if args.func:
+        return module, args.func
+    if len(module.functions) == 1:
+        return module, next(iter(module.functions))
+    raise SystemExit(f"explain-deps: pick a function from "
+                     f"{sorted(module.functions)}")
+
+
+def _acyclic_records(module, func, config, options):
+    """Per-trace graph dumps, walking traces like the compiler does."""
+    from .analysis import compute_liveness
+    from .disambig import Disambiguator, derive_memrefs
+    from .sched import build_acyclic_graph
+    from .trace import TraceSelector, clone_function
+    from .trace.profile import estimate_static
+
+    derive_memrefs(func)
+    work = clone_function(func)
+    disambig = Disambiguator(module)
+    live_in_map = dict(compute_liveness(work).live_in)
+    selector = TraceSelector(work, estimate_static(work))
+    entry_labels = {work.entry.name}
+    records = []
+    while True:
+        trace = selector.next_trace()
+        if trace is None:
+            break
+        graph = build_acyclic_graph(work, trace, disambig, config,
+                                    options, live_in_map, entry_labels)
+        records.append({
+            "blocks": list(trace.blocks),
+            "nodes": [_node_record(node) for node in graph.nodes],
+            "edges": [_edge_record(src, e)
+                      for src, edges in enumerate(graph.succs)
+                      for e in edges],
+        })
+        for node in graph.splits():
+            entry_labels.add(node.off_trace)
+        selector.mark_scheduled(trace)
+        for bname in trace.blocks:
+            work.remove_block(bname)
+    return records
+
+
+def _modulo_records(module, func, config):
+    """Distance-annotated graph dumps for every pipelinable loop."""
+    from .disambig import Disambiguator, derive_memrefs
+    from .ir import format_operation
+    from .pipeline import II_SEARCH, find_pipeline_loops
+    from .sched import build_modulo_graph, rec_mii, res_mii
+    from .trace import clone_function
+
+    derive_memrefs(func)
+    work = clone_function(func)
+    disambig = Disambiguator(module)
+    records = []
+    for loop, pl, why in find_pipeline_loops(work):
+        if pl is None:
+            records.append({"header": loop.header, "match": why})
+            continue
+        graph = build_modulo_graph(pl, config, disambig)
+        rmii = res_mii(graph.ops, config)
+        rcmii = rec_mii(graph, rmii + II_SEARCH)
+        records.append({
+            "header": pl.header, "match": why,
+            "res_mii": rmii, "rec_mii": rcmii,
+            "mii": max(2, rmii, rcmii) if rcmii is not None else None,
+            "ops": [format_operation(op) for op in graph.ops],
+            "edges": [_edge_record(src, e)
+                      for src, edges in enumerate(graph.succs)
+                      for e in edges],
+        })
+    return records
+
+
+def _node_record(node) -> dict:
+    from .ir import format_operation
+    rec = {"index": node.index, "kind": node.kind, "block": node.block}
+    if node.op is not None:
+        rec["op"] = format_operation(node.op)
+    if node.off_trace:
+        rec["off_trace"] = node.off_trace
+    return rec
+
+
+def _edge_record(src: int, edge) -> dict:
+    rec = {"src": src, "dst": edge.dst, "kind": edge.kind,
+           "latency": edge.latency}
+    if edge.dist:
+        rec["dist"] = edge.dist
+    if edge.verdict is not None:
+        rec["verdict"] = edge.verdict
+    return rec
+
+
+def _print_edges(edges) -> None:
+    for e in sorted(edges, key=lambda e: (e["src"], e["dst"], e["kind"])):
+        dist = f" dist={e['dist']}" if e.get("dist") else ""
+        verdict = f"  [{e['verdict']}]" if "verdict" in e else ""
+        print(f"    {e['src']:3} -> {e['dst']:3}  {e['kind']:<8}"
+              f" lat={e['latency']}{dist}{verdict}")
+
+
+def cmd_explain_deps(args) -> int:
+    module, fname = _explain_module(args)
+    if fname not in module.functions:
+        raise SystemExit(f"explain-deps: no function {fname!r}; choose "
+                         f"from {sorted(module.functions)}")
+    config = MachineConfig.from_pairs(args.pairs)
+    options = _options(args)
+    func = module.function(fname)
+    report = {
+        "function": fname, "unroll": args.unroll,
+        "config": f"TRACE {7 * args.pairs}/200",
+        "traces": _acyclic_records(module, func, config, options),
+        "loops": _modulo_records(module, func, config),
+    }
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"{fname}: unified dependence graphs "
+          f"({report['config']}, unroll={args.unroll})")
+    for i, rec in enumerate(report["traces"]):
+        print(f"\ntrace {i}: {' -> '.join(rec['blocks'])}  "
+              f"({len(rec['nodes'])} nodes, {len(rec['edges'])} edges)")
+        for node in rec["nodes"]:
+            body = node.get("op", node["kind"])
+            split = f"  (off-trace: {node['off_trace']})" \
+                if "off_trace" in node else ""
+            print(f"  [{node['index']:3}] {node['kind']:<5} "
+                  f"{node['block']:<10} {body}{split}")
+        print("  edges (kind, latency, disambiguator verdict):")
+        _print_edges(rec["edges"])
+    for rec in report["loops"]:
+        if "edges" not in rec:
+            print(f"\nloop @{rec['header']}: not pipelinable "
+                  f"({rec['match']})")
+            continue
+        print(f"\nloop @{rec['header']}: modulo graph  "
+              f"(ResMII={rec['res_mii']}, RecMII={rec['rec_mii']}, "
+              f"MII={rec['mii']})")
+        for i, op in enumerate(rec["ops"]):
+            print(f"  [{i:3}] {op}")
+        print("  edges (kind, latency, iteration distance, verdict):")
+        _print_edges(rec["edges"])
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from .harness.fuzz import run_fuzz
 
@@ -299,6 +464,30 @@ def main(argv=None) -> int:
                    help="arguments for --run")
     _add_machine_args(p)
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "explain-deps",
+        help="dump the scheduling core's dependence graphs for a kernel "
+             "or TinyFlow file (edge kind, latency, distance, verdict)")
+    p.add_argument("target",
+                   help="kernel name or path to a TinyFlow source file")
+    p.add_argument("func", nargs="?", default=None,
+                   help="function to explain (default: the kernel's entry "
+                        "function, or the file's only function)")
+    p.add_argument("-n", type=int, default=16,
+                   help="problem size for kernel targets (default 16)")
+    p.add_argument("--pairs", type=int, choices=(1, 2, 4), default=4,
+                   help="I-F board pairs (default 4 = TRACE 28/200)")
+    p.add_argument("--unroll", type=int, default=0,
+                   help="unroll factor before building graphs (default 0: "
+                        "rolled loops, so modulo graphs stay readable)")
+    p.add_argument("--no-speculation", action="store_true")
+    p.add_argument("--no-join-motion", action="store_true")
+    p.add_argument("--fast-fp", action="store_true",
+                   help="fast floating-point exception mode")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit one machine-readable JSON report")
+    p.set_defaults(fn=cmd_explain_deps)
 
     p = sub.add_parser(
         "fuzz", help="differential fuzzing with fault injection")

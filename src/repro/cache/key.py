@@ -24,7 +24,9 @@ from dataclasses import fields, is_dataclass
 
 #: Bump when the pickled artifact layout changes; every key embeds it, so
 #: stale on-disk entries from older schemas simply never match.
-CACHE_SCHEMA = 1
+#: 2: unified scheduling core (sched/) — schedules and telemetry may
+#: legally differ from schema-1 artifacts.
+CACHE_SCHEMA = 2
 
 
 def module_fingerprint(module) -> str:

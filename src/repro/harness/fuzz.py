@@ -16,6 +16,15 @@ trace-scheduled VLIW simulator three ways:
    memory as the uninterrupted run (the paper's precise-interrupt claim,
    section 4).
 
+Every case also runs a *metamorphic* check on the unified dependence
+engine: bijectively renaming all of a program's virtual registers (a
+seeded permutation of the existing names) must not change the edge
+structure — (src, dst, kind, latency) per trace — of any dependence
+graph the scheduling core builds for it.  Register names feed the
+builder only through def/use identity and the memory-reference
+annotations, both of which rename consistently, so any divergence means
+the builder depends on spelling, not structure.
+
 One extra scenario per report exercises the dismissable-load story: a
 profile-trained guard-branch program whose speculated load goes out of
 bounds at run time must dismiss (funny number, no trap) and still agree
@@ -35,6 +44,7 @@ program, the fault plan, and the checkpoint beat all derive from it.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 
 from ..faults import FaultInjector, InjectionPlan
@@ -87,6 +97,8 @@ class FuzzCase:
     degradations: int = 0
     #: loops the modulo scheduler took (0 under plain trace scheduling)
     loops_pipelined: int = 0
+    #: vreg renaming left the dependence-edge structure unchanged
+    renaming_verified: bool = False
 
     def fail(self, message: str) -> None:
         self.ok = False
@@ -124,11 +136,16 @@ class FuzzReport:
     def loops_pipelined(self) -> int:
         return sum(c.loops_pipelined for c in self.cases)
 
+    @property
+    def renamings_verified(self) -> int:
+        return sum(1 for c in self.cases if c.renaming_verified)
+
     def summary(self) -> str:
         lines = [f"fuzz: {len(self.cases)} cases, {self.n_failed} failed, "
                  f"{self.faults_fired} faults injected, "
                  f"{self.checkpoints_verified} checkpoint/resume round trips "
-                 f"verified"]
+                 f"verified, {self.renamings_verified} dep-graph renaming "
+                 f"invariance checks passed"]
         if self.loops_pipelined:
             lines.append(f"loops software-pipelined across cases: "
                          f"{self.loops_pipelined}")
@@ -149,11 +166,113 @@ class FuzzReport:
             "checkpoints_verified": self.checkpoints_verified,
             "dismissal_verified": self.dismissal_verified,
             "loops_pipelined": self.loops_pipelined,
+            "renamings_verified": self.renamings_verified,
             "failures": [f for c in self.cases for f in c.failures],
         }
 
 
 # ----------------------------------------------------------------------
+def _rename_vregs(module: Module, seed: int) -> None:
+    """Bijectively rename every vreg: a seeded permutation per function.
+
+    Permuting the *existing* names (rather than inventing fresh ones)
+    guarantees a bijection and maximally scrambles any name-ordering the
+    builder could accidentally depend on.  Memory annotations are
+    cleared; the caller re-derives them from the renamed defs.
+    """
+    rng = random.Random((seed << 1) ^ 0xC0FFEE)
+    for func in module.functions.values():
+        names: list[str] = []
+        seen: set[str] = set()
+
+        def note(value) -> None:
+            if isinstance(value, VReg) and value.name not in seen:
+                seen.add(value.name)
+                names.append(value.name)
+
+        for param in func.params:
+            note(param)
+        for block in func.blocks.values():
+            for op in block.ops:
+                note(op.dest)
+                for src in op.srcs:
+                    note(src)
+        shuffled = list(names)
+        rng.shuffle(shuffled)
+        mapping = dict(zip(names, shuffled))
+
+        def sub(value):
+            if isinstance(value, VReg):
+                return VReg(mapping[value.name], value.cls)
+            return value
+
+        func.params = [sub(param) for param in func.params]
+        for block in func.blocks.values():
+            for op in block.ops:
+                if op.dest is not None:
+                    op.dest = sub(op.dest)
+                op.srcs = [sub(src) for src in op.srcs]
+                op.memref = None
+
+
+def _dep_signature(module: Module, config: MachineConfig) -> list:
+    """Rename-invariant edge structure of every trace's dependence graph.
+
+    Walks traces exactly like the compiler (select, build, mark, remove)
+    but never schedules; the signature is (function, blocks, sorted
+    (src, dst, kind, latency) edge tuples) per trace, which mentions no
+    register names.
+    """
+    from ..analysis import compute_liveness
+    from ..disambig import Disambiguator, derive_memrefs
+    from ..sched import SchedulingOptions, build_acyclic_graph
+    from ..trace import TraceSelector, clone_function
+    from ..trace.profile import estimate_static
+
+    disambig = Disambiguator(module)
+    options = SchedulingOptions()
+    signature = []
+    for fname, func in module.functions.items():
+        derive_memrefs(func)
+        work = clone_function(func)
+        live_in_map = dict(compute_liveness(work).live_in)
+        selector = TraceSelector(work, estimate_static(work))
+        entry_labels = {work.entry.name}
+        while True:
+            trace = selector.next_trace()
+            if trace is None:
+                break
+            graph = build_acyclic_graph(work, trace, disambig, config,
+                                        options, live_in_map, entry_labels)
+            signature.append((fname, tuple(trace.blocks), tuple(sorted(
+                (src, e.dst, e.kind, e.latency)
+                for src, edges in enumerate(graph.succs) for e in edges))))
+            for node in graph.splits():
+                entry_labels.add(node.off_trace)
+            selector.mark_scheduled(trace)
+            for bname in trace.blocks:
+                work.remove_block(bname)
+    return signature
+
+
+def check_renaming_invariance(seed: int,
+                              config: MachineConfig = TRACE_28_200
+                              ) -> tuple[bool, str]:
+    """The dep-graph metamorphic check for one seed: (passed, detail)."""
+    baseline = _dep_signature(generate_program(seed), config)
+    renamed_module = generate_program(seed)
+    _rename_vregs(renamed_module, seed)
+    verify_module(renamed_module)
+    renamed = _dep_signature(renamed_module, config)
+    if baseline == renamed:
+        return True, ""
+    for want, have in zip(baseline, renamed):
+        if want != have:
+            return False, (f"dep graph changed under vreg renaming: "
+                           f"{want[0]} trace {list(want[1])}")
+    return False, "dep graph trace count changed under vreg renaming"
+
+
 def fuzz_one(seed: int, config: MachineConfig = TRACE_28_200,
              check_faults: bool = True,
              strategy: str = "trace") -> FuzzCase:
@@ -167,6 +286,12 @@ def fuzz_one(seed: int, config: MachineConfig = TRACE_28_200,
     module = generate_program(seed)
     ref = run_module(module, "main", ARGS)
     ref_arrays = _array_state(module, ref.memory)
+
+    renaming_ok, detail = check_renaming_invariance(seed, config)
+    if renaming_ok:
+        case.renaming_verified = True
+    else:
+        case.fail(detail)
 
     compiler = TraceCompiler(module, config, strategy=strategy)
     program = compiler.compile_module()

@@ -6,8 +6,8 @@ from .encoding import (BLOCK_INSTRUCTIONS, MASK_WORDS, DecodedOp,
                        encode_instruction, encode_op_word, pack_program,
                        unpack_program)
 from .resources import (F_UNITS, IALU_UNITS, Placement, ReservationTable,
-                        Unit, imm_value, latency_of, needs_imm_word,
-                        units_for)
+                        Unit, imm_value, latency_of, latency_table,
+                        needs_imm_word, units_for)
 from .schedule import (BranchTest, CompiledFunction, CompiledProgram,
                        LongInstruction, ScheduledOp, format_compiled,
                        is_phys, phys_index, phys_reg)
@@ -18,7 +18,8 @@ __all__ = [
     "decode_op_word", "encode_function", "encode_instruction",
     "encode_op_word", "pack_program", "unpack_program",
     "F_UNITS", "IALU_UNITS", "Placement", "ReservationTable", "Unit",
-    "imm_value", "latency_of", "needs_imm_word", "units_for",
+    "imm_value", "latency_of", "latency_table", "needs_imm_word",
+    "units_for",
     "BranchTest", "CompiledFunction", "CompiledProgram", "LongInstruction",
     "ScheduledOp", "format_compiled", "is_phys", "phys_index", "phys_reg",
 ]

@@ -110,88 +110,142 @@ class Placement:
 
 
 class ReservationTable:
-    """Tracks slot/bus/immediate usage over a trace's instructions.
+    """Tracks slot/bus/immediate usage over a run of instructions.
 
-    Cheap-to-grow row-per-instruction structure; the list scheduler probes
-    ``try_place`` for the earliest legal slot.
+    This is the single booking structure for compiler-owned resources:
+    the trace list scheduler and the modulo scheduler both reach it
+    through :class:`repro.sched.reservation.ReservationModel` (flat keys
+    for the trace, keys mod II for the kernel), and the pipeline
+    emitter's section packer uses it directly.
+
+    Every ``take_*`` records an *owner* token (default ``True``), so a
+    booking can later be given back with the matching ``release_*`` —
+    the iterative modulo scheduler evicts and re-places ops.  The
+    ``*_free`` / ``take_*``-raises-on-conflict surface is unchanged for
+    callers that never release.
     """
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
-        self._units: dict[tuple[int, int, Unit], bool] = {}
-        #: per (instruction, beat_offset): count of memory refs issued by
-        #: each pair's I board (max 1 per board per beat)
-        self._mem_issue: dict[tuple[int, int, int], bool] = {}
-        #: 32-bit bus reservations per absolute beat, per bus kind
-        self._buses: dict[tuple[str, int], int] = {}
-        #: shared 32-bit immediate word per (instruction, pair, beat_offset)
-        self._imm: dict[tuple[int, int, int], object] = {}
+        self._units: dict[tuple[int, int, Unit], object] = {}
+        #: per (instruction, pair, beat_offset): the memory ref issued by
+        #: that pair's I board (max 1 per board per beat)
+        self._mem_issue: dict[tuple[int, int, int], object] = {}
+        #: 32-bit bus reservations per beat, per bus kind: owner list in
+        #: booking order (capacity checks count the list)
+        self._buses: dict[tuple[str, int], list] = {}
+        #: shared 32-bit immediate word per (instruction, pair,
+        #: beat_offset): [value, owner set] — shareable by equal value
+        self._imm: dict[tuple[int, int, int], list] = {}
         #: branch test per (instruction, pair)
-        self._branch: dict[tuple[int, int], bool] = {}
+        self._branch: dict[tuple[int, int], object] = {}
+
+    def bus_limit(self, kind: str) -> int:
+        return {"iload": self.config.n_load_buses,
+                "fload": self.config.n_load_buses,
+                "store": self.config.n_store_buses}[kind]
 
     # -- units ------------------------------------------------------------
     def unit_free(self, instruction: int, pair: int, unit: Unit) -> bool:
-        return not self._units.get((instruction, pair, unit), False)
+        return (instruction, pair, unit) not in self._units
 
-    def take_unit(self, instruction: int, pair: int, unit: Unit) -> None:
+    def unit_owner(self, instruction: int, pair: int, unit: Unit):
+        """The booking's owner token, or None when the slot is free."""
+        return self._units.get((instruction, pair, unit))
+
+    def take_unit(self, instruction: int, pair: int, unit: Unit,
+                  owner=True) -> None:
         key = (instruction, pair, unit)
-        if self._units.get(key):
+        if key in self._units:
             raise ScheduleError(f"unit double-booked: {key}")
-        self._units[key] = True
+        self._units[key] = owner
+
+    def release_unit(self, instruction: int, pair: int, unit: Unit) -> None:
+        self._units.pop((instruction, pair, unit), None)
 
     # -- memory issue ports -------------------------------------------------
     def mem_issue_free(self, instruction: int, pair: int,
                        beat_offset: int) -> bool:
-        return not self._mem_issue.get((instruction, pair, beat_offset), False)
+        return (instruction, pair, beat_offset) not in self._mem_issue
+
+    def mem_issue_owner(self, instruction: int, pair: int, beat_offset: int):
+        return self._mem_issue.get((instruction, pair, beat_offset))
 
     def take_mem_issue(self, instruction: int, pair: int,
-                       beat_offset: int) -> None:
+                       beat_offset: int, owner=True) -> None:
         key = (instruction, pair, beat_offset)
-        if self._mem_issue.get(key):
+        if key in self._mem_issue:
             raise ScheduleError(f"memory port double-booked: {key}")
-        self._mem_issue[key] = True
+        self._mem_issue[key] = owner
+
+    def release_mem_issue(self, instruction: int, pair: int,
+                          beat_offset: int) -> None:
+        self._mem_issue.pop((instruction, pair, beat_offset), None)
 
     # -- buses ---------------------------------------------------------------
     def bus_free(self, kind: str, beat: int, beats: int = 1) -> bool:
-        limit = {"iload": self.config.n_load_buses,
-                 "fload": self.config.n_load_buses,
-                 "store": self.config.n_store_buses}[kind]
-        return all(self._buses.get((kind, beat + i), 0) < limit
+        limit = self.bus_limit(kind)
+        return all(len(self._buses.get((kind, beat + i), ())) < limit
                    for i in range(beats))
 
-    def take_bus(self, kind: str, beat: int, beats: int = 1) -> None:
+    def bus_holders(self, kind: str, beat: int) -> list:
+        """Owner tokens holding the bus at this beat, in booking order."""
+        return self._buses.get((kind, beat), [])
+
+    def take_bus(self, kind: str, beat: int, beats: int = 1,
+                 owner=True) -> None:
         if not self.bus_free(kind, beat, beats):
             raise ScheduleError(f"bus oversubscribed: {kind}@{beat}")
         for i in range(beats):
-            self._buses[(kind, beat + i)] = \
-                self._buses.get((kind, beat + i), 0) + 1
+            self._buses.setdefault((kind, beat + i), []).append(owner)
+
+    def release_bus(self, kind: str, beat: int, owner=True) -> None:
+        holders = self._buses.get((kind, beat))
+        if holders and owner in holders:
+            holders.remove(owner)
+            if not holders:
+                del self._buses[(kind, beat)]
 
     # -- immediates ------------------------------------------------------------
     def imm_free(self, instruction: int, pair: int, beat_offset: int,
                  value) -> bool:
         """One 32-bit immediate word per pair per beat, shareable by value."""
-        current = self._imm.get((instruction, pair, beat_offset), _NO_IMM)
-        return current is _NO_IMM or current == value
+        current = self._imm.get((instruction, pair, beat_offset))
+        return current is None or current[0] == value
+
+    def imm_entry(self, instruction: int, pair: int, beat_offset: int):
+        """``[value, owner set]`` for the booked word, or None when free."""
+        return self._imm.get((instruction, pair, beat_offset))
 
     def take_imm(self, instruction: int, pair: int, beat_offset: int,
-                 value) -> None:
+                 value, owner=True) -> None:
         if not self.imm_free(instruction, pair, beat_offset, value):
             raise ScheduleError("immediate word conflict")
-        self._imm[(instruction, pair, beat_offset)] = value
+        entry = self._imm.setdefault((instruction, pair, beat_offset),
+                                     [value, set()])
+        entry[1].add(owner)
+
+    def release_imm(self, instruction: int, pair: int, beat_offset: int,
+                    owner=True) -> None:
+        key = (instruction, pair, beat_offset)
+        entry = self._imm.get(key)
+        if entry is not None:
+            entry[1].discard(owner)
+            if not entry[1]:
+                del self._imm[key]
 
     # -- branches ------------------------------------------------------------
     def branch_free(self, instruction: int, pair: int) -> bool:
-        return not self._branch.get((instruction, pair), False)
+        return (instruction, pair) not in self._branch
 
-    def take_branch(self, instruction: int, pair: int) -> None:
+    def take_branch(self, instruction: int, pair: int, owner=True) -> None:
         key = (instruction, pair)
-        if self._branch.get(key):
+        if key in self._branch:
             raise ScheduleError(f"branch slot double-booked: {key}")
-        self._branch[key] = True
+        self._branch[key] = owner
 
     def branches_in(self, instruction: int) -> int:
-        return sum(1 for (ins, _), used in self._branch.items()
-                   if ins == instruction and used)
+        return sum(1 for (ins, _pair) in self._branch if ins == instruction)
 
 
 _NO_IMM = object()

@@ -1,163 +1,8 @@
-"""Distance-annotated dependence graph over one rotated loop iteration.
-
-Nodes are the rotated ops plus one pseudo-node for the loop branch (pinned
-by the scheduler at the last slot of the kernel).  Edges carry
-``(latency, dist)``: op ``dst`` of iteration ``a + dist`` may issue no
-earlier than ``latency`` beats after op ``src`` of iteration ``a``.
-
-Register edges are RAW only — modulo variable expansion (see ``emit.py``)
-renames every per-iteration definition, so WAR/WAW never constrain the
-schedule.  Memory edges come from the disambiguator: each ordered pair of
-references is probed at increasing iteration distance and the *smallest*
-conflicting distance yields one edge (a distance-``d`` ordering edge
-subsumes all larger distances).  References are shifted across iterations
-by ``coeff * d * step`` for every annotation variable naming a loop IV —
-the same arithmetic the unroller applies to its copies.
-"""
+"""Re-export shim: the loop dependence builder now lives in the unified
+scheduling core — :mod:`repro.sched.deps` in modulo mode."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..sched.deps import (MAX_DIST, LoopDep, LoopGraph, build_loop_graph)
 
-from ..disambig import Answer
-from ..ir import MemRef, Operation, VReg
-from ..machine import MachineConfig, latency_of
-from .shape import PipelineLoop
-
-#: iteration-distance horizon for memory probing: the scheduler caps the
-#: flat schedule at MAX_STAGES stages, and the longest latency (FDIV, 25
-#: beats) spans at most ceil(25/4) extra kernel rounds at the minimum
-#: II of 2 — constraints at larger distances are satisfied by any legal
-#: flat schedule, so probing past this is pure waste
-MAX_DIST = 16
-
-
-@dataclass
-class LoopDep:
-    """One dependence edge of the loop graph."""
-
-    src: int
-    dst: int          #: op index, or ``graph.branch`` for the loop branch
-    latency: int
-    dist: int         #: iteration distance (0 = same iteration)
-    kind: str         #: "reg" | "ctrl" | "mem"
-
-
-class LoopGraph:
-    """Rotated ops + distance edges for one pipelinable loop."""
-
-    def __init__(self, loop: PipelineLoop, config: MachineConfig) -> None:
-        self.loop = loop
-        self.config = config
-        self.ops: list[Operation] = loop.rot_ops
-        #: pseudo-node index for the loop branch
-        self.branch: int = len(self.ops)
-        self.edges: list[LoopDep] = []
-        self.succs: list[list[LoopDep]] = \
-            [[] for _ in range(len(self.ops) + 1)]
-        self.preds: list[list[LoopDep]] = \
-            [[] for _ in range(len(self.ops) + 1)]
-        #: rotated-iteration definition point of each register
-        self.defs_at: dict[VReg, int] = {}
-        for i, op in enumerate(self.ops):
-            if op.dest is not None:
-                self.defs_at[op.dest] = i
-        #: memref annotation variable -> per-iteration step
-        self.iv_names: dict[str, int] = {
-            reg.name: step for reg, step in loop.steps.items()}
-        self._loop_def_names = {r.name for r in self.defs_at}
-
-    def add_edge(self, src: int, dst: int, latency: int, dist: int,
-                 kind: str) -> None:
-        edge = LoopDep(src, dst, latency, dist, kind)
-        self.edges.append(edge)
-        self.succs[src].append(edge)
-        self.preds[dst].append(edge)
-
-    # ------------------------------------------------------------------
-    def use_distance(self, use_index: int, src: VReg) -> int | None:
-        """Iteration distance of a register read, or None for invariants."""
-        d = self.defs_at.get(src)
-        if d is None:
-            return None
-        return 0 if d < use_index else 1
-
-    def stride(self, op_index: int) -> int:
-        """Per-iteration address delta of a memory op's reference."""
-        ref = self.ops[op_index].memref
-        if ref is None:
-            return 0
-        return sum(coeff * self.iv_names[var]
-                   for var, coeff in ref.coeffs if var in self.iv_names)
-
-    def shiftable_ref(self, op_index: int) -> MemRef | None:
-        """The op's memref when it can be advanced across iterations.
-
-        A reference is shiftable when every annotation variable is either
-        a loop IV (shift by ``coeff * d * step``) or loop-invariant
-        (contributes nothing).  A variable naming a loop-varying non-IV
-        register makes cross-iteration comparison unsound — treat as
-        unknown.
-        """
-        ref = self.ops[op_index].memref
-        if ref is None:
-            return None
-        for var, _coeff in ref.coeffs:
-            if var in self._loop_def_names and var not in self.iv_names:
-                return None
-        return ref
-
-    def shifted_ref(self, op_index: int, dist: int) -> MemRef | None:
-        """The op's reference as seen ``dist`` iterations later."""
-        ref = self.shiftable_ref(op_index)
-        if ref is None:
-            return None
-        delta = self.stride(op_index) * dist
-        return ref.shifted(delta) if delta else ref
-
-
-def build_loop_graph(loop: PipelineLoop, config: MachineConfig,
-                     disambiguator) -> LoopGraph:
-    """Construct the full dependence graph for one matched loop."""
-    g = LoopGraph(loop, config)
-    ops = g.ops
-
-    # --- register RAW (the only register edges; MVE handles the rest) ---
-    for i, op in enumerate(ops):
-        for src in set(op.reg_srcs()):
-            d = g.defs_at.get(src)
-            if d is None:
-                continue
-            dist = 0 if d < i else 1
-            g.add_edge(d, i, latency_of(ops[d], config), dist, "reg")
-
-    # --- control: the exit test must land before the branch reads it ---
-    cmp_index = g.defs_at[loop.pred]
-    g.add_edge(cmp_index, g.branch,
-               latency_of(ops[cmp_index], config), 0, "ctrl")
-
-    # --- memory ordering --------------------------------------------------
-    mem = [i for i, op in enumerate(ops) if op.is_memory]
-    store_load_lat = max(1, config.lat_mem - 2)   # no store forwarding
-    for u in mem:
-        for v in mem:
-            if ops[u].is_load and ops[v].is_load:
-                continue
-            # ordered pair: u of iteration a, v of iteration a + d.  Within
-            # one iteration (d = 0) only program order u-before-v matters;
-            # self-pairs and reversed pairs start at distance 1.
-            d_start = 0 if u < v else 1
-            latency = store_load_lat \
-                if ops[u].is_store and ops[v].is_load else 1
-            ref_u = g.shiftable_ref(u)
-            if ref_u is None or g.shiftable_ref(v) is None:
-                # unknown reference: conservatively serialize at the
-                # smallest distance (subsumes every larger one)
-                g.add_edge(u, v, latency, d_start, "mem")
-                continue
-            for d in range(d_start, MAX_DIST + 1):
-                if disambiguator.alias(ref_u, g.shifted_ref(v, d)) \
-                        is not Answer.NO:
-                    g.add_edge(u, v, latency, d, "mem")
-                    break
-    return g
+__all__ = ["MAX_DIST", "LoopDep", "LoopGraph", "build_loop_graph"]

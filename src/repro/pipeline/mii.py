@@ -1,146 +1,14 @@
-"""Minimum initiation interval bounds and modulo-schedule orderings.
-
-ResMII counts the machine resources one iteration consumes against what
-one kernel instruction supplies (paper section 5's per-pair functional
-units, the per-pair per-beat memory ports, and the load/store buses —
-wide ops hold a bus two beats).  RecMII is the recurrence bound: at
-initiation interval II, every dependence cycle must satisfy
-``sum(latency) <= 2 * II * sum(dist)`` (a kernel instruction is 2 beats),
-checked as Bellman-Ford positive-cycle detection with edge weights
-``latency - 2*II*dist``.
-"""
+"""Re-export shim: MII bounds and modulo orderings now live in the
+unified scheduling core (:mod:`repro.sched.core` for the Bellman-Ford
+utilities, :mod:`repro.sched.reservation` for ResMII)."""
 
 from __future__ import annotations
 
-import math
+from ..sched.core import MAX_STAGES, rec_mii
+from ..sched.core import cycle_free as _cycle_free
+from ..sched.core import modulo_deadlines as deadlines
+from ..sched.core import modulo_heights as heights
+from ..sched.reservation import res_mii
 
-from ..ir import Opcode, RegClass
-from ..machine import MachineConfig
-from .depgraph import LoopGraph
-
-#: flat schedules deeper than this are rejected (prologue/epilogue code
-#: growth is linear in the stage count; past this the transform cannot pay)
-MAX_STAGES = 8
-
-#: categories restricted to the integer ALUs (4 per pair)
-_IALU_ONLY = {"int_cmp", "int_mul", "int_div", "load", "store"}
-#: categories restricted to the F-board adder (1 per pair)
-_FALU_ONLY = {"flt_add", "flt_cmp", "cvt"}
-#: categories restricted to the F-board multiplier (1 per pair)
-_FMUL_ONLY = {"flt_mul", "flt_div"}
-
-#: memory ops whose bus transfer holds the bus for two beats
-_WIDE = {Opcode.FLOAD, Opcode.FLOADS, Opcode.FSTORE}
-
-
-def res_mii(ops, config: MachineConfig) -> int:
-    """Resource-constrained lower bound on II, in instructions."""
-    pairs = config.n_pairs
-    ialu = falu = fmul = flexible = n_mem = 0
-    bus_beats = {"iload": 0, "fload": 0, "store": 0}
-    for op in ops:
-        cat = op.category.value
-        if cat in _IALU_ONLY:
-            ialu += 1
-        elif cat in _FALU_ONLY:
-            falu += 1
-        elif cat in _FMUL_ONLY:
-            fmul += 1
-        else:
-            flexible += 1
-        if op.is_memory:
-            n_mem += 1
-            beats = 2 if op.opcode in _WIDE else 1
-            if op.is_store:
-                bus_beats["store"] += beats
-            elif op.dest is not None and op.dest.cls is RegClass.FLT:
-                bus_beats["fload"] += beats
-            else:
-                bus_beats["iload"] += beats
-    bound = max(
-        math.ceil(ialu / (4 * pairs)),
-        math.ceil(falu / pairs),
-        math.ceil(fmul / pairs),
-        math.ceil((ialu + falu + fmul + flexible) / (6 * pairs)),
-        # one memory port per pair per beat, 2 beats per instruction
-        math.ceil(n_mem / (2 * pairs)),
-        math.ceil(bus_beats["iload"] / (2 * config.n_load_buses)),
-        math.ceil(bus_beats["fload"] / (2 * config.n_load_buses)),
-        math.ceil(bus_beats["store"] / (2 * config.n_store_buses)),
-    )
-    return max(1, bound)
-
-
-def _cycle_free(graph: LoopGraph, ii: int) -> bool:
-    """No positive-weight cycle under weights ``latency - 2*II*dist``."""
-    n = len(graph.ops)
-    dist = [0] * n
-    for round_ in range(n + 1):
-        changed = False
-        for e in graph.edges:
-            if e.dst >= n:          # edges into the branch never cycle
-                continue
-            w = e.latency - 2 * ii * e.dist
-            if dist[e.src] + w > dist[e.dst]:
-                dist[e.dst] = dist[e.src] + w
-                changed = True
-        if not changed:
-            return True
-    return False
-
-
-def rec_mii(graph: LoopGraph, hi: int) -> int | None:
-    """Smallest II in [1, hi] with no positive cycle, or None."""
-    if _cycle_free(graph, hi):
-        lo, top = 1, hi
-        while lo < top:             # feasibility is monotone in II
-            mid = (lo + top) // 2
-            if _cycle_free(graph, mid):
-                top = mid
-            else:
-                lo = mid + 1
-        return lo
-    return None
-
-
-def heights(graph: LoopGraph, ii: int) -> list[int] | None:
-    """Priority heights: longest latency-path to any sink at this II."""
-    n = len(graph.ops)
-    h = [0] * (n + 1)
-    for round_ in range(n + 2):
-        changed = False
-        for e in graph.edges:
-            w = e.latency - 2 * ii * e.dist
-            if h[e.dst] + w > h[e.src]:
-                h[e.src] = h[e.dst] + w
-                changed = True
-        if not changed:
-            return h[:n]
-    return None                     # positive cycle (caller screens first)
-
-
-def deadlines(graph: LoopGraph, ii: int) -> list[int] | None:
-    """Latest legal issue beat per op, or None when II is infeasible.
-
-    The loop branch is pinned at flat beat ``2*(II-1)`` (last slot of
-    stage 0) and reads its predicate at that beat; deadlines relax
-    backward from it.  Unconstrained ops are capped by the stage limit.
-    """
-    n = len(graph.ops)
-    cap = 2 * ii * MAX_STAGES - 1
-    dl = [cap] * (n + 1)
-    dl[graph.branch] = 2 * (ii - 1)
-    for round_ in range(n + 2):
-        changed = False
-        for e in graph.edges:
-            limit = dl[e.dst] - e.latency + 2 * ii * e.dist
-            if limit < dl[e.src]:
-                dl[e.src] = limit
-                changed = True
-        if not changed:
-            break
-    else:
-        return None
-    if any(d < 0 for d in dl[:n]):
-        return None
-    return dl[:n]
+__all__ = ["MAX_STAGES", "_cycle_free", "deadlines", "heights", "rec_mii",
+           "res_mii"]

@@ -1,131 +1,8 @@
-"""The modulo reservation table.
-
-Same resource model as the trace scheduler's
-:class:`~repro.machine.resources.ReservationTable` — functional-unit
-slots, per-pair per-beat memory ports, load/store buses (wide transfers
-hold a bus two beats), the shared per-pair immediate word, — but keyed
-*modulo* the initiation interval: an op at flat instruction ``f`` owns its
-resources in every kernel round, so two ops conflict when their slots
-collide mod II (buses: beats mod 2*II, with wide holds wrapping).
-
-Unlike the trace table this one supports *release*: the iterative modulo
-scheduler evicts and re-places ops, so every placement returns a
-:class:`Reservation` recording exactly which keys it took.
-"""
+"""Re-export shim: the modulo reservation table is the unified
+:class:`repro.sched.reservation.ReservationModel` in modulo-II keying."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..sched.reservation import ModuloTable, Reservation
 
-from ..machine import (MachineConfig, Unit, imm_value, needs_imm_word,
-                       units_for)
-
-
-@dataclass
-class Reservation:
-    """One op's placement plus the exact resource keys it holds."""
-
-    index: int                    #: rotated-op index
-    f: int                        #: flat schedule instruction
-    pair: int
-    unit: Unit
-    beat: int                     #: flat issue beat: 2*f + unit offset
-    m: int                        #: f mod II (kernel slot)
-    mem_key: tuple | None = None
-    bus_kind: str | None = None
-    bus_beats: tuple[int, ...] = ()
-    imm_key: tuple | None = None
-    imm_val: object = None
-
-
-class ModuloTable:
-    """Kernel-periodic resource bookkeeping for one candidate II."""
-
-    def __init__(self, config: MachineConfig, ii: int) -> None:
-        self.config = config
-        self.ii = ii
-        self.units: dict[tuple, int] = {}       # (m, pair, unit) -> op
-        self.mem: dict[tuple, int] = {}         # (m, pair, offset) -> op
-        self.bus: dict[tuple, list[int]] = {}   # (kind, beat%2ii) -> ops
-        self.imm: dict[tuple, list] = {}        # (m, pair, off) -> [val, set]
-        self._bus_limit = {"iload": config.n_load_buses,
-                           "fload": config.n_load_buses,
-                           "store": config.n_store_buses}
-
-    # ------------------------------------------------------------------
-    def bus_plan(self, op, issue_beat: int) -> tuple[str, tuple[int, ...]]:
-        """(bus kind, occupied beats mod 2*II) for one memory op."""
-        from ..ir import RegClass
-        wide = op.opcode.name in ("FLOAD", "FLOADS", "FSTORE")
-        beats = 2 if wide else 1
-        if op.is_store:
-            kind, start = "store", issue_beat + 2
-        else:
-            kind = "fload" if op.dest is not None \
-                and op.dest.cls is RegClass.FLT else "iload"
-            start = issue_beat + self.config.lat_mem - 2
-        period = 2 * self.ii
-        return kind, tuple((start + k) % period for k in range(beats))
-
-    # ------------------------------------------------------------------
-    def conflicts(self, op, f: int, pair: int, unit: Unit) -> set[int]:
-        """Ops whose eviction would free this slot (empty set = free)."""
-        m = f % self.ii
-        beat = 2 * f + unit.beat_offset
-        out: set[int] = set()
-        occupant = self.units.get((m, pair, unit))
-        if occupant is not None:
-            out.add(occupant)
-        if op.is_memory:
-            occupant = self.mem.get((m, pair, unit.beat_offset))
-            if occupant is not None:
-                out.add(occupant)
-            kind, beats = self.bus_plan(op, beat)
-            for b in beats:
-                holders = self.bus.get((kind, b), [])
-                excess = len(holders) + 1 - self._bus_limit[kind]
-                if excess > 0:
-                    out.update(holders[:excess])
-        if needs_imm_word(op):
-            value = imm_value(op)
-            current = self.imm.get((m, pair, unit.beat_offset))
-            if current is not None and current[0] != value:
-                out.update(current[1])
-        return out
-
-    def place(self, op, index: int, f: int, pair: int,
-              unit: Unit) -> Reservation:
-        """Take the slot's resources (the slot must be conflict-free)."""
-        m = f % self.ii
-        beat = 2 * f + unit.beat_offset
-        res = Reservation(index, f, pair, unit, beat, m)
-        self.units[(m, pair, unit)] = index
-        if op.is_memory:
-            res.mem_key = (m, pair, unit.beat_offset)
-            self.mem[res.mem_key] = index
-            kind, beats = self.bus_plan(op, beat)
-            res.bus_kind, res.bus_beats = kind, beats
-            for b in beats:
-                self.bus.setdefault((kind, b), []).append(index)
-        if needs_imm_word(op):
-            value = imm_value(op)
-            res.imm_key, res.imm_val = (m, pair, unit.beat_offset), value
-            entry = self.imm.setdefault(res.imm_key, [value, set()])
-            entry[1].add(index)
-        return res
-
-    def release(self, res: Reservation) -> None:
-        """Give back everything a reservation holds (for eviction)."""
-        self.units.pop((res.m, res.pair, res.unit), None)
-        if res.mem_key is not None:
-            self.mem.pop(res.mem_key, None)
-        for b in res.bus_beats:
-            holders = self.bus.get((res.bus_kind, b))
-            if holders and res.index in holders:
-                holders.remove(res.index)
-        if res.imm_key is not None:
-            entry = self.imm.get(res.imm_key)
-            if entry is not None:
-                entry[1].discard(res.index)
-                if not entry[1]:
-                    del self.imm[res.imm_key]
+__all__ = ["ModuloTable", "Reservation"]

@@ -1,20 +1,23 @@
 """Iterative modulo scheduling (Rau-style) over a loop graph.
 
-The scheduler searches initiation intervals upward from
-``MII = max(2, ResMII, RecMII)``.  At each candidate II it places rotated
-ops into a :class:`~repro.pipeline.mrt.ModuloTable` in height order, with
+A thin strategy over the unified scheduling core: the scheduler searches
+initiation intervals upward from ``MII = max(2, ResMII, RecMII)`` (both
+bounds from :mod:`repro.sched`).  At each candidate II it places rotated
+ops into the modulo view of the unified
+:class:`~repro.sched.reservation.ReservationModel` in height order, with
 the loop branch pinned at flat beat ``2*(II-1)`` (the predicate read of
 the last kernel instruction).  An op with no conflict-free slot is
 *force-placed* at the cheapest slot of the next instruction it has not
 yet tried, evicting whatever is in the way; eviction plus a per-II
 operation budget gives the iterative behaviour its name.
 
-Memory placement legality goes beyond the reservation table: two memory
-ops whose steady-state issue beats fall within the bank-busy window are
-checked through the disambiguator at the implied iteration distance.
-A provable same-bank collision (or a same-beat pair without a provable
-controller split — the simulator treats that as a compiler bug) makes the
-slot illegal; an unprovable one is a *bank gamble*, taken only under
+Memory placement legality beyond the reservation table comes from the
+shared :class:`~repro.sched.reservation.BankChecker`: two memory ops
+whose steady-state issue beats fall within the bank-busy window are
+checked at the implied iteration distance.  A provable same-bank
+collision (or a same-beat pair without a provable controller split — the
+simulator treats that as a compiler bug) makes the slot illegal; an
+unprovable one is a *bank gamble*, taken only under
 ``SchedulingOptions.bank_gamble`` and marked on the schedule so the
 simulator can account for the stall risk.
 
@@ -27,20 +30,20 @@ checking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from ..disambig import Answer
+from ..disambig import Answer, Disambiguator
 from ..errors import PipelineError
 from ..machine import MachineConfig, Unit, units_for
-from .depgraph import LoopGraph
-from .mii import MAX_STAGES, _cycle_free, deadlines, heights, rec_mii, res_mii
-from .mrt import ModuloTable, Reservation
+from ..sched.core import (MAX_STAGES, Scheduler, SchedulingOptions,
+                          cycle_free, modulo_deadlines, modulo_heights,
+                          rec_mii)
+from ..sched.deps import ModuloGraph
+from ..sched.reservation import (ILLEGAL, BankChecker, Reservation,
+                                 ReservationModel, res_mii)
 
 #: candidate IIs tried above the MII before the loop is given up
 II_SEARCH = 32
-
-#: beat separations at which two accesses can hit a busy bank
-#: (``bank_busy = issue + 4`` with a strict comparison: within 3 beats)
-_BANK_WINDOW = 3
 
 
 @dataclass
@@ -65,20 +68,17 @@ class ModuloSchedule:
         return self.placements[index][0] % self.ii
 
 
-class ModuloScheduler:
+class ModuloScheduler(Scheduler):
     """One-shot scheduler for one loop graph (``run()`` once)."""
 
-    def __init__(self, graph: LoopGraph, config: MachineConfig,
-                 disambiguator, options) -> None:
-        self.graph = graph
-        self.config = config
-        self.disambiguator = disambiguator
-        self.options = options
+    def __init__(self, graph: ModuloGraph, config: MachineConfig,
+                 disambiguator: Disambiguator,
+                 options: Optional[SchedulingOptions] = None) -> None:
+        super().__init__(graph, config, disambiguator, options)
         # disambiguation answers depend only on (op, op, iteration
-        # distance), never on candidate beats — memoized across the
-        # whole II search
-        self._bank_memo: dict[tuple, Answer] = {}
-        self._ctrl_memo: dict[tuple, Answer] = {}
+        # distance), never on candidate beats — the checker memoizes
+        # them across the whole II search
+        self.checker = BankChecker(disambiguator, config, self.options)
 
     # ------------------------------------------------------------------
     def run(self) -> ModuloSchedule:
@@ -106,16 +106,16 @@ class ModuloScheduler:
                 rcmii: int) -> ModuloSchedule | None:
         g = self.graph
         n = len(g.ops)
-        if not _cycle_free(g, ii):
+        if not cycle_free(g, ii):
             return None
-        dl = deadlines(g, ii)
+        dl = modulo_deadlines(g, ii)
         if dl is None:
             return None
-        h = heights(g, ii)
+        h = modulo_heights(g, ii)
         if h is None:
             return None
         order = sorted(range(n), key=lambda i: (-h[i], i))
-        mrt = ModuloTable(self.config, ii)
+        mrt = ReservationModel(self.config, ii)
         placed: dict[int, Reservation] = {}
         prev_f = [-1] * n
         budget = 50 + 8 * n
@@ -151,7 +151,7 @@ class ModuloScheduler:
         return sched
 
     # -- placement ------------------------------------------------------
-    def _place_free(self, mrt: ModuloTable, placed: dict, u: int,
+    def _place_free(self, mrt: ReservationModel, placed: dict, u: int,
                     estart: int, deadline: int,
                     ii: int) -> Reservation | None:
         """Earliest conflict-free slot with beat in [estart, deadline]."""
@@ -178,7 +178,7 @@ class ModuloScheduler:
                         return mrt.place(op, u, f, pair, unit)
         return None
 
-    def _place_forced(self, mrt: ModuloTable, placed: dict, u: int,
+    def _place_forced(self, mrt: ReservationModel, placed: dict, u: int,
                       estart: int, deadline: int, prev_f: list[int],
                       ii: int) -> Reservation | None:
         """Take a slot by eviction, one instruction past the last try."""
@@ -206,7 +206,7 @@ class ModuloScheduler:
             f += 1
         return None
 
-    def _evict_violators(self, mrt: ModuloTable, placed: dict, u: int,
+    def _evict_violators(self, mrt: ReservationModel, placed: dict, u: int,
                          ii: int) -> None:
         """Unplace neighbours whose distance constraint ``u`` now breaks."""
         g = self.graph
@@ -225,7 +225,7 @@ class ModuloScheduler:
 
     # -- memory-bank legality ------------------------------------------
     def _mem_conflicts(self, placed: dict, u: int, beat_u: int,
-                      ii: int) -> set[int]:
+                       ii: int) -> set[int]:
         """Placed memory ops that make issuing ``u`` at this beat illegal."""
         out: set[int] = set()
         for v, rv in placed.items():
@@ -239,21 +239,15 @@ class ModuloScheduler:
                     ii: int) -> bool:
         period = 2 * ii
         diff = bv - bu
-        for db in range(-_BANK_WINDOW, _BANK_WINDOW + 1):
+        window = self.checker.window
+        for db in range(1 - window, window):
             if (db - diff) % period:
                 continue
             d = (db - diff) // period
-            if db == 0:
-                # simultaneous issue: the simulator faults on a same-beat
-                # same-controller pair, so the split must be *provable*
-                if self._controller_answer(u, v, d) is not Answer.NO:
-                    return False
-            else:
-                ans = self._bank_answer(u, v, d)
-                if ans is Answer.YES:
-                    return False
-                if ans is Answer.MAYBE and not self.options.bank_gamble:
-                    return False
+            verdict = self.checker.check((u, v, d), self._refs_at(u, v, d),
+                                         db == 0)
+            if verdict == ILLEGAL:
+                return False
         return True
 
     def _refs_at(self, u: int, v: int, d: int):
@@ -266,44 +260,25 @@ class ModuloScheduler:
             return None
         return ru, rv
 
-    def _bank_answer(self, u: int, v: int, d: int) -> Answer:
-        key = (u, v, d)
-        ans = self._bank_memo.get(key)
-        if ans is None:
-            refs = self._refs_at(u, v, d)
-            ans = Answer.MAYBE if refs is None else \
-                self.disambiguator.bank_equal(refs[0], refs[1],
-                                              self.config.total_banks)
-            self._bank_memo[key] = ans
-        return ans
-
-    def _controller_answer(self, u: int, v: int, d: int) -> Answer:
-        key = (u, v, d)
-        ans = self._ctrl_memo.get(key)
-        if ans is None:
-            refs = self._refs_at(u, v, d)
-            ans = Answer.MAYBE if refs is None else \
-                self.disambiguator.controller_equal(
-                    refs[0], refs[1], self.config.n_controllers)
-            self._ctrl_memo[key] = ans
-        return ans
-
     def _mark_gambles(self, sched: ModuloSchedule, placed: dict,
                       ii: int) -> None:
         """Flag the ops whose steady-state bank proximity is unproven."""
         g = self.graph
         mem = [(i, r) for i, r in placed.items() if g.ops[i].is_memory]
         period = 2 * ii
+        window = self.checker.window
         pairs = 0
         for a, (u, ru) in enumerate(mem):
             for v, rv in mem[a + 1:]:
                 diff = rv.beat - ru.beat
                 hit = False
-                for db in range(-_BANK_WINDOW, _BANK_WINDOW + 1):
+                for db in range(1 - window, window):
                     if db == 0 or (db - diff) % period:
                         continue
                     d = (db - diff) // period
-                    if self._bank_answer(u, v, d) is Answer.MAYBE:
+                    answer = self.checker.bank_answer(
+                        (u, v, d), self._refs_at(u, v, d))
+                    if answer is Answer.MAYBE:
                         hit = True
                         # the later access of the pair takes the stall
                         sched.gambles.add(v if db > 0 else u)

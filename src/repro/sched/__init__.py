@@ -1,0 +1,40 @@
+"""The unified scheduling core shared by both loop engines.
+
+One dependence engine, one resource model, one scheduler interface:
+
+* :mod:`~repro.sched.deps` — the dependence-graph builder, parameterized
+  acyclic (trace) vs. modulo (iteration-distance) mode.
+* :mod:`~repro.sched.reservation` — the reservation model (flat or
+  modulo-II keying), bank legality + the bank-stall gamble, ResMII.
+* :mod:`~repro.sched.core` — the :class:`Scheduler` strategy interface,
+  scheduling options, and shared priority/critical-path utilities.
+
+The trace list scheduler (:mod:`repro.trace.scheduler`) and the modulo
+scheduler (:mod:`repro.pipeline.scheduler`) are thin strategies over
+this package.
+"""
+
+from .core import (MAX_STAGES, Scheduler, SchedulingOptions,
+                   acyclic_heights, cycle_free, modulo_deadlines,
+                   modulo_heights, modulo_weight, rec_mii)
+from .deps import (MAX_DIST, AcyclicGraph, DepEdge, DepGraph, Edge,
+                   LoopDep, LoopGraph, ModuloGraph, Node, TraceGraph,
+                   build_acyclic_graph, build_loop_graph,
+                   build_modulo_graph, build_trace_graph, linearize,
+                   store_load_latency)
+from .reservation import (GAMBLE, ILLEGAL, OK, WIDE_MEM_OPS, BankChecker,
+                          ModuloTable, Reservation, ReservationModel,
+                          bus_plan, res_mii)
+
+__all__ = [
+    "MAX_STAGES", "Scheduler", "SchedulingOptions",
+    "acyclic_heights", "cycle_free", "modulo_deadlines", "modulo_heights",
+    "modulo_weight", "rec_mii",
+    "MAX_DIST", "AcyclicGraph", "DepEdge", "DepGraph", "Edge", "LoopDep",
+    "LoopGraph", "ModuloGraph", "Node", "TraceGraph",
+    "build_acyclic_graph", "build_loop_graph", "build_modulo_graph",
+    "build_trace_graph", "linearize", "store_load_latency",
+    "GAMBLE", "ILLEGAL", "OK", "WIDE_MEM_OPS", "BankChecker",
+    "ModuloTable", "Reservation", "ReservationModel", "bus_plan",
+    "res_mii",
+]

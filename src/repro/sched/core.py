@@ -1,0 +1,182 @@
+"""Scheduler interface and shared priority / critical-path utilities.
+
+Both loop engines — the trace list scheduler and the iterative modulo
+scheduler — are *strategies* over the same core: they consume the unified
+dependence graph (:mod:`repro.sched.deps`), reserve machine resources
+through the unified reservation model (:mod:`repro.sched.reservation`),
+and order their work by the longest-path priorities computed here.
+
+The priority math comes in two flavours matching the two graph modes:
+
+* **acyclic** — one reverse topological sweep (trace graphs are built in
+  program order, so every edge points forward);
+* **modulo** — iterative Bellman-Ford relaxation under edge weights
+  ``latency - 2 * II * dist`` (a kernel instruction is 2 beats), which
+  also yields positive-cycle detection (RecMII) and the branch-pinned
+  deadlines of the modulo scheduler.  RecMII therefore reuses the shared
+  dependence graph directly: the recurrence bound is a property of the
+  distance-annotated edges, not of any scheduler.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:                                    # pragma: no cover
+    from ..disambig import Disambiguator
+    from ..machine.config import MachineConfig
+    from .deps import AcyclicGraph, DepEdge, ModuloGraph
+
+#: flat modulo schedules deeper than this are rejected (prologue/epilogue
+#: code growth is linear in the stage count; past this the transform
+#: cannot pay)
+MAX_STAGES = 8
+
+
+@dataclass
+class SchedulingOptions:
+    """Knobs for ablation experiments, shared by both loop engines."""
+
+    #: allow upward motion past splits (speculation); off = basic-block-ish
+    speculation: bool = True
+    #: allow upward motion past side entrances (join compensation)
+    join_motion: bool = True
+    #: fast FP exception mode (paper section 7): trapping float ops may be
+    #: speculated because exceptions propagate as NaN/Inf instead of trapping
+    fast_fp: bool = False
+    #: schedule memory ops into potentially-conflicting ("maybe") bank slots
+    #: and let the hardware bank-stall absorb real conflicts (section 6.4.4)
+    bank_gamble: bool = True
+    #: FORTRAN argument semantics: distinct pointer arguments never alias
+    #: (the source language guarantees it); their bank residues stay
+    #: unknown, so the gamble still applies
+    fortran_args: bool = False
+
+
+class Scheduler(ABC):
+    """One scheduling strategy over the unified core.
+
+    A scheduler is constructed around one dependence graph, one machine
+    configuration, one disambiguator, and one set of options, and is run
+    exactly once.  Concrete strategies:
+    :class:`~repro.trace.scheduler.ListScheduler` (acyclic graphs) and
+    :class:`~repro.pipeline.scheduler.ModuloScheduler` (modulo graphs).
+    """
+
+    def __init__(self, graph: Any, config: "MachineConfig",
+                 disambiguator: "Disambiguator",
+                 options: Optional[SchedulingOptions] = None) -> None:
+        self.graph = graph
+        self.config = config
+        self.disambiguator = disambiguator
+        self.options = options if options is not None else SchedulingOptions()
+
+    @abstractmethod
+    def run(self) -> Any:
+        """Produce this strategy's schedule (call once)."""
+
+
+# -- acyclic priorities -----------------------------------------------------
+
+#: instruction-ordering edge weights in beats: a strict instruction
+#: ordering costs one 2-beat instruction, a non-strict one costs nothing
+_ACYCLIC_KIND_WEIGHT = {"inst_gt": 2, "inst_ge": 0}
+
+
+def acyclic_heights(graph: "AcyclicGraph") -> list[int]:
+    """Critical-path heights (beats) for list-scheduler priority order."""
+    n = len(graph.nodes)
+    heights = [0] * n
+    for index in range(n - 1, -1, -1):
+        best = 0
+        for edge in graph.succs[index]:
+            weight = edge.latency if edge.kind == "beat" else \
+                _ACYCLIC_KIND_WEIGHT[edge.kind]
+            best = max(best, weight + heights[edge.dst])
+        heights[index] = best
+    return heights
+
+
+# -- modulo (cyclic) priorities ---------------------------------------------
+
+
+def modulo_weight(edge: "DepEdge", ii: int) -> int:
+    """Longest-path weight of one distance edge at initiation interval II."""
+    return edge.latency - 2 * ii * edge.dist
+
+
+def cycle_free(graph: "ModuloGraph", ii: int) -> bool:
+    """No positive-weight cycle under weights ``latency - 2*II*dist``."""
+    n = len(graph.ops)
+    dist = [0] * n
+    for _round in range(n + 1):
+        changed = False
+        for e in graph.edges:
+            if e.dst >= n:          # edges into the branch never cycle
+                continue
+            w = modulo_weight(e, ii)
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                changed = True
+        if not changed:
+            return True
+    return False
+
+
+def rec_mii(graph: "ModuloGraph", hi: int) -> Optional[int]:
+    """Smallest II in [1, hi] with no positive cycle, or None."""
+    if cycle_free(graph, hi):
+        lo, top = 1, hi
+        while lo < top:             # feasibility is monotone in II
+            mid = (lo + top) // 2
+            if cycle_free(graph, mid):
+                top = mid
+            else:
+                lo = mid + 1
+        return lo
+    return None
+
+
+def modulo_heights(graph: "ModuloGraph", ii: int) -> Optional[list[int]]:
+    """Priority heights: longest latency-path to any sink at this II."""
+    n = len(graph.ops)
+    h = [0] * (n + 1)
+    for _round in range(n + 2):
+        changed = False
+        for e in graph.edges:
+            w = modulo_weight(e, ii)
+            if h[e.dst] + w > h[e.src]:
+                h[e.src] = h[e.dst] + w
+                changed = True
+        if not changed:
+            return h[:n]
+    return None                     # positive cycle (caller screens first)
+
+
+def modulo_deadlines(graph: "ModuloGraph", ii: int) -> Optional[list[int]]:
+    """Latest legal issue beat per op, or None when II is infeasible.
+
+    The loop branch is pinned at flat beat ``2*(II-1)`` (last slot of
+    stage 0) and reads its predicate at that beat; deadlines relax
+    backward from it.  Unconstrained ops are capped by the stage limit.
+    """
+    n = len(graph.ops)
+    cap = 2 * ii * MAX_STAGES - 1
+    dl = [cap] * (n + 1)
+    dl[graph.branch] = 2 * (ii - 1)
+    for _round in range(n + 2):
+        changed = False
+        for e in graph.edges:
+            limit = dl[e.dst] - e.latency + 2 * ii * e.dist
+            if limit < dl[e.src]:
+                dl[e.src] = limit
+                changed = True
+        if not changed:
+            break
+    else:
+        return None
+    if any(d < 0 for d in dl[:n]):
+        return None
+    return dl[:n]

@@ -1,0 +1,534 @@
+"""The unified dependence engine: one builder, two graph modes.
+
+Both loop engines consume dependences produced here.
+
+**Acyclic mode** (:func:`build_acyclic_graph`) serves the trace list
+scheduler: the trace is linearised into *nodes* — real operations,
+conditional-branch *splits*, side-entrance *joins* (zero-resource
+pseudo-ops marking where an off-trace edge enters), and terminator/call
+barriers — and edges constrain the scheduler:
+
+``beat``      consumer issue-beat >= producer issue-beat + latency
+``inst_ge``   consumer instruction >= producer instruction
+``inst_gt``   consumer instruction >  producer instruction
+
+The *absence* of an edge is where trace scheduling's power lives: an
+operation after a split with no ``split -> op`` edge may be *speculated*
+above the branch (loads become dismissable opcodes), and an operation
+after a join with no ``join -> op`` edge may move above the side entrance
+— the compiler then places a *compensation copy* of it on the entering
+edge (detected after scheduling, see ``trace/compiler.py``).  This is
+also where the cross-trace timing rule lives (see the split handling in
+:func:`build_acyclic_graph`): a value the off-trace path reads must have
+left the pipeline before the branch transfers control, so a latency-``L``
+producer (``L >= 2``) gets a ``beat`` edge of ``L - 2`` into the split.
+
+**Modulo mode** (:func:`build_modulo_graph`) serves the software
+pipeliner: nodes are the rotated-iteration ops plus one pseudo-node for
+the loop branch, and every edge carries ``(latency, dist)`` — op ``dst``
+of iteration ``a + dist`` may issue no earlier than ``latency`` beats
+after op ``src`` of iteration ``a``.  Register edges are RAW only (modulo
+variable expansion renames every per-iteration definition, so WAR/WAW
+never constrain the schedule); memory edges probe the disambiguator at
+increasing iteration distance and keep the *smallest* conflicting
+distance, shifting references across iterations by ``coeff * d * step``
+for every annotation variable naming a loop IV.
+
+Shared between the modes and defined exactly once: the latency of every
+edge comes from :func:`~repro.machine.resources.latency_table`, and the
+no-store-forwarding rule (:func:`store_load_latency`) prices a
+store-to-load ordering at ``max(1, lat_mem - 2)`` beats in both worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Protocol
+
+from ..analysis import CFG, compute_liveness
+from ..disambig import Answer, Disambiguator
+from ..ir import (Category, Function, MemRef, Opcode, Operation, RegClass,
+                  VReg)
+from ..machine import MachineConfig, latency_table
+from .core import SchedulingOptions
+
+#: iteration-distance horizon for memory probing in modulo mode: the
+#: scheduler caps the flat schedule at MAX_STAGES stages, and the longest
+#: latency (FDIV, 25 beats) spans at most ceil(25/4) extra kernel rounds
+#: at the minimum II of 2 — constraints at larger distances are satisfied
+#: by any legal flat schedule, so probing past this is pure waste
+MAX_DIST = 16
+
+
+class TraceLike(Protocol):
+    """What acyclic mode needs from a trace: its block names, in order."""
+
+    blocks: Iterable[str]
+
+
+class LoopLike(Protocol):
+    """What modulo mode needs from a matched pipeline loop."""
+
+    rot_ops: list[Operation]
+    steps: dict[VReg, int]
+    pred: VReg
+
+
+@dataclass
+class Node:
+    """One schedulable element of a linearised trace (acyclic mode)."""
+
+    index: int
+    kind: str                 # "op" | "split" | "join" | "term" | "call"
+    op: Optional[Operation]   # None for joins
+    block: str
+    pos: int                  # linear position (original program order)
+    #: for splits: the off-trace successor label
+    off_trace: Optional[str] = None
+    #: for splits: the on-trace successor label (branch retarget bookkeeping)
+    on_trace: Optional[str] = None
+    #: memory-reference generation: two memory ops' MemRefs are comparable
+    #: only when no annotation variable was redefined between them, i.e.
+    #: when they carry the same generation number
+    mem_gen: int = 0
+
+    @property
+    def schedulable(self) -> bool:
+        return True
+
+
+@dataclass
+class DepEdge:
+    """One dependence edge, in either mode.
+
+    Acyclic mode uses kinds ``beat``/``inst_ge``/``inst_gt`` with
+    ``dist == 0``; modulo mode uses kinds ``reg``/``ctrl``/``mem`` with
+    an iteration distance.  ``verdict`` records why a memory edge exists
+    (the disambiguator's answer, or why it was never asked) for
+    ``repro explain-deps``.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    latency: int = 0
+    dist: int = 0             #: iteration distance (0 = same iteration)
+    verdict: Optional[str] = None
+
+
+#: legacy aliases: the trace engine's edge type and the pipeline engine's
+#: distance-annotated edge type are now literally the same class
+Edge = DepEdge
+LoopDep = DepEdge
+
+
+class DepGraph:
+    """Edge bookkeeping shared by both graph modes."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.edges: list[DepEdge] = []
+        self.succs: list[list[DepEdge]] = [[] for _ in range(n_nodes)]
+        self.preds: list[list[DepEdge]] = [[] for _ in range(n_nodes)]
+
+    def _add(self, edge: DepEdge) -> None:
+        self.edges.append(edge)
+        self.succs[edge.src].append(edge)
+        self.preds[edge.dst].append(edge)
+
+
+class AcyclicGraph(DepGraph):
+    """Nodes + dependence edges for one trace."""
+
+    def __init__(self, nodes: list[Node]) -> None:
+        super().__init__(len(nodes))
+        self.nodes = nodes
+        self.pred_count: list[int] = [0] * len(nodes)
+
+    def add_edge(self, src: int, dst: int, kind: str, latency: int = 0,
+                 verdict: Optional[str] = None) -> None:
+        self._add(DepEdge(src, dst, kind, latency, 0, verdict))
+        self.pred_count[dst] += 1
+
+    def splits(self) -> list[Node]:
+        return [n for n in self.nodes if n.kind == "split"]
+
+    def joins(self) -> list[Node]:
+        return [n for n in self.nodes if n.kind == "join"]
+
+
+#: legacy alias for the trace engine's graph type
+TraceGraph = AcyclicGraph
+
+
+class ModuloGraph(DepGraph):
+    """Rotated ops + distance edges for one pipelinable loop."""
+
+    def __init__(self, loop: LoopLike, config: MachineConfig) -> None:
+        self.loop = loop
+        self.config = config
+        self.ops: list[Operation] = loop.rot_ops
+        #: pseudo-node index for the loop branch
+        self.branch: int = len(self.ops)
+        super().__init__(len(self.ops) + 1)
+        #: rotated-iteration definition point of each register
+        self.defs_at: dict[VReg, int] = {}
+        for i, op in enumerate(self.ops):
+            if op.dest is not None:
+                self.defs_at[op.dest] = i
+        #: memref annotation variable -> per-iteration step
+        self.iv_names: dict[str, int] = {
+            reg.name: step for reg, step in loop.steps.items()}
+        self._loop_def_names = {r.name for r in self.defs_at}
+
+    def add_edge(self, src: int, dst: int, latency: int, dist: int,
+                 kind: str, verdict: Optional[str] = None) -> None:
+        self._add(DepEdge(src, dst, kind, latency, dist, verdict))
+
+    # ------------------------------------------------------------------
+    def use_distance(self, use_index: int, src: VReg) -> Optional[int]:
+        """Iteration distance of a register read, or None for invariants."""
+        d = self.defs_at.get(src)
+        if d is None:
+            return None
+        return 0 if d < use_index else 1
+
+    def stride(self, op_index: int) -> int:
+        """Per-iteration address delta of a memory op's reference."""
+        ref = self.ops[op_index].memref
+        if ref is None:
+            return 0
+        return sum(coeff * self.iv_names[var]
+                   for var, coeff in ref.coeffs if var in self.iv_names)
+
+    def shiftable_ref(self, op_index: int) -> Optional[MemRef]:
+        """The op's memref when it can be advanced across iterations.
+
+        A reference is shiftable when every annotation variable is either
+        a loop IV (shift by ``coeff * d * step``) or loop-invariant
+        (contributes nothing).  A variable naming a loop-varying non-IV
+        register makes cross-iteration comparison unsound — treat as
+        unknown.
+        """
+        ref = self.ops[op_index].memref
+        if ref is None:
+            return None
+        for var, _coeff in ref.coeffs:
+            if var in self._loop_def_names and var not in self.iv_names:
+                return None
+        return ref
+
+    def shifted_ref(self, op_index: int, dist: int) -> Optional[MemRef]:
+        """The op's reference as seen ``dist`` iterations later."""
+        ref = self.shiftable_ref(op_index)
+        if ref is None:
+            return None
+        delta = self.stride(op_index) * dist
+        return ref.shifted(delta) if delta else ref
+
+
+#: legacy alias for the pipeline engine's graph type
+LoopGraph = ModuloGraph
+
+
+# ---------------------------------------------------------------------------
+# shared pricing
+
+
+def store_load_latency(config: MachineConfig) -> int:
+    """Beats a load must trail a conflicting store: no store forwarding,
+    so the load may not sample memory until the store's write beat."""
+    return max(1, config.lat_mem - 2)
+
+
+# ---------------------------------------------------------------------------
+# acyclic mode
+
+
+def linearize(func: Function, trace: TraceLike,
+              entry_labels: Optional[set[str]] = None) -> list[Node]:
+    """Build the node sequence for a trace.
+
+    ``entry_labels`` are labels targeted from outside the working function
+    (already-compiled branches, the function entry): a mid-trace block in
+    that set has a side entrance even if no IR predecessor shows it.
+    """
+    nodes: list[Node] = []
+    preds = CFG.build(func, tolerant=True).preds
+    entry_labels = entry_labels or set()
+    pos = 0
+
+    def add(kind: str, op: Optional[Operation], block: str, **kw) -> Node:
+        nonlocal pos
+        node = Node(len(nodes), kind, op, block, pos, **kw)
+        nodes.append(node)
+        pos += 1
+        return node
+
+    blocks = list(trace.blocks)
+    for bi, bname in enumerate(blocks):
+        block = func.block(bname)
+        if bi > 0:
+            on_trace_pred = blocks[bi - 1]
+            side = [p for p in preds[bname] if p != on_trace_pred]
+            if side or bname in entry_labels:
+                add("join", None, bname)
+        for op in block.body:
+            add("call" if op.is_call else "op", op, bname)
+        term = block.terminator
+        last = bi == len(blocks) - 1
+        if term.opcode is Opcode.BR:
+            then_name, else_name = (lbl.name for lbl in term.labels)
+            if not last and then_name == blocks[bi + 1]:
+                off, on = else_name, then_name
+            elif not last and else_name == blocks[bi + 1]:
+                off, on = then_name, else_name
+            else:
+                # trace ends at this branch: both targets are off-trace;
+                # treat the less likely (else) side as fallthrough
+                off, on = then_name, else_name
+            add("split", term, bname, off_trace=off, on_trace=on)
+        elif term.opcode is Opcode.JMP:
+            if last:
+                add("term", term, bname)
+            # on-trace JMP needs no node: pure fallthrough in the schedule
+        else:   # RET / HALT
+            add("term", term, bname)
+    return nodes
+
+
+def _speculatable(op: Operation, live_off: set[VReg],
+                  options: SchedulingOptions) -> bool:
+    """May ``op`` move above a split whose off-trace edge has ``live_off``?"""
+    if not options.speculation:
+        return False
+    if op.has_side_effect or op.is_call:
+        return False
+    if op.dest is not None and op.dest in live_off:
+        return False            # would clobber a value the other path reads
+    if op.is_load:
+        return True             # becomes a dismissable load
+    if op.can_trap:
+        # trapping FP ops are safe to hoist only in fast mode; integer
+        # divide traps are always precise
+        fp = op.category in (Category.FLT_ADD, Category.FLT_MUL,
+                             Category.FLT_DIV, Category.FLT_CMP,
+                             Category.CVT)
+        return fp and options.fast_fp
+    return True
+
+
+def _may_move_above_join(node: Node) -> bool:
+    """Joins: anything but control transfers and calls may move above (the
+    compensation copy re-executes it on the entering edge)."""
+    return node.kind == "op"
+
+
+def _memrefs_comparable(nodes: list[Node], a: Node, b: Node) -> bool:
+    """MemRef variable values must be stable between the two positions."""
+    assert a.op is not None and b.op is not None
+    ra, rb = a.op.memref, b.op.memref
+    if ra is None or rb is None:
+        return False
+    names = {v for v, _ in ra.coeffs} | {v for v, _ in rb.coeffs}
+    if not names:
+        return True
+    for node in nodes[a.index + 1:b.index]:
+        if node.op is not None and node.op.dest is not None \
+                and node.op.dest.cls is RegClass.INT \
+                and node.op.dest.name in names:
+            return False
+    return True
+
+
+def build_acyclic_graph(func: Function, trace: TraceLike,
+                        disambiguator: Disambiguator,
+                        config: MachineConfig,
+                        options: Optional[SchedulingOptions] = None,
+                        live_in_map: Optional[dict[str, set[VReg]]] = None,
+                        entry_labels: Optional[set[str]] = None
+                        ) -> AcyclicGraph:
+    """Linearise the trace and add every scheduling constraint.
+
+    ``live_in_map`` supplies live-in sets per block name (computed on the
+    original, complete function — off-trace targets may already have been
+    compiled out of the working function).
+    """
+    if options is None:
+        options = SchedulingOptions()
+    nodes = linearize(func, trace, entry_labels)
+    graph = AcyclicGraph(nodes)
+    if live_in_map is None:
+        live_in_map = compute_liveness(func, CFG.build(func, True)).live_in
+    latency = latency_table(config)
+
+    # memory-reference generations (see Node.mem_gen)
+    ref_vars: set[str] = set()
+    for node in nodes:
+        if node.op is not None and node.op.memref is not None:
+            ref_vars.update(v for v, _ in node.op.memref.coeffs)
+    generation = 0
+    for node in nodes:
+        node.mem_gen = generation
+        op = node.op
+        if op is not None and op.dest is not None \
+                and op.dest.cls is RegClass.INT and op.dest.name in ref_vars:
+            generation += 1
+
+    # --- register dependences -----------------------------------------
+    last_def: dict[VReg, int] = {}
+    readers_since_def: dict[VReg, list[int]] = {}
+    for node in nodes:
+        op = node.op
+        if op is None:
+            continue
+        for src in op.reg_srcs():
+            if src in last_def:
+                producer = nodes[last_def[src]]
+                assert producer.op is not None
+                graph.add_edge(producer.index, node.index, "beat",
+                               latency.get(producer.op.category, 1))
+            readers_since_def.setdefault(src, []).append(node.index)
+        if op.dest is not None:
+            dest = op.dest
+            if dest in last_def:
+                producer = nodes[last_def[dest]]
+                assert producer.op is not None
+                lat = (latency.get(producer.op.category, 1)
+                       - latency.get(op.category, 1) + 1)
+                graph.add_edge(producer.index, node.index, "beat",
+                               max(0, lat))
+            for reader in readers_since_def.get(dest, []):
+                if reader != node.index:
+                    graph.add_edge(reader, node.index, "beat", 0)  # WAR
+            readers_since_def[dest] = []
+            last_def[dest] = node.index
+
+    # --- memory dependences --------------------------------------------
+    mem_nodes = [n for n in nodes if n.op is not None and n.op.is_memory]
+    for i, a in enumerate(mem_nodes):
+        assert a.op is not None
+        for b in mem_nodes[i + 1:]:
+            assert b.op is not None
+            if a.op.is_load and b.op.is_load:
+                continue
+            if _memrefs_comparable(nodes, a, b):
+                answer = disambiguator.alias(a.op, b.op)
+                verdict = answer.value
+            else:
+                answer = Answer.MAYBE
+                verdict = "incomparable"
+            if answer is Answer.NO:
+                continue
+            if a.op.is_store and b.op.is_load:
+                lat = store_load_latency(config)
+            else:
+                lat = 1
+            graph.add_edge(a.index, b.index, "beat", lat, verdict)
+
+    # --- control boundaries ----------------------------------------------
+    for node in nodes:
+        if node.kind == "split":
+            assert node.off_trace is not None
+            live_off = live_in_map.get(node.off_trace, set())
+            for earlier in nodes[:node.index]:
+                if earlier.kind == "op":
+                    assert earlier.op is not None
+                    graph.add_edge(earlier.index, node.index, "inst_ge")
+                    # cross-trace timing: a value the off-trace path reads
+                    # must have left the pipeline before the branch
+                    # transfers control (transfer = end of the branch's
+                    # instruction, 2 beats after its issue beat)
+                    if earlier.op.dest is not None \
+                            and earlier.op.dest in live_off:
+                        lat = latency.get(earlier.op.category, 1)
+                        # lat == 2 still needs the (zero-latency) beat
+                        # edge: issued on the late beat it lands at 2t+3,
+                        # one beat after the transfer at 2t+2
+                        if lat >= 2:
+                            graph.add_edge(earlier.index, node.index,
+                                           "beat", lat - 2)
+            for later in nodes[node.index + 1:]:
+                if later.kind == "op" and _speculatable(
+                        later.op, live_off, options):
+                    continue
+                graph.add_edge(node.index, later.index,
+                               "inst_ge" if later.kind == "split"
+                               else "inst_gt")
+        elif node.kind == "join":
+            for earlier in nodes[:node.index]:
+                graph.add_edge(earlier.index, node.index, "inst_gt")
+            for later in nodes[node.index + 1:]:
+                if options.join_motion and _may_move_above_join(later):
+                    continue
+                graph.add_edge(node.index, later.index, "inst_ge")
+        elif node.kind == "call":
+            for earlier in nodes[:node.index]:
+                graph.add_edge(earlier.index, node.index, "inst_ge")
+            for later in nodes[node.index + 1:]:
+                graph.add_edge(node.index, later.index, "inst_gt")
+        elif node.kind == "term" and node.op is not None \
+                and node.op.opcode in (Opcode.RET, Opcode.HALT):
+            for earlier in nodes[:node.index]:
+                graph.add_edge(earlier.index, node.index, "inst_ge")
+
+    return graph
+
+
+#: legacy alias for the trace engine's builder
+build_trace_graph = build_acyclic_graph
+
+
+# ---------------------------------------------------------------------------
+# modulo mode
+
+
+def build_modulo_graph(loop: LoopLike, config: MachineConfig,
+                       disambiguator: Disambiguator) -> ModuloGraph:
+    """Construct the full dependence graph for one matched loop."""
+    g = ModuloGraph(loop, config)
+    ops = g.ops
+    latency = latency_table(config)
+
+    # --- register RAW (the only register edges; MVE handles the rest) ---
+    for i, op in enumerate(ops):
+        for src in set(op.reg_srcs()):
+            d = g.defs_at.get(src)
+            if d is None:
+                continue
+            dist = 0 if d < i else 1
+            g.add_edge(d, i, latency.get(ops[d].category, 1), dist, "reg")
+
+    # --- control: the exit test must land before the branch reads it ---
+    cmp_index = g.defs_at[loop.pred]
+    g.add_edge(cmp_index, g.branch,
+               latency.get(ops[cmp_index].category, 1), 0, "ctrl")
+
+    # --- memory ordering --------------------------------------------------
+    mem = [i for i, op in enumerate(ops) if op.is_memory]
+    store_load_lat = store_load_latency(config)
+    for u in mem:
+        for v in mem:
+            if ops[u].is_load and ops[v].is_load:
+                continue
+            # ordered pair: u of iteration a, v of iteration a + d.  Within
+            # one iteration (d = 0) only program order u-before-v matters;
+            # self-pairs and reversed pairs start at distance 1.
+            d_start = 0 if u < v else 1
+            lat = store_load_lat \
+                if ops[u].is_store and ops[v].is_load else 1
+            ref_u = g.shiftable_ref(u)
+            if ref_u is None or g.shiftable_ref(v) is None:
+                # unknown reference: conservatively serialize at the
+                # smallest distance (subsumes every larger one)
+                g.add_edge(u, v, lat, d_start, "mem", "unknown")
+                continue
+            for d in range(d_start, MAX_DIST + 1):
+                answer = disambiguator.alias(ref_u, g.shifted_ref(v, d))
+                if answer is not Answer.NO:
+                    g.add_edge(u, v, lat, d, "mem", answer.value)
+                    break
+    return g
+
+
+#: legacy alias for the pipeline engine's builder
+build_loop_graph = build_modulo_graph

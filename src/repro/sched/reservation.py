@@ -1,0 +1,317 @@
+"""The unified reservation model: one resource-legality authority.
+
+Every machine resource the compiler owns is booked here, for both loop
+engines: functional-unit slots, per-pair per-beat memory-issue ports,
+load/store buses (64-bit transfers hold a 32-bit bus two beats), the
+per-pair shared immediate word, and branch-test slots.
+
+:class:`ReservationModel` wraps the machine layer's
+:class:`~repro.machine.ReservationTable` — the one booking structure —
+and keys resources *flat* (``ii=None``) for the trace list scheduler or
+*modulo the initiation interval* for the modulo scheduler: an op at flat
+instruction ``f`` then owns its resources in every kernel round, so two
+ops conflict when their slots collide mod II (buses: beats mod 2*II,
+wide holds wrapping).  Both views support *release* — the iterative
+modulo scheduler evicts and re-places ops, so every placement returns a
+:class:`Reservation` recording exactly which keys it took.
+
+:class:`BankChecker` is the single implementation of memory-bank
+legality and the section 6.4.4 bank-stall gamble: two accesses within
+the bank-busy window must either provably miss each other's bank, or
+gamble on the hardware stall ("maybe ... roll the dice"); a *same-beat*
+pair must provably split across memory controllers, because the
+simulator treats a same-beat same-controller pair as a compiler bug.  A
+proven controller split implies provably-distinct banks — bank index is
+congruent to controller index modulo ``n_controllers``, and the
+disambiguator's congruence test for the finer modulus subsumes the
+coarser one — so the same-beat case never needs a second query.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..disambig import Answer, Disambiguator
+from ..ir import Opcode, Operation, RegClass
+from ..machine import (MachineConfig, ReservationTable, Unit, imm_value,
+                       needs_imm_word)
+from .core import SchedulingOptions
+
+#: memory ops whose 64-bit transfer holds a 32-bit bus for two beats
+WIDE_MEM_OPS = (Opcode.FLOAD, Opcode.FLOADS, Opcode.FSTORE)
+
+
+def bus_plan(op: Operation, issue_beat: int,
+             config: MachineConfig) -> tuple[str, int, int]:
+    """(bus kind, first beat, beats held) for one memory op.
+
+    A store's data crosses its bus two beats after issue; a load's
+    result bus is busy while the value returns, ``lat_mem - 2`` beats
+    after issue.
+    """
+    beats = 2 if op.opcode in WIDE_MEM_OPS else 1
+    if op.is_store:
+        return "store", issue_beat + 2, beats
+    kind = "fload" if op.dest is not None \
+        and op.dest.cls is RegClass.FLT else "iload"
+    return kind, issue_beat + config.lat_mem - 2, beats
+
+
+@dataclass
+class Reservation:
+    """One op's placement plus the exact resource keys it holds."""
+
+    index: int                    #: graph node / rotated-op index
+    f: int                        #: flat schedule instruction
+    pair: int
+    unit: Unit
+    beat: int                     #: flat issue beat: 2*f + unit offset
+    m: int                        #: f mod II (flat ``f`` when not modulo)
+    mem_key: Optional[tuple] = None
+    bus_kind: Optional[str] = None
+    bus_beats: tuple[int, ...] = ()
+    imm_key: Optional[tuple] = None
+    imm_val: object = None
+
+
+class ReservationModel:
+    """Slot/port/bus/immediate/branch bookkeeping, flat or kernel-periodic.
+
+    A keying view over one :class:`~repro.machine.ReservationTable`:
+    ``ii=None`` books resources at absolute instructions and beats (the
+    trace engine's view); an integer II books them modulo the kernel (the
+    modulo engine's view).  Owner tokens are the caller's op indices, so
+    :meth:`conflicts` can name exactly whose eviction would free a slot.
+    """
+
+    def __init__(self, config: MachineConfig,
+                 ii: Optional[int] = None) -> None:
+        self.config = config
+        self.ii = ii
+        self.table = ReservationTable(config)
+
+    def _slot(self, f: int) -> int:
+        return f if self.ii is None else f % self.ii
+
+    def _wrap_beat(self, beat: int) -> int:
+        return beat if self.ii is None else beat % (2 * self.ii)
+
+    # ------------------------------------------------------------------
+    def bus_plan(self, op: Operation,
+                 issue_beat: int) -> tuple[str, tuple[int, ...]]:
+        """(bus kind, occupied beats in this model's keying)."""
+        kind, start, beats = bus_plan(op, issue_beat, self.config)
+        return kind, tuple(self._wrap_beat(start + k) for k in range(beats))
+
+    # ------------------------------------------------------------------
+    def conflicts(self, op: Operation, f: int, pair: int,
+                  unit: Unit) -> set[int]:
+        """Ops whose eviction would free this slot (empty set = free)."""
+        m = self._slot(f)
+        beat = 2 * f + unit.beat_offset
+        out: set[int] = set()
+        occupant = self.table.unit_owner(m, pair, unit)
+        if occupant is not None:
+            out.add(occupant)
+        if op.is_memory:
+            occupant = self.table.mem_issue_owner(m, pair, unit.beat_offset)
+            if occupant is not None:
+                out.add(occupant)
+            kind, beats = self.bus_plan(op, beat)
+            for b in beats:
+                holders = self.table.bus_holders(kind, b)
+                excess = len(holders) + 1 - self.table.bus_limit(kind)
+                if excess > 0:
+                    out.update(holders[:excess])
+        if needs_imm_word(op):
+            value = imm_value(op)
+            current = self.table.imm_entry(m, pair, unit.beat_offset)
+            if current is not None and current[0] != value:
+                out.update(current[1])
+        return out
+
+    def place(self, op: Operation, index: int, f: int, pair: int,
+              unit: Unit) -> Reservation:
+        """Take the slot's resources (the slot must be conflict-free)."""
+        m = self._slot(f)
+        beat = 2 * f + unit.beat_offset
+        res = Reservation(index, f, pair, unit, beat, m)
+        self.table.take_unit(m, pair, unit, owner=index)
+        if op.is_memory:
+            res.mem_key = (m, pair, unit.beat_offset)
+            self.table.take_mem_issue(m, pair, unit.beat_offset, owner=index)
+            kind, beats = self.bus_plan(op, beat)
+            res.bus_kind, res.bus_beats = kind, beats
+            for b in beats:
+                self.table.take_bus(kind, b, owner=index)
+        if needs_imm_word(op):
+            value = imm_value(op)
+            res.imm_key, res.imm_val = (m, pair, unit.beat_offset), value
+            self.table.take_imm(m, pair, unit.beat_offset, value, owner=index)
+        return res
+
+    def release(self, res: Reservation) -> None:
+        """Give back everything a reservation holds (for eviction)."""
+        self.table.release_unit(res.m, res.pair, res.unit)
+        if res.mem_key is not None:
+            self.table.release_mem_issue(*res.mem_key)
+        if res.bus_kind is not None:
+            for b in res.bus_beats:
+                self.table.release_bus(res.bus_kind, b, owner=res.index)
+        if res.imm_key is not None:
+            self.table.release_imm(*res.imm_key, owner=res.index)
+
+    # -- branch-test slots (trace engine) ------------------------------
+    def branch_free(self, f: int, pair: int) -> bool:
+        return self.table.branch_free(self._slot(f), pair)
+
+    def take_branch(self, f: int, pair: int, index: int = -1) -> None:
+        self.table.take_branch(self._slot(f), pair, owner=index)
+
+    def branches_in(self, f: int) -> int:
+        return self.table.branches_in(self._slot(f))
+
+
+#: legacy alias: the pipeline engine's modulo reservation table is the
+#: unified model in modulo keying
+ModuloTable = ReservationModel
+
+
+# ---------------------------------------------------------------------------
+# bank legality and the bank-stall gamble
+
+
+#: :meth:`BankChecker.check` verdicts
+OK = "ok"
+GAMBLE = "gamble"
+ILLEGAL = "illegal"
+
+
+class BankChecker:
+    """Answers, in exactly one place, whether two memory accesses within
+    the bank-busy window may issue ``delta`` beats apart.
+
+    Engines supply the pair's references (or ``None`` when incomparable —
+    an unknown reference can always collide) and an optional memo key;
+    disambiguation answers depend only on the reference pair, never on
+    candidate beats, so memoized queries stay valid across a whole
+    schedule search.
+    """
+
+    def __init__(self, disambiguator: Disambiguator, config: MachineConfig,
+                 options: SchedulingOptions) -> None:
+        self.disambiguator = disambiguator
+        self.config = config
+        self.options = options
+        self._memo: dict[tuple, Answer] = {}
+
+    @property
+    def window(self) -> int:
+        """Beat separations strictly inside this can hit a busy bank."""
+        return self.config.bank_busy_beats
+
+    def check(self, key: Optional[tuple], refs: Optional[tuple],
+              same_beat: bool) -> str:
+        """Verdict for one in-window pair of memory accesses.
+
+        Same-beat pairs must provably split across controllers (the
+        simulator faults otherwise), which also proves distinct banks —
+        see the module docstring.  Offset pairs are illegal on a proven
+        shared bank, fine on a proven split, and a *gamble* in between
+        (legal only under ``options.bank_gamble``; the scheduler marks
+        the op so the simulator can account for the stall risk).
+        """
+        if same_beat:
+            answer = self.controller_answer(key, refs)
+            return OK if answer is Answer.NO else ILLEGAL
+        answer = self.bank_answer(key, refs)
+        if answer is Answer.YES:
+            return ILLEGAL
+        if answer is Answer.MAYBE:
+            return GAMBLE if self.options.bank_gamble else ILLEGAL
+        return OK
+
+    # ------------------------------------------------------------------
+    def bank_answer(self, key: Optional[tuple],
+                    refs: Optional[tuple]) -> Answer:
+        return self._query("bank", key, refs)
+
+    def controller_answer(self, key: Optional[tuple],
+                          refs: Optional[tuple]) -> Answer:
+        return self._query("ctrl", key, refs)
+
+    def _query(self, kind: str, key: Optional[tuple],
+               refs: Optional[tuple]) -> Answer:
+        memo_key = None if key is None else (kind, *key)
+        if memo_key is not None:
+            hit = self._memo.get(memo_key)
+            if hit is not None:
+                return hit
+        if refs is None:
+            answer = Answer.MAYBE
+        elif kind == "ctrl":
+            answer = self.disambiguator.controller_equal(
+                refs[0], refs[1], self.config.n_controllers)
+        else:
+            answer = self.disambiguator.bank_equal(
+                refs[0], refs[1], self.config.total_banks)
+        if memo_key is not None:
+            self._memo[memo_key] = answer
+        return answer
+
+
+# ---------------------------------------------------------------------------
+# resource-constrained lower bound (ResMII)
+
+#: categories restricted to the integer ALUs (4 per pair)
+_IALU_ONLY = {"int_cmp", "int_mul", "int_div", "load", "store"}
+#: categories restricted to the F-board adder (1 per pair)
+_FALU_ONLY = {"flt_add", "flt_cmp", "cvt"}
+#: categories restricted to the F-board multiplier (1 per pair)
+_FMUL_ONLY = {"flt_mul", "flt_div"}
+
+
+def res_mii(ops: list[Operation], config: MachineConfig) -> int:
+    """Resource-constrained lower bound on II, in instructions.
+
+    Counts what one iteration consumes against what one kernel
+    instruction supplies (paper section 5's per-pair functional units,
+    the per-pair per-beat memory ports, and the load/store buses — wide
+    ops hold a bus two beats).
+    """
+    pairs = config.n_pairs
+    ialu = falu = fmul = flexible = n_mem = 0
+    bus_beats = {"iload": 0, "fload": 0, "store": 0}
+    for op in ops:
+        cat = op.category.value
+        if cat in _IALU_ONLY:
+            ialu += 1
+        elif cat in _FALU_ONLY:
+            falu += 1
+        elif cat in _FMUL_ONLY:
+            fmul += 1
+        else:
+            flexible += 1
+        if op.is_memory:
+            n_mem += 1
+            beats = 2 if op.opcode in WIDE_MEM_OPS else 1
+            if op.is_store:
+                bus_beats["store"] += beats
+            elif op.dest is not None and op.dest.cls is RegClass.FLT:
+                bus_beats["fload"] += beats
+            else:
+                bus_beats["iload"] += beats
+    bound = max(
+        math.ceil(ialu / (4 * pairs)),
+        math.ceil(falu / pairs),
+        math.ceil(fmul / pairs),
+        math.ceil((ialu + falu + fmul + flexible) / (6 * pairs)),
+        # one memory port per pair per beat, 2 beats per instruction
+        math.ceil(n_mem / (2 * pairs)),
+        math.ceil(bus_beats["iload"] / (2 * config.n_load_buses)),
+        math.ceil(bus_beats["fload"] / (2 * config.n_load_buses)),
+        math.ceil(bus_beats["store"] / (2 * config.n_store_buses)),
+    )
+    return max(1, bound)

@@ -21,7 +21,7 @@ from ..machine import (BranchTest, CompiledFunction, CompiledProgram,
                        latency_of)
 from ..obs import get_tracer
 from ..opt import clone_operations
-from .depgraph import SchedulingOptions, build_trace_graph
+from ..sched import SchedulingOptions, build_acyclic_graph
 from .profile import (ExecutionEstimates, estimate_from_profile,
                       estimate_static)
 from .regalloc import allocate_registers
@@ -214,11 +214,11 @@ class TraceCompiler:
                 trace = selector.next_trace()
             if trace is None:
                 break
-            with tracer.span("trace.depgraph", cat="compile",
+            with tracer.span("sched.deps", cat="compile",
                              function=func.name, blocks=len(trace)):
-                graph = build_trace_graph(work, trace, disambig,
-                                          self.config, options,
-                                          live_in_map, entry_labels)
+                graph = build_acyclic_graph(work, trace, disambig,
+                                            self.config, options,
+                                            live_in_map, entry_labels)
             with tracer.span("trace.schedule", cat="compile",
                              function=func.name, nodes=len(graph.nodes)):
                 trace_id = f"{func.name}#t{stats.n_traces}" \
@@ -362,9 +362,9 @@ class TraceCompiler:
             tracer=self.tracer)
         trace = Trace([pl.header, pl.body])
         try:
-            graph = build_trace_graph(work, trace, probe_disambig,
-                                      self.config, options,
-                                      live_in_map, entry_labels)
+            graph = build_acyclic_graph(work, trace, probe_disambig,
+                                        self.config, options,
+                                        live_in_map, entry_labels)
             sched = ListScheduler(graph, self.config, probe_disambig,
                                   options, tracer=self.tracer,
                                   trace_id=f"{work.name}#probe@{pl.header}"

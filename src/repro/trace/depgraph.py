@@ -1,325 +1,11 @@
-"""Dependence graph over one trace, with the code-motion rules of trace
-scheduling encoded as edge kinds.
-
-The trace is linearised into *nodes*: real operations, conditional-branch
-*splits*, side-entrance *joins* (zero-resource pseudo-ops marking where an
-off-trace edge enters), and terminator/call barriers.  Edges constrain the
-list scheduler:
-
-``beat``      consumer issue-beat >= producer issue-beat + latency
-``inst_ge``   consumer instruction >= producer instruction
-``inst_gt``   consumer instruction >  producer instruction
-
-The *absence* of an edge is where trace scheduling's power lives:
-
-* an operation after a split with no ``split -> op`` edge may be
-  *speculated* above the branch (loads become dismissable opcodes);
-* an operation after a join with no ``join -> op`` edge may move above the
-  side entrance — the compiler then places a *compensation copy* of it on
-  the entering edge (detected after scheduling, see compiler.py).
-"""
+"""Re-export shim: the trace dependence builder now lives in the unified
+scheduling core — :mod:`repro.sched.deps` in acyclic mode."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from ..sched.core import SchedulingOptions
+from ..sched.deps import (Edge, Node, TraceGraph, build_trace_graph,
+                          linearize)
 
-from ..analysis import compute_liveness
-from ..disambig import Answer, Disambiguator
-from ..ir import (Category, Function, Module, Opcode, Operation, RegClass,
-                  VReg)
-from ..machine import MachineConfig, latency_of
-from .selector import Trace
-
-
-@dataclass
-class Node:
-    """One schedulable element of the linearised trace."""
-
-    index: int
-    kind: str                 # "op" | "split" | "join" | "term" | "call"
-    op: Optional[Operation]   # None for joins
-    block: str
-    pos: int                  # linear position (original program order)
-    #: for splits: the off-trace successor label
-    off_trace: Optional[str] = None
-    #: for splits: the on-trace successor label (branch retarget bookkeeping)
-    on_trace: Optional[str] = None
-    #: memory-reference generation: two memory ops' MemRefs are comparable
-    #: only when no annotation variable was redefined between them, i.e.
-    #: when they carry the same generation number
-    mem_gen: int = 0
-
-    @property
-    def schedulable(self) -> bool:
-        return True
-
-
-@dataclass
-class Edge:
-    dst: int
-    kind: str                 # "beat" | "inst_ge" | "inst_gt"
-    latency: int = 0
-
-
-@dataclass
-class SchedulingOptions:
-    """Knobs for ablation experiments."""
-
-    #: allow upward motion past splits (speculation); off = basic-block-ish
-    speculation: bool = True
-    #: allow upward motion past side entrances (join compensation)
-    join_motion: bool = True
-    #: fast FP exception mode (paper section 7): trapping float ops may be
-    #: speculated because exceptions propagate as NaN/Inf instead of trapping
-    fast_fp: bool = False
-    #: schedule memory ops into potentially-conflicting ("maybe") bank slots
-    #: and let the hardware bank-stall absorb real conflicts (section 6.4.4)
-    bank_gamble: bool = True
-    #: FORTRAN argument semantics: distinct pointer arguments never alias
-    #: (the source language guarantees it); their bank residues stay
-    #: unknown, so the gamble still applies
-    fortran_args: bool = False
-
-
-class TraceGraph:
-    """Nodes + dependence edges for one trace."""
-
-    def __init__(self, nodes: list[Node]) -> None:
-        self.nodes = nodes
-        self.succs: list[list[Edge]] = [[] for _ in nodes]
-        self.pred_count: list[int] = [0] * len(nodes)
-
-    def add_edge(self, src: int, dst: int, kind: str, latency: int = 0) -> None:
-        self.succs[src].append(Edge(dst, kind, latency))
-        self.pred_count[dst] += 1
-
-    def splits(self) -> list[Node]:
-        return [n for n in self.nodes if n.kind == "split"]
-
-    def joins(self) -> list[Node]:
-        return [n for n in self.nodes if n.kind == "join"]
-
-
-# ---------------------------------------------------------------------------
-
-
-def linearize(func: Function, trace: Trace,
-              entry_labels: set[str] | None = None) -> list[Node]:
-    """Build the node sequence for a trace.
-
-    ``entry_labels`` are labels targeted from outside the working function
-    (already-compiled branches, the function entry): a mid-trace block in
-    that set has a side entrance even if no IR predecessor shows it.
-    """
-    nodes: list[Node] = []
-    from ..analysis import CFG
-    preds = CFG.build(func, tolerant=True).preds
-    entry_labels = entry_labels or set()
-    pos = 0
-
-    def add(kind: str, op, block: str, **kw) -> Node:
-        nonlocal pos
-        node = Node(len(nodes), kind, op, block, pos, **kw)
-        nodes.append(node)
-        pos += 1
-        return node
-
-    blocks = list(trace.blocks)
-    for bi, bname in enumerate(blocks):
-        block = func.block(bname)
-        if bi > 0:
-            on_trace_pred = blocks[bi - 1]
-            side = [p for p in preds[bname] if p != on_trace_pred]
-            if side or bname in entry_labels:
-                add("join", None, bname)
-        for op in block.body:
-            add("call" if op.is_call else "op", op, bname)
-        term = block.terminator
-        last = bi == len(blocks) - 1
-        if term.opcode is Opcode.BR:
-            then_name, else_name = (lbl.name for lbl in term.labels)
-            if not last and then_name == blocks[bi + 1]:
-                off, on = else_name, then_name
-            elif not last and else_name == blocks[bi + 1]:
-                off, on = then_name, else_name
-            else:
-                # trace ends at this branch: both targets are off-trace;
-                # treat the less likely (else) side as fallthrough
-                off, on = then_name, else_name
-            add("split", term, bname, off_trace=off, on_trace=on)
-        elif term.opcode is Opcode.JMP:
-            if last:
-                add("term", term, bname)
-            # on-trace JMP needs no node: pure fallthrough in the schedule
-        else:   # RET / HALT
-            add("term", term, bname)
-    return nodes
-
-
-def _speculatable(op: Operation, live_off: set[VReg],
-                  options: SchedulingOptions) -> bool:
-    """May ``op`` move above a split whose off-trace edge has ``live_off``?"""
-    if not options.speculation:
-        return False
-    if op.has_side_effect or op.is_call:
-        return False
-    if op.dest is not None and op.dest in live_off:
-        return False            # would clobber a value the other path reads
-    if op.is_load:
-        return True             # becomes a dismissable load
-    if op.can_trap:
-        # trapping FP ops are safe to hoist only in fast mode; integer
-        # divide traps are always precise
-        fp = op.category in (Category.FLT_ADD, Category.FLT_MUL,
-                             Category.FLT_DIV, Category.FLT_CMP,
-                             Category.CVT)
-        return fp and options.fast_fp
-    return True
-
-
-def _may_move_above_join(node: Node) -> bool:
-    """Joins: anything but control transfers and calls may move above (the
-    compensation copy re-executes it on the entering edge)."""
-    return node.kind == "op"
-
-
-def _memrefs_comparable(nodes: list[Node], a: Node, b: Node) -> bool:
-    """MemRef variable values must be stable between the two positions."""
-    ra, rb = a.op.memref, b.op.memref
-    if ra is None or rb is None:
-        return False
-    names = {v for v, _ in ra.coeffs} | {v for v, _ in rb.coeffs}
-    if not names:
-        return True
-    for node in nodes[a.index + 1:b.index]:
-        if node.op is not None and node.op.dest is not None \
-                and node.op.dest.cls is RegClass.INT \
-                and node.op.dest.name in names:
-            return False
-    return True
-
-
-def build_trace_graph(func: Function, trace: Trace,
-                      disambiguator: Disambiguator,
-                      config: MachineConfig,
-                      options: SchedulingOptions | None = None,
-                      live_in_map: dict[str, set[VReg]] | None = None,
-                      entry_labels: set[str] | None = None) -> TraceGraph:
-    """Linearise the trace and add every scheduling constraint.
-
-    ``live_in_map`` supplies live-in sets per block name (computed on the
-    original, complete function — off-trace targets may already have been
-    compiled out of the working function).
-    """
-    if options is None:
-        options = SchedulingOptions()
-    nodes = linearize(func, trace, entry_labels)
-    graph = TraceGraph(nodes)
-    if live_in_map is None:
-        from ..analysis import CFG
-        live_in_map = compute_liveness(func, CFG.build(func, True)).live_in
-
-    # memory-reference generations (see Node.mem_gen)
-    ref_vars: set[str] = set()
-    for node in nodes:
-        if node.op is not None and node.op.memref is not None:
-            ref_vars.update(v for v, _ in node.op.memref.coeffs)
-    generation = 0
-    for node in nodes:
-        node.mem_gen = generation
-        op = node.op
-        if op is not None and op.dest is not None \
-                and op.dest.cls is RegClass.INT and op.dest.name in ref_vars:
-            generation += 1
-
-    # --- register dependences -----------------------------------------
-    last_def: dict[VReg, int] = {}
-    readers_since_def: dict[VReg, list[int]] = {}
-    for node in nodes:
-        op = node.op
-        if op is None:
-            continue
-        for src in op.reg_srcs():
-            if src in last_def:
-                producer = nodes[last_def[src]]
-                graph.add_edge(producer.index, node.index, "beat",
-                               latency_of(producer.op, config))
-            readers_since_def.setdefault(src, []).append(node.index)
-        if op.dest is not None:
-            dest = op.dest
-            if dest in last_def:
-                producer = nodes[last_def[dest]]
-                lat = (latency_of(producer.op, config)
-                       - latency_of(op, config) + 1)
-                graph.add_edge(producer.index, node.index, "beat",
-                               max(0, lat))
-            for reader in readers_since_def.get(dest, []):
-                if reader != node.index:
-                    graph.add_edge(reader, node.index, "beat", 0)  # WAR
-            readers_since_def[dest] = []
-            last_def[dest] = node.index
-
-    # --- memory dependences --------------------------------------------
-    mem_nodes = [n for n in nodes if n.op is not None and n.op.is_memory]
-    for i, a in enumerate(mem_nodes):
-        for b in mem_nodes[i + 1:]:
-            if a.op.is_load and b.op.is_load:
-                continue
-            if _memrefs_comparable(nodes, a, b):
-                answer = disambiguator.alias(a.op, b.op)
-            else:
-                answer = Answer.MAYBE
-            if answer is Answer.NO:
-                continue
-            if a.op.is_store and b.op.is_load:
-                latency = max(1, config.lat_mem - 2)   # no store forwarding
-            else:
-                latency = 1
-            graph.add_edge(a.index, b.index, "beat", latency)
-
-    # --- control boundaries ----------------------------------------------
-    for node in nodes:
-        if node.kind == "split":
-            live_off = live_in_map.get(node.off_trace, set())
-            for earlier in nodes[:node.index]:
-                if earlier.kind == "op":
-                    graph.add_edge(earlier.index, node.index, "inst_ge")
-                    # cross-trace timing: a value the off-trace path reads
-                    # must have left the pipeline before the branch
-                    # transfers control (transfer = end of the branch's
-                    # instruction, 2 beats after its issue beat)
-                    if earlier.op.dest is not None \
-                            and earlier.op.dest in live_off:
-                        lat = latency_of(earlier.op, config)
-                        # lat == 2 still needs the (zero-latency) beat
-                        # edge: issued on the late beat it lands at 2t+3,
-                        # one beat after the transfer at 2t+2
-                        if lat >= 2:
-                            graph.add_edge(earlier.index, node.index,
-                                           "beat", lat - 2)
-            for later in nodes[node.index + 1:]:
-                if later.kind == "op" and _speculatable(
-                        later.op, live_off, options):
-                    continue
-                graph.add_edge(node.index, later.index,
-                               "inst_ge" if later.kind == "split"
-                               else "inst_gt")
-        elif node.kind == "join":
-            for earlier in nodes[:node.index]:
-                graph.add_edge(earlier.index, node.index, "inst_gt")
-            for later in nodes[node.index + 1:]:
-                if options.join_motion and _may_move_above_join(later):
-                    continue
-                graph.add_edge(node.index, later.index, "inst_ge")
-        elif node.kind == "call":
-            for earlier in nodes[:node.index]:
-                graph.add_edge(earlier.index, node.index, "inst_ge")
-            for later in nodes[node.index + 1:]:
-                graph.add_edge(node.index, later.index, "inst_gt")
-        elif node.kind == "term" and node.op.opcode in (Opcode.RET,
-                                                        Opcode.HALT):
-            for earlier in nodes[:node.index]:
-                graph.add_edge(earlier.index, node.index, "inst_ge")
-
-    return graph
+__all__ = ["Edge", "Node", "SchedulingOptions", "TraceGraph",
+           "build_trace_graph", "linearize"]

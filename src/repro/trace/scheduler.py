@@ -1,26 +1,29 @@
 """Resource-constrained list scheduling of one trace.
 
-Greedy cycle scheduling over the trace's dependence graph, placing
-operations into functional-unit slots of successive long instructions while
-honouring every machine resource the compiler owns on the TRACE: unit
-slots, per-beat memory-issue ports, load/store buses (64-bit transfers hold
-a 32-bit bus two beats), the per-pair shared immediate word, branch slots
-(up to one test per pair, multiway), and pairwise memory-bank constraints
-answered by the disambiguator — including the "maybe ... roll the dice"
-bank-stall gamble of section 6.4.4.
+A thin strategy over the unified scheduling core: greedy cycle
+scheduling over the trace's dependence graph (:mod:`repro.sched.deps`,
+acyclic mode), placing operations into functional-unit slots of
+successive long instructions through the flat view of the unified
+:class:`~repro.sched.reservation.ReservationModel` — unit slots,
+per-beat memory-issue ports, load/store buses, the per-pair shared
+immediate word, branch slots — with pairwise memory-bank constraints,
+including the "maybe ... roll the dice" bank-stall gamble of section
+6.4.4, answered by the shared
+:class:`~repro.sched.reservation.BankChecker`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from ..disambig import Answer, Disambiguator
+from ..disambig import Disambiguator
 from ..errors import ScheduleError
-from ..ir import Opcode, Operation, RegClass
-from ..machine import (MachineConfig, ReservationTable, Unit, imm_value,
-                       latency_of, needs_imm_word, units_for)
+from ..machine import MachineConfig, Unit, units_for
 from ..obs import get_tracer
-from .depgraph import Node, SchedulingOptions, TraceGraph
+from ..sched.core import Scheduler, SchedulingOptions, acyclic_heights
+from ..sched.deps import AcyclicGraph, Node
+from ..sched.reservation import GAMBLE, ILLEGAL, BankChecker, ReservationModel
 
 
 @dataclass
@@ -30,7 +33,7 @@ class PlacedNode:
     node: Node
     instruction: int
     pair: int = -1
-    unit: Unit | None = None
+    unit: Optional[Unit] = None
     gamble: bool = False
 
     @property
@@ -52,44 +55,25 @@ class TraceSchedule:
         return self.placements[index]
 
 
-class ListScheduler:
-    """Schedules one TraceGraph onto one machine configuration."""
+class ListScheduler(Scheduler):
+    """Schedules one acyclic trace graph onto one machine configuration."""
 
-    def __init__(self, graph: TraceGraph, config: MachineConfig,
+    def __init__(self, graph: AcyclicGraph, config: MachineConfig,
                  disambiguator: Disambiguator,
                  options: SchedulingOptions | None = None,
                  tracer=None, trace_id: str = "?") -> None:
-        self.graph = graph
-        self.config = config
-        self.disambiguator = disambiguator
-        self.options = options or SchedulingOptions()
+        super().__init__(graph, config, disambiguator, options)
         #: which trace this is (for diagnosable failures)
         self.trace_id = trace_id
         self.tracer = get_tracer(tracer)
-        self.table = ReservationTable(config)
+        self.model = ReservationModel(config)
+        self.checker = BankChecker(disambiguator, config, self.options)
         self.result = TraceSchedule()
         self._mem_placed: list[PlacedNode] = []
+        self._gamble_partners: list[PlacedNode] = []
         self._instr_op_count: dict[int, int] = {}
         self._call_instrs: set[int] = set()
-        self._heights = self._compute_heights()
-        self._preds: list[list] = [[] for _ in graph.nodes]
-        for src, edges in enumerate(graph.succs):
-            for edge in edges:
-                self._preds[edge.dst].append((src, edge))
-
-    # ------------------------------------------------------------------
-    def _compute_heights(self) -> list[int]:
-        """Critical-path heights (beats) for priority ordering."""
-        n = len(self.graph.nodes)
-        heights = [0] * n
-        for index in range(n - 1, -1, -1):
-            best = 0
-            for edge in self.graph.succs[index]:
-                weight = edge.latency if edge.kind == "beat" else \
-                    (2 if edge.kind == "inst_gt" else 0)
-                best = max(best, weight + heights[edge.dst])
-            heights[index] = best
-        return heights
+        self._heights = acyclic_heights(graph)
 
     # ------------------------------------------------------------------
     def run(self) -> TraceSchedule:
@@ -164,8 +148,8 @@ class ListScheduler:
     def _earliest_instruction(self, index: int) -> int:
         """Lower bound on the node's instruction from scheduled preds."""
         earliest = 0
-        for pred_index, edge in self._in_edges(index):
-            placed = self.result.placements.get(pred_index)
+        for edge in self.graph.preds[index]:
+            placed = self.result.placements.get(edge.src)
             if placed is None:
                 return 1 << 30      # pred not scheduled (shouldn't happen)
             if edge.kind == "inst_ge":
@@ -177,16 +161,13 @@ class ListScheduler:
                 earliest = max(earliest, need_beat // 2)
         return earliest
 
-    def _in_edges(self, index: int):
-        return self._preds[index]
-
     def _required_beat(self, index: int) -> int:
         """Earliest legal issue beat from 'beat' edges."""
         beat = 0
-        for pred_index, edge in self._in_edges(index):
+        for edge in self.graph.preds[index]:
             if edge.kind != "beat":
                 continue
-            placed = self.result.placements[pred_index]
+            placed = self.result.placements[edge.src]
             beat = max(beat, placed.issue_beat + edge.latency)
         return beat
 
@@ -211,14 +192,14 @@ class ListScheduler:
         return self._place_op(node, t)
 
     def _place_branch(self, node: Node, t: int) -> PlacedNode | None:
-        if self.table.branches_in(t) >= self.config.n_pairs:
+        if self.model.branches_in(t) >= self.config.n_pairs:
             return None
         required = self._required_beat(node.index)
         if required > 2 * t:
             return None                     # predicate not ready
         for pair in range(self.config.n_pairs):
-            if self.table.branch_free(t, pair):
-                self.table.take_branch(t, pair)
+            if self.model.branch_free(t, pair):
+                self.model.take_branch(t, pair, node.index)
                 self._instr_op_count[t] = self._instr_op_count.get(t, 0) + 1
                 return PlacedNode(node, t, pair, None)
         return None
@@ -229,30 +210,22 @@ class ListScheduler:
         units = units_for(op)
         if not units:
             raise ScheduleError(f"no unit can execute {op}")
-        wide_imm = needs_imm_word(op)
-        imm = imm_value(op) if wide_imm else None
 
         for unit in units:
-            beat_offset = unit.beat_offset
             for pair in range(self.config.n_pairs):
-                issue_beat = 2 * t + beat_offset
+                issue_beat = 2 * t + unit.beat_offset
                 if issue_beat < required:
                     continue
-                if not self.table.unit_free(t, pair, unit):
-                    continue
-                if wide_imm and not self.table.imm_free(t, pair, beat_offset,
-                                                        imm):
+                if self.model.conflicts(op, t, pair, unit):
                     continue
                 if op.is_memory:
-                    gamble = self._memory_feasible(node, t, pair, unit)
+                    gamble = self._memory_feasible(node, issue_beat)
                     if gamble is None:
                         continue
                 else:
                     gamble = False
                 # commit
-                self.table.take_unit(t, pair, unit)
-                if wide_imm:
-                    self.table.take_imm(t, pair, beat_offset, imm)
+                self.model.place(op, node.index, t, pair, unit)
                 placed = PlacedNode(node, t, pair, unit, gamble)
                 if op.is_memory:
                     self._commit_memory(placed)
@@ -263,31 +236,12 @@ class ListScheduler:
         return None
 
     # ------------------------------------------------------------------
-    def _bus_plan(self, op: Operation, issue_beat: int) -> tuple[str, int, int]:
-        """(bus kind, first beat, beats held) for a memory op."""
-        wide = op.opcode in (Opcode.FLOAD, Opcode.FLOADS, Opcode.FSTORE)
-        beats = 2 if wide else 1
-        if op.is_store:
-            return "store", issue_beat + 2, beats
-        kind = "fload" if op.dest is not None \
-            and op.dest.cls is RegClass.FLT else "iload"
-        return kind, issue_beat + self.config.lat_mem - 2, beats
-
-    def _memory_feasible(self, node: Node, t: int, pair: int,
-                         unit: Unit) -> bool | None:
-        """None if the slot is illegal; else the gamble flag."""
+    def _memory_feasible(self, node: Node, issue_beat: int) -> bool | None:
+        """None if the beat is bank-illegal; else the gamble flag."""
         op = node.op
-        beat_offset = unit.beat_offset
-        issue_beat = 2 * t + beat_offset
-        if not self.table.mem_issue_free(t, pair, beat_offset):
-            return None
-        bus, first, beats = self._bus_plan(op, issue_beat)
-        if not self.table.bus_free(bus, first, beats):
-            return None
-
         gamble = False
         partners: list[PlacedNode] = []
-        window = self.config.bank_busy_beats
+        window = self.checker.window
         for other in self._mem_placed:
             delta = abs(other.issue_beat - issue_beat)
             if delta >= window:
@@ -295,20 +249,12 @@ class ListScheduler:
             comparable = (op.memref is not None
                           and other.node.op.memref is not None
                           and node.mem_gen == other.node.mem_gen)
-            if delta == 0:
-                answer = self.disambiguator.controller_equal(
-                    op, other.node.op, self.config.n_controllers) \
-                    if comparable else Answer.MAYBE
-                if answer is not Answer.NO:
-                    return None     # same-beat controller conflict is hard
-            answer = self.disambiguator.bank_equal(
-                op, other.node.op, self.config.total_banks) \
-                if comparable else Answer.MAYBE
-            if answer is Answer.YES:
+            refs = (op, other.node.op) if comparable else None
+            verdict = self.checker.check((node.index, other.node.index),
+                                         refs, delta == 0)
+            if verdict == ILLEGAL:
                 return None
-            if answer is Answer.MAYBE:
-                if not self.options.bank_gamble:
-                    return None
+            if verdict == GAMBLE:
                 gamble = True
                 partners.append(other)
         # both sides of a "maybe" pair must be stall-tolerant: either one
@@ -317,12 +263,7 @@ class ListScheduler:
         return gamble
 
     def _commit_memory(self, placed: PlacedNode) -> None:
-        op = placed.node.op
-        self.table.take_mem_issue(placed.instruction, placed.pair,
-                                  placed.unit.beat_offset)
-        bus, first, beats = self._bus_plan(op, placed.issue_beat)
-        self.table.take_bus(bus, first, beats)
-        for partner in getattr(self, "_gamble_partners", ()):
+        for partner in self._gamble_partners:
             partner.gamble = True
         self._gamble_partners = []
         self._mem_placed.append(placed)

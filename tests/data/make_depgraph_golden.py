@@ -1,0 +1,104 @@
+"""Regenerate the golden dependence-edge corpus (``depgraph_golden.json``).
+
+The corpus pins the exact edge set the acyclic dependence builder produces
+on every workload kernel: ``tests/test_sched_core.py`` rebuilds each graph
+with the unified builder and compares against this file.  The walk mimics
+the trace compiler's selection loop — select the likeliest trace, build
+its graph, mark it scheduled, remove its blocks — but never schedules, so
+the corpus depends only on the dependence engine and the (deterministic)
+selector, not on reservation-table details.
+
+Run from the repository root after an *intentional* dependence-rule
+change::
+
+    PYTHONPATH=src python tests/data/make_depgraph_golden.py
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+
+from repro.analysis import compute_liveness
+from repro.disambig import Disambiguator, derive_memrefs
+from repro.harness.measure import prepare_modules
+from repro.machine import TRACE_28_200
+from repro.trace import (SchedulingOptions, TraceSelector, build_trace_graph,
+                         clone_function)
+from repro.trace.profile import estimate_static
+from repro.workloads import ALL_KERNELS, get_kernel
+
+#: (kernel, n, unroll) cases; unroll=4 adds join/split-rich shapes
+CASES = [(name, 16, 0) for name in sorted(ALL_KERNELS)] + [
+    ("daxpy", 16, 4), ("dot", 16, 4), ("state_machine", 16, 4)]
+
+
+def graph_record(graph) -> dict:
+    nodes = [[n.kind, n.op.opcode.name if n.op is not None else None,
+              n.block, n.pos, n.mem_gen] for n in graph.nodes]
+    edges = sorted([src, e.dst, e.kind, e.latency]
+                   for src, edges in enumerate(graph.succs) for e in edges)
+    return {"nodes": nodes, "edges": edges}
+
+
+def function_records(module, func) -> list[dict]:
+    derive_memrefs(func)
+    work = clone_function(func)
+    disambig = Disambiguator(module)
+    live_in_map = dict(compute_liveness(work).live_in)
+    selector = TraceSelector(work, estimate_static(work))
+    entry_labels = {work.entry.name}
+    options = SchedulingOptions()
+    records = []
+    while True:
+        trace = selector.next_trace()
+        if trace is None:
+            break
+        graph = build_trace_graph(work, trace, disambig, TRACE_28_200,
+                                  options, live_in_map, entry_labels)
+        records.append({"blocks": list(trace.blocks),
+                        **graph_record(graph)})
+        for node in graph.splits():
+            entry_labels.add(node.off_trace)
+        selector.mark_scheduled(trace)
+        for bname in trace.blocks:
+            work.remove_block(bname)
+    return records
+
+
+def build_corpus() -> dict:
+    from repro.opt import inline
+
+    corpus = {}
+    for name, n, unroll in CASES:
+        # the inliner tags its blocks from a process-global counter;
+        # pin it per case so the corpus (which records block names) is
+        # identical no matter what ran earlier in the process
+        inline._inline_counter = itertools.count()
+        kernel = get_kernel(name)
+        _, module = prepare_modules(kernel, n, unroll=unroll, inline=48)
+        case = {}
+        for fname, func in module.functions.items():
+            case[fname] = function_records(module, func)
+        corpus[f"{name}/n{n}/u{unroll}"] = case
+    return corpus
+
+
+def main() -> None:
+    out = os.path.join(os.path.dirname(__file__), "depgraph_golden.json")
+    corpus = build_corpus()
+    with open(out, "w") as handle:
+        json.dump(corpus, handle, indent=None, separators=(",", ":"),
+                  sort_keys=True)
+        handle.write("\n")
+    n_graphs = sum(len(fn) for case in corpus.values()
+                   for fn in case.values())
+    n_edges = sum(len(rec["edges"]) for case in corpus.values()
+                  for fn in case.values() for rec in fn)
+    print(f"wrote {out}: {len(corpus)} cases, {n_graphs} graphs, "
+          f"{n_edges} edges")
+
+
+if __name__ == "__main__":
+    main()

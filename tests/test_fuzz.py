@@ -3,10 +3,13 @@
 import json
 
 from repro.__main__ import main
-from repro.harness.fuzz import (FuzzCase, FuzzReport, fuzz_one, run_fuzz,
-                                verify_dismissal)
+from repro.harness.fuzz import (FuzzCase, FuzzReport, _rename_vregs,
+                                check_renaming_invariance, fuzz_one,
+                                run_fuzz, verify_dismissal)
+from repro.ir import run_module, verify_module
 from repro.machine import TRACE_14_200
 from repro.obs import Tracer
+from repro.workloads.generator import generate_program
 
 
 class TestFuzzOne:
@@ -30,6 +33,57 @@ class TestFuzzOne:
     def test_narrow_machine(self):
         case = fuzz_one(2, config=TRACE_14_200)
         assert case.ok, case.failures
+
+    def test_renaming_invariance_folded_into_case(self):
+        case = fuzz_one(4, check_faults=False)
+        assert case.ok, case.failures
+        assert case.renaming_verified
+
+
+class TestRenamingMetamorphic:
+    def test_rename_is_a_semantic_noop(self):
+        """The renamed program verifies and computes the same answer."""
+        baseline = run_module(generate_program(11), "main", (7, -3))
+        renamed = generate_program(11)
+        _rename_vregs(renamed, 11)
+        verify_module(renamed)
+        result = run_module(renamed, "main", (7, -3))
+        assert result.value == baseline.value
+
+    def test_rename_actually_renames(self):
+        from repro.ir import VReg
+
+        def all_names(module):
+            names = set()
+            for f in module.functions.values():
+                names.update(p.name for p in f.params)
+                for b in f.blocks.values():
+                    for op in b.ops:
+                        if op.dest is not None:
+                            names.add(op.dest.name)
+                        names.update(s.name for s in op.srcs
+                                     if isinstance(s, VReg))
+            return names
+
+        def dest_names(module):
+            return {op.dest.name for f in module.functions.values()
+                    for b in f.blocks.values() for op in b.ops
+                    if op.dest is not None}
+
+        module = generate_program(11)
+        universe, dests = all_names(module), dest_names(module)
+        _rename_vregs(module, 11)
+        assert all_names(module) == universe    # a permutation of the names
+        assert dest_names(module) != dests      # ... that moved something
+        moved = sum(1 for f in module.functions.values()
+                    for b in f.blocks.values() for op in b.ops
+                    if op.memref is None and op.is_memory)
+        assert moved > 0                # annotations cleared for re-derive
+
+    def test_invariance_across_seeds(self):
+        for seed in range(5):
+            ok, detail = check_renaming_invariance(seed)
+            assert ok, f"seed {seed}: {detail}"
 
 
 class TestRunFuzz:

@@ -108,7 +108,7 @@ class TestTelemetryReport:
         assert isinstance(t, Telemetry)
         # per-phase wall-times for the compiler's inner phases
         for phase in ("trace.select", "trace.schedule", "trace.regalloc",
-                      "trace.depgraph", "sim.vliw"):
+                      "sched.deps", "sim.vliw"):
             assert phase in t.phases and t.phases[phase] >= 0.0
         # per-simulator event counters, present even at zero
         for counter in ("sim.vliw.bank_stall_beats", "sim.vliw.nop_slots",
