@@ -1,0 +1,163 @@
+"""Compile-service benchmarks: warm-vs-cold latency and dedup fan-out.
+
+Like ``bench_throughput``, this measures the harness rather than the
+paper: what the ``repro serve`` job queue adds on top of one-shot runs.
+Results land in ``BENCH_serve.json`` at the repository root:
+
+1. **warm vs. cold round-trip** — the same batch submitted twice to one
+   live server.  The first round compiles; the second is served from
+   the shared compile cache through job-level dedup.  Warm must be
+   faster (>= 1.2x wall clock — the bar is modest because the HTTP +
+   queue overhead is constant and simulation still runs), must report
+   ``cache.hit`` telemetry, and must return byte-identical payloads;
+2. **dedup fan-out** — N clients submitting the *same* job
+   concurrently cost exactly one dispatch: wall clock stays near the
+   single-job cost, and the server's ``serve.dispatched`` counter says
+   1 while ``serve.submitted`` says N.
+
+Both tiers cross-check payload identity against a direct in-process
+:func:`repro.api.run_request` before any timing is trusted — the
+service is a transport, not a second compiler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from .conftest import bench_once
+
+from repro.api import MeasureRequest, dumps, run_request
+from repro.serve import Client, ServeConfig, start_server
+
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_serve.json")
+KERNELS = ("daxpy", "vadd", "dot", "fir4")
+FANOUT = 6
+
+_report: dict = {
+    "host": {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    },
+}
+
+
+def _requests(n=64):
+    return [MeasureRequest(kernel=k, n=n, unroll=4) for k in KERNELS]
+
+
+def _service(tmp_path, **overrides):
+    kw = dict(port=0, jobs=1, max_queue=64, batch=8,
+              cache_dir=str(tmp_path / "cache"))
+    kw.update(overrides)
+    core, httpd = start_server(ServeConfig(**kw))
+    host, port = httpd.server_address[:2]
+    return core, httpd, Client(f"{host}:{port}")
+
+
+def test_warm_vs_cold_service_latency(tmp_path, benchmark):
+    """Tier 1: the second identical batch rides the shared cache."""
+    core, httpd, client = _service(tmp_path)
+    try:
+        batch = _requests()
+        t0 = time.perf_counter()
+        cold = client.submit_and_wait(batch, timeout_s=600)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = client.submit_and_wait(batch, timeout_s=600)
+        warm_s = time.perf_counter() - t0
+
+        assert all(r.ok for r in cold + warm)
+        # the transport changes nothing: server == direct, warm == cold
+        direct = [run_request(request) for request in batch]
+        assert [dumps(r.result) for r in cold] == [dumps(d) for d in direct]
+        assert [dumps(r.result) for r in warm] \
+            == [dumps(r.result) for r in cold]
+        warm_hits = sum(r.counters.get("cache.hit", 0) for r in warm)
+        assert warm_hits >= len(batch)
+        assert all(r.cache_hit for r in warm)
+
+        speedup = cold_s / warm_s
+        _report["warm_vs_cold"] = {
+            "kernels": list(KERNELS), "n": 64,
+            "cold_s": round(cold_s, 3), "warm_s": round(warm_s, 3),
+            "speedup": round(speedup, 2),
+            "warm_cache_hits": warm_hits,
+            "counters": {k: v for k, v
+                         in core.tracer.counters.as_dict().items()
+                         if k.startswith("serve.")},
+        }
+        assert speedup >= 1.2, f"warm service only {speedup:.2f}x vs cold"
+        bench_once(benchmark, lambda: client.submit_and_wait(
+            batch, timeout_s=600))
+    finally:
+        core.shutdown()
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def test_dedup_fanout(tmp_path):
+    """Tier 2: N concurrent identical submissions, one compile."""
+    import threading
+
+    core, httpd, client = _service(tmp_path)
+    try:
+        request = MeasureRequest(kernel="stencil3", n=64, unroll=4)
+        results: list = [None] * FANOUT
+
+        def tenant(slot: int) -> None:
+            mine = Client(f"{client.host}:{client.port}")
+            results[slot] = mine.submit_and_wait(
+                [request], timeout_s=600, busy_retries=10)[0]
+
+        core.pause()                 # let every tenant land in one wave
+        threads = [threading.Thread(target=tenant, args=(slot,))
+                   for slot in range(FANOUT)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        core.resume()
+        for t in threads:
+            t.join()
+        fanout_s = time.perf_counter() - t0
+
+        assert all(r is not None and r.ok for r in results)
+        payloads = {dumps(r.result) for r in results}
+        assert len(payloads) == 1    # every tenant saw the same bytes
+        counters = core.tracer.counters
+        _report["dedup_fanout"] = {
+            "kernel": "stencil3", "n": 64, "tenants": FANOUT,
+            "wall_s": round(fanout_s, 3),
+            "dispatched": counters.get("serve.dispatched"),
+            "submitted": counters.get("serve.submitted"),
+            "aliased": counters.get("serve.dedup_inflight", 0)
+            + counters.get("serve.dedup_done", 0),
+        }
+        assert counters.get("serve.dispatched") == 1
+        assert counters.get("serve.submitted") == FANOUT
+    finally:
+        core.shutdown()
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def test_write_report(show):
+    """Last in file: persist the tiers measured above."""
+    assert {"warm_vs_cold", "dedup_fanout"} <= set(_report)
+    with open(REPORT_PATH, "w") as handle:
+        json.dump(_report, handle, indent=2)
+        handle.write("\n")
+    show([{
+        "tier": "warm service batch",
+        "speedup": _report["warm_vs_cold"]["speedup"],
+        "gate": ">=1.2x vs cold, cache.hit > 0",
+    }, {
+        "tier": "dedup fan-out",
+        "speedup": f"{_report['dedup_fanout']['tenants']} tenants, "
+                   f"{_report['dedup_fanout']['dispatched']} compile",
+        "gate": "dispatched == 1",
+    }], "compile service (BENCH_serve.json)")

@@ -15,6 +15,15 @@ Commands:
 * ``fuzz`` — differential fuzzing (interpreter vs. VLIW sim) with
   deterministic fault injection and checkpoint/resume verification.
 * ``sweep`` — the quick numeric-suite table (E1-style).
+* ``serve`` — the compile service: a job-queue daemon that dedups,
+  caches, and dispatches compile/measure jobs for many clients.
+* ``submit`` — a service client: submit kernels to a running daemon,
+  wait for results (also ``--stats`` / ``--shutdown``).
+* ``cache stats|prune|clear`` — inspect or bound the shared store.
+
+``measure``, ``sweep``, and ``submit`` all build their jobs through the
+typed :mod:`repro.api` facade — the same schema the service speaks on
+the wire.
 
 ``measure`` and ``sweep`` take ``--json`` (dump one JSON report object to
 stdout instead of the table) and ``--events-out FILE`` (write a
@@ -28,9 +37,9 @@ import argparse
 import json
 import sys
 
+from .api import ApiError, CompileRequest, MeasureRequest
 from .harness import (format_table, measure, measurement_report,
                       print_table, run_measurement, sweep_report)
-from .harness.measure import MeasureSpec
 from .machine import MachineConfig, format_compiled
 from .obs import Telemetry, Tracer
 from .trace import SchedulingOptions
@@ -86,13 +95,26 @@ def _options(args) -> SchedulingOptions:
                              fast_fp=args.fast_fp)
 
 
+def _request(args, kernel: str,
+             compile_only: bool = False) -> CompileRequest:
+    """The typed API request for one kernel under the parsed flags.
+
+    Every job the CLI runs — locally or via ``repro submit`` — is built
+    here, through :mod:`repro.api`, so the in-process call and the wire
+    submission are literally the same object.
+    """
+    cls = CompileRequest if compile_only else MeasureRequest
+    return cls(kernel=kernel, n=args.n, pairs=args.pairs,
+               unroll=args.unroll, strategy=args.strategy,
+               speculation=not args.no_speculation,
+               join_motion=not args.no_join_motion,
+               fast_fp=args.fast_fp)
+
+
 def _spec(args, kernel: str, telemetry: bool = False,
-          events: bool = False) -> MeasureSpec:
-    return MeasureSpec(kernel=kernel, n=args.n,
-                       config=MachineConfig.from_pairs(args.pairs),
-                       options=_options(args), unroll=args.unroll,
-                       strategy=args.strategy,
-                       telemetry=telemetry, events=events)
+          events: bool = False):
+    return _request(args, kernel).to_spec(telemetry=telemetry,
+                                          events=events)
 
 
 def _kernel_shape(kernel) -> str:
@@ -383,11 +405,18 @@ def cmd_fuzz(args) -> int:
 def cmd_cache(args) -> int:
     from .cache import process_cache
 
-    cache = process_cache(args.cache_dir)
+    cache = process_cache(args.cache_dir, max_disk_mb=args.max_mb)
     if args.cache_command == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached artifacts from {cache.directory}")
         return 0
+    if args.cache_command == "prune":
+        if cache.max_disk_mb is None:
+            raise SystemExit("cache prune: set a quota with --max-mb "
+                             "(or $REPRO_CACHE_MAX_MB)")
+        removed, freed = cache.prune()
+        print(f"pruned {removed} artifacts ({freed} bytes) from "
+              f"{cache.directory}; quota {cache.max_disk_mb:g} MB")
     stats = cache.stats().row()
     if args.as_json:
         print(json.dumps(stats, indent=2))
@@ -395,6 +424,66 @@ def cmd_cache(args) -> int:
         print_table([stats], f"compile cache at {cache.directory} "
                              "(hits/misses are this process's)")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        max_queue=args.max_queue, batch=args.batch,
+        timeout_s=args.timeout, use_cache=not args.no_cache,
+        cache_dir=args.cache_dir, cache_max_mb=args.cache_max_mb)
+    return serve_forever(config, verbose=args.verbose)
+
+
+def cmd_submit(args) -> int:
+    from .serve import Client, ServerBusy
+
+    client = Client(args.server, timeout_s=args.timeout)
+    if args.shutdown:
+        client.shutdown()
+        print(f"asked {args.server} to shut down")
+        return 0
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2))
+        return 0
+    kernels = args.kernels or list(SWEEP_KERNELS)
+    requests = [_request(args, kernel, compile_only=args.compile_only)
+                for kernel in kernels]
+    try:
+        for request in requests:
+            request.validate()
+    except ApiError as exc:
+        raise SystemExit(f"submit: {exc}")
+    try:
+        results = client.submit_and_wait(requests, timeout_s=args.timeout,
+                                         busy_retries=args.busy_retries)
+    except ServerBusy as busy:
+        print(f"server busy: retry in {busy.retry_after_s:g}s",
+              file=sys.stderr)
+        return 2
+    failed = [r for r in results if not r.ok]
+    if args.as_json:
+        print(json.dumps({"server": args.server,
+                          "results": [r.to_json() for r in results]},
+                         indent=2))
+    else:
+        rows = []
+        for result in results:
+            row = {"job": result.job_id, "kind": result.kind,
+                   "cache_hit": result.cache_hit,
+                   "duration_s": round(result.duration_s, 3)}
+            payload = result.result or {}
+            row["kernel"] = payload.get("kernel", "?")
+            row.update(payload.get("results", {}))
+            rows.append(row)
+        print_table(rows, f"{len(results)} jobs via {args.server} "
+                          f"({len(failed)} failed)")
+        for result in failed:
+            print(f"{result.job_id} FAILED: {result.error}",
+                  file=sys.stderr)
+    return 1 if failed else 0
 
 
 SWEEP_KERNELS = ("daxpy", "vadd", "dot", "fir4", "stencil3", "ll7_state",
@@ -518,17 +607,68 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
-        "cache", help="inspect or clear the content-addressed compile "
-                      "cache shared by measure/sweep/benchmarks")
-    p.add_argument("cache_command", choices=("stats", "clear"),
+        "cache", help="inspect, prune, or clear the content-addressed "
+                      "compile cache shared by measure/sweep/serve")
+    p.add_argument("cache_command", choices=("stats", "prune", "clear"),
                    help="stats: show hit/miss counters and the disk "
-                        "tier's footprint; clear: drop every entry")
+                        "tier's footprint; prune: evict LRU entries "
+                        "until under --max-mb; clear: drop every entry")
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="cache directory (default $REPRO_CACHE_DIR or "
                         "~/.cache/repro-compile)")
+    p.add_argument("--max-mb", type=float, default=None, metavar="MB",
+                   help="disk quota for prune (default "
+                        "$REPRO_CACHE_MAX_MB)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit machine-readable JSON")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "serve", help="run the compile service: a job-queue daemon with "
+                      "dedup, a shared warm cache, and backpressure")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (default 8787; 0 = ephemeral)")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="bounded queue: batches beyond this are "
+                        "rejected with 429 + Retry-After (default 64)")
+    p.add_argument("--batch", type=int, default=8, metavar="N",
+                   help="jobs dispatched per executor wave (default 8)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="wall-clock deadline per job attempt")
+    p.add_argument("--cache-max-mb", type=float, default=None,
+                   metavar="MB",
+                   help="disk quota for the shared store, pruned "
+                        "LRU-by-use after every dispatch wave")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    _add_jobs_arg(p)
+    _add_cache_args(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit jobs to a running `repro serve` daemon "
+                       "and wait for the results")
+    p.add_argument("kernels", nargs="*",
+                   help="kernels to submit (default: the sweep suite)")
+    p.add_argument("--server", default="127.0.0.1:8787",
+                   metavar="HOST:PORT")
+    p.add_argument("--compile-only", action="store_true",
+                   help="submit compile jobs (no simulation) — e.g. to "
+                        "warm the service cache")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                   help="seconds to wait for results (default 300)")
+    p.add_argument("--busy-retries", type=int, default=0, metavar="N",
+                   help="sit out backpressure and resubmit up to N "
+                        "times (default 0 = surface 429 immediately)")
+    p.add_argument("--stats", action="store_true",
+                   help="print the server's queue/cache stats and exit")
+    p.add_argument("--shutdown", action="store_true",
+                   help="stop the server and exit")
+    _add_machine_args(p)
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit one machine-readable JSON report")
+    p.set_defaults(fn=cmd_submit)
 
     args = parser.parse_args(argv)
     return args.fn(args)

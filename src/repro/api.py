@@ -1,0 +1,354 @@
+"""The stable, typed public facade over the compiler and harness.
+
+Everything that *submits work* — the CLI ``measure``/``sweep`` commands,
+the ``repro serve`` compile service and its clients, scripts driving the
+harness programmatically — builds jobs through the four dataclasses in
+this module:
+
+* :class:`CompileRequest` — compile one kernel (no simulation);
+* :class:`MeasureRequest` — the full measurement: compile, simulate on
+  every executor, cross-check against the reference interpreter;
+* :class:`JobStatus` — where a submitted job currently stands;
+* :class:`JobResult` — what a finished job produced.
+
+Each round-trips through ``to_json``/``from_json`` as plain
+``str``/``int``/``bool``/``dict`` values, so the *wire format of the
+service and the in-process API are one schema*: a request built here can
+be executed directly (:func:`run_request`), shipped to a worker process
+(the runner's ``api`` task handler), or POSTed to a running
+``repro serve`` daemon — all three produce the same payload.
+
+Requests use flat primitives (``pairs`` instead of a
+:class:`~repro.machine.MachineConfig`, boolean scheduling knobs instead
+of a :class:`~repro.trace.SchedulingOptions`) precisely so they stay
+JSON-trivial; :meth:`CompileRequest.to_spec` lowers them onto the
+internal :class:`~repro.harness.MeasureSpec`.  The content-addressed
+:meth:`~CompileRequest.cache_key` is the same key the compile cache and
+the service's job dedup use, so "same request" means "same artifact"
+at every layer.
+
+The service client lives in :mod:`repro.serve` but is re-exported here
+(``repro.api.Client``) so callers need exactly one import.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar
+
+from .errors import ReproError
+
+#: Bump on any incompatible change to the request/result JSON schema.
+API_VERSION = 1
+
+#: The lifecycle states a submitted job moves through.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+
+_STRATEGIES = ("trace", "pipeline", "auto")
+_PAIRS = (1, 2, 4)
+
+
+class ApiError(ReproError):
+    """An invalid request or a malformed wire payload."""
+
+
+def _from_fields(cls, obj: dict):
+    """Build ``cls`` from a JSON dict, ignoring unknown keys.
+
+    Unknown keys are tolerated (a newer client may send fields an older
+    server does not know); missing required fields surface as
+    :class:`ApiError`.
+    """
+    if not isinstance(obj, dict):
+        raise ApiError(f"{cls.__name__}: expected an object, "
+                       f"got {type(obj).__name__}")
+    known = {f.name for f in fields(cls)}
+    kwargs = {k: v for k, v in obj.items() if k in known}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ApiError(f"{cls.__name__}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """Compile one kernel at one configuration; report compiler stats.
+
+    The compile stage only — no simulation, no output checking.  Useful
+    for warming a shared cache or auditing schedules at service scale.
+    """
+
+    kernel: str
+    n: int = 64
+    pairs: int = 4
+    unroll: int = 8
+    inline: int = 48
+    strategy: str = "trace"
+    speculation: bool = True
+    join_motion: bool = True
+    fast_fp: bool = False
+    bank_gamble: bool = True
+    fortran_args: bool = False
+    use_profile: bool = True
+
+    kind: ClassVar[str] = "compile"
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "CompileRequest":
+        """Raise :class:`ApiError` on anything the harness would reject."""
+        from .workloads import ALL_KERNELS
+
+        if self.kernel not in ALL_KERNELS:
+            raise ApiError(f"unknown kernel {self.kernel!r}")
+        if self.n <= 0:
+            raise ApiError(f"problem size must be positive, got {self.n}")
+        if self.pairs not in _PAIRS:
+            raise ApiError(f"pairs must be one of {_PAIRS}, got {self.pairs}")
+        if self.unroll < 0 or self.inline < 0:
+            raise ApiError("unroll and inline budgets must be >= 0")
+        if self.strategy not in _STRATEGIES:
+            raise ApiError(f"strategy must be one of {_STRATEGIES}, "
+                           f"got {self.strategy!r}")
+        return self
+
+    # ------------------------------------------------------------------
+    def config(self):
+        from .machine import MachineConfig
+
+        return MachineConfig.from_pairs(self.pairs)
+
+    def options(self):
+        from .trace import SchedulingOptions
+
+        return SchedulingOptions(speculation=self.speculation,
+                                 join_motion=self.join_motion,
+                                 fast_fp=self.fast_fp,
+                                 bank_gamble=self.bank_gamble,
+                                 fortran_args=self.fortran_args)
+
+    def to_spec(self, *, telemetry: bool = False, events: bool = False):
+        """Lower onto the internal :class:`~repro.harness.MeasureSpec`."""
+        from .harness.measure import MeasureSpec
+
+        return MeasureSpec(kernel=self.kernel, n=self.n,
+                           config=self.config(), options=self.options(),
+                           unroll=self.unroll, inline=self.inline,
+                           strategy=self.strategy,
+                           use_profile=self.use_profile,
+                           check=getattr(self, "check", True),
+                           telemetry=telemetry, events=events)
+
+    def cache_key(self) -> str:
+        """The content-addressed key this request's compile resolves to.
+
+        Identical to the key :func:`~repro.harness.run_measurement`
+        computes inside the cached compile stage, which is what makes
+        service-level dedup and the compile cache agree about identity.
+        """
+        from .cache import compile_key
+        from .workloads import get_kernel
+
+        module = get_kernel(self.kernel).build(self.n)
+        return compile_key(module, self.config(), self.options(),
+                           strategy=self.strategy, unroll=self.unroll,
+                           inline=self.inline,
+                           use_profile=self.use_profile)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        obj = {"kind": self.kind, "v": API_VERSION}
+        obj.update(asdict(self))
+        return obj
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CompileRequest":
+        request = _from_fields(cls, obj)
+        kind = obj.get("kind", cls.kind) if isinstance(obj, dict) else None
+        if kind != cls.kind:
+            raise ApiError(f"{cls.__name__}: kind must be "
+                           f"{cls.kind!r}, got {kind!r}")
+        return request.validate()
+
+
+@dataclass(frozen=True)
+class MeasureRequest(CompileRequest):
+    """The full measurement: compile, run every executor, verify.
+
+    ``check=True`` (the default) cross-checks scalar, scoreboard, and
+    VLIW outputs against the reference interpreter — divergence fails
+    the job rather than returning wrong numbers.
+    """
+
+    check: bool = True
+
+    kind: ClassVar[str] = "measure"
+
+
+#: request ``kind`` -> dataclass, for wire-side dispatch.
+REQUEST_KINDS: dict[str, type] = {
+    CompileRequest.kind: CompileRequest,
+    MeasureRequest.kind: MeasureRequest,
+}
+
+
+def request_from_json(obj: dict) -> CompileRequest:
+    """Decode one request of any kind from its JSON form."""
+    if not isinstance(obj, dict):
+        raise ApiError(f"request: expected an object, "
+                       f"got {type(obj).__name__}")
+    kind = obj.get("kind", MeasureRequest.kind)
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise ApiError(f"unknown request kind {kind!r} "
+                       f"(expected one of {sorted(REQUEST_KINDS)})")
+    return cls.from_json(obj)
+
+
+# ----------------------------------------------------------------------
+# job status and result
+# ----------------------------------------------------------------------
+@dataclass
+class JobStatus:
+    """Where one submitted job stands right now."""
+
+    job_id: str
+    state: str
+    kind: str
+    kernel: str
+    key: str
+    #: this job was collapsed onto another job with the same cache key
+    deduped: bool = False
+    submitted_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+    error: str | None = None
+
+    def to_json(self) -> dict:
+        return {"v": API_VERSION, **asdict(self)}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "JobStatus":
+        return _from_fields(cls, obj)
+
+
+@dataclass
+class JobResult:
+    """What one finished job produced.
+
+    ``result`` is the JSON-ready report payload — for a measure job the
+    same object :func:`~repro.harness.measurement_report` builds, for a
+    compile job the compile report — and is byte-identical across every
+    client that submitted the same work (dedup aliases share the primary
+    job's payload verbatim).  ``counters`` carries the job's private
+    telemetry registry; a job served from cached or deduplicated work
+    reports ``cache.hit`` there, exactly like a warm in-process run.
+    """
+
+    job_id: str
+    ok: bool
+    kind: str
+    key: str
+    result: dict | None = None
+    error: str | None = None
+    counters: dict = None  # type: ignore[assignment]
+    duration_s: float = 0.0
+    cache_hit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.counters is None:
+            self.counters = {}
+
+    def to_json(self) -> dict:
+        return {"v": API_VERSION, **asdict(self)}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "JobResult":
+        return _from_fields(cls, obj)
+
+
+# ----------------------------------------------------------------------
+# in-process execution
+# ----------------------------------------------------------------------
+def compile_report(spec, program, compile_stats) -> dict:
+    """A compile-only job's JSON payload (the measure twin is
+    :func:`~repro.harness.measurement_report`)."""
+    from .harness.report import config_report
+
+    return {
+        "kernel": spec.kernel,
+        "n": spec.n,
+        "config": config_report(spec.config),
+        "functions": {name: {"instructions": len(cf.instructions),
+                             "ops": cf.op_count()}
+                      for name, cf in sorted(program.functions.items())},
+        "compile": (asdict(compile_stats)
+                    if compile_stats is not None else None),
+    }
+
+
+def run_request(request: CompileRequest, tracer=None, cache=None) -> dict:
+    """Execute one request in this process; the JSON-ready payload.
+
+    This is the single execution path behind every transport: the CLI
+    calls it directly, the work-queue executor calls it in workers, and
+    ``repro serve`` dispatches queued jobs through it.  Identical
+    requests therefore produce identical payloads no matter which door
+    they came in through.
+    """
+    from .harness.measure import run_compile, run_measurement
+    from .harness.report import measurement_report
+
+    request.validate()
+    spec = request.to_spec()
+    if request.kind == CompileRequest.kind:
+        program, compile_stats = run_compile(spec, tracer=tracer,
+                                             cache=cache)
+        return compile_report(spec, program, compile_stats)
+    return measurement_report(run_measurement(spec, tracer=tracer,
+                                              cache=cache))
+
+
+def execute_payload(request_obj: dict, use_cache: bool,
+                    cache_dir: str | None, tracer=None) -> dict:
+    """The worker-side entry the runner's ``api`` handler calls.
+
+    Takes the request in wire form (a plain dict — exactly what crossed
+    the socket or the process boundary), resolves the per-process
+    compile cache, and returns the JSON-ready payload.
+    """
+    from .cache import process_cache
+
+    request = request_from_json(request_obj)
+    cache = process_cache(cache_dir) if use_cache else None
+    return run_request(request, tracer=tracer, cache=cache)
+
+
+def dumps(obj: Any, **kwargs) -> str:
+    """Canonical JSON encoding (sorted keys) for payload comparison."""
+    return json.dumps(obj, sort_keys=True, **kwargs)
+
+
+def __getattr__(name: str):
+    # Client/ServerBusy live in repro.serve; re-exported lazily so
+    # importing repro.api never drags the HTTP machinery in.
+    if name in ("Client", "ServerBusy"):
+        from . import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "API_VERSION", "ApiError",
+    "JOB_QUEUED", "JOB_RUNNING", "JOB_DONE", "JOB_FAILED", "JOB_STATES",
+    "CompileRequest", "MeasureRequest", "REQUEST_KINDS",
+    "request_from_json",
+    "JobStatus", "JobResult",
+    "compile_report", "run_request", "execute_payload", "dumps",
+    "Client", "ServerBusy",
+]

@@ -12,9 +12,10 @@ an optional on-disk store (:class:`CompileCache`), and surfaced through
 
 from .key import CACHE_SCHEMA, compile_key, module_fingerprint
 from .store import (CacheStats, CompileCache, default_cache_dir,
-                    process_cache)
+                    default_cache_quota_mb, process_cache)
 
 __all__ = [
     "CACHE_SCHEMA", "compile_key", "module_fingerprint",
-    "CacheStats", "CompileCache", "default_cache_dir", "process_cache",
+    "CacheStats", "CompileCache", "default_cache_dir",
+    "default_cache_quota_mb", "process_cache",
 ]

@@ -7,6 +7,26 @@ pickle file per key, written atomically (temp file + ``os.replace``) so
 concurrent sweep workers sharing a cache directory never observe a torn
 artifact; a corrupt or unreadable file is treated as a miss and removed.
 
+The disk tier is built for *many concurrent tenants* (the ``repro
+serve`` daemon, parallel sweep workers, ad-hoc CLI runs all sharing one
+store):
+
+* **Sharding** — entries live under two-hex-character shard directories
+  (``ab/<key>.pkl``), so a hot store spreads across 256 directories
+  instead of one giant listing.  Legacy flat-layout entries are still
+  found on read and swept by ``clear``/``prune``.
+* **Cross-process locking** — mutating scans (``put`` of the entry
+  file, ``prune``, ``clear``) serialize on an advisory ``flock`` over
+  ``<dir>/.lock``, so two processes never interleave an eviction scan
+  with each other's writes.  Plain ``get`` never locks: atomic replace
+  guarantees whole files.
+* **Quota / eviction** — ``max_disk_mb`` bounds the disk tier;
+  :meth:`CompileCache.prune` evicts least-recently-*used* entries first
+  (every disk hit refreshes the entry's mtime) until the store fits.
+  Every scan tolerates entries vanishing mid-flight (a concurrent
+  ``clear`` or competing prune): ``ENOENT`` means someone else already
+  did the work, never an error.
+
 Every lookup reports through the usual counter registry —
 ``cache.hit`` / ``cache.miss`` (and ``cache.hit_disk`` for the subset of
 hits served from disk) — so cache behavior shows up in telemetry,
@@ -15,19 +35,33 @@ hits served from disk) — so cache behavior shows up in telemetry,
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 
+try:
+    import fcntl
+except ImportError:                                  # non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
+
 #: Default on-disk location, overridable with ``$REPRO_CACHE_DIR``.
 DEFAULT_DIR = os.path.join(os.path.expanduser("~"), ".cache",
                            "repro-compile")
 
+_MB = 1024 * 1024
+
 
 def default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", DEFAULT_DIR)
+
+
+def default_cache_quota_mb() -> float | None:
+    """``$REPRO_CACHE_MAX_MB`` as a float, or ``None`` (unbounded)."""
+    env = os.environ.get("REPRO_CACHE_MAX_MB")
+    return float(env) if env else None
 
 
 @dataclass
@@ -39,9 +73,11 @@ class CacheStats:
     hits_disk: int = 0
     stores: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
     memory_entries: int = 0
     disk_entries: int = 0
     disk_bytes: int = 0
+    quota_mb: float | None = None
     directory: str | None = None
 
     @property
@@ -54,9 +90,11 @@ class CacheStats:
             "hits": self.hits, "misses": self.misses,
             "hits_disk": self.hits_disk, "hit_rate": round(self.hit_rate, 3),
             "stores": self.stores, "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
             "memory_entries": self.memory_entries,
             "disk_entries": self.disk_entries,
             "disk_bytes": self.disk_bytes,
+            "quota_mb": self.quota_mb,
             "directory": self.directory,
         }
 
@@ -69,18 +107,55 @@ class CompileCache:
             disk when a directory is configured).
         directory: on-disk tier location; ``None`` disables persistence
             (the cache is then purely per-process).
+        max_disk_mb: disk-tier quota in MiB; ``None`` (default) leaves
+            the tier unbounded.  When set, every store prunes
+            least-recently-used entries until the tier fits.
     """
 
     def __init__(self, max_entries: int = 64,
-                 directory: str | None = None) -> None:
+                 directory: str | None = None,
+                 max_disk_mb: float | None = None) -> None:
         self.max_entries = max(1, max_entries)
         self.directory = directory
+        self.max_disk_mb = max_disk_mb
         self._lru: OrderedDict[str, object] = OrderedDict()
-        self._stats = CacheStats(directory=directory)
+        self._stats = CacheStats(directory=directory, quota_mb=max_disk_mb)
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
+        """Sharded entry path: ``<dir>/<key[:2]>/<key>.pkl``."""
+        return os.path.join(self.directory, key[:2], f"{key}.pkl")
+
+    def _legacy_path(self, key: str) -> str:
+        """Pre-sharding flat path, still honored on reads."""
         return os.path.join(self.directory, f"{key}.pkl")
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Advisory cross-process write lock over the store directory.
+
+        Serializes mutating scans (entry writes, prune, clear) between
+        processes sharing one directory.  Degrades to a no-op where
+        ``flock`` is unavailable or the directory cannot be created —
+        atomic replace still keeps individual entries untorn.
+        """
+        if self.directory is None or fcntl is None:
+            yield
+            return
+        handle = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle = open(os.path.join(self.directory, ".lock"), "a+")
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        except OSError:
+            handle = None
+        try:
+            yield
+        finally:
+            if handle is not None:
+                with contextlib.suppress(OSError):
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+                handle.close()
 
     def get(self, key: str, counters=None):
         """The cached artifact, or ``None`` on a miss."""
@@ -112,6 +187,8 @@ class CompileCache:
         self._stats.stores += 1
         if self.directory is not None:
             self._disk_put(key, value)
+            if self.max_disk_mb is not None:
+                self.prune()
 
     def _remember(self, key: str, value) -> None:
         self._lru[key] = value
@@ -122,89 +199,169 @@ class CompileCache:
 
     # ------------------------------------------------------------------
     def _disk_get(self, key: str):
-        path = self._path(key)
-        try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # torn/corrupt/stale-schema entry: drop it, report a miss
+        for path in (self._path(key), self._legacy_path(key)):
             try:
-                os.unlink(path)
-            except OSError:
-                pass
-            return None
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                continue
+            except Exception:
+                # torn/corrupt/stale-schema entry: drop it, report a miss
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+                continue
+            # refresh recency so LRU-by-mtime pruning spares hot entries
+            with contextlib.suppress(OSError):
+                os.utime(path)
+            return value
+        return None
 
     def _disk_put(self, key: str, value) -> None:
         try:
-            os.makedirs(self.directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._path(key))
-            except BaseException:
+            shard = os.path.dirname(self._path(key))
+            with self._locked():
+                os.makedirs(shard, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as handle:
+                        pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                    os.replace(tmp, self._path(key))
+                except BaseException:
+                    with contextlib.suppress(OSError):
+                        os.unlink(tmp)
+                    raise
         except OSError:
             # a read-only or full disk tier degrades to memory-only
             pass
 
     # ------------------------------------------------------------------
     def _disk_listing(self) -> list[str]:
-        if self.directory is None or not os.path.isdir(self.directory):
+        """Every entry file, across shard directories and the legacy
+        flat layout; tolerant of directories vanishing mid-scan."""
+        if self.directory is None:
             return []
-        return [os.path.join(self.directory, name)
-                for name in os.listdir(self.directory)
-                if name.endswith(".pkl")]
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        paths = []
+        for name in names:
+            full = os.path.join(self.directory, name)
+            if name.endswith(".pkl"):
+                paths.append(full)
+                continue
+            if len(name) <= 2:               # a key-prefix shard dir
+                try:
+                    children = os.listdir(full)
+                except OSError:      # shard removed by a concurrent clear
+                    continue
+                paths.extend(os.path.join(full, child)
+                             for child in children
+                             if child.endswith(".pkl"))
+        return paths
+
+    def _entries(self) -> list[tuple[str, float, int]]:
+        """``(path, mtime, size)`` per live entry; vanished files are
+        skipped (a concurrent prune/clear beat us to them)."""
+        entries = []
+        for path in self._disk_listing():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries.append((path, info.st_mtime, info.st_size))
+        return entries
 
     def stats(self) -> CacheStats:
         """A snapshot including the disk tier's current footprint."""
         s = self._stats
         s.memory_entries = len(self._lru)
-        paths = self._disk_listing()
-        s.disk_entries = len(paths)
-        s.disk_bytes = 0
-        for path in paths:
-            try:
-                s.disk_bytes += os.path.getsize(path)
-            except OSError:
-                pass
+        s.quota_mb = self.max_disk_mb
+        entries = self._entries()
+        s.disk_entries = len(entries)
+        s.disk_bytes = sum(size for _, _, size in entries)
         return s
 
+    def prune(self, max_mb: float | None = None) -> tuple[int, int]:
+        """Evict least-recently-used disk entries until under quota.
+
+        ``max_mb`` overrides the cache's configured ``max_disk_mb`` for
+        this call.  Returns ``(entries removed, bytes freed)``.  Safe
+        against concurrent writers and cleaners: the scan runs under the
+        store lock, and an entry that vanishes anyway simply stops
+        counting against the quota.
+        """
+        quota = self.max_disk_mb if max_mb is None else max_mb
+        if self.directory is None or quota is None:
+            return 0, 0
+        removed = freed = 0
+        with self._locked():
+            entries = sorted(self._entries(), key=lambda e: (e[1], e[0]))
+            total = sum(size for _, _, size in entries)
+            budget = quota * _MB
+            for path, _, size in entries:
+                if total <= budget:
+                    break
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    total -= size            # already gone elsewhere
+                    continue
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+                freed += size
+        self._stats.disk_evictions += removed
+        return removed, freed
+
     def clear(self) -> int:
-        """Drop every entry (memory and disk); returns entries removed."""
+        """Drop every entry (memory and disk); returns entries removed.
+
+        Tolerates concurrent writers: an entry deleted under us counts
+        as cleared, and writes racing the scan simply land in the
+        emptied store.
+        """
         removed = len(self._lru)
         self._lru.clear()
-        for path in self._disk_listing():
-            try:
-                os.unlink(path)
-                removed += 1
-            except OSError:
-                pass
+        with self._locked():
+            for path in self._disk_listing():
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except FileNotFoundError:
+                    removed += 1             # a concurrent clear got it
+                except OSError:
+                    pass
         return removed
 
 
 _PROCESS_CACHE: CompileCache | None = None
 
 
-def process_cache(directory: str | None = None) -> CompileCache:
+def process_cache(directory: str | None = None,
+                  max_disk_mb: float | None = None) -> CompileCache:
     """The shared per-process cache (created on first use).
 
-    The CLI and benchmarks route through this so repeated commands in
-    one process — and, via the disk tier, across processes — share
-    compiled artifacts.  An explicit ``directory`` rebinds the disk tier
-    (used by ``--cache-dir``); tests build private ``CompileCache``
-    instances instead.
+    The CLI, benchmarks, and service workers route through this so
+    repeated commands in one process — and, via the disk tier, across
+    processes — share compiled artifacts.  An explicit ``directory``
+    rebinds the disk tier (used by ``--cache-dir``); an explicit
+    ``max_disk_mb`` (or ``$REPRO_CACHE_MAX_MB``) bounds it.  Tests build
+    private ``CompileCache`` instances instead.
     """
     global _PROCESS_CACHE
+    quota = max_disk_mb if max_disk_mb is not None \
+        else default_cache_quota_mb()
     if _PROCESS_CACHE is None:
         _PROCESS_CACHE = CompileCache(directory=directory
-                                      or default_cache_dir())
-    elif directory is not None and _PROCESS_CACHE.directory != directory:
-        _PROCESS_CACHE = CompileCache(directory=directory)
+                                      or default_cache_dir(),
+                                      max_disk_mb=quota)
+    elif ((directory is not None
+           and _PROCESS_CACHE.directory != directory)
+          or (max_disk_mb is not None
+              and _PROCESS_CACHE.max_disk_mb != max_disk_mb)):
+        _PROCESS_CACHE = CompileCache(directory=directory
+                                      or _PROCESS_CACHE.directory,
+                                      max_disk_mb=quota)
     return _PROCESS_CACHE

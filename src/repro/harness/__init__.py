@@ -6,7 +6,8 @@ from .codesize import (CISC_DENSITY, CodeSizeReport, measure_code_size,
 from .fuzz import (FuzzCase, FuzzReport, fuzz_one, run_fuzz,
                    verify_dismissal)
 from .measure import (Measurement, MeasureSpec, compare_kernel, measure,
-                      prepare_modules, run_measurement, train_profile)
+                      prepare_modules, run_compile, run_measurement,
+                      train_profile)
 from .report import (config_report, format_table, measurement_report,
                      print_table, sweep_report)
 from .runner import (TaskOutcome, default_jobs, run_fuzz_cases, run_sweep,
@@ -17,7 +18,7 @@ __all__ = [
     "scalar_code_bytes",
     "FuzzCase", "FuzzReport", "fuzz_one", "run_fuzz", "verify_dismissal",
     "Measurement", "MeasureSpec", "compare_kernel", "measure",
-    "prepare_modules", "run_measurement", "train_profile",
+    "prepare_modules", "run_compile", "run_measurement", "train_profile",
     "config_report", "format_table", "measurement_report", "print_table",
     "sweep_report",
     "TaskOutcome", "default_jobs", "run_fuzz_cases", "run_sweep",

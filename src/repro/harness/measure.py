@@ -208,6 +208,28 @@ def _cached_compile_stage(spec: MeasureSpec, kernel: Kernel, args, options,
     return baseline, vliw_module, program, compile_stats
 
 
+def run_compile(spec: MeasureSpec, tracer: Tracer | None = None,
+                cache=None) -> tuple[CompiledProgram,
+                                     TraceCompileStats | None]:
+    """The compile stage alone: ``(compiled program, compile stats)``.
+
+    The service's compile-only jobs and cache-warming runs use this; it
+    is exactly the (optionally cached) compile stage of
+    :func:`run_measurement` without the simulations or checks.
+    """
+    trc = tracer if tracer is not None else NULL_TRACER
+    kernel = get_kernel(spec.kernel)
+    args = kernel.make_args(spec.n)
+    options = spec.options or SchedulingOptions()
+    if cache is not None:
+        _, _, program, compile_stats = _cached_compile_stage(
+            spec, kernel, args, options, trc, cache)
+    else:
+        _, _, program, compile_stats = _compile_stage(
+            spec, kernel, args, options, trc)
+    return program, compile_stats
+
+
 def run_measurement(spec: MeasureSpec,
                     tracer: Tracer | None = None,
                     cache=None) -> Measurement:

@@ -104,6 +104,20 @@ def _fuzz_task(payload, tracer):
     return fuzz_one(seed, config, check_faults, strategy)
 
 
+@task_handler("api")
+def _api_task(payload, tracer):
+    """One service job: ``payload = (request json, use_cache, cache_dir)``.
+
+    The request travels in its wire form (a plain dict), so the same
+    payload the ``repro serve`` daemon received over the socket is what
+    crosses the process boundary to a worker — one schema end to end.
+    The returned value is the job's JSON-ready report payload.
+    """
+    from ..api import execute_payload
+    request_obj, use_cache, cache_dir = payload
+    return execute_payload(request_obj, use_cache, cache_dir, tracer)
+
+
 # ----------------------------------------------------------------------
 # the executor
 # ----------------------------------------------------------------------

@@ -1,0 +1,136 @@
+"""The service client: ``repro.api.Client`` and the ``repro submit`` CLI.
+
+A thin, dependency-free HTTP client over :mod:`repro.serve.protocol`.
+Requests go out and results come back as the :mod:`repro.api`
+dataclasses — the client never invents its own schema.
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+
+from ..api import (CompileRequest, JobResult, JobStatus, MeasureRequest,
+                   request_from_json)
+from ..errors import ReproError
+from . import protocol
+
+
+class ServerBusy(ReproError):
+    """The server rejected a batch under backpressure (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServerError(ReproError):
+    """Any other non-2xx reply from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"server replied {status}: {message}")
+        self.status = status
+
+
+class Client:
+    """A handle on one running ``repro serve`` daemon.
+
+    Args:
+        address: ``host:port`` (an ``http://`` prefix is tolerated).
+        timeout_s: socket timeout per HTTP call.  Long polls bound their
+            ``wait`` below this so a slow job never looks like a dead
+            socket.
+    """
+
+    def __init__(self, address: str = "127.0.0.1:8787",
+                 timeout_s: float = 30.0) -> None:
+        self.host, self.port = protocol.split_address(address)
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, body=None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = protocol.encode(body) if body is not None else None
+            headers = {"Content-Type": protocol.CONTENT_TYPE} \
+                if payload is not None else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            obj = protocol.decode(response.read())
+        finally:
+            conn.close()
+        if response.status == protocol.BUSY:
+            raise ServerBusy(obj.get("error", "server busy"),
+                             float(obj.get("retry_after_s", 1.0)))
+        if response.status not in (protocol.OK, protocol.ACCEPTED):
+            message = obj.get("error", "") if isinstance(obj, dict) else ""
+            raise ServerError(response.status, message)
+        return response.status, obj
+
+    # ------------------------------------------------------------------
+    def submit(self, requests: list[CompileRequest]) -> list[JobStatus]:
+        """Submit a batch; raises :class:`ServerBusy` on backpressure."""
+        _, obj = self._call("POST", protocol.SUBMIT,
+                            {"jobs": [r.to_json() for r in requests]})
+        return [JobStatus.from_json(s) for s in obj["statuses"]]
+
+    def status(self, job_id: str) -> JobStatus:
+        _, obj = self._call("GET", protocol.job_path(job_id))
+        return JobStatus.from_json(obj)
+
+    def result(self, job_id: str, timeout_s: float = 300.0) -> JobResult:
+        """Long-poll one job until it finishes; its :class:`JobResult`.
+
+        Raises :class:`ReproError` if the job is still unfinished when
+        ``timeout_s`` runs out (the job keeps running server-side).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ReproError(f"timed out waiting for {job_id} "
+                                 f"after {timeout_s:g}s")
+            wait = min(remaining, max(self.timeout_s - 5.0, 1.0))
+            status, obj = self._call(
+                "GET", protocol.result_path(job_id, wait_s=wait))
+            if status == protocol.OK:
+                return JobResult.from_json(obj)
+
+    def results(self, job_ids: list[str],
+                timeout_s: float = 300.0) -> list[JobResult]:
+        deadline = time.monotonic() + timeout_s
+        return [self.result(job_id,
+                            max(deadline - time.monotonic(), 0.001))
+                for job_id in job_ids]
+
+    def submit_and_wait(self, requests: list[CompileRequest],
+                        timeout_s: float = 300.0,
+                        busy_retries: int = 0) -> list[JobResult]:
+        """Submit then collect, optionally sitting out backpressure.
+
+        ``busy_retries`` > 0 sleeps out the server's retry-after hint and
+        resubmits that many times before giving up.
+        """
+        for attempt in range(busy_retries + 1):
+            try:
+                statuses = self.submit(requests)
+                break
+            except ServerBusy as busy:
+                if attempt == busy_retries:
+                    raise
+                time.sleep(busy.retry_after_s)
+        return self.results([s.job_id for s in statuses], timeout_s)
+
+    def stats(self) -> dict:
+        _, obj = self._call("GET", protocol.STATS)
+        return obj
+
+    def shutdown(self) -> None:
+        self._call("POST", protocol.SHUTDOWN)
+
+
+# re-exported so `repro.api` can hand these out without importing HTTP
+# machinery at its own import time
+__all__ = ["Client", "ServerBusy", "ServerError",
+           "CompileRequest", "MeasureRequest", "request_from_json"]

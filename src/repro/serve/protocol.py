@@ -1,0 +1,68 @@
+"""The compile service's wire protocol, shared by server and client.
+
+The transport is deliberately boring: HTTP over a local socket, JSON
+bodies, and the :mod:`repro.api` dataclasses as the only schema.  One
+module owns the paths and the body shapes so the server handler and the
+client can never drift apart.
+
+Endpoints:
+
+* ``POST /submit`` — body ``{"jobs": [<request json>, ...]}``.  Replies
+  ``200 {"job_ids": [...], "statuses": [<JobStatus json>, ...]}``, or
+  ``429 {"error": ..., "retry_after_s": t}`` (plus a ``Retry-After``
+  header) when the bounded queue cannot take the batch, or
+  ``400 {"error": ...}`` on a malformed request.
+* ``GET /jobs/<id>`` — ``200 <JobStatus json>`` or ``404``.
+* ``GET /jobs/<id>/result?wait=<seconds>`` — long-polls up to ``wait``
+  seconds; ``200 <JobResult json>`` once finished, else
+  ``202 <JobStatus json>``.
+* ``GET /stats`` — queue depth, per-state job counts, the server's
+  aggregate counters, and the shared cache's disk footprint.
+* ``POST /shutdown`` — graceful stop; replies ``200`` first.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Paths (kept as constants so client and server agree by construction).
+SUBMIT = "/submit"
+JOBS = "/jobs"
+STATS = "/stats"
+SHUTDOWN = "/shutdown"
+
+#: HTTP statuses the service uses deliberately.
+OK = 200
+ACCEPTED = 202
+BAD_REQUEST = 400
+NOT_FOUND = 404
+BUSY = 429
+
+CONTENT_TYPE = "application/json"
+
+
+def encode(obj) -> bytes:
+    """Canonical body encoding: sorted-key JSON, UTF-8."""
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def decode(body: bytes):
+    return json.loads(body.decode("utf-8")) if body else None
+
+
+def job_path(job_id: str) -> str:
+    return f"{JOBS}/{job_id}"
+
+
+def result_path(job_id: str, wait_s: float = 0.0) -> str:
+    path = f"{JOBS}/{job_id}/result"
+    return f"{path}?wait={wait_s:g}" if wait_s else path
+
+
+def split_address(address: str) -> tuple[str, int]:
+    """``host:port`` (with or without an ``http://`` prefix) split up."""
+    addr = address.removeprefix("http://").rstrip("/")
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected host:port, got {address!r}")
+    return host, int(port)

@@ -1,0 +1,487 @@
+"""The ``repro serve`` daemon: a bounded job queue over the runner.
+
+The server turns the one-shot harness into an *offered capability*: many
+clients submit compile/measure jobs against one warm compile cache, and
+the trace-scheduling cost is paid once per distinct piece of work no
+matter how many tenants ask for it.
+
+Three mechanisms carry that promise:
+
+* **Dedup through the cache key.**  Every request resolves to the same
+  content-addressed :func:`~repro.cache.compile_key` the compile cache
+  uses.  A submitted job whose key is already queued or running becomes
+  an *alias* of the earlier job — when the primary finishes, every alias
+  completes with the primary's payload verbatim and ``cache.hit`` in its
+  telemetry.  A key whose result is still retained completes instantly
+  the same way.  Two concurrent clients asking for the same compile
+  therefore cost exactly one compile.
+* **The work-queue executor.**  Queued jobs dispatch in waves through
+  :func:`~repro.harness.run_tasks` (the same executor behind
+  ``--jobs``), so the service inherits its per-task isolation, deadline
+  policing, and deterministic counter folding.
+* **Backpressure.**  The queue is bounded; a batch that does not fit is
+  rejected whole with a retry-after hint (HTTP 429 on the wire) instead
+  of letting latency grow without bound.
+
+Everything observable goes through the usual tracer: ``serve.*``
+counters for queue behavior, per-job counters on each
+:class:`~repro.api.JobResult`, and a ``serve.dispatch`` span per wave.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..api import (JOB_DONE, JOB_FAILED, JOB_QUEUED, JOB_RUNNING, ApiError,
+                   CompileRequest, JobResult, JobStatus, request_from_json)
+from ..errors import ReproError
+from ..obs import Tracer
+from . import protocol
+
+
+class QueueFull(ReproError):
+    """The bounded job queue cannot take the batch right now."""
+
+    def __init__(self, depth: int, limit: int, retry_after_s: float) -> None:
+        super().__init__(f"job queue full ({depth}/{limit} queued); "
+                         f"retry in {retry_after_s:g}s")
+        self.retry_after_s = retry_after_s
+
+
+class UnknownJob(ReproError):
+    """No such job id (never submitted, or its result has been retired)."""
+
+
+@dataclass
+class ServeConfig:
+    """Everything one service instance needs, as one record."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: worker processes per dispatch wave (1 = run jobs inline)
+    jobs: int = 1
+    #: bounded queue: queued-but-not-dispatched jobs beyond this are
+    #: rejected with a retry-after hint
+    max_queue: int = 64
+    #: jobs dispatched per executor wave
+    batch: int = 8
+    #: the retry hint handed back on rejection
+    retry_after_s: float = 1.0
+    #: wall-clock deadline per job attempt (None = no deadline)
+    timeout_s: float | None = None
+    use_cache: bool = True
+    cache_dir: str | None = None
+    #: disk quota for the shared store; pruned after every wave
+    cache_max_mb: float | None = None
+    #: finished job records retained for polling/dedup (oldest retired)
+    keep_results: int = 256
+
+
+@dataclass
+class _Job:
+    """The server's private record of one submitted job."""
+
+    id: str
+    request: CompileRequest
+    key: str
+    state: str = JOB_QUEUED
+    deduped: bool = False
+    submitted_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+    result: JobResult | None = None
+
+    def status(self) -> JobStatus:
+        return JobStatus(
+            job_id=self.id, state=self.state, kind=self.request.kind,
+            kernel=self.request.kernel, key=self.key, deduped=self.deduped,
+            submitted_s=self.submitted_s, started_s=self.started_s,
+            finished_s=self.finished_s,
+            error=self.result.error if self.result is not None else None)
+
+
+def _alias_result(primary: JobResult, job_id: str) -> JobResult:
+    """A dedup alias's result: the primary's payload verbatim, with the
+    served-from-shared-work hit recorded in the alias's telemetry."""
+    counters = dict(primary.counters)
+    counters["cache.hit"] = counters.get("cache.hit", 0) + 1
+    counters.pop("cache.miss", None)
+    return JobResult(job_id=job_id, ok=primary.ok, kind=primary.kind,
+                     key=primary.key, result=primary.result,
+                     error=primary.error, counters=counters,
+                     duration_s=primary.duration_s, cache_hit=True)
+
+
+class CompileServer:
+    """The job-queue core (transport-free; HTTP wraps it below)."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.tracer = tracer or Tracer()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)   # queue activity
+        self._done = threading.Condition(self._lock)   # job completion
+        self._jobs: dict[str, _Job] = {}
+        self._queue: deque[str] = deque()
+        self._inflight_by_key: dict[str, str] = {}
+        self._waiters_by_key: dict[str, list[str]] = {}
+        self._done_by_key: OrderedDict[str, str] = OrderedDict()
+        self._retired: deque[str] = deque()
+        self._ids = itertools.count(1)
+        self._paused = False
+        self._stopping = False
+        self._dispatcher: threading.Thread | None = None
+        for name in ("submitted", "rejected", "dedup_inflight",
+                     "dedup_done", "dispatched", "completed", "failed"):
+            self.tracer.counters.inc(f"serve.{name}", 0)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "CompileServer":
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop dispatching; queued-but-unstarted jobs fail cleanly."""
+        with self._work:
+            self._stopping = True
+            self._work.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=30)
+        with self._done:
+            while self._queue:
+                job = self._jobs[self._queue.popleft()]
+                self._fail_unstarted(job, "server shutting down")
+            self._done.notify_all()
+
+    def pause(self) -> None:
+        """Hold dispatch (drain control; submissions still queue)."""
+        with self._work:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._work:
+            self._paused = False
+            self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    def submit(self, requests: list[CompileRequest]) -> list[JobStatus]:
+        """Queue a batch; statuses in request order.
+
+        The batch is atomic with respect to backpressure: either every
+        genuinely-new job fits in the bounded queue or the whole batch
+        is rejected with :class:`QueueFull` (dedup aliases and
+        already-retained results never count against the bound).
+        """
+        for request in requests:
+            request.validate()
+        # keys involve a module build + hash; compute outside the lock
+        keys = [request.cache_key() for request in requests]
+        with self._work:
+            if self._stopping:
+                raise QueueFull(len(self._queue), self.config.max_queue,
+                                self.config.retry_after_s)
+            fresh = {key for key in keys
+                     if key not in self._inflight_by_key
+                     and key not in self._done_by_key}
+            if len(self._queue) + len(fresh) > self.config.max_queue:
+                self.tracer.counters.inc("serve.rejected", len(requests))
+                raise QueueFull(len(self._queue), self.config.max_queue,
+                                self.config.retry_after_s)
+            statuses = []
+            for request, key in zip(requests, keys):
+                job = _Job(id=f"job-{next(self._ids):06d}",
+                           request=request, key=key)
+                self._jobs[job.id] = job
+                self.tracer.counters.inc("serve.submitted")
+                primary_id = self._inflight_by_key.get(key)
+                if primary_id is not None:
+                    job.deduped = True
+                    self._waiters_by_key.setdefault(key, []).append(job.id)
+                    self.tracer.counters.inc("serve.dedup_inflight")
+                elif key in self._done_by_key:
+                    done = self._jobs[self._done_by_key[key]]
+                    job.deduped = True
+                    self._finish(job, _alias_result(done.result, job.id))
+                    self.tracer.counters.inc("serve.dedup_done")
+                else:
+                    self._inflight_by_key[key] = job.id
+                    self._queue.append(job.id)
+                statuses.append(job.status())
+            self._work.notify_all()
+            self._done.notify_all()
+            return statuses
+
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> JobStatus:
+        with self._lock:
+            return self._job(job_id).status()
+
+    def result(self, job_id: str, wait_s: float = 0.0) -> JobResult | None:
+        """The job's result, long-polling up to ``wait_s`` seconds.
+
+        ``None`` means "not finished yet" — the HTTP layer maps that to
+        202 so clients can poll without treating it as an error.
+        """
+        deadline = time.monotonic() + wait_s
+        with self._done:
+            while True:
+                job = self._job(job_id)
+                if job.result is not None:
+                    return job.result
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._done.wait(min(remaining, 0.5))
+
+    def stats(self) -> dict:
+        """Queue depth, per-state job counts, counters, disk footprint."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            report = {
+                "queue_depth": len(self._queue),
+                "jobs": dict(sorted(states.items())),
+                "retained_results": len(self._done_by_key),
+                "counters": self.tracer.counters.as_dict(),
+                "config": {
+                    "jobs": self.config.jobs,
+                    "max_queue": self.config.max_queue,
+                    "batch": self.config.batch,
+                    "cache_max_mb": self.config.cache_max_mb,
+                },
+            }
+        if self.config.use_cache:
+            report["cache"] = self._cache_view().stats().row()
+        return report
+
+    def _cache_view(self):
+        """A stats/prune handle on the shared disk store (no LRU use)."""
+        from ..cache import CompileCache, default_cache_dir
+
+        return CompileCache(
+            directory=self.config.cache_dir or default_cache_dir(),
+            max_disk_mb=self.config.cache_max_mb)
+
+    # ------------------------------------------------------------------
+    def _job(self, job_id: str) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(f"unknown or retired job {job_id!r}")
+        return job
+
+    def _dispatch_loop(self) -> None:
+        from ..harness.runner import run_tasks
+
+        cfg = self.config
+        while True:
+            with self._work:
+                while not self._stopping and (self._paused
+                                              or not self._queue):
+                    self._work.wait(0.5)
+                if self._stopping:
+                    return
+                wave = []
+                while self._queue and len(wave) < cfg.batch:
+                    job = self._jobs[self._queue.popleft()]
+                    job.state = JOB_RUNNING
+                    job.started_s = time.time()
+                    wave.append(job)
+                self.tracer.counters.inc("serve.dispatched", len(wave))
+            payloads = [(job.request.to_json(), cfg.use_cache,
+                         cfg.cache_dir) for job in wave]
+            with self.tracer.span("serve.dispatch", cat="serve",
+                                  jobs=len(wave)):
+                outcomes = run_tasks(
+                    "api", payloads, jobs=min(cfg.jobs, len(wave)),
+                    timeout_s=cfg.timeout_s, tracer=self.tracer)
+            with self._done:
+                for job, outcome in zip(wave, outcomes):
+                    self._finish(job, JobResult(
+                        job_id=job.id, ok=outcome.ok,
+                        kind=job.request.kind, key=job.key,
+                        result=outcome.value if outcome.ok else None,
+                        error=outcome.error,
+                        counters=dict(outcome.counters),
+                        duration_s=outcome.duration_s,
+                        cache_hit=outcome.counters.get("cache.hit", 0) > 0))
+                self._done.notify_all()
+            if cfg.use_cache and cfg.cache_max_mb is not None:
+                self._cache_view().prune()
+
+    # both completion paths arrive here with the lock held
+    def _finish(self, job: _Job, result: JobResult) -> None:
+        job.result = result
+        job.state = JOB_DONE if result.ok else JOB_FAILED
+        job.finished_s = time.time()
+        self.tracer.counters.inc(
+            "serve.completed" if result.ok else "serve.failed")
+        if result.ok and job.key not in self._done_by_key:
+            self._done_by_key[job.key] = job.id
+        if self._inflight_by_key.get(job.key) == job.id:
+            del self._inflight_by_key[job.key]
+            for waiter_id in self._waiters_by_key.pop(job.key, []):
+                self._finish(self._jobs[waiter_id],
+                             _alias_result(result, waiter_id))
+        self._retired.append(job.id)
+        self._trim_retained()
+
+    def _fail_unstarted(self, job: _Job, reason: str) -> None:
+        self._finish(job, JobResult(
+            job_id=job.id, ok=False, kind=job.request.kind, key=job.key,
+            error=reason))
+
+    def _trim_retained(self) -> None:
+        """Bound finished-job memory: retire oldest records first."""
+        while len(self._retired) > self.config.keep_results:
+            job_id = self._retired.popleft()
+            job = self._jobs.pop(job_id, None)
+            if job is not None and self._done_by_key.get(job.key) == job_id:
+                del self._done_by_key[job.key]
+
+
+# ----------------------------------------------------------------------
+# the HTTP transport
+# ----------------------------------------------------------------------
+class ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    core: CompileServer
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default; the CLI flips this on with --verbose
+    def log_message(self, fmt, *args):
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------
+    def _reply(self, code: int, obj, headers: dict | None = None) -> None:
+        body = protocol.encode(obj)
+        self.send_response(code)
+        self.send_header("Content-Type", protocol.CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self):
+        length = int(self.headers.get("Content-Length", 0))
+        return protocol.decode(self.rfile.read(length))
+
+    @property
+    def core(self) -> CompileServer:
+        return self.server.core  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:
+        path = urlparse(self.path).path
+        if path == protocol.SUBMIT:
+            try:
+                body = self._body() or {}
+                requests = [request_from_json(obj)
+                            for obj in body.get("jobs", [])]
+                statuses = self.core.submit(requests)
+            except QueueFull as exc:
+                self._reply(protocol.BUSY,
+                            {"error": str(exc),
+                             "retry_after_s": exc.retry_after_s},
+                            {"Retry-After": f"{exc.retry_after_s:g}"})
+            except (ApiError, ValueError) as exc:
+                self._reply(protocol.BAD_REQUEST, {"error": str(exc)})
+            else:
+                self._reply(protocol.OK, {
+                    "job_ids": [s.job_id for s in statuses],
+                    "statuses": [s.to_json() for s in statuses]})
+            return
+        if path == protocol.SHUTDOWN:
+            self._reply(protocol.OK, {"ok": True})
+            threading.Thread(target=self._stop_server,
+                             daemon=True).start()
+            return
+        self._reply(protocol.NOT_FOUND, {"error": f"no route {path!r}"})
+
+    def _stop_server(self) -> None:
+        self.core.shutdown()
+        self.server.shutdown()
+
+    def do_GET(self) -> None:
+        url = urlparse(self.path)
+        if url.path == protocol.STATS:
+            self._reply(protocol.OK, self.core.stats())
+            return
+        if url.path.startswith(protocol.JOBS + "/"):
+            parts = url.path[len(protocol.JOBS) + 1:].split("/")
+            try:
+                if len(parts) == 1:
+                    self._reply(protocol.OK,
+                                self.core.status(parts[0]).to_json())
+                    return
+                if len(parts) == 2 and parts[1] == "result":
+                    wait = float(parse_qs(url.query).get(
+                        "wait", ["0"])[0])
+                    result = self.core.result(parts[0], wait_s=wait)
+                    if result is None:
+                        self._reply(protocol.ACCEPTED,
+                                    self.core.status(parts[0]).to_json())
+                    else:
+                        self._reply(protocol.OK, result.to_json())
+                    return
+            except UnknownJob as exc:
+                self._reply(protocol.NOT_FOUND, {"error": str(exc)})
+                return
+        self._reply(protocol.NOT_FOUND, {"error": f"no route {url.path!r}"})
+
+
+def start_server(config: ServeConfig | None = None,
+                 tracer: Tracer | None = None
+                 ) -> tuple[CompileServer, ServiceHTTPServer]:
+    """Bind and start the service; ``(core, httpd)``.
+
+    The HTTP listener runs on a daemon thread; the returned ``httpd``
+    reports the bound address (``httpd.server_address``), which matters
+    when ``config.port`` is 0 (tests bind an ephemeral port).  Stop with
+    ``core.shutdown(); httpd.shutdown()``.
+    """
+    cfg = config or ServeConfig()
+    core = CompileServer(cfg, tracer).start()
+    httpd = ServiceHTTPServer((cfg.host, cfg.port), _Handler)
+    httpd.core = core
+    threading.Thread(target=httpd.serve_forever, name="serve-http",
+                     daemon=True).start()
+    return core, httpd
+
+
+def serve_forever(config: ServeConfig | None = None,
+                  verbose: bool = False) -> int:
+    """The CLI entry: run in the foreground until ^C or /shutdown."""
+    cfg = config or ServeConfig()
+    core = CompileServer(cfg).start()
+    httpd = ServiceHTTPServer((cfg.host, cfg.port), _Handler)
+    httpd.core = core
+    httpd.verbose = verbose
+    host, port = httpd.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(queue {cfg.max_queue}, batch {cfg.batch}, jobs {cfg.jobs}, "
+          f"cache {'off' if not cfg.use_cache else cfg.cache_dir or 'default'})",
+          flush=True)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        core.shutdown()
+        httpd.server_close()
+    return 0

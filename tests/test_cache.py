@@ -3,6 +3,7 @@ store, and the cached compile stage inside ``run_measurement``."""
 
 import os
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -97,11 +98,30 @@ class TestCompileCacheStore:
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         cache = CompileCache(directory=str(tmp_path))
         cache.put("k", 42)
-        path = tmp_path / "k.pkl"
+        path = Path(cache._path("k"))
+        assert path.exists()
         path.write_bytes(b"not a pickle")
         fresh = CompileCache(directory=str(tmp_path))
         assert fresh.get("k") is None
         assert not path.exists()             # dropped, not retried forever
+
+    def test_entries_shard_by_key_prefix(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        cache.put("abcd", 1)
+        cache.put("abzz", 2)
+        cache.put("cdef", 3)
+        assert (tmp_path / "ab" / "abcd.pkl").exists()
+        assert (tmp_path / "ab" / "abzz.pkl").exists()
+        assert (tmp_path / "cd" / "cdef.pkl").exists()
+        assert cache.stats().disk_entries == 3
+
+    def test_legacy_flat_entry_still_readable(self, tmp_path):
+        (tmp_path / "oldkey.pkl").write_bytes(pickle.dumps("legacy"))
+        cache = CompileCache(directory=str(tmp_path))
+        assert cache.get("oldkey") == "legacy"
+        assert cache.stats().disk_entries == 1
+        assert cache.clear() >= 1            # clear sweeps flat files too
+        assert not (tmp_path / "oldkey.pkl").exists()
 
     def test_clear_empties_both_tiers(self, tmp_path):
         cache = CompileCache(directory=str(tmp_path))
@@ -110,6 +130,116 @@ class TestCompileCacheStore:
         assert cache.clear() >= 2
         assert cache.get("a") is None
         assert cache.stats().disk_entries == 0
+
+    def test_prune_evicts_lru_by_mtime_first(self, tmp_path):
+        """Quota eviction is least-recently-used first: the oldest
+        mtimes go, the most recent survive, and the tier ends under
+        quota."""
+        cache = CompileCache(directory=str(tmp_path))
+        blob = b"x" * (256 * 1024)
+        for i, age in enumerate((100, 200, 300, 400)):
+            key = f"k{i}aa"
+            cache.put(key, blob)
+            os.utime(cache._path(key), (age, age))
+        # four ~256 KiB pickles; quota 0.6 MB keeps only the two newest
+        removed, freed = cache.prune(max_mb=0.6)
+        assert removed == 2 and freed > 0
+        survivors = {p for p in (f"k{i}aa" for i in range(4))
+                     if os.path.exists(cache._path(p))}
+        assert survivors == {"k2aa", "k3aa"}  # oldest mtimes evicted
+        assert cache.stats().disk_bytes <= 0.6 * 1024 * 1024
+        assert cache.stats().disk_evictions == 2
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        """A disk read touches mtime, so hot entries survive pruning."""
+        cache = CompileCache(max_entries=1, directory=str(tmp_path))
+        blob = b"y" * (256 * 1024)
+        for i in range(3):
+            key = f"h{i}aa"
+            cache.put(key, blob)
+            os.utime(cache._path(key), (100 + i, 100 + i))
+        fresh = CompileCache(max_entries=1, directory=str(tmp_path))
+        assert fresh.get("h0aa") == blob     # disk hit: now most recent
+        removed, _ = fresh.prune(max_mb=0.3)
+        assert removed == 2
+        assert os.path.exists(fresh._path("h0aa"))
+
+    def test_quota_enforced_on_put(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path), max_disk_mb=0.3)
+        for i in range(4):
+            cache.put(f"q{i}aa", b"z" * (256 * 1024))
+        assert cache.stats().disk_bytes <= 0.3 * 1024 * 1024
+
+    def test_prune_tolerates_vanishing_entries(self, tmp_path,
+                                               monkeypatch):
+        """A concurrent clear racing the prune scan is not an error."""
+        cache = CompileCache(directory=str(tmp_path))
+        for i in range(3):
+            key = f"v{i}aa"
+            cache.put(key, b"w" * (64 * 1024))
+            os.utime(cache._path(key), (100 + i, 100 + i))
+        real_unlink = os.unlink
+        raced = []
+
+        def racing_unlink(path, *args, **kwargs):
+            if not raced and str(path).endswith(".pkl"):
+                raced.append(path)
+                real_unlink(path)            # someone else got it first
+                raise FileNotFoundError(path)
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr("repro.cache.store.os.unlink", racing_unlink)
+        removed, _ = cache.prune(max_mb=0.0)
+        assert raced                          # the race actually fired
+        assert cache.stats().disk_entries == 0
+
+    def test_clear_tolerates_vanishing_entries(self, tmp_path,
+                                               monkeypatch):
+        cache = CompileCache(directory=str(tmp_path))
+        cache.put("c0aa", 1)
+        cache.put("c1aa", 2)
+        real_unlink = os.unlink
+        raced = []
+
+        def racing_unlink(path, *args, **kwargs):
+            if not raced and str(path).endswith(".pkl"):
+                raced.append(path)
+                real_unlink(path)
+                raise FileNotFoundError(path)
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr("repro.cache.store.os.unlink", racing_unlink)
+        assert cache.clear() >= 2            # raced file still counted
+        assert cache.stats().disk_entries == 0
+
+    def test_write_lock_file_created(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path))
+        cache.put("lkaa", 1)
+        assert (tmp_path / ".lock").exists()
+        # nested sequential use of the lock works (put then prune)
+        cache.prune(max_mb=1000)
+
+    def test_concurrent_writers_one_directory(self, tmp_path):
+        """Many threads over distinct caches sharing one directory:
+        every entry lands whole and readable."""
+        import threading
+
+        def writer(worker: int) -> None:
+            mine = CompileCache(directory=str(tmp_path))
+            for i in range(8):
+                mine.put(f"w{worker}k{i}", {"worker": worker, "i": i})
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reader = CompileCache(directory=str(tmp_path))
+        assert reader.stats().disk_entries == 32
+        for w in range(4):
+            for i in range(8):
+                assert reader.get(f"w{w}k{i}") == {"worker": w, "i": i}
 
 
 class TestCachedMeasurement:

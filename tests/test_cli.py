@@ -146,3 +146,56 @@ def test_options_plumbed(capsys):
     assert main(["measure", "vadd", "-n", "32", "--no-speculation",
                  "--no-join-motion"]) == 0
     assert "speculated loads: 0" in capsys.readouterr().out
+
+
+def test_cache_prune_cli(tmp_path, capsys):
+    from repro.cache import CompileCache
+
+    store = CompileCache(directory=str(tmp_path))
+    for i in range(4):
+        store.put(f"cli{i}aa", b"p" * (256 * 1024))
+    assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                 "--max-mb", "0.5", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned" in out
+    stats = json.loads(out[out.index("{"):])
+    assert stats["disk_evictions"] >= 2
+    assert stats["disk_entries"] >= 1     # not a clear: under-quota stays
+    assert store.stats().disk_bytes <= 0.5 * 1024 * 1024
+
+
+def test_cache_prune_requires_quota(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--cache-dir", str(tmp_path)])
+
+
+def test_submit_cli_round_trip(tmp_path, capsys):
+    from repro.serve import ServeConfig, start_server
+
+    core, httpd = start_server(ServeConfig(
+        port=0, jobs=1, cache_dir=str(tmp_path / "cache")))
+    try:
+        host, port = httpd.server_address[:2]
+        server = f"{host}:{port}"
+        assert main(["submit", "vadd", "--server", server, "-n", "24",
+                     "--unroll", "4", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["server"] == server
+        result = report["results"][0]
+        assert result["ok"] and not result["cache_hit"]
+        assert result["result"]["results"]["vliw_speedup"] > 1.0
+        # second submission is served from the first one's work
+        assert main(["submit", "vadd", "--server", server, "-n", "24",
+                     "--unroll", "4", "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)["results"][0]
+        assert warm["cache_hit"]
+        assert warm["result"] == result["result"]
+    finally:
+        core.shutdown()
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def test_submit_cli_rejects_bad_request():
+    with pytest.raises(SystemExit):
+        main(["submit", "vadd", "--server", "127.0.0.1:1", "--pairs", "3"])

@@ -1,0 +1,319 @@
+"""Tests for the compile service: the ``repro.api`` facade, the job
+queue (dedup, backpressure, retention), the HTTP transport, and the
+service's equivalence with direct in-process measurement."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (JOB_DONE, JOB_QUEUED, ApiError, CompileRequest,
+                       JobResult, JobStatus, MeasureRequest, dumps,
+                       request_from_json, run_request)
+from repro.errors import ReproError
+from repro.harness.measure import run_measurement
+from repro.harness.report import measurement_report
+from repro.serve import (Client, CompileServer, QueueFull, ServeConfig,
+                         ServerBusy, UnknownJob, start_server)
+
+REQ = MeasureRequest(kernel="vadd", n=24, unroll=4)
+
+
+def _config(tmp_path, **overrides):
+    kw = dict(port=0, jobs=1, max_queue=16, batch=4,
+              cache_dir=str(tmp_path / "cache"))
+    kw.update(overrides)
+    return ServeConfig(**kw)
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port plus a connected client."""
+    core, httpd = start_server(_config(tmp_path))
+    host, port = httpd.server_address[:2]
+    yield core, Client(f"{host}:{port}")
+    core.shutdown()
+    httpd.shutdown()
+    httpd.server_close()
+
+
+# ----------------------------------------------------------------------
+# the typed facade
+# ----------------------------------------------------------------------
+class TestApiSchema:
+    def test_request_round_trip(self):
+        for request in (REQ, CompileRequest(kernel="daxpy", n=32,
+                                            strategy="pipeline", unroll=0)):
+            wire = request.to_json()
+            assert wire["kind"] == request.kind
+            assert request_from_json(wire) == request
+
+    def test_kind_dispatch(self):
+        assert isinstance(request_from_json(REQ.to_json()), MeasureRequest)
+        compile_wire = CompileRequest(kernel="vadd").to_json()
+        decoded = request_from_json(compile_wire)
+        assert isinstance(decoded, CompileRequest)
+        assert not isinstance(decoded, MeasureRequest)
+
+    def test_unknown_fields_tolerated(self):
+        wire = REQ.to_json()
+        wire["from_the_future"] = 7
+        assert request_from_json(wire) == REQ
+
+    def test_invalid_requests_rejected(self):
+        with pytest.raises(ApiError):
+            request_from_json({"kind": "measure", "kernel": "no_such"})
+        with pytest.raises(ApiError):
+            request_from_json({"kind": "measure", "kernel": "vadd",
+                               "pairs": 3})
+        with pytest.raises(ApiError):
+            request_from_json({"kind": "measure", "kernel": "vadd",
+                               "strategy": "magic"})
+        with pytest.raises(ApiError):
+            request_from_json({"kind": "teleport", "kernel": "vadd"})
+        with pytest.raises(ApiError):
+            request_from_json({"kind": "measure"})  # kernel required
+
+    def test_status_and_result_round_trip(self):
+        status = JobStatus(job_id="job-1", state=JOB_QUEUED,
+                           kind="measure", kernel="vadd", key="abc")
+        assert JobStatus.from_json(status.to_json()) == status
+        result = JobResult(job_id="job-1", ok=True, kind="measure",
+                           key="abc", result={"x": 1},
+                           counters={"cache.hit": 1}, cache_hit=True)
+        assert JobResult.from_json(result.to_json()) == result
+
+    def test_cache_key_matches_measurement_cache(self, tmp_path):
+        """The facade's key is the key the compile cache actually uses:
+        running the lowered spec stores exactly one artifact under it."""
+        from repro.cache import CompileCache
+
+        cache = CompileCache(directory=str(tmp_path))
+        run_measurement(REQ.to_spec(), cache=cache)
+        from pathlib import Path
+        assert Path(cache._path(REQ.cache_key())).exists()
+
+    def test_run_request_equals_run_measurement(self):
+        assert dumps(run_request(REQ)) == dumps(
+            measurement_report(run_measurement(REQ.to_spec())))
+
+    def test_compile_request_payload(self):
+        payload = run_request(CompileRequest(kernel="vadd", n=24,
+                                             unroll=4))
+        assert payload["kernel"] == "vadd"
+        assert payload["compile"]["n_traces"] >= 1
+        assert all(fn["instructions"] > 0
+                   for fn in payload["functions"].values())
+        assert "results" not in payload      # no simulation ran
+
+
+# ----------------------------------------------------------------------
+# the job queue + HTTP transport
+# ----------------------------------------------------------------------
+class TestService:
+    def test_batch_submit_and_results(self, service):
+        _, client = service
+        statuses = client.submit([REQ, CompileRequest(kernel="daxpy",
+                                                      n=24, unroll=4)])
+        assert [s.state for s in statuses] == [JOB_QUEUED, JOB_QUEUED]
+        results = client.results([s.job_id for s in statuses],
+                                 timeout_s=120)
+        assert all(r.ok for r in results)
+        assert results[0].result["results"]["vliw_speedup"] > 1.0
+        assert results[1].result["compile"]["n_traces"] >= 1
+        assert client.status(statuses[0].job_id).state == JOB_DONE
+
+    def test_server_matches_direct_measurement(self, service):
+        """The service must be a transport, not a different compiler:
+        its payload is byte-identical to a direct run_measurement."""
+        _, client = service
+        result = client.submit_and_wait([REQ], timeout_s=120)[0]
+        assert dumps(result.result) == dumps(run_request(REQ))
+
+    def test_concurrent_duplicate_submits_one_compile(self, service):
+        """Two clients, same job, in flight together: one compile, two
+        byte-identical results, the second carrying cache.hit."""
+        core, client = service
+        core.pause()                          # both land before dispatch
+        second_client = Client(f"{client.host}:{client.port}")
+        first = client.submit([REQ])[0]
+        second = second_client.submit([REQ])[0]
+        assert not first.deduped and second.deduped
+        core.resume()
+        r1 = client.result(first.job_id, timeout_s=120)
+        r2 = second_client.result(second.job_id, timeout_s=120)
+        counters = core.tracer.counters
+        assert counters.get("serve.dispatched") == 1   # ONE compile ran
+        assert counters.get("serve.dedup_inflight") == 1
+        assert dumps(r1.result) == dumps(r2.result)
+        assert r2.cache_hit and r2.counters.get("cache.hit", 0) >= 1
+        # and both match the direct in-process call
+        assert dumps(r1.result) == dumps(run_request(REQ))
+
+    def test_completed_key_dedups_without_requeue(self, service):
+        core, client = service
+        client.submit_and_wait([REQ], timeout_s=120)
+        result = client.submit_and_wait([REQ], timeout_s=120)[0]
+        assert result.cache_hit
+        assert core.tracer.counters.get("serve.dedup_done") == 1
+        assert core.tracer.counters.get("serve.dispatched") == 1
+
+    def test_backpressure_rejects_with_retry_after(self, tmp_path):
+        core, httpd = start_server(_config(tmp_path, max_queue=1))
+        try:
+            host, port = httpd.server_address[:2]
+            client = Client(f"{host}:{port}")
+            core.pause()
+            client.submit([REQ])              # fills the bounded queue
+            distinct = MeasureRequest(kernel="vadd", n=25, unroll=4)
+            with pytest.raises(ServerBusy) as excinfo:
+                client.submit([distinct])
+            assert excinfo.value.retry_after_s > 0
+            assert core.tracer.counters.get("serve.rejected") == 1
+            # duplicates of queued work still get in: no new queue slot
+            alias = client.submit([REQ])[0]
+            assert alias.deduped
+            core.resume()
+            assert client.result(alias.job_id, timeout_s=120).ok
+        finally:
+            core.shutdown()
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_busy_retry_loop_recovers(self, tmp_path):
+        core, httpd = start_server(_config(tmp_path, max_queue=1))
+        try:
+            host, port = httpd.server_address[:2]
+            client = Client(f"{host}:{port}")
+            core.pause()
+            client.submit([REQ])
+            threading.Timer(0.3, core.resume).start()
+            distinct = MeasureRequest(kernel="vadd", n=25, unroll=4)
+            results = client.submit_and_wait(
+                [distinct], timeout_s=120, busy_retries=20)
+            assert results[0].ok
+        finally:
+            core.shutdown()
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_unknown_job_is_404(self, service):
+        _, client = service
+        from repro.serve import ServerError
+        with pytest.raises(ServerError) as excinfo:
+            client.status("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_malformed_submit_is_400(self, service):
+        _, client = service
+        from repro.serve import ServerError
+        with pytest.raises(ServerError) as excinfo:
+            client._call("POST", "/submit",
+                         {"jobs": [{"kind": "measure",
+                                    "kernel": "no_such_kernel"}]})
+        assert excinfo.value.status == 400
+
+    def test_stats_report(self, service):
+        _, client = service
+        client.submit_and_wait([REQ], timeout_s=120)
+        stats = client.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["jobs"].get("done") == 1
+        assert stats["counters"]["serve.completed"] == 1
+        assert stats["cache"]["disk_entries"] >= 1
+
+    def test_failed_job_reports_error(self, service, monkeypatch):
+        """A handler exception becomes a failed JobResult; the failure
+        is not retained for dedup, so a resubmit retries the work."""
+        core, client = service
+
+        def boom(request_obj, use_cache, cache_dir, tracer=None):
+            raise RuntimeError("forced failure")
+
+        monkeypatch.setattr("repro.api.execute_payload", boom)
+        result = client.submit_and_wait([REQ], timeout_s=120)[0]
+        assert not result.ok
+        assert "forced failure" in (result.error or "")
+        assert core.tracer.counters.get("serve.failed") == 1
+        monkeypatch.undo()
+        retry = client.submit_and_wait([REQ], timeout_s=120)[0]
+        assert retry.ok and not retry.cache_hit
+
+    def test_result_retention_bounded(self, tmp_path):
+        core, httpd = start_server(_config(tmp_path, keep_results=1))
+        try:
+            host, port = httpd.server_address[:2]
+            client = Client(f"{host}:{port}")
+            first = client.submit_and_wait([REQ], timeout_s=120)[0]
+            second = client.submit_and_wait(
+                [MeasureRequest(kernel="vadd", n=25, unroll=4)],
+                timeout_s=120)[0]
+            assert second.ok
+            # the older record was retired to honor keep_results=1
+            with pytest.raises(UnknownJob):
+                core.status(first.job_id)
+        finally:
+            core.shutdown()
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_shutdown_fails_queued_jobs_cleanly(self, tmp_path):
+        core, _httpd = start_server(_config(tmp_path))
+        core.pause()
+        status = core.submit([REQ])[0]
+        core.shutdown()
+        result = core.result(status.job_id, wait_s=0)
+        assert result is not None and not result.ok
+        assert "shutting down" in result.error
+        _httpd.shutdown()
+        _httpd.server_close()
+
+    def test_http_shutdown_endpoint(self, tmp_path):
+        core, httpd = start_server(_config(tmp_path))
+        host, port = httpd.server_address[:2]
+        client = Client(f"{host}:{port}")
+        client.shutdown()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and not core._stopping:
+            time.sleep(0.05)
+        assert core._stopping
+        with pytest.raises((ReproError, OSError)):
+            client.submit([REQ])
+        httpd.server_close()
+
+
+class TestServerCore:
+    """Queue-core behavior exercised without the HTTP layer."""
+
+    def test_submit_rejects_invalid_request(self, tmp_path):
+        core = CompileServer(_config(tmp_path))
+        with pytest.raises(ApiError):
+            core.submit([MeasureRequest(kernel="nope")])
+
+    def test_queue_full_raised_before_any_job_created(self, tmp_path):
+        core = CompileServer(_config(tmp_path, max_queue=1))
+        core.pause()
+        core.start()
+        core.submit([REQ])
+        batch = [MeasureRequest(kernel="vadd", n=25, unroll=4),
+                 MeasureRequest(kernel="vadd", n=26, unroll=4)]
+        with pytest.raises(QueueFull):
+            core.submit(batch)                # atomic: neither queued
+        assert core.stats()["queue_depth"] == 1
+        core.shutdown()
+
+    def test_wave_batching(self, tmp_path):
+        """More queued jobs than one wave: everything still completes,
+        in waves of at most ``batch``."""
+        core = CompileServer(_config(tmp_path, batch=2))
+        core.pause()
+        core.start()
+        statuses = core.submit([
+            MeasureRequest(kernel="vadd", n=n, unroll=4)
+            for n in (24, 25, 26)])
+        core.resume()
+        for status in statuses:
+            result = core.result(status.job_id, wait_s=120)
+            assert result is not None and result.ok
+        assert core.tracer.counters.get("serve.dispatched") == 3
+        core.shutdown()
