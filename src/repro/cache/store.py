@@ -15,14 +15,18 @@ store):
   (``ab/<key>.pkl``), so a hot store spreads across 256 directories
   instead of one giant listing.  Legacy flat-layout entries are still
   found on read and swept by ``clear``/``prune``.
-* **Cross-process locking** — mutating scans (``put`` of the entry
-  file, ``prune``, ``clear``) serialize on an advisory ``flock`` over
-  ``<dir>/.lock``, so two processes never interleave an eviction scan
-  with each other's writes.  Plain ``get`` never locks: atomic replace
-  guarantees whole files.
+* **Cross-process locking** — mutating *scans* (``prune``, ``clear``)
+  serialize on an advisory ``flock`` over ``<dir>/.lock``, so two
+  processes never interleave an eviction scan.  Entry writes and plain
+  ``get`` never lock: atomic replace guarantees whole files, so tenants
+  stream writes into the store without serializing on each other.
 * **Quota / eviction** — ``max_disk_mb`` bounds the disk tier;
   :meth:`CompileCache.prune` evicts least-recently-*used* entries first
   (every disk hit refreshes the entry's mtime) until the store fits.
+  ``put`` does *not* rescan the store every time: it tracks an estimate
+  of the disk footprint and prunes only once enough new bytes have
+  landed to plausibly exceed the quota, evicting down to a low-water
+  mark so steady-state writes near the quota stay O(1) amortized.
   Every scan tolerates entries vanishing mid-flight (a concurrent
   ``clear`` or competing prune): ``ENOENT`` means someone else already
   did the work, never an error.
@@ -52,6 +56,10 @@ DEFAULT_DIR = os.path.join(os.path.expanduser("~"), ".cache",
                            "repro-compile")
 
 _MB = 1024 * 1024
+
+#: Put-triggered prunes evict to this fraction of the quota, so the next
+#: prune is only due after (1 - _LOW_WATER) * quota of fresh writes.
+_LOW_WATER = 0.9
 
 
 def default_cache_dir() -> str:
@@ -108,8 +116,9 @@ class CompileCache:
         directory: on-disk tier location; ``None`` disables persistence
             (the cache is then purely per-process).
         max_disk_mb: disk-tier quota in MiB; ``None`` (default) leaves
-            the tier unbounded.  When set, every store prunes
-            least-recently-used entries until the tier fits.
+            the tier unbounded.  When set, writes trigger an LRU prune
+            once enough new bytes have landed to plausibly exceed the
+            quota (not a full store rescan on every put).
     """
 
     def __init__(self, max_entries: int = 64,
@@ -119,6 +128,9 @@ class CompileCache:
         self.directory = directory
         self.max_disk_mb = max_disk_mb
         self._lru: OrderedDict[str, object] = OrderedDict()
+        #: bytes the disk tier held at the last scan plus bytes this
+        #: process wrote since; None until the first quota'd write
+        self._disk_estimate: float | None = None
         self._stats = CacheStats(directory=directory, quota_mb=max_disk_mb)
 
     # ------------------------------------------------------------------
@@ -186,9 +198,27 @@ class CompileCache:
         self._remember(key, value)
         self._stats.stores += 1
         if self.directory is not None:
-            self._disk_put(key, value)
+            written = self._disk_put(key, value)
             if self.max_disk_mb is not None:
-                self.prune()
+                self._maybe_prune(written)
+
+    def _maybe_prune(self, written: int) -> None:
+        """Enforce the quota on a write-volume cadence, not per put.
+
+        The estimate is per-process (other tenants' writes and evictions
+        are unseen between scans), so the quota can be transiently
+        exceeded; every prune rescans and re-syncs it to the real total.
+        """
+        if self._disk_estimate is None:
+            # first quota'd write in this process: learn the footprint
+            # (one full scan), evicting if the store is already over
+            self.prune()
+            return
+        self._disk_estimate += written
+        if self._disk_estimate > self.max_disk_mb * _MB:
+            # evict to the low-water mark so the very next put does not
+            # immediately cross the quota and rescan again
+            self.prune(max_mb=self.max_disk_mb * _LOW_WATER)
 
     def _remember(self, key: str, value) -> None:
         self._lru[key] = value
@@ -216,23 +246,31 @@ class CompileCache:
             return value
         return None
 
-    def _disk_put(self, key: str, value) -> None:
+    def _disk_put(self, key: str, value) -> int:
+        """Write one entry; bytes written (0 when the tier is degraded).
+
+        No store lock: temp file + atomic replace already guarantees
+        other tenants never observe a torn entry, so concurrent writers
+        proceed without serializing on each other.  The flock is
+        reserved for eviction scans (``prune``/``clear``).
+        """
         try:
             shard = os.path.dirname(self._path(key))
-            with self._locked():
-                os.makedirs(shard, exist_ok=True)
-                fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
-                try:
-                    with os.fdopen(fd, "wb") as handle:
-                        pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
-                    os.replace(tmp, self._path(key))
-                except BaseException:
-                    with contextlib.suppress(OSError):
-                        os.unlink(tmp)
-                    raise
+            os.makedirs(shard, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                    written = handle.tell()
+                os.replace(tmp, self._path(key))
+                return written
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
         except OSError:
             # a read-only or full disk tier degrades to memory-only
-            pass
+            return 0
 
     # ------------------------------------------------------------------
     def _disk_listing(self) -> list[str]:
@@ -312,6 +350,9 @@ class CompileCache:
                 total -= size
                 removed += 1
                 freed += size
+            # the scan just measured the real footprint: re-sync the
+            # write-cadence estimate put() accumulates against
+            self._disk_estimate = float(total)
         self._stats.disk_evictions += removed
         return removed, freed
 

@@ -14,7 +14,8 @@ Endpoints:
   ``400 {"error": ...}`` on a malformed request.
 * ``GET /jobs/<id>`` — ``200 <JobStatus json>`` or ``404``.
 * ``GET /jobs/<id>/result?wait=<seconds>`` — long-polls up to ``wait``
-  seconds; ``200 <JobResult json>`` once finished, else
+  seconds (clamped server-side to 60 s per poll; a non-numeric ``wait``
+  is a 400); ``200 <JobResult json>`` once finished, else
   ``202 <JobStatus json>``.
 * ``GET /stats`` — queue depth, per-state job counts, the server's
   aggregate counters, and the shared cache's disk footprint.

@@ -9,12 +9,15 @@ Three mechanisms carry that promise:
 
 * **Dedup through the cache key.**  Every request resolves to the same
   content-addressed :func:`~repro.cache.compile_key` the compile cache
-  uses.  A submitted job whose key is already queued or running becomes
-  an *alias* of the earlier job — when the primary finishes, every alias
+  uses, widened to a *job identity* that also covers the request facets
+  the compile key cannot see (the request ``kind`` and its ``check``
+  flag — a measure job is never aliased onto a compile-only job).  A
+  submitted job whose identity is already queued or running becomes an
+  *alias* of the earlier job — when the primary finishes, every alias
   completes with the primary's payload verbatim and ``cache.hit`` in its
-  telemetry.  A key whose result is still retained completes instantly
-  the same way.  Two concurrent clients asking for the same compile
-  therefore cost exactly one compile.
+  telemetry.  An identity whose result is still retained completes
+  instantly the same way.  Two concurrent clients asking for the same
+  compile therefore cost exactly one compile.
 * **The work-queue executor.**  Queued jobs dispatch in waves through
   :func:`~repro.harness.run_tasks` (the same executor behind
   ``--jobs``), so the service inherits its per-task isolation, deadline
@@ -77,10 +80,27 @@ class ServeConfig:
     timeout_s: float | None = None
     use_cache: bool = True
     cache_dir: str | None = None
-    #: disk quota for the shared store; pruned after every wave
+    #: disk quota for the shared store; enforced between waves, at most
+    #: once per ``prune_interval_s``
     cache_max_mb: float | None = None
+    #: minimum seconds between quota prunes (a prune is a full store
+    #: scan under the store lock — keep it off the per-wave hot path)
+    prune_interval_s: float = 30.0
     #: finished job records retained for polling/dedup (oldest retired)
     keep_results: int = 256
+
+
+def _job_ident(request: CompileRequest, key: str) -> str:
+    """The dedup identity of one request.
+
+    The compile ``cache_key`` names the *artifact*; two requests with
+    the same key can still ask for different work (compile-only versus
+    a full measurement, output checking on or off).  Aliasing across
+    those would hand a measure client a compile report, so the identity
+    jobs dedup on covers the kind and check facets as well.
+    """
+    check = "check" if getattr(request, "check", False) else "nocheck"
+    return f"{request.kind}:{check}:{key}"
 
 
 @dataclass
@@ -90,6 +110,8 @@ class _Job:
     id: str
     request: CompileRequest
     key: str
+    #: dedup identity: the cache key plus kind/check (see _job_ident)
+    ident: str
     state: str = JOB_QUEUED
     deduped: bool = False
     submitted_s: float = field(default_factory=time.time)
@@ -106,16 +128,22 @@ class _Job:
             error=self.result.error if self.result is not None else None)
 
 
-def _alias_result(primary: JobResult, job_id: str) -> JobResult:
+def _alias_result(primary: JobResult, alias: _Job) -> JobResult:
     """A dedup alias's result: the primary's payload verbatim, with the
-    served-from-shared-work hit recorded in the alias's telemetry."""
+    served-from-shared-work hit recorded in the alias's telemetry.
+
+    ``kind`` and ``key`` come from the alias's *own* request — identical
+    to the primary's by construction (the dedup identity covers both),
+    but never inherited, so a labeling bug can't survive a refactor.
+    """
     counters = dict(primary.counters)
     counters["cache.hit"] = counters.get("cache.hit", 0) + 1
     counters.pop("cache.miss", None)
-    return JobResult(job_id=job_id, ok=primary.ok, kind=primary.kind,
-                     key=primary.key, result=primary.result,
-                     error=primary.error, counters=counters,
-                     duration_s=primary.duration_s, cache_hit=True)
+    return JobResult(job_id=alias.id, ok=primary.ok,
+                     kind=alias.request.kind, key=alias.key,
+                     result=primary.result, error=primary.error,
+                     counters=counters, duration_s=primary.duration_s,
+                     cache_hit=True)
 
 
 class CompileServer:
@@ -130,16 +158,18 @@ class CompileServer:
         self._done = threading.Condition(self._lock)   # job completion
         self._jobs: dict[str, _Job] = {}
         self._queue: deque[str] = deque()
-        self._inflight_by_key: dict[str, str] = {}
-        self._waiters_by_key: dict[str, list[str]] = {}
-        self._done_by_key: OrderedDict[str, str] = OrderedDict()
+        self._inflight_by_ident: dict[str, str] = {}
+        self._waiters_by_ident: dict[str, list[str]] = {}
+        self._done_by_ident: OrderedDict[str, str] = OrderedDict()
         self._retired: deque[str] = deque()
+        self._last_prune_s = float("-inf")
         self._ids = itertools.count(1)
         self._paused = False
         self._stopping = False
         self._dispatcher: threading.Thread | None = None
         for name in ("submitted", "rejected", "dedup_inflight",
-                     "dedup_done", "dispatched", "completed", "failed"):
+                     "dedup_done", "dispatched", "completed", "failed",
+                     "dispatch_errors", "prune_errors"):
             self.tracer.counters.inc(f"serve.{name}", 0)
 
     # ------------------------------------------------------------------
@@ -185,35 +215,38 @@ class CompileServer:
             request.validate()
         # keys involve a module build + hash; compute outside the lock
         keys = [request.cache_key() for request in requests]
+        idents = [_job_ident(request, key)
+                  for request, key in zip(requests, keys)]
         with self._work:
             if self._stopping:
                 raise QueueFull(len(self._queue), self.config.max_queue,
                                 self.config.retry_after_s)
-            fresh = {key for key in keys
-                     if key not in self._inflight_by_key
-                     and key not in self._done_by_key}
+            fresh = {ident for ident in idents
+                     if ident not in self._inflight_by_ident
+                     and ident not in self._done_by_ident}
             if len(self._queue) + len(fresh) > self.config.max_queue:
                 self.tracer.counters.inc("serve.rejected", len(requests))
                 raise QueueFull(len(self._queue), self.config.max_queue,
                                 self.config.retry_after_s)
             statuses = []
-            for request, key in zip(requests, keys):
+            for request, key, ident in zip(requests, keys, idents):
                 job = _Job(id=f"job-{next(self._ids):06d}",
-                           request=request, key=key)
+                           request=request, key=key, ident=ident)
                 self._jobs[job.id] = job
                 self.tracer.counters.inc("serve.submitted")
-                primary_id = self._inflight_by_key.get(key)
+                primary_id = self._inflight_by_ident.get(ident)
                 if primary_id is not None:
                     job.deduped = True
-                    self._waiters_by_key.setdefault(key, []).append(job.id)
+                    self._waiters_by_ident.setdefault(
+                        ident, []).append(job.id)
                     self.tracer.counters.inc("serve.dedup_inflight")
-                elif key in self._done_by_key:
-                    done = self._jobs[self._done_by_key[key]]
+                elif ident in self._done_by_ident:
+                    done = self._jobs[self._done_by_ident[ident]]
                     job.deduped = True
-                    self._finish(job, _alias_result(done.result, job.id))
+                    self._finish(job, _alias_result(done.result, job))
                     self.tracer.counters.inc("serve.dedup_done")
                 else:
-                    self._inflight_by_key[key] = job.id
+                    self._inflight_by_ident[ident] = job.id
                     self._queue.append(job.id)
                 statuses.append(job.status())
             self._work.notify_all()
@@ -251,7 +284,7 @@ class CompileServer:
             report = {
                 "queue_depth": len(self._queue),
                 "jobs": dict(sorted(states.items())),
-                "retained_results": len(self._done_by_key),
+                "retained_results": len(self._done_by_ident),
                 "counters": self.tracer.counters.as_dict(),
                 "config": {
                     "jobs": self.config.jobs,
@@ -297,13 +330,28 @@ class CompileServer:
                     job.started_s = time.time()
                     wave.append(job)
                 self.tracer.counters.inc("serve.dispatched", len(wave))
-            payloads = [(job.request.to_json(), cfg.use_cache,
-                         cfg.cache_dir) for job in wave]
-            with self.tracer.span("serve.dispatch", cat="serve",
-                                  jobs=len(wave)):
-                outcomes = run_tasks(
-                    "api", payloads, jobs=min(cfg.jobs, len(wave)),
-                    timeout_s=cfg.timeout_s, tracer=self.tracer)
+            # the dispatcher must outlive any single wave: an unexpected
+            # exception here fails the wave's jobs, never the thread —
+            # a dead dispatcher would strand RUNNING jobs and leave
+            # clients long-polling a queue nothing drains
+            try:
+                payloads = [(job.request.to_json(), cfg.use_cache,
+                             cfg.cache_dir) for job in wave]
+                with self.tracer.span("serve.dispatch", cat="serve",
+                                      jobs=len(wave)):
+                    outcomes = run_tasks(
+                        "api", payloads, jobs=min(cfg.jobs, len(wave)),
+                        timeout_s=cfg.timeout_s, tracer=self.tracer)
+            except Exception as exc:
+                self.tracer.counters.inc("serve.dispatch_errors")
+                with self._done:
+                    for job in wave:
+                        self._finish(job, JobResult(
+                            job_id=job.id, ok=False,
+                            kind=job.request.kind, key=job.key,
+                            error=f"dispatch failed: {exc!r}"))
+                    self._done.notify_all()
+                continue
             with self._done:
                 for job, outcome in zip(wave, outcomes):
                     self._finish(job, JobResult(
@@ -315,8 +363,24 @@ class CompileServer:
                         duration_s=outcome.duration_s,
                         cache_hit=outcome.counters.get("cache.hit", 0) > 0))
                 self._done.notify_all()
-            if cfg.use_cache and cfg.cache_max_mb is not None:
-                self._cache_view().prune()
+            self._maybe_prune_store()
+
+    def _maybe_prune_store(self) -> None:
+        """Quota enforcement between waves, throttled to at most one
+        full-store scan per ``prune_interval_s`` (the store may briefly
+        overshoot its quota between prunes; that is the trade)."""
+        cfg = self.config
+        if not cfg.use_cache or cfg.cache_max_mb is None:
+            return
+        now = time.monotonic()
+        if now - self._last_prune_s < cfg.prune_interval_s:
+            return
+        self._last_prune_s = now
+        try:
+            self._cache_view().prune()
+        except Exception:
+            # never let store trouble take the dispatcher down
+            self.tracer.counters.inc("serve.prune_errors")
 
     # both completion paths arrive here with the lock held
     def _finish(self, job: _Job, result: JobResult) -> None:
@@ -325,13 +389,13 @@ class CompileServer:
         job.finished_s = time.time()
         self.tracer.counters.inc(
             "serve.completed" if result.ok else "serve.failed")
-        if result.ok and job.key not in self._done_by_key:
-            self._done_by_key[job.key] = job.id
-        if self._inflight_by_key.get(job.key) == job.id:
-            del self._inflight_by_key[job.key]
-            for waiter_id in self._waiters_by_key.pop(job.key, []):
-                self._finish(self._jobs[waiter_id],
-                             _alias_result(result, waiter_id))
+        if result.ok and job.ident not in self._done_by_ident:
+            self._done_by_ident[job.ident] = job.id
+        if self._inflight_by_ident.get(job.ident) == job.id:
+            del self._inflight_by_ident[job.ident]
+            for waiter_id in self._waiters_by_ident.pop(job.ident, []):
+                waiter = self._jobs[waiter_id]
+                self._finish(waiter, _alias_result(result, waiter))
         self._retired.append(job.id)
         self._trim_retained()
 
@@ -345,8 +409,9 @@ class CompileServer:
         while len(self._retired) > self.config.keep_results:
             job_id = self._retired.popleft()
             job = self._jobs.pop(job_id, None)
-            if job is not None and self._done_by_key.get(job.key) == job_id:
-                del self._done_by_key[job.key]
+            if (job is not None
+                    and self._done_by_ident.get(job.ident) == job_id):
+                del self._done_by_ident[job.ident]
 
 
 # ----------------------------------------------------------------------
@@ -355,6 +420,12 @@ class CompileServer:
 class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     core: CompileServer
+
+
+#: Hard cap on one long-poll's server-side wait: a client asking for
+#: more (``?wait=inf``, ``?wait=1e9``) pins an HTTP handler thread, so
+#: the server clamps and lets the client re-poll.
+MAX_WAIT_S = 60.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -391,6 +462,10 @@ class _Handler(BaseHTTPRequestHandler):
         if path == protocol.SUBMIT:
             try:
                 body = self._body() or {}
+                if not isinstance(body, dict) \
+                        or not isinstance(body.get("jobs", []), list):
+                    raise ApiError("submit body must be an object "
+                                   "with a 'jobs' list")
                 requests = [request_from_json(obj)
                             for obj in body.get("jobs", [])]
                 statuses = self.core.submit(requests)
@@ -430,8 +505,17 @@ class _Handler(BaseHTTPRequestHandler):
                                 self.core.status(parts[0]).to_json())
                     return
                 if len(parts) == 2 and parts[1] == "result":
-                    wait = float(parse_qs(url.query).get(
-                        "wait", ["0"])[0])
+                    raw = parse_qs(url.query).get("wait", ["0"])[0]
+                    try:
+                        wait = float(raw)
+                    except ValueError:
+                        wait = float("nan")
+                    if wait != wait:             # unparsable or NaN
+                        self._reply(protocol.BAD_REQUEST,
+                                    {"error": "wait must be a finite "
+                                              f"number, got {raw!r}"})
+                        return
+                    wait = max(0.0, min(wait, MAX_WAIT_S))
                     result = self.core.result(parts[0], wait_s=wait)
                     if result is None:
                         self._reply(protocol.ACCEPTED,

@@ -212,12 +212,32 @@ class TestCompileCacheStore:
         assert cache.clear() >= 2            # raced file still counted
         assert cache.stats().disk_entries == 0
 
-    def test_write_lock_file_created(self, tmp_path):
+    def test_eviction_scans_take_the_lock_writes_do_not(self, tmp_path):
         cache = CompileCache(directory=str(tmp_path))
+        # entry writes rely on atomic replace alone — no lock file
         cache.put("lkaa", 1)
-        assert (tmp_path / ".lock").exists()
-        # nested sequential use of the lock works (put then prune)
+        assert not (tmp_path / ".lock").exists()
+        # the eviction scan is what serializes cross-process
         cache.prune(max_mb=1000)
+        assert (tmp_path / ".lock").exists()
+
+    def test_put_prunes_on_write_cadence_not_every_put(self, tmp_path,
+                                                       monkeypatch):
+        """With a roomy quota, puts accumulate toward a threshold
+        instead of rescanning the store each time: only the initial
+        footprint-learning prune runs."""
+        cache = CompileCache(directory=str(tmp_path), max_disk_mb=10.0)
+        prunes = []
+        real_prune = CompileCache.prune
+
+        def counting_prune(self, max_mb=None):
+            prunes.append(max_mb)
+            return real_prune(self, max_mb)
+
+        monkeypatch.setattr(CompileCache, "prune", counting_prune)
+        for i in range(16):
+            cache.put(f"t{i:02d}aa", b"y" * 1024)   # ~16 KiB vs 10 MB
+        assert len(prunes) == 1
 
     def test_concurrent_writers_one_directory(self, tmp_path):
         """Many threads over distinct caches sharing one directory:

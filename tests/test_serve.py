@@ -158,6 +158,95 @@ class TestService:
         assert core.tracer.counters.get("serve.dedup_done") == 1
         assert core.tracer.counters.get("serve.dispatched") == 1
 
+    def test_measure_never_aliased_onto_compile(self, service):
+        """Same parameters, different kinds: a retained compile-only
+        result (the documented cache-warm flow) must not satisfy a
+        measure request — the dedup identity covers the kind."""
+        core, client = service
+        compile_req = CompileRequest(kernel="vadd", n=24, unroll=4)
+        warm = client.submit_and_wait([compile_req], timeout_s=120)[0]
+        assert warm.ok and warm.kind == "compile"
+        measured = client.submit_and_wait([REQ], timeout_s=120)[0]
+        assert measured.ok and measured.kind == "measure"
+        assert "results" in measured.result   # the simulation really ran
+        assert core.tracer.counters.get("serve.dispatched") == 2
+        assert core.tracer.counters.get("serve.dedup_done") == 0
+
+    def test_inflight_kinds_and_check_queue_separately(self, service):
+        """Jobs sharing a compile key but differing in kind or in the
+        check flag are distinct work, not dedup aliases."""
+        core, client = service
+        core.pause()                          # all land before dispatch
+        c = client.submit([CompileRequest(kernel="vadd", n=24,
+                                          unroll=4)])[0]
+        m = client.submit([REQ])[0]
+        unchecked = client.submit([MeasureRequest(kernel="vadd", n=24,
+                                                  unroll=4,
+                                                  check=False)])[0]
+        assert not c.deduped and not m.deduped and not unchecked.deduped
+        core.resume()
+        rc = client.result(c.job_id, timeout_s=120)
+        rm = client.result(m.job_id, timeout_s=120)
+        assert rc.kind == "compile" and "results" not in rc.result
+        assert rm.kind == "measure" and "results" in rm.result
+
+    def test_dispatcher_survives_wave_exception(self, tmp_path,
+                                                monkeypatch):
+        """An unexpected executor failure fails that wave's jobs but
+        never the dispatcher thread: later submissions still run."""
+        import repro.harness.runner as runner_mod
+
+        real = runner_mod.run_tasks
+        armed = {"boom": True}
+
+        def flaky(kind, payloads, **kwargs):
+            if armed.pop("boom", False):
+                raise RuntimeError("wave exploded")
+            return real(kind, payloads, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_tasks", flaky)
+        core = CompileServer(_config(tmp_path)).start()
+        try:
+            status = core.submit([REQ])[0]
+            result = core.result(status.job_id, wait_s=120)
+            assert result is not None and not result.ok
+            assert "wave exploded" in result.error
+            assert core.tracer.counters.get("serve.dispatch_errors") == 1
+            # failures are not retained for dedup; the retry runs fresh
+            retry = core.submit([REQ])[0]
+            assert not retry.deduped
+            again = core.result(retry.job_id, wait_s=120)
+            assert again is not None and again.ok
+        finally:
+            core.shutdown()
+
+    def test_result_wait_param_validated(self, service):
+        """Garbage ``wait`` values are a 400; extreme ones are clamped
+        server-side instead of pinning a handler thread."""
+        _, client = service
+        from repro.serve import ServerError
+        status = client.submit([REQ])[0]
+        for bad in ("abc", "nan"):
+            with pytest.raises(ServerError) as excinfo:
+                client._call(
+                    "GET", f"/jobs/{status.job_id}/result?wait={bad}")
+            assert excinfo.value.status == 400
+        code, _ = client._call(
+            "GET", f"/jobs/{status.job_id}/result?wait=-5")
+        assert code in (200, 202)            # negative waits act as 0
+        client.result(status.job_id, timeout_s=120)
+        code, _ = client._call(
+            "GET", f"/jobs/{status.job_id}/result?wait=inf")
+        assert code == 200                   # clamped; replies promptly
+
+    def test_non_object_submit_body_is_400(self, service):
+        _, client = service
+        from repro.serve import ServerError
+        for body in ([1, 2, 3], {"jobs": {"kind": "measure"}}):
+            with pytest.raises(ServerError) as excinfo:
+                client._call("POST", "/submit", body)
+            assert excinfo.value.status == 400
+
     def test_backpressure_rejects_with_retry_after(self, tmp_path):
         core, httpd = start_server(_config(tmp_path, max_queue=1))
         try:
