@@ -1,0 +1,141 @@
+"""Recovery benchmarks: what a restart costs as the journal grows.
+
+The durability layer's promise is that a crashed daemon comes back fast
+and correct; this file puts numbers on "fast".  Results land in
+``BENCH_recovery.json`` at the repository root:
+
+1. **replay latency vs. journal size** — construct a
+   :class:`~repro.serve.CompileServer` over synthetic journals holding
+   8/32/128 finished jobs and time the replay (load + validate +
+   rebuild the retained-result window).  Replay must scale roughly
+   linearly and stay far under a second at the sizes one daemon
+   retains (``keep_results`` defaults to 256);
+2. **live restart round-trip** — a real server finishes a job, its
+   journal is dropped crash-style (no cleanup), and a new server is
+   timed from construction to the job's result being re-servable.  The
+   recovered payload must be byte-identical to the pre-crash one.
+
+Synthetic journals use the real record schema (written through
+:class:`~repro.serve.JobJournal` itself), so replay exercises the same
+validation path a genuine restart does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from .conftest import bench_once
+
+from repro.api import API_VERSION, MeasureRequest, dumps
+from repro.serve import CompileServer, JobJournal, ServeConfig
+
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_recovery.json")
+REPLAY_SIZES = (8, 32, 128)
+
+_report: dict = {
+    "host": {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    },
+    "api_version": API_VERSION,
+}
+
+
+def _synthetic_journal(path: str, finished_jobs: int) -> None:
+    """A journal of ``finished_jobs`` completed measure jobs, written
+    through the real JobJournal so replay sees genuine records."""
+    journal = JobJournal(path, fsync=False, keep_done=finished_jobs + 1)
+    for i in range(1, finished_jobs + 1):
+        job_id = f"job-{i:06d}"
+        request = MeasureRequest(kernel="vadd", n=24 + i,
+                                 unroll=4).to_json()
+        journal.submitted(job_id, f"measure:check:key-{i}", f"key-{i}",
+                          request, sync=False)
+        journal.dispatched(job_id, 1, sync=False)
+        journal.finished(job_id, {
+            "job_id": job_id, "ok": True, "kind": "measure",
+            "key": f"key-{i}",
+            "result": {"kernel": "vadd", "n": 24 + i,
+                       "results": {"vliw_speedup": 2.0}},
+            "counters": {"cache.miss": 1}, "duration_s": 0.5,
+            "cache_hit": False}, ok=True, sync=False)
+    journal.close()
+
+
+def test_replay_latency_scales(tmp_path):
+    """Tier 1: replay time across journal sizes."""
+    rows = []
+    for size in REPLAY_SIZES:
+        path = str(tmp_path / f"replay-{size}.journal")
+        _synthetic_journal(path, size)
+        config = ServeConfig(port=0, jobs=1, use_cache=False,
+                             journal_path=path, journal_fsync=False,
+                             keep_results=max(256, size))
+        t0 = time.perf_counter()
+        core = CompileServer(config)
+        replay_s = time.perf_counter() - t0
+        stats = core.stats()
+        assert stats["counters"]["serve.replayed_done"] == size
+        assert stats["retained_results"] == size
+        core.shutdown()
+        rows.append({"jobs_replayed": size,
+                     "replay_s": round(replay_s, 4)})
+    _report["replay_latency"] = rows
+    # the whole retained window must replay well under a second
+    assert all(row["replay_s"] < 1.0 for row in rows)
+
+
+def test_live_restart_round_trip(tmp_path, benchmark):
+    """Tier 2: crash a real server, time construction-to-re-serve."""
+    config = ServeConfig(port=0, jobs=1,
+                         cache_dir=str(tmp_path / "cache"),
+                         journal_path=str(tmp_path / "serve.journal"))
+    core = CompileServer(config).start()
+    request = MeasureRequest(kernel="vadd", n=24, unroll=4)
+    job_id = core.submit([request])[0].job_id
+    before = core.result(job_id, wait_s=120)
+    assert before is not None and before.ok
+    core._journal.crash()                     # SIGKILL twin: no cleanup
+
+    t0 = time.perf_counter()
+    revived = CompileServer(config).start()
+    after = revived.result(job_id, wait_s=0)
+    restart_s = time.perf_counter() - t0
+    try:
+        assert after is not None and after.ok
+        assert dumps(after.to_json()) == dumps(before.to_json())
+        _report["live_restart"] = {
+            "kernel": "vadd", "n": 24,
+            "restart_s": round(restart_s, 4),
+            "replayed_done":
+                revived.tracer.counters.get("serve.replayed_done"),
+        }
+        assert restart_s < 5.0
+        # clock a pure replay round on its own journal (the live one is
+        # still flocked by `revived`)
+        bench_path = str(tmp_path / "bench.journal")
+        _synthetic_journal(bench_path, 32)
+        bench_once(benchmark, lambda: CompileServer(ServeConfig(
+            port=0, jobs=1, use_cache=False, journal_path=bench_path,
+            journal_fsync=False)).shutdown())
+    finally:
+        revived.shutdown()
+
+
+def test_write_report(show):
+    """Last in file: persist the tiers measured above."""
+    assert {"replay_latency", "live_restart"} <= set(_report)
+    with open(REPORT_PATH, "w") as handle:
+        json.dump(_report, handle, indent=2)
+        handle.write("\n")
+    show([{"jobs_replayed": row["jobs_replayed"],
+           "replay_s": row["replay_s"],
+           "gate": "< 1.0 s"} for row in _report["replay_latency"]]
+         + [{"jobs_replayed": "live restart (1 job)",
+             "replay_s": _report["live_restart"]["restart_s"],
+             "gate": "< 5.0 s, byte-identical re-serve"}],
+         "journal replay latency (BENCH_recovery.json)")

@@ -19,6 +19,8 @@ Commands:
   caches, and dispatches compile/measure jobs for many clients.
 * ``submit`` — a service client: submit kernels to a running daemon,
   wait for results (also ``--stats`` / ``--shutdown``).
+* ``chaos`` — crash-injection harness: SIGKILL a journaled daemon at a
+  seeded point, restart it, and differentially verify recovery.
 * ``cache stats|prune|clear`` — inspect or bound the shared store.
 
 ``measure``, ``sweep``, and ``submit`` all build their jobs through the
@@ -433,21 +435,28 @@ def cmd_serve(args) -> int:
         host=args.host, port=args.port, jobs=args.jobs,
         max_queue=args.max_queue, batch=args.batch,
         timeout_s=args.timeout, use_cache=not args.no_cache,
-        cache_dir=args.cache_dir, cache_max_mb=args.cache_max_mb)
+        cache_dir=args.cache_dir, cache_max_mb=args.cache_max_mb,
+        journal_path=args.journal, max_attempts=args.max_attempts)
     return serve_forever(config, verbose=args.verbose)
 
 
 def cmd_submit(args) -> int:
-    from .serve import Client, ServerBusy
+    from .serve import Client, ServerBusy, ServerUnavailable
 
     client = Client(args.server, timeout_s=args.timeout)
-    if args.shutdown:
-        client.shutdown()
-        print(f"asked {args.server} to shut down")
-        return 0
-    if args.stats:
-        print(json.dumps(client.stats(), indent=2))
-        return 0
+    try:
+        if args.shutdown:
+            reply = client.shutdown()
+            note = (" (dispatcher stuck — did not drain in time)"
+                    if reply.get("dispatcher_stuck") else "")
+            print(f"asked {args.server} to shut down{note}")
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+    except ServerUnavailable as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
     kernels = args.kernels or list(SWEEP_KERNELS)
     requests = [_request(args, kernel, compile_only=args.compile_only)
                 for kernel in kernels]
@@ -462,6 +471,11 @@ def cmd_submit(args) -> int:
     except ServerBusy as busy:
         print(f"server busy: retry in {busy.retry_after_s:g}s",
               file=sys.stderr)
+        return 2
+    except ServerUnavailable as exc:
+        # a clean one-liner, not a traceback: the daemon is down (or
+        # never came back inside the timeout)
+        print(f"submit: {exc}", file=sys.stderr)
         return 2
     failed = [r for r in results if not r.ok]
     if args.as_json:
@@ -483,6 +497,27 @@ def cmd_submit(args) -> int:
         for result in failed:
             print(f"{result.job_id} FAILED: {result.error}",
                   file=sys.stderr)
+    return 1 if failed else 0
+
+
+def cmd_chaos(args) -> int:
+    from .harness.chaos import KILL_POINTS, run_chaos
+
+    points = list(KILL_POINTS) if args.point == "all" else [args.point]
+    kernels = args.kernels or ["vadd", "dot"]
+    outcomes = run_chaos(points, kernels, n=args.n, workdir=args.workdir,
+                         timeout_s=args.timeout, verbose=args.verbose)
+    if args.as_json:
+        print(json.dumps({"outcomes": [o.row() for o in outcomes]},
+                         indent=2))
+    else:
+        print_table([o.row() for o in outcomes],
+                    "chaos: SIGKILL + journal-replay recovery, "
+                    "differential vs an uninterrupted control run")
+    failed = [o for o in outcomes if not o.ok]
+    for outcome in failed:
+        print(f"chaos {outcome.point}: FAILED: {outcome.error}",
+              file=sys.stderr)
     return 1 if failed else 0
 
 
@@ -640,6 +675,14 @@ def main(argv=None) -> int:
                    metavar="MB",
                    help="disk quota for the shared store, pruned "
                         "LRU-by-use after every dispatch wave")
+    p.add_argument("--journal", metavar="FILE", default=None,
+                   help="write-ahead job journal: accepted jobs are "
+                        "fsync'd here before they are acknowledged, and "
+                        "a restarted daemon replays the file to resume "
+                        "its queue (default: off, in-memory only)")
+    p.add_argument("--max-attempts", type=int, default=2, metavar="N",
+                   help="dispatch attempts per job (crashes included) "
+                        "before it is quarantined as failed (default 2)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
     _add_jobs_arg(p)
@@ -669,6 +712,32 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit one machine-readable JSON report")
     p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "chaos", help="crash-injection harness: SIGKILL a journaled "
+                      "daemon at a seeded point, restart it on its "
+                      "journal, and verify every job recovers with "
+                      "payloads identical to an uninterrupted run")
+    p.add_argument("kernels", nargs="*",
+                   help="kernels to submit per scenario (default: "
+                        "vadd dot)")
+    p.add_argument("--point", default="all",
+                   choices=("pre-dispatch", "mid-wave", "pre-finish",
+                            "all"),
+                   help="where to SIGKILL the daemon (default: every "
+                        "point in turn)")
+    p.add_argument("-n", type=int, default=24,
+                   help="problem size per kernel (default 24)")
+    p.add_argument("--workdir", metavar="DIR", default=None,
+                   help="journal/cache scratch dir (default: a fresh "
+                        "temporary directory)")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="per-scenario budget (default 120)")
+    p.add_argument("--verbose", action="store_true",
+                   help="narrate each scenario's kill/restart cycle")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit one machine-readable JSON report")
+    p.set_defaults(fn=cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -227,6 +227,10 @@ class JobStatus:
     started_s: float | None = None
     finished_s: float | None = None
     error: str | None = None
+    #: dispatch attempts charged so far (journal replay included)
+    attempts: int = 0
+    #: this job was rebuilt from the daemon's journal after a restart
+    recovered: bool = False
 
     def to_json(self) -> dict:
         return {"v": API_VERSION, **asdict(self)}
@@ -334,9 +338,9 @@ def dumps(obj: Any, **kwargs) -> str:
 
 
 def __getattr__(name: str):
-    # Client/ServerBusy live in repro.serve; re-exported lazily so
-    # importing repro.api never drags the HTTP machinery in.
-    if name in ("Client", "ServerBusy"):
+    # Client and its error types live in repro.serve; re-exported lazily
+    # so importing repro.api never drags the HTTP machinery in.
+    if name in ("Client", "ServerBusy", "ServerUnavailable"):
         from . import serve
 
         return getattr(serve, name)
@@ -350,5 +354,5 @@ __all__ = [
     "request_from_json",
     "JobStatus", "JobResult",
     "compile_report", "run_request", "execute_payload", "dumps",
-    "Client", "ServerBusy",
+    "Client", "ServerBusy", "ServerUnavailable",
 ]

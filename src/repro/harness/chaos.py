@@ -1,0 +1,275 @@
+"""Crash-injection harness: prove the service's durability end to end.
+
+Unit tests can exercise the journal's replay logic in-process, but the
+durability claim the service makes — *an accepted job survives the
+daemon dying at any moment* — is a claim about a real process being
+SIGKILLed with no cleanup and a real restart replaying a real file.
+This module stages exactly that:
+
+1. run the whole batch **uninterrupted** in-process (the control run:
+   the payloads every job must eventually match, byte for byte);
+2. start a real ``repro serve`` daemon as a subprocess with a journal
+   and ``$REPRO_CHAOS_KILL`` armed at one of the seeded points the
+   dispatcher passes through (:data:`KILL_POINTS` — before the wave is
+   journaled, after the attempts are journaled but before execution,
+   after execution but before any result is recorded);
+3. submit the batch; the daemon SIGKILLs itself at the seeded point
+   (the submit itself may die mid-flight — that is part of the test);
+4. restart the daemon on the same journal and cache, re-submit the
+   same batch (safe: identity dedup aliases the resubmission onto
+   whatever the journal recovered), and collect every result;
+5. assert each payload is byte-identical to the control run's (via
+   :func:`repro.api.dumps`), that recovered compile work was served
+   from the shared cache (``cache.hit`` > 0 — the pre-crash compile
+   was not redone), and that no job exceeded the bounded retry budget.
+
+The ``repro chaos`` CLI and CI's chaos smoke job drive this; tests
+reuse the pieces.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from ..api import MeasureRequest, dumps, run_request
+from ..errors import ReproError
+from ..serve import Client, ServerUnavailable
+from ..serve.server import CHAOS_POINTS
+
+#: The seeded SIGKILL points (re-exported from the server so the
+#: harness and the dispatcher can never disagree about the names).
+KILL_POINTS = CHAOS_POINTS
+
+
+class ChaosError(ReproError):
+    """A chaos scenario could not even be staged (daemon never came
+    up, never died, or never came back) — distinct from a recovery
+    *verification* failure, which lands in :attr:`ChaosOutcome.error`."""
+
+
+@dataclass
+class ChaosOutcome:
+    """What one kill-point scenario observed."""
+
+    point: str
+    ok: bool = False
+    jobs: int = 0
+    #: jobs whose recovered payload matched the control run exactly
+    identical: int = 0
+    #: ``cache.hit`` total across recovered results (pre-crash compile
+    #: work served from the shared store instead of redone)
+    cache_hits: int = 0
+    #: highest per-job attempt count observed after recovery
+    max_attempts_seen: int = 0
+    #: jobs quarantined by the retry budget (should be 0 — chaos kills
+    #: the daemon, not the job's own worker)
+    quarantined: int = 0
+    kill_exit: int | None = None
+    recovery_s: float = 0.0
+    error: str | None = None
+    details: list = field(default_factory=list)
+
+    def row(self) -> dict:
+        return {"point": self.point, "ok": self.ok, "jobs": self.jobs,
+                "identical": self.identical,
+                "cache_hits": self.cache_hits,
+                "max_attempts": self.max_attempts_seen,
+                "quarantined": self.quarantined,
+                "kill_exit": self.kill_exit,
+                "recovery_s": round(self.recovery_s, 3)}
+
+
+def free_port() -> int:
+    """An OS-assigned free TCP port (racy by nature, fine for tests)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _daemon_env(chaos_point: str | None) -> dict:
+    """The subprocess environment: inherit, point PYTHONPATH at our
+    import roots, arm (or disarm) the kill switch."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    if chaos_point is None:
+        env.pop("REPRO_CHAOS_KILL", None)
+    else:
+        env["REPRO_CHAOS_KILL"] = chaos_point
+    return env
+
+
+def start_daemon(port: int, journal: str, cache_dir: str, *,
+                 batch: int = 8, jobs: int = 1,
+                 chaos_point: str | None = None,
+                 verbose: bool = False) -> subprocess.Popen:
+    """Launch a real ``repro serve`` subprocess on ``port``."""
+    cmd = [sys.executable, "-m", "repro", "serve",
+           "--port", str(port), "--journal", journal,
+           "--cache-dir", cache_dir, "--batch", str(batch),
+           "--jobs", str(jobs)]
+    sink = None if verbose else subprocess.DEVNULL
+    return subprocess.Popen(cmd, env=_daemon_env(chaos_point),
+                            stdout=sink, stderr=sink)
+
+
+def wait_ready(client: Client, proc: subprocess.Popen,
+               timeout_s: float = 30.0, *,
+               may_die: bool = False) -> bool:
+    """Poll ``/readyz`` until the daemon is ready (or, when ``may_die``,
+    until it exits — a daemon armed to kill itself pre-dispatch can be
+    gone before the probe ever lands).  True if it became ready."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            if may_die:
+                return False
+            raise ChaosError(f"daemon exited {proc.returncode} before "
+                             f"becoming ready")
+        try:
+            if client.ready().get("ready"):
+                return True
+        except ServerUnavailable:
+            pass
+        time.sleep(0.05)
+    raise ChaosError(f"daemon not ready within {timeout_s:g}s")
+
+
+def _control_payloads(requests: list[MeasureRequest]) -> list[dict]:
+    """The uninterrupted reference run, in-process and cache-free, so
+    the differential baseline owes nothing to the daemons under test."""
+    return [run_request(request) for request in requests]
+
+
+def run_scenario(point: str, requests: list[MeasureRequest],
+                 control: list[dict], workdir: str, *,
+                 timeout_s: float = 120.0,
+                 verbose: bool = False) -> ChaosOutcome:
+    """One kill-point scenario: kill, restart, differentially verify."""
+    outcome = ChaosOutcome(point=point, jobs=len(requests))
+    scenario_dir = os.path.join(workdir, point.replace("-", "_"))
+    os.makedirs(scenario_dir, exist_ok=True)
+    journal = os.path.join(scenario_dir, "serve.journal")
+    cache_dir = os.path.join(scenario_dir, "cache")
+    port = free_port()
+    client = Client(f"127.0.0.1:{port}", timeout_s=10.0)
+
+    def note(message: str) -> None:
+        if verbose:
+            print(f"chaos[{point}]: {message}", flush=True)
+
+    # --- phase 1: the doomed daemon -----------------------------------
+    note(f"starting doomed daemon on :{port}")
+    victim = start_daemon(port, journal, cache_dir,
+                          batch=len(requests), chaos_point=point,
+                          verbose=verbose)
+    try:
+        wait_ready(client, victim, timeout_s=min(30.0, timeout_s))
+        try:
+            client.submit(requests)
+            note("batch accepted")
+        except ServerUnavailable:
+            # killed before (or while) replying — the journal decides
+            # what survived; that is exactly the property under test
+            note("daemon died during submit")
+        try:
+            victim.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            outcome.error = (f"daemon armed for {point!r} still alive "
+                             f"after {timeout_s:g}s — the chaos point "
+                             f"never fired")
+            return outcome
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=10)
+    outcome.kill_exit = victim.returncode
+    if victim.returncode != -signal.SIGKILL:
+        outcome.error = (f"daemon was armed for {point!r} but exited "
+                         f"{victim.returncode}, not SIGKILL — the chaos "
+                         f"point never fired")
+        return outcome
+    note(f"daemon SIGKILLed (exit {victim.returncode})")
+
+    # --- phase 2: restart on the same journal and recover -------------
+    restart_t0 = time.monotonic()
+    survivor = start_daemon(port, journal, cache_dir,
+                            batch=len(requests), chaos_point=None,
+                            verbose=verbose)
+    try:
+        wait_ready(client, survivor, timeout_s=min(30.0, timeout_s))
+        outcome.recovery_s = time.monotonic() - restart_t0
+        note(f"restarted and ready in {outcome.recovery_s:.3f}s")
+        # resubmit the same batch: anything the journal recovered is
+        # deduped onto, anything lost pre-journal is simply run now
+        statuses = client.submit(requests)
+        results = client.results([s.job_id for s in statuses],
+                                 timeout_s=timeout_s)
+        final = [client.status(r.job_id) for r in results]
+        stats = client.stats()
+        reply = client.shutdown()
+        if reply.get("dispatcher_stuck"):
+            outcome.error = "dispatcher stuck during recovery shutdown"
+            return outcome
+    finally:
+        try:
+            survivor.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            survivor.kill()
+            survivor.wait(timeout=10)
+
+    # --- phase 3: differential verification ---------------------------
+    counters = stats.get("counters", {})
+    outcome.quarantined = counters.get("serve.quarantined", 0)
+    for request, result, expected in zip(requests, results, control):
+        detail = {"job_id": result.job_id, "kernel": request.kernel,
+                  "ok": result.ok,
+                  "cache_hit": bool(result.cache_hit)}
+        outcome.cache_hits += result.counters.get("cache.hit", 0)
+        detail["identical"] = (result.ok
+                               and dumps(result.result) == dumps(expected))
+        if detail["identical"]:
+            outcome.identical += 1
+        outcome.details.append(detail)
+    for status in final:
+        outcome.max_attempts_seen = max(outcome.max_attempts_seen,
+                                        status.attempts)
+    failures = []
+    if outcome.identical != outcome.jobs:
+        bad = [d for d in outcome.details if not d["identical"]]
+        failures.append(f"{len(bad)} of {outcome.jobs} payloads diverged "
+                        f"from the control run: {bad}")
+    if outcome.quarantined:
+        failures.append(f"{outcome.quarantined} jobs quarantined (chaos "
+                        f"kills the daemon, never the job's worker)")
+    if point == "pre-finish" and outcome.cache_hits == 0:
+        failures.append("pre-finish kill recovered with no cache.hit — "
+                        "finished compile work was redone, not recovered")
+    outcome.ok = not failures
+    outcome.error = "; ".join(failures) or None
+    return outcome
+
+
+def run_chaos(points: list[str], kernels: list[str], *, n: int = 24,
+              workdir: str | None = None, timeout_s: float = 120.0,
+              verbose: bool = False) -> list[ChaosOutcome]:
+    """Run every kill-point scenario; one :class:`ChaosOutcome` each."""
+    for point in points:
+        if point not in KILL_POINTS:
+            raise ChaosError(f"unknown chaos point {point!r} "
+                             f"(expected one of {KILL_POINTS})")
+    requests = [MeasureRequest(kernel=kernel, n=n, unroll=4)
+                for kernel in kernels]
+    for request in requests:
+        request.validate()
+    control = _control_payloads(requests)
+    base = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    return [run_scenario(point, requests, control, base,
+                         timeout_s=timeout_s, verbose=verbose)
+            for point in points]

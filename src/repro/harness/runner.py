@@ -69,6 +69,10 @@ class TaskOutcome:
     events: list = field(default_factory=list)
     attempts: int = 1
     duration_s: float = 0.0
+    #: the attempt(s) killed their worker (death or blown deadline)
+    #: rather than failing deterministically — the only failure mode a
+    #: caller may reasonably retry
+    crashed: bool = False
 
 
 def default_jobs() -> int:
@@ -264,7 +268,7 @@ def run_tasks(kind: str, payloads: list, jobs: int = 1,
                     outcomes[index] = TaskOutcome(
                         index, False, error=f"task {index} {reason} "
                         f"after {attempts[index]} attempts",
-                        attempts=attempts[index])
+                        attempts=attempts[index], crashed=True)
                 replacement = _Worker(ctx, kind, outbox, worker_id,
                                       collect_events)
                 workers[worker_id] = replacement

@@ -1,18 +1,22 @@
 """The compile service: ``repro serve`` and its clients.
 
-The daemon (:mod:`.server`) is a bounded job queue over the work-queue
-executor and the content-addressed compile cache; the wire protocol
-(:mod:`.protocol`) is HTTP + the :mod:`repro.api` schema; the client
-(:mod:`.client`) is what ``repro submit`` and ``repro.api.Client``
-use.  See DESIGN.md's service-layer diagram for how the pieces stack.
+The daemon (:mod:`.server`) is a bounded, crash-safe job queue over the
+work-queue executor and the content-addressed compile cache; its
+durability layer (:mod:`.journal`) is a write-ahead JSONL job journal a
+restarted daemon replays; the wire protocol (:mod:`.protocol`) is HTTP
++ the :mod:`repro.api` schema; the client (:mod:`.client`) is what
+``repro submit`` and ``repro.api.Client`` use.  See DESIGN.md's
+service-layer diagram for how the pieces stack.
 """
 
-from .client import Client, ServerBusy, ServerError
-from .server import (CompileServer, QueueFull, ServeConfig, UnknownJob,
-                     serve_forever, start_server)
+from .client import Client, ServerBusy, ServerError, ServerUnavailable
+from .journal import JobJournal, JournalError
+from .server import (CHAOS_POINTS, CompileServer, QueueFull, ServeConfig,
+                     UnknownJob, serve_forever, start_server)
 
 __all__ = [
-    "Client", "ServerBusy", "ServerError",
-    "CompileServer", "QueueFull", "ServeConfig", "UnknownJob",
-    "serve_forever", "start_server",
+    "Client", "ServerBusy", "ServerError", "ServerUnavailable",
+    "JobJournal", "JournalError",
+    "CHAOS_POINTS", "CompileServer", "QueueFull", "ServeConfig",
+    "UnknownJob", "serve_forever", "start_server",
 ]

@@ -3,11 +3,23 @@
 A thin, dependency-free HTTP client over :mod:`repro.serve.protocol`.
 Requests go out and results come back as the :mod:`repro.api`
 dataclasses — the client never invents its own schema.
+
+Transport failures are typed: every connection-level error surfaces as
+:class:`ServerUnavailable` (a :class:`~repro.errors.ReproError`), never
+a raw ``ConnectionRefusedError`` or ``socket.timeout``.  The waiting
+entry points — :meth:`Client.result` and the submit phase of
+:meth:`Client.submit_and_wait` — ride out unavailability with
+exponential backoff and jitter inside their deadline, so a client
+polling a daemon through a crash-and-restart (the journal re-serves its
+jobs) sees nothing but a slower answer.  Resubmitting after a restart
+is safe by construction: the server dedups on job identity, so the
+retried batch aliases onto the recovered jobs.
 """
 
 from __future__ import annotations
 
 import http.client
+import random
 import time
 
 from ..api import (CompileRequest, JobResult, JobStatus, MeasureRequest,
@@ -30,6 +42,29 @@ class ServerError(ReproError):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"server replied {status}: {message}")
         self.status = status
+
+
+class ServerUnavailable(ReproError):
+    """The daemon could not be reached (refused, reset, or timed out).
+
+    Wraps the underlying transport error so callers branch on one typed
+    failure ("is the daemon up?") instead of the OS error zoo, and the
+    CLI prints one clean line instead of a traceback.
+    """
+
+    def __init__(self, host: str, port: int, cause: Exception) -> None:
+        super().__init__(f"cannot reach repro serve at {host}:{port}: "
+                         f"{cause}")
+        self.host = host
+        self.port = port
+        self.cause = cause
+
+
+def _backoff_s(attempt: int, base: float = 0.05, cap: float = 2.0) -> float:
+    """Exponential backoff with jitter: ``base * 2^attempt`` capped at
+    ``cap``, scaled by a random factor in [0.5, 1.0) so a herd of
+    clients retrying a restarted daemon does not arrive in lockstep."""
+    return min(cap, base * (2 ** attempt)) * (0.5 + random.random() * 0.5)
 
 
 class Client:
@@ -55,9 +90,12 @@ class Client:
             payload = protocol.encode(body) if body is not None else None
             headers = {"Content-Type": protocol.CONTENT_TYPE} \
                 if payload is not None else {}
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            obj = protocol.decode(response.read())
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                obj = protocol.decode(response.read())
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServerUnavailable(self.host, self.port, exc) from exc
         finally:
             conn.close()
         if response.status == protocol.BUSY:
@@ -70,7 +108,11 @@ class Client:
 
     # ------------------------------------------------------------------
     def submit(self, requests: list[CompileRequest]) -> list[JobStatus]:
-        """Submit a batch; raises :class:`ServerBusy` on backpressure."""
+        """Submit a batch; raises :class:`ServerBusy` on backpressure
+        and :class:`ServerUnavailable` if the daemon is unreachable
+        (no transparent retry here: a one-shot submit must not silently
+        double-send — use :meth:`submit_and_wait` for riding out
+        restarts)."""
         _, obj = self._call("POST", protocol.SUBMIT,
                             {"jobs": [r.to_json() for r in requests]})
         return [JobStatus.from_json(s) for s in obj["statuses"]]
@@ -82,18 +124,34 @@ class Client:
     def result(self, job_id: str, timeout_s: float = 300.0) -> JobResult:
         """Long-poll one job until it finishes; its :class:`JobResult`.
 
+        Rides out daemon unavailability with jittered exponential
+        backoff inside the deadline: a daemon that crashes and is
+        restarted on its journal re-serves the job, so transient
+        connection failures here mean "keep trying", not "give up".
+
         Raises :class:`ReproError` if the job is still unfinished when
-        ``timeout_s`` runs out (the job keeps running server-side).
+        ``timeout_s`` runs out (the job keeps running server-side), or
+        :class:`ServerUnavailable` if the daemon never comes back.
         """
         deadline = time.monotonic() + timeout_s
+        down_attempts = 0
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise ReproError(f"timed out waiting for {job_id} "
                                  f"after {timeout_s:g}s")
             wait = min(remaining, max(self.timeout_s - 5.0, 1.0))
-            status, obj = self._call(
-                "GET", protocol.result_path(job_id, wait_s=wait))
+            try:
+                status, obj = self._call(
+                    "GET", protocol.result_path(job_id, wait_s=wait))
+            except ServerUnavailable:
+                pause = _backoff_s(down_attempts)
+                down_attempts += 1
+                if deadline - time.monotonic() <= pause:
+                    raise
+                time.sleep(pause)
+                continue
+            down_attempts = 0
             if status == protocol.OK:
                 return JobResult.from_json(obj)
 
@@ -107,30 +165,68 @@ class Client:
     def submit_and_wait(self, requests: list[CompileRequest],
                         timeout_s: float = 300.0,
                         busy_retries: int = 0) -> list[JobResult]:
-        """Submit then collect, optionally sitting out backpressure.
+        """Submit then collect, riding out backpressure and restarts.
 
         ``busy_retries`` > 0 sleeps out the server's retry-after hint and
-        resubmits that many times before giving up.
+        resubmits that many times before giving up.  Unavailability
+        during the submit phase is retried with jittered backoff inside
+        ``timeout_s`` — safe even if an earlier attempt's batch was
+        accepted before the daemon died, because the server dedups on
+        job identity and the journal makes accepted jobs durable: the
+        resubmission aliases onto the recovered jobs.
         """
-        for attempt in range(busy_retries + 1):
+        deadline = time.monotonic() + timeout_s
+        down_attempts = 0
+        busy_attempts = 0
+        while True:
             try:
                 statuses = self.submit(requests)
                 break
             except ServerBusy as busy:
-                if attempt == busy_retries:
+                if busy_attempts >= busy_retries:
                     raise
+                busy_attempts += 1
                 time.sleep(busy.retry_after_s)
-        return self.results([s.job_id for s in statuses], timeout_s)
+            except ServerUnavailable:
+                pause = _backoff_s(down_attempts)
+                down_attempts += 1
+                if deadline - time.monotonic() <= pause:
+                    raise
+                time.sleep(pause)
+        return self.results([s.job_id for s in statuses],
+                            max(deadline - time.monotonic(), 0.001))
 
     def stats(self) -> dict:
         _, obj = self._call("GET", protocol.STATS)
         return obj
 
-    def shutdown(self) -> None:
-        self._call("POST", protocol.SHUTDOWN)
+    def health(self) -> dict:
+        """Liveness probe (``GET /healthz``)."""
+        _, obj = self._call("GET", protocol.HEALTH)
+        return obj
+
+    def ready(self) -> dict:
+        """Readiness probe (``GET /readyz``); ``{"ready": bool, ...}``.
+
+        A 503 (not ready) is reported in the body, not raised — only
+        transport failure raises :class:`ServerUnavailable`.
+        """
+        try:
+            _, obj = self._call("GET", protocol.READY)
+        except ServerError as exc:
+            if exc.status != protocol.UNAVAILABLE:
+                raise
+            return {"ready": False, "reason": str(exc)}
+        return obj
+
+    def shutdown(self) -> dict:
+        """Graceful stop; the reply (``{"ok": ..., "dispatcher_stuck":
+        ...}``) so callers can see a dispatcher that failed to drain."""
+        _, obj = self._call("POST", protocol.SHUTDOWN)
+        return obj if isinstance(obj, dict) else {"ok": True}
 
 
 # re-exported so `repro.api` can hand these out without importing HTTP
 # machinery at its own import time
-__all__ = ["Client", "ServerBusy", "ServerError",
+__all__ = ["Client", "ServerBusy", "ServerError", "ServerUnavailable",
            "CompileRequest", "MeasureRequest", "request_from_json"]

@@ -1,0 +1,459 @@
+"""The durable job journal: a write-ahead log under ``repro serve``.
+
+PR 6's daemon held its whole queue in memory, so a crash or redeploy
+mid-wave stranded every queued and RUNNING job.  This module makes the
+queue a *restartable* data structure: every job lifecycle transition is
+appended to an append-only JSONL file — fsync'd before the caller
+proceeds — and a restarted daemon replays the file to re-enqueue
+unfinished work and re-serve retained results.
+
+The log speaks the same schema as everything else: requests travel in
+their :mod:`repro.api` wire form, results as ``JobResult.to_json()``
+payloads, and every record carries the ``API_VERSION`` stamp.  A journal
+written by a future or unknown schema is *refused* with a clear error
+instead of half-parsed (a partial replay would silently drop jobs).
+
+Record grammar (one JSON object per line, sorted keys):
+
+* ``{"v": 1, "event": "submitted", "job_id", "ident", "key",
+  "request": <request json>, "ts"}`` — appended before the submit
+  reply is sent; the job is durable from this moment.
+* ``{"v": 1, "event": "dispatched", "job_id", "attempt", "ts"}`` —
+  appended before a wave executes, so a crash mid-wave is charged
+  against the job's bounded retry budget on replay (a poison job that
+  keeps killing its host quarantines instead of looping forever).
+* ``{"v": 1, "event": "done" | "failed", "job_id",
+  "result": <JobResult json>, "ts"}`` — terminal; ``done`` records are
+  what lets a restarted daemon serve retained results byte-identically.
+
+Durability mechanics:
+
+* **fsync on append** — ``append`` (and the batched ``sync``) push the
+  record through the OS cache before returning, so an acknowledged job
+  survives SIGKILL.  A crash can still tear the *last* record mid-write;
+  replay tolerates exactly that — an undecodable tail is truncated and
+  counted, while a corrupt record anywhere else is an error.
+* **Single-writer flock** — opening a journal takes a non-blocking
+  exclusive ``flock``; a second daemon pointed at the same journal file
+  fails fast with :class:`JournalError` instead of interleaving records
+  (daemons *share* a cache directory, but each owns its journal).
+  Worker processes forked mid-wave close their inherited handle via an
+  ``os.register_at_fork`` hook so an orphaned worker can never hold the
+  lock after the daemon dies.
+* **Compaction + rotation** — startup replay rewrites the file down to
+  live records (one ``submitted``/``dispatched``/terminal line per
+  remembered job, oldest finished jobs dropped beyond ``keep_done``),
+  and any append that pushes the file past ``max_bytes`` triggers the
+  same rewrite, so the journal is size-bounded no matter how long the
+  daemon runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..api import API_VERSION
+from ..errors import ReproError
+
+try:
+    import fcntl
+except ImportError:                                  # non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
+
+#: Journal event names (the only values ``event`` may take).
+EV_SUBMITTED = "submitted"
+EV_DISPATCHED = "dispatched"
+EV_DONE = "done"
+EV_FAILED = "failed"
+EVENTS = (EV_SUBMITTED, EV_DISPATCHED, EV_DONE, EV_FAILED)
+
+#: Default rotation bound; compaction rewrites the file when crossed.
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+
+
+class JournalError(ReproError):
+    """The journal cannot be opened, parsed, or safely replayed."""
+
+
+@dataclass
+class JournalJob:
+    """One job's replayed state: what the log remembers about it."""
+
+    job_id: str
+    ident: str
+    key: str
+    request: dict
+    #: dispatch attempts charged so far (crashes included)
+    attempts: int = 0
+    #: terminal ``JobResult`` payload, or ``None`` while unfinished
+    result: dict | None = None
+    ok: bool = False
+    submitted_ts: float = field(default=0.0)
+
+    @property
+    def finished(self) -> bool:
+        return self.result is not None
+
+
+# journals open in this process, closed in forked children so a worker
+# never inherits (and outlives the daemon holding) the flock
+_OPEN_JOURNALS: "weakref.WeakSet[JobJournal]" = weakref.WeakSet()
+_FORK_HOOK_INSTALLED = False
+
+
+def _close_in_child() -> None:
+    for journal in list(_OPEN_JOURNALS):
+        journal._close_handle_only()
+
+
+def _install_fork_hook() -> None:
+    global _FORK_HOOK_INSTALLED
+    if _FORK_HOOK_INSTALLED or not hasattr(os, "register_at_fork"):
+        return
+    os.register_at_fork(after_in_child=_close_in_child)
+    _FORK_HOOK_INSTALLED = True
+
+
+class JobJournal:
+    """An append-only JSONL write-ahead log of job lifecycle records.
+
+    Opening the journal loads (and validates) every existing record into
+    :attr:`jobs`, truncates a torn tail left by a crash mid-append, and
+    takes the single-writer lock.  The caller replays :attr:`jobs`, then
+    usually calls :meth:`compact` to rewrite the file down to live
+    records before appending new ones.
+
+    Args:
+        path: the journal file (created, with parents, if missing).
+        fsync: push every synced append through the OS cache (leave on;
+            tests/benchmarks may disable for speed at durability's cost).
+        max_bytes: rotation bound — appends crossing it trigger
+            :meth:`compact`.
+        keep_done: finished jobs retained through compaction (oldest
+            dropped first); mirrors the server's ``keep_results``.
+    """
+
+    def __init__(self, path: str, *, fsync: bool = True,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 keep_done: int = 256) -> None:
+        self.path = path
+        self.fsync = fsync
+        self.max_bytes = max_bytes
+        self.keep_done = keep_done
+        self.jobs: "OrderedDict[str, JournalJob]" = OrderedDict()
+        self.torn_tail = False
+        self.compactions = 0
+        self.records_loaded = 0
+        self._lock = threading.Lock()
+        self._handle = None
+        self._bytes = 0
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "a+b")
+        try:
+            self._flock(self._handle)
+            self._load()
+        except BaseException:
+            self._handle.close()
+            self._handle = None
+            raise
+        _install_fork_hook()
+        _OPEN_JOURNALS.add(self)
+
+    # ------------------------------------------------------------------
+    # open/lock/load
+    # ------------------------------------------------------------------
+    def _flock(self, handle) -> None:
+        """Non-blocking exclusive lock: one daemon per journal file."""
+        if fcntl is None:
+            return
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            raise JournalError(
+                f"journal {self.path!r} is locked by another daemon "
+                f"(two servers must not share one journal): {exc}"
+            ) from exc
+
+    def _load(self) -> None:
+        """Parse every record; truncate a torn tail; refuse bad schema."""
+        self._handle.seek(0)
+        raw = self._handle.read()
+        good = 0
+        lines = raw.split(b"\n")
+        # a file ending in "\n" yields a final empty chunk; a torn
+        # append yields a non-empty chunk with no newline after it
+        body, tail = lines[:-1], lines[-1]
+        for lineno, line in enumerate(body, start=1):
+            if not line.strip():
+                good += len(line) + 1
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                if lineno == len(body) and not tail:
+                    # the crash tore the final record: drop it
+                    self.torn_tail = True
+                    break
+                raise JournalError(
+                    f"corrupt journal record at {self.path}:{lineno}: "
+                    f"{exc}") from None
+            self._validate(record, lineno)
+            self._apply(record, lineno)
+            self.records_loaded += 1
+            good += len(line) + 1
+        if tail:
+            self.torn_tail = True
+        if self.torn_tail:
+            self._handle.truncate(good)
+        self._bytes = good
+        self._handle.seek(0, os.SEEK_END)
+
+    def _validate(self, record: dict, lineno: int) -> None:
+        version = record.get("v")
+        if version != API_VERSION:
+            raise JournalError(
+                f"journal {self.path} record at line {lineno} carries "
+                f"schema v{version!r}, but this daemon speaks "
+                f"v{API_VERSION}; refusing to replay a journal written "
+                f"by an unknown schema")
+        if record.get("event") not in EVENTS:
+            raise JournalError(
+                f"journal {self.path}:{lineno}: unknown event "
+                f"{record.get('event')!r} (expected one of {EVENTS})")
+
+    def _apply(self, record: dict, lineno: int) -> None:
+        event = record["event"]
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise JournalError(
+                f"journal {self.path}:{lineno}: record has no job_id")
+        if event == EV_SUBMITTED:
+            if job_id in self.jobs:
+                raise JournalError(
+                    f"journal {self.path}:{lineno}: duplicate submitted "
+                    f"record for {job_id}")
+            request = record.get("request")
+            if not isinstance(request, dict):
+                raise JournalError(
+                    f"journal {self.path}:{lineno}: submitted record "
+                    f"for {job_id} carries no request object")
+            self.jobs[job_id] = JournalJob(
+                job_id=job_id, ident=record.get("ident", ""),
+                key=record.get("key", ""), request=request,
+                submitted_ts=record.get("ts", 0.0))
+            return
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise JournalError(
+                f"journal {self.path}:{lineno}: {event} record for "
+                f"unknown job {job_id} (no submitted record precedes it)")
+        if event == EV_DISPATCHED:
+            job.attempts = max(job.attempts, int(record.get("attempt", 1)))
+        else:
+            job.result = record.get("result")
+            if not isinstance(job.result, dict):
+                raise JournalError(
+                    f"journal {self.path}:{lineno}: terminal record for "
+                    f"{job_id} carries no result payload")
+            job.ok = event == EV_DONE
+
+    # ------------------------------------------------------------------
+    # appends (the write-ahead side)
+    # ------------------------------------------------------------------
+    def submitted(self, job_id: str, ident: str, key: str,
+                  request: dict, sync: bool = True) -> None:
+        """Journal one accepted job *before* its submit reply is sent."""
+        self._append({"v": API_VERSION, "event": EV_SUBMITTED,
+                      "job_id": job_id, "ident": ident, "key": key,
+                      "request": request, "ts": time.time()}, sync)
+        self.jobs[job_id] = JournalJob(job_id=job_id, ident=ident,
+                                       key=key, request=request)
+
+    def dispatched(self, job_id: str, attempt: int,
+                   sync: bool = True) -> None:
+        """Charge one dispatch attempt *before* the wave executes."""
+        self._append({"v": API_VERSION, "event": EV_DISPATCHED,
+                      "job_id": job_id, "attempt": attempt,
+                      "ts": time.time()}, sync)
+        job = self.jobs.get(job_id)
+        if job is not None:
+            job.attempts = max(job.attempts, attempt)
+
+    def finished(self, job_id: str, result: dict, ok: bool,
+                 sync: bool = True) -> None:
+        """Journal a terminal result (``done`` or ``failed``)."""
+        self._append({"v": API_VERSION,
+                      "event": EV_DONE if ok else EV_FAILED,
+                      "job_id": job_id, "result": result,
+                      "ts": time.time()}, sync)
+        job = self.jobs.get(job_id)
+        if job is not None:
+            job.result = result
+            job.ok = ok
+
+    def _append(self, record: dict, sync: bool) -> None:
+        with self._lock:
+            if self._handle is None:
+                raise JournalError(f"journal {self.path} is closed")
+            line = (json.dumps(record, sort_keys=True) + "\n").encode()
+            self._handle.write(line)
+            self._handle.flush()
+            if sync and self.fsync:
+                os.fsync(self._handle.fileno())
+            self._bytes += len(line)
+            if self._bytes > self.max_bytes:
+                self._compact_locked()
+
+    def sync(self) -> None:
+        """Fsync everything appended so far (covers ``sync=False``
+        appends — one barrier per batch instead of one per record)."""
+        with self._lock:
+            if self._handle is not None and self.fsync:
+                os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # compaction / rotation
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the journal down to live records; bytes afterwards.
+
+        Keeps, per remembered job: its ``submitted`` record, one
+        ``dispatched`` record carrying the attempt high-water mark, and
+        its terminal record.  Finished jobs beyond ``keep_done`` are
+        dropped oldest-first (they are also gone from the server's
+        retention window).  The rewrite is atomic (tmp + ``os.replace``)
+        and re-locks the fresh file before releasing the old one.
+        """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        finished = [j.job_id for j in self.jobs.values() if j.finished]
+        for job_id in finished[:max(0, len(finished) - self.keep_done)]:
+            del self.jobs[job_id]
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".journal.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for job in self.jobs.values():
+                    self._write_job(handle, job)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            # take the lock on the replacement before retiring the old
+            # inode so no other daemon can slip in between
+            fresh = open(tmp, "a+b")
+            try:
+                self._flock(fresh)
+                os.replace(tmp, self.path)
+            except BaseException:
+                fresh.close()
+                raise
+            old, self._handle = self._handle, fresh
+            old.close()
+            if self.fsync:
+                self._fsync_dir(directory)
+        except JournalError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        except OSError:
+            # a full or read-only disk must not take the daemon down;
+            # the oversized journal stays valid, just unrotated
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            return self._bytes
+        self._handle.seek(0, os.SEEK_END)
+        self._bytes = self._handle.tell()
+        self.compactions += 1
+        return self._bytes
+
+    def _write_job(self, handle, job: JournalJob) -> None:
+        def emit(record: dict) -> None:
+            handle.write((json.dumps(record, sort_keys=True)
+                          + "\n").encode())
+
+        ts = job.submitted_ts or time.time()
+        emit({"v": API_VERSION, "event": EV_SUBMITTED,
+              "job_id": job.job_id, "ident": job.ident, "key": job.key,
+              "request": job.request, "ts": ts})
+        if job.attempts:
+            emit({"v": API_VERSION, "event": EV_DISPATCHED,
+                  "job_id": job.job_id, "attempt": job.attempts,
+                  "ts": ts})
+        if job.finished:
+            emit({"v": API_VERSION,
+                  "event": EV_DONE if job.ok else EV_FAILED,
+                  "job_id": job.job_id, "result": job.result, "ts": ts})
+
+    @staticmethod
+    def _fsync_dir(directory: str) -> None:
+        with contextlib.suppress(OSError):
+            fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush, fsync, and release the journal (clean shutdown)."""
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            if self.fsync:
+                with contextlib.suppress(OSError):
+                    os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        _OPEN_JOURNALS.discard(self)
+
+    def crash(self) -> None:
+        """Drop the handle with no flush/compaction — the SIGKILL twin,
+        for tests and the chaos harness (a real crash never cleans up)."""
+        self._close_handle_only()
+
+    def _close_handle_only(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                with contextlib.suppress(OSError):
+                    self._handle.close()
+                self._handle = None
+        _OPEN_JOURNALS.discard(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def pending(self) -> list[JournalJob]:
+        """Replayed jobs with no terminal record, submission order."""
+        return [j for j in self.jobs.values() if not j.finished]
+
+    def stats(self) -> dict:
+        finished = sum(1 for j in self.jobs.values() if j.finished)
+        return {
+            "path": self.path,
+            "bytes": self._bytes,
+            "jobs": len(self.jobs),
+            "finished": finished,
+            "pending": len(self.jobs) - finished,
+            "records_loaded": self.records_loaded,
+            "torn_tail": self.torn_tail,
+            "compactions": self.compactions,
+        }

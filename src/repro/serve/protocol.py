@@ -18,8 +18,16 @@ Endpoints:
   is a 400); ``200 <JobResult json>`` once finished, else
   ``202 <JobStatus json>``.
 * ``GET /stats`` — queue depth, per-state job counts, the server's
-  aggregate counters, and the shared cache's disk footprint.
-* ``POST /shutdown`` — graceful stop; replies ``200`` first.
+  aggregate counters, readiness, journal stats, and the shared cache's
+  disk footprint.
+* ``GET /healthz`` — liveness: ``200 {"ok": true}`` whenever the
+  process answers at all.
+* ``GET /readyz`` — readiness: ``200 {"ready": true, "reason": "ok"}``
+  once the journal is replayed and the dispatcher is live, else
+  ``503 {"ready": false, "reason": ...}``.
+* ``POST /shutdown`` — graceful drain; replies
+  ``200 {"ok": true, "dispatcher_stuck": bool}`` after the dispatcher
+  has joined (or been declared stuck), then stops the listener.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ SUBMIT = "/submit"
 JOBS = "/jobs"
 STATS = "/stats"
 SHUTDOWN = "/shutdown"
+HEALTH = "/healthz"
+READY = "/readyz"
 
 #: HTTP statuses the service uses deliberately.
 OK = 200
@@ -38,6 +48,7 @@ ACCEPTED = 202
 BAD_REQUEST = 400
 NOT_FOUND = 404
 BUSY = 429
+UNAVAILABLE = 503
 
 CONTENT_TYPE = "application/json"
 

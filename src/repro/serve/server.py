@@ -1,11 +1,11 @@
-"""The ``repro serve`` daemon: a bounded job queue over the runner.
+"""The ``repro serve`` daemon: a crash-safe job queue over the runner.
 
 The server turns the one-shot harness into an *offered capability*: many
 clients submit compile/measure jobs against one warm compile cache, and
 the trace-scheduling cost is paid once per distinct piece of work no
 matter how many tenants ask for it.
 
-Three mechanisms carry that promise:
+Four mechanisms carry that promise:
 
 * **Dedup through the cache key.**  Every request resolves to the same
   content-addressed :func:`~repro.cache.compile_key` the compile cache
@@ -25,15 +25,31 @@ Three mechanisms carry that promise:
 * **Backpressure.**  The queue is bounded; a batch that does not fit is
   rejected whole with a retry-after hint (HTTP 429 on the wire) instead
   of letting latency grow without bound.
+* **Durability.**  With a :class:`~repro.serve.journal.JobJournal`
+  configured, every accepted job is journaled *before* its submit reply
+  goes out, every dispatch attempt is charged to the log before the
+  wave runs, and every terminal result is recorded.  A restarted daemon
+  replays the journal: finished jobs are re-served byte-identically,
+  unfinished ones are re-enqueued (deduping against each other and
+  against retained results through the same identity), and a job whose
+  attempts already exhausted ``max_attempts`` — it keeps killing
+  whatever runs it — is quarantined as FAILED (``serve.quarantined``)
+  instead of crash-looping the daemon.  Re-executed work completes from
+  the shared compile cache, so recovery costs simulation, not
+  recompilation.
 
 Everything observable goes through the usual tracer: ``serve.*``
 counters for queue behavior, per-job counters on each
-:class:`~repro.api.JobResult`, and a ``serve.dispatch`` span per wave.
+:class:`~repro.api.JobResult`, ``serve.dispatch`` spans per wave, and
+``/healthz`` / ``/readyz`` endpoints for process supervisors.
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import os
+import signal
 import threading
 import time
 from collections import OrderedDict, deque
@@ -46,6 +62,27 @@ from ..api import (JOB_DONE, JOB_FAILED, JOB_QUEUED, JOB_RUNNING, ApiError,
 from ..errors import ReproError
 from ..obs import Tracer
 from . import protocol
+from .journal import JobJournal
+
+#: Chaos injection points (see :mod:`repro.harness.chaos`): a daemon
+#: started with ``$REPRO_CHAOS_KILL`` set to one of these SIGKILLs
+#: itself the first time the dispatcher reaches that point — a genuine
+#: crash at a deterministic place, used to prove recovery end to end.
+CHAOS_PRE_DISPATCH = "pre-dispatch"
+CHAOS_MID_WAVE = "mid-wave"
+CHAOS_PRE_FINISH = "pre-finish"
+CHAOS_POINTS = (CHAOS_PRE_DISPATCH, CHAOS_MID_WAVE, CHAOS_PRE_FINISH)
+
+
+def _chaos_point(point: str) -> None:
+    """SIGKILL ourselves if chaos injection is armed for ``point``.
+
+    SIGKILL — not an exception, not ``sys.exit`` — because the whole
+    point is that no cleanup code runs: the journal must carry recovery
+    alone, exactly as it would after ``kill -9`` or an OOM kill.
+    """
+    if os.environ.get("REPRO_CHAOS_KILL") == point:
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 class QueueFull(ReproError):
@@ -88,6 +125,22 @@ class ServeConfig:
     prune_interval_s: float = 30.0
     #: finished job records retained for polling/dedup (oldest retired)
     keep_results: int = 256
+    #: write-ahead job journal; ``None`` keeps the PR-6 in-memory queue
+    journal_path: str | None = None
+    #: fsync every journal barrier (disable only where durability is
+    #: not the point, e.g. replay benchmarks)
+    journal_fsync: bool = True
+    #: journal rotation bound in bytes
+    journal_max_bytes: int = 8 * 1024 * 1024
+    #: total dispatch attempts per job (across crashes and worker
+    #: deaths) before it is quarantined as FAILED
+    max_attempts: int = 2
+    #: base backoff before re-dispatching a crashed job (doubles per
+    #: attempt)
+    retry_backoff_s: float = 0.25
+    #: how long shutdown waits for the dispatcher to finish its wave
+    #: before declaring it stuck (surfaced, never silently leaked)
+    shutdown_join_s: float = 30.0
 
 
 def _job_ident(request: CompileRequest, key: str) -> str:
@@ -118,6 +171,12 @@ class _Job:
     started_s: float | None = None
     finished_s: float | None = None
     result: JobResult | None = None
+    #: dispatch attempts charged so far (journal replay included)
+    attempts: int = 0
+    #: this job was rebuilt from the journal after a restart
+    recovered: bool = False
+    #: earliest monotonic time the next attempt may dispatch (backoff)
+    not_before: float = 0.0
 
     def status(self) -> JobStatus:
         return JobStatus(
@@ -125,7 +184,8 @@ class _Job:
             kernel=self.request.kernel, key=self.key, deduped=self.deduped,
             submitted_s=self.submitted_s, started_s=self.started_s,
             finished_s=self.finished_s,
-            error=self.result.error if self.result is not None else None)
+            error=self.result.error if self.result is not None else None,
+            attempts=self.attempts, recovered=self.recovered)
 
 
 def _alias_result(primary: JobResult, alias: _Job) -> JobResult:
@@ -166,11 +226,95 @@ class CompileServer:
         self._ids = itertools.count(1)
         self._paused = False
         self._stopping = False
+        self._shutdown_stuck = False
+        self._journal_closed = False
         self._dispatcher: threading.Thread | None = None
         for name in ("submitted", "rejected", "dedup_inflight",
                      "dedup_done", "dispatched", "completed", "failed",
-                     "dispatch_errors", "prune_errors"):
+                     "dispatch_errors", "prune_errors", "recovered",
+                     "replayed_done", "retried", "quarantined",
+                     "shutdown_stuck"):
             self.tracer.counters.inc(f"serve.{name}", 0)
+        self._journal: JobJournal | None = None
+        if self.config.journal_path:
+            self._journal = JobJournal(
+                self.config.journal_path,
+                fsync=self.config.journal_fsync,
+                max_bytes=self.config.journal_max_bytes,
+                keep_done=self.config.keep_results)
+            self._recover()
+            self._journal.compact()
+
+    # ------------------------------------------------------------------
+    # journal replay
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild queue and retained results from the replayed journal.
+
+        Runs before the dispatcher starts (and before the HTTP listener
+        binds), so no client can observe a half-replayed queue.  The
+        recovery state machine per journaled job:
+
+        * terminal record present → re-serve it: the job re-enters the
+          retained-result window (and the dedup index, if it succeeded);
+        * no terminal, ``attempts >= max_attempts`` → quarantine: the
+          job has already taken down whatever ran it that many times,
+          so it completes FAILED instead of crash-looping the daemon;
+        * no terminal, identity already finished OK → complete as a
+          dedup alias of the retained result (the work outlived the
+          crash even though this job's record did not);
+        * otherwise → re-enqueue, deduping in-flight identities against
+          each other exactly like fresh submissions.
+        """
+        journal = self._journal
+        assert journal is not None
+        max_seq = 0
+        pending: list[_Job] = []
+        for jjob in journal.jobs.values():
+            with contextlib.suppress(ValueError):
+                max_seq = max(max_seq, int(jjob.job_id.rsplit("-", 1)[-1]))
+            request = request_from_json(jjob.request)
+            job = _Job(id=jjob.job_id, request=request, key=jjob.key,
+                       ident=jjob.ident, attempts=jjob.attempts,
+                       recovered=True,
+                       submitted_s=jjob.submitted_ts or time.time())
+            self._jobs[job.id] = job
+            if jjob.finished:
+                result = JobResult.from_json(jjob.result)
+                job.result = result
+                job.state = JOB_DONE if result.ok else JOB_FAILED
+                job.deduped = result.cache_hit
+                if result.ok and job.ident not in self._done_by_ident:
+                    self._done_by_ident[job.ident] = job.id
+                self._retired.append(job.id)
+                self.tracer.counters.inc("serve.replayed_done")
+            else:
+                pending.append(job)
+        self._ids = itertools.count(max_seq + 1)
+        for job in pending:
+            if job.attempts >= self.config.max_attempts:
+                self.tracer.counters.inc("serve.quarantined")
+                self._finish(job, JobResult(
+                    job_id=job.id, ok=False, kind=job.request.kind,
+                    key=job.key,
+                    error=f"quarantined: job crashed its host on "
+                          f"{job.attempts} of {self.config.max_attempts} "
+                          f"allowed attempts"))
+            elif job.ident in self._done_by_ident:
+                done = self._jobs[self._done_by_ident[job.ident]]
+                job.deduped = True
+                self.tracer.counters.inc("serve.dedup_done")
+                self._finish(job, _alias_result(done.result, job))
+            elif job.ident in self._inflight_by_ident:
+                job.deduped = True
+                self._waiters_by_ident.setdefault(
+                    job.ident, []).append(job.id)
+                self.tracer.counters.inc("serve.dedup_inflight")
+            else:
+                self._inflight_by_ident[job.ident] = job.id
+                self._queue.append(job.id)
+                self.tracer.counters.inc("serve.recovered")
+        self._trim_retained()
 
     # ------------------------------------------------------------------
     def start(self) -> "CompileServer":
@@ -179,18 +323,42 @@ class CompileServer:
         self._dispatcher.start()
         return self
 
-    def shutdown(self) -> None:
-        """Stop dispatching; queued-but-unstarted jobs fail cleanly."""
+    def shutdown(self) -> bool:
+        """Stop the service; ``True`` if the dispatcher failed to stop.
+
+        Graceful drain: submissions are refused from this point, the
+        dispatcher finishes (and journals) the wave it is executing,
+        and the journal is flushed and released.  Without a journal,
+        queued-but-unstarted jobs fail cleanly as before; *with* one
+        they stay journaled as pending — a restarted daemon resumes
+        them, so a redeploy never strands accepted work.
+
+        A dispatcher that does not join within ``shutdown_join_s`` is
+        counted (``serve.shutdown_stuck``) and reported to the caller
+        (the HTTP layer surfaces it in the shutdown reply) instead of
+        being silently leaked; the journal is then left open, since the
+        runaway wave may still have terminal records to write.
+        """
         with self._work:
             self._stopping = True
             self._work.notify_all()
-        if self._dispatcher is not None:
-            self._dispatcher.join(timeout=30)
+        dispatcher = self._dispatcher
+        if dispatcher is not None and dispatcher.is_alive():
+            dispatcher.join(timeout=self.config.shutdown_join_s)
+            if dispatcher.is_alive() and not self._shutdown_stuck:
+                self._shutdown_stuck = True
+                self.tracer.counters.inc("serve.shutdown_stuck")
         with self._done:
-            while self._queue:
-                job = self._jobs[self._queue.popleft()]
-                self._fail_unstarted(job, "server shutting down")
+            if self._journal is None:
+                while self._queue:
+                    job = self._jobs[self._queue.popleft()]
+                    self._fail_unstarted(job, "server shutting down")
             self._done.notify_all()
+        if (self._journal is not None and not self._shutdown_stuck
+                and not self._journal_closed):
+            self._journal_closed = True
+            self._journal.close()
+        return self._shutdown_stuck
 
     def pause(self) -> None:
         """Hold dispatch (drain control; submissions still queue)."""
@@ -202,6 +370,17 @@ class CompileServer:
             self._paused = False
             self._work.notify_all()
 
+    def ready(self) -> tuple[bool, str]:
+        """Readiness: journal replayed (a constructed server always has)
+        and the dispatcher live.  ``(ready, reason)``."""
+        if self._stopping:
+            return False, "shutting down"
+        if self._dispatcher is None:
+            return False, "dispatcher not started"
+        if not self._dispatcher.is_alive():
+            return False, "dispatcher dead"
+        return True, "ok"
+
     # ------------------------------------------------------------------
     def submit(self, requests: list[CompileRequest]) -> list[JobStatus]:
         """Queue a batch; statuses in request order.
@@ -209,7 +388,10 @@ class CompileServer:
         The batch is atomic with respect to backpressure: either every
         genuinely-new job fits in the bounded queue or the whole batch
         is rejected with :class:`QueueFull` (dedup aliases and
-        already-retained results never count against the bound).
+        already-retained results never count against the bound).  With
+        a journal configured, every job in the batch is durable —
+        fsync'd — before this method returns its statuses (and before
+        the HTTP layer sends its reply).
         """
         for request in requests:
             request.validate()
@@ -234,6 +416,11 @@ class CompileServer:
                            request=request, key=key, ident=ident)
                 self._jobs[job.id] = job
                 self.tracer.counters.inc("serve.submitted")
+                if self._journal is not None:
+                    # write-ahead: the job exists before anyone is told
+                    # about it (one fsync barrier per batch, below)
+                    self._journal.submitted(job.id, ident, key,
+                                            request.to_json(), sync=False)
                 primary_id = self._inflight_by_ident.get(ident)
                 if primary_id is not None:
                     job.deduped = True
@@ -249,6 +436,8 @@ class CompileServer:
                     self._inflight_by_ident[ident] = job.id
                     self._queue.append(job.id)
                 statuses.append(job.status())
+            if self._journal is not None:
+                self._journal.sync()
             self._work.notify_all()
             self._done.notify_all()
             return statuses
@@ -281,18 +470,24 @@ class CompileServer:
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+            ready, reason = self.ready()
             report = {
                 "queue_depth": len(self._queue),
                 "jobs": dict(sorted(states.items())),
                 "retained_results": len(self._done_by_ident),
                 "counters": self.tracer.counters.as_dict(),
+                "ready": ready,
+                "ready_reason": reason,
                 "config": {
                     "jobs": self.config.jobs,
                     "max_queue": self.config.max_queue,
                     "batch": self.config.batch,
                     "cache_max_mb": self.config.cache_max_mb,
+                    "max_attempts": self.config.max_attempts,
                 },
             }
+            if self._journal is not None:
+                report["journal"] = self._journal.stats()
         if self.config.use_cache:
             report["cache"] = self._cache_view().stats().row()
         return report
@@ -312,6 +507,30 @@ class CompileServer:
             raise UnknownJob(f"unknown or retired job {job_id!r}")
         return job
 
+    def _collect_wave(self) -> list[_Job]:
+        """Pop up to ``batch`` dispatchable jobs (lock held).
+
+        Jobs sitting out a retry backoff are skipped in place — their
+        queue order is preserved — so one crashed job cannot head-block
+        fresh work behind it.
+        """
+        cfg = self.config
+        now = time.monotonic()
+        wave: list[_Job] = []
+        deferred: list[str] = []
+        while self._queue and len(wave) < cfg.batch:
+            job = self._jobs[self._queue.popleft()]
+            if job.not_before > now:
+                deferred.append(job.id)
+                continue
+            job.state = JOB_RUNNING
+            job.started_s = time.time()
+            job.attempts += 1
+            wave.append(job)
+        for job_id in reversed(deferred):
+            self._queue.appendleft(job_id)
+        return wave
+
     def _dispatch_loop(self) -> None:
         from ..harness.runner import run_tasks
 
@@ -323,13 +542,21 @@ class CompileServer:
                     self._work.wait(0.5)
                 if self._stopping:
                     return
-                wave = []
-                while self._queue and len(wave) < cfg.batch:
-                    job = self._jobs[self._queue.popleft()]
-                    job.state = JOB_RUNNING
-                    job.started_s = time.time()
-                    wave.append(job)
+                wave = self._collect_wave()
+                if not wave:
+                    # everything queued is sitting out a backoff
+                    self._work.wait(0.1)
+                    continue
                 self.tracer.counters.inc("serve.dispatched", len(wave))
+            _chaos_point(CHAOS_PRE_DISPATCH)
+            if self._journal is not None:
+                # charge the attempts before the wave runs: a crash
+                # from here on counts against each job's retry budget
+                for job in wave:
+                    self._journal.dispatched(job.id, job.attempts,
+                                             sync=False)
+                self._journal.sync()
+            _chaos_point(CHAOS_MID_WAVE)
             # the dispatcher must outlive any single wave: an unexpected
             # exception here fails the wave's jobs, never the thread —
             # a dead dispatcher would strand RUNNING jobs and leave
@@ -339,9 +566,16 @@ class CompileServer:
                              cfg.cache_dir) for job in wave]
                 with self.tracer.span("serve.dispatch", cat="serve",
                                       jobs=len(wave)):
+                    # retries=0: the serve layer owns the retry budget
+                    # (attempts must be journaled to survive a crash).
+                    # cfg.jobs passes through unclamped — the runner caps
+                    # workers at the wave size, and jobs>1 must keep
+                    # process isolation even for a one-job wave so a
+                    # poison job kills a worker, never the daemon
                     outcomes = run_tasks(
-                        "api", payloads, jobs=min(cfg.jobs, len(wave)),
-                        timeout_s=cfg.timeout_s, tracer=self.tracer)
+                        "api", payloads, jobs=cfg.jobs,
+                        timeout_s=cfg.timeout_s, retries=0,
+                        tracer=self.tracer)
             except Exception as exc:
                 self.tracer.counters.inc("serve.dispatch_errors")
                 with self._done:
@@ -352,8 +586,12 @@ class CompileServer:
                             error=f"dispatch failed: {exc!r}"))
                     self._done.notify_all()
                 continue
+            _chaos_point(CHAOS_PRE_FINISH)
             with self._done:
                 for job, outcome in zip(wave, outcomes):
+                    if not outcome.ok and outcome.crashed:
+                        self._handle_crashed(job)
+                        continue
                     self._finish(job, JobResult(
                         job_id=job.id, ok=outcome.ok,
                         kind=job.request.kind, key=job.key,
@@ -363,7 +601,30 @@ class CompileServer:
                         duration_s=outcome.duration_s,
                         cache_hit=outcome.counters.get("cache.hit", 0) > 0))
                 self._done.notify_all()
+                self._work.notify_all()
             self._maybe_prune_store()
+
+    def _handle_crashed(self, job: _Job) -> None:
+        """Handle a job whose attempt killed its worker (lock held).
+
+        Within budget: re-enqueue with exponential backoff.  Budget
+        exhausted: quarantine as FAILED — the job is poison, and
+        looping it would keep killing workers.
+        """
+        if job.attempts < self.config.max_attempts:
+            job.state = JOB_QUEUED
+            job.started_s = None
+            job.not_before = (time.monotonic() + self.config.retry_backoff_s
+                              * (2 ** (job.attempts - 1)))
+            self._queue.append(job.id)
+            self.tracer.counters.inc("serve.retried")
+            return
+        self.tracer.counters.inc("serve.quarantined")
+        self._finish(job, JobResult(
+            job_id=job.id, ok=False, kind=job.request.kind, key=job.key,
+            error=f"quarantined: job killed its worker on "
+                  f"{job.attempts} of {self.config.max_attempts} "
+                  f"allowed attempts"))
 
     def _maybe_prune_store(self) -> None:
         """Quota enforcement between waves, throttled to at most one
@@ -389,6 +650,8 @@ class CompileServer:
         job.finished_s = time.time()
         self.tracer.counters.inc(
             "serve.completed" if result.ok else "serve.failed")
+        if self._journal is not None and not self._journal.closed:
+            self._journal.finished(job.id, result.to_json(), result.ok)
         if result.ok and job.ident not in self._done_by_ident:
             self._done_by_ident[job.ident] = job.id
         if self._inflight_by_ident.get(job.ident) == job.id:
@@ -482,20 +745,29 @@ class _Handler(BaseHTTPRequestHandler):
                     "statuses": [s.to_json() for s in statuses]})
             return
         if path == protocol.SHUTDOWN:
-            self._reply(protocol.OK, {"ok": True})
-            threading.Thread(target=self._stop_server,
+            # drain synchronously so the reply can report a dispatcher
+            # that failed to stop instead of silently leaking it
+            stuck = self.core.shutdown()
+            self._reply(protocol.OK,
+                        {"ok": True, "dispatcher_stuck": stuck})
+            threading.Thread(target=self.server.shutdown,
                              daemon=True).start()
             return
         self._reply(protocol.NOT_FOUND, {"error": f"no route {path!r}"})
-
-    def _stop_server(self) -> None:
-        self.core.shutdown()
-        self.server.shutdown()
 
     def do_GET(self) -> None:
         url = urlparse(self.path)
         if url.path == protocol.STATS:
             self._reply(protocol.OK, self.core.stats())
+            return
+        if url.path == protocol.HEALTH:
+            # liveness: the process answers; nothing about readiness
+            self._reply(protocol.OK, {"ok": True})
+            return
+        if url.path == protocol.READY:
+            ready, reason = self.core.ready()
+            self._reply(protocol.OK if ready else protocol.UNAVAILABLE,
+                        {"ready": ready, "reason": reason})
             return
         if url.path.startswith(protocol.JOBS + "/"):
             parts = url.path[len(protocol.JOBS) + 1:].split("/")
@@ -550,7 +822,14 @@ def start_server(config: ServeConfig | None = None,
 
 def serve_forever(config: ServeConfig | None = None,
                   verbose: bool = False) -> int:
-    """The CLI entry: run in the foreground until ^C or /shutdown."""
+    """The CLI entry: run in the foreground until a signal or /shutdown.
+
+    SIGTERM and SIGINT both trigger a graceful drain: the listener
+    stops accepting, the dispatcher finishes (and journals) its
+    in-flight wave, queued jobs stay durable in the journal, and the
+    process exits 0 — so a supervisor's ordinary stop/restart cycle
+    never loses accepted work.
+    """
     cfg = config or ServeConfig()
     core = CompileServer(cfg).start()
     httpd = ServiceHTTPServer((cfg.host, cfg.port), _Handler)
@@ -559,13 +838,33 @@ def serve_forever(config: ServeConfig | None = None,
     host, port = httpd.server_address[:2]
     print(f"repro serve: listening on http://{host}:{port} "
           f"(queue {cfg.max_queue}, batch {cfg.batch}, jobs {cfg.jobs}, "
-          f"cache {'off' if not cfg.use_cache else cfg.cache_dir or 'default'})",
+          f"cache {'off' if not cfg.use_cache else cfg.cache_dir or 'default'}, "
+          f"journal {cfg.journal_path or 'off'})",
           flush=True)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous: dict[int, object] = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(ValueError):   # non-main-thread embed
+            previous[sig] = signal.signal(sig, _on_signal)
+    listener = threading.Thread(target=httpd.serve_forever,
+                                name="serve-http", daemon=True)
+    listener.start()
     try:
-        httpd.serve_forever()
+        # wake regularly: the /shutdown endpoint stops the listener
+        # thread, and signals set the event
+        while not stop.is_set() and listener.is_alive():
+            stop.wait(0.2)
     except KeyboardInterrupt:
         pass
     finally:
+        for sig, handler in previous.items():
+            with contextlib.suppress(ValueError):
+                signal.signal(sig, handler)
         core.shutdown()
+        httpd.shutdown()
         httpd.server_close()
     return 0

@@ -1,0 +1,119 @@
+"""End-to-end crash-injection tests: a real ``repro serve`` subprocess
+SIGKILLed at a seeded dispatcher point, restarted on its journal, and
+differentially verified against an uninterrupted control run.
+
+This is the acceptance test for the service's durability claim — the
+in-process recovery tests in test_serve.py exercise the same state
+machine, but only a genuine SIGKILL (no atexit, no flush, no finally)
+proves the write-ahead ordering is what keeps jobs alive.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.api import MeasureRequest, dumps, run_request
+from repro.harness.chaos import (KILL_POINTS, free_port, run_chaos,
+                                 run_scenario, start_daemon, wait_ready)
+from repro.serve import Client
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs POSIX signals")
+
+
+def test_kill_points_match_server():
+    from repro.serve.server import CHAOS_POINTS
+    assert KILL_POINTS == CHAOS_POINTS
+    assert set(KILL_POINTS) == {"pre-dispatch", "mid-wave", "pre-finish"}
+
+
+def test_daemon_round_trip_without_chaos(tmp_path):
+    """The harness's daemon plumbing itself: start, ready, submit,
+    byte-identical result, graceful shutdown with exit 0."""
+    port = free_port()
+    journal = str(tmp_path / "serve.journal")
+    proc = start_daemon(port, journal, str(tmp_path / "cache"), batch=1)
+    client = Client(f"127.0.0.1:{port}", timeout_s=10.0)
+    try:
+        assert wait_ready(client, proc, timeout_s=30.0)
+        request = MeasureRequest(kernel="vadd", n=24, unroll=4)
+        result = client.submit_and_wait([request], timeout_s=120.0)[0]
+        assert result.ok
+        assert dumps(result.result) == dumps(run_request(request))
+        reply = client.shutdown()
+        assert reply.get("ok") and not reply.get("dispatcher_stuck")
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_sigterm_drains_gracefully(tmp_path):
+    """A supervisor-style SIGTERM exits 0 and leaves accepted work
+    journaled: the restarted daemon still completes it."""
+    port = free_port()
+    journal = str(tmp_path / "serve.journal")
+    cache = str(tmp_path / "cache")
+    proc = start_daemon(port, journal, cache, batch=1)
+    client = Client(f"127.0.0.1:{port}", timeout_s=10.0)
+    request = MeasureRequest(kernel="vadd", n=24, unroll=4)
+    try:
+        wait_ready(client, proc, timeout_s=30.0)
+        job_id = client.submit([request])[0].job_id
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    revived = start_daemon(port, journal, cache, batch=1)
+    try:
+        wait_ready(client, revived, timeout_s=30.0)
+        result = client.result(job_id, timeout_s=120.0)
+        assert result.ok
+        assert dumps(result.result) == dumps(run_request(request))
+        client.shutdown()
+        revived.wait(timeout=60)
+    finally:
+        if revived.poll() is None:
+            revived.kill()
+            revived.wait(timeout=10)
+
+
+def test_sigkill_recovery_differential(tmp_path):
+    """The ISSUE's acceptance scenario: SIGKILL mid-wave and pre-finish,
+    restart on the journal, and every job reaches a terminal payload
+    byte-identical to the uninterrupted control — with work finished
+    pre-crash recovered from the shared cache rather than redone, and
+    no job exceeding its retry budget."""
+    outcomes = run_chaos(["mid-wave", "pre-finish"], ["vadd", "dot"],
+                         n=24, workdir=str(tmp_path), timeout_s=240.0)
+    for outcome in outcomes:
+        assert outcome.kill_exit == -signal.SIGKILL
+        assert outcome.ok, f"{outcome.point}: {outcome.error}"
+        assert outcome.identical == outcome.jobs == 2
+        assert outcome.quarantined == 0
+        assert outcome.max_attempts_seen <= 2     # the default budget
+    # pre-finish killed the daemon after the wave ran: the recovered
+    # re-execution must find the compile work in the shared store
+    pre_finish = outcomes[1]
+    assert pre_finish.point == "pre-finish"
+    assert pre_finish.cache_hits > 0
+
+
+def test_scenario_rejects_unfired_chaos_point(tmp_path, monkeypatch):
+    """A scenario whose daemon exits normally (the armed point never
+    fired) is a staging failure, not a vacuous pass."""
+    monkeypatch.setattr(
+        "repro.harness.chaos.start_daemon",
+        lambda port, journal, cache_dir, **kw: start_daemon(
+            port, journal, cache_dir,
+            **{**kw, "chaos_point": None}))
+    request = MeasureRequest(kernel="vadd", n=24, unroll=4)
+    outcome = run_scenario("mid-wave", [request],
+                           [run_request(request)], str(tmp_path),
+                           timeout_s=10.0)
+    assert not outcome.ok
+    assert "never fired" in outcome.error

@@ -199,3 +199,31 @@ def test_submit_cli_round_trip(tmp_path, capsys):
 def test_submit_cli_rejects_bad_request():
     with pytest.raises(SystemExit):
         main(["submit", "vadd", "--server", "127.0.0.1:1", "--pairs", "3"])
+
+
+def test_submit_cli_unavailable_is_clean_error(capsys):
+    """A dead daemon yields exit 2 and one clean stderr line, never a
+    raw ConnectionRefusedError traceback."""
+    assert main(["submit", "vadd", "--server", "127.0.0.1:1",
+                 "-n", "24", "--timeout", "1"]) == 2
+    err = capsys.readouterr().err
+    assert "cannot reach" in err
+    assert "Traceback" not in err
+
+
+def test_submit_cli_stats_unavailable_is_clean_error(capsys):
+    assert main(["submit", "--stats", "--server", "127.0.0.1:1",
+                 "--timeout", "1"]) == 2
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_chaos_cli_smoke(tmp_path, capsys):
+    """One pre-dispatch scenario through the CLI: the daemon is
+    SIGKILLed before any work ran, restarted, and every payload must
+    match the uninterrupted control run."""
+    assert main(["chaos", "vadd", "--point", "pre-dispatch", "-n", "24",
+                 "--workdir", str(tmp_path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    outcome = report["outcomes"][0]
+    assert outcome["ok"] and outcome["kill_exit"] == -9
+    assert outcome["identical"] == outcome["jobs"] == 1

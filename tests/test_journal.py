@@ -1,0 +1,279 @@
+"""Tests for the write-ahead job journal: record round-trips, torn-tail
+tolerance, schema refusal, compaction/rotation, the single-writer lock,
+and concurrent append isolation."""
+
+import json
+import threading
+
+import pytest
+
+from repro.api import API_VERSION
+from repro.serve import JobJournal, JournalError
+
+
+def _request_json(i: int = 0) -> dict:
+    return {"kind": "measure", "v": API_VERSION, "kernel": "vadd",
+            "n": 24 + i, "unroll": 4}
+
+
+def _submit_n(journal: JobJournal, count: int, start: int = 1) -> None:
+    for i in range(count):
+        journal.submitted(f"job-{start + i:06d}", f"ident-{start + i}",
+                          f"key-{start + i}", _request_json(i))
+
+
+class TestRoundTrip:
+    def test_lifecycle_replays(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        journal.submitted("job-000001", "ident-a", "key-a",
+                          _request_json())
+        journal.dispatched("job-000001", 1)
+        journal.finished("job-000001", {"job_id": "job-000001",
+                                        "ok": True, "kind": "measure",
+                                        "key": "key-a",
+                                        "result": {"x": 1}}, ok=True)
+        journal.submitted("job-000002", "ident-b", "key-b",
+                          _request_json(1))
+        journal.dispatched("job-000002", 2)
+        journal.close()
+
+        replay = JobJournal(path)
+        assert len(replay.jobs) == 2
+        done = replay.jobs["job-000001"]
+        assert done.finished and done.ok and done.attempts == 1
+        assert done.result["result"] == {"x": 1}
+        pending = replay.pending()
+        assert [j.job_id for j in pending] == ["job-000002"]
+        assert pending[0].attempts == 2
+        assert pending[0].request == _request_json(1)
+        assert not replay.torn_tail
+        replay.close()
+
+    def test_failed_terminal_replays(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        journal.submitted("job-000001", "i", "k", _request_json())
+        journal.finished("job-000001", {"job_id": "job-000001",
+                                        "ok": False, "kind": "measure",
+                                        "key": "k", "error": "boom"},
+                         ok=False)
+        journal.close()
+        replay = JobJournal(path)
+        job = replay.jobs["job-000001"]
+        assert job.finished and not job.ok
+        assert replay.pending() == []
+        replay.close()
+
+    def test_attempt_high_water_mark(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        journal.submitted("job-000001", "i", "k", _request_json())
+        journal.dispatched("job-000001", 1)
+        journal.dispatched("job-000001", 2)
+        journal.close()
+        replay = JobJournal(path)
+        assert replay.jobs["job-000001"].attempts == 2
+        replay.close()
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "j"))
+        journal.close()
+        assert journal.closed
+        with pytest.raises(JournalError):
+            journal.submitted("job-000001", "i", "k", _request_json())
+
+
+class TestCrashTolerance:
+    def test_torn_tail_truncated(self, tmp_path):
+        """A record torn mid-write by a crash is dropped; everything
+        before it survives and new appends extend a clean file."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        _submit_n(journal, 2)
+        journal.crash()
+        with open(path, "ab") as handle:
+            handle.write(b'{"v": 1, "event": "submitted", "job_id": "jo')
+        replay = JobJournal(path)
+        assert replay.torn_tail
+        assert sorted(replay.jobs) == ["job-000001", "job-000002"]
+        replay.submitted("job-000003", "i3", "k3", _request_json(2))
+        replay.close()
+        clean = JobJournal(path)
+        assert not clean.torn_tail
+        assert sorted(clean.jobs) == ["job-000001", "job-000002",
+                                      "job-000003"]
+        clean.close()
+
+    def test_midfile_corruption_is_an_error(self, tmp_path):
+        """Corruption anywhere but the tail is not crash debris — it is
+        a broken journal, and replaying around it would drop jobs."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        _submit_n(journal, 1)
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(b"#### not json ####\n")
+            record = {"v": API_VERSION, "event": "submitted",
+                      "job_id": "job-000002", "ident": "i", "key": "k",
+                      "request": _request_json(1), "ts": 0.0}
+            handle.write((json.dumps(record) + "\n").encode())
+        with pytest.raises(JournalError, match="corrupt journal record"):
+            JobJournal(path)
+
+    def test_crash_skips_cleanup(self, tmp_path):
+        """crash() releases the handle with no compaction bookkeeping —
+        the on-disk bytes are exactly what the appends left behind."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        _submit_n(journal, 3)
+        before = open(path, "rb").read()
+        journal.crash()
+        assert journal.closed
+        assert open(path, "rb").read() == before
+
+
+class TestSchemaValidation:
+    def _write_record(self, path, record):
+        with open(path, "ab") as handle:
+            handle.write((json.dumps(record, sort_keys=True)
+                          + "\n").encode())
+
+    def test_future_schema_refused(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        self._write_record(path, {"v": API_VERSION + 98,
+                                  "event": "submitted",
+                                  "job_id": "job-000001", "ident": "i",
+                                  "key": "k",
+                                  "request": _request_json(), "ts": 0.0})
+        with pytest.raises(JournalError, match="unknown schema"):
+            JobJournal(path)
+
+    def test_missing_version_refused(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        self._write_record(path, {"event": "submitted",
+                                  "job_id": "job-000001", "ident": "i",
+                                  "key": "k",
+                                  "request": _request_json(), "ts": 0.0})
+        with pytest.raises(JournalError, match="unknown schema"):
+            JobJournal(path)
+
+    def test_unknown_event_refused(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        self._write_record(path, {"v": API_VERSION, "event": "teleported",
+                                  "job_id": "job-000001", "ts": 0.0})
+        with pytest.raises(JournalError, match="unknown event"):
+            JobJournal(path)
+
+    def test_duplicate_submitted_refused(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        for _ in range(2):
+            self._write_record(path, {"v": API_VERSION,
+                                      "event": "submitted",
+                                      "job_id": "job-000001",
+                                      "ident": "i", "key": "k",
+                                      "request": _request_json(),
+                                      "ts": 0.0})
+        with pytest.raises(JournalError, match="duplicate submitted"):
+            JobJournal(path)
+
+    def test_orphan_terminal_refused(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        self._write_record(path, {"v": API_VERSION, "event": "done",
+                                  "job_id": "job-000042",
+                                  "result": {"ok": True}, "ts": 0.0})
+        with pytest.raises(JournalError, match="unknown job"):
+            JobJournal(path)
+
+
+class TestCompaction:
+    def test_compact_drops_oldest_finished(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path, keep_done=2)
+        for i in range(1, 5):
+            job_id = f"job-{i:06d}"
+            journal.submitted(job_id, f"i{i}", f"k{i}", _request_json(i))
+            if i <= 3:                       # three finished, one pending
+                journal.finished(job_id, {"job_id": job_id, "ok": True,
+                                          "kind": "measure",
+                                          "key": f"k{i}", "result": {}},
+                                 ok=True)
+        journal.compact()
+        journal.close()
+        replay = JobJournal(path, keep_done=2)
+        # oldest finished (job 1) dropped; pending job always kept
+        assert sorted(replay.jobs) == ["job-000002", "job-000003",
+                                       "job-000004"]
+        assert [j.job_id for j in replay.pending()] == ["job-000004"]
+        replay.close()
+
+    def test_rotation_bounds_file_size(self, tmp_path):
+        """Appends past max_bytes trigger an in-place rewrite: a daemon
+        finishing jobs forever keeps a bounded journal."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path, max_bytes=4096, keep_done=2)
+        for i in range(1, 60):
+            job_id = f"job-{i:06d}"
+            journal.submitted(job_id, f"i{i}", f"k{i}", _request_json(i),
+                              sync=False)
+            journal.finished(job_id, {"job_id": job_id, "ok": True,
+                                      "kind": "measure", "key": f"k{i}",
+                                      "result": {"pad": "x" * 64}},
+                             ok=True, sync=False)
+        assert journal.compactions >= 1
+        assert journal.stats()["bytes"] <= 4096 + 1024  # one record slop
+        journal.compact()
+        assert len(journal.jobs) == 2        # keep_done survivors only
+        journal.close()
+        replay = JobJournal(path)            # the rotated file replays
+        assert "job-000059" in replay.jobs
+        replay.close()
+
+    def test_compacted_file_is_flocked(self, tmp_path):
+        """After rotation the *new* inode holds the single-writer lock —
+        a second daemon still cannot open the journal."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        _submit_n(journal, 1)
+        journal.compact()
+        with pytest.raises(JournalError, match="locked by another"):
+            JobJournal(path)
+        journal.close()
+
+
+class TestIsolation:
+    def test_single_writer_flock(self, tmp_path):
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        with pytest.raises(JournalError, match="locked by another"):
+            JobJournal(path)
+        journal.close()
+        second = JobJournal(path)            # released on close
+        second.close()
+
+    def test_concurrent_appends_stay_line_atomic(self, tmp_path):
+        """Many threads appending through one journal: every record
+        lands whole (the journal's internal lock serializes writes) and
+        the file replays with nothing torn or interleaved."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path, fsync=False)
+        threads, per_thread = 8, 25
+
+        def worker(tid: int) -> None:
+            for i in range(per_thread):
+                seq = tid * per_thread + i + 1
+                journal.submitted(f"job-{seq:06d}", f"i{seq}", f"k{seq}",
+                                  _request_json(seq), sync=False)
+
+        pool = [threading.Thread(target=worker, args=(tid,))
+                for tid in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        journal.close()
+        replay = JobJournal(path)
+        assert len(replay.jobs) == threads * per_thread
+        assert not replay.torn_tail
+        assert replay.records_loaded == threads * per_thread
+        replay.close()

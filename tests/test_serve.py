@@ -1,20 +1,23 @@
 """Tests for the compile service: the ``repro.api`` facade, the job
-queue (dedup, backpressure, retention), the HTTP transport, and the
-service's equivalence with direct in-process measurement."""
+queue (dedup, backpressure, retention), the HTTP transport, crash
+recovery through the write-ahead journal, and the service's
+equivalence with direct in-process measurement."""
 
 import threading
 import time
 
 import pytest
 
-from repro.api import (JOB_DONE, JOB_QUEUED, ApiError, CompileRequest,
-                       JobResult, JobStatus, MeasureRequest, dumps,
-                       request_from_json, run_request)
+from repro.api import (JOB_DONE, JOB_FAILED, JOB_QUEUED, ApiError,
+                       CompileRequest, JobResult, JobStatus,
+                       MeasureRequest, dumps, request_from_json,
+                       run_request)
 from repro.errors import ReproError
 from repro.harness.measure import run_measurement
 from repro.harness.report import measurement_report
-from repro.serve import (Client, CompileServer, QueueFull, ServeConfig,
-                         ServerBusy, UnknownJob, start_server)
+from repro.serve import (Client, CompileServer, JobJournal, JournalError,
+                         QueueFull, ServeConfig, ServerBusy,
+                         ServerUnavailable, UnknownJob, start_server)
 
 REQ = MeasureRequest(kernel="vadd", n=24, unroll=4)
 
@@ -406,3 +409,363 @@ class TestServerCore:
             assert result is not None and result.ok
         assert core.tracer.counters.get("serve.dispatched") == 3
         core.shutdown()
+
+
+# ----------------------------------------------------------------------
+# durability: the journal wired into the server
+# ----------------------------------------------------------------------
+def _journaled_config(tmp_path, **overrides):
+    overrides.setdefault("journal_path", str(tmp_path / "serve.journal"))
+    return _config(tmp_path, **overrides)
+
+
+class TestRecovery:
+    def test_restart_reserves_finished_results(self, tmp_path):
+        """A job that finished before the crash is re-served from the
+        journal byte-identically — no recompile, no re-simulation."""
+        cfg = _journaled_config(tmp_path)
+        core = CompileServer(cfg).start()
+        job_id = core.submit([REQ])[0].job_id
+        before = core.result(job_id, wait_s=120)
+        assert before is not None and before.ok
+        core._journal.crash()                 # SIGKILL twin: no cleanup
+
+        revived = CompileServer(cfg).start()
+        try:
+            after = revived.result(job_id, wait_s=0)
+            assert after is not None and after.ok
+            assert dumps(after.to_json()) == dumps(before.to_json())
+            status = revived.status(job_id)
+            assert status.recovered and status.state == JOB_DONE
+            counters = revived.tracer.counters
+            assert counters.get("serve.replayed_done") == 1
+            assert counters.get("serve.recovered") == 0   # nothing re-ran
+            # and the retained result still feeds dedup
+            alias = revived.submit([REQ])[0]
+            assert alias.deduped
+            assert revived.result(alias.job_id, wait_s=0).cache_hit
+        finally:
+            revived.shutdown()
+
+    def test_restart_reenqueues_pending_jobs(self, tmp_path):
+        """A job accepted but never finished is re-enqueued on replay
+        and runs to the same payload an uninterrupted daemon produces."""
+        cfg = _journaled_config(tmp_path)
+        core = CompileServer(cfg)             # never started: no dispatch
+        job_id = core.submit([REQ])[0].job_id
+        core._journal.crash()
+
+        revived = CompileServer(cfg).start()
+        try:
+            assert revived.tracer.counters.get("serve.recovered") == 1
+            status = revived.status(job_id)
+            assert status.recovered
+            result = revived.result(job_id, wait_s=120)
+            assert result is not None and result.ok
+            assert dumps(result.result) == dumps(run_request(REQ))
+        finally:
+            revived.shutdown()
+
+    def test_recovered_duplicates_dedup_on_replay(self, tmp_path):
+        """Two journaled pending jobs with one identity recover as one
+        primary plus one alias — the crash does not double the work."""
+        cfg = _journaled_config(tmp_path)
+        core = CompileServer(cfg)
+        first = core.submit([REQ])[0].job_id
+        second = core.submit([REQ])[0].job_id
+        core._journal.crash()
+
+        revived = CompileServer(cfg).start()
+        try:
+            r1 = revived.result(first, wait_s=120)
+            r2 = revived.result(second, wait_s=120)
+            assert r1.ok and r2.ok
+            assert dumps(r1.result) == dumps(r2.result)
+            counters = revived.tracer.counters
+            assert counters.get("serve.recovered") == 1
+            assert counters.get("serve.dedup_inflight") == 1
+            assert counters.get("serve.dispatched") == 1
+        finally:
+            revived.shutdown()
+
+    def test_exhausted_attempts_quarantined_on_replay(self, tmp_path):
+        """A journal showing max_attempts dispatches and no terminal
+        record marks a poison job: it fails on replay instead of
+        crash-looping the daemon."""
+        cfg = _journaled_config(tmp_path, max_attempts=2)
+        journal = JobJournal(cfg.journal_path)
+        key = REQ.cache_key()
+        journal.submitted("job-000001", f"measure:check:{key}", key,
+                          REQ.to_json())
+        journal.dispatched("job-000001", 2)
+        journal.close()
+
+        core = CompileServer(cfg).start()
+        try:
+            result = core.result("job-000001", wait_s=5)
+            assert result is not None and not result.ok
+            assert "quarantined" in result.error
+            assert core.status("job-000001").state == JOB_FAILED
+            assert core.tracer.counters.get("serve.quarantined") == 1
+        finally:
+            core.shutdown()
+
+    def test_future_schema_journal_refused(self, tmp_path):
+        cfg = _journaled_config(tmp_path)
+        with open(cfg.journal_path, "w") as handle:
+            handle.write('{"v": 99, "event": "submitted", '
+                         '"job_id": "job-000001"}\n')
+        with pytest.raises(JournalError, match="unknown schema"):
+            CompileServer(cfg)
+
+    def test_job_ids_resume_past_replayed_jobs(self, tmp_path):
+        """Fresh submissions after a restart never reuse a journaled
+        job id (ids are part of the journal's identity space)."""
+        cfg = _journaled_config(tmp_path)
+        core = CompileServer(cfg)
+        old_id = core.submit([REQ])[0].job_id
+        core._journal.crash()
+        revived = CompileServer(cfg).start()
+        try:
+            fresh = revived.submit([MeasureRequest(kernel="vadd", n=25,
+                                                   unroll=4)])[0]
+            assert fresh.job_id != old_id
+            assert int(fresh.job_id.split("-")[1]) > \
+                int(old_id.split("-")[1])
+        finally:
+            revived.shutdown()
+
+    def test_journaled_shutdown_leaves_queued_jobs_durable(self,
+                                                           tmp_path):
+        """With a journal, graceful shutdown does NOT fail queued jobs
+        (the no-journal behavior): they stay journaled as pending and a
+        restarted daemon completes them."""
+        cfg = _journaled_config(tmp_path)
+        core = CompileServer(cfg)
+        core.pause()
+        core.start()
+        job_id = core.submit([REQ])[0].job_id
+        stuck = core.shutdown()
+        assert stuck is False
+        assert core.result(job_id, wait_s=0) is None   # not failed
+        assert core.status(job_id).state == JOB_QUEUED
+
+        revived = CompileServer(cfg).start()
+        try:
+            result = revived.result(job_id, wait_s=120)
+            assert result is not None and result.ok
+        finally:
+            revived.shutdown()
+
+    def test_crashed_worker_retried_then_quarantined(self, tmp_path,
+                                                     monkeypatch):
+        """A job that kills its worker is retried within max_attempts,
+        then quarantined; a healthy job sharing the wave is untouched."""
+        import repro.api as api_mod
+
+        real = api_mod.execute_payload
+
+        def die_on_vadd(request_obj, use_cache, cache_dir, tracer=None):
+            import os
+            if request_obj.get("kernel") == "vadd":
+                os._exit(3)
+            return real(request_obj, use_cache, cache_dir, tracer)
+
+        monkeypatch.setattr("repro.api.execute_payload", die_on_vadd)
+        cfg = _journaled_config(tmp_path, jobs=2, batch=2,
+                                max_attempts=2, retry_backoff_s=0.01)
+        core = CompileServer(cfg)
+        core.pause()
+        core.start()
+        poison = core.submit([REQ])[0].job_id
+        healthy = core.submit([MeasureRequest(kernel="daxpy", n=24,
+                                              unroll=4)])[0].job_id
+        core.resume()
+        try:
+            good = core.result(healthy, wait_s=120)
+            assert good is not None and good.ok
+            bad = core.result(poison, wait_s=120)
+            assert bad is not None and not bad.ok
+            assert "quarantined" in bad.error
+            assert core.status(poison).attempts == 2
+            counters = core.tracer.counters
+            assert counters.get("serve.retried") == 1
+            assert counters.get("serve.quarantined") == 1
+        finally:
+            core.shutdown()
+
+
+class TestResilience:
+    """Health endpoints, typed unavailability, client backoff, and the
+    shutdown-stuck surface."""
+
+    def test_health_and_ready_endpoints(self, service):
+        _, client = service
+        assert client.health() == {"ok": True}
+        probe = client.ready()
+        assert probe["ready"] and probe["reason"] == "ok"
+
+    def test_not_ready_before_dispatcher_starts(self, tmp_path):
+        core = CompileServer(_config(tmp_path))
+        ready, reason = core.ready()
+        assert not ready and "not started" in reason
+
+    def test_readyz_503_while_stopping(self, tmp_path):
+        core, httpd = start_server(_config(tmp_path))
+        host, port = httpd.server_address[:2]
+        client = Client(f"{host}:{port}")
+        core.shutdown()
+        probe = client.ready()
+        assert not probe["ready"]
+        httpd.shutdown()
+        httpd.server_close()
+
+    def test_unreachable_server_raises_typed_error(self):
+        client = Client("127.0.0.1:1", timeout_s=0.5)
+        with pytest.raises(ServerUnavailable) as excinfo:
+            client.stats()
+        assert isinstance(excinfo.value, ReproError)
+        assert "cannot reach" in str(excinfo.value)
+
+    def test_result_poll_rides_out_restart(self, tmp_path):
+        """A client long-polling a job keeps backing off through the
+        daemon's death and finds its answer on the restarted daemon —
+        the full crash-recovery loop, in-process."""
+        cfg = _journaled_config(tmp_path)
+        core, httpd = start_server(cfg)
+        host, port = httpd.server_address[:2]
+        client = Client(f"{host}:{port}", timeout_s=5.0)
+        core.pause()                          # accepted, never dispatched
+        job_id = client.submit([REQ])[0].job_id
+        core._journal.crash()
+        httpd.shutdown()
+        httpd.server_close()                  # daemon is now "dead"
+
+        revived = {}
+
+        def restart():
+            time.sleep(0.5)
+            cfg2 = ServeConfig(**{**cfg.__dict__, "port": port})
+            revived["core"], revived["httpd"] = start_server(cfg2)
+
+        thread = threading.Thread(target=restart)
+        thread.start()
+        try:
+            result = client.result(job_id, timeout_s=120)
+            assert result.ok
+            assert dumps(result.result) == dumps(run_request(REQ))
+        finally:
+            thread.join()
+            revived["core"].shutdown()
+            revived["httpd"].shutdown()
+            revived["httpd"].server_close()
+
+    def test_submit_and_wait_retries_unavailable(self, tmp_path):
+        """The submit phase backs off on a dead port until the daemon
+        appears (resubmission is dedup-safe), then collects normally."""
+        from repro.harness.chaos import free_port
+
+        port = free_port()
+        cfg = _journaled_config(tmp_path, port=port)
+        client = Client(f"127.0.0.1:{port}", timeout_s=5.0)
+        started = {}
+
+        def come_up():
+            time.sleep(0.5)
+            started["core"], started["httpd"] = start_server(cfg)
+
+        thread = threading.Thread(target=come_up)
+        thread.start()
+        try:
+            results = client.submit_and_wait([REQ], timeout_s=120)
+            assert results[0].ok
+        finally:
+            thread.join()
+            started["core"].shutdown()
+            started["httpd"].shutdown()
+            started["httpd"].server_close()
+
+    def test_submit_and_wait_gives_up_at_deadline(self):
+        client = Client("127.0.0.1:1", timeout_s=0.5)
+        with pytest.raises(ServerUnavailable):
+            client.submit_and_wait([REQ], timeout_s=1.0)
+
+    def test_shutdown_stuck_surfaced(self, tmp_path, monkeypatch):
+        """A dispatcher that cannot drain within shutdown_join_s is
+        counted and reported, not silently leaked."""
+        import repro.harness.runner as runner_mod
+
+        release = threading.Event()
+        real = runner_mod.run_tasks
+
+        def wedged(kind, payloads, **kwargs):
+            release.wait(20)
+            return real(kind, payloads, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_tasks", wedged)
+        core = CompileServer(_config(tmp_path,
+                                     shutdown_join_s=0.2)).start()
+        core.submit([REQ])
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline \
+                and not core.tracer.counters.get("serve.dispatched"):
+            time.sleep(0.02)
+        try:
+            stuck = core.shutdown()
+            assert stuck is True
+            assert core.tracer.counters.get("serve.shutdown_stuck") == 1
+        finally:
+            release.set()
+
+    def test_stats_surface_ready_and_journal(self, tmp_path):
+        cfg = _journaled_config(tmp_path)
+        core = CompileServer(cfg).start()
+        try:
+            core.submit([REQ])
+            stats = core.stats()
+            assert stats["ready"] is True
+            assert stats["journal"]["path"] == cfg.journal_path
+            assert stats["journal"]["jobs"] >= 1
+            assert stats["config"]["max_attempts"] == cfg.max_attempts
+        finally:
+            core.shutdown()
+
+
+class TestMultiDaemon:
+    """The ROADMAP's two-daemon proof: separate daemons, one shared
+    content-addressed store."""
+
+    def test_second_daemon_serves_warm_from_shared_cache(self, tmp_path):
+        """Daemon A compiles; daemon B (its own config and journal, the
+        same cache directory) serves the same request with cache.hit and
+        a byte-identical payload."""
+        shared_cache = str(tmp_path / "cache")
+        cfg_a = ServeConfig(port=0, jobs=1, cache_dir=shared_cache,
+                            journal_path=str(tmp_path / "a.journal"))
+        core_a = CompileServer(cfg_a).start()
+        cold = core_a.result(core_a.submit([REQ])[0].job_id, wait_s=120)
+        assert cold is not None and cold.ok and not cold.cache_hit
+        core_a.shutdown()
+
+        cfg_b = ServeConfig(port=0, jobs=1, cache_dir=shared_cache,
+                            journal_path=str(tmp_path / "b.journal"))
+        core_b = CompileServer(cfg_b).start()
+        try:
+            warm = core_b.result(core_b.submit([REQ])[0].job_id,
+                                 wait_s=120)
+            assert warm is not None and warm.ok
+            assert warm.counters.get("cache.hit", 0) >= 1
+            assert dumps(warm.result) == dumps(cold.result)
+        finally:
+            core_b.shutdown()
+
+    def test_two_daemons_cannot_share_one_journal(self, tmp_path):
+        """The journal is single-writer by flock: a second daemon
+        pointed at a live journal fails fast instead of interleaving."""
+        cfg = _journaled_config(tmp_path)
+        core = CompileServer(cfg).start()
+        try:
+            with pytest.raises(JournalError, match="locked by another"):
+                CompileServer(cfg)
+        finally:
+            core.shutdown()
