@@ -277,8 +277,6 @@ class JobJournal:
         self._append({"v": API_VERSION, "event": EV_SUBMITTED,
                       "job_id": job_id, "ident": ident, "key": key,
                       "request": request, "ts": time.time()}, sync)
-        self.jobs[job_id] = JournalJob(job_id=job_id, ident=ident,
-                                       key=key, request=request)
 
     def dispatched(self, job_id: str, attempt: int,
                    sync: bool = True) -> None:
@@ -286,9 +284,6 @@ class JobJournal:
         self._append({"v": API_VERSION, "event": EV_DISPATCHED,
                       "job_id": job_id, "attempt": attempt,
                       "ts": time.time()}, sync)
-        job = self.jobs.get(job_id)
-        if job is not None:
-            job.attempts = max(job.attempts, attempt)
 
     def finished(self, job_id: str, result: dict, ok: bool,
                  sync: bool = True) -> None:
@@ -297,10 +292,6 @@ class JobJournal:
                       "event": EV_DONE if ok else EV_FAILED,
                       "job_id": job_id, "result": result,
                       "ts": time.time()}, sync)
-        job = self.jobs.get(job_id)
-        if job is not None:
-            job.result = result
-            job.ok = ok
 
     def _append(self, record: dict, sync: bool) -> None:
         with self._lock:
@@ -312,8 +303,30 @@ class JobJournal:
             if sync and self.fsync:
                 os.fsync(self._handle.fileno())
             self._bytes += len(line)
+            # mirror the record into the jobs map *before* the rotation
+            # check, still under the lock: compaction rewrites the file
+            # from self.jobs, so a rotation triggered by this very
+            # append must already see the event it is rotating away
+            self._track(record)
             if self._bytes > self.max_bytes:
                 self._compact_locked()
+
+    def _track(self, record: dict) -> None:
+        """Fold one just-appended record into ``jobs`` (lock held)."""
+        event, job_id = record["event"], record["job_id"]
+        if event == EV_SUBMITTED:
+            self.jobs[job_id] = JournalJob(
+                job_id=job_id, ident=record["ident"], key=record["key"],
+                request=record["request"], submitted_ts=record["ts"])
+            return
+        job = self.jobs.get(job_id)
+        if job is None:
+            return
+        if event == EV_DISPATCHED:
+            job.attempts = max(job.attempts, record["attempt"])
+        else:
+            job.result = record["result"]
+            job.ok = event == EV_DONE
 
     def sync(self) -> None:
         """Fsync everything appended so far (covers ``sync=False``

@@ -231,9 +231,9 @@ class CompileServer:
         self._dispatcher: threading.Thread | None = None
         for name in ("submitted", "rejected", "dedup_inflight",
                      "dedup_done", "dispatched", "completed", "failed",
-                     "dispatch_errors", "prune_errors", "recovered",
-                     "replayed_done", "retried", "quarantined",
-                     "shutdown_stuck"):
+                     "dispatch_errors", "journal_errors", "prune_errors",
+                     "recovered", "replayed_done", "retried",
+                     "quarantined", "shutdown_stuck"):
             self.tracer.counters.inc(f"serve.{name}", 0)
         self._journal: JobJournal | None = None
         if self.config.journal_path:
@@ -551,11 +551,27 @@ class CompileServer:
             _chaos_point(CHAOS_PRE_DISPATCH)
             if self._journal is not None:
                 # charge the attempts before the wave runs: a crash
-                # from here on counts against each job's retry budget
-                for job in wave:
-                    self._journal.dispatched(job.id, job.attempts,
-                                             sync=False)
-                self._journal.sync()
+                # from here on counts against each job's retry budget.
+                # A journal write failure (ENOSPC, read-only disk) must
+                # fail the wave, never the dispatcher thread — a dead
+                # dispatcher strands RUNNING jobs with clients
+                # long-polling a queue nothing drains
+                try:
+                    for job in wave:
+                        self._journal.dispatched(job.id, job.attempts,
+                                                 sync=False)
+                    self._journal.sync()
+                except Exception as exc:
+                    self.tracer.counters.inc("serve.journal_errors")
+                    self.tracer.counters.inc("serve.dispatch_errors")
+                    with self._done:
+                        for job in wave:
+                            self._finish(job, JobResult(
+                                job_id=job.id, ok=False,
+                                kind=job.request.kind, key=job.key,
+                                error=f"journal write failed: {exc!r}"))
+                        self._done.notify_all()
+                    continue
             _chaos_point(CHAOS_MID_WAVE)
             # the dispatcher must outlive any single wave: an unexpected
             # exception here fails the wave's jobs, never the thread —
@@ -651,7 +667,13 @@ class CompileServer:
         self.tracer.counters.inc(
             "serve.completed" if result.ok else "serve.failed")
         if self._journal is not None and not self._journal.closed:
-            self._journal.finished(job.id, result.to_json(), result.ok)
+            try:
+                self._journal.finished(job.id, result.to_json(), result.ok)
+            except Exception:
+                # an unrecorded terminal means the job re-runs on replay
+                # (and completes from cache) — a degraded outcome, but
+                # never a dead dispatcher or an unserved completion
+                self.tracer.counters.inc("serve.journal_errors")
         if result.ok and job.ident not in self._done_by_ident:
             self._done_by_ident[job.ident] = job.id
         if self._inflight_by_ident.get(job.ident) == job.id:

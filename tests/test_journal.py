@@ -229,6 +229,82 @@ class TestCompaction:
         assert "job-000059" in replay.jobs
         replay.close()
 
+    @pytest.mark.parametrize("trigger", ["submitted", "dispatched",
+                                         "done", "failed"])
+    def test_rotation_keeps_the_triggering_record(self, tmp_path, trigger):
+        """The append that crosses max_bytes survives the rotation it
+        triggers, whatever its event type: compaction rewrites the file
+        from the jobs map, which must already hold the record being
+        written.  (A dropped 'submitted' loses an acknowledged-durable
+        job and poisons the journal once its 'dispatched' lands; a
+        dropped 'done' re-runs finished work on replay.)"""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path, max_bytes=1 << 20)
+        journal.submitted("job-000001", "i1", "k1", _request_json())
+        if trigger != "submitted":
+            journal.submitted("job-000002", "i2", "k2", _request_json(1))
+        # arm the rotation: the very next append crosses the bound
+        journal.max_bytes = journal.stats()["bytes"]
+        if trigger == "submitted":
+            journal.submitted("job-000002", "i2", "k2", _request_json(1))
+        elif trigger == "dispatched":
+            journal.dispatched("job-000002", 1)
+        else:
+            journal.finished("job-000002",
+                             {"job_id": "job-000002",
+                              "ok": trigger == "done", "kind": "measure",
+                              "key": "k2", "result": {"x": 2}},
+                             ok=trigger == "done")
+        assert journal.compactions == 1
+        journal.close()
+        replay = JobJournal(path)            # must not raise
+        job = replay.jobs["job-000002"]
+        if trigger == "submitted":
+            assert not job.finished
+        elif trigger == "dispatched":
+            assert job.attempts == 1 and not job.finished
+        else:
+            assert job.finished and job.ok == (trigger == "done")
+            assert job.result["result"] == {"x": 2}
+        replay.close()
+
+    def test_rotation_mid_lifecycle_journal_stays_replayable(self,
+                                                             tmp_path):
+        """Every single append rotating (max_bytes=1): the worst case
+        for record-dropping bugs — submitted/dispatched/done for the
+        same job each trigger their own compaction, and the journal
+        must still replay the full lifecycle."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path, max_bytes=1)
+        journal.submitted("job-000001", "i1", "k1", _request_json())
+        journal.dispatched("job-000001", 1)
+        journal.finished("job-000001", {"job_id": "job-000001",
+                                        "ok": True, "kind": "measure",
+                                        "key": "k1", "result": {}},
+                         ok=True)
+        journal.submitted("job-000002", "i2", "k2", _request_json(1))
+        assert journal.compactions >= 4
+        journal.close()
+        replay = JobJournal(path)
+        assert replay.jobs["job-000001"].finished
+        assert [j.job_id for j in replay.pending()] == ["job-000002"]
+        replay.close()
+
+    def test_compaction_preserves_submitted_ts(self, tmp_path):
+        """Compaction re-stamps each kept 'submitted' record from the
+        jobs map, which must carry the original submission time — not
+        0.0, which _write_job would paper over with time.time()."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path)
+        journal.submitted("job-000001", "i1", "k1", _request_json())
+        original = journal.jobs["job-000001"].submitted_ts
+        assert original > 0.0
+        journal.compact()
+        journal.close()
+        replay = JobJournal(path)
+        assert replay.jobs["job-000001"].submitted_ts == original
+        replay.close()
+
     def test_compacted_file_is_flocked(self, tmp_path):
         """After rotation the *new* inode holds the single-writer lock —
         a second daemon still cannot open the journal."""
@@ -276,4 +352,39 @@ class TestIsolation:
         assert len(replay.jobs) == threads * per_thread
         assert not replay.torn_tail
         assert replay.records_loaded == threads * per_thread
+        replay.close()
+
+    def test_concurrent_appends_during_rotation(self, tmp_path):
+        """Submits racing size-triggered compactions: the jobs map is
+        only ever mutated under the journal lock, so a rotation's
+        iteration over jobs.values() can never see a concurrent insert
+        ('dictionary changed size during iteration')."""
+        path = str(tmp_path / "serve.journal")
+        journal = JobJournal(path, fsync=False, max_bytes=512)
+        threads, per_thread = 8, 25
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(per_thread):
+                    seq = tid * per_thread + i + 1
+                    journal.submitted(f"job-{seq:06d}", f"i{seq}",
+                                      f"k{seq}", _request_json(seq),
+                                      sync=False)
+            except BaseException as exc:
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(tid,))
+                for tid in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+        assert journal.compactions >= 1
+        # every submit is pending, so rotation may drop none of them
+        assert len(journal.jobs) == threads * per_thread
+        journal.close()
+        replay = JobJournal(path)
+        assert len(replay.jobs) == threads * per_thread
         replay.close()

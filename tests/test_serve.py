@@ -717,6 +717,56 @@ class TestResilience:
         finally:
             release.set()
 
+    def test_dispatcher_survives_journal_write_failure(self, tmp_path,
+                                                       monkeypatch):
+        """A journal write failing at the dispatch barrier (ENOSPC and
+        friends) fails that wave's jobs cleanly — never the dispatcher
+        thread, which would strand RUNNING jobs and leave clients
+        long-polling a queue nothing drains."""
+        core = CompileServer(_journaled_config(tmp_path)).start()
+        try:
+            real = core._journal.dispatched
+            armed = {"boom": True}
+
+            def flaky(job_id, attempt, sync=True):
+                if armed.get("boom"):
+                    raise OSError(28, "No space left on device")
+                return real(job_id, attempt, sync)
+
+            monkeypatch.setattr(core._journal, "dispatched", flaky)
+            status = core.submit([REQ])[0]
+            result = core.result(status.job_id, wait_s=120)
+            assert result is not None and not result.ok
+            assert "journal write failed" in result.error
+            assert core.tracer.counters.get("serve.journal_errors") >= 1
+            assert core.ready()[0]           # dispatcher still alive
+            armed["boom"] = False
+            retry = core.submit([REQ])[0]
+            again = core.result(retry.job_id, wait_s=120)
+            assert again is not None and again.ok
+        finally:
+            core.shutdown()
+
+    def test_completion_survives_journal_write_failure(self, tmp_path,
+                                                       monkeypatch):
+        """journal.finished() raising in the completion block degrades
+        to an unrecorded terminal (the job would re-run, from cache, on
+        replay) — the client still gets its result and the dispatcher
+        survives."""
+        core = CompileServer(_journaled_config(tmp_path)).start()
+        try:
+            def broken(*args, **kwargs):
+                raise OSError(28, "No space left on device")
+
+            monkeypatch.setattr(core._journal, "finished", broken)
+            status = core.submit([REQ])[0]
+            result = core.result(status.job_id, wait_s=120)
+            assert result is not None and result.ok
+            assert core.tracer.counters.get("serve.journal_errors") == 1
+            assert core.ready()[0]
+        finally:
+            core.shutdown()
+
     def test_stats_surface_ready_and_journal(self, tmp_path):
         cfg = _journaled_config(tmp_path)
         core = CompileServer(cfg).start()
