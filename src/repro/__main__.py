@@ -55,7 +55,7 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="I-F board pairs (default 4 = TRACE 28/200)")
     parser.add_argument("--unroll", type=int, default=8,
                         help="unroll factor (default 8; 0 disables)")
-    parser.add_argument("--strategy", choices=("trace", "pipeline", "auto"),
+    parser.add_argument("--strategy", choices=("trace", "pipeline", "auto", "optimal"),
                         default="trace",
                         help="loop engine: unroll+trace-schedule (default), "
                              "modulo-schedule counted loops, or pick per "
@@ -286,7 +286,7 @@ def _modulo_records(module, func, config):
     from .disambig import Disambiguator, derive_memrefs
     from .ir import format_operation
     from .pipeline import II_SEARCH, find_pipeline_loops
-    from .sched import build_modulo_graph, rec_mii, res_mii
+    from .sched import build_modulo_graph, critical_cycle, rec_mii, res_mii
     from .trace import clone_function
 
     derive_memrefs(func)
@@ -300,7 +300,7 @@ def _modulo_records(module, func, config):
         graph = build_modulo_graph(pl, config, disambig)
         rmii = res_mii(graph.ops, config)
         rcmii = rec_mii(graph, rmii + II_SEARCH)
-        records.append({
+        record = {
             "header": pl.header, "match": why,
             "res_mii": rmii, "rec_mii": rcmii,
             "mii": max(2, rmii, rcmii) if rcmii is not None else None,
@@ -308,7 +308,15 @@ def _modulo_records(module, func, config):
             "edges": [_edge_record(src, e)
                       for src, edges in enumerate(graph.succs)
                       for e in edges],
-        })
+        }
+        cycle = critical_cycle(graph, rcmii)
+        if cycle is not None:
+            record["recurrence_cycle"] = {
+                "edges": [_edge_record(e.src, e) for e in cycle],
+                "latency_beats": sum(e.latency for e in cycle),
+                "distance": sum(e.dist for e in cycle),
+            }
+        records.append(record)
     return records
 
 
@@ -382,7 +390,42 @@ def cmd_explain_deps(args) -> int:
             print(f"  [{i:3}] {op}")
         print("  edges (kind, latency, iteration distance, verdict):")
         _print_edges(rec["edges"])
+        cycle = rec.get("recurrence_cycle")
+        if cycle is not None:
+            lat, dist = cycle["latency_beats"], cycle["distance"]
+            print(f"  RecMII-critical recurrence cycle "
+                  f"({lat} beats / {dist} iteration"
+                  f"{'s' if dist != 1 else ''} -> "
+                  f"ceil({lat}/{2 * dist}) = {rec['rec_mii']}):")
+            _print_edges(cycle["edges"])
     return 0
+
+
+def cmd_audit(args) -> int:
+    from .optimal import compare_baseline, render_table, run_audit
+
+    report = run_audit(jobs=args.jobs, max_nodes=args.max_nodes,
+                       tiny=args.tiny, timeout_s=args.timeout)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_table(report))
+        print(f"wrote {args.out}")
+    status = 0
+    if args.baseline is not None:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        problems = compare_baseline(report, baseline)
+        for problem in problems:
+            print(f"REGRESSION {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+        else:
+            print(f"no regressions vs {args.baseline}")
+    return status
 
 
 def cmd_fuzz(args) -> int:
@@ -614,6 +657,32 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_explain_deps)
 
     p = sub.add_parser(
+        "audit",
+        help="optimality-gap audit: prove or beat the heuristic "
+             "schedulers' trace lengths and IIs with the exact engine, "
+             "kernel by kernel")
+    p.add_argument("--max-nodes", type=int, default=20_000, metavar="N",
+                   help="exact-engine node budget per decision "
+                        "(default 20000; results are deterministic at "
+                        "a fixed budget)")
+    p.add_argument("--tiny", action="store_true",
+                   help="small-graph subset only (the CI smoke set)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="wall-clock deadline per audit case (worker "
+                        "processes only, i.e. with --jobs > 1)")
+    p.add_argument("--out", metavar="FILE", default="BENCH_optimal.json",
+                   help="gap-table report path "
+                        "(default BENCH_optimal.json)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="compare against a baseline report; exit "
+                        "nonzero if any case's gap grew or its proof "
+                        "status worsened")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the JSON report instead of the table")
+    _add_jobs_arg(p)
+    p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser(
         "fuzz", help="differential fuzzing with fault injection")
     p.add_argument("--seed", type=int, default=0,
                    help="base seed; case i uses seed+i (default 0)")
@@ -623,7 +692,7 @@ def main(argv=None) -> int:
                    help="I-F board pairs (default 4 = TRACE 28/200)")
     p.add_argument("--no-faults", action="store_true",
                    help="clean differential runs only, no injection")
-    p.add_argument("--strategy", choices=("trace", "pipeline", "auto"),
+    p.add_argument("--strategy", choices=("trace", "pipeline", "auto", "optimal"),
                    default="trace",
                    help="loop engine under test; 'pipeline' runs the "
                         "pipeline-vs-trace differential scenario")

@@ -49,7 +49,7 @@ JOB_DONE = "done"
 JOB_FAILED = "failed"
 JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
 
-_STRATEGIES = ("trace", "pipeline", "auto")
+_STRATEGIES = ("trace", "pipeline", "auto", "optimal")
 _PAIRS = (1, 2, 4)
 
 

@@ -26,7 +26,10 @@ from dataclasses import fields, is_dataclass
 #: stale on-disk entries from older schemas simply never match.
 #: 2: unified scheduling core (sched/) — schedules and telemetry may
 #: legally differ from schema-1 artifacts.
-CACHE_SCHEMA = 2
+#: 3: exact engine (strategy "optimal") and the list scheduler's
+#: wide-immediate late-slot preference — schedules may legally differ
+#: from schema-2 artifacts.
+CACHE_SCHEMA = 3
 
 
 def module_fingerprint(module) -> str:
@@ -59,7 +62,8 @@ def compile_key(module, config, options, *, strategy: str, unroll: int,
             its output and much cheaper).
         config: target machine configuration.
         options: code-motion knobs.
-        strategy: loop engine ("trace" | "pipeline" | "auto").
+        strategy: loop engine ("trace" | "pipeline" | "auto" |
+            "optimal").
         unroll: classical-pipeline unroll factor.
         inline: classical-pipeline inline budget.
         use_profile: whether a training profile feeds trace selection.

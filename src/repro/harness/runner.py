@@ -122,6 +122,15 @@ def _api_task(payload, tracer):
     return execute_payload(request_obj, use_cache, cache_dir, tracer)
 
 
+@task_handler("audit")
+def _audit_task(payload, tracer):
+    """One optimality-audit case: ``payload`` is the case dict built by
+    :func:`repro.optimal.audit.audit_payloads` (kernel, mode, budget).
+    The returned value is the case's gap-table row."""
+    from ..optimal.audit import audit_case
+    return audit_case(payload, tracer)
+
+
 # ----------------------------------------------------------------------
 # the executor
 # ----------------------------------------------------------------------

@@ -244,6 +244,9 @@ class ReservationTable:
             raise ScheduleError(f"branch slot double-booked: {key}")
         self._branch[key] = owner
 
+    def release_branch(self, instruction: int, pair: int) -> None:
+        self._branch.pop((instruction, pair), None)
+
     def branches_in(self, instruction: int) -> int:
         return sum(1 for (ins, _pair) in self._branch if ins == instruction)
 

@@ -1,0 +1,32 @@
+"""Exact scheduling: the oracle engine and the optimality-gap audit.
+
+The third loop engine (after the trace list scheduler and the modulo
+scheduler): a pure-python branch-and-bound decision procedure over the
+unified scheduling core — same dependence edges, same reservation
+legality — that *proves* minimal trace lengths and minimal IIs under a
+deterministic node budget, and an audit harness that holds the
+heuristics to that line across the whole kernel corpus.
+"""
+
+from .audit import (AUDIT_SCHEMA, LOOP_KERNELS, TRACE_CASES, audit_case,
+                    audit_payloads, compare_baseline, render_table,
+                    run_audit, strip_timing)
+from .encode import ModuloDecision, TraceDecision
+from .scheduler import (DEFAULT_GATE_NODES, DEFAULT_MAX_NODES,
+                        OptimalScheduler, build_modulo_schedule,
+                        build_trace_schedule, exact_modulo_schedule,
+                        exact_trace_schedule, trace_lower_bound)
+from .solver import (FEASIBLE, OPTIMAL, SAT, TIMEOUT, UNKNOWN, UNSAT,
+                     Budget, BudgetExhausted, ExactOutcome)
+
+__all__ = [
+    "SAT", "UNSAT", "UNKNOWN", "OPTIMAL", "FEASIBLE", "TIMEOUT",
+    "Budget", "BudgetExhausted", "ExactOutcome",
+    "TraceDecision", "ModuloDecision",
+    "DEFAULT_MAX_NODES", "DEFAULT_GATE_NODES",
+    "trace_lower_bound", "exact_trace_schedule", "build_trace_schedule",
+    "exact_modulo_schedule", "build_modulo_schedule", "OptimalScheduler",
+    "AUDIT_SCHEMA", "TRACE_CASES", "LOOP_KERNELS",
+    "audit_payloads", "audit_case", "run_audit", "strip_timing",
+    "render_table", "compare_baseline",
+]

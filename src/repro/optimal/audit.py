@@ -1,0 +1,317 @@
+"""The optimality-gap audit: oracle vs heuristic over the kernel corpus.
+
+One audit *case* is one kernel preparation; its row aggregates every
+exact solve inside it:
+
+* **trace mode** walks the kernel exactly like the golden dep-graph
+  corpus generator (select the likeliest trace, build its graph, mark
+  scheduled, remove blocks — the compiler's own loop), list-schedules
+  each trace graph for the incumbent, and asks the exact engine to
+  certify or beat it.  The row sums schedule lengths over the walk.
+* **loop mode** runs the pipeline shape matcher over the rolled kernel,
+  modulo-schedules each accepted loop for the incumbent II, and asks
+  the exact engine to certify or beat it.
+
+Rows are deterministic at a fixed node budget — no wall-clock cap is
+used — except the ``time_s`` field, which exists for humans and is
+excluded from byte-identity comparisons (see ``strip_timing``).  Cases
+fan out through the parallel runner's ``audit`` handler, and the
+serial ``--jobs 1`` schedule is the reference the parallel one must
+reproduce.
+
+The checked-in baseline (``tests/data/audit_baseline.json``) pins each
+case's gap and proof status; :func:`compare_baseline` reports
+regressions (a gap that grew, or a proof that was lost) so CI can hold
+the heuristics to the oracle's line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Optional
+
+from ..analysis import compute_liveness
+from ..disambig import Disambiguator, derive_memrefs
+from ..errors import DisambigError, PipelineError, ScheduleError
+from ..machine import TRACE_28_200, MachineConfig
+from ..sched import SchedulingOptions
+from ..workloads import ALL_KERNELS, get_kernel
+from .scheduler import (DEFAULT_MAX_NODES, exact_modulo_schedule,
+                        exact_trace_schedule)
+from .solver import FEASIBLE, OPTIMAL, TIMEOUT
+
+AUDIT_SCHEMA = 1
+
+#: (kernel, n, unroll) trace-mode cases — the golden corpus's own walk
+TRACE_CASES: list[tuple[str, int, int]] = \
+    [(name, 16, 0) for name in sorted(ALL_KERNELS)] + [
+        ("daxpy", 16, 4), ("dot", 16, 4), ("state_machine", 16, 4)]
+
+#: loop-mode kernels (the bench_pipeline set: every kernel whose
+#: innermost loop the shape matcher accepts)
+LOOP_KERNELS = ["daxpy", "vadd", "dot", "fir4", "stencil3", "ll1_hydro",
+                "ll3_inner", "ll12_diff", "ll5_tridiag"]
+
+#: small-graph subset for the CI smoke audit
+TINY_TRACE = ["copy", "vadd", "daxpy", "dot", "scale", "int_sum", "clamp",
+              "saxpy_int", "stencil3", "horner", "count_matches"]
+TINY_LOOPS = ["daxpy", "vadd", "dot"]
+
+#: status severity for worst-of aggregation
+_SEVERITY = {OPTIMAL: 0, FEASIBLE: 1, TIMEOUT: 2, "ERROR": 3}
+
+
+def _worst(statuses) -> str:
+    return max(statuses, key=lambda s: _SEVERITY.get(s, 3), default=OPTIMAL)
+
+
+def audit_payloads(max_nodes: int = DEFAULT_MAX_NODES,
+                   tiny: bool = False) -> list[dict]:
+    """The case list, in the deterministic reference order."""
+    traces = [(k, n, u) for (k, n, u) in TRACE_CASES if k in TINY_TRACE
+              and u == 0] if tiny else TRACE_CASES
+    loops = TINY_LOOPS if tiny else LOOP_KERNELS
+    payloads = [{"mode": "trace", "kernel": k, "n": n, "unroll": u,
+                 "case": f"{k}/n{n}/u{u}", "max_nodes": max_nodes}
+                for (k, n, u) in traces]
+    payloads += [{"mode": "loop", "kernel": k, "n": 16,
+                  "case": f"{k}/loops", "max_nodes": max_nodes}
+                 for k in loops]
+    return payloads
+
+
+def audit_case(payload: dict, tracer=None,
+               config: Optional[MachineConfig] = None) -> dict:
+    """One audit row (the ``audit`` task handler's body)."""
+    config = config if config is not None else TRACE_28_200
+    if payload["mode"] == "trace":
+        return _audit_trace_case(payload, config)
+    return _audit_loop_case(payload, config)
+
+
+# ---------------------------------------------------------------------------
+# trace mode
+
+
+def _audit_trace_case(payload: dict, config: MachineConfig) -> dict:
+    from ..opt import inline
+    from ..harness.measure import prepare_modules
+    from ..trace import (TraceSelector, build_trace_graph, clone_function)
+    from ..trace.profile import estimate_static
+    from ..trace.scheduler import ListScheduler
+
+    t0 = time.perf_counter()
+    # the inliner tags blocks from a process-global counter; pin it per
+    # case so rows are identical no matter what ran earlier (the same
+    # trick the golden corpus generator uses)
+    inline._inline_counter = itertools.count()
+    kernel = get_kernel(payload["kernel"])
+    _, module = prepare_modules(kernel, payload["n"],
+                                unroll=payload["unroll"], inline=48)
+    options = SchedulingOptions()
+    max_nodes = payload["max_nodes"]
+    graphs = improved = 0
+    heuristic_total = optimal_total = lower_total = nodes_total = 0
+    statuses: list[str] = []
+    for fname in sorted(module.functions):
+        func = module.functions[fname]
+        derive_memrefs(func)
+        work = clone_function(func)
+        disambig = Disambiguator(module)
+        live_in_map = dict(compute_liveness(work).live_in)
+        selector = TraceSelector(work, estimate_static(work))
+        entry_labels = {work.entry.name}
+        while True:
+            trace = selector.next_trace()
+            if trace is None:
+                break
+            graph = build_trace_graph(work, trace, disambig, config,
+                                      options, live_in_map, entry_labels)
+            heur = ListScheduler(graph, config, disambig, options,
+                                 trace_id=f"{fname}#a{graphs}").run()
+            out = exact_trace_schedule(graph, config, disambig, options,
+                                       upper=heur.n_instructions,
+                                       max_nodes=max_nodes)
+            graphs += 1
+            heuristic_total += heur.n_instructions
+            optimal_total += out.value
+            lower_total += out.lower_bound
+            nodes_total += out.nodes
+            statuses.append(out.status)
+            if out.witness is not None:
+                improved += 1
+            for node in graph.splits():
+                entry_labels.add(node.off_trace)
+            selector.mark_scheduled(trace)
+            for bname in trace.blocks:
+                work.remove_block(bname)
+    return {
+        "case": payload["case"], "mode": "trace", "graphs": graphs,
+        "heuristic": heuristic_total, "optimal": optimal_total,
+        "lower_bound": lower_total, "gap": heuristic_total - optimal_total,
+        "improved": improved, "status": _worst(statuses),
+        "nodes": nodes_total,
+        "time_s": round(time.perf_counter() - t0, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# loop mode
+
+
+def _audit_loop_case(payload: dict, config: MachineConfig) -> dict:
+    from ..opt import inline
+    from ..harness.measure import prepare_modules
+    from ..pipeline import (ModuloScheduler, build_loop_graph,
+                            find_pipeline_loops)
+    from ..trace import clone_function
+
+    t0 = time.perf_counter()
+    inline._inline_counter = itertools.count()
+    kernel = get_kernel(payload["kernel"])
+    _, module = prepare_modules(kernel, payload["n"], unroll=0, inline=48)
+    options = SchedulingOptions()
+    max_nodes = payload["max_nodes"]
+    loops = improved = 0
+    heuristic_total = optimal_total = lower_total = nodes_total = 0
+    mii_total = 0
+    statuses: list[str] = []
+    details: list[str] = []
+    for fname in sorted(module.functions):
+        func = module.functions[fname]
+        derive_memrefs(func)
+        work = clone_function(func)
+        disambig = Disambiguator(module)
+        live_in_map = dict(compute_liveness(work).live_in)
+        for loop, pl, _why in find_pipeline_loops(work, live_in_map):
+            if pl is None:
+                continue
+            graph = build_loop_graph(pl, config, disambig)
+            try:
+                sched = ModuloScheduler(graph, config, disambig,
+                                        options).run()
+            except (PipelineError, ScheduleError, DisambigError) as exc:
+                details.append(f"{loop.header}: heuristic failed: {exc}")
+                continue
+            out = exact_modulo_schedule(graph, config, disambig, options,
+                                        upper_ii=sched.ii,
+                                        max_nodes=max_nodes)
+            loops += 1
+            heuristic_total += sched.ii
+            optimal_total += out.value
+            lower_total += out.lower_bound
+            mii_total += sched.mii
+            nodes_total += out.nodes
+            statuses.append(out.status)
+            if out.witness is not None:
+                improved += 1
+            details.append(
+                f"{loop.header}: ii={sched.ii} mii={sched.mii} "
+                f"oracle={out.value} [{out.status}]")
+    return {
+        "case": payload["case"], "mode": "loop", "loops": loops,
+        "heuristic": heuristic_total, "optimal": optimal_total,
+        "lower_bound": lower_total, "mii": mii_total,
+        "gap": heuristic_total - optimal_total, "improved": improved,
+        "status": _worst(statuses), "nodes": nodes_total,
+        "detail": "; ".join(details),
+        "time_s": round(time.perf_counter() - t0, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# the driver
+
+
+def run_audit(jobs: int = 1, max_nodes: int = DEFAULT_MAX_NODES,
+              tiny: bool = False, tracer=None,
+              timeout_s: Optional[float] = None) -> dict:
+    """Run the whole audit through the parallel runner; the report dict
+    (rows in case order, byte-identical at any ``jobs`` after
+    :func:`strip_timing`)."""
+    from ..harness.runner import run_tasks
+
+    payloads = audit_payloads(max_nodes=max_nodes, tiny=tiny)
+    outcomes = run_tasks("audit", payloads, jobs=jobs,
+                         timeout_s=timeout_s, tracer=tracer)
+    rows = []
+    for payload, outcome in zip(payloads, outcomes):
+        if outcome.ok:
+            rows.append(outcome.value)
+        else:
+            first = (outcome.error or "").strip().splitlines()
+            rows.append({"case": payload["case"],
+                         "mode": payload["mode"], "status": "ERROR",
+                         "gap": 0, "error": first[-1] if first else "?"})
+    optimal_cases = sum(1 for r in rows if r["status"] == OPTIMAL)
+    return {
+        "schema": AUDIT_SCHEMA,
+        "config": "TRACE_28_200",
+        "budget_nodes": max_nodes,
+        "tiny": tiny,
+        "rows": rows,
+        "summary": {
+            "cases": len(rows),
+            "optimal_cases": optimal_cases,
+            "timeout_cases": sum(1 for r in rows
+                                 if r["status"] == TIMEOUT),
+            "error_cases": sum(1 for r in rows
+                               if r["status"] == "ERROR"),
+            "total_gap": sum(r.get("gap", 0) for r in rows),
+            "improved_schedules": sum(r.get("improved", 0)
+                                      for r in rows),
+        },
+    }
+
+
+def strip_timing(report: dict) -> dict:
+    """The report minus its wall-clock fields — the part that must be
+    byte-identical across ``--jobs`` settings and reruns."""
+    out = dict(report)
+    out["rows"] = [{k: v for k, v in row.items() if k != "time_s"}
+                   for row in report["rows"]]
+    return out
+
+
+def render_table(report: dict) -> str:
+    """Human gap table (one line per case)."""
+    lines = [f"{'case':<24} {'mode':<6} {'heur':>5} {'oracle':>6} "
+             f"{'gap':>4} {'status':<8} {'nodes':>9} {'time':>7}"]
+    for r in report["rows"]:
+        lines.append(
+            f"{r['case']:<24} {r['mode']:<6} "
+            f"{r.get('heuristic', '-'):>5} {r.get('optimal', '-'):>6} "
+            f"{r.get('gap', '-'):>4} {r['status']:<8} "
+            f"{r.get('nodes', 0):>9} {r.get('time_s', 0.0):>6.2f}s")
+    s = report["summary"]
+    lines.append(
+        f"-- {s['cases']} cases: {s['optimal_cases']} proven optimal, "
+        f"{s['timeout_cases']} timeout, {s['error_cases']} error; "
+        f"total gap {s['total_gap']}, "
+        f"{s['improved_schedules']} schedules improved by the oracle")
+    return "\n".join(lines)
+
+
+def compare_baseline(report: dict, baseline: dict) -> list[str]:
+    """Regressions of this report against a baseline: a case whose gap
+    grew, or whose proof status got worse.  New cases are fine (they
+    extend coverage); vanished cases are reported (lost coverage)."""
+    base_rows = {r["case"]: r for r in baseline.get("rows", [])}
+    problems = []
+    for row in report["rows"]:
+        base = base_rows.pop(row["case"], None)
+        if base is None:
+            continue
+        if row.get("gap", 0) > base.get("gap", 0):
+            problems.append(
+                f"{row['case']}: gap grew {base.get('gap', 0)} -> "
+                f"{row.get('gap', 0)}")
+        if _SEVERITY.get(row["status"], 3) > \
+                _SEVERITY.get(base["status"], 3):
+            problems.append(
+                f"{row['case']}: status worsened {base['status']} -> "
+                f"{row['status']}")
+    for case in sorted(base_rows):
+        problems.append(f"{case}: missing from this audit run")
+    return problems

@@ -1,0 +1,366 @@
+"""The two exact decision procedures over the unified scheduling core.
+
+:class:`TraceDecision` asks "does this acyclic trace graph fit in at
+most L long instructions?"; :class:`ModuloDecision` asks "does this
+loop graph have a modulo schedule at initiation interval II?".  Both
+are :class:`~repro.optimal.solver.Search` subclasses: the constraint
+*encoding* lives here, the search machinery there.
+
+The encodings deliberately re-use the heuristics' own authorities so
+that "exact" means exact *for the same problem* the heuristics solve:
+
+* dependence edges come straight from :mod:`repro.sched.deps` (acyclic
+  ``beat``/``inst_ge``/``inst_gt`` kinds; modulo distance edges under
+  weights ``latency - 2*II*dist``);
+* resource legality is answered by the same
+  :class:`~repro.sched.reservation.ReservationModel` (flat or mod-II
+  keying) and memory-bank legality by the same
+  :class:`~repro.sched.reservation.BankChecker`, so unit slots, memory
+  ports, buses, shared immediate words, branch slots, call-instruction
+  exclusivity, and the section 6.4.4 bank-gamble policy all match the
+  list and modulo schedulers beat for beat.
+
+Acyclic beat semantics mirror :class:`~repro.trace.scheduler.ListScheduler`
+exactly, including its two floor quirks: a ``call`` (and a ``join``) is
+gated at instruction granularity (``t >= need_beat // 2``, i.e. one
+beat of slack on incoming beat edges), while ``split``/``term`` nodes
+require their predicate at the instruction's first beat, and plain ops
+require ``issue_beat >= required`` with no slack.
+
+Modulo semantics mirror :class:`~repro.pipeline.scheduler.ModuloScheduler`:
+the loop branch is pinned at flat beat ``2*(II-1)`` and the
+``modulo_deadlines`` stage cap bounds every window, so a SAT answer
+here is a schedule the existing kernel emitter can consume unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..disambig import Disambiguator
+from ..machine import MachineConfig, Unit, units_for
+from ..sched.core import (SchedulingOptions, acyclic_heights, cycle_free,
+                          modulo_deadlines, modulo_heights, modulo_weight)
+from ..sched.deps import AcyclicGraph, ModuloGraph, Node
+from ..sched.reservation import (ILLEGAL, BankChecker, Reservation,
+                                 ReservationModel)
+from .solver import Budget, Search
+
+#: second integer ALU of each beat -> its interchangeable twin.  When the
+#: twin is free at the same (instruction, pair) the second slot is a
+#: mirror image (same beat offset, hence identical port/bus/immediate and
+#: bank behaviour), so the search only tries it while the twin is busy.
+_TWINS = {Unit.IALU1_E: Unit.IALU0_E, Unit.IALU1_L: Unit.IALU0_L}
+
+Candidate = tuple[int, Optional[int], Optional[Unit], int]
+
+
+def modulo_refs_at(graph: ModuloGraph, u: int, v: int, d: int):
+    """The comparable reference pair for ops ``u``/``v`` at iteration
+    distance ``d`` (None = incomparable, treat as may-conflict) —
+    shared with the witness gamble-marking pass."""
+    if d == 0:
+        ru, rv = graph.ops[u].memref, graph.ops[v].memref
+    else:
+        ru, rv = graph.shiftable_ref(u), graph.shifted_ref(v, d)
+    if ru is None or rv is None:
+        return None
+    return ru, rv
+
+
+class TraceDecision(Search):
+    """Decision: schedule one trace graph into at most ``length``
+    instructions (every node at instruction < length)."""
+
+    def __init__(self, graph: AcyclicGraph, config: MachineConfig,
+                 disambiguator: Disambiguator,
+                 options: Optional[SchedulingOptions], length: int,
+                 budget: Budget,
+                 checker: Optional[BankChecker] = None) -> None:
+        super().__init__(len(graph.nodes), config.n_pairs, budget)
+        self.graph = graph
+        self.config = config
+        self.options = options if options is not None else SchedulingOptions()
+        self.length = length
+        self.model = ReservationModel(config)
+        self.checker = checker if checker is not None else \
+            BankChecker(disambiguator, config, self.options)
+        self.height = acyclic_heights(graph)
+        self._op_count: dict[int, int] = {}   # ops + branches per instruction
+        self._call_instrs: set[int] = set()
+        self._mem: list[tuple[int, int]] = []  # (node index, issue beat)
+        for i in range(self.n):
+            self.hi[i] = 2 * length - 1
+
+    # -- edge semantics -------------------------------------------------
+    def _in_slack(self, dst: int) -> int:
+        """Beats of slack on incoming beat edges: calls and joins are
+        gated by ``_earliest_instruction``'s floor division (t >=
+        need_beat // 2); splits, terms and ops read at the exact beat."""
+        return 1 if self.graph.nodes[dst].kind in ("join", "call") else 0
+
+    def edge_lo(self, edge, b_src: int) -> int:
+        if edge.kind == "beat":
+            return b_src + edge.latency - self._in_slack(edge.dst)
+        if edge.kind == "inst_ge":
+            return 2 * (b_src // 2)
+        return 2 * (b_src // 2 + 1)            # inst_gt
+
+    def edge_hi(self, edge, b_dst: int) -> int:
+        if edge.kind == "beat":
+            return b_dst + self._in_slack(edge.dst) - edge.latency
+        if edge.kind == "inst_ge":
+            return 2 * (b_dst // 2) + 1
+        return 2 * (b_dst // 2) - 1            # inst_gt
+
+    def out_edges(self, index: int):
+        return self.graph.succs[index]
+
+    def in_edges(self, index: int):
+        return self.graph.preds[index]
+
+    # -- candidates -----------------------------------------------------
+    def _slot_range(self, index: int) -> range:
+        """Instructions whose first beat falls inside the window."""
+        lo, hi = self.lo[index], self.hi[index]
+        return range(max(0, (lo + 1) // 2), min(self.length - 1, hi // 2) + 1)
+
+    def candidates(self, index: int) -> Iterator[Candidate]:
+        node = self.graph.nodes[index]
+        if node.kind in ("join", "term"):
+            for f in self._slot_range(index):
+                yield (f, None, None, 2 * f)
+        elif node.kind == "call":
+            for f in self._slot_range(index):
+                if f in self._call_instrs or self._op_count.get(f, 0):
+                    continue
+                yield (f, None, None, 2 * f)
+        elif node.kind == "split":
+            for f in self._slot_range(index):
+                if f in self._call_instrs:
+                    continue
+                if self.model.branches_in(f) >= self.n_pairs:
+                    continue
+                for pair in self.pair_order():
+                    if self.model.branch_free(f, pair):
+                        yield (f, pair, None, 2 * f)
+                        break
+        else:
+            yield from self._op_candidates(index, node)
+
+    def _op_candidates(self, index: int, node: Node) -> Iterator[Candidate]:
+        op = node.op
+        assert op is not None
+        lo, hi = self.lo[index], self.hi[index]
+        units = units_for(op)
+        f_lo = max(0, lo // 2)
+        f_hi = min(self.length - 1, hi // 2)
+        for f in range(f_lo, f_hi + 1):
+            if f in self._call_instrs:
+                continue
+            bank_ok: dict[int, bool] = {}      # beat offset -> bank legality
+            for unit in units:
+                beat = 2 * f + unit.beat_offset
+                if beat < lo or beat > hi:
+                    continue
+                if op.is_memory:
+                    off = unit.beat_offset
+                    if off not in bank_ok:
+                        bank_ok[off] = self._bank_legal(node, beat)
+                    if not bank_ok[off]:
+                        continue
+                twin = _TWINS.get(unit)
+                for pair in self.pair_order():
+                    if twin is not None and \
+                            not self.model.conflicts(op, f, pair, twin):
+                        continue               # mirror of the free twin
+                    if self.model.conflicts(op, f, pair, unit):
+                        continue
+                    yield (f, pair, unit, beat)
+
+    def _bank_legal(self, node: Node, beat: int) -> bool:
+        """ListScheduler._memory_feasible without the gamble bookkeeping
+        (gambles are marked on the witness after the fact)."""
+        op = node.op
+        assert op is not None
+        window = self.checker.window
+        for other_index, other_beat in self._mem:
+            delta = abs(other_beat - beat)
+            if delta >= window:
+                continue
+            other = self.graph.nodes[other_index]
+            assert other.op is not None
+            comparable = (op.memref is not None
+                          and other.op.memref is not None
+                          and node.mem_gen == other.mem_gen)
+            refs = (op, other.op) if comparable else None
+            verdict = self.checker.check((node.index, other_index),
+                                         refs, delta == 0)
+            if verdict == ILLEGAL:
+                return False
+        return True
+
+    # -- booking --------------------------------------------------------
+    def book(self, index: int, cand: Candidate):
+        f, pair, unit, beat = cand
+        node = self.graph.nodes[index]
+        if node.kind in ("join", "term"):
+            return ("nop",)
+        if node.kind == "call":
+            self._call_instrs.add(f)
+            return ("call", f)
+        if node.kind == "split":
+            assert pair is not None
+            self.model.take_branch(f, pair, index)
+            self._op_count[f] = self._op_count.get(f, 0) + 1
+            return ("branch", f, pair)
+        assert node.op is not None and pair is not None and unit is not None
+        res = self.model.place(node.op, index, f, pair, unit)
+        self._op_count[f] = self._op_count.get(f, 0) + 1
+        if node.op.is_memory:
+            self._mem.append((index, beat))
+        return ("op", res)
+
+    def unbook(self, index: int, token) -> None:
+        kind = token[0]
+        if kind == "nop":
+            return
+        if kind == "call":
+            self._call_instrs.discard(token[1])
+            return
+        if kind == "branch":
+            _, f, pair = token
+            self.model.release_branch(f, pair)
+            self._op_count[f] -= 1
+            return
+        res: Reservation = token[1]
+        self.model.release(res)
+        self._op_count[res.f] -= 1
+        node = self.graph.nodes[index]
+        if node.op is not None and node.op.is_memory:
+            self._mem.pop()
+
+
+class ModuloDecision(Search):
+    """Decision: a modulo schedule exists at this initiation interval.
+
+    ``feasible`` is False when the II is refuted before any search — a
+    positive-weight recurrence cycle or infeasible branch-pinned
+    deadlines — exactly the pre-screens ``ModuloScheduler._try_ii``
+    applies.  The caller treats that as a (free) UNSAT.
+    """
+
+    def __init__(self, graph: ModuloGraph, config: MachineConfig,
+                 disambiguator: Disambiguator,
+                 options: Optional[SchedulingOptions], ii: int,
+                 budget: Budget,
+                 checker: Optional[BankChecker] = None) -> None:
+        super().__init__(len(graph.ops), config.n_pairs, budget)
+        self.graph = graph
+        self.config = config
+        self.options = options if options is not None else SchedulingOptions()
+        self.ii = ii
+        self.model = ReservationModel(config, ii)
+        self.checker = checker if checker is not None else \
+            BankChecker(disambiguator, config, self.options)
+        self._mem: list[tuple[int, int]] = []  # (op index, flat beat)
+        self.feasible = cycle_free(graph, ii)
+        if not self.feasible:
+            return
+        dl = modulo_deadlines(graph, ii)
+        h = modulo_heights(graph, ii) if dl is not None else None
+        if dl is None or h is None:
+            self.feasible = False
+            return
+        self.height = h
+        self.hi = list(dl)
+        self._seed_lows()
+
+    def _seed_lows(self) -> None:
+        """Longest path from the iteration start (Bellman-Ford; the II
+        passed the positive-cycle screen, so this converges)."""
+        n = self.n
+        g = self.graph
+        for _round in range(n + 1):
+            changed = False
+            for e in g.edges:
+                if e.src >= n or e.dst >= n or e.src == e.dst:
+                    continue
+                w = self.lo[e.src] + modulo_weight(e, self.ii)
+                if w > self.lo[e.dst]:
+                    self.lo[e.dst] = w
+                    changed = True
+            if not changed:
+                break
+
+    # -- edge semantics -------------------------------------------------
+    def edge_lo(self, edge, b_src: int) -> int:
+        return b_src + edge.latency - 2 * self.ii * edge.dist
+
+    def edge_hi(self, edge, b_dst: int) -> int:
+        return b_dst - edge.latency + 2 * self.ii * edge.dist
+
+    def out_edges(self, index: int):
+        return self.graph.succs[index]
+
+    def in_edges(self, index: int):
+        return self.graph.preds[index]
+
+    # -- candidates -----------------------------------------------------
+    def candidates(self, index: int) -> Iterator[Candidate]:
+        op = self.graph.ops[index]
+        lo, hi = self.lo[index], self.hi[index]
+        for f in range(max(0, lo // 2), hi // 2 + 1):
+            bank_ok: dict[int, bool] = {}
+            for unit in units_for(op):
+                beat = 2 * f + unit.beat_offset
+                if beat < lo or beat > hi:
+                    continue
+                if op.is_memory:
+                    off = unit.beat_offset
+                    if off not in bank_ok:
+                        bank_ok[off] = self._bank_legal(index, beat)
+                    if not bank_ok[off]:
+                        continue
+                twin = _TWINS.get(unit)
+                for pair in self.pair_order():
+                    if twin is not None and \
+                            not self.model.conflicts(op, f, pair, twin):
+                        continue
+                    if self.model.conflicts(op, f, pair, unit):
+                        continue
+                    yield (f, pair, unit, beat)
+
+    def _bank_legal(self, u: int, bu: int) -> bool:
+        """ModuloScheduler._pair_legal over every placed memory op."""
+        period = 2 * self.ii
+        window = self.checker.window
+        for v, bv in self._mem:
+            diff = bv - bu
+            for db in range(1 - window, window):
+                if (db - diff) % period:
+                    continue
+                d = (db - diff) // period
+                verdict = self.checker.check(
+                    (u, v, d), self._refs_at(u, v, d), db == 0)
+                if verdict == ILLEGAL:
+                    return False
+        return True
+
+    def _refs_at(self, u: int, v: int, d: int):
+        return modulo_refs_at(self.graph, u, v, d)
+
+    # -- booking --------------------------------------------------------
+    def book(self, index: int, cand: Candidate):
+        f, pair, unit, beat = cand
+        op = self.graph.ops[index]
+        assert pair is not None and unit is not None
+        res = self.model.place(op, index, f, pair, unit)
+        if op.is_memory:
+            self._mem.append((index, beat))
+        return res
+
+    def unbook(self, index: int, token) -> None:
+        self.model.release(token)
+        if self.graph.ops[index].is_memory:
+            self._mem.pop()

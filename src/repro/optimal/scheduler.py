@@ -1,0 +1,358 @@
+"""Exact solve drivers and the ``optimal`` Scheduler strategy.
+
+:func:`exact_trace_schedule` and :func:`exact_modulo_schedule` turn the
+decision procedures of :mod:`repro.optimal.encode` into typed
+:class:`~repro.optimal.solver.ExactOutcome` results by iterating the
+bound upward from a sound lower bound toward the heuristic's answer:
+
+* every bound below the first SAT is proven UNSAT, so the first SAT is
+  **OPTIMAL** by construction (the modulo iteration is exactly the
+  MII-upward search :class:`~repro.pipeline.scheduler.ModuloScheduler`
+  runs, made exact);
+* a SAT found after a budget-exhausted (UNKNOWN) bound is **FEASIBLE**
+  — an improvement over the heuristic whose minimality is unproven;
+* no improvement plus an UNKNOWN bound is **TIMEOUT**: the heuristic's
+  answer stands but is uncertified, with ``lower_bound`` recording how
+  far the proof got.
+
+Budgets are *per decision* (each candidate length/II gets a fresh node
+allowance), so proof depth is predictable and — with no wall-clock cap
+— the whole solve is deterministic, which the compile cache and the
+``--jobs`` byte-identity guarantee both rely on.
+
+:class:`OptimalScheduler` is the third strategy over the unified
+scheduling core: it runs the heuristic
+:class:`~repro.trace.scheduler.ListScheduler` for an incumbent, then —
+under a size gate — proves it optimal or replaces it with a strictly
+shorter exact schedule.  Its result is therefore never worse than the
+heuristic's, and falls back to it gracefully (recorded on
+``fallback_reason``) when the graph is too big or the budget dies.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+from ..disambig import Answer, Disambiguator
+from ..machine import MachineConfig
+from ..obs import get_tracer
+from ..sched.core import Scheduler, SchedulingOptions, rec_mii
+from ..sched.deps import AcyclicGraph, ModuloGraph
+from ..sched.reservation import BankChecker, res_mii
+from .encode import ModuloDecision, TraceDecision, modulo_refs_at
+from .solver import (FEASIBLE, OPTIMAL, TIMEOUT, Budget, BudgetExhausted,
+                     ExactOutcome)
+
+#: default node allowance per decision (one candidate length / II)
+DEFAULT_MAX_NODES = 20_000
+#: default trace-graph size gate for ``strategy=optimal`` (nodes)
+DEFAULT_GATE_NODES = 48
+
+
+def _remaining(max_seconds: Optional[float], t0: float) -> Optional[float]:
+    if max_seconds is None:
+        return None
+    return max_seconds - (time.perf_counter() - t0)
+
+
+# ---------------------------------------------------------------------------
+# acyclic (trace) solve
+
+
+def trace_lower_bound(graph: AcyclicGraph, config: MachineConfig,
+                      disambiguator: Disambiguator,
+                      options: Optional[SchedulingOptions]) -> int:
+    """A sound lower bound on trace schedule length, in instructions:
+    critical path (via the decision's own window propagation), unit/
+    port/bus capacity (``res_mii`` counts per-instruction supply), the
+    branch-slot limit, and call-instruction exclusivity."""
+    nodes = graph.nodes
+    probe = TraceDecision(graph, config, disambiguator, options,
+                          1 << 20, Budget(max_nodes=1 << 30))
+    lb_path = 1
+    if probe.propagate(list(range(probe.n))):
+        lb_path = 1 + max((lo // 2 for lo in probe.lo), default=0)
+    ops = [nd.op for nd in nodes if nd.kind == "op" and nd.op is not None]
+    lb_res = res_mii(ops, config) if ops else 0
+    calls = sum(1 for nd in nodes if nd.kind == "call")
+    splits = sum(1 for nd in nodes if nd.kind == "split")
+    lb_branch = math.ceil(splits / config.n_pairs)
+    return max(1, lb_path, lb_res + calls, lb_branch)
+
+
+def exact_trace_schedule(graph: AcyclicGraph, config: MachineConfig,
+                         disambiguator: Disambiguator,
+                         options: Optional[SchedulingOptions], *,
+                         upper: int,
+                         max_nodes: int = DEFAULT_MAX_NODES,
+                         max_seconds: Optional[float] = None,
+                         checker: Optional[BankChecker] = None
+                         ) -> ExactOutcome:
+    """Prove the minimal schedule length for one trace graph.
+
+    ``upper`` is the heuristic's length (a known-SAT witness): lengths
+    are decided from the lower bound upward, so the loop only ever runs
+    over lengths that would *improve* on the heuristic.
+    """
+    t0 = time.perf_counter()
+    if checker is None:
+        checker = BankChecker(disambiguator, config,
+                              options if options is not None
+                              else SchedulingOptions())
+    lb = trace_lower_bound(graph, config, disambiguator, options)
+    total = 0
+    unknown_at: Optional[int] = None
+    for length in range(lb, upper):
+        left = _remaining(max_seconds, t0)
+        if left is not None and left <= 0:
+            break
+        budget = Budget(max_nodes=max_nodes, max_seconds=left)
+        dec = TraceDecision(graph, config, disambiguator, options,
+                            length, budget, checker)
+        try:
+            witness = dec.solve()
+        except BudgetExhausted:
+            total += budget.nodes
+            if unknown_at is None:
+                unknown_at = length
+            continue
+        total += budget.nodes
+        if witness is not None:
+            proven = unknown_at is None
+            return ExactOutcome(
+                status=OPTIMAL if proven else FEASIBLE, value=length,
+                lower_bound=length if proven else unknown_at,
+                nodes=total, seconds=time.perf_counter() - t0,
+                witness=witness,
+                detail=f"improved on heuristic length {upper}")
+    if unknown_at is None:
+        return ExactOutcome(
+            status=OPTIMAL, value=upper, lower_bound=upper, nodes=total,
+            seconds=time.perf_counter() - t0,
+            detail="heuristic schedule proven optimal")
+    return ExactOutcome(
+        status=TIMEOUT, value=upper, lower_bound=unknown_at, nodes=total,
+        seconds=time.perf_counter() - t0,
+        detail=f"budget exhausted deciding length {unknown_at}")
+
+
+def build_trace_schedule(graph: AcyclicGraph, checker: BankChecker,
+                         witness: dict):
+    """Materialize a solver witness as the trace engine's
+    :class:`~repro.trace.scheduler.TraceSchedule`, with bank gambles
+    marked the way the list scheduler marks them (both sides of every
+    unproven in-window pair are stall-tolerant; the later access of
+    each pair is the one counted — it takes the stall)."""
+    from ..trace.scheduler import PlacedNode, TraceSchedule
+
+    result = TraceSchedule()
+    for index in sorted(witness):
+        f, pair, unit, _beat = witness[index]
+        node = graph.nodes[index]
+        result.placements[index] = PlacedNode(
+            node, f, pair if pair is not None else -1, unit)
+    result.n_instructions = 1 + max(
+        p.instruction for p in result.placements.values())
+
+    mem = sorted((p for p in result.placements.values()
+                  if p.node.op is not None and p.node.op.is_memory),
+                 key=lambda p: (p.issue_beat, p.node.index))
+    window = checker.window
+    counted: set[int] = set()
+    for a, u in enumerate(mem):
+        for v in mem[a + 1:]:
+            delta = v.issue_beat - u.issue_beat
+            if delta >= window:
+                break                  # sorted by beat: no later hits
+            if delta == 0:
+                continue               # same-beat pairs are controller-proven
+            comparable = (u.node.op.memref is not None
+                          and v.node.op.memref is not None
+                          and u.node.mem_gen == v.node.mem_gen)
+            refs = (u.node.op, v.node.op) if comparable else None
+            answer = checker.bank_answer(
+                (u.node.index, v.node.index), refs)
+            if answer is Answer.MAYBE:
+                u.gamble = True
+                v.gamble = True
+                counted.add(v.node.index)
+    result.gambles = len(counted)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# modulo (loop) solve
+
+
+def exact_modulo_schedule(graph: ModuloGraph, config: MachineConfig,
+                          disambiguator: Disambiguator,
+                          options: Optional[SchedulingOptions], *,
+                          upper_ii: int,
+                          max_nodes: int = DEFAULT_MAX_NODES,
+                          max_seconds: Optional[float] = None,
+                          checker: Optional[BankChecker] = None
+                          ) -> ExactOutcome:
+    """Prove the minimal feasible II for one loop graph.
+
+    IIs iterate upward from ``MII = max(2, ResMII, RecMII)`` — the same
+    floor and the same lower bounds the modulo scheduler uses — toward
+    the heuristic's achieved ``upper_ii``.
+    """
+    t0 = time.perf_counter()
+    if checker is None:
+        checker = BankChecker(disambiguator, config,
+                              options if options is not None
+                              else SchedulingOptions())
+    rmii = res_mii(graph.ops, config)
+    rcmii = rec_mii(graph, max(upper_ii, rmii) + 1)
+    if rcmii is None:
+        # the heuristic scheduled at upper_ii, so a positive cycle at
+        # every II <= upper_ii cannot happen; defensive only
+        return ExactOutcome(
+            status=TIMEOUT, value=upper_ii, lower_bound=1, nodes=0,
+            seconds=time.perf_counter() - t0,
+            detail="recurrence bound not found below heuristic II")
+    mii = max(2, rmii, rcmii)
+    total = 0
+    unknown_at: Optional[int] = None
+    for ii in range(mii, upper_ii):
+        left = _remaining(max_seconds, t0)
+        if left is not None and left <= 0:
+            break
+        budget = Budget(max_nodes=max_nodes, max_seconds=left)
+        dec = ModuloDecision(graph, config, disambiguator, options,
+                             ii, budget, checker)
+        if not dec.feasible:
+            continue                   # pre-screen refutation: UNSAT
+        try:
+            witness = dec.solve()
+        except BudgetExhausted:
+            total += budget.nodes
+            if unknown_at is None:
+                unknown_at = ii
+            continue
+        total += budget.nodes
+        if witness is not None:
+            proven = unknown_at is None
+            return ExactOutcome(
+                status=OPTIMAL if proven else FEASIBLE, value=ii,
+                lower_bound=ii if proven else unknown_at,
+                nodes=total, seconds=time.perf_counter() - t0,
+                witness=witness,
+                detail=f"improved on heuristic II {upper_ii} "
+                       f"(mii={mii})")
+    if unknown_at is None:
+        return ExactOutcome(
+            status=OPTIMAL, value=upper_ii, lower_bound=upper_ii,
+            nodes=total, seconds=time.perf_counter() - t0,
+            detail=f"heuristic II proven optimal (mii={mii})")
+    return ExactOutcome(
+        status=TIMEOUT, value=upper_ii, lower_bound=unknown_at,
+        nodes=total, seconds=time.perf_counter() - t0,
+        detail=f"budget exhausted deciding II {unknown_at}")
+
+
+def build_modulo_schedule(graph: ModuloGraph, config: MachineConfig,
+                          checker: BankChecker, witness: dict, ii: int):
+    """Materialize a solver witness as the pipeline engine's
+    :class:`~repro.pipeline.scheduler.ModuloSchedule` (the kernel
+    emitter consumes it unchanged), with steady-state bank gambles
+    marked exactly as ``ModuloScheduler._mark_gambles`` marks them."""
+    from ..pipeline.scheduler import ModuloSchedule
+
+    n = len(graph.ops)
+    placements = []
+    for i in range(n):
+        f, pair, unit, beat = witness[i]
+        placements.append((f, pair, unit, beat))
+    rmii = res_mii(graph.ops, config)
+    rcmii = rec_mii(graph, max(ii, rmii) + 1) or 1
+    sched = ModuloSchedule(
+        ii=ii, mii=max(2, rmii, rcmii), res_mii=rmii, rec_mii=rcmii,
+        stages=max(f for f, _p, _u, _b in placements) // ii + 1,
+        placements=placements)
+
+    period = 2 * ii
+    window = checker.window
+    mem = [(i, placements[i][3]) for i in range(n)
+           if graph.ops[i].is_memory]
+    pairs = 0
+    for a, (u, bu) in enumerate(mem):
+        for v, bv in mem[a + 1:]:
+            diff = bv - bu
+            hit = False
+            for db in range(1 - window, window):
+                if db == 0 or (db - diff) % period:
+                    continue
+                d = (db - diff) // period
+                answer = checker.bank_answer(
+                    (u, v, d), modulo_refs_at(graph, u, v, d))
+                if answer is Answer.MAYBE:
+                    hit = True
+                    # the later access of the pair takes the stall
+                    sched.gambles.add(v if db > 0 else u)
+            if hit:
+                pairs += 1
+    sched.n_gamble_pairs = pairs
+    return sched
+
+
+# ---------------------------------------------------------------------------
+# the strategy
+
+
+class OptimalScheduler(Scheduler):
+    """Third strategy over the unified core: heuristic incumbent first,
+    then an exact solve that either certifies it or beats it.
+
+    After :meth:`run`, ``outcome`` holds the :class:`ExactOutcome` (or
+    None when the size gate skipped the solve) and ``fallback_reason``
+    is set when the returned schedule is the uncertified heuristic one.
+    """
+
+    def __init__(self, graph: AcyclicGraph, config: MachineConfig,
+                 disambiguator: Disambiguator,
+                 options: Optional[SchedulingOptions] = None,
+                 tracer=None, trace_id: str = "?",
+                 max_nodes: int = DEFAULT_MAX_NODES,
+                 gate_nodes: int = DEFAULT_GATE_NODES) -> None:
+        super().__init__(graph, config, disambiguator, options)
+        self.trace_id = trace_id
+        self.tracer = get_tracer(tracer)
+        self.max_nodes = max_nodes
+        self.gate_nodes = gate_nodes
+        self.outcome: Optional[ExactOutcome] = None
+        self.fallback_reason: Optional[str] = None
+
+    def run(self):
+        from ..trace.scheduler import ListScheduler
+
+        base = ListScheduler(self.graph, self.config, self.disambiguator,
+                             self.options, tracer=self.tracer,
+                             trace_id=self.trace_id).run()
+        counters = self.tracer.counters
+        n = len(self.graph.nodes)
+        if n > self.gate_nodes:
+            self.fallback_reason = \
+                f"size gate: {n} nodes > {self.gate_nodes}"
+            counters.inc("sched.optimal.gated")
+            return base
+        checker = BankChecker(self.disambiguator, self.config, self.options)
+        self.outcome = exact_trace_schedule(
+            self.graph, self.config, self.disambiguator, self.options,
+            upper=base.n_instructions, max_nodes=self.max_nodes,
+            checker=checker)
+        if self.outcome.witness is not None:
+            counters.inc("sched.optimal.improved")
+            counters.inc("sched.optimal.saved_instructions",
+                         base.n_instructions - self.outcome.value)
+            return build_trace_schedule(self.graph, checker,
+                                        self.outcome.witness)
+        if self.outcome.status == OPTIMAL:
+            counters.inc("sched.optimal.proved")
+        else:
+            self.fallback_reason = self.outcome.detail or "budget exhausted"
+            counters.inc("sched.optimal.timeout")
+        return base

@@ -1,0 +1,294 @@
+"""The exact-scheduling search core: budgeted branch-and-bound with
+incremental difference-logic propagation.
+
+Both exact engines — acyclic (trace length) and modulo (initiation
+interval) — are *decision procedures*: "does a schedule exist within
+this bound?".  They share the machinery in this module:
+
+* a beat *window* ``[lo, hi]`` per schedulable node, seeded by one
+  longest-path sweep and tightened incrementally as ops are placed
+  (difference-logic propagation over the dependence edges);
+* depth-first search with chronological backtracking over placements,
+  restoring windows from an undo trail;
+* *symmetry reduction*: I-F pairs are interchangeable a priori (every
+  reservation resource is keyed identically per pair), so candidates
+  only consider already-used pairs plus the lowest-indexed fresh one,
+  and among same-beat integer ALUs only the first free slot is tried —
+  both classic interchangeable-resource reductions that preserve
+  completeness;
+* a :class:`Budget` counting search nodes (deterministic) with an
+  optional wall-clock cap (for interactive use; leave it off when
+  byte-identical reruns matter).
+
+A decision returns :data:`SAT` with a witness, :data:`UNSAT` with an
+exhausted search tree (a *proof* — the search enumerates every
+placement the window logic cannot refute), or :data:`UNKNOWN` when the
+budget ran out first.  The iteration logic that turns decisions into
+``OPTIMAL | FEASIBLE | TIMEOUT`` results lives in
+:mod:`repro.optimal.scheduler`.
+
+Resource legality is not re-encoded: candidates are filtered through
+the *same* :class:`~repro.sched.reservation.ReservationModel` and
+:class:`~repro.sched.reservation.BankChecker` the heuristics use, so
+"optimal" here means optimal under exactly the machine model the
+heuristics schedule against — unit slots, memory ports, buses, shared
+immediate words, branch slots, and bank legality included.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: decision outcomes
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+#: solve statuses (decision iterations folded into one typed result)
+OPTIMAL = "OPTIMAL"
+FEASIBLE = "FEASIBLE"
+TIMEOUT = "TIMEOUT"
+
+
+class BudgetExhausted(Exception):
+    """Internal control flow: the search spent its budget."""
+
+
+@dataclass
+class Budget:
+    """A deterministic node budget with an optional wall-clock cap.
+
+    ``max_nodes`` counts candidate placements tried anywhere under this
+    budget (decisions share it across an II / length iteration), so two
+    runs with the same inputs spend identically.  ``max_seconds`` is a
+    safety net for interactive use; it makes reruns time-dependent, so
+    the audit's determinism tests leave it ``None``.
+    """
+
+    max_nodes: int = 200_000
+    max_seconds: Optional[float] = None
+    nodes: int = 0
+    _t0: float = field(default_factory=time.perf_counter)
+
+    def spend(self, n: int = 1) -> None:
+        self.nodes += n
+        if self.nodes > self.max_nodes:
+            raise BudgetExhausted()
+        if self.max_seconds is not None and (self.nodes & 0x3FF) == 0 \
+                and time.perf_counter() - self._t0 > self.max_seconds:
+            raise BudgetExhausted()
+
+    @property
+    def exhausted(self) -> bool:
+        if self.nodes > self.max_nodes:
+            return True
+        return (self.max_seconds is not None
+                and time.perf_counter() - self._t0 > self.max_seconds)
+
+
+@dataclass
+class ExactOutcome:
+    """One exact solve, folded over its decision iterations.
+
+    ``value`` is the proven-or-best bound (schedule length in
+    instructions, or II); ``lower_bound`` is the largest bound proven
+    unreachable plus one (so ``value == lower_bound`` iff optimal).
+    ``witness`` is the solver's own schedule when it found one better
+    than (or equal to) the heuristic's; ``None`` means the heuristic
+    schedule itself is the witness.
+    """
+
+    status: str                       # OPTIMAL | FEASIBLE | TIMEOUT
+    value: Optional[int]
+    lower_bound: int
+    nodes: int
+    seconds: float
+    witness: Optional[dict] = None    # node index -> (f, pair, unit)
+    detail: str = ""
+
+    @property
+    def proven(self) -> bool:
+        return self.status == OPTIMAL
+
+
+class Search:
+    """Shared DFS skeleton over per-node beat windows.
+
+    Subclasses define the edge semantics (:meth:`edge_lo` /
+    :meth:`edge_hi`), the candidate generator (:meth:`candidates`), and
+    resource booking (:meth:`book` / :meth:`unbook`).  The base class
+    owns windows, propagation, the trail, pair-symmetry bookkeeping,
+    and the recursive search itself.
+    """
+
+    #: safety cap on propagation sweeps per placement (cyclic modulo
+    #: graphs converge under a feasible II; this bounds the pathological
+    #: case without affecting soundness — propagation only prunes)
+    MAX_PROP_ROUNDS = 64
+
+    def __init__(self, n: int, n_pairs: int, budget: Budget) -> None:
+        self.n = n
+        self.n_pairs = n_pairs
+        self.budget = budget
+        self.lo = [0] * n
+        self.hi = [0] * n
+        self.placed: dict[int, tuple] = {}   # index -> (f, pair, unit, beat)
+        self.used_pairs: set[int] = set()
+        self._trail: list[tuple[int, int, int]] = []  # (which, index, old)
+        #: priority tie-break (higher = schedule earlier); subclasses fill
+        self.height = [0] * n
+
+    # -- subclass surface ----------------------------------------------
+    def edge_lo(self, edge, b_src: int) -> int:
+        """Lower bound on dst's beat given src at (or at least at) b_src."""
+        raise NotImplementedError
+
+    def edge_hi(self, edge, b_dst: int) -> int:
+        """Upper bound on src's beat given dst at (or at most at) b_dst."""
+        raise NotImplementedError
+
+    def out_edges(self, index: int):
+        raise NotImplementedError
+
+    def in_edges(self, index: int):
+        raise NotImplementedError
+
+    def candidates(self, index: int):
+        """Yield (f, pair, unit, beat) placements inside the window."""
+        raise NotImplementedError
+
+    def book(self, index: int, cand: tuple) -> Any:
+        """Reserve resources; return a token for :meth:`unbook`."""
+        raise NotImplementedError
+
+    def unbook(self, index: int, token: Any) -> None:
+        raise NotImplementedError
+
+    # -- pair symmetry --------------------------------------------------
+    def pair_order(self):
+        """Used pairs in index order, plus the lowest fresh pair."""
+        fresh = None
+        for p in range(self.n_pairs):
+            if p not in self.used_pairs:
+                fresh = p
+                break
+        for p in sorted(self.used_pairs):
+            yield p
+        if fresh is not None:
+            yield fresh
+
+    # -- windows and the trail -----------------------------------------
+    def _set_lo(self, index: int, value: int) -> bool:
+        if value > self.lo[index]:
+            self._trail.append((0, index, self.lo[index]))
+            self.lo[index] = value
+            return True
+        return False
+
+    def _set_hi(self, index: int, value: int) -> bool:
+        if value < self.hi[index]:
+            self._trail.append((1, index, self.hi[index]))
+            self.hi[index] = value
+            return True
+        return False
+
+    def _mark(self) -> int:
+        return len(self._trail)
+
+    def _undo(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            which, index, old = self._trail.pop()
+            if which == 0:
+                self.lo[index] = old
+            else:
+                self.hi[index] = old
+
+    def propagate(self, seeds: list[int]) -> bool:
+        """Difference-logic closure from changed nodes; False = empty
+        window somewhere (the placement is refuted)."""
+        work = list(seeds)
+        rounds = 0
+        while work and rounds < self.MAX_PROP_ROUNDS * self.n:
+            rounds += 1
+            index = work.pop()
+            if self.lo[index] > self.hi[index]:
+                return False
+            for e in self.out_edges(index):
+                dst = e.dst
+                if dst == index or dst >= self.n or dst in self.placed:
+                    continue
+                if self._set_lo(dst, self.edge_lo(e, self.lo[index])):
+                    if self.lo[dst] > self.hi[dst]:
+                        return False
+                    work.append(dst)
+            for e in self.in_edges(index):
+                src = e.src
+                if src == index or src >= self.n or src in self.placed:
+                    continue
+                if self._set_hi(src, self.edge_hi(e, self.hi[index])):
+                    if self.lo[src] > self.hi[src]:
+                        return False
+                    work.append(src)
+        return True
+
+    def _anchor(self, index: int, beat: int) -> bool:
+        """Pin a placed node's window and tighten every unplaced
+        neighbour exactly; False when a window empties."""
+        self._set_lo(index, beat)
+        self._set_hi(index, beat)
+        if self.lo[index] > self.hi[index]:
+            return False
+        return self.propagate([index])
+
+    # -- the search -----------------------------------------------------
+    def _select(self) -> Optional[int]:
+        """Most-constrained unplaced node: smallest window, then the
+        scheduler's own priority order (height, then index)."""
+        best = None
+        best_key = None
+        for i in range(self.n):
+            if i in self.placed:
+                continue
+            key = (self.hi[i] - self.lo[i], -self.height[i], i)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    def solve(self) -> Optional[dict[int, tuple]]:
+        """Run the DFS; a witness assignment, or None (= UNSAT).
+
+        Raises :class:`BudgetExhausted` when the budget dies first —
+        the caller maps that to :data:`UNKNOWN`.
+        """
+        if not self.propagate(list(range(self.n))):
+            return None
+        if self._dfs():
+            return dict(self.placed)
+        return None
+
+    def _dfs(self) -> bool:
+        index = self._select()
+        if index is None:
+            return True
+        for cand in self.candidates(index):
+            self.budget.spend()
+            f, pair, unit, beat = cand
+            mark = self._mark()
+            token = self.book(index, cand)
+            if token is None:               # resource refusal
+                self._undo(mark)
+                continue
+            self.placed[index] = cand
+            fresh_pair = pair is not None and pair not in self.used_pairs
+            if fresh_pair:
+                self.used_pairs.add(pair)
+            if self._anchor(index, beat) and self._dfs():
+                return True
+            if fresh_pair:
+                self.used_pairs.discard(pair)
+            del self.placed[index]
+            self.unbook(index, token)
+            self._undo(mark)
+        return False

@@ -15,8 +15,9 @@ this package.
 """
 
 from .core import (MAX_STAGES, Scheduler, SchedulingOptions,
-                   acyclic_heights, cycle_free, modulo_deadlines,
-                   modulo_heights, modulo_weight, rec_mii)
+                   acyclic_heights, critical_cycle, cycle_free,
+                   modulo_deadlines, modulo_heights, modulo_weight,
+                   rec_mii)
 from .deps import (MAX_DIST, AcyclicGraph, DepEdge, DepGraph, Edge,
                    LoopDep, LoopGraph, ModuloGraph, Node, TraceGraph,
                    build_acyclic_graph, build_loop_graph,
@@ -28,8 +29,8 @@ from .reservation import (GAMBLE, ILLEGAL, OK, WIDE_MEM_OPS, BankChecker,
 
 __all__ = [
     "MAX_STAGES", "Scheduler", "SchedulingOptions",
-    "acyclic_heights", "cycle_free", "modulo_deadlines", "modulo_heights",
-    "modulo_weight", "rec_mii",
+    "acyclic_heights", "critical_cycle", "cycle_free", "modulo_deadlines",
+    "modulo_heights", "modulo_weight", "rec_mii",
     "MAX_DIST", "AcyclicGraph", "DepEdge", "DepGraph", "Edge", "LoopDep",
     "LoopGraph", "ModuloGraph", "Node", "TraceGraph",
     "build_acyclic_graph", "build_loop_graph", "build_modulo_graph",

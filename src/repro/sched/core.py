@@ -139,6 +139,58 @@ def rec_mii(graph: "ModuloGraph", hi: int) -> Optional[int]:
     return None
 
 
+def critical_cycle(graph: "ModuloGraph",
+                   rcmii: Optional[int]) -> Optional[list["DepEdge"]]:
+    """The recurrence cycle that pins RecMII, as actual edges.
+
+    A RecMII of ``r > 1`` means some dependence cycle has positive
+    weight at ``II = r - 1``; this finds one such cycle — Bellman-Ford
+    with predecessor tracking, then the standard walk-back extraction —
+    and returns its edges in traversal order (each edge's ``dst`` is the
+    next edge's ``src``; the last closes back to the first).  The
+    cycle's latency and distance sums certify the bound:
+    ``RecMII == ceil(sum(latency) / (2 * sum(dist)))``.
+
+    Returns None when ``rcmii`` is None or <= 1 (no recurrence worth
+    explaining: the bound comes from resources or the floor, not from a
+    dependence cycle).
+    """
+    if rcmii is None or rcmii <= 1:
+        return None
+    ii = rcmii - 1
+    n = len(graph.ops)
+    dist = [0] * n
+    pred: list[Optional["DepEdge"]] = [None] * n
+    cycle_entry: Optional[int] = None
+    for _round in range(n + 1):
+        changed = False
+        for e in graph.edges:
+            if e.src >= n or e.dst >= n:
+                continue
+            w = modulo_weight(e, ii)
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                pred[e.dst] = e
+                cycle_entry = e.dst
+                changed = True
+        if not changed:
+            return None             # defensive: rcmii promised a cycle
+    # n walk-back steps from the last-relaxed node land inside a cycle
+    v = cycle_entry
+    for _ in range(n):
+        v = pred[v].src             # type: ignore[union-attr]
+    cycle: list["DepEdge"] = []
+    u = v
+    while True:
+        e = pred[u]                 # type: ignore[assignment]
+        cycle.append(e)             # type: ignore[arg-type]
+        u = e.src                   # type: ignore[union-attr]
+        if u == v:
+            break
+    cycle.reverse()
+    return cycle
+
+
 def modulo_heights(graph: "ModuloGraph", ii: int) -> Optional[list[int]]:
     """Priority heights: longest latency-path to any sink at this II."""
     n = len(graph.ops)

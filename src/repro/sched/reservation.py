@@ -170,6 +170,9 @@ class ReservationModel:
     def take_branch(self, f: int, pair: int, index: int = -1) -> None:
         self.table.take_branch(self._slot(f), pair, owner=index)
 
+    def release_branch(self, f: int, pair: int) -> None:
+        self.table.release_branch(self._slot(f), pair)
+
     def branches_in(self, f: int) -> int:
         return self.table.branches_in(self._slot(f))
 

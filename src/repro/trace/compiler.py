@@ -44,10 +44,18 @@ class TraceCompileStats:
     #: empty on a fully trace-scheduled compile
     degradations: list[str] = field(default_factory=list)
     #: :class:`~repro.pipeline.PipelinedLoopStats` per software-pipelined
-    #: loop (strategy "pipeline"/"auto" only)
+    #: loop (strategy "pipeline"/"auto"/"optimal" only)
     pipelined_loops: list = field(default_factory=list)
     #: "header: reason" per loop the modulo scheduler declined or lost
     pipeline_fallbacks: list[str] = field(default_factory=list)
+    #: strategy "optimal": schedules the exact engine certified minimal
+    optimal_proved: int = 0
+    #: strategy "optimal": schedules where the exact engine beat the
+    #: heuristic (shorter trace / smaller II)
+    optimal_improved: int = 0
+    #: "where: reason" per schedule the exact engine could not certify
+    #: (size gate or budget exhaustion) — the heuristic result stands
+    optimal_fallbacks: list[str] = field(default_factory=list)
 
 
 def clone_function(func: Function) -> Function:
@@ -73,10 +81,20 @@ class TraceCompiler:
             loops as unrolled traces, ``"pipeline"`` software-pipelines
             every loop the modulo scheduler accepts, ``"auto"`` pipelines
             only when the achieved II beats the trace scheduler's
-            steady-state instructions per iteration for the same loop.
+            steady-state instructions per iteration for the same loop,
+            ``"optimal"`` behaves like ``"auto"`` but runs the exact
+            engine (:mod:`repro.optimal`) over every trace and loop small
+            enough for its size gate — certifying the heuristic schedule
+            or replacing it with a proven-shorter one, and falling back
+            gracefully (recorded on
+            :attr:`TraceCompileStats.optimal_fallbacks`) otherwise.
     """
 
-    STRATEGIES = ("trace", "pipeline", "auto")
+    STRATEGIES = ("trace", "pipeline", "auto", "optimal")
+    #: strategy "optimal": per-decision node budget for the exact engine
+    OPTIMAL_MAX_NODES = 20_000
+    #: strategy "optimal": largest trace/loop graph the exact engine tries
+    OPTIMAL_GATE_NODES = 48
 
     def __init__(self, module: Module, config: MachineConfig | None = None,
                  options: SchedulingOptions | None = None,
@@ -223,9 +241,13 @@ class TraceCompiler:
                              function=func.name, nodes=len(graph.nodes)):
                 trace_id = f"{func.name}#t{stats.n_traces}" \
                     f"@{trace.blocks[0]}"
-                sched = ListScheduler(graph, self.config, disambig,
-                                      options, tracer=tracer,
-                                      trace_id=trace_id).run()
+                if self.strategy == "optimal":
+                    sched = self._optimal_trace_schedule(
+                        graph, disambig, options, stats, trace_id)
+                else:
+                    sched = ListScheduler(graph, self.config, disambig,
+                                          options, tracer=tracer,
+                                          trace_id=trace_id).run()
             stats.n_traces += 1
             stats.trace_lengths.append(len(trace))
             stats.n_gambles += sched.gambles
@@ -247,6 +269,27 @@ class TraceCompiler:
         self._fold_stats(stats)
         return cf, stats
 
+    def _optimal_trace_schedule(self, graph, disambig, options,
+                                stats: TraceCompileStats,
+                                trace_id: str) -> TraceSchedule:
+        """Strategy "optimal": certify or beat the list schedule for one
+        trace, folding the outcome into the function's statistics."""
+        from ..optimal import OptimalScheduler
+        sched = OptimalScheduler(
+            graph, self.config, disambig, options, tracer=self.tracer,
+            trace_id=trace_id, max_nodes=self.OPTIMAL_MAX_NODES,
+            gate_nodes=self.OPTIMAL_GATE_NODES)
+        result = sched.run()
+        if sched.fallback_reason is not None:
+            stats.optimal_fallbacks.append(
+                f"{trace_id}: {sched.fallback_reason}")
+        elif sched.outcome is not None \
+                and sched.outcome.witness is not None:
+            stats.optimal_improved += 1
+        else:
+            stats.optimal_proved += 1
+        return result
+
     def _fold_stats(self, stats: TraceCompileStats) -> None:
         """Accumulate one function's statistics into the obs counters."""
         c = self.tracer.counters
@@ -262,6 +305,9 @@ class TraceCompiler:
             c.inc("pipeline.mii", ls.mii)
             c.inc("pipeline.gambles", ls.gambles)
         c.inc("pipeline.fallbacks", len(stats.pipeline_fallbacks))
+        c.inc("optimal.proved", stats.optimal_proved)
+        c.inc("optimal.improved", stats.optimal_improved)
+        c.inc("optimal.fallbacks", len(stats.optimal_fallbacks))
 
     # ------------------------------------------------------------------
     def _pipeline_loops(self, work: Function, cf: CompiledFunction,
@@ -308,9 +354,12 @@ class TraceCompiler:
             except PipelineError as exc:
                 stats.pipeline_fallbacks.append(f"{header}: {exc}")
                 continue
+            if self.strategy == "optimal":
+                sched = self._optimal_loop_schedule(
+                    graph, sched, pipe_disambig, options, stats, header)
             decision = "pipeline"
             trace_estimate = None
-            if self.strategy == "auto":
+            if self.strategy in ("auto", "optimal"):
                 trace_estimate = self._trace_estimate(
                     work, pl, options, live_in_map, entry_labels)
                 if trace_estimate is not None \
@@ -349,6 +398,33 @@ class TraceCompiler:
                          function=work.name, loop=header, ii=sched.ii,
                          mii=sched.mii, stages=sched.stages,
                          copies=emitted.kernel_copies, decision=decision)
+
+    def _optimal_loop_schedule(self, graph, sched, pipe_disambig,
+                               options, stats: TraceCompileStats,
+                               header: str):
+        """Strategy "optimal": certify or beat the heuristic II for one
+        pipelined loop; the returned schedule is never worse."""
+        from ..optimal import (OPTIMAL, build_modulo_schedule,
+                               exact_modulo_schedule)
+        from ..sched.reservation import BankChecker
+        if len(graph.ops) > self.OPTIMAL_GATE_NODES:
+            stats.optimal_fallbacks.append(
+                f"{header}: size gate: {len(graph.ops)} ops > "
+                f"{self.OPTIMAL_GATE_NODES}")
+            return sched
+        out = exact_modulo_schedule(
+            graph, self.config, pipe_disambig, options,
+            upper_ii=sched.ii, max_nodes=self.OPTIMAL_MAX_NODES)
+        if out.witness is not None:
+            stats.optimal_improved += 1
+            checker = BankChecker(pipe_disambig, self.config, options)
+            return build_modulo_schedule(graph, self.config, checker,
+                                         out.witness, out.value)
+        if out.status == OPTIMAL:
+            stats.optimal_proved += 1
+        else:
+            stats.optimal_fallbacks.append(f"{header}: {out.detail}")
+        return sched
 
     def _trace_estimate(self, work: Function, pl, options,
                         live_in_map, entry_labels) -> int | None:

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..disambig import Disambiguator
 from ..errors import ScheduleError
-from ..machine import MachineConfig, Unit, units_for
+from ..machine import MachineConfig, Unit, needs_imm_word, units_for
 from ..obs import get_tracer
 from ..sched.core import Scheduler, SchedulingOptions, acyclic_heights
 from ..sched.deps import AcyclicGraph, Node
@@ -210,6 +210,17 @@ class ListScheduler(Scheduler):
         units = units_for(op)
         if not units:
             raise ScheduleError(f"no unit can execute {op}")
+        if (needs_imm_word(op) and not op.is_memory
+                and not any(e.kind == "beat"
+                            for e in self.graph.succs[node.index])):
+            # beat-0 immediate words are the scarce kind — F-board ops
+            # can only issue at beat 0 — so a flexible op that carries a
+            # wide immediate and whose result no placed op waits a beat
+            # for (no outgoing latency edges: a late slot costs nothing)
+            # fills the late slots' words first
+            units = tuple(sorted(
+                units, key=lambda u: (not u.is_integer_unit,
+                                      -u.beat_offset)))
 
         for unit in units:
             for pair in range(self.config.n_pairs):
