@@ -579,7 +579,9 @@ def cmd_sweep(args) -> int:
     results = run_sweep([_spec(args, name) for name in SWEEP_KERNELS],
                         jobs=args.jobs, tracer=tracer,
                         use_cache=not args.no_cache,
-                        cache_dir=args.cache_dir)
+                        cache_dir=args.cache_dir,
+                        batch=args.batch, lanes=args.lanes,
+                        chunk=args.chunk)
     if tracer is not None:
         combined = Telemetry.from_tracer(tracer, meta={
             "kernels": list(SWEEP_KERNELS), "n": args.n,
@@ -703,11 +705,27 @@ def main(argv=None) -> int:
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_fuzz)
 
-    p = sub.add_parser("sweep", help="quick E1-style kernel sweep")
+    p = sub.add_parser(
+        "sweep", help="quick E1-style kernel sweep",
+        epilog="The simulator execution path is chosen per process via "
+               "$REPRO_SIM_PATH=interp|fast|compiled (default: compiled "
+               "for batched sweeps, fast elsewhere); the chosen path is "
+               "recorded in telemetry as a sim.path.* counter.")
     _add_machine_args(p)
     _add_report_args(p)
     _add_jobs_arg(p)
     _add_cache_args(p)
+    p.add_argument("--no-batch", action="store_false", dest="batch",
+                   help="run each sweep point as an individual "
+                        "measurement instead of one batched simulator "
+                        "call per kernel")
+    p.add_argument("--lanes", type=int, default=1, metavar="N",
+                   help="input sets per batched kernel run; lane 0 is "
+                        "the spec's own inputs, lanes 1..N-1 perturb "
+                        "the float data (default 1)")
+    p.add_argument("--chunk", type=int, default=None, metavar="K",
+                   help="tasks per worker dispatch when --jobs > 1 "
+                        "(default: task count / (jobs * 4))")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(

@@ -29,7 +29,11 @@ from dataclasses import fields, is_dataclass
 #: 3: exact engine (strategy "optimal") and the list scheduler's
 #: wide-immediate late-slot preference — schedules may legally differ
 #: from schema-2 artifacts.
-CACHE_SCHEMA = 3
+#: 4: compiled-fast-path source (``_fastpath_source``) rides on the
+#: pickled program — schema-3 artifacts would run but silently lack it,
+#: forcing per-process regeneration; a clean break keeps warm stores
+#: self-consistent.
+CACHE_SCHEMA = 4
 
 
 def module_fingerprint(module) -> str:

@@ -6,21 +6,23 @@ from .codesize import (CISC_DENSITY, CodeSizeReport, measure_code_size,
 from .fuzz import (FuzzCase, FuzzReport, fuzz_one, run_fuzz,
                    verify_dismissal)
 from .measure import (Measurement, MeasureSpec, compare_kernel, measure,
-                      prepare_modules, run_compile, run_measurement,
+                      perturb_lane_memory, prepare_modules,
+                      run_batch_measurement, run_compile, run_measurement,
                       train_profile)
 from .report import (config_report, format_table, measurement_report,
                      print_table, sweep_report)
-from .runner import (TaskOutcome, default_jobs, run_fuzz_cases, run_sweep,
-                     run_tasks)
+from .runner import (TaskOutcome, default_chunk, default_jobs,
+                     run_fuzz_cases, run_sweep, run_tasks)
 
 __all__ = [
     "CISC_DENSITY", "CodeSizeReport", "measure_code_size",
     "scalar_code_bytes",
     "FuzzCase", "FuzzReport", "fuzz_one", "run_fuzz", "verify_dismissal",
     "Measurement", "MeasureSpec", "compare_kernel", "measure",
-    "prepare_modules", "run_compile", "run_measurement", "train_profile",
+    "perturb_lane_memory", "prepare_modules", "run_batch_measurement",
+    "run_compile", "run_measurement", "train_profile",
     "config_report", "format_table", "measurement_report", "print_table",
     "sweep_report",
-    "TaskOutcome", "default_jobs", "run_fuzz_cases", "run_sweep",
-    "run_tasks",
+    "TaskOutcome", "default_chunk", "default_jobs", "run_fuzz_cases",
+    "run_sweep", "run_tasks",
 ]

@@ -31,8 +31,10 @@ from ..machine import CompiledProgram, MachineConfig, TRACE_28_200
 from ..obs import NULL_TRACER, Telemetry, Tracer
 from ..obs.tracer import TraceEvent
 from ..opt import classical_pipeline
-from ..sim import (ScalarStats, ScoreboardStats, VliwStats, run_compiled,
-                   run_scalar, run_scoreboard)
+from ..sim import (BatchLane, BatchVliwSimulator, ScalarStats,
+                   ScoreboardStats, VliwStats, run_compiled, run_scalar,
+                   run_scoreboard)
+from ..sim.compile import ensure_program_source
 from ..trace import SchedulingOptions, TraceCompiler, TraceCompileStats
 from ..workloads import Kernel, get_kernel
 
@@ -204,6 +206,9 @@ def _cached_compile_stage(spec: MeasureSpec, kernel: Kernel, args, options,
             getattr(trc, "spans" if ev.ph == "X" else "events").append(
                 TraceEvent(ev.name, ev.cat, ev.ph, ev.ts + offset,
                            ev.dur, ev.depth, ev.args))
+    # generate the compiled-path source now so it rides the pickled
+    # artifact: a warm hit skips codegen as well as compilation
+    ensure_program_source(program)
     cache.put(key, (baseline, vliw_module, program, compile_stats, saved))
     return baseline, vliw_module, program, compile_stats
 
@@ -299,6 +304,131 @@ def run_measurement(spec: MeasureSpec,
             "unroll": spec.unroll, "use_profile": spec.use_profile})
     return Measurement(spec.kernel, spec.n, spec.config, scalar.stats,
                        scoreboard.stats, vliw.stats,
+                       compile_stats, program, telemetry)
+
+
+def perturb_lane_memory(memory: MemoryImage, module: Module,
+                        lane: int) -> None:
+    """Give lane ``lane`` its own input set, deterministically.
+
+    Lane 0 is the spec's own inputs, untouched.  Higher lanes scale
+    every float initializer by a small per-lane, per-element factor.
+    The perturbation is multiplicative and positive, so it preserves
+    zeros and signs — an input set that ran trap-free still does —
+    while shifting every float compare and memory value enough that
+    lanes genuinely diverge.  Integer data is left alone: systems
+    kernels encode invariants in it (sorted arrays, transition tables)
+    that arbitrary edits would break.
+    """
+    if not lane:
+        return
+    for obj in module.data.values():
+        init = obj.init
+        if not isinstance(init, list):
+            continue
+        base = memory.address_of(obj.name)
+        for off, width, value in init:
+            if width == 8 and isinstance(value, float) and value:
+                factor = 1.0 + 0.0625 * ((lane * 7 + off // 8) % 5)
+                memory.store_float(base + off, value * factor)
+
+
+def run_batch_measurement(spec: MeasureSpec, lanes: int = 1,
+                          tracer: Tracer | None = None,
+                          cache=None) -> Measurement:
+    """Measure one kernel with the VLIW stage batched over ``lanes``
+    input sets.
+
+    The compile stage runs once (optionally cached); the scalar and
+    scoreboard baselines and the reported stats describe lane 0 — the
+    spec's own inputs, so the :class:`Measurement` is comparable to
+    :func:`run_measurement`'s.  The VLIW simulation runs all lanes in
+    one lockstep batched call (see :class:`~repro.sim.BatchVliwSimulator`),
+    each lane over :func:`perturb_lane_memory`'s input set, and with
+    ``spec.check`` every lane is verified against its own reference
+    interpreter run.
+    """
+    own_tracer = tracer is None and (spec.telemetry or spec.events)
+    if own_tracer:
+        tracer = Tracer(events=spec.events)
+    trc = tracer if tracer is not None else NULL_TRACER
+
+    kernel = get_kernel(spec.kernel)
+    args = kernel.make_args(spec.n)
+    options = spec.options or SchedulingOptions()
+
+    if cache is not None:
+        baseline, vliw_module, program, compile_stats = \
+            _cached_compile_stage(spec, kernel, args, options, trc, cache)
+    else:
+        baseline, vliw_module, program, compile_stats = \
+            _compile_stage(spec, kernel, args, options, trc)
+
+    with trc.span("measure.reference", cat="harness", lanes=lanes):
+        ref_values, ref_outs = [], []
+        ref_image = MemoryImage(baseline)
+        for lane in range(lanes):
+            memory = ref_image.clone()
+            perturb_lane_memory(memory, baseline, lane)
+            reference = run_module(baseline, kernel.func, args,
+                                   memory=memory)
+            ref_values.append(reference.value)
+            ref_outs.append(_outputs(kernel, baseline, reference.memory))
+
+    with trc.span("sim.scalar", cat="harness"):
+        scalar = run_scalar(baseline, kernel.func, args, spec.config,
+                            tracer=trc)
+    with trc.span("sim.scoreboard", cat="harness"):
+        scoreboard = run_scoreboard(baseline, kernel.func, args,
+                                    spec.config, tracer=trc)
+    with trc.span("sim.vliw.batch", cat="harness", lanes=lanes):
+        lane_inputs = []
+        vliw_image = MemoryImage(vliw_module)
+        for lane in range(lanes):
+            memory = vliw_image.clone()
+            perturb_lane_memory(memory, vliw_module, lane)
+            lane_inputs.append(BatchLane(memory, args))
+        results = BatchVliwSimulator(
+            program, max_beats=200_000_000,
+            tracer=trc if trc.enabled else None).run(kernel.func,
+                                                     lane_inputs)
+
+    if spec.check:
+        with trc.span("measure.check", cat="harness"):
+            for name, result in (("scalar", scalar),
+                                 ("scoreboard", scoreboard)):
+                if kernel.returns_value and not _values_equal(
+                        result.value, ref_values[0]):
+                    raise ReproError(
+                        f"{spec.kernel}: {name} returned {result.value!r},"
+                        f" expected {ref_values[0]!r}")
+                if not _outputs_equal(
+                        _outputs(kernel, baseline, result.memory),
+                        ref_outs[0]):
+                    raise ReproError(
+                        f"{spec.kernel}: {name} memory diverged")
+            for lane, (inp, result) in enumerate(zip(lane_inputs,
+                                                     results)):
+                if kernel.returns_value and not _values_equal(
+                        result.value, ref_values[lane]):
+                    raise ReproError(
+                        f"{spec.kernel}: vliw lane {lane} returned "
+                        f"{result.value!r}, expected {ref_values[lane]!r}")
+                if not _outputs_equal(
+                        _outputs(kernel, vliw_module, inp.memory),
+                        ref_outs[lane]):
+                    raise ReproError(
+                        f"{spec.kernel}: vliw lane {lane} memory diverged")
+
+    telemetry = None
+    if own_tracer or (tracer is not None and tracer.enabled
+                      and spec.telemetry):
+        telemetry = Telemetry.from_tracer(trc, meta={
+            "kernel": spec.kernel, "n": spec.n, "lanes": lanes,
+            "config": f"TRACE {7 * spec.config.n_pairs}/200",
+            "unroll": spec.unroll, "use_profile": spec.use_profile})
+    return Measurement(spec.kernel, spec.n, spec.config, scalar.stats,
+                       scoreboard.stats, results[0].stats,
                        compile_stats, program, telemetry)
 
 

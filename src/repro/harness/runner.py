@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 
 from ..obs import Tracer, get_tracer
 from .fuzz import fuzz_one
-from .measure import run_measurement
+from .measure import run_batch_measurement, run_measurement
 
 #: task-kind name -> handler ``fn(payload, tracer) -> value``
 HANDLERS: dict[str, object] = {}
@@ -100,6 +100,18 @@ def _measure_task(payload, tracer):
     return run_measurement(spec, tracer=tracer, cache=cache)
 
 
+@task_handler("measure_batch")
+def _measure_batch_task(payload, tracer):
+    """One batched sweep point: ``payload = (MeasureSpec, lanes,
+    use_cache, cache_dir)``.  Same contract as ``measure`` but the VLIW
+    stage runs all lanes in one lockstep batched call."""
+    from ..cache import process_cache
+    spec, lanes, use_cache, cache_dir = payload
+    cache = process_cache(cache_dir) if use_cache else None
+    return run_batch_measurement(spec, lanes=lanes, tracer=tracer,
+                                 cache=cache)
+
+
 @task_handler("fuzz")
 def _fuzz_task(payload, tracer):
     """One differential fuzz case: ``payload = (seed, config,
@@ -151,14 +163,19 @@ def _run_one(fn, index: int, payload, events: bool = False) -> TaskOutcome:
 
 def _worker_main(kind: str, inbox, outbox, worker_id: int,
                  events: bool) -> None:
+    """Worker loop: each message is one *chunk* — a list of
+    ``(index, payload)`` tasks executed back to back, with one outbox
+    reply for the lot.  Chunking amortizes the per-message queue and
+    scheduling overhead that dominates when tasks are short."""
     fn = HANDLERS[kind]
     while True:
         message = inbox.get()
         if message is None:
             return
-        index, payload = message
-        outcome = _run_one(fn, index, payload, events)
-        outbox.put((worker_id, outcome))
+        chunk_id, items = message
+        outcomes = [_run_one(fn, index, payload, events)
+                    for index, payload in items]
+        outbox.put((worker_id, chunk_id, outcomes))
 
 
 def _fold(trc, outcomes: list[TaskOutcome]) -> None:
@@ -185,11 +202,14 @@ class _Worker:
         self.task: int | None = None
         self.deadline: float | None = None
 
-    def assign(self, index: int, payload, timeout_s: float | None) -> None:
-        self.task = index
-        self.deadline = (time.monotonic() + timeout_s
+    def assign(self, chunk_id: int, items: list,
+               timeout_s: float | None) -> None:
+        self.task = chunk_id
+        # the deadline covers the whole chunk: each task gets its
+        # timeout, spent sequentially
+        self.deadline = (time.monotonic() + timeout_s * len(items)
                          if timeout_s is not None else None)
-        self.inbox.put((index, payload))
+        self.inbox.put((chunk_id, items))
 
     def kill(self) -> None:
         if self.process.is_alive():
@@ -200,16 +220,31 @@ class _Worker:
         self.inbox.put(None)
 
 
+def default_chunk(n_tasks: int, jobs: int) -> int:
+    """Tasks per worker message when the caller does not say.
+
+    Big enough to amortize queue/scheduling overhead, small enough to
+    keep ~4 chunks per worker for load balance; short runs degrade to
+    chunk=1 (exactly the pre-chunking behavior).
+    """
+    return max(1, n_tasks // (jobs * 4))
+
+
 def run_tasks(kind: str, payloads: list, jobs: int = 1,
               timeout_s: float | None = None, retries: int = 1,
-              tracer=None) -> list[TaskOutcome]:
+              tracer=None, chunk: int | None = None) -> list[TaskOutcome]:
     """Run every payload through the ``kind`` handler; ordered outcomes.
 
     ``jobs=1`` executes inline (the serial reference schedule); any
-    higher value fans out over worker processes.  Either way the
-    caller's tracer receives every task's counters and spans folded in
-    task-index order, so aggregate counters are bit-identical across
-    ``jobs`` settings.
+    higher value fans out over worker processes, ``chunk`` tasks per
+    worker message (auto-sized by :func:`default_chunk` when ``None``).
+    Either way the caller's tracer receives every task's counters and
+    spans folded in task-index order, so aggregate counters are
+    bit-identical across ``jobs`` and ``chunk`` settings.
+
+    A timed-out or crashed chunk is retried whole: its tasks share one
+    attempt counter, and ``timeout_s`` (per task) scales by chunk
+    length for the deadline.
     """
     trc = get_tracer(tracer)
     collect_events = trc.enabled and trc.collect_events
@@ -223,43 +258,52 @@ def run_tasks(kind: str, payloads: list, jobs: int = 1,
         _fold(trc, outcomes)
         return outcomes
 
+    if chunk is None:
+        chunk = default_chunk(len(payloads), jobs)
+    chunks = [[(i, payloads[i]) for i in range(lo, min(lo + chunk,
+                                                       len(payloads)))]
+              for lo in range(0, len(payloads), chunk)]
+
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
     outbox = ctx.Queue()
     outcomes: list[TaskOutcome | None] = [None] * len(payloads)
-    attempts = [0] * len(payloads)
-    pending = deque(range(len(payloads)))
+    attempts = [0] * len(chunks)
+    pending = deque(range(len(chunks)))
     workers: list[_Worker] = []
+
+    def _dispatch(worker: _Worker) -> None:
+        chunk_id = pending.popleft()
+        attempts[chunk_id] += 1
+        worker.assign(chunk_id, chunks[chunk_id], timeout_s)
+
     try:
-        for worker_id in range(min(jobs, len(payloads))):
+        for worker_id in range(min(jobs, len(chunks))):
             worker = _Worker(ctx, kind, outbox, worker_id, collect_events)
             workers.append(worker)
             if pending:
-                index = pending.popleft()
-                attempts[index] += 1
-                worker.assign(index, payloads[index], timeout_s)
+                _dispatch(worker)
 
         while any(o is None for o in outcomes):
             try:
-                worker_id, outcome = outbox.get(timeout=0.05)
+                worker_id, chunk_id, got = outbox.get(timeout=0.05)
             except queue.Empty:
-                worker_id, outcome = None, None
-            if outcome is not None:
-                outcome.attempts = attempts[outcome.index]
-                outcomes[outcome.index] = outcome
+                got = None
+            if got is not None:
+                for outcome in got:
+                    outcome.attempts = attempts[chunk_id]
+                    outcomes[outcome.index] = outcome
                 worker = workers[worker_id]
                 worker.task = worker.deadline = None
                 if pending:
-                    index = pending.popleft()
-                    attempts[index] += 1
-                    worker.assign(index, payloads[index], timeout_s)
+                    _dispatch(worker)
 
             # deadline and liveness police
             now = time.monotonic()
             for worker_id, worker in enumerate(workers):
-                index = worker.task
-                if index is None:
+                chunk_id = worker.task
+                if chunk_id is None:
                     continue
                 timed_out = (worker.deadline is not None
                              and now > worker.deadline)
@@ -268,23 +312,22 @@ def run_tasks(kind: str, payloads: list, jobs: int = 1,
                     continue
                 worker.kill()
                 reason = ("timed out after "
-                          f"{timeout_s}s" if timed_out else
+                          f"{timeout_s}s/task" if timed_out else
                           "worker died "
                           f"(exit {worker.process.exitcode})")
-                if attempts[index] <= retries:
-                    pending.appendleft(index)
+                if attempts[chunk_id] <= retries:
+                    pending.appendleft(chunk_id)
                 else:
-                    outcomes[index] = TaskOutcome(
-                        index, False, error=f"task {index} {reason} "
-                        f"after {attempts[index]} attempts",
-                        attempts=attempts[index], crashed=True)
+                    for index, _payload in chunks[chunk_id]:
+                        outcomes[index] = TaskOutcome(
+                            index, False, error=f"task {index} {reason} "
+                            f"after {attempts[chunk_id]} attempts",
+                            attempts=attempts[chunk_id], crashed=True)
                 replacement = _Worker(ctx, kind, outbox, worker_id,
                                       collect_events)
                 workers[worker_id] = replacement
                 if pending:
-                    nxt = pending.popleft()
-                    attempts[nxt] += 1
-                    replacement.assign(nxt, payloads[nxt], timeout_s)
+                    _dispatch(replacement)
     finally:
         for worker in workers:
             if worker.process.is_alive() and worker.task is None:
@@ -303,17 +346,28 @@ def run_tasks(kind: str, payloads: list, jobs: int = 1,
 # ----------------------------------------------------------------------
 def run_sweep(specs: list, jobs: int = 1, tracer=None,
               use_cache: bool = True, cache_dir: str | None = None,
-              timeout_s: float | None = None, retries: int = 1) -> list:
+              timeout_s: float | None = None, retries: int = 1,
+              batch: bool = True, lanes: int = 1,
+              chunk: int | None = None) -> list:
     """Measure every spec; ordered :class:`Measurement` list.
 
-    Raises :class:`RuntimeError` carrying the first failure's traceback
-    if any measurement failed (divergence is never swallowed by
-    parallelism).
+    With ``batch`` (the default) each point's VLIW stage runs through
+    the batched executor over ``lanes`` input sets (lane 0 is the
+    spec's own inputs, so reported stats are unchanged);
+    ``batch=False`` is the pre-batching per-run path.  Raises
+    :class:`RuntimeError` carrying the first failure's traceback if any
+    measurement failed (divergence is never swallowed by parallelism).
     """
-    payloads = [(spec, use_cache, cache_dir) for spec in specs]
-    outcomes = run_tasks("measure", payloads, jobs=jobs,
-                         timeout_s=timeout_s, retries=retries,
-                         tracer=tracer)
+    if batch:
+        payloads = [(spec, lanes, use_cache, cache_dir) for spec in specs]
+        outcomes = run_tasks("measure_batch", payloads, jobs=jobs,
+                             timeout_s=timeout_s, retries=retries,
+                             tracer=tracer, chunk=chunk)
+    else:
+        payloads = [(spec, use_cache, cache_dir) for spec in specs]
+        outcomes = run_tasks("measure", payloads, jobs=jobs,
+                             timeout_s=timeout_s, retries=retries,
+                             tracer=tracer, chunk=chunk)
     failed = [o for o in outcomes if not o.ok]
     if failed:
         raise RuntimeError(

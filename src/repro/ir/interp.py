@@ -74,6 +74,21 @@ class MemoryImage:
             else:
                 self.store_int(base + offset, int(value), check=False)
 
+    def clone(self) -> "MemoryImage":
+        """An independent byte-level copy with the same layout.
+
+        Batched lanes need N private images of one module; copying the
+        already-loaded bytes skips re-walking every data object's
+        initializer list, which dominates construction for real
+        workloads.
+        """
+        other = MemoryImage.__new__(MemoryImage)
+        other.layout = dict(self.layout)
+        other.scratch_base = self.scratch_base
+        other.size = self.size
+        other.data = bytearray(self.data)
+        return other
+
     # ------------------------------------------------------------------
     def address_of(self, symbol: str) -> int:
         try:

@@ -1,6 +1,7 @@
 """Simulators: the beat-accurate TRACE VLIW, plus scalar and scoreboard
 baselines used by the paper's comparative claims."""
 
+from .batch import BatchLane, BatchVliwSimulator
 from .context import (ASID_COUNT, ContextSwitchReport, ProcessTagTable,
                       asid_purge_interval, context_switch_cost,
                       register_file_words)
@@ -12,6 +13,7 @@ from .tlb import PAGE_SHIFT, TlbModel, TlbStats
 from .vliw import VliwResult, VliwSimulator, VliwStats, run_compiled
 
 __all__ = [
+    "BatchLane", "BatchVliwSimulator",
     "ASID_COUNT", "ContextSwitchReport", "ProcessTagTable",
     "asid_purge_interval", "context_switch_cost", "register_file_words",
     "ICacheModel", "ICacheStats",

@@ -1,0 +1,127 @@
+"""Batched lockstep execution: one schedule, N input sets.
+
+The paper's evaluation methodology is sweep-shaped — the same scheduled
+program re-run across many input sets — and the harness does this
+constantly (``repro sweep``, the fuzz corpus, service traffic).  Run
+serially, every point pays full per-run setup: simulator construction,
+program binding, and (pre-memoization) decode.  This module amortizes
+all of it across a *batch*: the compiled/predecoded artifact is built
+once (the memoized layers in ``sim/decode.py`` / ``sim/compile.py``
+make every lane after the first free), and the lanes then execute in
+lockstep — each advancing one long instruction per round — over fully
+private architectural state (register file, memory image, PC, pipeline
+state, fault injector).
+
+Lockstep costs nothing in fidelity because lanes share *nothing*
+mutable: each lane is a complete :class:`~repro.sim.VliwSimulator`
+whose generator (:meth:`~repro.sim.VliwSimulator.start`) the batch
+driver round-robins.  A lane that branches differently, stalls longer,
+or exits early simply finishes in fewer rounds (its generator is
+exhausted and dropped); the others keep going.  Results are therefore
+bit-identical to N serial runs — the differential tests in
+``tests/test_batch_compile.py`` pin this.
+
+Telemetry folds deterministically: each lane records into a private
+tracer and the batch merges them into the caller's tracer in lane-index
+order, so batched counter totals equal the N-serial-run totals exactly
+(plus the ``sim.batch.*`` markers).
+
+Device models (icache/TLB) are deliberately not part of the batch API:
+they model per-machine shared state, which is exactly what lanes must
+not share.  Runs that need them use the single-run path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..ir import MemoryImage
+from ..machine import CompiledProgram
+from ..obs import Tracer, get_tracer
+from .vliw import VliwResult, VliwSimulator
+
+
+@dataclass
+class BatchLane:
+    """One lane's private inputs: its memory image, entry arguments, and
+    (optionally) a fault injector of its own."""
+
+    memory: MemoryImage
+    args: tuple = ()
+    injector: object = None
+
+
+class BatchVliwSimulator:
+    """Runs one compiled program over N lanes in lockstep.
+
+    Args:
+        program: the schedule every lane executes.
+        fp_mode / max_beats: as for :class:`~repro.sim.VliwSimulator`,
+            applied to every lane.
+        tracer: the caller's tracer; lane telemetry is folded into it in
+            lane-index order.
+        path: execution tier for the lanes.  Defaults to the compiled
+            tier (that is what batching exists to amortize) unless
+            ``$REPRO_SIM_PATH`` overrides it.
+    """
+
+    def __init__(self, program: CompiledProgram, fp_mode: str = "precise",
+                 max_beats: int = 200_000_000, tracer=None,
+                 path: str | None = None) -> None:
+        self.program = program
+        self.fp_mode = fp_mode
+        self.max_beats = max_beats
+        self.tracer = get_tracer(tracer)
+        if path is None:
+            path = os.environ.get("REPRO_SIM_PATH") or "compiled"
+        self.path = path
+
+    def run(self, func_name: str, lanes: list[BatchLane]) -> list[VliwResult]:
+        """Execute ``func_name`` over every lane; results in lane order.
+
+        Lane ``i``'s result is exactly what a serial
+        ``VliwSimulator(...).run(func_name, lanes[i].args)`` over the
+        same memory image would produce — including interrupted runs
+        (per-lane injectors may checkpoint some lanes and not others).
+        """
+        trc = self.tracer
+        if not lanes:
+            return []
+        sims: list[VliwSimulator] = []
+        lane_tracers: list[Tracer | None] = []
+        for lane in lanes:
+            lt = (Tracer(events=trc.collect_events)
+                  if trc.enabled else None)
+            lane_tracers.append(lt)
+            sims.append(VliwSimulator(
+                self.program, lane.memory, self.fp_mode,
+                max_beats=self.max_beats, tracer=lt,
+                injector=lane.injector, path=self.path))
+        results: list[VliwResult | None] = [None] * len(lanes)
+        # pre-bound __next__ keeps the per-instruction round-robin to
+        # one C-level call per live lane
+        live = [(i, sims[i].start(func_name, lane.args).__next__)
+                for i, lane in enumerate(lanes)]
+        while live:
+            finished = False
+            for i, step in live:
+                try:
+                    step()
+                except StopIteration:
+                    results[i] = sims[i].finish()
+                    finished = True
+            if finished:
+                live = [(i, step) for i, step in live
+                        if results[i] is None]
+        if trc.enabled:
+            trc.counters.inc("sim.batch.calls")
+            trc.counters.inc("sim.batch.lanes", len(lanes))
+            for lt in lane_tracers:
+                if lt is None:
+                    continue
+                trc.counters.merge(lt.counters)
+                if trc.collect_events:
+                    trc.events.extend(lt.events)
+        # every lane has finished; the comprehension narrows the type
+        return [r for r in results if r is not None]

@@ -1,0 +1,737 @@
+"""Closure-compiled fast path: specialized Python code per instruction.
+
+The pre-decoded path (``sim/decode.py``) removed per-beat *rediscovery*
+of link-time facts, but it still pays interpretive overhead on every
+instruction: tuple unpacking, tag dispatch, operand-kind tests, a
+``dict`` register file keyed by :class:`~repro.ir.VReg` (whose hash
+dominates profiles), and a per-opcode if-chain in ``_compute``.  This
+module removes that layer too, by *generating Python source* for each
+long instruction — a specialized step closure with operands, latencies,
+branch targets, and bank arithmetic baked in — and dispatching the beat
+loop through a flat closure list.
+
+Two-stage compilation keeps the artifact cacheable:
+
+1. :func:`compile_program_source` emits **layout-independent** source —
+   symbol addresses are left as parameters (``S0``, ``S1`` …) and
+   registers become integer slots in a program-wide registry.  The
+   resulting :class:`ProgramSource` is plain picklable data (source
+   text, slot table, call metadata) and is stored on the
+   :class:`~repro.machine.CompiledProgram` (``_fastpath_source``), so it
+   rides through the compile cache under the existing key schema.
+2. :func:`compiled_exec` ``exec``-utes each function's source once per
+   process and *binds* it to a concrete memory layout by calling the
+   generated ``_make(syms)`` — a cheap per-layout step that returns the
+   flat tuple of per-PC step closures.  Both stages are memoized
+   (per-program, per-layout), so a 96-lane batch compiles once.
+
+Semantics are guaranteed by construction plus differential testing: the
+generated code mirrors ``VliwSimulator._execute_fast`` statement for
+statement (landing discipline, issue-beat arithmetic, bank-stall pending
+shifts, branch priority with cumulative counters), and the register file
+is pre-seeded with each slot's *funny number* — semantically identical
+to the ``MISSING``-check the other paths perform, because the funny
+value is exactly what a never-written read substitutes.  Controller
+conflict checks are emitted only for instructions with two or more
+memory references in one issue beat (with fewer, a conflict is
+impossible).  ``tests/test_batch_compile.py`` holds this path
+bit-identical to the interpretive reference across kernels, strategies,
+device models, faults, and checkpoint/resume.
+
+The per-run architectural state a step touches is passed in explicitly
+(``f``, ``regs``, ``pending``, ``st`` counters, ``memory``,
+``bank_busy``, ``tlb``, ``ev``), so one compiled program serves any
+number of concurrent lanes — the foundation of ``sim/batch.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import weakref
+from operator import itemgetter
+
+from ..errors import SimError, TrapError
+from ..ir import ACCESS_SIZE, FUNNY_INT, Imm, Symbol, VReg, wrap32
+from ..ir.interp import DATA_BASE
+from ..machine.resources import latency_table
+from .decode import NEVER, funny_for, layout_key
+
+#: Bump when the generated-source contract changes (signatures, slot
+#: encoding, stat indexes); stale pickled sources are then regenerated.
+#: 2: group-0 latency-1 ALU results bypass the pending list (applied as
+#: direct register stores at the group-1 land point).
+#: 3: memory accesses inline the bounds/alignment guard and the struct
+#: pack/unpack against hoisted ``memory.data``/``memory.size`` locals;
+#: the MemoryImage accessors are only called on the (raising) trap path.
+SOURCE_VERSION = 3
+
+#: step-return tags for special terminators (a normal step returns the
+#: new beat as a plain int)
+R_RET = 1
+R_HALT = 2
+R_CALL = 3
+
+#: indexes into the flat stat-counter list the generated code increments
+#: (cheaper than attribute access on the VliwStats dataclass; the driver
+#: folds them back via :func:`flush_stats`)
+ST_INSTRUCTIONS = 0
+ST_BEATS = 1
+ST_OPS = 2
+ST_LOADS = 3
+ST_STORES = 4
+ST_BRANCHES = 5
+ST_TAKEN = 6
+ST_BANK_STALL = 7
+ST_GAMBLE = 8
+ST_UNEXPECTED = 9
+ST_DISMISSED = 10
+ST_CALLS = 11
+ST_N = 12
+
+#: call-argument spec kinds (evaluated by the driver at call time, after
+#: the drain — calls are rare, so these stay interpreted)
+A_LIT = 0
+A_SLOT = 1
+A_SYM = 2
+
+
+def flush_stats(stats, st: list) -> None:
+    """Fold the flat counter list into a ``VliwStats`` and zero it."""
+    stats.instructions += st[0]
+    stats.beats += st[1]
+    stats.ops += st[2]
+    stats.loads += st[3]
+    stats.stores += st[4]
+    stats.branches += st[5]
+    stats.taken_branches += st[6]
+    stats.bank_stall_beats += st[7]
+    stats.gamble_refs += st[8]
+    stats.unexpected_bank_stalls += st[9]
+    stats.dismissed_loads += st[10]
+    stats.calls += st[11]
+    for i in range(ST_N):
+        st[i] = 0
+
+
+# ----------------------------------------------------------------------
+# runtime helpers referenced by generated code
+# ----------------------------------------------------------------------
+_BY_LAND = itemgetter(0)
+
+
+def _land(f, regs: list, beat, pending: list) -> None:
+    """Slot-file twin of ``VliwSimulator._land_frame``: apply due writes
+    in land-beat order (ties in issue order), refresh ``next_land``.
+
+    This is the hottest helper on the compiled path (every in-flight
+    write funnels through it), so both branches stay on C-level
+    primitives: list comprehensions for the partition, a stable sort
+    with an ``itemgetter`` key (ties keep issue order), and
+    ``min(map(...))`` for the ``next_land`` refresh.  The single-entry
+    case (one write in flight, necessarily due — callers guard on
+    ``next_land <= beat``) skips the partition machinery entirely.
+    """
+    if len(pending) == 1:
+        b, slot, value = pending[0]
+        if b <= beat:
+            regs[slot] = value
+            del pending[:]
+            f.next_land = NEVER
+            return
+    leftover = [item for item in pending if item[0] > beat]
+    if leftover:
+        ready = [item for item in pending if item[0] <= beat]
+        ready.sort(key=_BY_LAND)
+        for _b, slot, value in ready:
+            regs[slot] = value
+        pending[:] = leftover
+        f.next_land = min(map(_BY_LAND, leftover))
+    else:                          # common case: everything lands
+        pending.sort(key=_BY_LAND)
+        for _b, slot, value in pending:
+            regs[slot] = value
+        del pending[:]
+        f.next_land = NEVER
+
+
+def _idiv(a, b):
+    if b == 0:
+        raise TrapError("int_divide_by_zero")
+    return wrap32(int(a / b))  # truncate toward zero
+
+
+def _irem(a, b):
+    if b == 0:
+        raise TrapError("int_divide_by_zero")
+    return wrap32(a - int(a / b) * b)
+
+
+def _extract(x, pos, width):
+    return wrap32(((x & 0xFFFFFFFF) >> (pos & 31)) & ((1 << (width & 31)) - 1))
+
+
+def _merge(x, y, pos, width):
+    width &= 31
+    pos &= 31
+    mask = ((1 << width) - 1) << pos
+    return wrap32((x & ~mask) | ((y << pos) & mask))
+
+
+def _cvtfi(v, ev):
+    if math.isnan(v) or math.isinf(v) or not (-(2.0 ** 31) <= v < 2.0 ** 31):
+        if ev.fp_mode == "precise":
+            raise TrapError("float_convert", repr(v))
+        return FUNNY_INT
+    return wrap32(int(v))
+
+
+def _ctlerr(controller, op):
+    raise SimError(
+        f"two references hit controller {controller} in one beat "
+        f"(disambiguator/compiler bug): {op}")
+
+
+#: names injected into every generated function's exec namespace
+_BASE_NS = {
+    "_land": _land, "_idiv": _idiv, "_irem": _irem, "_extract": _extract,
+    "_merge": _merge, "_cvtfi": _cvtfi, "_ctlerr": _ctlerr,
+    "_upf": struct.unpack_from, "_pki": struct.pack_into,
+    "_NAN": float("nan"), "_INF": float("inf"),
+    "TrapError": TrapError, "SimError": SimError,
+}
+
+
+# ----------------------------------------------------------------------
+# picklable source artifacts
+# ----------------------------------------------------------------------
+class FunctionSource:
+    """One function's generated source plus its binding metadata."""
+
+    def __init__(self, name: str, source: str, symbols: list[str],
+                 param_slots: list[int], entry_pc: int, calls: dict,
+                 ops: list) -> None:
+        self.name = name
+        #: layout-independent source text defining ``_make(syms)``
+        self.source = source
+        #: symbol names, in ``syms`` binding order
+        self.symbols = symbols
+        self.param_slots = param_slots
+        self.entry_pc = entry_pc
+        #: pc -> (callee name, arg specs, dest slot | None); arg specs
+        #: are (A_LIT, value) / (A_SLOT, slot) / (A_SYM, name)
+        self.calls = calls
+        #: the Operation objects generated code cites in diagnostics
+        self.ops = ops
+
+
+class ProgramSource:
+    """Layout-independent compiled-path artifact for a whole program.
+
+    Plain picklable data; persisted on the compiled program as
+    ``_fastpath_source`` so the compile cache carries it.
+    """
+
+    def __init__(self, slot_regs: list[VReg], funny: list,
+                 functions: dict[str, FunctionSource]) -> None:
+        self.version = SOURCE_VERSION
+        #: slot index -> register (the program-wide registry)
+        self.slot_regs = slot_regs
+        #: per-slot funny value; copied as each frame's initial file
+        self.funny = funny
+        self.functions = functions
+
+    @property
+    def slot_of(self) -> dict[VReg, int]:
+        return {reg: i for i, reg in enumerate(self.slot_regs)}
+
+
+# ----------------------------------------------------------------------
+# source generation
+# ----------------------------------------------------------------------
+def _lit(value) -> str:
+    """A source literal for an immediate operand (parenthesized so it
+    composes into any expression)."""
+    if isinstance(value, float):
+        if value != value:
+            return "_NAN"
+        if value == float("inf"):
+            return "_INF"
+        if value == float("-inf"):
+            return "(-_INF)"
+    return f"({value!r})"
+
+
+class _Emitter:
+    """Generates one program's worth of step-function source."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.config = program.config
+        self.lat_table = latency_table(program.config)
+        self.slot_regs: list[VReg] = []
+        self.slot_of: dict[VReg, int] = {}
+
+    def _slot(self, reg: VReg) -> int:
+        slot = self.slot_of.get(reg)
+        if slot is None:
+            slot = len(self.slot_regs)
+            self.slot_of[reg] = slot
+            self.slot_regs.append(reg)
+        return slot
+
+    # -- per-function state ------------------------------------------
+    def _sym(self, name: str) -> str:
+        idx = self._sym_of.get(name)
+        if idx is None:
+            idx = len(self._symbols)
+            self._sym_of[name] = idx
+            self._symbols.append(name)
+        return f"S{idx}"
+
+    def _op_index(self, op) -> int:
+        self._ops.append(op)
+        return len(self._ops) - 1
+
+    def _expr(self, src) -> str:
+        if isinstance(src, VReg):
+            return f"regs[{self._slot(src)}]"
+        if isinstance(src, Imm):
+            return _lit(src.value)
+        if isinstance(src, Symbol):
+            return self._sym(src.name)
+        raise SimError(f"bad operand {src!r}")
+
+    # -- opcode bodies -----------------------------------------------
+    _WRAP = ("_t &= 4294967295", "if _t > 2147483647:",
+             "    _t -= 4294967296")
+
+    def _alu_lines(self, op) -> list[str]:
+        """Statements leaving the op's result in ``_t`` — a verbatim
+        inlining of ``Interpreter._compute`` for this opcode."""
+        from ..ir import Opcode as O
+        v = [self._expr(s) for s in op.srcs]
+        opc = op.opcode
+        wrap = list(self._WRAP)
+        if opc is O.ADD:
+            return [f"_t = {v[0]} + {v[1]}"] + wrap
+        if opc is O.SUB:
+            return [f"_t = {v[0]} - {v[1]}"] + wrap
+        if opc is O.MUL:
+            return [f"_t = {v[0]} * {v[1]}"] + wrap
+        if opc is O.DIV:
+            return [f"_t = _idiv({v[0]}, {v[1]})"]
+        if opc is O.REM:
+            return [f"_t = _irem({v[0]}, {v[1]})"]
+        if opc is O.AND:
+            return [f"_t = {v[0]} & {v[1]}"] + wrap
+        if opc is O.OR:
+            return [f"_t = {v[0]} | {v[1]}"] + wrap
+        if opc is O.XOR:
+            return [f"_t = {v[0]} ^ {v[1]}"] + wrap
+        if opc is O.SHL:
+            return [f"_t = {v[0]} << ({v[1]} & 31)"] + wrap
+        if opc is O.SHR:
+            return [f"_t = {v[0]} >> ({v[1]} & 31)"] + wrap
+        if opc is O.SHRU:
+            return [f"_t = ({v[0]} & 4294967295) >> ({v[1]} & 31)"] + wrap
+        if opc is O.NEG:
+            return [f"_t = -{v[0]}"] + wrap
+        if opc is O.NOT:
+            return [f"_t = ~{v[0]}"] + wrap
+        if opc in (O.MOV, O.PMOV, O.FMOV):
+            return [f"_t = {v[0]}"]
+        if opc in (O.SELECT, O.FSELECT):
+            return [f"_t = {v[1]} if {v[0]} else {v[2]}"]
+        if opc is O.EXTRACT:
+            return [f"_t = _extract({v[0]}, {v[1]}, {v[2]})"]
+        if opc is O.MERGE:
+            return [f"_t = _merge({v[0]}, {v[1]}, {v[2]}, {v[3]})"]
+        cmp = {O.CMPEQ: "==", O.CMPNE: "!=", O.CMPLT: "<", O.CMPLE: "<=",
+               O.CMPGT: ">", O.CMPGE: ">=", O.FCMPEQ: "==", O.FCMPNE: "!=",
+               O.FCMPLT: "<", O.FCMPLE: "<=", O.FCMPGT: ">",
+               O.FCMPGE: ">="}.get(opc)
+        if cmp is not None:
+            return [f"_t = 1 if {v[0]} {cmp} {v[1]} else 0"]
+        if opc is O.PAND:
+            return [f"_t = {v[0]} & {v[1]}"]
+        if opc is O.POR:
+            return [f"_t = {v[0]} | {v[1]}"]
+        if opc is O.PNOT:
+            return [f"_t = 0 if {v[0]} else 1"]
+        if opc is O.PTOI:
+            return [f"_t = 1 if {v[0]} else 0"]
+        if opc is O.ITOP:
+            return [f"_t = 1 if {v[0]} != 0 else 0"]
+        if opc is O.FADD:
+            return [f"_t = {v[0]} + {v[1]}"]
+        if opc is O.FSUB:
+            return [f"_t = {v[0]} - {v[1]}"]
+        if opc is O.FMUL:
+            return [f"_t = {v[0]} * {v[1]}"]
+        if opc is O.FDIV:
+            return [f"_t = ev._fdiv({v[0]}, {v[1]})"]
+        if opc is O.FNEG:
+            return [f"_t = -{v[0]}"]
+        if opc is O.FABS:
+            return [f"_t = abs({v[0]})"]
+        if opc is O.CVTIF:
+            return [f"_t = float({v[0]})"]
+        if opc is O.CVTFI:
+            return [f"_t = _cvtfi({v[0]}, ev)"]
+        # safety net for anything exotic: fall back to the reference
+        # evaluator (same semantics, interpreted speed)
+        k = self._op_index(op)
+        return [f"_t = ev._compute(_OPS[{k}].opcode, [{', '.join(v)}])"]
+
+    # -- op emission -------------------------------------------------
+    def _emit_alu(self, w, op, buffered=None) -> None:
+        for line in self._alu_lines(op):
+            w(line)
+        lat = self.lat_table.get(op.category, 1)
+        slot = self._slot(op.dest)
+        if buffered is not None and lat == 1:
+            # Group-0 latency-1 result: lands exactly at the group-1
+            # land point (bank stalls shift in-flight land beats and
+            # the land point by the same amount), so it can skip the
+            # pending list and be applied as a direct register store
+            # right after the group-1 ``_land`` — after every earlier-
+            # issued due write, exactly where the reference's land-beat
+            # order (ties in issue order) would put it.
+            temp = f"_w{len(buffered)}"
+            w(f"{temp} = _t")
+            buffered.append((temp, slot))
+            return
+        w(f"_lb = ib + {lat}")
+        w(f"pending.append((_lb, {slot}, _t))")
+        w("if _lb < f.next_land:")
+        w("    f.next_land = _lb")
+
+    def _emit_mem(self, w, so, first_mem: bool, track_ctl: bool) -> None:
+        op = so.op
+        size = ACCESS_SIZE[op.opcode]
+        if op.is_store:
+            value_expr, base, off = (self._expr(s) for s in op.srcs)
+        else:
+            base, off = (self._expr(s) for s in op.srcs)
+        w(f"_a = {base} + {off}")
+        w("_a &= 4294967295")
+        w("if _a > 2147483647:")
+        w("    _a -= 4294967296")
+        w("if tlb is not None:")
+        w("    tlb.access(_a)")
+        w("_w = _a // 8 if _a >= 0 else 0")
+        if track_ctl:
+            w(f"_c = _w % {self.config.n_controllers}")
+            if first_mem:
+                w("_ctl = {_c}")
+            else:
+                w("if _c in _ctl:")
+                w(f"    _ctlerr(_c, _OPS[{self._op_index(op)}])")
+                w("_ctl.add(_c)")
+        w(f"_bk = _w % {self.config.total_banks}")
+        w("_bu = bank_busy.get(_bk, -1)")
+        w("if _bu > ib:")
+        if not so.gamble:
+            w(f"    st[{ST_UNEXPECTED}] += 1")
+        w("    _ex = _bu - ib")
+        w("    pending[:] = [(_pb + _ex, _pr, _pv)"
+          " for _pb, _pr, _pv in pending]")
+        w("    f.next_land += _ex")
+        w("    stall += _ex")
+        w("    ib = _bu")
+        w(f"bank_busy[_bk] = ib + {self.config.bank_busy_beats}")
+        # The guard below inlines ``MemoryImage.check`` with ``_md`` /
+        # ``_ms`` (``memory.data`` / ``memory.size``, hoisted once per
+        # step); the accessor method is only called on the failing
+        # path, purely to raise its canonical bus-error trap.
+        fmt = '"<d"' if size == 8 else '"<i"'
+        if op.is_store:
+            w(f"_v = {value_expr}")
+            if size != 8:              # store_int wraps; store_float doesn't
+                w("_v &= 4294967295")
+                w("if _v > 2147483647:")
+                w("    _v -= 4294967296")
+            store = "store_float" if size == 8 else "store_int"
+            w(f"if _a < {DATA_BASE} or _a + {size} > _ms or _a % {size}:")
+            w(f"    memory.{store}(_a, _v)")
+            w("else:")
+            w(f"    _pki({fmt}, _md, _a, _v)")
+            return
+        load = "load_float" if size == 8 else "load_int"
+        if op.is_speculative:
+            w(f"if _a >= {DATA_BASE} and _a + {size} <= _ms"
+              f" and not _a % {size}:")
+            w(f"    _t = _upf({fmt}, _md, _a)[0]")
+            w("else:")
+            w(f"    st[{ST_DISMISSED}] += 1")
+            w("    _t = " + ("_NAN" if size == 8 else _lit(FUNNY_INT)))
+        else:
+            w(f"if _a < {DATA_BASE} or _a + {size} > _ms or _a % {size}:")
+            w(f"    memory.{load}(_a)")
+            w(f"_t = _upf({fmt}, _md, _a)[0]")
+        w(f"_lb = ib + {self.config.lat_mem}")
+        w(f"pending.append((_lb, {self._slot(op.dest)}, _t))")
+        w("if _lb < f.next_land:")
+        w("    f.next_land = _lb")
+
+    # -- instruction emission ----------------------------------------
+    def _emit_inst(self, pc: int, li, cf) -> list[str]:
+        body: list[str] = []
+        w = body.append
+        w("if f.next_land <= beat:")
+        w("    _land(f, regs, beat, pending)")
+
+        # branch predicates and the return value read beat-2t state —
+        # before any group-1 landing can overwrite registers
+        branches = []              # ("dyn", var, negate, target_pc) |
+        for k, bt in enumerate(li.branches):   # ("static", taken, target_pc)
+            target_pc = cf.resolve(bt.target)
+            if isinstance(bt.pred, VReg):
+                w(f"_b{k} = regs[{self._slot(bt.pred)}]")
+                branches.append(("dyn", f"_b{k}", bt.negate, target_pc))
+            else:
+                pred = bt.pred.value
+                taken = (not pred) if bt.negate else bool(pred)
+                branches.append(("static", taken, None, target_pc))
+        sp = li.special
+        ret_expr = None
+        if sp is not None and sp[0] == "ret" and sp[1] is not None:
+            if isinstance(sp[1], VReg):
+                w(f"_rv = regs[{self._slot(sp[1])}]")
+                ret_expr = "_rv"
+            else:
+                ret_expr = self._expr(sp[1])
+
+        ops0 = [so for so in li.ops if not so.unit.beat_offset]
+        ops1 = [so for so in li.ops if so.unit.beat_offset]
+        has_mem = any(so.op.is_memory for so in li.ops)
+        if has_mem:
+            w("stall = 0")
+            w("_md = memory.data")
+            w("_ms = memory.size")
+        # group-0 latency-1 results may be buffered in locals and
+        # applied at the group-1 land point; without a group-1 there is
+        # no in-step land point, so they stay in ``pending`` (a
+        # boundary checkpoint must see them in flight, as the
+        # reference paths do)
+        buffered: list | None = [] if ops1 else None
+        for offset, ops in ((0, ops0), (1, ops1)):
+            if not ops:
+                continue
+            if offset == 0:
+                # the top-of-step landing already ran at this beat, so
+                # next_land > beat here — no group-0 land check needed
+                w("ib = beat")
+            else:
+                w("ib = beat + 1 + stall" if has_mem else "ib = beat + 1")
+                w("if f.next_land <= ib:")
+                w("    _land(f, regs, ib, pending)")
+                for temp, slot in buffered or ():
+                    w(f"regs[{slot}] = {temp}")
+            n_mem = sum(1 for so in ops if so.op.is_memory)
+            seen_mem = 0
+            for so in ops:
+                if so.op.is_memory:
+                    self._emit_mem(w, so, first_mem=seen_mem == 0,
+                                   track_ctl=n_mem > 1)
+                    seen_mem += 1
+                else:
+                    self._emit_alu(w, so.op,
+                                   buffered if offset == 0 else None)
+
+        # constant per-instruction counter increments (totals at the
+        # instruction boundary match the per-op increments of the
+        # reference paths exactly)
+        w(f"st[{ST_INSTRUCTIONS}] += 1")
+        w(f"st[{ST_BEATS}] += 2 + stall" if has_mem
+          else f"st[{ST_BEATS}] += 2")
+        if has_mem:
+            w(f"st[{ST_BANK_STALL}] += stall")
+        n_loads = sum(1 for so in li.ops
+                      if so.op.is_memory and not so.op.is_store)
+        n_stores = sum(1 for so in li.ops if so.op.is_store)
+        n_gambles = sum(1 for so in li.ops if so.gamble)
+        if li.ops:
+            w(f"st[{ST_OPS}] += {len(li.ops)}")
+        if n_loads:
+            w(f"st[{ST_LOADS}] += {n_loads}")
+        if n_stores:
+            w(f"st[{ST_STORES}] += {n_stores}")
+        if n_gambles:
+            w(f"st[{ST_GAMBLE}] += {n_gambles}")
+        w("_nb = beat + 2 + stall" if has_mem else "_nb = beat + 2")
+
+        # control transfer: priority branches with cumulative counters
+        terminated = False
+        for k, br in enumerate(branches):
+            if br[0] == "dyn":
+                _, var, negate, target_pc = br
+                w(f"if not {var}:" if negate else f"if {var}:")
+                w(f"    st[{ST_BRANCHES}] += {k + 1}")
+                w(f"    st[{ST_TAKEN}] += 1")
+                w(f"    f.pc = {target_pc}")
+                w("    return _nb")
+            elif br[1]:            # statically taken: unconditional
+                w(f"st[{ST_BRANCHES}] += {k + 1}")
+                w(f"st[{ST_TAKEN}] += 1")
+                w(f"f.pc = {br[3]}")
+                w("return _nb")
+                terminated = True
+                break
+        if not terminated:
+            if branches:
+                w(f"st[{ST_BRANCHES}] += {len(branches)}")
+            if sp is not None:
+                kind = sp[0]
+                if kind == "ret":
+                    w(f"return ({R_RET}, {ret_expr or 'None'}, _nb)")
+                elif kind == "halt":
+                    w(f"return ({R_HALT}, None, _nb)")
+                else:              # call — the driver finishes it
+                    w(f"return ({R_CALL}, None, _nb)")
+            else:
+                fall_pc = (cf.resolve(li.next_label)
+                           if li.next_label is not None else pc + 1)
+                w(f"f.pc = {fall_pc}")
+                w("return _nb")
+        return body
+
+    # -- function emission -------------------------------------------
+    def emit_function(self, cf) -> FunctionSource:
+        self._symbols: list[str] = []
+        self._sym_of: dict[str, int] = {}
+        self._ops: list = []
+        calls: dict[int, tuple] = {}
+        lines = ["def _make(syms):"]
+        for pc, li in enumerate(cf.instructions):
+            if li.special is not None and li.special[0] == "call":
+                call = li.special[1]
+                specs = []
+                for s in call.srcs:
+                    if isinstance(s, VReg):
+                        specs.append((A_SLOT, self._slot(s)))
+                    elif isinstance(s, Imm):
+                        specs.append((A_LIT, s.value))
+                    else:
+                        specs.append((A_SYM, s.name))
+                dest = (self._slot(call.dest)
+                        if call.dest is not None else None)
+                calls[pc] = (call.callee, tuple(specs), dest)
+            body = self._emit_inst(pc, li, cf)
+            lines.append(
+                f"    def _s{pc}(f, regs, pending, beat, st, memory,"
+                " bank_busy, tlb, ev):")
+            lines.extend("        " + line for line in body)
+        # symbol hoists go first, but are only known after emission
+        hoists = [f"    S{i} = syms[{i}]"
+                  for i in range(len(self._symbols))]
+        step_names = ", ".join(f"_s{pc}"
+                               for pc in range(len(cf.instructions)))
+        lines[1:1] = hoists
+        lines.append(f"    return ({step_names}{',' * (len(cf.instructions) == 1)})")
+        param_slots = [self._slot(r) for r in cf.param_regs]
+        entry_pc = cf.label_map.get(cf.meta.get("entry_label", ""), 0)
+        return FunctionSource(cf.name, "\n".join(lines), self._symbols,
+                              param_slots, entry_pc, calls, self._ops)
+
+
+def compile_program_source(program) -> ProgramSource:
+    """Generate layout-independent step source for a whole program."""
+    emitter = _Emitter(program)
+    functions = {name: emitter.emit_function(cf)
+                 for name, cf in program.functions.items()}
+    funny = [funny_for(reg.cls) for reg in emitter.slot_regs]
+    return ProgramSource(emitter.slot_regs, funny, functions)
+
+
+def ensure_program_source(program) -> ProgramSource:
+    """The program's compiled-path source, generating (and attaching) it
+    on first use.  The attribute travels with the program through the
+    compile cache's pickle, so a cache hit skips generation too."""
+    src = getattr(program, "_fastpath_source", None)
+    if isinstance(src, ProgramSource) \
+            and getattr(src, "version", None) == SOURCE_VERSION:
+        return src
+    src = compile_program_source(program)
+    program._fastpath_source = src
+    return src
+
+
+# ----------------------------------------------------------------------
+# binding: source -> executable step closures
+# ----------------------------------------------------------------------
+class CompiledFunctionExec:
+    """One function bound to a concrete memory layout."""
+
+    __slots__ = ("cf", "steps", "calls", "param_slots", "entry_pc")
+
+    def __init__(self, cf, steps, calls, param_slots, entry_pc) -> None:
+        self.cf = cf
+        self.steps = steps
+        self.calls = calls
+        self.param_slots = param_slots
+        self.entry_pc = entry_pc
+
+
+class CompiledProgramExec:
+    """A whole program's bound step closures plus the slot registry."""
+
+    __slots__ = ("functions", "slot_regs", "slot_of", "funny")
+
+    def __init__(self, functions, slot_regs, slot_of, funny) -> None:
+        self.functions = functions
+        self.slot_regs = slot_regs
+        self.slot_of = slot_of
+        self.funny = funny
+
+
+#: ``id(FunctionSource) -> (weakref, maker)`` — one ``exec`` per source
+#: object per process, however many layouts it gets bound to
+_MAKERS: dict[int, tuple] = {}
+
+#: ``id(program) -> (weakref, {layout_key: CompiledProgramExec})``
+_EXEC_MEMO: dict[int, tuple] = {}
+
+
+def _maker(fsrc: FunctionSource):
+    fid = id(fsrc)
+    entry = _MAKERS.get(fid)
+    if entry is not None and entry[0]() is fsrc:
+        return entry[1]
+    ns = dict(_BASE_NS)
+    ns["_OPS"] = fsrc.ops
+    exec(compile(fsrc.source, f"<fastpath:{fsrc.name}>", "exec"), ns)
+    make = ns["_make"]
+
+    def _evict(_ref, _fid=fid):
+        _MAKERS.pop(_fid, None)
+    _MAKERS[fid] = (weakref.ref(fsrc, _evict), make)
+    return make
+
+
+def compiled_exec(program, memory) -> CompiledProgramExec:
+    """Bind (memoized) the program's compiled path to a memory layout."""
+    pid = id(program)
+    entry = _EXEC_MEMO.get(pid)
+    if entry is None or entry[0]() is not program:
+        def _evict(_ref, _pid=pid):
+            _EXEC_MEMO.pop(_pid, None)
+        entry = (weakref.ref(program, _evict), {})
+        _EXEC_MEMO[pid] = entry
+    key = layout_key(memory)
+    ex = entry[1].get(key)
+    if ex is not None:
+        return ex
+    src = ensure_program_source(program)
+    functions = {}
+    for name, fsrc in src.functions.items():
+        syms = [memory.address_of(s) for s in fsrc.symbols]
+        steps = _maker(fsrc)(syms)
+        functions[name] = CompiledFunctionExec(
+            program.functions[name], steps, fsrc.calls, fsrc.param_slots,
+            fsrc.entry_pc)
+    ex = CompiledProgramExec(functions, src.slot_regs, src.slot_of,
+                             src.funny)
+    entry[1][key] = ex
+    return ex

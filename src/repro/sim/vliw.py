@@ -44,6 +44,8 @@ hardware offers.
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from dataclasses import dataclass, replace
 
 from ..errors import SimError, TrapError
@@ -55,9 +57,14 @@ from ..ir.interp import Interpreter
 from ..machine import (CompiledFunction, CompiledProgram, MachineConfig,
                        latency_of)
 from ..obs import get_tracer
+from .compile import (A_LIT, A_SLOT, R_CALL, R_RET, ST_BEATS, ST_CALLS,
+                      ST_N, compiled_exec, flush_stats)
 from .context import ProcessTagTable
 from .decode import (ALU_OP, MISSING, NEVER, SP_CALL, SP_HALT, SP_NONE,
                      SP_RET, predecode_program)
+
+#: the three execution tiers, slowest (reference) to fastest
+SIM_PATHS = ("interp", "fast", "compiled")
 
 
 @dataclass
@@ -142,7 +149,8 @@ class VliwSimulator:
                  max_beats: int = 200_000_000,
                  icache=None, tlb=None, tracer=None,
                  injector=None, tags: ProcessTagTable | None = None,
-                 process_id: int = 0, predecode: bool = True) -> None:
+                 process_id: int = 0, predecode: bool = True,
+                 path: str | None = None) -> None:
         self.program = program
         self.config = program.config
         self.memory = memory
@@ -163,22 +171,66 @@ class VliwSimulator:
         # per-beat hooks fire only when an event-collecting tracer is
         # attached; a disabled run pays a single cached-bool test per site
         self._emit = self.tracer.enabled and self.tracer.collect_events
-        # fast path: flatten the program once against this memory image's
-        # layout (see sim/decode.py); predecode=False keeps the original
-        # interpretive loop as a differential-testing reference
+        # --- execution-tier selection ------------------------------
+        # an explicit ``path`` argument wins; otherwise $REPRO_SIM_PATH,
+        # then the default ("fast").  ``predecode=False`` pins the
+        # interpretive reference loop regardless of the environment —
+        # differential tests rely on it staying the reference.
+        if path is None:
+            path = os.environ.get("REPRO_SIM_PATH") or "fast"
+            if path not in SIM_PATHS:
+                raise SimError(
+                    f"bad $REPRO_SIM_PATH {path!r}"
+                    f" (want one of {'|'.join(SIM_PATHS)})")
+            if not predecode:
+                path = "interp"
+        elif path not in SIM_PATHS:
+            raise SimError(
+                f"bad simulator path {path!r}"
+                f" (want one of {'|'.join(SIM_PATHS)})")
+        if path == "compiled" and self._emit:
+            # per-beat event hooks are only instrumented on the
+            # interpretive tiers; event-collecting runs step down
+            path = "fast"
+        #: the execution tier this simulator actually runs
+        self.path = path
+        # fast path: flatten the program once per (program, layout) —
+        # memoized in sim/decode.py, so repeated constructions are free
         self._predecoded = (predecode_program(program, memory)
-                            if predecode else None)
+                            if path == "fast" else None)
+        # compiled path: bind the generated step closures (sim/compile.py)
+        self._compiled = (compiled_exec(program, memory)
+                          if path == "compiled" else None)
+        self._outcome: tuple | None = None
         if icache is not None:
             for cf in program.functions.values():
                 icache.register_function(cf, getattr(memory, "layout", None))
 
     # ------------------------------------------------------------------
     def run(self, func_name: str, args=()) -> VliwResult:
+        return self._drive(self.start(func_name, args))
+
+    def start(self, func_name: str, args=()):
+        """The run as an instruction-granularity generator.
+
+        Each ``next()`` executes one long instruction (plus any due
+        instruction-boundary work); the batch executor round-robins
+        these to interleave lanes in lockstep.  After exhaustion,
+        :meth:`finish` builds the :class:`VliwResult`.
+        """
         cf = self.program.function(func_name)
+        if self.path == "compiled":
+            cfx = self._compiled.functions[func_name]
+            frame = self._make_frame_compiled(cfx, list(args), 0)
+            return self._execute_compiled([frame], 0)
         frame = self._make_frame(cf, list(args), start_beat=0)
-        execute = (self._execute_fast if self._predecoded is not None
+        execute = (self._execute_fast if self.path == "fast"
                    else self._execute)
-        kind, payload = execute([frame], beat=0)
+        return execute([frame], 0)
+
+    def finish(self) -> VliwResult:
+        """The result of an exhausted :meth:`start` generator."""
+        kind, payload = self._outcome
         if kind == "interrupted":
             # counters fold on completion only: the resumed half reports
             # the whole run's totals exactly once
@@ -187,6 +239,11 @@ class VliwSimulator:
         self._fold_stats()
         return VliwResult(payload, self.memory, self.stats)
 
+    def _drive(self, gen) -> VliwResult:
+        self._outcome = None
+        deque(gen, maxlen=0)        # exhaust at C speed
+        return self.finish()
+
     def resume(self, checkpoint: MachineCheckpoint) -> VliwResult:
         """Continue a checkpointed run bit-identically.
 
@@ -194,7 +251,9 @@ class VliwSimulator:
         executing from the interrupted beat.  The resuming simulator must
         be built over the same compiled program (and a memory image of
         the same shape); it is usually a fresh instance, modeling the
-        process being switched back in.
+        process being switched back in.  Checkpoints are path-portable:
+        a run checkpointed on one execution tier resumes bit-identically
+        on any other.
         """
         if len(self.memory.data) != len(checkpoint.memory_bytes):
             raise SimError(
@@ -206,31 +265,49 @@ class VliwSimulator:
         self.stats.resumes += 1
         if self.tlb is not None:
             self.tlb.switch_process(checkpoint.asid)
-        stack = [_Frame(self.program.function(fs.function), dict(fs.regs),
-                        list(fs.pending), dict(fs.bank_busy), fs.pc,
-                        fs.start_beat, fs.ret_dest)
-                 for fs in checkpoint.frames]
-        for frame in stack:
-            frame.next_land = min((item[0] for item in frame.pending),
-                                  default=NEVER)
-            if self._predecoded is not None:
-                frame.dcf = self._predecoded[frame.cf.name]
+        stack = [self._restore_frame(fs) for fs in checkpoint.frames]
         if self._emit:
             self.tracer.event("resume", cat="sim", ts=checkpoint.beat,
                               asid=checkpoint.asid, depth=len(stack))
-        execute = (self._execute_fast if self._predecoded is not None
-                   else self._execute)
-        kind, payload = execute(stack, beat=checkpoint.beat)
-        if kind == "interrupted":
-            return VliwResult(None, self.memory, self.stats,
-                              interrupted=True, checkpoint=payload)
-        self._fold_stats()
-        return VliwResult(payload, self.memory, self.stats)
+        if self.path == "compiled":
+            execute = self._execute_compiled
+        elif self.path == "fast":
+            execute = self._execute_fast
+        else:
+            execute = self._execute
+        return self._drive(execute(stack, checkpoint.beat))
+
+    def _restore_frame(self, fs: FrameState) -> _Frame:
+        """Rebuild one live frame from its architectural snapshot."""
+        cf = self.program.function(fs.function)
+        if self.path == "compiled":
+            cex = self._compiled
+            slot_of = cex.slot_of
+            regs = cex.funny.copy()
+            for reg, value in fs.regs.items():
+                regs[slot_of[reg]] = value
+            pending = [(b, slot_of[r], v) for b, r, v in fs.pending]
+            ret_dest = (slot_of[fs.ret_dest]
+                        if fs.ret_dest is not None else None)
+            frame = _Frame(cf, regs, pending, dict(fs.bank_busy), fs.pc,
+                           fs.start_beat, ret_dest)
+            frame.dcf = cex.functions[fs.function]
+        else:
+            frame = _Frame(cf, dict(fs.regs), list(fs.pending),
+                           dict(fs.bank_busy), fs.pc, fs.start_beat,
+                           fs.ret_dest)
+            if self._predecoded is not None:
+                frame.dcf = self._predecoded[cf.name]
+        frame.next_land = min((item[0] for item in frame.pending),
+                              default=NEVER)
+        return frame
 
     def _fold_stats(self) -> None:
         """Accumulate event totals into the obs counter registry."""
         c = self.tracer.counters
         s = self.stats
+        # which execution tier ran — makes path regressions attributable
+        c.inc("sim.path." + self.path)
         c.inc("sim.vliw.beats", s.beats)
         c.inc("sim.vliw.instructions", s.instructions)
         c.inc("sim.vliw.ops", s.ops)
@@ -276,12 +353,15 @@ class VliwSimulator:
             frame.dcf = self._predecoded[cf.name]
         return frame
 
-    def _execute(self, stack: list[_Frame], beat: int) -> tuple[str, object]:
+    def _execute(self, stack: list[_Frame], beat: int):
         """Run the frame stack to completion or to a checkpoint.
 
-        Returns ``("done", value)`` or ``("interrupted", checkpoint)``.
+        A generator yielding once per long instruction; on exhaustion
+        ``self._outcome`` holds ``("done", value)`` or ``("interrupted",
+        checkpoint)``.
         """
         while stack:
+            yield
             f = stack[-1]
             cf = f.cf
 
@@ -289,7 +369,8 @@ class VliwSimulator:
             if self.injector is not None and self.injector.pending:
                 outcome = self._deliver_faults(stack, beat, f)
                 if isinstance(outcome, MachineCheckpoint):
-                    return ("interrupted", outcome)
+                    self._outcome = ("interrupted", outcome)
+                    return
                 beat = outcome
             if beat - f.start_beat > self.max_beats:
                 raise SimError(f"{cf.name}: beat budget exhausted")
@@ -378,7 +459,8 @@ class VliwSimulator:
                     value = ret_val if kind == "ret" else None
                     stack.pop()
                     if not stack:
-                        return ("done", value)
+                        self._outcome = ("done", value)
+                        return
                     if f.ret_dest is not None:
                         stack[-1].regs[f.ret_dest] = value
                     continue
@@ -413,8 +495,7 @@ class VliwSimulator:
         pending[:] = [item for item in pending if item[0] > beat]
         f.next_land = min((item[0] for item in pending), default=NEVER)
 
-    def _execute_fast(self, stack: list[_Frame],
-                      beat: int) -> tuple[str, object]:
+    def _execute_fast(self, stack: list[_Frame], beat: int):
         """The pre-decoded twin of :meth:`_execute`.
 
         Beat-identical and state-identical to the interpretive loop (the
@@ -422,7 +503,7 @@ class VliwSimulator:
         together); the difference is purely mechanical: decoded issue
         tuples instead of per-beat rediscovery, literals pre-resolved,
         latencies precomputed, and pending-list scans gated on
-        ``next_land``.
+        ``next_land``.  Same generator protocol as :meth:`_execute`.
         """
         stats = self.stats
         memory = self.memory
@@ -438,6 +519,7 @@ class VliwSimulator:
         land_frame = self._land_frame
 
         while stack:
+            yield
             f = stack[-1]
             cf = f.cf
             regs = f.regs
@@ -448,7 +530,8 @@ class VliwSimulator:
             if injector is not None and injector.pending:
                 outcome = self._deliver_faults(stack, beat, f)
                 if isinstance(outcome, MachineCheckpoint):
-                    return ("interrupted", outcome)
+                    self._outcome = ("interrupted", outcome)
+                    return
                 beat = outcome
                 for fr in stack:
                     fr.next_land = min((item[0] for item in fr.pending),
@@ -633,7 +716,8 @@ class VliwSimulator:
                     value = ret_val if sp_kind == SP_RET else None
                     stack.pop()
                     if not stack:
-                        return ("done", value)
+                        self._outcome = ("done", value)
+                        return
                     if f.ret_dest is not None:
                         stack[-1].regs[f.ret_dest] = value
                     continue
@@ -641,6 +725,201 @@ class VliwSimulator:
                 continue
             f.pc = fall_pc if next_pc < 0 else next_pc
         raise SimError("empty frame stack")           # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _execute_compiled(self, stack: list[_Frame], beat: int):
+        """Drive the generated step closures (see ``sim/compile.py``).
+
+        Same generator protocol and bit-identical semantics as the other
+        two executors; the per-instruction work lives in the compiled
+        steps, so this loop only handles the boundary concerns steps
+        cannot see — fault delivery, budget, icache/TLB device models,
+        and call/return frame plumbing.  Stats accumulate in a flat list
+        the steps increment and are folded into ``self.stats`` on every
+        exit path (the ``finally``) and before any checkpoint snapshot.
+        """
+        stats = self.stats
+        memory = self.memory
+        ev = self._eval
+        icache, tlb, injector = self.icache, self.tlb, self.injector
+        max_beats = self.max_beats
+        st = [0] * ST_N
+        if icache is None and tlb is None and injector is None:
+            # the overwhelmingly common configuration: no device models
+            # and no fault plan means no boundary work at all, so run a
+            # tight loop with the frame's hot attributes hoisted out of
+            # the per-instruction path (they only change on call/ret).
+            # Yielding every instruction would pay a suspend/resume per
+            # step for nothing — lanes share no state, so the batch
+            # driver only needs *bounded* interleaving; a 64-instruction
+            # quantum keeps lane skew negligible while amortizing the
+            # generator machinery
+            q = 0
+            try:
+                while stack:
+                    f = stack[-1]
+                    steps = f.dcf.steps
+                    nsteps = len(steps)
+                    regs, pending = f.regs, f.pending
+                    bank_busy = f.bank_busy
+                    start_beat = f.start_beat
+                    while True:
+                        q -= 1
+                        if q < 0:
+                            q = 63
+                            yield
+                        if beat - start_beat > max_beats:
+                            raise SimError(
+                                f"{f.cf.name}: beat budget exhausted")
+                        pc = f.pc
+                        if pc < 0 or pc >= nsteps:
+                            raise SimError(
+                                f"{f.cf.name}: PC out of range: {pc}")
+                        try:
+                            r = steps[pc](f, regs, pending, beat, st,
+                                          memory, bank_busy, None, ev)
+                        except TrapError as exc:
+                            exc.locate(beat=beat, pc=f"{f.cf.name}:{pc}")
+                            raise
+                        if type(r) is int:
+                            beat = r
+                            continue
+                        kind, value, nb = r
+                        beat = nb
+                        break               # frame is about to change
+                    if kind != R_CALL:      # R_RET or R_HALT
+                        stack.pop()
+                        if not stack:
+                            self._outcome = ("done", value)
+                            return
+                        if f.ret_dest is not None:
+                            stack[-1].regs[f.ret_dest] = value
+                    else:
+                        beat = self._begin_call_compiled(
+                            f.dcf.calls[pc], f, stack, beat, pc, st)
+            finally:
+                flush_stats(stats, st)
+            return
+        try:
+            while stack:
+                yield
+                f = stack[-1]
+                cfx = f.dcf
+
+                # --- instruction boundary: the one precise point --------
+                if injector is not None and injector.pending:
+                    flush_stats(stats, st)  # snapshot-accurate counters
+                    outcome = self._deliver_faults(stack, beat, f)
+                    if isinstance(outcome, MachineCheckpoint):
+                        self._outcome = ("interrupted", outcome)
+                        return
+                    beat = outcome
+                    for fr in stack:
+                        fr.next_land = min(
+                            (item[0] for item in fr.pending), default=NEVER)
+                if beat - f.start_beat > max_beats:
+                    raise SimError(f"{f.cf.name}: beat budget exhausted")
+                pc = f.pc
+                steps = cfx.steps
+                if pc < 0 or pc >= len(steps):
+                    raise SimError(f"{f.cf.name}: PC out of range: {pc}")
+                if icache is not None:
+                    fetch_stall = icache.access(f.cf.name, pc)
+                    if fetch_stall:
+                        f.pending[:] = [(b + fetch_stall, r, v)
+                                        for b, r, v in f.pending]
+                        f.next_land += fetch_stall
+                        beat += fetch_stall
+                        st[ST_BEATS] += fetch_stall
+
+                try:
+                    r = steps[pc](f, f.regs, f.pending, beat, st, memory,
+                                  f.bank_busy, tlb, ev)
+                except TrapError as exc:
+                    exc.locate(beat=beat, pc=f"{f.cf.name}:{pc}")
+                    raise
+
+                tlb_stall = 0
+                if tlb is not None:
+                    tlb_stall = tlb.end_instruction()
+                    if tlb_stall:
+                        f.pending[:] = [(b + tlb_stall, r2, v)
+                                        for b, r2, v in f.pending]
+                        f.next_land += tlb_stall
+                        st[ST_BEATS] += tlb_stall
+
+                if type(r) is int:          # normal step: f.pc already set
+                    beat = r + tlb_stall
+                    continue
+                kind, value, nb = r
+                beat = nb + tlb_stall
+                if kind != R_CALL:          # R_RET or R_HALT
+                    stack.pop()
+                    if not stack:
+                        self._outcome = ("done", value)
+                        return
+                    if f.ret_dest is not None:
+                        stack[-1].regs[f.ret_dest] = value
+                    continue
+                beat = self._begin_call_compiled(cfx.calls[pc], f, stack,
+                                                 beat, pc, st)
+        finally:
+            flush_stats(stats, st)
+
+    def _begin_call_compiled(self, callinfo: tuple, f: _Frame,
+                             stack: list[_Frame], beat: int, pc: int,
+                             st: list) -> int:
+        """Compiled-path twin of :meth:`_begin_call` over slot files."""
+        callee_name, argspecs, dest_slot = callinfo
+        st[ST_CALLS] += 1
+        pending = f.pending
+        if pending:
+            drain_to = max(item[0] for item in pending)
+            extra = max(0, drain_to - beat)
+            ready = sorted(pending, key=lambda item: item[0])
+            regs = f.regs
+            for _b, slot, value in ready:
+                regs[slot] = value
+            pending.clear()
+            st[ST_BEATS] += extra
+            beat += extra
+        f.next_land = NEVER
+        regs = f.regs
+        args = []
+        for kind, payload in argspecs:
+            if kind == A_SLOT:
+                args.append(regs[payload])
+            elif kind == A_LIT:
+                args.append(payload)
+            else:                           # A_SYM
+                args.append(self.memory.address_of(payload))
+        cfx = self._compiled.functions.get(callee_name)
+        if cfx is None:
+            self.program.function(callee_name)      # raises MachineError
+        overhead = 2 * self.config.call_overhead_instructions
+        st[ST_BEATS] += overhead
+        beat += overhead
+        f.pc = pc + 1
+        stack.append(self._make_frame_compiled(cfx, args, beat, dest_slot))
+        return beat
+
+    def _make_frame_compiled(self, cfx, args: list, start_beat: int,
+                             ret_dest: int | None = None) -> _Frame:
+        param_slots = cfx.param_slots
+        if len(args) != len(param_slots):
+            raise SimError(
+                f"{cfx.cf.name}: expected {len(param_slots)} args")
+        cex = self._compiled
+        # the slot file starts as the funny-number vector: a never-written
+        # read then sees exactly what the MISSING-check paths substitute
+        regs = cex.funny.copy()
+        slot_regs = cex.slot_regs
+        for slot, arg in zip(param_slots, args):
+            regs[slot] = self._coerce_arg(slot_regs[slot], arg)
+        frame = _Frame(cfx.cf, regs, [], {}, cfx.entry_pc, start_beat,
+                       ret_dest)
+        frame.dcf = cfx
+        return frame
 
     # ------------------------------------------------------------------
     def _begin_call(self, call: Operation, f: _Frame, stack: list[_Frame],
@@ -729,10 +1008,33 @@ class VliwSimulator:
 
     def _snapshot(self, stack: list[_Frame], beat: int,
                   drain_beats: int) -> MachineCheckpoint:
-        """Capture the drained machine's architectural state."""
-        frames = [FrameState(f.cf.name, dict(f.regs), f.pc, f.start_beat,
-                             f.ret_dest, dict(f.bank_busy), list(f.pending))
-                  for f in stack]
+        """Capture the drained machine's architectural state.
+
+        Checkpoints always use the register-keyed (VReg) form, whatever
+        tier produced them, so a run checkpointed on one path resumes on
+        any other.  Compiled-path slot files are converted back; slots
+        still holding their funny number are omitted — a restored read
+        substitutes exactly that value, so the filter is lossless.
+        """
+        if self.path == "compiled":
+            slot_regs = self._compiled.slot_regs
+            funny = self._compiled.funny
+            frames = [
+                FrameState(
+                    f.cf.name,
+                    {slot_regs[i]: v for i, v in enumerate(f.regs)
+                     if not (v == funny[i] or v != v)},
+                    f.pc, f.start_beat,
+                    (slot_regs[f.ret_dest]
+                     if f.ret_dest is not None else None),
+                    dict(f.bank_busy),
+                    [(b, slot_regs[s], v) for b, s, v in f.pending])
+                for f in stack]
+        else:
+            frames = [FrameState(f.cf.name, dict(f.regs), f.pc,
+                                 f.start_beat, f.ret_dest,
+                                 dict(f.bank_busy), list(f.pending))
+                      for f in stack]
         asid = self.tags.assign(self.process_id) \
             if self.tags is not None else 0
         return MachineCheckpoint(beat, frames, self.memory.snapshot(),
@@ -863,10 +1165,12 @@ def run_compiled(program: CompiledProgram, module, func_name: str,
                  args=(), fp_mode: str = "precise",
                  memory: MemoryImage | None = None,
                  tracer=None, injector=None, tlb=None,
-                 predecode: bool = True) -> VliwResult:
+                 predecode: bool = True,
+                 path: str | None = None) -> VliwResult:
     """Convenience: build the memory image, run, return the result."""
     if memory is None:
         memory = MemoryImage(module)
     sim = VliwSimulator(program, memory, fp_mode, tracer=tracer,
-                        injector=injector, tlb=tlb, predecode=predecode)
+                        injector=injector, tlb=tlb, predecode=predecode,
+                        path=path)
     return sim.run(func_name, args)

@@ -1,0 +1,300 @@
+"""Differential tests for the compiled execution tier and the batched
+lockstep executor.
+
+The interpretive loop (``predecode=False``) stays the reference; these
+tests pin the closure-compiled tier to it bit for bit — values, final
+memory, and every timing stat — across kernels, strategies, generated
+programs, device models, fault injection, and checkpoint/resume
+crossing every pair of execution tiers.  The batch executor is pinned
+to N serial runs the same way, including telemetry totals.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, InjectionPlan
+from repro.harness.measure import prepare_modules, train_profile
+from repro.harness.runner import default_chunk
+from repro.ir import MemoryImage
+from repro.machine import TRACE_28_200
+from repro.obs import Tracer
+from repro.sim import (BatchLane, BatchVliwSimulator, ICacheModel,
+                       TlbModel, VliwSimulator)
+from repro.sim.compile import compiled_exec
+from repro.sim.decode import predecode_program
+from repro.sim.vliw import SIM_PATHS
+from repro.trace import TraceCompiler
+from repro.workloads import generate_program, get_kernel
+
+KERNELS = ("daxpy", "fir4", "ll7_state", "state_machine", "call_heavy",
+           "binary_search")
+
+
+def _compiled(name, n=48, strategy="trace"):
+    kernel = get_kernel(name)
+    _, module = prepare_modules(kernel, n)
+    profile = train_profile(module, kernel.func, kernel.make_args(n))
+    program = TraceCompiler(module, profile=profile,
+                            strategy=strategy).compile_module()
+    return kernel, module, program
+
+
+def _run(program, module, func, args, **sim_kw):
+    memory = MemoryImage(module)
+    sim = VliwSimulator(program, memory, **sim_kw)
+    result = sim.run(func, args)
+    return (result.value, bytes(memory.data), vars(result.stats))
+
+
+class TestCompiledPathEquivalence:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_kernels_bit_identical(self, name):
+        kernel, module, program = _compiled(name)
+        args = kernel.make_args(48)
+        assert _run(program, module, kernel.func, args, path="compiled") \
+            == _run(program, module, kernel.func, args, predecode=False)
+
+    @pytest.mark.parametrize("name", ("daxpy", "ll7_state"))
+    def test_pipeline_strategy_bit_identical(self, name):
+        kernel, module, program = _compiled(name, strategy="pipeline")
+        args = kernel.make_args(48)
+        assert _run(program, module, kernel.func, args, path="compiled") \
+            == _run(program, module, kernel.func, args, predecode=False)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_programs_bit_identical(self, seed):
+        module = generate_program(seed)
+        program = TraceCompiler(module).compile_module()
+        assert _run(program, module, "main", (7, -3), path="compiled") \
+            == _run(program, module, "main", (7, -3), predecode=False)
+
+    def test_device_models_bit_identical(self):
+        kernel, module, program = _compiled("daxpy")
+        args = kernel.make_args(48)
+        runs = {}
+        for kw in ({"path": "compiled"}, {"predecode": False}):
+            runs[str(kw)] = _run(
+                program, module, kernel.func, args,
+                icache=ICacheModel(TRACE_28_200, lines=2),
+                tlb=TlbModel(TRACE_28_200, entries=2), **kw)
+        assert runs["{'path': 'compiled'}"] \
+            == runs["{'predecode': False}"]
+
+    def test_fault_injection_bit_identical(self):
+        module = generate_program(4)
+        program = TraceCompiler(module).compile_module()
+        clean = _run(program, module, "main", (7, -3), path="compiled")
+        horizon = clean[2]["beats"]
+        runs = {}
+        for kw in ({"path": "compiled"}, {"predecode": False}):
+            plan = InjectionPlan.random(4, horizon_beats=horizon,
+                                        total_banks=64)
+            runs[str(kw)] = _run(program, module, "main", (7, -3),
+                                 injector=FaultInjector(plan), **kw)
+        assert runs["{'path': 'compiled'}"] \
+            == runs["{'predecode': False}"]
+
+    @pytest.mark.parametrize("first", SIM_PATHS)
+    @pytest.mark.parametrize("second", SIM_PATHS)
+    def test_checkpoint_crosses_paths(self, first, second):
+        """A checkpoint taken on any tier resumes on any other: the
+        snapshot is pure architectural state, so neither decode strategy
+        nor register-file layout can leak into it."""
+        module = generate_program(2)
+        program = TraceCompiler(module).compile_module()
+        baseline = _run(program, module, "main", (7, -3), path="interp")
+        half = baseline[2]["beats"] // 2
+
+        memory = MemoryImage(module)
+        injector = FaultInjector(
+            InjectionPlan.interrupt_at(half, checkpoint=True))
+        start = VliwSimulator(program, memory, injector=injector,
+                              path=first).run("main", (7, -3))
+        assert start.interrupted
+        resume_memory = MemoryImage(module)
+        resumed = VliwSimulator(program, resume_memory,
+                                path=second).resume(start.checkpoint)
+        assert not resumed.interrupted
+        assert resumed.value == baseline[0]
+        assert bytes(resume_memory.data) == baseline[1]
+        assert resumed.stats.beats == baseline[2]["beats"]
+
+    def test_event_tracer_steps_down_to_fast(self):
+        """Per-beat event emission needs the instrumented executors; a
+        compiled-tier request with an event-collecting tracer degrades
+        to the fast tier rather than silently dropping events."""
+        kernel, module, program = _compiled("daxpy")
+        sim = VliwSimulator(program, MemoryImage(module),
+                            tracer=Tracer(events=True), path="compiled")
+        assert sim.path == "fast"
+
+
+class TestBatchExecutor:
+    def test_batch_matches_serial_runs(self):
+        """A 6-lane batch is bit-identical, lane for lane, to 6 serial
+        compiled runs over the same memories and arguments."""
+        kernel, module, program = _compiled("binary_search")
+        args = kernel.make_args(48)
+        serial = [_run(program, module, kernel.func, args,
+                       path="compiled") for _ in range(6)]
+        lanes = [BatchLane(MemoryImage(module), args) for _ in range(6)]
+        results = BatchVliwSimulator(program).run(kernel.func, lanes)
+        for lane, result, ref in zip(lanes, results, serial):
+            assert result.value == ref[0]
+            assert bytes(lane.memory.data) == ref[1]
+            assert vars(result.stats) == ref[2]
+
+    def test_lanes_diverge_and_exit_early(self):
+        """Lanes with different arguments take different control paths
+        and finish in different beat counts; each still matches its own
+        serial run exactly."""
+        module = generate_program(3)
+        program = TraceCompiler(module).compile_module()
+        arg_sets = [(7, -3), (1, 1), (-9, 5), (0, 100)]
+        lanes = [BatchLane(MemoryImage(module), args)
+                 for args in arg_sets]
+        results = BatchVliwSimulator(program).run("main", lanes)
+        for lane, result, args in zip(lanes, results, arg_sets):
+            assert (result.value, bytes(lane.memory.data),
+                    vars(result.stats)) \
+                == _run(program, module, "main", args, path="compiled")
+        assert len({r.stats.beats for r in results}) > 1
+
+    def test_per_lane_injector_and_checkpoint_resume(self):
+        """One lane checkpoints mid-run while its neighbours finish
+        clean, on a non-default tier; the checkpoint resumes to the
+        clean lanes' exact result."""
+        module = generate_program(2)
+        program = TraceCompiler(module).compile_module()
+        clean = _run(program, module, "main", (7, -3), path="interp")
+        half = clean[2]["beats"] // 2
+
+        injector = FaultInjector(
+            InjectionPlan.interrupt_at(half, checkpoint=True))
+        lanes = [BatchLane(MemoryImage(module), (7, -3)),
+                 BatchLane(MemoryImage(module), (7, -3), injector),
+                 BatchLane(MemoryImage(module), (7, -3))]
+        results = BatchVliwSimulator(program, path="fast").run(
+            "main", lanes)
+        assert not results[0].interrupted
+        assert results[1].interrupted
+        assert not results[2].interrupted
+        assert results[0].value == clean[0]
+
+        resumed = VliwSimulator(program, lanes[1].memory,
+                                path="compiled").resume(
+                                    results[1].checkpoint)
+        assert not resumed.interrupted
+        assert resumed.value == clean[0]
+        assert bytes(lanes[1].memory.data) == clean[1]
+        assert resumed.stats.beats == clean[2]["beats"]
+
+    def test_telemetry_matches_serial_runs(self):
+        """Batched counter totals equal the N-serial-run totals exactly,
+        modulo the batch's own ``sim.batch.*`` markers."""
+        kernel, module, program = _compiled("fir4")
+        args = kernel.make_args(48)
+        serial = Tracer()
+        for _ in range(4):
+            VliwSimulator(program, MemoryImage(module), tracer=serial,
+                          path="compiled").run(kernel.func, args)
+
+        batched = Tracer()
+        lanes = [BatchLane(MemoryImage(module), args) for _ in range(4)]
+        BatchVliwSimulator(program, tracer=batched).run(kernel.func,
+                                                        lanes)
+        got = batched.counters.as_dict()
+        assert got.pop("sim.batch.calls") == 1
+        assert got.pop("sim.batch.lanes") == 4
+        assert got == serial.counters.as_dict()
+        assert got["sim.path.compiled"] == 4
+
+
+class TestPathSelection:
+    def test_env_var_selects_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_PATH", "interp")
+        kernel, module, program = _compiled("daxpy")
+        trc = Tracer()
+        sim = VliwSimulator(program, MemoryImage(module), tracer=trc)
+        assert sim.path == "interp"
+        sim.run(kernel.func, kernel.make_args(48))
+        assert trc.counters.get("sim.path.interp") == 1
+
+    def test_env_var_rejects_unknown_path(self, monkeypatch):
+        from repro.errors import SimError
+        monkeypatch.setenv("REPRO_SIM_PATH", "turbo")
+        kernel, module, program = _compiled("daxpy")
+        with pytest.raises(SimError):
+            VliwSimulator(program, MemoryImage(module))
+
+    def test_explicit_path_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_PATH", "interp")
+        kernel, module, program = _compiled("daxpy")
+        sim = VliwSimulator(program, MemoryImage(module),
+                            path="compiled")
+        assert sim.path == "compiled"
+
+    def test_predecode_false_pins_interp(self, monkeypatch):
+        """``predecode=False`` is the differential reference; the env
+        escape hatch must never silently re-route it."""
+        monkeypatch.setenv("REPRO_SIM_PATH", "compiled")
+        kernel, module, program = _compiled("daxpy")
+        sim = VliwSimulator(program, MemoryImage(module),
+                            predecode=False)
+        assert sim.path == "interp"
+
+    def test_batch_default_is_compiled(self, monkeypatch):
+        kernel, module, program = _compiled("daxpy")
+        assert BatchVliwSimulator(program).path == "compiled"
+        monkeypatch.setenv("REPRO_SIM_PATH", "fast")
+        assert BatchVliwSimulator(program).path == "fast"
+
+
+class TestArtifactMemoization:
+    def test_predecode_memoized_per_program_and_layout(self):
+        kernel, module, program = _compiled("daxpy")
+        a = predecode_program(program, MemoryImage(module))
+        b = predecode_program(program, MemoryImage(module))
+        assert a is b
+        assert predecode_program(program, MemoryImage(module),
+                                 memoize=False) is not a
+
+    def test_compiled_exec_memoized_per_program_and_layout(self):
+        kernel, module, program = _compiled("daxpy")
+        a = compiled_exec(program, MemoryImage(module))
+        b = compiled_exec(program, MemoryImage(module))
+        assert a is b
+
+    def test_memo_keyed_by_program_identity(self):
+        _, module_a, program_a = _compiled("daxpy")
+        _, module_b, program_b = _compiled("vadd")
+        a = predecode_program(program_a, MemoryImage(module_a))
+        b = predecode_program(program_b, MemoryImage(module_b))
+        assert a is not b
+
+
+class TestRunnerChunking:
+    def test_default_chunk_math(self):
+        assert default_chunk(32, 4) == 2
+        assert default_chunk(3, 8) == 1
+        assert default_chunk(100, 2) == 12
+
+    def test_chunked_parallel_sweep_matches_serial(self):
+        """The chunked multi-process runner produces the same sweep
+        rows and the same merged counters as the in-process path."""
+        from repro.harness.measure import MeasureSpec
+        from repro.harness.runner import run_sweep
+
+        def specs():
+            return [MeasureSpec(kernel=name, n=16, telemetry=True)
+                    for name in ("daxpy", "vadd")]
+
+        serial_trc, parallel_trc = Tracer(), Tracer()
+        serial = run_sweep(specs(), jobs=1, tracer=serial_trc,
+                           use_cache=False, lanes=2)
+        parallel = run_sweep(specs(), jobs=2, tracer=parallel_trc,
+                             use_cache=False, lanes=2, chunk=1)
+        for a, b in zip(serial, parallel):
+            assert a.row() == b.row()
+            assert vars(a.vliw) == vars(b.vliw)
+        assert serial_trc.counters.as_dict() \
+            == parallel_trc.counters.as_dict()
