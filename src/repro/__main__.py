@@ -64,6 +64,11 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-join-motion", action="store_true")
     parser.add_argument("--fast-fp", action="store_true",
                         help="fast floating-point exception mode")
+    parser.add_argument("--params", metavar="JSON", default=None,
+                        help="heuristic-parameter overrides as a JSON "
+                             "object, or @FILE to read one (e.g. a "
+                             "winning config from BENCH_tune.json); "
+                             "unknown fields are rejected")
 
 
 def _add_report_args(parser: argparse.ArgumentParser) -> None:
@@ -91,10 +96,33 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
              "~/.cache/repro-compile)")
 
 
+def _params_wire(args) -> dict | None:
+    """The ``--params`` payload in wire form (a plain dict), or None."""
+    raw = getattr(args, "params", None)
+    if not raw:
+        return None
+    try:
+        if raw.startswith("@"):
+            with open(raw[1:]) as handle:
+                return json.load(handle)
+        return json.loads(raw)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--params: {exc}") from None
+
+
 def _options(args) -> SchedulingOptions:
+    from .errors import ParamError
+    from .sched import HeuristicParams
+
+    wire = _params_wire(args)
+    try:
+        params = HeuristicParams.DEFAULT if wire is None \
+            else HeuristicParams.from_json(wire)
+    except ParamError as exc:
+        raise SystemExit(f"--params: {exc}") from None
     return SchedulingOptions(speculation=not args.no_speculation,
                              join_motion=not args.no_join_motion,
-                             fast_fp=args.fast_fp)
+                             fast_fp=args.fast_fp, params=params)
 
 
 def _request(args, kernel: str,
@@ -106,11 +134,16 @@ def _request(args, kernel: str,
     submission are literally the same object.
     """
     cls = CompileRequest if compile_only else MeasureRequest
-    return cls(kernel=kernel, n=args.n, pairs=args.pairs,
-               unroll=args.unroll, strategy=args.strategy,
-               speculation=not args.no_speculation,
-               join_motion=not args.no_join_motion,
-               fast_fp=args.fast_fp)
+    request = cls(kernel=kernel, n=args.n, pairs=args.pairs,
+                  unroll=args.unroll, strategy=args.strategy,
+                  speculation=not args.no_speculation,
+                  join_motion=not args.no_join_motion,
+                  fast_fp=args.fast_fp, params=_params_wire(args))
+    try:
+        request.heuristic_params()
+    except ApiError as exc:
+        raise SystemExit(f"--params: {exc}") from None
+    return request
 
 
 def _spec(args, kernel: str, telemetry: bool = False,
@@ -428,6 +461,29 @@ def cmd_audit(args) -> int:
     return status
 
 
+def cmd_tune(args) -> int:
+    from .tune import render_table, run_tune
+
+    report = run_tune(corpus=args.corpus, seeds=args.seeds,
+                      kernels=args.kernels or None, tiny=args.tiny,
+                      grid=not args.no_grid, random_count=args.random,
+                      random_seed=args.random_seed, starts=args.starts,
+                      jobs=args.jobs, max_nodes=args.max_nodes,
+                      use_cache=not args.no_cache,
+                      cache_dir=args.cache_dir,
+                      with_oracle=not args.no_oracle,
+                      verify_winners=not args.no_verify)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_table(report))
+        print(f"wrote {args.out}")
+    return 1 if report["errors"] else 0
+
+
 def cmd_fuzz(args) -> int:
     from .harness.fuzz import run_fuzz
 
@@ -683,6 +739,47 @@ def main(argv=None) -> int:
                    help="print the JSON report instead of the table")
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune the scheduling-priority heuristics: search the "
+             "HeuristicParams space over a corpus, score every candidate "
+             "against the DEFAULT baseline and the exact oracle's bounds")
+    p.add_argument("--corpus", choices=("generated", "kernels"),
+                   default="generated",
+                   help="what to score on: the generated-program seeds "
+                        "(default) or the audit's kernel corpus")
+    p.add_argument("--seeds", type=int, default=None, metavar="N",
+                   help="generated-corpus seed count (default 400, "
+                        "--tiny 12)")
+    p.add_argument("--kernels", nargs="*", default=None,
+                   help="restrict the kernel corpus to these kernels")
+    p.add_argument("--tiny", action="store_true",
+                   help="tiny search (the CI smoke set): few cases, "
+                        "few candidates")
+    p.add_argument("--no-grid", action="store_true",
+                   help="skip the structured weight grid")
+    p.add_argument("--random", type=int, default=0, metavar="N",
+                   help="seeded random candidates to add (default 0)")
+    p.add_argument("--random-seed", type=int, default=0, metavar="S",
+                   help="seed for --random sampling (default 0)")
+    p.add_argument("--starts", type=int, default=0, metavar="N",
+                   help="multi-start restarts: DEFAULT weights with "
+                        "tie seeds 1..N")
+    p.add_argument("--max-nodes", type=int, default=20_000, metavar="N",
+                   help="exact-engine node budget per decision "
+                        "(default 20000)")
+    p.add_argument("--no-oracle", action="store_true",
+                   help="skip the exact bounds (baseline-only scoring)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip re-deriving winners from scratch")
+    p.add_argument("--out", metavar="FILE", default="BENCH_tune.json",
+                   help="report path (default BENCH_tune.json)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the JSON report instead of the table")
+    _add_jobs_arg(p)
+    _add_cache_args(p)
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser(
         "fuzz", help="differential fuzzing with fault injection")

@@ -95,6 +95,12 @@ class CompileRequest:
     bank_gamble: bool = True
     fortran_args: bool = False
     use_profile: bool = True
+    #: heuristic parameters in wire form (the flat dict
+    #: :meth:`~repro.sched.HeuristicParams.to_json` emits); None means
+    #: DEFAULT.  Kept as a dict so the request stays JSON-trivial; it is
+    #: decoded (strictly — unknown fields rejected) by :meth:`validate`
+    #: and :meth:`options`.
+    params: dict | None = None
 
     kind: ClassVar[str] = "compile"
 
@@ -114,7 +120,20 @@ class CompileRequest:
         if self.strategy not in _STRATEGIES:
             raise ApiError(f"strategy must be one of {_STRATEGIES}, "
                            f"got {self.strategy!r}")
+        self.heuristic_params()    # strict decode; raises ApiError
         return self
+
+    def heuristic_params(self):
+        """The decoded :class:`~repro.sched.HeuristicParams`."""
+        from .errors import ParamError
+        from .sched import HeuristicParams
+
+        if self.params is None:
+            return HeuristicParams.DEFAULT
+        try:
+            return HeuristicParams.from_json(self.params)
+        except ParamError as exc:
+            raise ApiError(f"params: {exc}") from None
 
     # ------------------------------------------------------------------
     def config(self):
@@ -129,7 +148,8 @@ class CompileRequest:
                                  join_motion=self.join_motion,
                                  fast_fp=self.fast_fp,
                                  bank_gamble=self.bank_gamble,
-                                 fortran_args=self.fortran_args)
+                                 fortran_args=self.fortran_args,
+                                 params=self.heuristic_params())
 
     def to_spec(self, *, telemetry: bool = False, events: bool = False):
         """Lower onto the internal :class:`~repro.harness.MeasureSpec`."""

@@ -33,7 +33,12 @@ from dataclasses import fields, is_dataclass
 #: pickled program — schema-3 artifacts would run but silently lack it,
 #: forcing per-process regeneration; a clean break keeps warm stores
 #: self-consistent.
-CACHE_SCHEMA = 4
+#: 5: the heuristic-parameter layer (``HeuristicParams`` riding on
+#: ``SchedulingOptions``) — the params render into the options text, so
+#: tuned artifacts can never collide with DEFAULT ones; the schema break
+#: keeps schema-4 keys (which never saw a params field) from aliasing
+#: the new DEFAULT keys.
+CACHE_SCHEMA = 5
 
 
 def module_fingerprint(module) -> str:

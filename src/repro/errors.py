@@ -71,6 +71,10 @@ class TrapError(InterpError):
         self.args = (self._message(),)
 
 
+class ParamError(ReproError):
+    """Invalid heuristic-parameter value or malformed params wire dict."""
+
+
 class ScheduleError(ReproError):
     """The trace scheduler could not produce a legal schedule.
 

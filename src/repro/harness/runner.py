@@ -143,6 +143,16 @@ def _audit_task(payload, tracer):
     return audit_case(payload, tracer)
 
 
+@task_handler("tune")
+def _tune_task(payload, tracer):
+    """One autotuner case: ``payload`` is the case dict built by
+    :func:`repro.tune.run_tune` (case identity + the candidate params
+    to score + whether the exact bound is needed).  The returned value
+    maps candidate indices to schedule totals."""
+    from ..tune.driver import tune_case
+    return tune_case(payload, tracer)
+
+
 # ----------------------------------------------------------------------
 # the executor
 # ----------------------------------------------------------------------

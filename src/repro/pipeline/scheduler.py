@@ -35,9 +35,9 @@ from typing import Optional
 from ..disambig import Answer, Disambiguator
 from ..errors import PipelineError
 from ..machine import MachineConfig, Unit, units_for
-from ..sched.core import (MAX_STAGES, Scheduler, SchedulingOptions,
-                          cycle_free, modulo_deadlines, modulo_heights,
-                          rec_mii)
+from ..sched.core import (MAX_STAGES, ModuloPriority, Scheduler,
+                          SchedulingOptions, cycle_free, modulo_deadlines,
+                          modulo_heights, order_units, rec_mii)
 from ..sched.deps import ModuloGraph
 from ..sched.reservation import (ILLEGAL, BankChecker, Reservation,
                                  ReservationModel, res_mii)
@@ -114,11 +114,12 @@ class ModuloScheduler(Scheduler):
         h = modulo_heights(g, ii)
         if h is None:
             return None
-        order = sorted(range(n), key=lambda i: (-h[i], i))
+        priority = ModuloPriority(self.options.params, h, dl)
+        order = priority.order()
         mrt = ReservationModel(self.config, ii)
         placed: dict[int, Reservation] = {}
         prev_f = [-1] * n
-        budget = 50 + 8 * n
+        budget = priority.budget()
         while len(placed) < n:
             if budget <= 0:
                 return None
@@ -160,9 +161,10 @@ class ModuloScheduler(Scheduler):
         # f_lo .. f_lo+II covers every modulo slot at least once with an
         # in-range beat (the extra +1 catches the slot whose f_lo beat
         # lands just below estart)
+        units = order_units(units_for(op), self.options.params)
         for f in range(f_lo, f_lo + ii + 1):
             beat_ok: dict[int, bool] = {}
-            for unit in units_for(op):
+            for unit in units:
                 beat = 2 * f + unit.beat_offset
                 if beat < estart or beat > deadline:
                     continue
@@ -185,9 +187,10 @@ class ModuloScheduler(Scheduler):
         g = self.graph
         op = g.ops[u]
         f = max(max(0, estart // 2), prev_f[u] + 1)
+        units = order_units(units_for(op), self.options.params)
         while 2 * f <= deadline:
             best = None
-            for unit in units_for(op):
+            for unit in units:
                 beat = 2 * f + unit.beat_offset
                 if beat < estart or beat > deadline:
                     continue

@@ -14,10 +14,12 @@ scheduler (:mod:`repro.pipeline.scheduler`) are thin strategies over
 this package.
 """
 
-from .core import (MAX_STAGES, Scheduler, SchedulingOptions,
-                   acyclic_heights, critical_cycle, cycle_free,
+from .core import (MAX_STAGES, MODULO_ORDERS, UNIT_ORDERS, AcyclicPriority,
+                   HeuristicParams, ModuloPriority, Scheduler,
+                   SchedulingOptions, acyclic_depths, acyclic_heights,
+                   critical_cycle, cycle_free, descendant_counts,
                    modulo_deadlines, modulo_heights, modulo_weight,
-                   rec_mii)
+                   order_units, rec_mii)
 from .deps import (MAX_DIST, AcyclicGraph, DepEdge, DepGraph, Edge,
                    LoopDep, LoopGraph, ModuloGraph, Node, TraceGraph,
                    build_acyclic_graph, build_loop_graph,
@@ -28,9 +30,11 @@ from .reservation import (GAMBLE, ILLEGAL, OK, WIDE_MEM_OPS, BankChecker,
                           bus_plan, res_mii)
 
 __all__ = [
-    "MAX_STAGES", "Scheduler", "SchedulingOptions",
-    "acyclic_heights", "critical_cycle", "cycle_free", "modulo_deadlines",
-    "modulo_heights", "modulo_weight", "rec_mii",
+    "MAX_STAGES", "MODULO_ORDERS", "UNIT_ORDERS", "AcyclicPriority",
+    "HeuristicParams", "ModuloPriority", "Scheduler", "SchedulingOptions",
+    "acyclic_depths", "acyclic_heights", "critical_cycle", "cycle_free",
+    "descendant_counts", "modulo_deadlines", "modulo_heights",
+    "modulo_weight", "order_units", "rec_mii",
     "MAX_DIST", "AcyclicGraph", "DepEdge", "DepGraph", "Edge", "LoopDep",
     "LoopGraph", "ModuloGraph", "Node", "TraceGraph",
     "build_acyclic_graph", "build_loop_graph", "build_modulo_graph",

@@ -20,9 +20,12 @@ The priority math comes in two flavours matching the two graph modes:
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Optional
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, ClassVar, Optional, Sequence, TypeVar
+
+from ..errors import ParamError
 
 if TYPE_CHECKING:                                    # pragma: no cover
     from ..disambig import Disambiguator
@@ -35,9 +38,160 @@ if TYPE_CHECKING:                                    # pragma: no cover
 MAX_STAGES = 8
 
 
-@dataclass
+# -- heuristic parameter layer ----------------------------------------------
+
+#: legal functional-unit probe orders
+UNIT_ORDERS = ("default", "reverse")
+#: legal modulo placement orders
+MODULO_ORDERS = ("height", "deadline")
+
+#: the priority-term weight fields, in key order
+_WEIGHT_FIELDS = ("w_height", "w_slack", "w_desc", "w_depth")
+
+
+def _mix_tie(pos: int, seed: int) -> int:
+    """Deterministic 32-bit permutation of a tie-break position.
+
+    A nonzero ``tie_seed`` reshuffles how equal-priority nodes order,
+    exploring schedules the positional tie-break never reaches.  Plain
+    integer hashing, no :mod:`random`: the value must be identical
+    across processes and Python versions.
+    """
+    x = ((pos + 1) * 0x9E3779B1 ^ (seed * 0x85EBCA6B)) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x045D9F3B) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x
+
+
+@dataclass(frozen=True)
+class HeuristicParams:
+    """One point in the scheduling-priority search space.
+
+    Every knob that changes *which* schedule the heuristic engines pick —
+    never whether it is correct — lives here: the priority-term weights
+    combined by :class:`AcyclicPriority` / :class:`ModuloPriority`, the
+    wide-immediate late-slot deferral, the tie-break seed, the
+    functional-unit probe order, and the modulo scheduler's backtracking
+    budget and placement order.  The class is frozen and hashable so it
+    can ride inside :class:`SchedulingOptions`, feed the content-addressed
+    compile key, and serve as a tuner cache key.
+
+    :data:`DEFAULT` (all-default construction) reproduces the historical
+    hand-coded priority keys byte-for-byte: acyclic
+    ``(-height, pos)``, modulo ``(-height, index)``, unit order as
+    declared by the machine model, deferral on, budget ``50 + 8*n``.
+    """
+
+    #: weight of the critical-path height term (the classic key)
+    w_height: float = 1.0
+    #: weight of the slack term (acyclic: critical-path slack; modulo:
+    #: the branch-pinned deadline) — urgent ops first when positive
+    w_slack: float = 0.0
+    #: weight of the transitive-descendant count (fan-out pressure)
+    w_desc: float = 0.0
+    #: weight of the latency-weighted depth from the trace roots
+    w_depth: float = 0.0
+    #: defer flexible wide-immediate ops to late slots (beat-0 immediate
+    #: words are the scarce kind); DEFAULT on — this is the PR 8 fix
+    wide_imm_deferral: bool = True
+    #: 0 = positional tie-break (historical); nonzero = deterministic
+    #: hash permutation of the positional tie-break
+    tie_seed: int = 0
+    #: functional-unit probe order: "default" (machine declaration
+    #: order) or "reverse"
+    unit_order: str = "default"
+    #: modulo placement order: "height" (priority-scored, historical) or
+    #: "deadline" (earliest deadline first, scored ties)
+    modulo_order: str = "height"
+    #: modulo backtracking budget = base + per_op * n_ops
+    modulo_budget_base: int = 50
+    modulo_budget_per_op: int = 8
+
+    #: the byte-identical historical behavior (assigned after the class)
+    DEFAULT: ClassVar["HeuristicParams"]
+
+    def __post_init__(self) -> None:
+        for name in _WEIGHT_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ParamError(f"{name} must be a number, "
+                                 f"got {value!r}")
+            if not math.isfinite(value):
+                raise ParamError(f"{name} must be finite, got {value!r}")
+            # normalise ints to floats so equal params hash and render
+            # identically no matter how they were spelled (2 vs 2.0)
+            object.__setattr__(self, name, float(value))
+        if isinstance(self.tie_seed, bool) or \
+                not isinstance(self.tie_seed, int):
+            raise ParamError(f"tie_seed must be an int, "
+                             f"got {self.tie_seed!r}")
+        if not isinstance(self.wide_imm_deferral, bool):
+            raise ParamError("wide_imm_deferral must be a bool, "
+                             f"got {self.wide_imm_deferral!r}")
+        if self.unit_order not in UNIT_ORDERS:
+            raise ParamError(f"unit_order must be one of {UNIT_ORDERS}, "
+                             f"got {self.unit_order!r}")
+        if self.modulo_order not in MODULO_ORDERS:
+            raise ParamError(f"modulo_order must be one of "
+                             f"{MODULO_ORDERS}, got {self.modulo_order!r}")
+        for name in ("modulo_budget_base", "modulo_budget_per_op"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                raise ParamError(f"{name} must be a non-negative int, "
+                                 f"got {value!r}")
+        if self.modulo_budget_base < 1:
+            raise ParamError("modulo_budget_base must be >= 1")
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON-primitive dict; round-trips via :meth:`from_json`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_json(cls, data: Any) -> "HeuristicParams":
+        """Strict wire decode: unknown fields are rejected, not ignored.
+
+        Params feed cache identity; silently dropping a misspelled field
+        would return default-keyed artifacts for a config the caller
+        thinks is tuned.
+        """
+        if not isinstance(data, dict):
+            raise ParamError(f"params must be a JSON object, "
+                             f"got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ParamError(
+                f"unknown heuristic parameter(s): {', '.join(unknown)}")
+        return cls(**{name: value for name, value in data.items()})
+
+    def is_default(self) -> bool:
+        return self == HeuristicParams.DEFAULT
+
+
+HeuristicParams.DEFAULT = HeuristicParams()
+
+_UnitT = TypeVar("_UnitT")
+
+
+def order_units(units: Sequence[_UnitT],
+                params: HeuristicParams) -> tuple[_UnitT, ...]:
+    """Functional-unit probe order under ``params.unit_order``."""
+    if params.unit_order == "reverse":
+        return tuple(reversed(units))
+    return tuple(units)
+
+
+@dataclass(frozen=True)
 class SchedulingOptions:
-    """Knobs for ablation experiments, shared by both loop engines."""
+    """Knobs for ablation experiments, shared by both loop engines.
+
+    Frozen and hashable: options participate in compile-cache identity
+    (:func:`repro.cache.key.compile_key` renders every field), so an
+    instance must never change after the key is taken.
+    """
 
     #: allow upward motion past splits (speculation); off = basic-block-ish
     speculation: bool = True
@@ -53,6 +207,38 @@ class SchedulingOptions:
     #: (the source language guarantees it); their bank residues stay
     #: unknown, so the gamble still applies
     fortran_args: bool = False
+    #: scheduling-priority heuristic parameters (see
+    #: :class:`HeuristicParams`); DEFAULT = historical behavior
+    params: HeuristicParams = HeuristicParams.DEFAULT
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON-primitive dict (params nested); round-trips."""
+        data: dict[str, Any] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+            if f.name != "params"}
+        data["params"] = self.params.to_json()
+        return data
+
+    @classmethod
+    def from_json(cls, data: Any) -> "SchedulingOptions":
+        """Strict wire decode; unknown fields are rejected."""
+        if not isinstance(data, dict):
+            raise ParamError(f"options must be a JSON object, "
+                             f"got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ParamError(
+                f"unknown scheduling option(s): {', '.join(unknown)}")
+        kwargs: dict[str, Any] = dict(data)
+        if "params" in kwargs:
+            kwargs["params"] = HeuristicParams.from_json(kwargs["params"])
+        for f in fields(cls):
+            if f.name != "params" and f.name in kwargs \
+                    and not isinstance(kwargs[f.name], bool):
+                raise ParamError(f"option {f.name} must be a bool, "
+                                 f"got {kwargs[f.name]!r}")
+        return cls(**kwargs)
 
 
 class Scheduler(ABC):
@@ -97,6 +283,76 @@ def acyclic_heights(graph: "AcyclicGraph") -> list[int]:
             best = max(best, weight + heights[edge.dst])
         heights[index] = best
     return heights
+
+
+def acyclic_depths(graph: "AcyclicGraph") -> list[int]:
+    """Longest-path depth (beats) from the trace roots, per node."""
+    n = len(graph.nodes)
+    depths = [0] * n
+    for index in range(n):          # edges point forward in a trace graph
+        for edge in graph.succs[index]:
+            weight = edge.latency if edge.kind == "beat" else \
+                _ACYCLIC_KIND_WEIGHT[edge.kind]
+            if depths[index] + weight > depths[edge.dst]:
+                depths[edge.dst] = depths[index] + weight
+    return depths
+
+
+def descendant_counts(graph: "AcyclicGraph") -> list[int]:
+    """Transitive-successor count per node (fan-out pressure).
+
+    Bitset reachability over the forward-only trace graph: one reverse
+    sweep, one big-int OR per edge.
+    """
+    n = len(graph.nodes)
+    reach = [0] * n
+    counts = [0] * n
+    for index in range(n - 1, -1, -1):
+        bits = 0
+        for edge in graph.succs[index]:
+            bits |= (1 << edge.dst) | reach[edge.dst]
+        reach[index] = bits
+        counts[index] = bits.bit_count()
+    return counts
+
+
+class AcyclicPriority:
+    """The one ready-list priority key of the trace list scheduler.
+
+    Both the scheduling loop and its stuck-ready-list diagnostics read
+    :meth:`key`, so what the error message blames is by construction
+    what the scheduler preferred.  Under
+    :data:`HeuristicParams.DEFAULT` the key is exactly the historical
+    ``(-height, pos)`` (a weight of 1.0 on small integer heights is
+    exact float arithmetic).
+    """
+
+    def __init__(self, graph: "AcyclicGraph",
+                 params: HeuristicParams) -> None:
+        self.params = params
+        self.heights = acyclic_heights(graph)
+        n = len(graph.nodes)
+        score = [params.w_height * h for h in self.heights]
+        if params.w_slack or params.w_desc or params.w_depth:
+            depths = acyclic_depths(graph)
+            cp = max((d + h for d, h in zip(depths, self.heights)),
+                     default=0)
+            descs = descendant_counts(graph)
+            for i in range(n):
+                slack = cp - depths[i] - self.heights[i]
+                score[i] += (params.w_desc * descs[i]
+                             + params.w_depth * depths[i]
+                             - params.w_slack * slack)
+        if params.tie_seed:
+            tie = [_mix_tie(node.pos, params.tie_seed)
+                   for node in graph.nodes]
+        else:
+            tie = [node.pos for node in graph.nodes]
+        self._key = [(-score[i], tie[i]) for i in range(n)]
+
+    def key(self, index: int) -> tuple[float, int]:
+        """Sort key: most urgent first under ascending sort."""
+        return self._key[index]
 
 
 # -- modulo (cyclic) priorities ---------------------------------------------
@@ -232,3 +488,40 @@ def modulo_deadlines(graph: "ModuloGraph", ii: int) -> Optional[list[int]]:
     if any(d < 0 for d in dl[:n]):
         return None
     return dl[:n]
+
+
+class ModuloPriority:
+    """Placement order of the iterative modulo scheduler.
+
+    Combines the height term with deadline urgency under the parameter
+    weights; the descendant/depth terms are acyclic-only (a cyclic graph
+    has no meaningful transitive-closure count).  Under
+    :data:`HeuristicParams.DEFAULT` the order is exactly the historical
+    ``sorted(range(n), key=lambda i: (-h[i], i))``.
+    """
+
+    def __init__(self, params: HeuristicParams, heights: list[int],
+                 deadlines: list[int]) -> None:
+        self.params = params
+        n = len(heights)
+        score = [params.w_height * heights[i]
+                 - params.w_slack * deadlines[i] for i in range(n)]
+        if params.tie_seed:
+            tie = [_mix_tie(i, params.tie_seed) for i in range(n)]
+        else:
+            tie = list(range(n))
+        self._key: list[tuple[Any, ...]]
+        if params.modulo_order == "deadline":
+            self._key = [(deadlines[i], -score[i], tie[i])
+                         for i in range(n)]
+        else:
+            self._key = [(-score[i], tie[i]) for i in range(n)]
+
+    def order(self) -> list[int]:
+        """Op indices, most urgent first."""
+        return sorted(range(len(self._key)), key=self._key.__getitem__)
+
+    def budget(self) -> int:
+        """Backtracking budget for one II attempt."""
+        return (self.params.modulo_budget_base
+                + self.params.modulo_budget_per_op * len(self._key))

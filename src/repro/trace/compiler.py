@@ -9,7 +9,7 @@ machine's physical files and link-time label resolution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..analysis import CFG, compute_liveness
 from ..disambig import Disambiguator, derive_memrefs
@@ -147,10 +147,8 @@ class TraceCompiler:
         except RegAllocError:
             # pipelining multiplies live ranges (stage overlap + modulo
             # variable expansion), so the pressure retry also turns it off
-            conservative = SchedulingOptions(
-                speculation=False, join_motion=False,
-                fast_fp=self.options.fast_fp,
-                bank_gamble=self.options.bank_gamble)
+            conservative = replace(self.options, speculation=False,
+                                   join_motion=False)
             try:
                 cf, stats = self._compile_function(
                     func, conservative, allow_pipeline=False)
@@ -174,10 +172,8 @@ class TraceCompiler:
         correct and schedulable, just without cross-block parallelism.
         """
         reason = f"{type(cause).__name__}: {cause}"
-        degraded_options = SchedulingOptions(
-            speculation=False, join_motion=False,
-            fast_fp=self.options.fast_fp, bank_gamble=False,
-            fortran_args=self.options.fortran_args)
+        degraded_options = replace(self.options, speculation=False,
+                                   join_motion=False, bank_gamble=False)
         fallback_disambiguator = Disambiguator(
             self.module, fortran_args=self.options.fortran_args,
             tracer=self.tracer)

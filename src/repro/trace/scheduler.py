@@ -21,7 +21,8 @@ from ..disambig import Disambiguator
 from ..errors import ScheduleError
 from ..machine import MachineConfig, Unit, needs_imm_word, units_for
 from ..obs import get_tracer
-from ..sched.core import Scheduler, SchedulingOptions, acyclic_heights
+from ..sched.core import (AcyclicPriority, Scheduler, SchedulingOptions,
+                          order_units)
 from ..sched.deps import AcyclicGraph, Node
 from ..sched.reservation import GAMBLE, ILLEGAL, BankChecker, ReservationModel
 
@@ -73,7 +74,10 @@ class ListScheduler(Scheduler):
         self._gamble_partners: list[PlacedNode] = []
         self._instr_op_count: dict[int, int] = {}
         self._call_instrs: set[int] = set()
-        self._heights = acyclic_heights(graph)
+        #: the one priority key — the scheduling loop and the stuck-list
+        #: diagnostics both read it, so they can never drift apart
+        self._priority = AcyclicPriority(graph, self.options.params)
+        self._heights = self._priority.heights
 
     # ------------------------------------------------------------------
     def run(self) -> TraceSchedule:
@@ -92,10 +96,9 @@ class ListScheduler(Scheduler):
             sweep = True
             while sweep:
                 sweep = False
-                # highest critical path first; ties by original position
-                for index in sorted(ready, key=lambda i:
-                                    (-self._heights[i],
-                                     graph.nodes[i].pos)):
+                # highest priority first (DEFAULT: critical-path height,
+                # ties by original position)
+                for index in sorted(ready, key=self._priority.key):
                     node = graph.nodes[index]
                     earliest = self._earliest_instruction(index)
                     if earliest > t:
@@ -132,8 +135,7 @@ class ListScheduler(Scheduler):
         like (the node everything else is probably waiting behind)."""
         blocking = "none (empty ready list)"
         if ready:
-            index = min(ready, key=lambda i: (-self._heights[i],
-                                              self.graph.nodes[i].pos))
+            index = min(ready, key=self._priority.key)
             node = self.graph.nodes[index]
             what = str(node.op.opcode) if node.op is not None else node.kind
             blocking = (f"node #{index} {what} at pos {node.pos} "
@@ -207,10 +209,12 @@ class ListScheduler(Scheduler):
     def _place_op(self, node: Node, t: int) -> PlacedNode | None:
         op = node.op
         required = self._required_beat(node.index)
-        units = units_for(op)
+        params = self.options.params
+        units = order_units(units_for(op), params)
         if not units:
             raise ScheduleError(f"no unit can execute {op}")
-        if (needs_imm_word(op) and not op.is_memory
+        if (params.wide_imm_deferral
+                and needs_imm_word(op) and not op.is_memory
                 and not any(e.kind == "beat"
                             for e in self.graph.succs[node.index])):
             # beat-0 immediate words are the scarce kind — F-board ops

@@ -1,0 +1,35 @@
+"""The schedule autotuner: search the heuristic-parameter space.
+
+PR 8's exact oracle proved the hand-coded scheduling priorities leave
+optimality gaps; this package closes them cheaply — search the typed
+:class:`~repro.sched.HeuristicParams` space instead of paying solver
+time per compile:
+
+* :mod:`~repro.tune.space` — candidate generation (grid + seeded
+  random + multi-start tie seeds), deterministic and deduplicated;
+* :mod:`~repro.tune.corpus` — what candidates are scored on: the
+  400-seed generated-program corpus or the audit's kernel corpus, with
+  graphs built once per case and rescheduled per candidate;
+* :mod:`~repro.tune.driver` — the ``repro tune`` driver: parent-side
+  content-addressed result cache, fan-out through the parallel
+  runner's ``tune`` handler, exact-oracle bounds per case, winner
+  re-verification, and the ``BENCH_tune.json`` report.
+"""
+
+from .corpus import (DEFAULT_SEED_COUNT, case_graphs, corpus_cases,
+                     oracle_for_graphs, score_candidate)
+from .driver import (DEFAULT_MAX_NODES, TUNE_SCHEMA, TuneCache, eval_key,
+                     oracle_key, render_table, run_tune, tune_case)
+from .space import (candidate_space, grid_candidates,
+                    multi_start_candidates, params_digest, params_wire,
+                    random_candidates, tiny_grid_candidates)
+
+__all__ = [
+    "DEFAULT_SEED_COUNT", "case_graphs", "corpus_cases",
+    "oracle_for_graphs", "score_candidate",
+    "DEFAULT_MAX_NODES", "TUNE_SCHEMA", "TuneCache", "eval_key",
+    "oracle_key", "render_table", "run_tune", "tune_case",
+    "candidate_space", "grid_candidates", "multi_start_candidates",
+    "params_digest", "params_wire", "random_candidates",
+    "tiny_grid_candidates",
+]

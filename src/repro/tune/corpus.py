@@ -1,0 +1,201 @@
+"""Tuning corpora: what a candidate configuration is scored on.
+
+Two corpora, three case modes:
+
+* ``generated`` — the differential-fuzz program generator's seeds
+  (``seed`` mode), walked trace-by-trace exactly like the optimality
+  audit walks a kernel: select the likeliest trace, build its graph,
+  schedule, mark, remove.  This is the corpus where PR 8's exact oracle
+  proved the hand-coded priorities leave optimality gaps.
+* ``kernels`` — the audit's own kernel corpus: ``trace`` mode (the
+  golden dep-corpus preparations) and ``loop`` mode (the pipelinable
+  kernels, scored by total initiation interval).
+
+The trace walk is *priority-independent*: trace selection reads the
+execution estimates and the evolving CFG, never the schedule, so every
+candidate sees the same graph sequence.  :func:`case_graphs` exploits
+that — it builds a case's graphs once and every candidate is scored by
+rescheduling them, which is what makes searching dozens of configs per
+case affordable.  The oracle bound per case is likewise
+params-independent and computed once (:func:`oracle_for_graphs`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import compute_liveness
+from ..disambig import Disambiguator, derive_memrefs
+from ..errors import DisambigError, PipelineError, ScheduleError
+from ..machine import MachineConfig
+from ..sched import SchedulingOptions, build_acyclic_graph
+from ..sched.core import HeuristicParams
+
+#: the generated corpus audited by PR 8 (seeds 0..399)
+DEFAULT_SEED_COUNT = 400
+
+#: tiny slices for the CI smoke job
+TINY_SEED_COUNT = 12
+
+
+def corpus_cases(corpus: str, seeds: Optional[int] = None,
+                 kernels: Optional[list[str]] = None,
+                 tiny: bool = False) -> list[dict]:
+    """The case payloads for one corpus, in deterministic order."""
+    if corpus == "generated":
+        count = seeds if seeds is not None else \
+            (TINY_SEED_COUNT if tiny else DEFAULT_SEED_COUNT)
+        return [{"mode": "seed", "case": f"seed{s}", "seed": s}
+                for s in range(count)]
+    if corpus == "kernels":
+        from ..optimal.audit import (LOOP_KERNELS, TINY_LOOPS, TINY_TRACE,
+                                     TRACE_CASES)
+        traces = [(k, n, u) for (k, n, u) in TRACE_CASES
+                  if k in TINY_TRACE and u == 0] if tiny else TRACE_CASES
+        loops = TINY_LOOPS if tiny else LOOP_KERNELS
+        if kernels:
+            traces = [(k, n, u) for (k, n, u) in traces if k in kernels]
+            loops = [k for k in loops if k in kernels]
+        cases = [{"mode": "trace", "kernel": k, "n": n, "unroll": u,
+                  "case": f"{k}/n{n}/u{u}"} for (k, n, u) in traces]
+        cases += [{"mode": "loop", "kernel": k, "n": 16,
+                   "case": f"{k}/loops"} for k in loops]
+        return cases
+    raise ValueError(f"unknown corpus {corpus!r} "
+                     f"(expected 'generated' or 'kernels')")
+
+
+# ---------------------------------------------------------------------------
+# graph extraction (once per case; candidates reschedule)
+
+
+def _module_for(case: dict):
+    if case["mode"] == "seed":
+        from ..workloads.generator import generate_program
+
+        return generate_program(case["seed"])
+    from ..harness.measure import prepare_modules
+    from ..opt import inline
+    from ..workloads import get_kernel
+    import itertools as _it
+
+    # the inliner tags blocks from a process-global counter; pin it per
+    # case so graphs are identical no matter what ran earlier
+    inline._inline_counter = _it.count()
+    kernel = get_kernel(case["kernel"])
+    unroll = case.get("unroll", 0)
+    _, module = prepare_modules(kernel, case["n"], unroll=unroll,
+                                inline=48)
+    return module
+
+
+def case_graphs(case: dict, config: MachineConfig) -> tuple[list, list]:
+    """Build the case's dependence graphs once.
+
+    Returns ``(graphs, disambigs)`` — parallel lists, one shared
+    disambiguator per source function (its memoized answers are reused
+    by every candidate's rescheduling).  Trace-walk order is the audit's
+    own and is independent of scheduling priorities.
+    """
+    from ..trace import TraceSelector, clone_function
+    from ..trace.profile import estimate_static
+
+    module = _module_for(case)
+    options = SchedulingOptions()
+    graphs: list = []
+    disambigs: list = []
+    if case["mode"] == "loop":
+        from ..pipeline import build_loop_graph, find_pipeline_loops
+
+        for fname in sorted(module.functions):
+            func = module.functions[fname]
+            derive_memrefs(func)
+            work = clone_function(func)
+            disambig = Disambiguator(module)
+            live_in = dict(compute_liveness(work).live_in)
+            for _loop, pl, _why in find_pipeline_loops(work, live_in):
+                if pl is None:
+                    continue
+                graphs.append(build_loop_graph(pl, config, disambig))
+                disambigs.append(disambig)
+        return graphs, disambigs
+    for fname in sorted(module.functions):
+        func = module.functions[fname]
+        derive_memrefs(func)
+        work = clone_function(func)
+        disambig = Disambiguator(module)
+        live_in = dict(compute_liveness(work).live_in)
+        selector = TraceSelector(work, estimate_static(work))
+        entry_labels = {work.entry.name}
+        while True:
+            trace = selector.next_trace()
+            if trace is None:
+                break
+            graph = build_acyclic_graph(work, trace, disambig, config,
+                                        options, live_in, entry_labels)
+            graphs.append(graph)
+            disambigs.append(disambig)
+            for node in graph.splits():
+                entry_labels.add(node.off_trace)
+            selector.mark_scheduled(trace)
+            for bname in trace.blocks:
+                work.remove_block(bname)
+    return graphs, disambigs
+
+
+def score_candidate(case: dict, graphs: list, disambigs: list,
+                    params: HeuristicParams,
+                    config: MachineConfig) -> Optional[int]:
+    """Total schedule length (trace/seed) or total II (loop) under one
+    candidate, or None when any graph is infeasible for it."""
+    from ..pipeline import ModuloScheduler
+    from ..trace.scheduler import ListScheduler
+
+    options = SchedulingOptions(params=params)
+    total = 0
+    for graph, disambig in zip(graphs, disambigs):
+        try:
+            if case["mode"] == "loop":
+                total += ModuloScheduler(graph, config, disambig,
+                                         options).run().ii
+            else:
+                total += ListScheduler(graph, config, disambig,
+                                       options).run().n_instructions
+        except (ScheduleError, PipelineError, DisambigError):
+            return None
+    return total
+
+
+def oracle_for_graphs(case: dict, graphs: list, disambigs: list,
+                      config: MachineConfig, max_nodes: int) -> dict:
+    """The exact engine's per-case bound: proven-or-best total and the
+    worst proof status across the case's graphs.
+
+    Uses the DEFAULT heuristic as the incumbent upper bound, exactly
+    like the audit; the result is independent of any tuned candidate.
+    """
+    from ..optimal.audit import _worst
+    from ..optimal.scheduler import (exact_modulo_schedule,
+                                     exact_trace_schedule)
+    from ..pipeline import ModuloScheduler
+    from ..trace.scheduler import ListScheduler
+
+    options = SchedulingOptions()
+    total = lower = 0
+    statuses: list[str] = []
+    for graph, disambig in zip(graphs, disambigs):
+        if case["mode"] == "loop":
+            sched = ModuloScheduler(graph, config, disambig, options).run()
+            out = exact_modulo_schedule(graph, config, disambig, options,
+                                        upper_ii=sched.ii,
+                                        max_nodes=max_nodes)
+        else:
+            heur = ListScheduler(graph, config, disambig, options).run()
+            out = exact_trace_schedule(graph, config, disambig, options,
+                                       upper=heur.n_instructions,
+                                       max_nodes=max_nodes)
+        total += out.value
+        lower += out.lower_bound
+        statuses.append(out.status)
+    return {"oracle": total, "lower_bound": lower,
+            "status": _worst(statuses)}

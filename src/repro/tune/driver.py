@@ -1,0 +1,365 @@
+"""The ``repro tune`` driver: search, cache, certify, report.
+
+The flow per run:
+
+1. build the candidate space (:mod:`repro.tune.space`) and the case
+   list (:mod:`repro.tune.corpus`);
+2. check the content-addressed result cache *parent-side*: a candidate
+   already scored on a case is never dispatched again, so a rerun over
+   an unchanged corpus is pure cache hits — zero worker tasks;
+3. fan the remaining (case × candidates) work out through the parallel
+   runner's ``tune`` handler — one task per case, scoring every missing
+   candidate against graphs built once (:func:`tune_case`);
+4. ask the exact engine for each case's proven bound (cached the same
+   way — bounds are candidate-independent);
+5. pick winners, re-verify each improved case by rescheduling it from
+   the winning config from scratch (no cache), and emit the
+   ``BENCH_tune.json`` report: best-found totals vs the DEFAULT
+   baseline vs the oracle's proven bounds, with the winning configs in
+   reproducible wire form.
+
+Cache entries are keyed by SHA-256 over the tune schema, machine
+config, case identity, and the candidate's canonical JSON — the same
+content-addressing discipline as the compile cache, so tuned results
+can never alias across schema or config changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from ..machine import TRACE_28_200, MachineConfig
+from ..sched.core import HeuristicParams
+from .corpus import case_graphs, corpus_cases, oracle_for_graphs, \
+    score_candidate
+from .space import candidate_space, params_digest, params_wire
+
+TUNE_SCHEMA = 1
+
+#: exact-engine node budget for the per-case bounds (the audit's own
+#: default keeps bound rows comparable with ``repro audit``)
+DEFAULT_MAX_NODES = 20_000
+
+
+# ---------------------------------------------------------------------------
+# the content-addressed result cache
+
+
+def _config_text(config: MachineConfig) -> str:
+    from ..cache.key import _dataclass_text
+
+    return _dataclass_text(config)
+
+
+def eval_key(case: dict, params: HeuristicParams,
+             config: MachineConfig) -> str:
+    """Cache key for one (case, candidate) score."""
+    blob = "\n".join([
+        f"tune-eval={TUNE_SCHEMA}",
+        f"config={_config_text(config)}",
+        f"mode={case['mode']}",
+        f"case={case['case']}",
+        f"params={params_wire(params)}",
+    ])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def oracle_key(case: dict, config: MachineConfig, max_nodes: int) -> str:
+    """Cache key for one case's exact bound."""
+    blob = "\n".join([
+        f"tune-oracle={TUNE_SCHEMA}",
+        f"config={_config_text(config)}",
+        f"mode={case['mode']}",
+        f"case={case['case']}",
+        f"max_nodes={max_nodes}",
+    ])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TuneCache:
+    """A tiny content-addressed JSON store under the shared cache dir.
+
+    One file per entry, atomic writes (write-temp + rename) so parallel
+    runs sharing a directory never observe torn entries — the same
+    discipline as the compile cache's disk tier.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        from ..cache import default_cache_dir
+
+        base = directory if directory is not None else default_cache_dir()
+        self.directory = os.path.join(base, "tune")
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, value: dict) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(value, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# the per-case task (the runner's ``tune`` handler body)
+
+
+def tune_case(payload: dict, tracer=None,
+              config: Optional[MachineConfig] = None) -> dict:
+    """Score one case: every listed candidate, plus the exact bound
+    when asked.
+
+    ``payload['candidates']`` is ``[[index, params-wire-dict], ...]``;
+    the returned ``lengths`` maps each index (as a string — JSON round-
+    trip safe) to the candidate's total schedule length / total II, or
+    None when the candidate cannot schedule the case.  Graphs are built
+    once; candidates only reschedule.
+    """
+    from ..obs import get_tracer
+
+    tracer = get_tracer(tracer)
+    config = config if config is not None else TRACE_28_200
+    case = {k: v for k, v in payload.items()
+            if k not in ("candidates", "need_oracle", "max_nodes")}
+    graphs, disambigs = case_graphs(case, config)
+    lengths: dict[str, Optional[int]] = {}
+    for index, wire in payload["candidates"]:
+        params = HeuristicParams.from_json(wire)
+        lengths[str(index)] = score_candidate(case, graphs, disambigs,
+                                              params, config)
+    tracer.counters.inc("tune.cases")
+    tracer.counters.inc("tune.evaluations", len(lengths))
+    row = {"case": case["case"], "mode": case["mode"],
+           "graphs": len(graphs), "lengths": lengths}
+    if payload.get("need_oracle"):
+        row["oracle"] = oracle_for_graphs(
+            case, graphs, disambigs, config,
+            payload.get("max_nodes", DEFAULT_MAX_NODES))
+        tracer.counters.inc("tune.oracle_solves")
+    return row
+
+
+# ---------------------------------------------------------------------------
+# the driver
+
+
+def run_tune(corpus: str = "generated", seeds: Optional[int] = None,
+             kernels: Optional[list[str]] = None, tiny: bool = False,
+             grid: bool = True, random_count: int = 0,
+             random_seed: int = 0, starts: int = 0, jobs: int = 1,
+             max_nodes: int = DEFAULT_MAX_NODES,
+             use_cache: bool = True, cache_dir: Optional[str] = None,
+             with_oracle: bool = True, verify_winners: bool = True,
+             tracer=None, config: Optional[MachineConfig] = None,
+             progress=None) -> dict:
+    """Search the parameter space over one corpus; the report dict.
+
+    Deterministic at any ``jobs`` count: cases are scored independently
+    and reduced in case order, and every candidate is itself
+    deterministic.
+    """
+    from ..harness.runner import run_tasks
+    from ..obs import get_tracer
+
+    tracer = get_tracer(tracer)
+    config = config if config is not None else TRACE_28_200
+    candidates = candidate_space(grid=grid, random_count=random_count,
+                                 random_seed=random_seed, starts=starts,
+                                 tiny=tiny)
+    cases = corpus_cases(corpus, seeds=seeds, kernels=kernels, tiny=tiny)
+    cache = TuneCache(cache_dir) if use_cache else None
+
+    # parent-side cache check: dispatch only what is missing
+    cached: dict[str, dict] = {}        # case -> {"lengths", "oracle"}
+    payloads = []
+    hits = misses = 0
+    for case in cases:
+        lengths: dict[str, Optional[int]] = {}
+        missing = []
+        for index, params in enumerate(candidates):
+            entry = cache.get(eval_key(case, params, config)) \
+                if cache is not None else None
+            if entry is not None:
+                lengths[str(index)] = entry["length"]
+                hits += 1
+            else:
+                missing.append([index, params.to_json()])
+                misses += 1
+        oracle = cache.get(oracle_key(case, config, max_nodes)) \
+            if cache is not None and with_oracle else None
+        if oracle is not None:
+            hits += 1
+        elif with_oracle:
+            misses += 1
+        cached[case["case"]] = {"lengths": lengths, "oracle": oracle}
+        if missing or (with_oracle and oracle is None):
+            payload = dict(case)
+            payload["candidates"] = missing
+            payload["need_oracle"] = with_oracle and oracle is None
+            payload["max_nodes"] = max_nodes
+            payloads.append(payload)
+
+    outcomes = run_tasks("tune", payloads, jobs=jobs,
+                         tracer=tracer) if payloads else []
+    errors: list[str] = []
+    for payload, outcome in zip(payloads, outcomes):
+        name = payload["case"]
+        if not outcome.ok:
+            first = (outcome.error or "").strip().splitlines()
+            errors.append(f"{name}: {first[-1] if first else '?'}")
+            continue
+        row = outcome.value
+        cached[name]["lengths"].update(row["lengths"])
+        if row.get("oracle") is not None:
+            cached[name]["oracle"] = row["oracle"]
+        if cache is not None:
+            case = {k: v for k, v in payload.items()
+                    if k not in ("candidates", "need_oracle", "max_nodes")}
+            for index, wire in payload["candidates"]:
+                length = row["lengths"][str(index)]
+                cache.put(eval_key(case, candidates[index], config),
+                          {"case": name, "params": wire,
+                           "length": length})
+            if row.get("oracle") is not None:
+                cache.put(oracle_key(case, config, max_nodes),
+                          row["oracle"])
+
+    # reduce: per-case winners, gap bookkeeping
+    rows = []
+    baseline_total = best_total = oracle_total = 0
+    gaps = gaps_closed = gaps_narrowed = improved_cases = 0
+    for case in cases:
+        name = case["case"]
+        entry = cached[name]
+        lengths = entry["lengths"]
+        default = lengths.get("0")
+        if default is None:
+            errors.append(f"{name}: DEFAULT could not schedule the case")
+            continue
+        best_index, best = 0, default
+        for index in range(1, len(candidates)):
+            length = lengths.get(str(index))
+            if length is not None and length < best:
+                best_index, best = index, length
+        oracle = entry["oracle"]
+        row = {"case": name, "mode": case["mode"], "default": default,
+               "best": best,
+               "best_params": candidates[best_index].to_json(),
+               "best_digest": params_digest(candidates[best_index]),
+               "improvement": default - best}
+        baseline_total += default
+        best_total += best
+        if oracle is not None:
+            row["oracle"] = oracle["oracle"]
+            row["oracle_status"] = oracle["status"]
+            oracle_total += oracle["oracle"]
+            if default > oracle["oracle"]:
+                gaps += 1
+                if best <= oracle["oracle"]:
+                    gaps_closed += 1
+                    row["gap_closed"] = True
+                elif best < default:
+                    gaps_narrowed += 1
+        if best < default:
+            improved_cases += 1
+            rows.append(row)
+        elif oracle is not None and default > oracle["oracle"]:
+            rows.append(row)         # open gap: keep it visible
+        if progress is not None:
+            progress(row)
+
+    report = {
+        "schema": TUNE_SCHEMA,
+        "config": "TRACE_28_200",
+        "corpus": corpus,
+        "tiny": tiny,
+        "cases": len(cases),
+        "candidates": len(candidates),
+        "search": {"grid": grid, "random": random_count,
+                   "random_seed": random_seed, "starts": starts},
+        "budget_nodes": max_nodes,
+        "cache": {"hits": hits, "misses": misses,
+                  "dispatched_cases": len(payloads)},
+        "baseline_total": baseline_total,
+        "best_total": best_total,
+        "oracle_total": oracle_total if with_oracle else None,
+        "gaps": gaps, "gaps_closed": gaps_closed,
+        "gaps_narrowed": gaps_narrowed,
+        "improved_cases": improved_cases,
+        "rows": rows,
+        "errors": errors,
+    }
+    if verify_winners:
+        report["verified"] = _verify_winners(report, cases, config)
+    tracer.counters.inc("tune.cache_hits", hits)
+    tracer.counters.inc("tune.cache_misses", misses)
+    return report
+
+
+def _verify_winners(report: dict, cases: list[dict],
+                    config: MachineConfig) -> int:
+    """Re-derive every improved case from its winning config, from
+    scratch (fresh graphs, no cache).  A mismatch is a determinism bug
+    and fails loudly."""
+    by_name = {case["case"]: case for case in cases}
+    verified = 0
+    for row in report["rows"]:
+        if row["improvement"] <= 0:
+            continue
+        case = by_name[row["case"]]
+        params = HeuristicParams.from_json(row["best_params"])
+        graphs, disambigs = case_graphs(case, config)
+        length = score_candidate(case, graphs, disambigs, params, config)
+        if length != row["best"]:
+            raise AssertionError(
+                f"{row['case']}: winning config failed to reproduce "
+                f"(reported {row['best']}, re-derived {length})")
+        row["reverified"] = True
+        verified += 1
+    return verified
+
+
+def render_table(report: dict) -> str:
+    """Human summary: one line per improved/open-gap case."""
+    lines = [f"{'case':<16} {'mode':<6} {'default':>7} {'best':>5} "
+             f"{'oracle':>6} {'status':<8} winner"]
+    for r in report["rows"]:
+        closed = " closed" if r.get("gap_closed") else ""
+        lines.append(
+            f"{r['case']:<16} {r['mode']:<6} {r['default']:>7} "
+            f"{r['best']:>5} {r.get('oracle', '-'):>6} "
+            f"{r.get('oracle_status', '-'):<8} "
+            f"{r['best_digest']}{closed}")
+    lines.append(
+        f"-- {report['cases']} cases x {report['candidates']} candidates: "
+        f"baseline {report['baseline_total']} -> best "
+        f"{report['best_total']}"
+        + (f" (oracle {report['oracle_total']})"
+           if report.get("oracle_total") is not None else "")
+        + f"; {report['gaps']} gaps, {report['gaps_closed']} closed, "
+        f"{report['gaps_narrowed']} narrowed; cache "
+        f"{report['cache']['hits']} hits / "
+        f"{report['cache']['misses']} misses")
+    for err in report["errors"]:
+        lines.append(f"ERROR {err}")
+    return "\n".join(lines)

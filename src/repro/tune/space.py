@@ -1,0 +1,118 @@
+"""The heuristic-parameter search space.
+
+Three candidate generators, composable and fully deterministic:
+
+* :func:`grid_candidates` — a small structured grid over the priority
+  weights, the wide-immediate deferral, the unit probe order, and the
+  modulo placement order/budget;
+* :func:`random_candidates` — seeded uniform samples of the continuous
+  weight space (weights rounded so configs render and hash stably);
+* :func:`multi_start_candidates` — the DEFAULT priority function with
+  nonzero tie-break seeds: deterministic restarts that reshuffle only
+  how equal-priority operations order.
+
+:func:`candidate_space` concatenates them (DEFAULT always first, so
+candidate index 0 *is* the baseline), deduplicates by value, and is the
+one list both the driver and the per-case tasks see — a candidate's
+index is stable across processes, reruns, and the result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import random
+
+from ..sched.core import HeuristicParams
+
+#: weight grids for the structured sweep (small on purpose: the grid
+#: multiplies out; the random sampler covers the continuum)
+_GRID_SLACK = (0.0, 0.25)
+_GRID_DESC = (0.0, 0.05)
+_GRID_DEPTH = (0.0, 0.125)
+
+#: decimal places weights are rounded to — keeps ``repr`` (and with it
+#: the compile-cache and tune-cache keys) stable across platforms
+_ROUND = 4
+
+
+def grid_candidates() -> list[HeuristicParams]:
+    """The structured grid (32 weight/deferral/order combos + 2 modulo
+    variants)."""
+    out = []
+    for w_slack, w_desc, w_depth, deferral, unit_order in \
+            itertools.product(_GRID_SLACK, _GRID_DESC, _GRID_DEPTH,
+                              (True, False), ("default", "reverse")):
+        out.append(HeuristicParams(
+            w_slack=w_slack, w_desc=w_desc, w_depth=w_depth,
+            wide_imm_deferral=deferral, unit_order=unit_order))
+    out.append(HeuristicParams(modulo_order="deadline"))
+    out.append(HeuristicParams(modulo_budget_base=200,
+                               modulo_budget_per_op=16))
+    return out
+
+
+def tiny_grid_candidates() -> list[HeuristicParams]:
+    """One candidate per axis — the CI smoke job's grid."""
+    return [
+        HeuristicParams(w_slack=0.25),
+        HeuristicParams(w_desc=0.05),
+        HeuristicParams(w_depth=0.125),
+        HeuristicParams(wide_imm_deferral=False),
+        HeuristicParams(unit_order="reverse"),
+        HeuristicParams(tie_seed=1),
+    ]
+
+
+def random_candidates(count: int, seed: int = 0) -> list[HeuristicParams]:
+    """``count`` seeded uniform samples of the weight space."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        out.append(HeuristicParams(
+            w_height=round(rng.uniform(0.5, 2.0), _ROUND),
+            w_slack=round(rng.uniform(0.0, 0.5), _ROUND),
+            w_desc=round(rng.uniform(0.0, 0.2), _ROUND),
+            w_depth=round(rng.uniform(0.0, 0.5), _ROUND),
+            wide_imm_deferral=rng.random() < 0.8,
+            tie_seed=rng.randrange(1 << 20),
+            unit_order=rng.choice(("default", "reverse")),
+            modulo_order=rng.choice(("height", "deadline")),
+        ))
+    return out
+
+
+def multi_start_candidates(count: int) -> list[HeuristicParams]:
+    """DEFAULT with tie seeds 1..count — pure tie-break restarts."""
+    return [HeuristicParams(tie_seed=s) for s in range(1, count + 1)]
+
+
+def candidate_space(grid: bool = True, random_count: int = 0,
+                    random_seed: int = 0, starts: int = 0,
+                    tiny: bool = False) -> list[HeuristicParams]:
+    """The full deduplicated candidate list; index 0 is DEFAULT."""
+    candidates = [HeuristicParams.DEFAULT]
+    if grid:
+        candidates += tiny_grid_candidates() if tiny \
+            else grid_candidates()
+    candidates += random_candidates(random_count, random_seed)
+    candidates += multi_start_candidates(starts)
+    seen: set[HeuristicParams] = set()
+    out = []
+    for cand in candidates:
+        if cand not in seen:
+            seen.add(cand)
+            out.append(cand)
+    return out
+
+
+def params_wire(params: HeuristicParams) -> str:
+    """Canonical JSON text of one candidate (sorted keys)."""
+    return json.dumps(params.to_json(), sort_keys=True)
+
+
+def params_digest(params: HeuristicParams) -> str:
+    """Short content digest of one candidate, for cache keys and
+    reports."""
+    return hashlib.sha256(params_wire(params).encode()).hexdigest()[:16]

@@ -1,0 +1,99 @@
+"""Regenerate the golden schedule corpus (``schedule_golden.json``).
+
+The corpus pins a SHA-256 digest of every compiled function's formatted
+long-instruction schedule across three slices of the input space:
+
+* the dependence-corpus kernel cases (same ``(kernel, n, unroll)`` list
+  as ``make_depgraph_golden.py``), compiled with ``strategy="trace"``;
+* the pipelinable loop kernels, compiled rolled with
+  ``strategy="pipeline"``;
+* the first 30 differential-fuzz seeds (``generate_program``), compiled
+  exactly like the fuzz harness compiles them.
+
+``tests/test_sched_core.py`` recompiles every case with
+``HeuristicParams.DEFAULT`` and compares digests: the heuristic-
+parameter layer must be byte-identical to the hand-coded priorities it
+replaced.  The digests in the checked-in file were produced by the
+*pre-refactor* schedulers, so this is a real differential, not a
+self-comparison.
+
+Run from the repository root after an *intentional* scheduling change::
+
+    PYTHONPATH=src python tests/data/make_schedule_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+
+from repro.harness.measure import prepare_modules
+from repro.machine import TRACE_28_200, format_compiled
+from repro.trace import TraceCompiler
+from repro.workloads import ALL_KERNELS, get_kernel
+from repro.workloads.generator import generate_program
+
+#: (kernel, n, unroll) trace-strategy cases — the dep-corpus walk
+TRACE_CASES = [(name, 16, 0) for name in sorted(ALL_KERNELS)] + [
+    ("daxpy", 16, 4), ("dot", 16, 4), ("state_machine", 16, 4)]
+
+#: rolled kernels compiled under the modulo engine
+PIPELINE_KERNELS = ["daxpy", "vadd", "dot", "fir4", "stencil3",
+                    "ll1_hydro", "ll3_inner", "ll12_diff", "ll5_tridiag"]
+
+#: fuzz seeds compiled like the differential harness compiles them
+FUZZ_SEEDS = list(range(30))
+
+
+def program_digest(program) -> str:
+    text = "\n".join(format_compiled(program.function(name))
+                     for name in sorted(program.functions))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def compile_kernel(name: str, n: int, unroll: int, strategy: str) -> str:
+    from repro.opt import inline
+
+    # the inliner tags its blocks from a process-global counter; pin it
+    # per case so digests are identical no matter what ran earlier
+    inline._inline_counter = itertools.count()
+    kernel = get_kernel(name)
+    _, module = prepare_modules(kernel, n, unroll=unroll, inline=48)
+    program = TraceCompiler(module, TRACE_28_200,
+                            strategy=strategy).compile_module()
+    return program_digest(program)
+
+
+def compile_seed(seed: int) -> str:
+    module = generate_program(seed)
+    program = TraceCompiler(module, TRACE_28_200).compile_module()
+    return program_digest(program)
+
+
+def build_corpus() -> dict:
+    corpus = {}
+    for name, n, unroll in TRACE_CASES:
+        corpus[f"trace/{name}/n{n}/u{unroll}"] = \
+            compile_kernel(name, n, unroll, "trace")
+    for name in PIPELINE_KERNELS:
+        corpus[f"pipeline/{name}/n16/u0"] = \
+            compile_kernel(name, 16, 0, "pipeline")
+    for seed in FUZZ_SEEDS:
+        corpus[f"fuzz/seed{seed}"] = compile_seed(seed)
+    return corpus
+
+
+def main() -> None:
+    out = os.path.join(os.path.dirname(__file__), "schedule_golden.json")
+    corpus = build_corpus()
+    with open(out, "w") as handle:
+        json.dump(corpus, handle, indent=None, separators=(",", ":"),
+                  sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out}: {len(corpus)} schedule digests")
+
+
+if __name__ == "__main__":
+    main()

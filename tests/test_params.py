@@ -1,0 +1,337 @@
+"""Tests for the heuristic-parameter layer.
+
+Four layers of evidence that the refactor changed nothing and that the
+new surface is sound:
+
+* :class:`HeuristicParams` / :class:`SchedulingOptions` are frozen,
+  hashable, and round-trip their wire form with strict unknown-field
+  rejection;
+* the shared priority evaluators reproduce the historical hand-coded
+  keys exactly under DEFAULT parameters;
+* the params feed compile-cache identity (tuned artifacts can never
+  alias DEFAULT ones) and ride the typed API request schema;
+* with ``HeuristicParams.DEFAULT``, compiled schedules are
+  byte-identical to the *pre-refactor* compilers' output across the
+  golden corpus and the fuzz seeds (``tests/data/schedule_golden.json``
+  was generated before the refactor — a real differential).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.api import ApiError, CompileRequest, MeasureRequest
+from repro.errors import ParamError
+from repro.cache.key import CACHE_SCHEMA, compile_key
+from repro.machine import TRACE_28_200
+from repro.sched import (AcyclicPriority, HeuristicParams, ModuloPriority,
+                         SchedulingOptions, acyclic_heights,
+                         build_acyclic_graph, build_loop_graph,
+                         modulo_deadlines, modulo_heights)
+from repro.workloads import get_kernel
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _load_generator(name: str):
+    path = os.path.join(DATA, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+# ---------------------------------------------------------------------------
+# HeuristicParams: frozen, hashable, strict wire form
+
+
+class TestHeuristicParams:
+    def test_default_is_all_defaults(self):
+        assert HeuristicParams.DEFAULT == HeuristicParams()
+        assert HeuristicParams.DEFAULT.is_default()
+        assert not HeuristicParams(tie_seed=3).is_default()
+
+    def test_frozen_and_hashable(self):
+        params = HeuristicParams()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.w_height = 2.0
+        assert hash(HeuristicParams()) == hash(HeuristicParams())
+        assert hash(HeuristicParams(w_slack=0.25)) == \
+            hash(HeuristicParams(w_slack=0.25))
+
+    def test_weight_normalisation(self):
+        """Integer-spelled weights hash, compare, and render like their
+        float twins — cache keys cannot depend on spelling."""
+        a = HeuristicParams(w_height=2)
+        b = HeuristicParams(w_height=2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert repr(a) == repr(b)
+
+    def test_round_trip(self):
+        params = HeuristicParams(w_slack=0.25, w_desc=0.05,
+                                 wide_imm_deferral=False, tie_seed=7,
+                                 unit_order="reverse",
+                                 modulo_order="deadline",
+                                 modulo_budget_base=200)
+        wire = params.to_json()
+        assert wire == json.loads(json.dumps(wire))     # JSON-trivial
+        assert HeuristicParams.from_json(wire) == params
+
+    def test_unknown_field_rejected(self):
+        wire = HeuristicParams().to_json()
+        wire["w_heigth"] = 2.0                          # typo
+        with pytest.raises(ParamError, match="w_heigth"):
+            HeuristicParams.from_json(wire)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ParamError):
+            HeuristicParams(unit_order="sideways")
+        with pytest.raises(ParamError):
+            HeuristicParams(modulo_order="random")
+        with pytest.raises(ParamError):
+            HeuristicParams(w_height=float("inf"))
+        with pytest.raises(ParamError):
+            HeuristicParams(w_slack=True)
+        with pytest.raises(ParamError):
+            HeuristicParams(tie_seed=1.5)
+        with pytest.raises(ParamError):
+            HeuristicParams(modulo_budget_base=0)
+        with pytest.raises(ParamError):
+            HeuristicParams(modulo_budget_per_op=-1)
+        with pytest.raises(ParamError):
+            HeuristicParams.from_json(["not", "a", "dict"])
+
+
+# ---------------------------------------------------------------------------
+# SchedulingOptions: frozen, hashable, params ride along
+
+
+class TestSchedulingOptionsFrozen:
+    def test_frozen(self):
+        options = SchedulingOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.speculation = False
+
+    def test_hash_eq_regression(self):
+        """Options participate in cache identity: equal values must
+        hash equal, any field flip must break equality."""
+        assert SchedulingOptions() == SchedulingOptions()
+        assert hash(SchedulingOptions()) == hash(SchedulingOptions())
+        tuned = SchedulingOptions(params=HeuristicParams(tie_seed=1))
+        assert tuned != SchedulingOptions()
+        assert hash(tuned) != hash(SchedulingOptions())
+        assert SchedulingOptions(fast_fp=True) != SchedulingOptions()
+        assert len({SchedulingOptions(), SchedulingOptions()}) == 1
+
+    def test_round_trip(self):
+        options = SchedulingOptions(
+            speculation=False, fast_fp=True,
+            params=HeuristicParams(w_depth=0.125))
+        assert SchedulingOptions.from_json(options.to_json()) == options
+
+    def test_unknown_field_rejected(self):
+        wire = SchedulingOptions().to_json()
+        wire["speculaton"] = False
+        with pytest.raises(ParamError, match="speculaton"):
+            SchedulingOptions.from_json(wire)
+
+
+# ---------------------------------------------------------------------------
+# shared evaluators reproduce the historical keys under DEFAULT
+
+
+def _trace_graph(kernel_name: str = "daxpy", n: int = 16):
+    from repro.analysis import compute_liveness
+    from repro.disambig import Disambiguator, derive_memrefs
+    from repro.trace import TraceSelector, clone_function
+    from repro.trace.profile import estimate_static
+
+    kernel = get_kernel(kernel_name)
+    module = kernel.build(n)
+    from repro.opt import classical_pipeline
+
+    classical_pipeline(unroll_factor=4, inline_budget=48).run(module)
+    func = module.function(kernel.func)
+    derive_memrefs(func)
+    work = clone_function(func)
+    disambig = Disambiguator(module)
+    live_in = dict(compute_liveness(work).live_in)
+    selector = TraceSelector(work, estimate_static(work))
+    trace = selector.next_trace()
+    return build_acyclic_graph(work, trace, disambig, TRACE_28_200,
+                               SchedulingOptions(), live_in,
+                               {work.entry.name}), disambig
+
+
+class TestEvaluatorDefaultEquivalence:
+    def test_acyclic_default_key_matches_historical(self):
+        graph, _ = _trace_graph()
+        evaluator = AcyclicPriority(graph, HeuristicParams.DEFAULT)
+        heights = acyclic_heights(graph)
+        indices = list(range(len(graph.nodes)))
+        assert sorted(indices, key=evaluator.key) == sorted(
+            indices, key=lambda i: (-heights[i], graph.nodes[i].pos))
+
+    def test_acyclic_tie_seed_changes_order_deterministically(self):
+        graph, _ = _trace_graph()
+        a = AcyclicPriority(graph, HeuristicParams(tie_seed=1))
+        b = AcyclicPriority(graph, HeuristicParams(tie_seed=1))
+        indices = list(range(len(graph.nodes)))
+        assert sorted(indices, key=a.key) == sorted(indices, key=b.key)
+
+    def test_modulo_default_order_matches_historical(self):
+        from repro.analysis import compute_liveness
+        from repro.disambig import Disambiguator, derive_memrefs
+        from repro.opt import classical_pipeline
+        from repro.pipeline import find_pipeline_loops
+        from repro.trace import clone_function
+
+        kernel = get_kernel("daxpy")
+        module = kernel.build(16)
+        classical_pipeline(unroll_factor=0, inline_budget=48).run(module)
+        func = module.function(kernel.func)
+        derive_memrefs(func)
+        work = clone_function(func)
+        disambig = Disambiguator(module)
+        live_in = dict(compute_liveness(work).live_in)
+        loops = [pl for _l, pl, _w in find_pipeline_loops(work, live_in)
+                 if pl is not None]
+        assert loops, "daxpy's inner loop must be pipelinable"
+        graph = build_loop_graph(loops[0], TRACE_28_200, disambig)
+        n = len(graph.ops)
+        ii = 2
+        while modulo_heights(graph, ii) is None \
+                or modulo_deadlines(graph, ii) is None:
+            ii += 1
+        h = modulo_heights(graph, ii)
+        dl = modulo_deadlines(graph, ii)
+        priority = ModuloPriority(HeuristicParams.DEFAULT, h, dl)
+        assert priority.order() == sorted(range(n),
+                                          key=lambda i: (-h[i], i))
+        assert priority.budget() == 50 + 8 * n
+
+    def test_diagnostic_uses_the_scheduling_key(self):
+        """The stuck-ready-list diagnostic and the scheduler read the
+        same evaluator object — drift is structurally impossible."""
+        from repro.trace.scheduler import ListScheduler
+
+        graph, disambig = _trace_graph()
+        sched = ListScheduler(graph, TRACE_28_200, disambig,
+                              SchedulingOptions())
+        ready = list(range(len(graph.nodes)))
+        err = sched._no_progress_error(ready, 3)
+        best = min(ready, key=sched._priority.key)
+        assert f"node #{best}" in str(err)
+
+
+# ---------------------------------------------------------------------------
+# cache identity and API wire form
+
+
+class TestCacheKeySeparation:
+    def test_schema_bumped_for_params(self):
+        assert CACHE_SCHEMA == 5
+
+    def test_tuned_params_separate_cache_keys(self):
+        module = get_kernel("daxpy").build(16)
+        key_default = compile_key(module, TRACE_28_200,
+                                  SchedulingOptions(), strategy="trace",
+                                  unroll=4, inline=48)
+        tuned = SchedulingOptions(params=HeuristicParams(tie_seed=1))
+        key_tuned = compile_key(module, TRACE_28_200, tuned,
+                                strategy="trace", unroll=4, inline=48)
+        assert key_default != key_tuned
+        again = compile_key(module, TRACE_28_200, SchedulingOptions(),
+                            strategy="trace", unroll=4, inline=48)
+        assert key_default == again
+
+
+class TestApiWire:
+    def test_request_round_trip_with_params(self):
+        wire_params = HeuristicParams(w_slack=0.25,
+                                      unit_order="reverse").to_json()
+        request = MeasureRequest(kernel="daxpy", n=32,
+                                 params=wire_params)
+        decoded = MeasureRequest.from_json(
+            json.loads(json.dumps(request.to_json())))
+        assert decoded == request
+        assert decoded.options().params == \
+            HeuristicParams.from_json(wire_params)
+
+    def test_default_request_has_default_params(self):
+        request = CompileRequest(kernel="daxpy")
+        assert request.heuristic_params() is HeuristicParams.DEFAULT
+        assert request.options().params == HeuristicParams.DEFAULT
+
+    def test_bad_params_rejected_at_validate(self):
+        request = CompileRequest(kernel="daxpy",
+                                 params={"w_heigth": 2.0})
+        with pytest.raises(ApiError, match="w_heigth"):
+            request.validate()
+        with pytest.raises(ApiError):
+            CompileRequest(kernel="daxpy", params={"unit_order": "x"}) \
+                .validate()
+
+    def test_params_separate_request_cache_keys(self):
+        base = CompileRequest(kernel="daxpy", n=16)
+        tuned = CompileRequest(kernel="daxpy", n=16,
+                               params={"tie_seed": 1})
+        assert base.cache_key() != tuned.cache_key()
+        assert base.cache_key() == CompileRequest(kernel="daxpy",
+                                                  n=16).cache_key()
+
+
+class TestCliParamsFlag:
+    def test_explicit_default_matches_no_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["schedule", "copy", "-n", "16"]) in (0, None)
+        plain = capsys.readouterr().out
+        assert main(["schedule", "copy", "-n", "16",
+                     "--params", '{"w_height": 1.0}']) in (0, None)
+        assert capsys.readouterr().out == plain
+
+    def test_bad_params_exit_cleanly(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="--params"):
+            main(["schedule", "copy", "--params", '{"bogus": 1}'])
+        with pytest.raises(SystemExit, match="--params"):
+            main(["schedule", "copy", "--params", "not json"])
+        with pytest.raises(SystemExit, match="--params"):
+            main(["measure", "copy", "-n", "16",
+                  "--params", '{"unit_order": "x"}'])
+
+    def test_params_from_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        config = tmp_path / "winner.json"
+        config.write_text(json.dumps({"tie_seed": 0}))
+        assert main(["schedule", "copy", "-n", "16",
+                     "--params", f"@{config}"]) in (0, None)
+        assert "instr" in capsys.readouterr().out.lower()
+
+
+# ---------------------------------------------------------------------------
+# the differential: DEFAULT is byte-identical to pre-refactor schedules
+
+
+class TestScheduleGoldenByteIdentity:
+    def test_default_params_reproduce_prerefactor_schedules(self):
+        """The digests in ``schedule_golden.json`` were produced by the
+        pre-refactor schedulers (hand-coded priority lambdas).  Every
+        trace case, pipeline case, and fuzz seed must compile to the
+        same bytes under ``HeuristicParams.DEFAULT``."""
+        with open(os.path.join(DATA, "schedule_golden.json")) as handle:
+            golden = json.load(handle)
+        rebuilt = _load_generator("make_schedule_golden.py").build_corpus()
+        assert sorted(rebuilt) == sorted(golden)
+        mismatched = [case for case in golden
+                      if rebuilt[case] != golden[case]]
+        assert mismatched == []

@@ -1,0 +1,160 @@
+"""Tests for the ``repro tune`` autotuner subsystem."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sched import HeuristicParams
+from repro.machine import TRACE_28_200
+from repro.tune import (TuneCache, candidate_space, corpus_cases, eval_key,
+                        multi_start_candidates, oracle_key, params_digest,
+                        params_wire, random_candidates, run_tune,
+                        tiny_grid_candidates, tune_case)
+
+
+# ---------------------------------------------------------------------------
+# candidate space
+
+
+class TestCandidateSpace:
+    def test_default_is_index_zero(self):
+        for kwargs in ({}, {"tiny": True}, {"random_count": 4},
+                       {"starts": 3}, {"grid": False, "starts": 2}):
+            space = candidate_space(**kwargs)
+            assert space[0] == HeuristicParams.DEFAULT
+
+    def test_deduplicated(self):
+        space = candidate_space(random_count=8, starts=4)
+        assert len(space) == len(set(space))
+
+    def test_random_is_seeded_and_deterministic(self):
+        assert random_candidates(6, seed=3) == random_candidates(6, seed=3)
+        assert random_candidates(6, seed=3) != random_candidates(6, seed=4)
+
+    def test_multi_start_is_default_but_for_tie_seed(self):
+        for cand in multi_start_candidates(5):
+            assert cand != HeuristicParams.DEFAULT
+            assert cand.tie_seed > 0
+            assert cand.w_height == 1.0 and cand.w_slack == 0.0
+
+    def test_tiny_grid_is_single_axis(self):
+        default = HeuristicParams.DEFAULT.to_json()
+        for cand in tiny_grid_candidates():
+            changed = [k for k, v in cand.to_json().items()
+                       if v != default[k]]
+            assert len(changed) == 1
+
+    def test_wire_and_digest_stable(self):
+        params = HeuristicParams(w_slack=0.25)
+        assert json.loads(params_wire(params)) == params.to_json()
+        assert params_digest(params) == params_digest(
+            HeuristicParams(w_slack=0.25))
+        assert params_digest(params) != params_digest(
+            HeuristicParams.DEFAULT)
+
+
+# ---------------------------------------------------------------------------
+# corpus enumeration
+
+
+class TestCorpus:
+    def test_generated_cases(self):
+        cases = corpus_cases("generated", seeds=5, kernels=None,
+                             tiny=False)
+        assert [c["seed"] for c in cases] == [0, 1, 2, 3, 4]
+        assert all(c["mode"] == "seed" for c in cases)
+        assert cases[3]["case"] == "seed3"
+
+    def test_kernel_cases_tiny(self):
+        cases = corpus_cases("kernels", seeds=None, kernels=None,
+                             tiny=True)
+        assert cases
+        assert {c["mode"] for c in cases} <= {"trace", "loop"}
+        assert len({c["case"] for c in cases}) == len(cases)
+
+
+# ---------------------------------------------------------------------------
+# cache keys and store
+
+
+class TestTuneCache:
+    def test_keys_separate_axes(self):
+        case_a = {"mode": "seed", "case": "seed1", "seed": 1}
+        case_b = {"mode": "seed", "case": "seed2", "seed": 2}
+        default = HeuristicParams.DEFAULT
+        tuned = HeuristicParams(tie_seed=1)
+        assert eval_key(case_a, default, TRACE_28_200) != \
+            eval_key(case_b, default, TRACE_28_200)
+        assert eval_key(case_a, default, TRACE_28_200) != \
+            eval_key(case_a, tuned, TRACE_28_200)
+        assert eval_key(case_a, default, TRACE_28_200) == \
+            eval_key(case_a, HeuristicParams(), TRACE_28_200)
+        assert oracle_key(case_a, TRACE_28_200, 1000) != \
+            oracle_key(case_a, TRACE_28_200, 2000)
+        assert oracle_key(case_a, TRACE_28_200, 1000) != \
+            eval_key(case_a, default, TRACE_28_200)
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = TuneCache(str(tmp_path))
+        key = eval_key({"mode": "seed", "case": "seed0", "seed": 0},
+                       HeuristicParams.DEFAULT, TRACE_28_200)
+        assert cache.get(key) is None
+        cache.put(key, {"length": 42})
+        assert cache.get(key) == {"length": 42}
+        assert cache.get("0" * 64) is None
+
+
+# ---------------------------------------------------------------------------
+# the per-case task and the driver
+
+
+class TestTuneCaseTask:
+    def test_scores_every_candidate(self):
+        candidates = [[0, HeuristicParams.DEFAULT.to_json()],
+                      [1, HeuristicParams(tie_seed=1).to_json()]]
+        row = tune_case({"mode": "seed", "case": "seed0", "seed": 0,
+                         "candidates": candidates})
+        assert row["case"] == "seed0"
+        assert sorted(row["lengths"]) == ["0", "1"]
+        assert isinstance(row["lengths"]["0"], int)
+        assert row["lengths"]["0"] > 0
+        assert "oracle" not in row
+
+    def test_oracle_rides_along_when_asked(self):
+        row = tune_case({"mode": "seed", "case": "seed0", "seed": 0,
+                         "candidates": [[0, HeuristicParams().to_json()]],
+                         "need_oracle": True, "max_nodes": 20000})
+        from repro.optimal.solver import FEASIBLE, OPTIMAL, TIMEOUT
+
+        assert row["oracle"]["status"] in (OPTIMAL, FEASIBLE, TIMEOUT)
+        assert row["oracle"]["oracle"] <= row["lengths"]["0"]
+
+
+class TestRunTune:
+    def test_cold_then_warm_cache(self, tmp_path):
+        kwargs = dict(corpus="generated", seeds=2, tiny=True, jobs=1,
+                      cache_dir=str(tmp_path), with_oracle=True,
+                      verify_winners=True)
+        cold = run_tune(**kwargs)
+        assert cold["cases"] == 2
+        assert cold["errors"] == []
+        assert cold["cache"]["misses"] > 0
+        assert cold["baseline_total"] >= cold["best_total"]
+        assert cold["oracle_total"] is not None
+
+        warm = run_tune(**kwargs)
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["dispatched_cases"] == 0
+        assert warm["cache"]["hits"] == cold["cache"]["hits"] + \
+            cold["cache"]["misses"]
+        for field in ("cases", "candidates", "baseline_total",
+                      "best_total", "oracle_total", "gaps",
+                      "gaps_closed", "improved_cases", "rows"):
+            assert warm[field] == cold[field], field
+
+    def test_report_is_json_clean(self, tmp_path):
+        report = run_tune(corpus="generated", seeds=1, tiny=True,
+                          jobs=1, cache_dir=str(tmp_path),
+                          with_oracle=False, verify_winners=False)
+        assert report == json.loads(json.dumps(report))
+        assert report["tiny"] is True
